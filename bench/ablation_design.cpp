@@ -1,0 +1,72 @@
+// Ablations of DESIGN.md §5 decisions (our addition; no paper figure).
+//
+//  A. Scheduler: version-aware selection with admission control (default,
+//     cap=4) vs deep queues (cap=64). Deep in-node queues make read tags
+//     stale, inflating version-inconsistency aborts.
+//  B. Master lock policy: deadlock detection (blocking; default) vs
+//     wait-die (immediate death of younger conflicting requesters; every
+//     hot-page conflict becomes a full-transaction retry).
+#include <iostream>
+
+#include "bench_common.hpp"
+
+using namespace dmv;
+using namespace dmv::bench;
+
+namespace {
+constexpr sim::Time kWarm = 20 * sim::kSec;
+constexpr sim::Time kEnd = 120 * sim::kSec;
+
+struct Out {
+  double wips = 0, lat_ms = 0, abort_pct = 0;
+  uint64_t lock_deaths = 0;
+};
+
+Out run(uint64_t cap, txn::LockPolicy policy, size_t clients) {
+  harness::DmvExperiment::Config cfg;
+  cfg.workload = default_workload(tpcw::Mix::Shopping, clients);
+  cfg.slaves = 2;
+  cfg.costs = calibrated_costs();
+  cfg.reads_inflight_cap = cap;
+  cfg.lock_policy = policy;
+  harness::DmvExperiment exp(cfg);
+  exp.start();
+  exp.run_until(kEnd);
+  Out o;
+  o.wips = exp.series().wips(kWarm, kEnd);
+  o.lat_ms = exp.series().latency(kWarm, kEnd) * 1000;
+  o.abort_pct = 100.0 * double(exp.cluster().total_version_aborts()) /
+                double(std::max<uint64_t>(1, exp.series().total()));
+  o.lock_deaths = exp.cluster().master().engine().stats().waitdie_deaths;
+  exp.stop();
+  return o;
+}
+
+std::vector<std::string> row(const std::string& name, const Out& o) {
+  return {name, harness::fmt(o.wips), harness::fmt(o.lat_ms, 0),
+          harness::fmt(o.abort_pct, 2) + "%",
+          std::to_string(o.lock_deaths)};
+}
+}  // namespace
+
+int main() {
+  std::cout << "# Ablations: scheduler admission & master lock policy "
+            << "(shopping mix, 2 slaves, 900 clients)\n";
+  const size_t clients = 900;
+  std::vector<std::vector<std::string>> rows;
+  rows.push_back(row("cap=4, deadlock-detect (default)",
+                     run(4, txn::LockPolicy::DeadlockDetect, clients)));
+  rows.push_back(row("cap=64 (deep node queues)",
+                     run(64, txn::LockPolicy::DeadlockDetect, clients)));
+  rows.push_back(row("cap=4, wait-die",
+                     run(4, txn::LockPolicy::WaitDie, clients)));
+  harness::print_table(
+      std::cout, "Design ablations",
+      {"configuration", "WIPS", "lat ms", "version aborts", "lock deaths"},
+      rows);
+  std::cout << "\nReading: deep queues trade latency for stale read tags "
+               "(aborts climb); wait-die turns hot-page write conflicts "
+               "into restart storms (lock deaths explode, throughput "
+               "drops).\n";
+  return 0;
+}

@@ -1,0 +1,129 @@
+// google-benchmark micro-benchmarks for the hot primitives: RB-tree index
+// operations, page diff/apply, the lock table fast path, and the TPC-W
+// generator. These are host-time benchmarks of the real data structures
+// (the macro experiments charge modeled virtual time instead).
+#include <benchmark/benchmark.h>
+
+#include "storage/table.hpp"
+#include "tpcw/generator.hpp"
+#include "txn/write_set.hpp"
+#include "util/rng.hpp"
+
+using namespace dmv;
+
+namespace {
+
+void BM_RbTreeInsert(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  for (auto _ : state) {
+    storage::RbTree t;
+    util::Rng rng(7);
+    for (int64_t i = 0; i < n; ++i) {
+      storage::Key k{rng.between(0, n * 4)};
+      t.insert(k, storage::RowId{});
+    }
+    benchmark::DoNotOptimize(t.size());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_RbTreeInsert)->Arg(1000)->Arg(10000);
+
+void BM_RbTreeLookup(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  storage::RbTree t;
+  for (int64_t i = 0; i < n; ++i) {
+    storage::Key k{i};
+    t.insert(k, storage::RowId{});
+  }
+  util::Rng rng(9);
+  for (auto _ : state) {
+    storage::Key k{rng.between(0, n - 1)};
+    benchmark::DoNotOptimize(t.find(k));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RbTreeLookup)->Arg(10000)->Arg(100000);
+
+void BM_RbTreeScan100(benchmark::State& state) {
+  storage::RbTree t;
+  for (int64_t i = 0; i < 100000; ++i) {
+    storage::Key k{i};
+    t.insert(k, storage::RowId{});
+  }
+  util::Rng rng(11);
+  for (auto _ : state) {
+    storage::Key lo{rng.between(0, 99899)};
+    size_t seen = 0;
+    t.scan(&lo, nullptr, [&](const storage::Key&, storage::RowId) {
+      return ++seen < 100;
+    });
+    benchmark::DoNotOptimize(seen);
+  }
+  state.SetItemsProcessed(state.iterations() * 100);
+}
+BENCHMARK(BM_RbTreeScan100);
+
+void BM_PageDiff(benchmark::State& state) {
+  const int changes = int(state.range(0));
+  util::Rng rng(3);
+  storage::Page before;
+  for (size_t i = 0; i < storage::kPageSize; ++i)
+    before.raw()[i] = std::byte(uint8_t(rng.below(256)));
+  storage::Page after = before;
+  for (int i = 0; i < changes; ++i)
+    after.raw()[rng.below(storage::kPageSize)] =
+        std::byte(uint8_t(rng.below(256)));
+  for (auto _ : state) {
+    auto runs = txn::diff_pages(before, after);
+    benchmark::DoNotOptimize(runs.size());
+  }
+  state.SetBytesProcessed(state.iterations() * storage::kPageSize);
+}
+BENCHMARK(BM_PageDiff)->Arg(8)->Arg(64)->Arg(512);
+
+void BM_PageDiffApply(benchmark::State& state) {
+  util::Rng rng(5);
+  storage::Page before;
+  storage::Page after = before;
+  for (int i = 0; i < 64; ++i)
+    after.raw()[rng.below(storage::kPageSize)] = std::byte{0xAB};
+  const auto runs = txn::diff_pages(before, after);
+  for (auto _ : state) {
+    storage::Page target = before;
+    txn::apply_runs(target, runs);
+    benchmark::DoNotOptimize(target.raw().data());
+  }
+}
+BENCHMARK(BM_PageDiffApply);
+
+void BM_RowCodec(benchmark::State& state) {
+  storage::Schema s({storage::int_col("a"), storage::char_col("b", 24),
+                     storage::double_col("c"), storage::int_col("d")});
+  std::vector<std::byte> buf(s.row_size());
+  storage::Row row{int64_t{42}, std::string("hello world"), 2.5,
+                   int64_t{-7}};
+  for (auto _ : state) {
+    s.encode(row, buf);
+    auto back = s.decode(buf);
+    benchmark::DoNotOptimize(back.size());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RowCodec);
+
+void BM_TpcwLoader(benchmark::State& state) {
+  tpcw::ScaleConfig scale;
+  scale.items = state.range(0);
+  for (auto _ : state) {
+    storage::Database db;
+    tpcw::build_schema(db);
+    tpcw::make_loader(scale)(db);
+    benchmark::DoNotOptimize(db.total_rows());
+  }
+  state.SetItemsProcessed(state.iterations() * scale.items);
+}
+BENCHMARK(BM_TpcwLoader)->Arg(100)->Arg(1000)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,4 @@
+#include "api/api.hpp"
+
+// Header-only; anchors the target.
+namespace dmv::api {}

@@ -1,0 +1,128 @@
+// Client-facing transaction API.
+//
+// Application logic (the TPC-W interactions, the examples) is written once
+// against api::Connection and runs unchanged on either engine:
+//  - a DMV in-memory cluster session (routed by the version-aware
+//    scheduler: reads to a tagged slave, updates to the conflict-class
+//    master), or
+//  - an on-disk engine session (the InnoDB baseline).
+//
+// Transactions are registered as named procedures (ProcRegistry); the
+// scheduler ships {proc name, params} to a database node, mirroring the
+// paper's setup where the scheduler is pre-configured with the types of
+// transactions the application uses.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+
+#include "sim/task.hpp"
+#include "storage/page.hpp"
+#include "storage/value.hpp"
+#include "util/assert.hpp"
+
+namespace dmv::api {
+
+// Declarative range scan (mirrors mem::MemEngine::ScanSpec).
+struct ScanSpec {
+  int index = -1;  // -1: primary key; else secondary index position
+  std::optional<storage::Key> lo;
+  std::optional<storage::Key> hi;
+  size_t limit = SIZE_MAX;
+  bool reverse = false;  // newest-first (descending key order)
+  std::function<bool(const storage::Row&)> filter;
+};
+
+// Named parameters for a procedure invocation.
+class Params {
+ public:
+  Params& set(const std::string& k, storage::Value v) {
+    kv_[k] = std::move(v);
+    return *this;
+  }
+  int64_t i(const std::string& k) const {
+    return std::get<int64_t>(at(k));
+  }
+  double d(const std::string& k) const { return std::get<double>(at(k)); }
+  const std::string& s(const std::string& k) const {
+    return std::get<std::string>(at(k));
+  }
+  bool has(const std::string& k) const { return kv_.count(k) > 0; }
+
+ private:
+  const storage::Value& at(const std::string& k) const {
+    auto it = kv_.find(k);
+    DMV_ASSERT_MSG(it != kv_.end(), "missing param " << k);
+    return it->second;
+  }
+  std::map<std::string, storage::Value> kv_;
+};
+
+struct TxnResult {
+  bool ok = true;
+  uint64_t rows = 0;       // rows produced (the "web page" payload size)
+  int64_t value = 0;       // procedure-specific scalar (e.g. new order id)
+};
+
+// One transaction's query surface. Implementations: the DMV cluster
+// session adapter (core) and the on-disk engine session (disk).
+class Connection {
+ public:
+  virtual ~Connection() = default;
+  virtual bool read_only() const = 0;
+  virtual sim::Task<std::optional<storage::Row>> get(
+      storage::TableId t, const storage::Key& pk) = 0;
+  virtual sim::Task<std::vector<storage::Row>> scan(storage::TableId t,
+                                                    ScanSpec spec) = 0;
+  // False on duplicate primary key.
+  virtual sim::Task<bool> insert(storage::TableId t,
+                                 const storage::Row& row) = 0;
+  // False if the row is absent.
+  virtual sim::Task<bool> update(
+      storage::TableId t, const storage::Key& pk,
+      const std::function<void(storage::Row&)>& mutate) = 0;
+  virtual sim::Task<bool> remove(storage::TableId t,
+                                 const storage::Key& pk) = 0;
+};
+
+using ProcFn =
+    std::function<sim::Task<TxnResult>(Connection&, const Params&)>;
+
+// Static description of a transaction type, used by the scheduler for
+// routing and conflict-class assignment (§2.1: "the scheduler is
+// pre-configured with the types of transactions used by the application
+// and the tables each of them accesses").
+struct ProcInfo {
+  ProcFn fn;
+  bool read_only = true;
+  std::vector<storage::TableId> tables;  // tables the proc may access
+};
+
+class ProcRegistry {
+ public:
+  void register_proc(const std::string& name, ProcInfo info) {
+    DMV_ASSERT_MSG(!procs_.count(name), "duplicate proc " << name);
+    procs_[name] = std::move(info);
+  }
+  const ProcInfo& find(const std::string& name) const {
+    auto it = procs_.find(name);
+    DMV_ASSERT_MSG(it != procs_.end(), "unknown proc " << name);
+    return it->second;
+  }
+  bool contains(const std::string& name) const {
+    return procs_.count(name) > 0;
+  }
+  size_t size() const { return procs_.size(); }
+
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    for (const auto& [name, info] : procs_) fn(name, info);
+  }
+
+ private:
+  std::map<std::string, ProcInfo> procs_;
+};
+
+}  // namespace dmv::api

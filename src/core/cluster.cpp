@@ -1,0 +1,291 @@
+#include "core/cluster.hpp"
+
+#include <algorithm>
+
+namespace dmv::core {
+
+DmvCluster::DmvCluster(net::Network& net, const api::ProcRegistry& procs,
+                       Config cfg)
+    : net_(net), procs_(procs), cfg_(std::move(cfg)) {
+  DMV_ASSERT(cfg_.schema);
+  DMV_ASSERT(cfg_.slaves >= 1);
+
+  // Conflict classes: explicit config, or one class covering every table.
+  {
+    storage::Database probe;
+    cfg_.schema(probe);
+    if (cfg_.conflict_classes.empty()) {
+      std::set<storage::TableId> all;
+      for (storage::TableId t = 0; t < probe.table_count(); ++t)
+        all.insert(t);
+      classes_.push_back(std::move(all));
+    } else {
+      std::set<storage::TableId> seen;
+      for (const auto& cls : cfg_.conflict_classes) {
+        std::set<storage::TableId> s(cls.begin(), cls.end());
+        for (storage::TableId t : s)
+          DMV_ASSERT_MSG(seen.insert(t).second,
+                         "conflict classes must be disjoint");
+        classes_.push_back(std::move(s));
+      }
+      DMV_ASSERT_MSG(seen.size() == probe.table_count(),
+                     "conflict classes must cover every table");
+    }
+  }
+
+  // Allocate node ids: masters (one per class), slaves, spares, schedulers.
+  for (size_t i = 0; i < classes_.size(); ++i)
+    master_ids_.push_back(net_.add_node(
+        classes_.size() == 1 ? "master" : "master" + std::to_string(i)));
+  for (int i = 0; i < cfg_.slaves; ++i)
+    slave_ids_.push_back(net_.add_node("slave" + std::to_string(i)));
+  for (int i = 0; i < cfg_.spares; ++i)
+    spare_ids_.push_back(net_.add_node("spare" + std::to_string(i)));
+  for (int i = 0; i < cfg_.schedulers; ++i)
+    scheduler_node_ids_.push_back(
+        net_.add_node("sched" + std::to_string(i)));
+
+  // Engine nodes (all replicas share the same schema and base image).
+  auto make_node = [&](NodeId id, bool hint_source) {
+    EngineNode::Config nc;
+    nc.engine = cfg_.engine;
+    nc.checkpoint_period = cfg_.checkpoint_period;
+    nc.eager_apply = cfg_.eager_apply;
+    if (hint_source && cfg_.pageid_hints && !spare_ids_.empty()) {
+      nc.hint_target = spare_ids_[0];
+      nc.hint_every_txns = cfg_.hint_every_txns;
+    }
+    stores_[id] = std::make_unique<mem::StableStore>();
+    auto node = std::make_unique<EngineNode>(net_, id, procs_, cfg_.schema,
+                                             nc, stores_[id].get());
+    if (cfg_.loader) cfg_.loader(node->engine().db());
+    nodes_[id] = std::move(node);
+  };
+  for (NodeId id : master_ids_) make_node(id, false);
+  for (size_t i = 0; i < slave_ids_.size(); ++i)
+    make_node(slave_ids_[i], i == 0);
+  for (NodeId id : spare_ids_) make_node(id, false);
+
+  // Master roles: each class master replicates to every other node
+  // (slaves, spares, and the other masters — which are slaves for its
+  // tables).
+  const size_t tables =
+      nodes_[master_ids_[0]]->engine().db().table_count();
+  for (size_t ci = 0; ci < master_ids_.size(); ++ci) {
+    std::vector<NodeId> replicas = slave_ids_;
+    replicas.insert(replicas.end(), spare_ids_.begin(), spare_ids_.end());
+    for (NodeId other : master_ids_)
+      if (other != master_ids_[ci]) replicas.push_back(other);
+    nodes_[master_ids_[ci]]->make_master(classes_[ci],
+                                         std::move(replicas));
+  }
+
+  // Schedulers: the first is primary; all share the topology.
+  for (size_t i = 0; i < scheduler_node_ids_.size(); ++i) {
+    auto s = std::make_unique<Scheduler>(net_, scheduler_node_ids_[i],
+                                         procs_, tables, cfg_.scheduler);
+    std::vector<NodeId> peers;
+    for (NodeId p : scheduler_node_ids_)
+      if (p != scheduler_node_ids_[i]) peers.push_back(p);
+    s->set_topology(master_ids_, classes_, slave_ids_, spare_ids_,
+                    std::move(peers));
+    if (i == 0) s->make_primary();
+    schedulers_.push_back(std::move(s));
+  }
+
+  if (cfg_.enable_persistence) {
+    persistence_ = std::make_unique<PersistenceBinding>(
+        net_.sim(), cfg_.persistence, cfg_.schema);
+    if (cfg_.loader) persistence_->load(cfg_.loader);
+    for (auto& s : schedulers_)
+      s->set_persistence([this](const std::vector<txn::OpRecord>& ops) {
+        persistence_->log_update(ops);
+      });
+  }
+
+  // Failure notifications (broken connections) go to every scheduler and,
+  // for scheduler deaths, to every client (so a blocked request can fail
+  // over to a peer scheduler).
+  net_.subscribe_failures([this](NodeId n) {
+    for (auto& s : schedulers_) s->on_node_killed(n);
+    if (std::find(scheduler_node_ids_.begin(), scheduler_node_ids_.end(),
+                  n) != scheduler_node_ids_.end()) {
+      for (NodeId cid : client_ids_)
+        if (net_.alive(cid))
+          net_.mailbox(cid).send(net::Envelope{cid, cid, SchedulerDown{n}});
+    }
+  });
+}
+
+DmvCluster::~DmvCluster() = default;
+
+void DmvCluster::start() {
+  DMV_ASSERT(!started_);
+  started_ = true;
+  if (cfg_.heartbeats) {
+    // A dedicated monitor endpoint pings every engine node; suspicion is
+    // reported to the schedulers exactly like a broken connection.
+    heartbeat_node_ = net_.add_node("monitor");
+    heartbeat_ = std::make_unique<net::HeartbeatDetector>(
+        net_, heartbeat_node_, cfg_.heartbeat);
+    for (auto& [id, node] : nodes_) heartbeat_->monitor(id);
+    heartbeat_->subscribe([this](NodeId n) {
+      for (auto& s : schedulers_) s->on_node_killed(n);
+    });
+    net_.sim().spawn([](net::Network& net, NodeId me,
+                        net::HeartbeatDetector& d) -> sim::Task<> {
+      for (;;) {
+        auto env = co_await net.mailbox(me).receive();
+        if (!env) break;
+        if (net::as<net::HeartbeatMsg>(*env)) d.on_heartbeat(env->from);
+      }
+    }(net_, heartbeat_node_, *heartbeat_));
+    heartbeat_->start();
+  }
+  auto prewarm = [](EngineNode& n) {
+    for (const auto& [pid, ver] : n.engine().page_versions())
+      n.engine().cache().prefetch(pid);
+  };
+  if (cfg_.prewarm_active) {
+    for (NodeId m : master_ids_) prewarm(*nodes_[m]);
+    for (NodeId s : slave_ids_) prewarm(*nodes_[s]);
+  }
+  if (cfg_.prewarm_spares)
+    for (NodeId s : spare_ids_) prewarm(*nodes_[s]);
+  for (auto& [id, node] : nodes_) node->start();
+  for (auto& s : schedulers_) s->start();
+  if (persistence_) persistence_->start();
+}
+
+std::vector<NodeId> DmvCluster::scheduler_ids() const {
+  return scheduler_node_ids_;
+}
+
+NodeId DmvCluster::primary_scheduler_id() const {
+  for (const auto& s : schedulers_)
+    if (s->is_primary() && net_.alive(s->id())) return s->id();
+  for (const auto& s : schedulers_)
+    if (net_.alive(s->id())) return s->id();
+  return net::kNoNode;
+}
+
+void DmvCluster::kill_node(NodeId id) {
+  auto it = nodes_.find(id);
+  DMV_ASSERT_MSG(it != nodes_.end(), "not an engine node");
+  net_.kill(id);
+  it->second->on_killed();
+}
+
+void DmvCluster::kill_scheduler(size_t i) {
+  net_.kill(scheduler_node_ids_[i]);
+}
+
+void DmvCluster::restart_and_rejoin(NodeId id) {
+  DMV_ASSERT(!net_.alive(id));
+  net_.restart(id);
+  // Fresh process: rebuild from the base image + local checkpoint; the
+  // volatile buffer cache starts cold.
+  EngineNode::Config nc;
+  nc.engine = cfg_.engine;
+  nc.checkpoint_period = cfg_.checkpoint_period;
+  auto node = std::make_unique<EngineNode>(net_, id, procs_, cfg_.schema,
+                                           nc, stores_[id].get());
+  if (cfg_.loader) cfg_.loader(node->engine().db());
+  nodes_[id] = std::move(node);
+  nodes_[id]->start(/*restore_from_store=*/true);
+  const NodeId sched = primary_scheduler_id();
+  DMV_ASSERT_MSG(sched != net::kNoNode, "no scheduler to rejoin");
+  nodes_[id]->begin_rejoin(sched);
+}
+
+std::unique_ptr<ClusterClient> DmvCluster::make_client(
+    const std::string& name) {
+  auto client =
+      std::make_unique<ClusterClient>(net_, name, scheduler_node_ids_);
+  client_ids_.push_back(client->id());
+  return client;
+}
+
+uint64_t DmvCluster::total_version_aborts() const {
+  uint64_t n = 0;
+  for (const auto& [id, node] : nodes_)
+    n += node->engine().stats().version_aborts;
+  return n;
+}
+
+uint64_t DmvCluster::total_read_commits() const {
+  uint64_t n = 0;
+  for (const auto& [id, node] : nodes_)
+    n += node->engine().stats().read_commits;
+  return n;
+}
+
+uint64_t DmvCluster::total_update_commits() const {
+  uint64_t n = 0;
+  for (const auto& [id, node] : nodes_)
+    n += node->engine().stats().update_commits;
+  return n;
+}
+
+ClusterClient::ClusterClient(net::Network& net, std::string name,
+                             std::vector<NodeId> schedulers)
+    : net_(net), schedulers_(std::move(schedulers)) {
+  id_ = net_.add_node(std::move(name));
+}
+
+sim::Task<std::optional<api::TxnResult>> ClusterClient::execute(
+    std::string proc, api::Params params) {
+  // Closed-loop client: one outstanding request at a time (concurrent
+  // executes would steal each other's replies off the shared mailbox).
+  DMV_ASSERT_MSG(!busy_, "ClusterClient is single-outstanding");
+  busy_ = true;
+  struct Unbusy {
+    bool* b;
+    ~Unbusy() { *b = false; }
+  } unbusy{&busy_};
+  for (size_t attempt = 0; attempt < schedulers_.size() + 1; ++attempt) {
+    // Pick a live scheduler.
+    NodeId sched = net::kNoNode;
+    for (size_t k = 0; k < schedulers_.size(); ++k) {
+      const NodeId cand = schedulers_[(current_ + k) % schedulers_.size()];
+      if (net_.alive(cand)) {
+        current_ = (current_ + k) % schedulers_.size();
+        sched = cand;
+        break;
+      }
+    }
+    if (sched == net::kNoNode) {
+      ++errors_;
+      co_return std::nullopt;
+    }
+
+    const uint64_t rid = next_req_++;
+    ClientRequest req;
+    req.req_id = rid;
+    req.reply_to = id_;
+    req.proc = proc;
+    req.params = params;
+    net_.send(id_, sched, std::move(req), 512);
+
+    for (;;) {
+      auto env = co_await net_.mailbox(id_).receive();
+      if (!env) co_return std::nullopt;  // client torn down
+      if (const auto* reply = net::as<ClientReply>(*env)) {
+        if (reply->req_id != rid) continue;  // stale reply
+        if (reply->ok) co_return reply->result;
+        ++errors_;
+        co_return std::nullopt;  // cluster reported an error
+      }
+      if (const auto* down = net::as<SchedulerDown>(*env)) {
+        if (down->scheduler == sched) {
+          ++current_;  // retry on a peer
+          break;
+        }
+      }
+    }
+  }
+  ++errors_;
+  co_return std::nullopt;
+}
+
+}  // namespace dmv::core

@@ -1,0 +1,140 @@
+// DmvCluster: deploys and operates a whole DMV installation inside one
+// simulation — schedulers, the in-memory master/slave/spare tier, the
+// on-disk persistence back-end — and exposes fault injection (the
+// experiments' kill/restart scripts) plus ClusterClient, the emulated
+// browser endpoint with scheduler fail-over.
+#pragma once
+
+#include "core/persistence_binding.hpp"
+#include "core/scheduler.hpp"
+#include "net/failure_detector.hpp"
+
+namespace dmv::core {
+
+class ClusterClient;
+
+class DmvCluster {
+ public:
+  struct Config {
+    int slaves = 2;
+    int spares = 0;
+    int schedulers = 1;
+    // Conflict classes (§2.1): disjoint table sets, one master each.
+    // Empty = the default single-master deployment (one class, all
+    // tables). Update transactions whose tables fall wholly inside a
+    // class run on that class's master, in parallel with other classes.
+    std::vector<std::vector<storage::TableId>> conflict_classes;
+    mem::MemEngine::Config engine;
+    sim::Time checkpoint_period = 0;  // 0: off
+    Scheduler::Config scheduler;
+    // Page-id-transfer warm-up: slave 0 ships hot-page ids to spare 0.
+    bool pageid_hints = false;
+    uint64_t hint_every_txns = 100;
+    bool eager_apply = false;  // ablation: see EngineNode::Config
+    // Failure detection: broken connections (default, detect_delay) plus,
+    // optionally, heartbeats from the primary scheduler to every engine
+    // node — the paper's "missed heartbeat messages" backstop, which also
+    // catches nodes that stop responding without a broken connection.
+    bool heartbeats = false;
+    net::HeartbeatConfig heartbeat;
+    bool enable_persistence = false;
+    PersistenceBinding::Config persistence;
+    // Mark all loaded pages resident at start (the paper excludes initial
+    // cache warm-up from measurements). Spares are left cold by default —
+    // their warm-up behavior is what Figs 7-9 measure.
+    bool prewarm_active = true;
+    bool prewarm_spares = false;
+    mem::SchemaFn schema;
+    std::function<void(storage::Database&)> loader;  // initial data image
+  };
+
+  DmvCluster(net::Network& net, const api::ProcRegistry& procs, Config cfg);
+  ~DmvCluster();
+
+  void start();
+
+  // --- topology access ---
+  EngineNode& master(size_t cls = 0) { return *nodes_.at(master_ids_[cls]); }
+  EngineNode& node(NodeId id) { return *nodes_.at(id); }
+  NodeId master_id(size_t cls = 0) const { return master_ids_[cls]; }
+  size_t master_count() const { return master_ids_.size(); }
+  NodeId slave_id(size_t i) const { return slave_ids_[i]; }
+  NodeId spare_id(size_t i) const { return spare_ids_[i]; }
+  size_t slave_count() const { return slave_ids_.size(); }
+  size_t spare_count() const { return spare_ids_.size(); }
+  Scheduler& scheduler(size_t i = 0) { return *schedulers_[i]; }
+  std::vector<NodeId> scheduler_ids() const;
+  PersistenceBinding* persistence() { return persistence_.get(); }
+
+  // --- fault injection & reintegration ---
+  void kill_node(NodeId id);
+  void kill_scheduler(size_t i);
+  // Reboot a previously killed engine node: reload the base image (the
+  // mmapped on-disk file) plus its local checkpoint, then run the §4.4
+  // reintegration protocol against the primary scheduler.
+  void restart_and_rejoin(NodeId id);
+
+  // --- clients ---
+  std::unique_ptr<ClusterClient> make_client(const std::string& name);
+
+  // --- aggregate statistics ---
+  uint64_t total_version_aborts() const;
+  uint64_t total_read_commits() const;
+  uint64_t total_update_commits() const;
+
+  net::Network& net() { return net_; }
+
+ private:
+  NodeId primary_scheduler_id() const;
+
+  net::Network& net_;
+  const api::ProcRegistry& procs_;
+  Config cfg_;
+  std::vector<NodeId> master_ids_;  // one per conflict class
+  std::vector<std::set<storage::TableId>> classes_;
+  std::vector<NodeId> slave_ids_;
+  std::vector<NodeId> spare_ids_;
+  std::vector<NodeId> scheduler_node_ids_;
+  std::map<NodeId, std::unique_ptr<EngineNode>> nodes_;
+  std::map<NodeId, std::unique_ptr<mem::StableStore>> stores_;
+  std::vector<std::unique_ptr<Scheduler>> schedulers_;
+  std::unique_ptr<PersistenceBinding> persistence_;
+  std::vector<NodeId> client_ids_;
+  std::unique_ptr<net::HeartbeatDetector> heartbeat_;
+  NodeId heartbeat_node_ = net::kNoNode;
+  bool started_ = false;
+};
+
+// One emulated client/browser: sends ClientRequests to the primary
+// scheduler, switches to a peer when the scheduler dies (it learns of the
+// death the way the paper's clients do — via the broken connection,
+// surfaced here as a SchedulerDown notification into its mailbox).
+class ClusterClient {
+ public:
+  // Construct via DmvCluster::make_client — the cluster forwards
+  // SchedulerDown notifications into the client's mailbox (clients
+  // themselves hold no subscriptions, so they may be freely destroyed).
+  ClusterClient(net::Network& net, std::string name,
+                std::vector<NodeId> schedulers);
+
+  // nullopt: request failed (all schedulers dead, or the cluster reported
+  // an error — e.g. the serving slave died mid-transaction). Callers
+  // (client emulators) decide whether to retry.
+  // Lazy coroutine: owns its inputs by value.
+  sim::Task<std::optional<api::TxnResult>> execute(std::string proc,
+                                                   api::Params params);
+
+  NodeId id() const { return id_; }
+  uint64_t errors_seen() const { return errors_; }
+
+ private:
+  net::Network& net_;
+  NodeId id_;
+  std::vector<NodeId> schedulers_;
+  size_t current_ = 0;
+  uint64_t next_req_ = 1;
+  uint64_t errors_ = 0;
+  bool busy_ = false;
+};
+
+}  // namespace dmv::core

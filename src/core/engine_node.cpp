@@ -1,0 +1,440 @@
+#include "core/engine_node.hpp"
+
+#include "core/version.hpp"
+#include "net/failure_detector.hpp"
+
+namespace dmv::core {
+
+using mem::MemEngine;
+using mem::TxnAbort;
+using storage::Row;
+using txn::TxnCtx;
+
+namespace {
+
+// api::Connection adapter over (engine, txn). `poisoned` (nullable) is the
+// scheduler-recovery abort flag: when a new scheduler asks the master to
+// abort unconfirmed transactions, their next operation throws.
+class MemConnection : public api::Connection {
+ public:
+  MemConnection(MemEngine& eng, TxnCtx& txn, const bool* poisoned)
+      : eng_(eng), txn_(txn), poisoned_(poisoned) {}
+
+  bool read_only() const override {
+    return txn_.kind() == txn::TxnKind::ReadOnly;
+  }
+
+  sim::Task<std::optional<Row>> get(storage::TableId t,
+                                    const storage::Key& pk) override {
+    check();
+    return eng_.get(txn_, t, pk);
+  }
+  sim::Task<std::vector<Row>> scan(storage::TableId t,
+                                   api::ScanSpec spec) override {
+    check();
+    MemEngine::ScanSpec s;
+    s.index = spec.index;
+    s.lo = std::move(spec.lo);
+    s.hi = std::move(spec.hi);
+    s.limit = spec.limit;
+    s.reverse = spec.reverse;
+    s.filter = std::move(spec.filter);
+    return eng_.scan(txn_, t, std::move(s));
+  }
+  sim::Task<bool> insert(storage::TableId t, const Row& row) override {
+    check();
+    return eng_.insert(txn_, t, row);
+  }
+  sim::Task<bool> update(
+      storage::TableId t, const storage::Key& pk,
+      const std::function<void(Row&)>& mutate) override {
+    check();
+    return eng_.update(txn_, t, pk, mutate);
+  }
+  sim::Task<bool> remove(storage::TableId t,
+                         const storage::Key& pk) override {
+    check();
+    return eng_.remove(txn_, t, pk);
+  }
+
+ private:
+  void check() const {
+    if (poisoned_ && *poisoned_)
+      throw TxnAbort(TxnAbort::Reason::Cancelled);
+  }
+  MemEngine& eng_;
+  TxnCtx& txn_;
+  const bool* poisoned_;
+};
+
+}  // namespace
+
+EngineNode::EngineNode(net::Network& net, NodeId id,
+                       const api::ProcRegistry& procs,
+                       const mem::SchemaFn& schema, Config cfg,
+                       mem::StableStore* store)
+    : net_(net), id_(id), procs_(procs), cfg_(cfg), store_(store) {
+  engine_ = std::make_unique<MemEngine>(net.sim(), net.name(id), cfg_.engine);
+  engine_->build_schema(schema);
+  engine_->set_broadcast_fn(
+      [this](const txn::WriteSet& ws) { broadcast_write_set(ws); });
+  precommit_drain_ = std::make_unique<sim::WaitQueue>(net.sim());
+  sub_replies_ = std::make_unique<sim::Channel<SubscribeReply>>(net.sim());
+  join_infos_ = std::make_unique<sim::Channel<JoinInfo>>(net.sim());
+  page_chunks_ = std::make_unique<sim::Channel<PageChunk>>(net.sim());
+}
+
+EngineNode::~EngineNode() { on_killed(); }
+
+void EngineNode::make_master(std::set<storage::TableId> tables,
+                             std::vector<NodeId> replicas) {
+  engine_->set_master_tables(std::move(tables));
+  replicas_ = std::move(replicas);
+}
+
+void EngineNode::start(bool restore_from_store) {
+  DMV_ASSERT_MSG(!alive_, "node already started");
+  alive_ = std::make_shared<bool>(true);
+  if (restore_from_store && store_)
+    mem::restore_from_checkpoint(*engine_, *store_);
+  net_.sim().spawn(main_loop());
+  if (cfg_.checkpoint_period > 0 && store_) {
+    checkpointer_ = std::make_unique<mem::Checkpointer>(
+        net_.sim(), *engine_, *store_, cfg_.checkpoint_period);
+    checkpointer_->start(alive_);
+  }
+}
+
+void EngineNode::on_killed() {
+  if (!alive_) return;
+  *alive_ = false;
+  alive_.reset();
+  engine_->shutdown();
+  for (auto& [seq, w] : ack_waits_) {
+    w->cancelled = true;
+    w->done->notify_all(false);
+  }
+  ack_waits_.clear();
+  precommit_drain_->notify_all(false);
+  sub_replies_->close();
+  join_infos_->close();
+  page_chunks_->close();
+}
+
+void EngineNode::begin_rejoin(NodeId scheduler) {
+  net_.sim().spawn(rejoin_protocol(scheduler));
+}
+
+void EngineNode::broadcast_write_set(const txn::WriteSet& ws) {
+  const uint64_t seq = ++next_bcast_seq_;
+  last_bcast_seq_ = seq;
+  if (replicas_.empty()) return;
+  auto wait = std::make_unique<AckWait>();
+  wait->pending.insert(replicas_.begin(), replicas_.end());
+  wait->done = std::make_unique<sim::WaitQueue>(net_.sim());
+  ack_waits_[seq] = std::move(wait);
+  for (NodeId r : replicas_)
+    net_.send(id_, r, WriteSetMsg{id_, seq, ws}, ws.byte_size());
+}
+
+sim::Task<bool> EngineNode::wait_acks(uint64_t seq) {
+  auto it = ack_waits_.find(seq);
+  if (it == ack_waits_.end()) co_return true;  // no replicas / already done
+  AckWait& w = *it->second;
+  while (!w.pending.empty() && !w.cancelled) {
+    const bool ok = co_await w.done->wait();
+    if (!ok) co_return false;
+  }
+  const bool ok = !w.cancelled;
+  ack_waits_.erase(seq);
+  co_return ok;
+}
+
+void EngineNode::on_replica_set(std::vector<NodeId> replicas) {
+  replicas_ = std::move(replicas);
+  // Dead replicas will never ack: drop them from every pending wait.
+  const std::set<NodeId> live(replicas_.begin(), replicas_.end());
+  for (auto& [seq, w] : ack_waits_) {
+    for (auto it = w->pending.begin(); it != w->pending.end();) {
+      if (!live.count(*it))
+        it = w->pending.erase(it);
+      else
+        ++it;
+    }
+    if (w->pending.empty()) w->done->notify_all();
+  }
+}
+
+void EngineNode::reply_txn_done(const ExecTxn& m, TxnDone done) {
+  done.req_id = m.req_id;
+  net_.send(id_, m.reply_to, std::move(done), 256);
+}
+
+sim::Task<> EngineNode::main_loop() {
+  auto alive = alive_;
+  auto& mailbox = net_.mailbox(id_);
+  for (;;) {
+    auto env = co_await mailbox.receive();
+    if (!env || !*alive) break;
+
+    if (const auto* exec = net::as<ExecTxn>(*env)) {
+      net_.sim().spawn(handle_exec(*exec));
+    } else if (const auto* ws = net::as<WriteSetMsg>(*env)) {
+      engine_->on_write_set(ws->ws);
+      net_.send(id_, ws->master, AckMsg{ws->seq}, 32);
+      if (cfg_.eager_apply) {
+        for (storage::TableId t = 0; t < engine_->db().table_count(); ++t)
+          net_.sim().spawn(
+              engine_->apply_pending(t, engine_->received_version()[t]));
+      }
+    } else if (const auto* ack = net::as<AckMsg>(*env)) {
+      auto it = ack_waits_.find(ack->seq);
+      if (it != ack_waits_.end()) {
+        it->second->pending.erase(env->from);
+        if (it->second->pending.empty()) it->second->done->notify_all();
+      }
+    } else if (const auto* rs = net::as<ReplicaSetUpdate>(*env)) {
+      on_replica_set(rs->replicas);
+    } else if (const auto* da = net::as<DiscardAbove>(*env)) {
+      engine_->discard_mods_above(da->confirmed, da->tables);
+      net_.send(id_, env->from, AckMsg{0}, 32);  // DiscardAbove ack
+    } else if (const auto* aa = net::as<AbortAllRequest>(*env)) {
+      net_.sim().spawn(handle_abort_all(env->from, *aa));
+    } else if (const auto* pm = net::as<PromoteToMaster>(*env)) {
+      net_.sim().spawn(handle_promote(env->from, *pm));
+    } else if (const auto* sub = net::as<SubscribeRequest>(*env)) {
+      // Atomic with respect to broadcasts: add the subscriber, then report
+      // the current version vector — every later write-set reaches it.
+      replicas_.push_back(sub->joiner);
+      VersionVec v(engine_->db().table_count());
+      for (size_t t = 0; t < v.size(); ++t)
+        v[t] = std::max(engine_->version()[t],
+                        engine_->received_version()[t]);
+      net_.send(id_, sub->reply_to, SubscribeReply{std::move(v)}, 128);
+    } else if (const auto* sr = net::as<SubscribeReply>(*env)) {
+      sub_replies_->send(*sr);
+    } else if (const auto* ji = net::as<JoinInfo>(*env)) {
+      join_infos_->send(*ji);
+    } else if (const auto* pr = net::as<PageRequest>(*env)) {
+      net_.sim().spawn(serve_page_request(pr->reply_to, *pr));
+    } else if (const auto* pc = net::as<PageChunk>(*env)) {
+      page_chunks_->send(*pc);
+    } else if (const auto* hint = net::as<PageIdHint>(*env)) {
+      for (const auto& pid : hint->pages) engine_->cache().prefetch(pid);
+    } else if (net::as<net::HeartbeatMsg>(*env)) {
+      net_.send(id_, env->from, net::HeartbeatMsg{}, 32);  // pong
+    }
+  }
+  on_killed();
+}
+
+sim::Task<> EngineNode::handle_exec(ExecTxn m) {
+  if (m.read_only)
+    co_await run_read(std::move(m));
+  else
+    co_await run_update(std::move(m));
+}
+
+sim::Task<> EngineNode::run_read(ExecTxn m) {
+  const api::ProcInfo& proc = procs_.find(m.proc);
+  auto txn = engine_->begin_read(m.tag);
+  MemConnection conn(*engine_, *txn, nullptr);
+  try {
+    api::TxnResult result = co_await proc.fn(conn, m.params);
+    engine_->finish_read(*txn);
+    ++stats_.txns_executed;
+    ++txns_since_hint_;
+    maybe_send_hints();
+    TxnDone done;
+    done.ok = true;
+    done.result = result;
+    reply_txn_done(m, std::move(done));
+  } catch (const TxnAbort& e) {
+    if (e.reason == TxnAbort::Reason::VersionConflict) {
+      ++stats_.version_abort_replies;
+      TxnDone done;
+      done.ok = false;
+      done.version_abort = true;
+      reply_txn_done(m, std::move(done));
+    }
+    // Cancelled: node is going down; the scheduler sees the failure.
+  }
+}
+
+sim::Task<> EngineNode::run_update(ExecTxn m) {
+  const api::ProcInfo& proc = procs_.find(m.proc);
+  std::optional<uint64_t> reuse_ts;
+  for (;;) {
+    auto txn = engine_->begin_update(reuse_ts);
+    reuse_ts = txn->ts();
+    Inflight inf;
+    inf.txn = txn.get();
+    inflight_[m.req_id] = &inf;
+    MemConnection conn(*engine_, *txn, &inf.poisoned);
+    bool retry = false;
+    try {
+      api::TxnResult result = co_await proc.fn(conn, m.params);
+      if (inf.poisoned) throw TxnAbort(TxnAbort::Reason::Cancelled);
+      inf.in_precommit = true;
+      txn::WriteSet ws = co_await engine_->precommit(*txn);
+      // precommit resumes us synchronously after its broadcast, so
+      // last_bcast_seq_ still refers to *our* write-set.
+      const uint64_t my_seq = last_bcast_seq_;
+      const bool acked = co_await wait_acks(my_seq);
+      if (!acked) throw TxnAbort(TxnAbort::Reason::Cancelled);
+      engine_->finish_commit(*txn);
+      inflight_.erase(m.req_id);
+      precommit_drain_->notify_all();
+      ++stats_.txns_executed;
+      TxnDone done;
+      done.ok = true;
+      done.result = result;
+      done.db_version = ws.db_version;
+      done.ops = txn->op_log();
+      reply_txn_done(m, std::move(done));
+      co_return;
+    } catch (const TxnAbort& e) {
+      engine_->rollback(*txn);
+      inflight_.erase(m.req_id);
+      precommit_drain_->notify_all();
+      if (e.reason == TxnAbort::Reason::WaitDie) {
+        ++stats_.waitdie_restarts;
+        retry = true;
+      } else {
+        ++stats_.poisoned_aborts;
+        // Poisoned (scheduler-recovery abort, §4.1) or node going down.
+        // Report the abort; if we are dying the message is dropped anyway,
+        // but a poisoned transaction's client must not hang forever.
+        TxnDone done;
+        done.ok = false;
+        reply_txn_done(m, std::move(done));
+        co_return;
+      }
+    }
+    if (retry)
+      co_await net_.sim().delay(cfg_.engine.costs.wait_die_backoff);
+  }
+}
+
+sim::Task<> EngineNode::handle_abort_all(NodeId from, AbortAllRequest m) {
+  (void)from;
+  // Poison unconfirmed in-flight updates; let those already pre-committing
+  // finish (their write-sets are ordered and acked).
+  for (auto& [req, inf] : inflight_)
+    if (!inf->in_precommit) inf->poisoned = true;
+  for (;;) {
+    bool any_precommit = false;
+    for (auto& [req, inf] : inflight_)
+      if (inf->in_precommit) any_precommit = true;
+    if (!any_precommit) break;
+    const bool ok = co_await precommit_drain_->wait();
+    if (!ok) co_return;
+  }
+  VersionVec v(engine_->db().table_count());
+  for (size_t t = 0; t < v.size(); ++t)
+    v[t] =
+        std::max(engine_->version()[t], engine_->received_version()[t]);
+  net_.send(id_, m.reply_to, AbortAllReply{std::move(v)}, 128);
+}
+
+sim::Task<> EngineNode::handle_promote(NodeId from, PromoteToMaster m) {
+  (void)from;
+  std::set<storage::TableId> tables(m.tables.begin(), m.tables.end());
+  co_await engine_->promote(tables);
+  replicas_ = m.replicas;
+  VersionVec v(engine_->db().table_count());
+  for (size_t t = 0; t < v.size(); ++t)
+    v[t] =
+        std::max(engine_->version()[t], engine_->received_version()[t]);
+  net_.send(id_, m.reply_to, PromoteDone{std::move(v)}, 128);
+}
+
+sim::Task<> EngineNode::serve_page_request(NodeId to, PageRequest m) {
+  // Bring ourselves to the target version first, then ship every page the
+  // joiner lacks or holds at an older version (§4.4: "selectively
+  // transmits only the pages that changed after the joining node's
+  // version").
+  const bool ok = co_await engine_->wait_received(m.target);
+  if (!ok) co_return;
+  for (storage::TableId t = 0; t < engine_->db().table_count(); ++t)
+    co_await engine_->apply_pending(t, m.target[t]);
+
+  PageChunk chunk;
+  auto flush = [&](bool last) {
+    chunk.last = last;
+    const size_t bytes = chunk.pages.size() * storage::kPageSize + 64;
+    net_.send(id_, to, std::move(chunk), bytes);
+    chunk = PageChunk{};
+  };
+  for (const auto& [pid, ver] : engine_->page_versions()) {
+    auto it = m.have.find(pid);
+    const uint64_t have = it == m.have.end() ? 0 : it->second;
+    if (ver <= have) continue;
+    chunk.pages.push_back(mem::PageSnapshot{
+        pid, ver, engine_->db().table(pid.table).page(pid.page)});
+    ++stats_.pages_served;
+    if (chunk.pages.size() >= cfg_.migration_chunk_pages) flush(false);
+  }
+  flush(true);
+}
+
+sim::Task<> EngineNode::rejoin_protocol(NodeId scheduler) {
+  stats_.join_started = net_.sim().now();
+  net_.send(id_, scheduler, JoinRequest{id_}, 64);
+  auto info = co_await join_infos_->receive();
+  if (!info) co_return;
+
+  // 1. Subscribe to every master's replication stream (§4.4: "subscribes
+  //    to the replication list of the masters"); everything from here on
+  //    queues in our pending-mod lists. The target vector is the
+  //    elementwise max of what the masters report.
+  VersionVec target(engine_->db().table_count(), 0);
+  for (NodeId m : info->masters) {
+    net_.send(id_, m, SubscribeRequest{id_, id_}, 64);
+    auto sub = co_await sub_replies_->receive();
+    if (!sub) co_return;
+    merge_max(target, sub->db_version);
+  }
+
+  // 2. Ask the support slave for pages newer than our checkpointed ones.
+  net_.send(id_, info->support,
+            PageRequest{id_, engine_->page_versions(), target}, 2048);
+  for (;;) {
+    auto chunk = co_await page_chunks_->receive();
+    if (!chunk) co_return;
+    sim::Time cost = 0;
+    for (const auto& snap : chunk->pages) {
+      // Stale-guard: never downgrade a page we already hold at a newer
+      // version. Pages created on the master while we were down don't
+      // exist locally yet — treat them as version 0.
+      auto& tb = engine_->db().table(snap.pid.table);
+      const uint64_t have = snap.pid.page < tb.page_count()
+                                ? tb.meta(snap.pid.page).version
+                                : 0;
+      if (snap.version > have)
+        engine_->install_page(snap.pid, snap.image, snap.version);
+      cost += cfg_.engine.costs.install_page;
+    }
+    if (cost > 0) co_await engine_->cpu().use(cost);
+    if (chunk->last) break;
+  }
+  engine_->adopt_version(target);
+  stats_.join_pages_done = net_.sim().now();
+
+  // 3. Report ready; the scheduler adds us to the read rotation.
+  net_.send(id_, scheduler, JoinComplete{id_}, 64);
+}
+
+void EngineNode::maybe_send_hints() {
+  if (cfg_.hint_target == net::kNoNode) return;
+  if (txns_since_hint_ < cfg_.hint_every_txns) return;
+  txns_since_hint_ = 0;
+  PageIdHint hint;
+  hint.pages = engine_->cache().hot_pages(cfg_.hint_page_limit);
+  if (hint.pages.empty()) return;
+  ++stats_.hints_sent;
+  const size_t bytes = hint.pages.size() * 12;
+  net_.send(id_, cfg_.hint_target, std::move(hint), bytes);
+}
+
+}  // namespace dmv::core

@@ -1,0 +1,137 @@
+// A database process on one cluster node: MemEngine + the DMV protocol.
+//
+// The node's message loop dispatches:
+//  - ExecTxn: spawn a transaction handler. Updates run the full Figure-2
+//    pre-commit (eager write-set broadcast, wait for acks from every live
+//    replica, then release locks and report the new version vector to the
+//    scheduler). Read-only transactions run tagged; a version-inconsistency
+//    abort is reported so the scheduler can retry with a fresh tag.
+//  - WriteSetMsg: queue mods (lazy application) and ack the master.
+//  - Control: promotion, discard-above (master recovery), abort-all
+//    (scheduler recovery), replica-set updates.
+//  - Migration: serve PageRequests as a support slave; run the §4.4 join
+//    protocol as a reintegrating node.
+//  - Warm-up: apply PageIdHints to the cache; as a designated active slave,
+//    ship hot-page ids to a spare backup every N transactions.
+#pragma once
+
+#include <unordered_map>
+
+#include "core/messages.hpp"
+#include "mem/checkpoint.hpp"
+#include "util/rng.hpp"
+
+namespace dmv::core {
+
+struct EngineNodeStats {
+  uint64_t txns_executed = 0;
+  uint64_t version_abort_replies = 0;
+  uint64_t waitdie_restarts = 0;
+  uint64_t poisoned_aborts = 0;
+  uint64_t pages_served = 0;   // migration, as support slave
+  uint64_t hints_sent = 0;
+  sim::Time join_started = -1;
+  sim::Time join_pages_done = -1;  // data-migration phase end
+};
+
+class EngineNode {
+ public:
+  struct Config {
+    mem::MemEngine::Config engine;
+    sim::Time checkpoint_period = 0;  // 0: checkpointing off
+    // Page-id-transfer warm-up (§4.5 second technique): if hint_target is
+    // set, ship hot-page ids there every hint_every_txns transactions.
+    NodeId hint_target = net::kNoNode;
+    uint64_t hint_every_txns = 100;
+    size_t hint_page_limit = 4096;
+    size_t migration_chunk_pages = 64;  // pages per PageChunk message
+    // Ablation: apply incoming write-sets immediately instead of lazily
+    // on first read (costs CPU off the read path; loses the "create the
+    // version a reader needs, when it needs it" batching).
+    bool eager_apply = false;
+  };
+
+  EngineNode(net::Network& net, NodeId id, const api::ProcRegistry& procs,
+             const mem::SchemaFn& schema, Config cfg,
+             mem::StableStore* store = nullptr);
+  ~EngineNode();
+
+  NodeId id() const { return id_; }
+  mem::MemEngine& engine() { return *engine_; }
+  EngineNodeStats& stats() { return stats_; }
+  const Config& config() const { return cfg_; }
+
+  // Pre-start role assignment (initial deployment).
+  void make_master(std::set<storage::TableId> tables,
+                   std::vector<NodeId> replicas);
+
+  // Start the message loop (+ checkpointer if configured). If
+  // `restore_from_store` and a StableStore was given, reload the local
+  // checkpoint first (restart path).
+  void start(bool restore_from_store = false);
+
+  // Begin the §4.4 reintegration protocol against `scheduler`.
+  void begin_rejoin(NodeId scheduler);
+
+  // Called by the cluster controller after net.kill(id): release volatile
+  // state, cancel waiters.
+  void on_killed();
+
+  bool is_master() const { return engine_->is_master(); }
+  const std::vector<NodeId>& replicas() const { return replicas_; }
+  void set_hint_target(NodeId target) { cfg_.hint_target = target; }
+
+ private:
+  struct Inflight {
+    txn::TxnCtx* txn = nullptr;
+    bool poisoned = false;
+    bool in_precommit = false;
+  };
+  struct AckWait {
+    std::set<NodeId> pending;
+    std::unique_ptr<sim::WaitQueue> done;
+    bool cancelled = false;
+  };
+
+  sim::Task<> main_loop();
+  sim::Task<> handle_exec(ExecTxn m);
+  sim::Task<> run_update(ExecTxn m);
+  sim::Task<> run_read(ExecTxn m);
+  sim::Task<> handle_abort_all(NodeId from, AbortAllRequest m);
+  sim::Task<> handle_promote(NodeId from, PromoteToMaster m);
+  sim::Task<> serve_page_request(NodeId to, PageRequest m);
+  sim::Task<> rejoin_protocol(NodeId scheduler);
+  void broadcast_write_set(const txn::WriteSet& ws);
+  sim::Task<bool> wait_acks(uint64_t seq);
+  void on_replica_set(std::vector<NodeId> replicas);
+  void maybe_send_hints();
+  void reply_txn_done(const ExecTxn& m, TxnDone done);
+
+  net::Network& net_;
+  NodeId id_;
+  const api::ProcRegistry& procs_;
+  Config cfg_;
+  std::unique_ptr<mem::MemEngine> engine_;
+  mem::StableStore* store_;
+  std::unique_ptr<mem::Checkpointer> checkpointer_;
+  std::shared_ptr<bool> alive_;
+
+  std::vector<NodeId> replicas_;
+  uint64_t next_bcast_seq_ = 0;
+  uint64_t last_bcast_seq_ = 0;  // seq of the most recent broadcast (valid
+                                 // immediately after precommit returns)
+  std::map<uint64_t, std::unique_ptr<AckWait>> ack_waits_;
+
+  std::unordered_map<uint64_t, Inflight*> inflight_;
+  std::unique_ptr<sim::WaitQueue> precommit_drain_;
+
+  // Join-protocol reply channels (one protocol at a time).
+  std::unique_ptr<sim::Channel<SubscribeReply>> sub_replies_;
+  std::unique_ptr<sim::Channel<JoinInfo>> join_infos_;
+  std::unique_ptr<sim::Channel<PageChunk>> page_chunks_;
+
+  uint64_t txns_since_hint_ = 0;
+  EngineNodeStats stats_;
+};
+
+}  // namespace dmv::core

@@ -1,0 +1,163 @@
+// Wire messages of the DMV cluster. All flow through net::Network as
+// std::any payloads; net::as<T>() dispatches.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "api/api.hpp"
+#include "mem/checkpoint.hpp"
+#include "mem/engine.hpp"
+#include "net/network.hpp"
+#include "txn/op_log.hpp"
+#include "txn/write_set.hpp"
+
+namespace dmv::core {
+
+using net::NodeId;
+using VersionVec = mem::VersionVec;
+
+// ---- client <-> scheduler ----
+
+struct ClientRequest {
+  uint64_t req_id = 0;
+  NodeId reply_to = net::kNoNode;
+  std::string proc;
+  api::Params params;
+};
+
+struct ClientReply {
+  uint64_t req_id = 0;
+  bool ok = false;
+  api::TxnResult result;
+};
+
+// ---- scheduler <-> engine nodes ----
+
+struct ExecTxn {
+  uint64_t req_id = 0;
+  NodeId reply_to = net::kNoNode;  // scheduler
+  std::string proc;
+  api::Params params;
+  bool read_only = true;
+  VersionVec tag;  // read-only: versions this transaction must observe
+};
+
+struct TxnDone {
+  uint64_t req_id = 0;
+  bool ok = false;
+  bool version_abort = false;  // read-only version inconsistency (§2.2)
+  api::TxnResult result;
+  VersionVec db_version;            // updates: post-commit version vector
+  std::vector<txn::OpRecord> ops;   // updates: for the persistence log
+};
+
+// ---- replication (master -> replicas) ----
+
+struct WriteSetMsg {
+  NodeId master = net::kNoNode;
+  uint64_t seq = 0;  // per-master broadcast sequence, for acks
+  txn::WriteSet ws;
+};
+
+struct AckMsg {
+  uint64_t seq = 0;
+};
+
+// ---- recovery & control ----
+
+// New primary scheduler -> master: abort in-flight unconfirmed updates,
+// report the authoritative version vector (§4.1).
+struct AbortAllRequest {
+  NodeId reply_to = net::kNoNode;
+};
+struct AbortAllReply {
+  VersionVec version;
+};
+
+// Scheduler -> replicas on master failure: drop queued mods above the last
+// confirmed version (§4.2). `tables` restricts the discard to the failed
+// master's conflict class (empty = all tables).
+struct DiscardAbove {
+  VersionVec confirmed;
+  std::vector<storage::TableId> tables;
+};
+
+// Scheduler -> elected slave: become master for these tables.
+struct PromoteToMaster {
+  NodeId reply_to = net::kNoNode;
+  std::vector<storage::TableId> tables;
+  std::vector<NodeId> replicas;  // nodes to broadcast write-sets to
+};
+struct PromoteDone {
+  VersionVec version;
+};
+
+// Scheduler -> master: replica membership changed (join/death).
+struct ReplicaSetUpdate {
+  std::vector<NodeId> replicas;
+};
+
+// ---- reintegration / data migration (§4.4) ----
+
+struct JoinRequest {
+  NodeId joiner = net::kNoNode;
+};
+struct JoinInfo {
+  std::vector<NodeId> masters;    // one per conflict class
+  NodeId support = net::kNoNode;  // support slave for page transfer
+};
+
+// Joiner -> master: subscribe to the replication stream.
+struct SubscribeRequest {
+  NodeId joiner = net::kNoNode;
+  NodeId reply_to = net::kNoNode;
+};
+struct SubscribeReply {
+  VersionVec db_version;  // target version the joiner must attain
+};
+
+// Joiner -> support slave: send me pages newer than mine.
+struct PageRequest {
+  NodeId reply_to = net::kNoNode;
+  std::map<storage::PageId, uint64_t> have;  // joiner's per-page versions
+  VersionVec target;
+};
+struct PageChunk {
+  std::vector<mem::PageSnapshot> pages;
+  bool last = false;
+};
+
+// Joiner -> scheduler: migration finished, add me to the read rotation.
+struct JoinComplete {
+  NodeId joiner = net::kNoNode;
+};
+
+// ---- spare-backup warm-up (§4.5) ----
+
+// Active slave -> spare backup: ids of hot pages to touch.
+struct PageIdHint {
+  std::vector<storage::PageId> pages;
+};
+
+// ---- scheduler peering (§4.1) ----
+
+struct VersionGossip {
+  VersionVec version;
+};
+
+// Primary -> standby schedulers after reconfiguration.
+struct TopologyGossip {
+  std::vector<NodeId> masters;
+  std::vector<NodeId> slaves;
+  std::vector<NodeId> spares;
+};
+
+// Synthesized locally into a client's mailbox when a scheduler it may be
+// waiting on dies (clients learn failures from broken connections).
+struct SchedulerDown {
+  NodeId scheduler = net::kNoNode;
+};
+
+}  // namespace dmv::core

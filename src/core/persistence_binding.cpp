@@ -1,0 +1,90 @@
+#include "core/persistence_binding.hpp"
+
+namespace dmv::core {
+
+PersistenceBinding::PersistenceBinding(sim::Simulation& sim, Config cfg,
+                                       const disk::SchemaFn& schema)
+    : sim_(sim), cfg_(cfg) {
+  for (int i = 0; i < cfg_.backends; ++i) {
+    Backend b;
+    b.engine = std::make_unique<disk::DiskEngine>(
+        sim, "backend" + std::to_string(i), cfg_.engine);
+    b.engine->build_schema(schema);
+    b.feed = std::make_unique<sim::Channel<txn::TxnRecord>>(sim);
+    backends_.push_back(std::move(b));
+  }
+}
+
+PersistenceBinding::~PersistenceBinding() { stop(); }
+
+void PersistenceBinding::load(
+    const std::function<void(storage::Database&)>& loader) {
+  for (auto& b : backends_) loader(b.engine->db());
+}
+
+void PersistenceBinding::start() {
+  DMV_ASSERT_MSG(!alive_, "binding already started");
+  alive_ = std::make_shared<bool>(true);
+  for (size_t i = 0; i < backends_.size(); ++i)
+    sim_.spawn(applier_loop(i));
+}
+
+void PersistenceBinding::stop() {
+  if (alive_) *alive_ = false;
+  alive_.reset();
+  for (auto& b : backends_) b.feed->close();
+}
+
+void PersistenceBinding::log_update(const std::vector<txn::OpRecord>& ops) {
+  txn::TxnRecord rec;
+  rec.seq = ++next_seq_;
+  rec.ops = ops;
+  log_.push_back(rec);
+  for (auto& b : backends_) b.feed->send(rec);
+}
+
+bool PersistenceBinding::drained() const {
+  for (const auto& b : backends_)
+    if (b.applied_log_seq < next_seq_) return false;
+  return true;
+}
+
+sim::Task<> PersistenceBinding::applier_loop(size_t idx) {
+  for (;;) {
+    auto rec = co_await backends_[idx].feed->receive();
+    if (!rec) co_return;
+    co_await backends_[idx].engine->apply_record(*rec);
+    backends_[idx].applied_log_seq = rec->seq;
+  }
+}
+
+std::function<void(storage::Database&)> PersistenceBinding::snapshot_loader(
+    const disk::DiskEngine& backend) {
+  // Materialize the backend's rows (not raw pages: the new tier lays out
+  // its own pages) into a reusable row image.
+  auto rows = std::make_shared<
+      std::vector<std::pair<storage::TableId, storage::Row>>>();
+  const storage::Database& src = backend.db();
+  for (storage::TableId t = 0; t < src.table_count(); ++t) {
+    const storage::Table& tb = src.table(t);
+    tb.pk_scan(nullptr, nullptr,
+               [&](const storage::Key&, storage::RowId rid) {
+                 rows->emplace_back(t, tb.read_row(rid));
+                 return true;
+               });
+  }
+  return [rows](storage::Database& db) {
+    for (const auto& [t, row] : *rows) db.table(t).insert_row(row);
+  };
+}
+
+sim::Task<> PersistenceBinding::catch_up(size_t idx) {
+  Backend& b = backends_[idx];
+  for (const auto& rec : log_) {
+    if (rec.seq <= b.applied_log_seq) continue;
+    co_await b.engine->apply_record(rec);
+    b.applied_log_seq = rec.seq;
+  }
+}
+
+}  // namespace dmv::core

@@ -1,0 +1,74 @@
+// The on-disk persistence back-end binding (§4.6).
+//
+// The scheduler logs the update operations of every committed in-memory
+// transaction and ships them, asynchronously and in order, to a small
+// number of on-disk databases. The commit is acknowledged to the client as
+// soon as the log append succeeds; the disk engines drain at their own
+// (disk-bound) pace. If the whole in-memory tier is lost, any backend plus
+// the log suffix reconstructs the committed state.
+#pragma once
+
+#include <memory>
+
+#include "disk/engine.hpp"
+
+namespace dmv::core {
+
+class PersistenceBinding {
+ public:
+  struct Config {
+    disk::DiskEngine::Config engine;
+    int backends = 2;
+  };
+
+  PersistenceBinding(sim::Simulation& sim, Config cfg,
+                     const disk::SchemaFn& schema);
+  ~PersistenceBinding();
+
+  // Populate backends with the initial database image.
+  void load(const std::function<void(storage::Database&)>& loader);
+
+  void start();
+  void stop();
+
+  // Scheduler hook: append a committed transaction's ops to the update log
+  // and feed the backends.
+  void log_update(const std::vector<txn::OpRecord>& ops);
+
+  size_t log_size() const { return log_.size(); }
+  disk::DiskEngine& backend(size_t i) { return *backends_[i].engine; }
+  size_t backend_count() const { return backends_.size(); }
+  uint64_t backend_applied(size_t i) const {
+    return backends_[i].applied_log_seq;
+  }
+  // All backends drained up to the log tail?
+  bool drained() const;
+
+  // Disaster recovery: replay the log suffix a backend is missing (e.g. a
+  // freshly attached replacement).
+  sim::Task<> catch_up(size_t idx);
+
+  // Disaster recovery, step 2 (§4.6): after the whole in-memory tier is
+  // lost, a fresh tier is bootstrapped from a drained backend. Returns a
+  // loader (row-copy of the backend's current state) usable as
+  // DmvCluster::Config::loader for the replacement cluster.
+  static std::function<void(storage::Database&)> snapshot_loader(
+      const disk::DiskEngine& backend);
+
+ private:
+  struct Backend {
+    std::unique_ptr<disk::DiskEngine> engine;
+    uint64_t applied_log_seq = 0;
+    std::unique_ptr<sim::Channel<txn::TxnRecord>> feed;
+  };
+  sim::Task<> applier_loop(size_t idx);
+
+  sim::Simulation& sim_;
+  Config cfg_;
+  std::vector<Backend> backends_;
+  std::vector<txn::TxnRecord> log_;
+  uint64_t next_seq_ = 0;
+  std::shared_ptr<bool> alive_;
+};
+
+}  // namespace dmv::core

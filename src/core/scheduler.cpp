@@ -1,0 +1,494 @@
+#include "core/scheduler.hpp"
+
+#include <algorithm>
+
+namespace dmv::core {
+
+namespace {
+void erase_value(std::vector<NodeId>& v, NodeId n) {
+  v.erase(std::remove(v.begin(), v.end(), n), v.end());
+}
+}  // namespace
+
+Scheduler::Scheduler(net::Network& net, NodeId id,
+                     const api::ProcRegistry& procs, size_t table_count,
+                     Config cfg)
+    : net_(net),
+      id_(id),
+      procs_(procs),
+      cfg_(cfg),
+      rng_(cfg.rng_seed),
+      version_(table_count, 0) {
+  discard_acks_ = std::make_unique<sim::Channel<NodeId>>(net.sim());
+  promote_done_ = std::make_unique<sim::Channel<PromoteDone>>(net.sim());
+  abort_all_replies_ =
+      std::make_unique<sim::Channel<AbortAllReply>>(net.sim());
+}
+
+Scheduler::~Scheduler() {
+  if (alive_) *alive_ = false;
+}
+
+void Scheduler::set_topology(std::vector<NodeId> masters,
+                             std::vector<std::set<storage::TableId>> classes,
+                             std::vector<NodeId> slaves,
+                             std::vector<NodeId> spares,
+                             std::vector<NodeId> peers) {
+  DMV_ASSERT(masters.size() == classes.size());
+  masters_ = std::move(masters);
+  classes_ = std::move(classes);
+  slaves_ = std::move(slaves);
+  spares_ = std::move(spares);
+  peers_ = std::move(peers);
+}
+
+void Scheduler::start() {
+  DMV_ASSERT_MSG(!alive_, "scheduler already started");
+  alive_ = std::make_shared<bool>(true);
+  net_.sim().spawn(main_loop());
+}
+
+std::vector<NodeId> Scheduler::live_replicas() const {
+  std::vector<NodeId> out;
+  for (NodeId n : slaves_)
+    if (net_.alive(n)) out.push_back(n);
+  for (NodeId n : spares_)
+    if (net_.alive(n)) out.push_back(n);
+  return out;
+}
+
+std::vector<NodeId> Scheduler::replicas_for_master(NodeId m) const {
+  // A master replicates to every live node except itself: slaves, spares
+  // and the other conflict-class masters (which are slaves for its tables).
+  std::vector<NodeId> out = live_replicas();
+  for (NodeId other : masters_)
+    if (other != m && other != net::kNoNode && net_.alive(other))
+      out.push_back(other);
+  return out;
+}
+
+bool Scheduler::any_master(NodeId n) const {
+  return std::find(masters_.begin(), masters_.end(), n) != masters_.end();
+}
+
+size_t Scheduler::class_of(const api::ProcInfo& proc) const {
+  if (classes_.size() == 1) return 0;
+  for (size_t c = 0; c < classes_.size(); ++c) {
+    bool all = true;
+    for (storage::TableId t : proc.tables)
+      if (!classes_[c].count(t)) {
+        all = false;
+        break;
+      }
+    if (all) return c;
+  }
+  // §2.1: if conflict classes cannot be determined for this transaction,
+  // fall back to the designated (first) master.
+  return 0;
+}
+
+void Scheduler::answer_join(NodeId joiner) {
+  NodeId support = net::kNoNode;
+  for (NodeId s : slaves_)
+    if (net_.alive(s)) {
+      support = s;
+      break;
+    }
+  if (support == net::kNoNode)
+    for (NodeId m : masters_)
+      if (m != net::kNoNode && net_.alive(m)) {
+        support = m;
+        break;
+      }
+  JoinInfo info;
+  for (NodeId m : masters_) info.masters.push_back(m);
+  info.support = support;
+  net_.send(id_, joiner, std::move(info), 64);
+}
+
+sim::Task<> Scheduler::main_loop() {
+  auto alive = alive_;
+  auto& mailbox = net_.mailbox(id_);
+  for (;;) {
+    auto env = co_await mailbox.receive();
+    if (!env || !*alive) break;
+
+    if (const auto* req = net::as<ClientRequest>(*env)) {
+      handle_client(*req);
+    } else if (const auto* done = net::as<TxnDone>(*env)) {
+      handle_txn_done(env->from, *done);
+    } else if (const auto* g = net::as<VersionGossip>(*env)) {
+      merge_max(version_, g->version);
+    } else if (const auto* tg = net::as<TopologyGossip>(*env)) {
+      masters_ = tg->masters;
+      slaves_ = tg->slaves;
+      spares_ = tg->spares;
+    } else if (const auto* ack = net::as<AckMsg>(*env)) {
+      (void)ack;  // DiscardAbove ack
+      discard_acks_->send(env->from);
+    } else if (const auto* pd = net::as<PromoteDone>(*env)) {
+      promote_done_->send(*pd);
+    } else if (const auto* ar = net::as<AbortAllReply>(*env)) {
+      abort_all_replies_->send(*ar);
+    } else if (const auto* jr = net::as<JoinRequest>(*env)) {
+      // §4.4: point the joiner at the masters and a support slave. During
+      // master recovery, park the joiner until the new master is known.
+      bool masters_ok = !recovering_classes_.empty() ? false : true;
+      for (NodeId m : masters_)
+        if (m == net::kNoNode || !net_.alive(m)) masters_ok = false;
+      if (!masters_ok) {
+        held_joins_.push_back(jr->joiner);
+        continue;
+      }
+      answer_join(jr->joiner);
+    } else if (const auto* jc = net::as<JoinComplete>(*env)) {
+      ++stats_.joins_completed;
+      erase_value(slaves_, jc->joiner);
+      erase_value(spares_, jc->joiner);
+      if (cfg_.join_as_spare)
+        spares_.push_back(jc->joiner);
+      else
+        slaves_.push_back(jc->joiner);
+      broadcast_replica_sets();
+      gossip_topology();
+      pump_held_reads();
+    }
+  }
+}
+
+void Scheduler::handle_client(ClientRequest req) {
+  const api::ProcInfo& proc = procs_.find(req.proc);
+  Outstanding out;
+  out.client = std::move(req);
+  out.read_only = proc.read_only;
+  if (proc.read_only)
+    route_read(std::move(out));
+  else
+    route_update(std::move(out));
+}
+
+void Scheduler::route_update(Outstanding out) {
+  const api::ProcInfo& proc = procs_.find(out.client.proc);
+  const size_t cls = class_of(proc);
+  if (recovering_classes_.count(cls)) {
+    held_updates_.push_back(std::move(out.client));
+    return;
+  }
+  const NodeId master = cls < masters_.size() ? masters_[cls] : net::kNoNode;
+  if (master == net::kNoNode || !net_.alive(master)) {
+    reply_client(out.client, false, {});
+    return;
+  }
+  const uint64_t rid = next_req_++;
+  ExecTxn m;
+  m.req_id = rid;
+  m.reply_to = id_;
+  m.proc = out.client.proc;
+  m.params = out.client.params;
+  m.read_only = false;
+  out.node = master;
+  ++outstanding_per_node_[master];
+  ++stats_.updates_routed;
+  outstanding_[rid] = std::move(out);
+  net_.send(id_, master, std::move(m), 512);
+}
+
+NodeId Scheduler::pick_read_replica() {
+  // Optional diversion to a spare backup (cache warm-up policy).
+  if (cfg_.spare_read_fraction > 0 && !spares_.empty() &&
+      rng_.chance(cfg_.spare_read_fraction)) {
+    for (NodeId s : spares_)
+      if (net_.alive(s) && outstanding_per_node_[s] <
+                               cfg_.max_reads_inflight_per_node) {
+        ++stats_.spare_reads;
+        return s;
+      }
+  }
+  // Version-aware selection (§2.2): a slave is *eligible* if sending this
+  // tag there cannot conflict with readers at another version — it is
+  // idle, has never been tagged, or its last tag equals the current
+  // vector. Balance by load within the eligible set; if none is eligible
+  // (every slave busy at some other version), fall back to plain load
+  // balancing and let the version-inconsistency abort path sort it out.
+  NodeId best = net::kNoNode;
+  uint64_t best_load = UINT64_MAX;
+  NodeId fallback = net::kNoNode;
+  uint64_t fallback_load = UINT64_MAX;
+  for (NodeId s : slaves_) {
+    if (!net_.alive(s)) continue;
+    const uint64_t load = outstanding_per_node_[s];
+    if (load >= cfg_.max_reads_inflight_per_node) continue;  // admission
+    auto it = last_tag_.find(s);
+    const bool eligible = load == 0 || it == last_tag_.end() ||
+                          same_version(it->second, version_);
+    if (eligible && load < best_load) {
+      best = s;
+      best_load = load;
+    }
+    if (load < fallback_load) {
+      fallback = s;
+      fallback_load = load;
+    }
+  }
+  if (best == net::kNoNode) best = fallback;
+  if (best == net::kNoNode && slaves_.empty()) {
+    // Last resort: a master may serve reads for tables outside its class;
+    // with a single class this reads at-latest on the master.
+    for (NodeId m : masters_)
+      if (m != net::kNoNode && net_.alive(m)) return m;
+  }
+  return best;
+}
+
+bool Scheduler::try_dispatch_read(Outstanding& out) {
+  const NodeId node = pick_read_replica();
+  if (node == net::kNoNode) return false;
+  const uint64_t rid = next_req_++;
+  ExecTxn m;
+  m.req_id = rid;
+  m.reply_to = id_;
+  m.proc = out.client.proc;
+  m.params = out.client.params;
+  m.read_only = true;
+  m.tag = version_;
+  out.node = node;
+  last_tag_[node] = version_;
+  ++outstanding_per_node_[node];
+  ++stats_.reads_routed;
+  outstanding_[rid] = std::move(out);
+  net_.send(id_, node, std::move(m), 512);
+  return true;
+}
+
+void Scheduler::route_read(Outstanding out) {
+  if (try_dispatch_read(out)) return;
+  bool any_target = !live_replicas().empty();
+  for (NodeId m : masters_)
+    if (m != net::kNoNode && net_.alive(m)) any_target = true;
+  if (!any_target) {
+    reply_client(out.client, false, {});
+    return;
+  }
+  held_reads_.push_back(std::move(out));  // wait for a slot (§2.2)
+}
+
+void Scheduler::pump_held_reads() {
+  while (!held_reads_.empty()) {
+    if (!try_dispatch_read(held_reads_.front())) break;
+    held_reads_.pop_front();
+  }
+}
+
+void Scheduler::handle_txn_done(NodeId from, const TxnDone& d) {
+  auto it = outstanding_.find(d.req_id);
+  if (it == outstanding_.end()) return;  // already failed over
+  Outstanding out = std::move(it->second);
+  outstanding_.erase(it);
+  auto& cnt = outstanding_per_node_[from];
+  if (cnt > 0) --cnt;
+  pump_held_reads();
+
+  if (d.ok) {
+    if (!out.read_only) {
+      merge_max(version_, d.db_version);
+      // §4.6: log the committed update's queries, ship to the on-disk
+      // back-end asynchronously; §4.1: gossip the vector to peers.
+      if (persist_ && !d.ops.empty()) persist_(d.ops);
+      for (NodeId p : peers_)
+        if (net_.alive(p))
+          net_.send(id_, p, VersionGossip{version_}, 128);
+    }
+    reply_client(out.client, true, d.result);
+    return;
+  }
+  if (d.version_abort &&
+      out.retries < cfg_.max_version_abort_retries) {
+    // Retry with a fresh tag (and possibly another replica).
+    ++stats_.version_abort_retries;
+    ++out.retries;
+    route_read(std::move(out));
+    return;
+  }
+  reply_client(out.client, false, {});
+}
+
+void Scheduler::reply_client(const ClientRequest& req, bool ok,
+                             const api::TxnResult& result) {
+  if (!ok) ++stats_.client_errors;
+  net_.send(id_, req.reply_to, ClientReply{req.req_id, ok, result}, 256);
+}
+
+void Scheduler::fail_outstanding_on(NodeId node) {
+  std::vector<uint64_t> dead;
+  for (auto& [rid, out] : outstanding_)
+    if (out.node == node) dead.push_back(rid);
+  for (uint64_t rid : dead) {
+    Outstanding out = std::move(outstanding_[rid]);
+    outstanding_.erase(rid);
+    // §4.3: abort, error to the client/application server.
+    reply_client(out.client, false, {});
+  }
+  outstanding_per_node_[node] = 0;
+}
+
+void Scheduler::broadcast_replica_sets() {
+  for (NodeId m : masters_) {
+    if (m == net::kNoNode || !net_.alive(m)) continue;
+    net_.send(id_, m, ReplicaSetUpdate{replicas_for_master(m)}, 128);
+  }
+}
+
+void Scheduler::on_node_killed(NodeId n) {
+  if (!alive_ || !*alive_) return;
+  // Standby schedulers track membership; the primary also orchestrates.
+  const bool was_master = any_master(n);
+  const bool was_slave =
+      std::find(slaves_.begin(), slaves_.end(), n) != slaves_.end();
+  const bool was_spare =
+      std::find(spares_.begin(), spares_.end(), n) != spares_.end();
+  if (!is_primary_) {
+    // Peer scheduler death: the most senior live scheduler takes over.
+    if (std::find(peers_.begin(), peers_.end(), n) != peers_.end()) {
+      bool senior_live = false;
+      for (NodeId p : peers_)
+        if (p != n && p < id_ && net_.alive(p)) senior_live = true;
+      if (!senior_live) net_.sim().spawn(takeover());
+    }
+    return;
+  }
+  if (was_slave || was_spare) {
+    erase_value(slaves_, n);
+    erase_value(spares_, n);
+    fail_outstanding_on(n);
+    // Unblock the masters' pending ack waits.
+    broadcast_replica_sets();
+    if (was_slave && cfg_.auto_integrate_spare) integrate_spare();
+    gossip_topology();
+    pump_held_reads();
+  }
+  if (was_master) {
+    for (size_t c = 0; c < masters_.size(); ++c)
+      if (masters_[c] == n) net_.sim().spawn(recover_master(c));
+  }
+}
+
+void Scheduler::integrate_spare() {
+  // Up-to-date spare backup: already subscribed to the replication stream,
+  // so integration is pure bookkeeping — it simply starts taking reads.
+  for (auto it = spares_.begin(); it != spares_.end(); ++it) {
+    if (net_.alive(*it)) {
+      slaves_.push_back(*it);
+      spares_.erase(it);
+      stats_.spare_activated_at = net_.sim().now();
+      return;
+    }
+  }
+}
+
+sim::Task<> Scheduler::recover_master(size_t cls) {
+  recovering_classes_.insert(cls);
+  ++stats_.recoveries;
+  stats_.master_recovery_start = net_.sim().now();
+  const NodeId dead_master = masters_[cls];
+  fail_outstanding_on(dead_master);
+  masters_[cls] = net::kNoNode;
+  broadcast_replica_sets();  // surviving masters stop waiting on the dead
+
+  // 1. Everyone discards write-sets of the failed class above the last
+  //    version it acknowledged to us (§4.2).
+  const VersionVec confirmed = version_;
+  std::vector<storage::TableId> cls_tables(classes_[cls].begin(),
+                                           classes_[cls].end());
+  std::vector<NodeId> targets = live_replicas();
+  for (NodeId other : masters_)
+    if (other != net::kNoNode && net_.alive(other))
+      targets.push_back(other);
+  for (NodeId n : targets)
+    net_.send(id_, n, DiscardAbove{confirmed, cls_tables}, 128);
+  size_t acks = 0;
+  while (acks < targets.size()) {
+    auto who = co_await discard_acks_->receive();
+    if (!who) co_return;
+    if (!net_.alive(*who)) continue;
+    ++acks;
+  }
+
+  // 2. Elect a new master: the first live active slave, else a spare.
+  NodeId new_master = net::kNoNode;
+  for (NodeId s : slaves_)
+    if (net_.alive(s)) {
+      new_master = s;
+      break;
+    }
+  if (new_master == net::kNoNode)
+    for (NodeId s : spares_)
+      if (net_.alive(s)) {
+        new_master = s;
+        break;
+      }
+  if (new_master == net::kNoNode) {
+    // Whole in-memory tier is gone; fail queued updates (the on-disk
+    // back-end still holds all committed data).
+    for (auto& req : held_updates_) reply_client(req, false, {});
+    held_updates_.clear();
+    recovering_classes_.erase(cls);
+    co_return;
+  }
+  erase_value(slaves_, new_master);
+  erase_value(spares_, new_master);
+
+  PromoteToMaster pm;
+  pm.reply_to = id_;
+  pm.tables = cls_tables;
+  pm.replicas = replicas_for_master(new_master);
+  net_.send(id_, new_master, std::move(pm), 256);
+  auto done = co_await promote_done_->receive();
+  if (!done) co_return;
+  merge_max(version_, done->version);
+  masters_[cls] = new_master;
+
+  // 3. The promoted node left the read rotation; backfill with a spare.
+  if (cfg_.auto_integrate_spare) integrate_spare();
+  broadcast_replica_sets();
+  gossip_topology();
+
+  recovering_classes_.erase(cls);
+  stats_.master_recovery_end = net_.sim().now();
+  // Serve joiners that arrived mid-recovery.
+  if (recovering_classes_.empty()) {
+    for (NodeId j : held_joins_)
+      if (net_.alive(j)) answer_join(j);
+    held_joins_.clear();
+    auto held = std::move(held_updates_);
+    held_updates_.clear();
+    for (auto& req : held) {
+      Outstanding out;
+      out.client = std::move(req);
+      out.read_only = false;
+      route_update(std::move(out));
+    }
+  }
+  pump_held_reads();
+}
+
+sim::Task<> Scheduler::takeover() {
+  if (is_primary_) co_return;
+  is_primary_ = true;
+  ++stats_.takeovers;
+  // §4.1: ask the masters to abort unconfirmed transactions and report
+  // the authoritative version vector.
+  for (NodeId m : masters_) {
+    if (m == net::kNoNode || !net_.alive(m)) continue;
+    net_.send(id_, m, AbortAllRequest{id_}, 64);
+    auto reply = co_await abort_all_replies_->receive();
+    if (reply) merge_max(version_, reply->version);
+  }
+}
+
+void Scheduler::gossip_topology() {
+  for (NodeId p : peers_)
+    if (net_.alive(p))
+      net_.send(id_, p, TopologyGossip{masters_, slaves_, spares_}, 256);
+}
+
+}  // namespace dmv::core

@@ -1,0 +1,163 @@
+// The version-aware scheduler (§2.2, §4).
+//
+// Routing: each update transaction goes to the master of its conflict
+// class — disjoint table sets, one master each, so non-conflicting update
+// transactions execute fully in parallel (§2.1); with a single class this
+// degenerates to the paper's default one-master deployment. Read-only
+// transactions are tagged with the freshest merged version vector and sent
+// to a slave — preferring a replica already serving that exact vector (so
+// readers needing different versions of the same pages land on different
+// replicas), falling back to least-loaded. Admission control bounds
+// in-flight reads per replica (§2.2 "read-only transactions may need to
+// wait"): queued requests are tagged at dispatch, keeping tag staleness and
+// version-inconsistency aborts bounded under overload. A configurable
+// fraction of reads is diverted to spare backups to keep their caches warm
+// (§4.5 technique 1).
+//
+// Recovery: the scheduler's only hard state is the version vector, gossiped
+// to peer schedulers on every commit (§4.1). It subscribes to failure
+// notifications and orchestrates §4.2/§4.3 recovery: on slave death it
+// aborts that slave's outstanding reads (error to the client) and drops it
+// from the rotation, integrating a spare backup if one is available; on
+// master death it confirms the last acknowledged version of that class,
+// has all replicas discard partially-propagated write-sets above it,
+// elects a new master and promotes it. A standby scheduler takes over on
+// primary death by asking the masters to abort unconfirmed transactions
+// and adopting their version.
+#pragma once
+
+#include <deque>
+
+#include "core/engine_node.hpp"
+#include "core/version.hpp"
+
+namespace dmv::core {
+
+struct SchedulerStats {
+  uint64_t reads_routed = 0;
+  uint64_t updates_routed = 0;
+  uint64_t spare_reads = 0;
+  uint64_t version_abort_retries = 0;
+  uint64_t client_errors = 0;
+  uint64_t recoveries = 0;
+  uint64_t takeovers = 0;
+  uint64_t joins_completed = 0;
+  sim::Time master_recovery_start = -1;
+  sim::Time master_recovery_end = -1;  // new master promoted
+  sim::Time spare_activated_at = -1;   // spare joined the read rotation
+};
+
+class Scheduler {
+ public:
+  struct Config {
+    double spare_read_fraction = 0.0;  // e.g. 0.01 for the 1% policy
+    int max_version_abort_retries = 5;
+    // Admission control: at most this many in-flight reads per replica.
+    uint64_t max_reads_inflight_per_node = 4;
+    bool join_as_spare = false;  // completed joiners become spares instead
+                                 // of active slaves
+    bool auto_integrate_spare = true;  // backfill a spare on node death
+    uint64_t rng_seed = 12345;
+  };
+
+  Scheduler(net::Network& net, NodeId id, const api::ProcRegistry& procs,
+            size_t table_count, Config cfg);
+  ~Scheduler();
+
+  // One master per conflict class; classes are disjoint table sets that
+  // together cover every table an update transaction may touch.
+  void set_topology(std::vector<NodeId> masters,
+                    std::vector<std::set<storage::TableId>> classes,
+                    std::vector<NodeId> slaves, std::vector<NodeId> spares,
+                    std::vector<NodeId> peer_schedulers);
+  // Called with the op-log of every committed update (persistence tier).
+  void set_persistence(
+      std::function<void(const std::vector<txn::OpRecord>&)> fn) {
+    persist_ = std::move(fn);
+  }
+  void make_primary() { is_primary_ = true; }
+  bool is_primary() const { return is_primary_; }
+
+  void start();
+  // Wired to net failure subscription by the cluster controller.
+  void on_node_killed(NodeId n);
+
+  NodeId id() const { return id_; }
+  const VersionVec& version() const { return version_; }
+  // Convenience for single-class deployments.
+  NodeId master() const {
+    return masters_.empty() ? net::kNoNode : masters_[0];
+  }
+  const std::vector<NodeId>& masters() const { return masters_; }
+  const std::vector<NodeId>& slaves() const { return slaves_; }
+  const std::vector<NodeId>& spares() const { return spares_; }
+  SchedulerStats& stats() { return stats_; }
+  size_t outstanding() const { return outstanding_.size(); }
+
+ private:
+  struct Outstanding {
+    ClientRequest client;
+    NodeId node = net::kNoNode;
+    bool read_only = true;
+    int retries = 0;
+  };
+
+  sim::Task<> main_loop();
+  void handle_client(ClientRequest req);
+  void handle_txn_done(NodeId from, const TxnDone& d);
+  void route_update(Outstanding out);
+  void route_read(Outstanding out);
+  void pump_held_reads();
+  bool try_dispatch_read(Outstanding& out);
+  NodeId pick_read_replica();
+  void fail_outstanding_on(NodeId node);
+  void reply_client(const ClientRequest& req, bool ok,
+                    const api::TxnResult& result);
+  // Conflict class whose table set covers the proc's tables (paper: the
+  // scheduler is preconfigured with each transaction type's tables).
+  size_t class_of(const api::ProcInfo& proc) const;
+  sim::Task<> recover_master(size_t cls);
+  sim::Task<> takeover();
+  void integrate_spare();
+  void gossip_topology();
+  void broadcast_replica_sets();
+  void answer_join(NodeId joiner);
+  std::vector<NodeId> live_replicas() const;
+  std::vector<NodeId> replicas_for_master(NodeId m) const;
+  bool any_master(NodeId n) const;
+
+  net::Network& net_;
+  NodeId id_;
+  const api::ProcRegistry& procs_;
+  Config cfg_;
+  util::Rng rng_;
+  bool is_primary_ = false;
+  std::set<size_t> recovering_classes_;
+  std::shared_ptr<bool> alive_;
+
+  std::vector<NodeId> masters_;  // per conflict class
+  std::vector<std::set<storage::TableId>> classes_;
+  std::vector<NodeId> slaves_;
+  std::vector<NodeId> spares_;
+  std::vector<NodeId> peers_;
+
+  VersionVec version_;
+  uint64_t next_req_ = 1;
+  std::map<uint64_t, Outstanding> outstanding_;
+  std::map<NodeId, uint64_t> outstanding_per_node_;
+  std::map<NodeId, VersionVec> last_tag_;
+  std::deque<ClientRequest> held_updates_;  // queued during recovery
+  std::deque<Outstanding> held_reads_;      // admission-control queue
+  std::vector<NodeId> held_joins_;          // joiners arriving mid-recovery
+
+  std::function<void(const std::vector<txn::OpRecord>&)> persist_;
+
+  // Protocol reply channels.
+  std::unique_ptr<sim::Channel<NodeId>> discard_acks_;
+  std::unique_ptr<sim::Channel<PromoteDone>> promote_done_;
+  std::unique_ptr<sim::Channel<AbortAllReply>> abort_all_replies_;
+
+  SchedulerStats stats_;
+};
+
+}  // namespace dmv::core

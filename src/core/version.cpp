@@ -1,0 +1,22 @@
+#include "core/version.hpp"
+
+namespace dmv::core {
+
+void merge_max(VersionVec& into, const VersionVec& from) {
+  DMV_ASSERT(into.size() == from.size());
+  for (size_t i = 0; i < into.size(); ++i)
+    if (from[i] > into[i]) into[i] = from[i];
+}
+
+bool covers(const VersionVec& a, const VersionVec& b) {
+  DMV_ASSERT(a.size() == b.size());
+  for (size_t i = 0; i < a.size(); ++i)
+    if (a[i] < b[i]) return false;
+  return true;
+}
+
+bool same_version(const VersionVec& a, const VersionVec& b) {
+  return a == b;
+}
+
+}  // namespace dmv::core

@@ -1,0 +1,22 @@
+// Version-vector helpers (one entry per table; see DESIGN.md §5).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/assert.hpp"
+
+namespace dmv::core {
+
+using VersionVec = std::vector<uint64_t>;
+
+// Elementwise max accumulate.
+void merge_max(VersionVec& into, const VersionVec& from);
+
+// a[i] >= b[i] for all i.
+bool covers(const VersionVec& a, const VersionVec& b);
+
+// Exact equality (used for version-aware replica affinity).
+bool same_version(const VersionVec& a, const VersionVec& b);
+
+}  // namespace dmv::core

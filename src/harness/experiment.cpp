@@ -1,0 +1,203 @@
+#include "harness/experiment.hpp"
+
+namespace dmv::harness {
+
+// ---------- DmvExperiment ----------
+
+DmvExperiment::DmvExperiment(Config cfg)
+    : cfg_(cfg), series_(cfg.workload.bucket) {
+  sim_ = std::make_unique<sim::Simulation>();
+  net_ = std::make_unique<net::Network>(*sim_);
+  registry_ = tpcw::make_registry(cfg_.workload.scale);
+
+  core::DmvCluster::Config cc;
+  cc.slaves = cfg_.slaves;
+  cc.spares = cfg_.spares;
+  cc.schedulers = cfg_.schedulers;
+  cc.engine.costs = cfg_.costs;
+  cc.engine.cache_pages = cfg_.cache_pages;
+  cc.engine.lock_policy = cfg_.lock_policy;
+  cc.engine.full_page_writesets = cfg_.full_page_writesets;
+  cc.eager_apply = cfg_.eager_apply;
+  cc.checkpoint_period = cfg_.checkpoint_period;
+  cc.scheduler.spare_read_fraction = cfg_.spare_read_fraction;
+  cc.scheduler.max_reads_inflight_per_node = cfg_.reads_inflight_cap;
+  cc.pageid_hints = cfg_.pageid_hints;
+  cc.hint_every_txns = cfg_.hint_every_txns;
+  cc.prewarm_active = cfg_.prewarm_active;
+  cc.prewarm_spares = cfg_.prewarm_spares;
+  cc.enable_persistence = cfg_.persistence;
+  cc.persistence.engine.costs = cfg_.costs;
+  cc.schema = tpcw::build_schema;
+  cc.loader = tpcw::make_loader(cfg_.workload.scale);
+  cluster_ = std::make_unique<core::DmvCluster>(*net_, registry_, cc);
+  cluster_->start();
+}
+
+DmvExperiment::~DmvExperiment() { stop(); }
+
+void DmvExperiment::start() {
+  DMV_ASSERT(!run_flag_);
+  run_flag_ = std::make_shared<bool>(true);
+  tpcw::TpcwClient::Config base;
+  base.mix = cfg_.workload.mix;
+  base.think_mean = cfg_.workload.think_mean;
+  base.scale = cfg_.workload.scale;
+  clients_ = tpcw::spawn_clients(
+      *sim_, cfg_.workload.clients, base,
+      [this](size_t i) -> tpcw::ExecuteFn {
+        conns_.push_back(
+            cluster_->make_client("client" + std::to_string(i)));
+        core::ClusterClient* c = conns_.back().get();
+        return [c](const std::string& proc, api::Params p) {
+          return c->execute(proc, std::move(p));
+        };
+      },
+      series_.recorder(), run_flag_);
+}
+
+void DmvExperiment::run_until(sim::Time t) { sim_->run(t); }
+
+void DmvExperiment::stop() {
+  if (!run_flag_) return;
+  *run_flag_ = false;
+  run_flag_.reset();
+  sim_->run(sim_->now() + 60 * sim::kSec);  // drain in-flight interactions
+}
+
+void DmvExperiment::schedule_fault(sim::Time at,
+                                   std::function<void()> action) {
+  sim_->schedule_at(at, std::move(action));
+}
+
+// ---------- DiskExperiment ----------
+
+DiskExperiment::DiskExperiment(Config cfg)
+    : cfg_(cfg), series_(cfg.workload.bucket) {
+  sim_ = std::make_unique<sim::Simulation>();
+  registry_ = tpcw::make_registry(cfg_.workload.scale);
+  disk::DiskEngine::Config dc;
+  dc.costs = cfg_.costs;
+  dc.buffer_frames = cfg_.buffer_frames;
+  engine_ = std::make_unique<disk::DiskEngine>(*sim_, "innodb", dc);
+  engine_->build_schema(tpcw::build_schema);
+  tpcw::make_loader(cfg_.workload.scale)(engine_->db());
+  if (cfg_.prewarm) {
+    // Fill the pool (LRU keeps the most recently prefetched pages).
+    for (storage::TableId t = 0; t < engine_->db().table_count(); ++t) {
+      const auto& tb = engine_->db().table(t);
+      for (storage::PageNo p = 0; p < tb.page_count(); ++p)
+        engine_->pool().prefill({t, p});
+    }
+  }
+}
+
+void DiskExperiment::start() {
+  DMV_ASSERT(!run_flag_);
+  run_flag_ = std::make_shared<bool>(true);
+  tpcw::TpcwClient::Config base;
+  base.mix = cfg_.workload.mix;
+  base.think_mean = cfg_.workload.think_mean;
+  base.scale = cfg_.workload.scale;
+  clients_ = tpcw::spawn_clients(
+      *sim_, cfg_.workload.clients, base,
+      [this](size_t) -> tpcw::ExecuteFn {
+        disk::DiskEngine* eng = engine_.get();
+        const api::ProcRegistry* reg = &registry_;
+        return [eng, reg](const std::string& proc, api::Params p)
+                   -> sim::Task<std::optional<api::TxnResult>> {
+          return disk::run_proc_on_disk(*eng, reg->find(proc), p);
+        };
+      },
+      series_.recorder(), run_flag_);
+}
+
+void DiskExperiment::run_until(sim::Time t) { sim_->run(t); }
+
+void DiskExperiment::stop() {
+  if (!run_flag_) return;
+  *run_flag_ = false;
+  run_flag_.reset();
+  sim_->run(sim_->now() + 120 * sim::kSec);
+}
+
+// ---------- TierExperiment ----------
+
+TierExperiment::TierExperiment(Config cfg)
+    : cfg_(cfg), series_(cfg.workload.bucket) {
+  sim_ = std::make_unique<sim::Simulation>();
+  registry_ = tpcw::make_registry(cfg_.workload.scale);
+  disk::ReplicatedDiskTier::Config tc;
+  tc.engine.costs = cfg_.costs;
+  tc.engine.buffer_frames = cfg_.buffer_frames;
+  tc.actives = cfg_.actives;
+  tc.backups = cfg_.backups;
+  tc.backup_sync_period = cfg_.backup_sync_period;
+  tier_ = std::make_unique<disk::ReplicatedDiskTier>(
+      *sim_, tc, tpcw::build_schema, registry_);
+  tier_->load(tpcw::make_loader(cfg_.workload.scale));
+  if (cfg_.prewarm_actives) {
+    for (size_t e = 0; e < size_t(cfg_.actives); ++e) {
+      auto& eng = tier_->engine(e);
+      for (storage::TableId t = 0; t < eng.db().table_count(); ++t) {
+        const auto& tb = eng.db().table(t);
+        for (storage::PageNo p = 0; p < tb.page_count(); ++p)
+          eng.pool().prefill({t, p});
+      }
+    }
+  }
+  tier_->start();
+}
+
+void TierExperiment::start() {
+  DMV_ASSERT(!run_flag_);
+  run_flag_ = std::make_shared<bool>(true);
+  tpcw::TpcwClient::Config base;
+  base.mix = cfg_.workload.mix;
+  base.think_mean = cfg_.workload.think_mean;
+  base.scale = cfg_.workload.scale;
+  clients_ = tpcw::spawn_clients(
+      *sim_, cfg_.workload.clients, base,
+      [this](size_t) -> tpcw::ExecuteFn {
+        disk::ReplicatedDiskTier* tier = tier_.get();
+        return [tier](const std::string& proc, api::Params p) {
+          return tier->execute(proc, std::move(p));
+        };
+      },
+      series_.recorder(), run_flag_);
+}
+
+void TierExperiment::run_until(sim::Time t) { sim_->run(t); }
+
+void TierExperiment::stop() {
+  if (!run_flag_) return;
+  *run_flag_ = false;
+  run_flag_.reset();
+  sim_->run(sim_->now() + 120 * sim::kSec);
+  tier_->stop();
+}
+
+void TierExperiment::schedule_fault(sim::Time at,
+                                    std::function<void()> action) {
+  sim_->schedule_at(at, std::move(action));
+}
+
+// ---------- peak search ----------
+
+const PeakPoint& PeakResult::best() const {
+  DMV_ASSERT(!points.empty());
+  const PeakPoint* b = &points[0];
+  for (const auto& p : points)
+    if (p.wips > b->wips) b = &p;
+  return *b;
+}
+
+PeakResult find_peak(
+    const std::vector<size_t>& client_steps,
+    const std::function<PeakPoint(size_t clients)>& measure) {
+  PeakResult out;
+  for (size_t c : client_steps) out.points.push_back(measure(c));
+  return out;
+}
+
+}  // namespace dmv::harness

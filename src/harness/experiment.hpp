@@ -1,0 +1,166 @@
+// Experiment drivers: assemble a system (DMV cluster / stand-alone on-disk
+// engine / replicated on-disk tier), attach a TPC-W client population, run
+// for virtual time with optional fault scripts, and collect Series.
+//
+// Each experiment owns its own Simulation: runs are independent and
+// bit-reproducible for a given config.
+#pragma once
+
+#include "core/cluster.hpp"
+#include "disk/replicated_tier.hpp"
+#include "harness/series.hpp"
+
+namespace dmv::harness {
+
+struct WorkloadConfig {
+  tpcw::ScaleConfig scale;
+  tpcw::Mix mix = tpcw::Mix::Shopping;
+  size_t clients = 100;
+  sim::Time think_mean = 700 * sim::kMsec;
+  sim::Time bucket = 20 * sim::kSec;
+};
+
+// A scripted fault: at `at`, run `action` against the cluster.
+struct FaultEvent {
+  sim::Time at = 0;
+  std::function<void()> action;
+};
+
+// ---------- DMV (in-memory tier) experiment ----------
+
+class DmvExperiment {
+ public:
+  struct Config {
+    WorkloadConfig workload;
+    int slaves = 2;
+    int spares = 0;
+    int schedulers = 1;
+    txn::CostModel costs;
+    size_t cache_pages = 1 << 20;
+    sim::Time checkpoint_period = 0;
+    double spare_read_fraction = 0.0;
+    bool pageid_hints = false;
+    uint64_t hint_every_txns = 100;
+    bool prewarm_active = true;
+    bool prewarm_spares = false;
+    bool persistence = false;
+    txn::LockPolicy lock_policy = txn::LockPolicy::DeadlockDetect;
+    bool full_page_writesets = false;
+    bool eager_apply = false;
+    uint64_t reads_inflight_cap = 4;
+  };
+
+  explicit DmvExperiment(Config cfg);
+  ~DmvExperiment();
+
+  // Begin the client population (closed loop until stop()).
+  void start();
+  // Advance virtual time to `t` (absolute).
+  void run_until(sim::Time t);
+  // Stop clients, drain in-flight interactions.
+  void stop();
+
+  void schedule_fault(sim::Time at, std::function<void()> action);
+
+  sim::Simulation& sim() { return *sim_; }
+  core::DmvCluster& cluster() { return *cluster_; }
+  Series& series() { return series_; }
+  const Config& config() const { return cfg_; }
+
+ private:
+  Config cfg_;
+  std::unique_ptr<sim::Simulation> sim_;
+  std::unique_ptr<net::Network> net_;
+  api::ProcRegistry registry_;
+  std::unique_ptr<core::DmvCluster> cluster_;
+  std::vector<std::unique_ptr<core::ClusterClient>> conns_;
+  std::vector<std::unique_ptr<tpcw::TpcwClient>> clients_;
+  std::shared_ptr<bool> run_flag_;
+  Series series_;
+};
+
+// ---------- stand-alone on-disk baseline ----------
+
+class DiskExperiment {
+ public:
+  struct Config {
+    WorkloadConfig workload;
+    txn::CostModel costs;
+    size_t buffer_frames = 2048;
+    bool prewarm = true;
+  };
+
+  explicit DiskExperiment(Config cfg);
+
+  void start();
+  void run_until(sim::Time t);
+  void stop();
+
+  sim::Simulation& sim() { return *sim_; }
+  disk::DiskEngine& engine() { return *engine_; }
+  Series& series() { return series_; }
+
+ private:
+  Config cfg_;
+  std::unique_ptr<sim::Simulation> sim_;
+  api::ProcRegistry registry_;
+  std::unique_ptr<disk::DiskEngine> engine_;
+  std::vector<std::unique_ptr<tpcw::TpcwClient>> clients_;
+  std::shared_ptr<bool> run_flag_;
+  Series series_;
+};
+
+// ---------- replicated on-disk tier (Fig 5a/b baseline) ----------
+
+class TierExperiment {
+ public:
+  struct Config {
+    WorkloadConfig workload;
+    txn::CostModel costs;
+    size_t buffer_frames = 2048;
+    int actives = 2;
+    int backups = 1;
+    sim::Time backup_sync_period = 30 * 60 * sim::kSec;
+    bool prewarm_actives = true;
+  };
+
+  explicit TierExperiment(Config cfg);
+
+  void start();
+  void run_until(sim::Time t);
+  void stop();
+  void schedule_fault(sim::Time at, std::function<void()> action);
+
+  sim::Simulation& sim() { return *sim_; }
+  disk::ReplicatedDiskTier& tier() { return *tier_; }
+  Series& series() { return series_; }
+
+ private:
+  Config cfg_;
+  std::unique_ptr<sim::Simulation> sim_;
+  api::ProcRegistry registry_;
+  std::unique_ptr<disk::ReplicatedDiskTier> tier_;
+  std::vector<std::unique_ptr<tpcw::TpcwClient>> clients_;
+  std::shared_ptr<bool> run_flag_;
+  Series series_;
+};
+
+// ---------- peak-throughput search (the paper's step function) ----------
+
+struct PeakPoint {
+  size_t clients = 0;
+  double wips = 0;
+  double latency = 0;
+};
+
+// Runs `measure` (fresh experiment per level) over the client steps and
+// returns every point plus the index of the peak.
+struct PeakResult {
+  std::vector<PeakPoint> points;
+  const PeakPoint& best() const;
+};
+PeakResult find_peak(
+    const std::vector<size_t>& client_steps,
+    const std::function<PeakPoint(size_t clients)>& measure);
+
+}  // namespace dmv::harness

@@ -1,0 +1,71 @@
+#include "harness/report.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace dmv::harness {
+
+std::string fmt(double v, int prec) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", prec, v);
+  return buf;
+}
+
+void print_table(std::ostream& os, const std::string& title,
+                 const std::vector<std::string>& headers,
+                 const std::vector<std::vector<std::string>>& rows) {
+  std::vector<size_t> width(headers.size());
+  for (size_t i = 0; i < headers.size(); ++i) width[i] = headers[i].size();
+  for (const auto& row : rows)
+    for (size_t i = 0; i < row.size() && i < width.size(); ++i)
+      width[i] = std::max(width[i], row[i].size());
+
+  os << "\n## " << title << "\n\n";
+  auto line = [&](const std::vector<std::string>& cells) {
+    os << "|";
+    for (size_t i = 0; i < width.size(); ++i) {
+      const std::string& c = i < cells.size() ? cells[i] : std::string();
+      os << " " << c << std::string(width[i] - c.size(), ' ') << " |";
+    }
+    os << "\n";
+  };
+  line(headers);
+  os << "|";
+  for (size_t i = 0; i < width.size(); ++i)
+    os << std::string(width[i] + 2, '-') << "|";
+  os << "\n";
+  for (const auto& row : rows) line(row);
+}
+
+void print_timeline(std::ostream& os, const std::string& title,
+                    const Series& series, sim::Time from, sim::Time to,
+                    const std::vector<Marker>& markers) {
+  os << "\n## " << title << "\n\n";
+  os << "  time(s)   WIPS     lat(ms)\n";
+  const auto& tp = series.throughput_series();
+  const auto& lat = series.latency_series();
+  const sim::Time bucket = series.bucket();
+  double max_wips = 1;
+  for (const auto& b : tp.buckets())
+    max_wips = std::max(max_wips, tp.rate_per_sec(b));
+
+  for (size_t i = 0; i * bucket < uint64_t(to); ++i) {
+    const sim::Time t0 = sim::Time(i) * bucket;
+    if (t0 < from) continue;
+    const double wips =
+        i < tp.buckets().size() ? tp.rate_per_sec(tp.buckets()[i]) : 0;
+    const double l =
+        i < lat.buckets().size() ? lat.buckets()[i].mean() * 1000 : 0;
+    char head[48];
+    std::snprintf(head, sizeof head, "  %7.0f %7.1f %9.1f  ",
+                  sim::to_seconds(t0), wips, l);
+    os << head;
+    const int bars = int(wips / max_wips * 40.0);
+    for (int k = 0; k < bars; ++k) os << '#';
+    for (const auto& m : markers)
+      if (m.at >= t0 && m.at < t0 + bucket) os << "  <- " << m.label;
+    os << "\n";
+  }
+}
+
+}  // namespace dmv::harness

@@ -1,0 +1,29 @@
+// Plain-text reporting: aligned tables and throughput/latency timelines,
+// the formats the bench binaries print for each paper figure.
+#pragma once
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "harness/series.hpp"
+
+namespace dmv::harness {
+
+std::string fmt(double v, int prec = 1);
+
+void print_table(std::ostream& os, const std::string& title,
+                 const std::vector<std::string>& headers,
+                 const std::vector<std::vector<std::string>>& rows);
+
+// Timeline of throughput (interactions/s) and mean latency per bucket,
+// with optional event markers (e.g. "<- master killed").
+struct Marker {
+  sim::Time at;
+  std::string label;
+};
+void print_timeline(std::ostream& os, const std::string& title,
+                    const Series& series, sim::Time from, sim::Time to,
+                    const std::vector<Marker>& markers = {});
+
+}  // namespace dmv::harness

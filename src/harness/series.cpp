@@ -1,0 +1,34 @@
+#include "harness/series.hpp"
+
+namespace dmv::harness {
+
+double Series::wips(sim::Time from, sim::Time to) const {
+  if (to <= from) return 0;
+  uint64_t n = 0;
+  for (const auto& b : tp_.buckets()) {
+    if (sim::Time(b.start_us) < from ||
+        sim::Time(b.start_us) + bucket_ > to)
+      continue;
+    n += b.count;
+  }
+  // Count only whole buckets inside the window.
+  const sim::Time lo = ((from + bucket_ - 1) / bucket_) * bucket_;
+  const sim::Time hi = (to / bucket_) * bucket_;
+  if (hi <= lo) return 0;
+  return double(n) / sim::to_seconds(hi - lo);
+}
+
+double Series::latency(sim::Time from, sim::Time to) const {
+  double sum = 0;
+  uint64_t n = 0;
+  for (const auto& b : lat_.buckets()) {
+    if (sim::Time(b.start_us) < from ||
+        sim::Time(b.start_us) + bucket_ > to)
+      continue;
+    sum += b.sum;
+    n += b.count;
+  }
+  return n ? sum / double(n) : 0.0;
+}
+
+}  // namespace dmv::harness

@@ -1,0 +1,4 @@
+#include "mem/cache_model.hpp"
+
+// Header-only; anchors the target.
+namespace dmv::mem {}

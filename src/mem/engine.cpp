@@ -1,0 +1,528 @@
+#include "mem/engine.hpp"
+
+#include <algorithm>
+
+namespace dmv::mem {
+
+using storage::Key;
+using storage::PageId;
+using storage::Row;
+using storage::RowId;
+using storage::TableId;
+using txn::LockMode;
+using txn::LockRc;
+using txn::TxnCtx;
+using txn::TxnKind;
+
+MemEngine::MemEngine(sim::Simulation& sim, std::string name, Config cfg)
+    : sim_(sim),
+      name_(std::move(name)),
+      cfg_(cfg),
+      locks_(sim, cfg.lock_policy),
+      cache_(cfg.cache_pages, cfg.costs.mem_page_fault),
+      cpu_(sim, cfg.cpus) {}
+
+MemEngine::~MemEngine() { shutdown(); }
+
+void MemEngine::build_schema(const SchemaFn& fn) {
+  fn(db_);
+  const size_t n = db_.table_count();
+  version_.assign(n, 0);
+  received_.assign(n, 0);
+  pending_.resize(n);
+  arrival_.clear();
+  for (size_t i = 0; i < n; ++i)
+    arrival_.push_back(std::make_unique<sim::WaitQueue>(sim_));
+}
+
+void MemEngine::set_master_tables(std::set<TableId> tables) {
+  master_tables_ = std::move(tables);
+}
+
+sim::Task<> MemEngine::promote(std::set<TableId> tables) {
+  for (TableId t : tables) {
+    co_await apply_pending(t, received_[t]);
+    version_[t] = std::max(version_[t], received_[t]);
+  }
+  master_tables_.insert(tables.begin(), tables.end());
+}
+
+std::unique_ptr<TxnCtx> MemEngine::begin_update(
+    std::optional<uint64_t> reuse_ts) {
+  const uint64_t id = next_txn_++;
+  const uint64_t ts = reuse_ts.value_or(id);
+  return std::make_unique<TxnCtx>(id, ts, TxnKind::Update);
+}
+
+std::unique_ptr<TxnCtx> MemEngine::begin_read(VersionVec tag) {
+  DMV_ASSERT(tag.size() == db_.table_count());
+  const uint64_t id = next_txn_++;
+  auto txn = std::make_unique<TxnCtx>(id, id, TxnKind::ReadOnly);
+  txn->set_read_version(std::move(tag));
+  return txn;
+}
+
+bool MemEngine::read_at_latest(const TxnCtx& txn, TableId t) const {
+  return txn.kind() == TxnKind::ReadOnly && masters(t);
+}
+
+void MemEngine::apply_one(storage::Table& table, const txn::PageMod& mod,
+                          sim::Time& cost) {
+  table.ensure_page(mod.pid.page);
+  if (mod.version <= table.meta(mod.pid.page).version) return;  // stale
+  const size_t slots = txn::apply_mod_indexed(table, mod);
+  cost += cfg_.costs.apply_run * sim::Time(mod.runs.size()) +
+          cfg_.costs.apply_slot_reindex * sim::Time(slots);
+  cost += cache_.touch(mod.pid);
+  ++stats_.mods_applied;
+}
+
+sim::Task<> MemEngine::ensure_table(TxnCtx& txn, TableId t) {
+  if (txn.kind() != TxnKind::ReadOnly) co_return;
+  if (masters(t)) {
+    ++stats_.master_reads_latest;
+    co_return;
+  }
+  DMV_ASSERT(txn.read_version().size() == db_.table_count());
+  const uint64_t v = txn.read_version()[t];
+  while (received_[t] < v) {
+    if (shutdown_) throw TxnAbort(TxnAbort::Reason::Cancelled);
+    const bool ok = co_await arrival_[t]->wait();
+    if (!ok) throw TxnAbort(TxnAbort::Reason::Cancelled);
+  }
+  sim::Time cost = 0;
+  auto& q = pending_[t];
+  storage::Table& table = db_.table(t);
+  while (!q.empty() && q.front().version <= v) {
+    apply_one(table, q.front(), cost);
+    q.pop_front();
+  }
+  if (cost > 0) co_await cpu_.use(cost);
+}
+
+void MemEngine::check_page(const TxnCtx& txn, TableId t,
+                           storage::PageNo p) const {
+  if (read_at_latest(txn, t)) return;
+  if (txn.kind() != TxnKind::ReadOnly) return;
+  DMV_ASSERT_MSG(p < db_.table(t).page_count(),
+                 "check_page " << name_ << " table "
+                               << db_.table(t).name() << " page " << p
+                               << " of " << db_.table(t).page_count()
+                               << " tag " << txn.read_version()[t]
+                               << " received " << received_[t]);
+  if (db_.table(t).meta(p).version > txn.read_version()[t]) {
+    const_cast<EngineStats&>(stats_).version_aborts++;
+    throw TxnAbort(TxnAbort::Reason::VersionConflict);
+  }
+}
+
+sim::Task<> MemEngine::lock_page(TxnCtx& txn, PageId pid, LockMode mode) {
+  // Hoisted out of the switch condition: GCC 12 miscompiles
+  // `switch (co_await ...)` (wrong-code/SIGILL).
+  const LockRc rc = co_await locks_.acquire(txn, pid, mode);
+  switch (rc) {
+    case LockRc::Granted:
+      co_return;
+    case LockRc::Died:
+      ++stats_.waitdie_deaths;
+      throw TxnAbort(TxnAbort::Reason::WaitDie);
+    case LockRc::Cancelled:
+      throw TxnAbort(TxnAbort::Reason::Cancelled);
+  }
+}
+
+sim::Task<std::optional<Row>> MemEngine::get(TxnCtx& txn, TableId t,
+                                             const Key& pk) {
+  storage::Table& tb = db_.table(t);
+  // Per-query overhead (parse/SQL layer) is paid *before* touching locks,
+  // so lock hold times stay at data-access scale.
+  co_await cpu_.use(cfg_.costs.mem_cpu_read_query);
+  sim::Time cost = cfg_.costs.index_lookup;
+  ++txn.stats().index_ops;
+
+  if (txn.kind() == TxnKind::ReadOnly) {
+    co_await ensure_table(txn, t);
+    const auto rid = tb.pk_find(pk);
+    if (!rid) {
+      co_await cpu_.use(cost);
+      co_return std::nullopt;
+    }
+    check_page(txn, t, rid->page);
+    cost += cache_.touch({t, rid->page}) + cfg_.costs.row_read;
+    ++txn.stats().pages_read;
+    ++txn.stats().rows_touched;
+    Row row = tb.read_row(*rid);
+    co_await cpu_.use(cost);
+    co_return row;
+  }
+
+  // Update transaction: lock-coupled read of the latest committed state.
+  std::optional<RowId> rid = tb.pk_find(pk);
+  while (rid) {
+    co_await lock_page(txn, {t, rid->page}, LockMode::Shared);
+    const auto again = tb.pk_find(pk);
+    if (again == rid) break;
+    rid = again;  // row moved/vanished while we waited; chase it
+  }
+  if (!rid) {
+    co_await cpu_.use(cost);
+    co_return std::nullopt;
+  }
+  cost += cache_.touch({t, rid->page}) + cfg_.costs.row_read;
+  ++txn.stats().pages_read;
+  ++txn.stats().rows_touched;
+  Row row = tb.read_row(*rid);
+  co_await cpu_.use(cost);
+  co_return row;
+}
+
+sim::Task<std::vector<Row>> MemEngine::scan(TxnCtx& txn, TableId t,
+                                            ScanSpec spec) {
+  storage::Table& tb = db_.table(t);
+  co_await cpu_.use(cfg_.costs.mem_cpu_read_query);
+  sim::Time cost = cfg_.costs.index_lookup;
+  ++txn.stats().index_ops;
+
+  if (txn.kind() == TxnKind::ReadOnly) co_await ensure_table(txn, t);
+
+  // Collect matching row ids synchronously (no suspension while walking
+  // the tree, so the index cannot mutate underneath the scan).
+  std::vector<RowId> rids;
+  const Key* lo = spec.lo ? &*spec.lo : nullptr;
+  const Key* hi = spec.hi ? &*spec.hi : nullptr;
+  const bool no_filter = !spec.filter;
+  const auto collect = [&](const Key&, RowId r) {
+    rids.push_back(r);
+    // Without a residual filter the index range is exact: stop at limit.
+    return !(no_filter && rids.size() >= spec.limit);
+  };
+  if (spec.index < 0) {
+    if (spec.reverse)
+      tb.pk_scan_desc(lo, hi, collect);
+    else
+      tb.pk_scan(lo, hi, collect);
+  } else {
+    if (spec.reverse)
+      tb.sec_scan_desc(size_t(spec.index), lo, hi, collect);
+    else
+      tb.sec_scan(size_t(spec.index), lo, hi, collect);
+  }
+  cost += cfg_.costs.index_scan_entry * sim::Time(rids.size());
+
+  std::vector<Row> out;
+  if (txn.kind() == TxnKind::ReadOnly) {
+    for (const RowId& rid : rids) {
+      if (out.size() >= spec.limit) break;
+      check_page(txn, t, rid.page);
+      cost += cache_.touch({t, rid.page}) + cfg_.costs.row_read;
+      ++txn.stats().rows_touched;
+      Row row = tb.read_row(rid);
+      if (spec.filter && !spec.filter(row)) continue;
+      out.push_back(std::move(row));
+    }
+    co_await cpu_.use(cost);
+    co_return out;
+  }
+
+  for (const RowId& rid : rids) {
+    if (out.size() >= spec.limit) break;
+    co_await lock_page(txn, {t, rid.page}, LockMode::Shared);
+    if (!tb.slot_occupied(rid)) continue;  // deleted while we waited
+    cost += cache_.touch({t, rid.page}) + cfg_.costs.row_read;
+    ++txn.stats().rows_touched;
+    Row row = tb.read_row(rid);
+    if (spec.filter && !spec.filter(row)) continue;
+    out.push_back(std::move(row));
+  }
+  co_await cpu_.use(cost);
+  co_return out;
+}
+
+sim::Task<bool> MemEngine::insert(TxnCtx& txn, TableId t, const Row& row) {
+  DMV_ASSERT_MSG(masters(t), name_ << ": insert routed to non-master of "
+                                   << db_.table(t).name());
+  storage::Table& tb = db_.table(t);
+  co_await cpu_.use(cfg_.costs.mem_cpu_write_query);
+  sim::Time cost = cfg_.costs.index_lookup;
+
+  // Lock the page the insert will land on; re-peek after the (possible)
+  // wait since a concurrent insert may have filled it.
+  RowId target = tb.peek_insert_slot();
+  for (;;) {
+    co_await lock_page(txn, {t, target.page}, LockMode::Exclusive);
+    const RowId again = tb.peek_insert_slot();
+    if (again.page == target.page) break;
+    target = again;
+  }
+  tb.ensure_page(target.page);
+  txn.capture_undo({t, target.page}, tb.page(target.page));
+
+  const uint64_t rot0 = tb.index_rotations();
+  const auto rid = tb.insert_row(row);
+  if (!rid) {
+    co_await cpu_.use(cost);
+    co_return false;  // primary-key duplicate
+  }
+  DMV_ASSERT(rid->page == target.page);
+  txn.op_log().push_back(txn::OpRecord{txn::OpRecord::Kind::Insert, t,
+                                       tb.primary_key_of(row), row});
+  cost += cfg_.costs.row_write + cache_.touch({t, rid->page}) +
+          cfg_.costs.index_update * sim::Time(1 + tb.secondary_count()) +
+          cfg_.costs.index_rotation * sim::Time(tb.index_rotations() - rot0);
+  ++txn.stats().pages_written;
+  ++txn.stats().rows_touched;
+  txn.stats().index_ops += 1 + tb.secondary_count();
+  co_await cpu_.use(cost);
+  co_return true;
+}
+
+sim::Task<bool> MemEngine::update(
+    TxnCtx& txn, TableId t, const Key& pk,
+    const std::function<void(Row&)>& mutate) {
+  DMV_ASSERT_MSG(masters(t), name_ << ": update routed to non-master of "
+                                   << db_.table(t).name());
+  storage::Table& tb = db_.table(t);
+  co_await cpu_.use(cfg_.costs.mem_cpu_write_query);
+  sim::Time cost = cfg_.costs.index_lookup;
+
+  std::optional<RowId> rid = tb.pk_find(pk);
+  while (rid) {
+    co_await lock_page(txn, {t, rid->page}, LockMode::Exclusive);
+    const auto again = tb.pk_find(pk);
+    if (again == rid) break;
+    rid = again;
+  }
+  if (!rid) {
+    co_await cpu_.use(cost);
+    co_return false;
+  }
+  txn.capture_undo({t, rid->page}, tb.page(rid->page));
+  Row row = tb.read_row(*rid);
+  mutate(row);
+  const uint64_t rot0 = tb.index_rotations();
+  tb.update_row(*rid, row);
+  txn.op_log().push_back(txn::OpRecord{txn::OpRecord::Kind::Update, t,
+                                       tb.primary_key_of(row), row});
+  cost += cfg_.costs.row_read + cfg_.costs.row_write +
+          cache_.touch({t, rid->page}) +
+          cfg_.costs.index_rotation * sim::Time(tb.index_rotations() - rot0);
+  ++txn.stats().pages_written;
+  ++txn.stats().rows_touched;
+  co_await cpu_.use(cost);
+  co_return true;
+}
+
+sim::Task<bool> MemEngine::remove(TxnCtx& txn, TableId t, const Key& pk) {
+  DMV_ASSERT_MSG(masters(t), name_ << ": delete routed to non-master of "
+                                   << db_.table(t).name());
+  storage::Table& tb = db_.table(t);
+  co_await cpu_.use(cfg_.costs.mem_cpu_write_query);
+  sim::Time cost = cfg_.costs.index_lookup;
+
+  std::optional<RowId> rid = tb.pk_find(pk);
+  while (rid) {
+    co_await lock_page(txn, {t, rid->page}, LockMode::Exclusive);
+    const auto again = tb.pk_find(pk);
+    if (again == rid) break;
+    rid = again;
+  }
+  if (!rid) {
+    co_await cpu_.use(cost);
+    co_return false;
+  }
+  txn.capture_undo({t, rid->page}, tb.page(rid->page));
+  const uint64_t rot0 = tb.index_rotations();
+  tb.delete_row(*rid);
+  txn.op_log().push_back(
+      txn::OpRecord{txn::OpRecord::Kind::Delete, t, pk, {}});
+  cost += cfg_.costs.row_write + cache_.touch({t, rid->page}) +
+          cfg_.costs.index_update * sim::Time(1 + tb.secondary_count()) +
+          cfg_.costs.index_rotation * sim::Time(tb.index_rotations() - rot0);
+  ++txn.stats().pages_written;
+  ++txn.stats().rows_touched;
+  txn.stats().index_ops += 1 + tb.secondary_count();
+  co_await cpu_.use(cost);
+  co_return true;
+}
+
+sim::Task<txn::WriteSet> MemEngine::precommit(TxnCtx& txn) {
+  DMV_ASSERT(txn.kind() == TxnKind::Update);
+  // Charge the diff cost up front so the section below — version
+  // increments, page-version stamping, broadcast — runs without
+  // suspension: write-sets leave this master in version order.
+  co_await cpu_.use(cfg_.costs.diff_page *
+                    sim::Time(txn.dirty_pages().size()));
+
+  txn::WriteSet ws;
+  ws.txn_id = txn.id();
+
+  std::set<TableId> touched;
+  for (const PageId& pid : txn.dirty_pages()) touched.insert(pid.table);
+  for (TableId t : touched) {
+    DMV_ASSERT_MSG(masters(t), "dirtied a non-mastered table");
+    ++version_[t];
+  }
+  for (const PageId& pid : txn.dirty_pages()) {
+    txn::PageMod mod;
+    mod.pid = pid;
+    mod.version = version_[pid.table];
+    storage::Table& tb = db_.table(pid.table);
+    if (cfg_.full_page_writesets) {
+      txn::ByteRun whole;
+      whole.offset = 0;
+      const auto raw = tb.page(pid.page).raw();
+      whole.bytes.assign(raw.begin(), raw.end());
+      mod.runs.push_back(std::move(whole));
+    } else {
+      mod.runs =
+          txn::diff_pages(txn.before_images().at(pid), tb.page(pid.page));
+      if (mod.runs.empty()) continue;  // written then reverted
+    }
+    tb.meta(pid.page).version = mod.version;
+    ws.mods.push_back(std::move(mod));
+  }
+  ws.db_version.resize(db_.table_count());
+  for (size_t i = 0; i < ws.db_version.size(); ++i)
+    ws.db_version[i] = std::max(version_[i], received_[i]);
+
+  if (broadcast_fn_) broadcast_fn_(ws);
+  co_return ws;
+}
+
+void MemEngine::finish_commit(TxnCtx& txn) {
+  locks_.release_all(txn);
+  ++stats_.update_commits;
+}
+
+void MemEngine::rollback(TxnCtx& txn) {
+  for (const auto& [pid, before] : txn.before_images()) {
+    storage::Table& tb = db_.table(pid.table);
+    const auto runs = txn::diff_pages(tb.page(pid.page), before);
+    if (runs.empty()) continue;
+    txn::PageMod restore;
+    restore.pid = pid;
+    restore.runs = runs;
+    const auto slots =
+        restore.affected_slots(tb.schema().row_size(), tb.slots_per_page());
+    for (uint16_t s : slots) tb.unindex_slot(pid.page, s);
+    txn::apply_runs(tb.page(pid.page), runs);
+    for (uint16_t s : slots) tb.index_slot(pid.page, s);
+    tb.refresh_page_bookkeeping(pid.page);
+  }
+  locks_.release_all(txn);
+}
+
+void MemEngine::finish_read(TxnCtx& txn) {
+  (void)txn;
+  ++stats_.read_commits;
+}
+
+void MemEngine::on_write_set(const txn::WriteSet& ws) {
+  if (shutdown_) return;
+  DMV_ASSERT(ws.db_version.size() == db_.table_count());
+  for (const auto& mod : ws.mods) {
+    // Never queue mods for tables we master (our own state is the source).
+    if (masters(mod.pid.table)) continue;
+    pending_[mod.pid.table].push_back(mod);
+    ++stats_.mods_enqueued;
+  }
+  bool advanced = false;
+  for (size_t t = 0; t < ws.db_version.size(); ++t) {
+    if (ws.db_version[t] > received_[t]) {
+      received_[t] = ws.db_version[t];
+      advanced = true;
+      arrival_[t]->notify_all();
+    }
+  }
+  (void)advanced;
+}
+
+void MemEngine::discard_mods_above(
+    const VersionVec& confirmed,
+    const std::vector<storage::TableId>& tables) {
+  DMV_ASSERT(confirmed.size() == db_.table_count());
+  auto affected = [&](size_t t) {
+    if (tables.empty()) return true;
+    return std::find(tables.begin(), tables.end(), storage::TableId(t)) !=
+           tables.end();
+  };
+  for (size_t t = 0; t < confirmed.size(); ++t) {
+    if (!affected(t)) continue;
+    auto& q = pending_[t];
+    while (!q.empty() && q.back().version > confirmed[t]) q.pop_back();
+    received_[t] = std::min(received_[t], confirmed[t]);
+  }
+}
+
+sim::Task<> MemEngine::apply_pending(TableId t, uint64_t v) {
+  sim::Time cost = 0;
+  auto& q = pending_[t];
+  storage::Table& table = db_.table(t);
+  while (!q.empty() && q.front().version <= v) {
+    apply_one(table, q.front(), cost);
+    q.pop_front();
+  }
+  if (cost > 0) co_await cpu_.use(cost);
+}
+
+sim::Task<bool> MemEngine::wait_received(const VersionVec& target) {
+  DMV_ASSERT(target.size() == db_.table_count());
+  for (size_t t = 0; t < target.size(); ++t) {
+    while (received_[t] < target[t] && version_[t] < target[t]) {
+      if (shutdown_) co_return false;
+      const bool ok = co_await arrival_[t]->wait();
+      if (!ok) co_return false;
+    }
+  }
+  co_return true;
+}
+
+std::map<PageId, uint64_t> MemEngine::page_versions() const {
+  std::map<PageId, uint64_t> out;
+  for (TableId t = 0; t < db_.table_count(); ++t) {
+    const storage::Table& tb = db_.table(t);
+    for (storage::PageNo p = 0; p < tb.page_count(); ++p)
+      out[{t, p}] = tb.meta(p).version;
+  }
+  return out;
+}
+
+void MemEngine::install_page(PageId pid, const storage::Page& image,
+                             uint64_t version) {
+  storage::Table& tb = db_.table(pid.table);
+  tb.ensure_page(pid.page);
+  for (uint16_t s = 0; s < tb.slots_per_page(); ++s)
+    tb.unindex_slot(pid.page, s);
+  std::copy(image.raw().begin(), image.raw().end(),
+            tb.page(pid.page).raw().begin());
+  for (uint16_t s = 0; s < tb.slots_per_page(); ++s)
+    tb.index_slot(pid.page, s);
+  tb.refresh_page_bookkeeping(pid.page);
+  tb.meta(pid.page).version = version;
+  ++stats_.pages_installed;
+}
+
+void MemEngine::adopt_version(const VersionVec& v) {
+  DMV_ASSERT(v.size() == db_.table_count());
+  for (size_t t = 0; t < v.size(); ++t) {
+    if (v[t] > received_[t]) {
+      received_[t] = v[t];
+      arrival_[t]->notify_all();
+    }
+  }
+}
+
+void MemEngine::shutdown() {
+  if (shutdown_) return;
+  shutdown_ = true;
+  locks_.shutdown();
+  for (auto& q : arrival_) q->notify_all(false);
+}
+
+size_t MemEngine::pending_mod_count() const {
+  size_t n = 0;
+  for (const auto& q : pending_) n += q.size();
+  return n;
+}
+
+}  // namespace dmv::mem

@@ -1,0 +1,215 @@
+// The in-memory replicated database engine (the paper's REPLICATED_HEAP
+// storage engine + Dynamic Multiversioning, §2-§3).
+//
+// One MemEngine instance is the database process on one cluster node. Its
+// role is per-table: it is *master* for the tables of the conflict classes
+// assigned to it (update transactions execute here under per-page strict
+// 2PL and produce version-numbered write-sets at pre-commit, Figure 2), and
+// *slave* for everything else (it queues incoming write-sets per table and
+// applies them lazily, materializing the snapshot a tagged read-only
+// transaction asks for).
+//
+// Version semantics:
+//  - version_[t]      on mastered tables: last version produced locally.
+//  - received_[t]     on slave tables: highest version received from the
+//                     table's master (write-sets arrive FIFO).
+//  - page meta.version: the version the page image currently reflects.
+// A read-only transaction tagged V must observe table t exactly at V[t]:
+// ensure_table() waits until received_[t] >= V[t], then applies pending
+// mods with version <= V[t]; touching a page whose meta.version > V[t]
+// (another reader pulled it further forward — old versions are not kept)
+// raises TxnAbort{VersionConflict}, the paper's rare read abort.
+//
+// Substitution note (DESIGN.md §2/§5): the paper applies pending mods
+// per *page* on demand; we apply the pending prefix per *table* on demand.
+// Abort detection stays page-granular (meta.version vs tag), waiting and
+// migration stay page-granular; only application batching differs, because
+// our secondary indexes are derived from rows rather than replicated as
+// raw memory. This can only over-count aborts, never miss one.
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <set>
+
+#include "mem/cache_model.hpp"
+#include "sim/sync.hpp"
+#include "storage/table.hpp"
+#include "txn/cost_model.hpp"
+#include "txn/lock_manager.hpp"
+#include "txn/write_set.hpp"
+
+namespace dmv::mem {
+
+using VersionVec = std::vector<uint64_t>;
+using SchemaFn = std::function<void(storage::Database&)>;
+
+class TxnAbort : public std::runtime_error {
+ public:
+  enum class Reason { WaitDie, VersionConflict, Cancelled };
+  explicit TxnAbort(Reason r)
+      : std::runtime_error(r == Reason::WaitDie          ? "wait-die"
+                           : r == Reason::VersionConflict ? "version-conflict"
+                                                          : "cancelled"),
+        reason(r) {}
+  Reason reason;
+};
+
+struct EngineStats {
+  uint64_t update_commits = 0;
+  uint64_t read_commits = 0;
+  uint64_t version_aborts = 0;
+  uint64_t waitdie_deaths = 0;
+  uint64_t mods_enqueued = 0;
+  uint64_t mods_applied = 0;
+  uint64_t pages_installed = 0;
+  uint64_t master_reads_latest = 0;  // read-only ops served at-latest on a
+                                     // node that masters the table
+};
+
+class MemEngine {
+ public:
+  struct Config {
+    txn::CostModel costs;
+    size_t cache_pages = 1 << 20;  // effectively unbounded by default
+    int cpus = 2;                  // the paper's dual-Athlon nodes
+    txn::LockPolicy lock_policy = txn::LockPolicy::DeadlockDetect;
+    // Ablation: ship whole page images instead of byte-diff runs.
+    bool full_page_writesets = false;
+  };
+
+  MemEngine(sim::Simulation& sim, std::string name, Config cfg);
+  ~MemEngine();
+
+  void build_schema(const SchemaFn& fn);
+
+  // --- roles ---
+  void set_master_tables(std::set<storage::TableId> tables);
+  bool masters(storage::TableId t) const { return master_tables_.count(t); }
+  bool is_master() const { return !master_tables_.empty(); }
+  // Promote a slave: adopt received versions as produced versions, roll all
+  // pending mods forward so updates run against the newest state.
+  sim::Task<> promote(std::set<storage::TableId> tables);
+
+  // --- transactions ---
+  // `reuse_ts`: pass the previous attempt's ts when restarting after a
+  // wait-die death so the transaction ages instead of starving.
+  std::unique_ptr<txn::TxnCtx> begin_update(
+      std::optional<uint64_t> reuse_ts = std::nullopt);
+  std::unique_ptr<txn::TxnCtx> begin_read(VersionVec tag);
+
+  // Pre-commit (Figure 2): charges diff cost, then atomically increments
+  // the version vector for written tables, builds the write-set, stamps
+  // page versions and hands the write-set to `broadcast_fn` (set by the
+  // hosting node) before any other transaction can interleave — write-sets
+  // leave the master in version order.
+  sim::Task<txn::WriteSet> precommit(txn::TxnCtx& txn);
+  void set_broadcast_fn(std::function<void(const txn::WriteSet&)> fn) {
+    broadcast_fn_ = std::move(fn);
+  }
+  // After replica acks: release locks, count the commit.
+  void finish_commit(txn::TxnCtx& txn);
+  void rollback(txn::TxnCtx& txn);
+  void finish_read(txn::TxnCtx& txn);
+
+  // --- operations (throw TxnAbort) ---
+  sim::Task<std::optional<storage::Row>> get(txn::TxnCtx& txn,
+                                             storage::TableId t,
+                                             const storage::Key& pk);
+  struct ScanSpec {
+    int index = -1;  // -1: primary key, else secondary index position
+    std::optional<storage::Key> lo;
+    std::optional<storage::Key> hi;
+    size_t limit = SIZE_MAX;
+    bool reverse = false;  // descending key order
+    std::function<bool(const storage::Row&)> filter;  // optional
+  };
+  sim::Task<std::vector<storage::Row>> scan(txn::TxnCtx& txn,
+                                            storage::TableId t,
+                                            ScanSpec spec);
+  // False on primary-key duplicate.
+  sim::Task<bool> insert(txn::TxnCtx& txn, storage::TableId t,
+                         const storage::Row& row);
+  // False if absent. `mutate` edits the row in place.
+  sim::Task<bool> update(txn::TxnCtx& txn, storage::TableId t,
+                         const storage::Key& pk,
+                         const std::function<void(storage::Row&)>& mutate);
+  sim::Task<bool> remove(txn::TxnCtx& txn, storage::TableId t,
+                         const storage::Key& pk);
+
+  // --- replication (slave side) ---
+  void on_write_set(const txn::WriteSet& ws);
+  // Master-failure cleanup (§4.2): drop queued mods with versions above
+  // what the recovering scheduler confirmed; restricted to `tables` if
+  // non-empty (the failed master's conflict class).
+  void discard_mods_above(const VersionVec& confirmed,
+                          const std::vector<storage::TableId>& tables = {});
+  // Roll table t's pages forward to version v (charging apply costs).
+  sim::Task<> apply_pending(storage::TableId t, uint64_t v);
+  // Block until the replication stream has delivered at least `target`
+  // for every table. False if the engine shut down while waiting.
+  sim::Task<bool> wait_received(const VersionVec& target);
+
+  // --- migration & checkpoint support ---
+  std::map<storage::PageId, uint64_t> page_versions() const;
+  void install_page(storage::PageId pid, const storage::Page& image,
+                    uint64_t version);
+  // Set received/current version state after a bulk install (joining node
+  // adopting the masters' vector it subscribed at).
+  void adopt_version(const VersionVec& v);
+
+  // Fail-stop: cancel lock waiters and version waiters.
+  void shutdown();
+
+  // --- accessors ---
+  storage::Database& db() { return db_; }
+  const storage::Database& db() const { return db_; }
+  const std::string& name() const { return name_; }
+  const VersionVec& version() const { return version_; }
+  const VersionVec& received_version() const { return received_; }
+  CacheModel& cache() { return cache_; }
+  txn::LockManager& locks() { return locks_; }
+  sim::Resource& cpu() { return cpu_; }
+  const txn::CostModel& costs() const { return cfg_.costs; }
+  EngineStats& stats() { return stats_; }
+  size_t pending_mod_count() const;
+
+ private:
+  // Wait until received_[t] >= v, then apply the pending prefix <= v.
+  sim::Task<> ensure_table(txn::TxnCtx& txn, storage::TableId t);
+  // Throw VersionConflict if the page is newer than the txn's tag.
+  void check_page(const txn::TxnCtx& txn, storage::TableId t,
+                  storage::PageNo p) const;
+  sim::Task<> lock_page(txn::TxnCtx& txn, storage::PageId pid,
+                        txn::LockMode mode);
+  // Apply one mod with cost accounting into `cost`.
+  void apply_one(storage::Table& table, const txn::PageMod& mod,
+                 sim::Time& cost);
+  // True for read-only access paths that bypass versioning because this
+  // node masters the table (reads-at-latest on the master, §2.1).
+  bool read_at_latest(const txn::TxnCtx& txn, storage::TableId t) const;
+
+  sim::Simulation& sim_;
+  std::string name_;
+  Config cfg_;
+  storage::Database db_;
+  txn::LockManager locks_;
+  CacheModel cache_;
+  sim::Resource cpu_;
+  std::set<storage::TableId> master_tables_;
+  std::function<void(const txn::WriteSet&)> broadcast_fn_;
+
+  VersionVec version_;   // produced (mastered tables)
+  VersionVec received_;  // received from masters (slave tables)
+  std::vector<std::deque<txn::PageMod>> pending_;  // per table, FIFO
+  std::vector<std::unique_ptr<sim::WaitQueue>> arrival_;  // per table
+  bool shutdown_ = false;
+
+  uint64_t next_txn_ = 1;
+  EngineStats stats_;
+};
+
+}  // namespace dmv::mem

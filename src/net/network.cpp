@@ -1,0 +1,85 @@
+#include "net/network.hpp"
+
+#include <algorithm>
+
+namespace dmv::net {
+
+Network::Network(sim::Simulation& sim, NetworkConfig cfg)
+    : sim_(sim), cfg_(cfg) {}
+
+NodeId Network::add_node(std::string name) {
+  const NodeId id = static_cast<NodeId>(nodes_.size());
+  nodes_.push_back(Node{std::move(name), true,
+                        std::make_unique<sim::Channel<Envelope>>(sim_)});
+  return id;
+}
+
+const std::string& Network::name(NodeId id) const {
+  DMV_ASSERT(id < nodes_.size());
+  return nodes_[id].name;
+}
+
+bool Network::alive(NodeId id) const {
+  DMV_ASSERT(id < nodes_.size());
+  return nodes_[id].alive;
+}
+
+sim::Time Network::transfer_time(size_t bytes) const {
+  return cfg_.base_latency +
+         sim::Time(bytes) * cfg_.per_kb / 1024;
+}
+
+void Network::send(NodeId from, NodeId to, std::any payload, size_t bytes) {
+  DMV_ASSERT(from < nodes_.size() && to < nodes_.size());
+  if (!nodes_[from].alive || !nodes_[to].alive) return;
+  auto down = link_down_.find({std::min(from, to), std::max(from, to)});
+  if (down != link_down_.end() && down->second) return;
+
+  bytes_sent_ += bytes;
+  ++messages_sent_;
+
+  const auto key = std::make_pair(from, to);
+  sim::Time deliver_at =
+      std::max(sim_.now() + transfer_time(bytes), link_clock_[key]);
+  link_clock_[key] = deliver_at;
+
+  sim_.schedule_at(
+      deliver_at,
+      [this, from, to, p = std::move(payload)]() mutable {
+        // Receiver may have died while the message was in flight.
+        if (!nodes_[to].alive) return;
+        nodes_[to].mailbox->send(Envelope{from, to, std::move(p)});
+      });
+}
+
+sim::Channel<Envelope>& Network::mailbox(NodeId id) {
+  DMV_ASSERT(id < nodes_.size());
+  return *nodes_[id].mailbox;
+}
+
+void Network::kill(NodeId id) {
+  DMV_ASSERT(id < nodes_.size());
+  if (!nodes_[id].alive) return;
+  nodes_[id].alive = false;
+  nodes_[id].mailbox->close();
+  sim_.schedule_after(cfg_.detect_delay, [this, id] {
+    for (auto& cb : failure_subs_) cb(id);
+  });
+}
+
+void Network::restart(NodeId id) {
+  DMV_ASSERT(id < nodes_.size());
+  if (nodes_[id].alive) return;
+  nodes_[id].alive = true;
+  nodes_[id].mailbox->reopen();
+}
+
+void Network::set_link(NodeId a, NodeId b, bool up) {
+  link_down_[{std::min(a, b), std::max(a, b)}] = !up;
+}
+
+void Network::subscribe_failures(std::function<void(NodeId)> cb) {
+  failure_subs_.push_back(std::move(cb));
+}
+
+}  // namespace dmv::net

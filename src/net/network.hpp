@@ -1,0 +1,102 @@
+// Simulated cluster network.
+//
+// Nodes are registered endpoints with a mailbox (Channel of Envelopes).
+// Links are reliable and FIFO per (sender, receiver) pair — the in-order
+// delivery a TCP connection would give the real system, which the DMV
+// replication protocol depends on (write-sets from a master must apply in
+// version order). Latency is a fixed per-message cost plus a per-KB
+// transfer cost.
+//
+// Fail-stop faults: kill() closes the node's mailbox (receivers wake with
+// nullopt), drops in-flight and future traffic, and notifies failure
+// subscribers after `detect_delay` — modeling peers observing a broken
+// connection, the paper's §4 failure-detection assumption. restart() brings
+// the node back with an empty mailbox (its volatile state is gone; higher
+// layers re-join via the data-migration protocol).
+#pragma once
+
+#include <any>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/sync.hpp"
+
+namespace dmv::net {
+
+using NodeId = uint32_t;
+constexpr NodeId kNoNode = UINT32_MAX;
+
+struct Envelope {
+  NodeId from = kNoNode;
+  NodeId to = kNoNode;
+  std::any payload;
+};
+
+// Typed payload access: returns nullptr if the envelope holds another type.
+template <typename T>
+const T* as(const Envelope& env) {
+  return std::any_cast<T>(&env.payload);
+}
+
+struct NetworkConfig {
+  sim::Time base_latency = 100 * sim::kUsec;   // per-message propagation
+  sim::Time per_kb = 80 * sim::kUsec;          // transfer time per KB
+  sim::Time detect_delay = 50 * sim::kMsec;    // broken-connection detection
+};
+
+class Network {
+ public:
+  Network(sim::Simulation& sim, NetworkConfig cfg = {});
+
+  NodeId add_node(std::string name);
+
+  const std::string& name(NodeId id) const;
+  bool alive(NodeId id) const;
+  size_t node_count() const { return nodes_.size(); }
+
+  // Deliver `payload` to `to` after link latency. Silently dropped if either
+  // end is dead or the link is partitioned (fail-stop model).
+  void send(NodeId from, NodeId to, std::any payload, size_t bytes = 256);
+
+  sim::Channel<Envelope>& mailbox(NodeId id);
+
+  void kill(NodeId id);
+  void restart(NodeId id);
+
+  // Bidirectional link partition control (for partition tests).
+  void set_link(NodeId a, NodeId b, bool up);
+
+  // Subscribers are told about every node death, `detect_delay` after it.
+  void subscribe_failures(std::function<void(NodeId)> cb);
+
+  // Cumulative traffic accounting (for reporting replication volume).
+  uint64_t bytes_sent() const { return bytes_sent_; }
+  uint64_t messages_sent() const { return messages_sent_; }
+
+  sim::Simulation& sim() { return sim_; }
+  const NetworkConfig& config() const { return cfg_; }
+
+ private:
+  struct Node {
+    std::string name;
+    bool alive = true;
+    std::unique_ptr<sim::Channel<Envelope>> mailbox;
+  };
+
+  sim::Time transfer_time(size_t bytes) const;
+
+  sim::Simulation& sim_;
+  NetworkConfig cfg_;
+  std::vector<Node> nodes_;
+  // FIFO enforcement: next admissible delivery time per directed link.
+  std::map<std::pair<NodeId, NodeId>, sim::Time> link_clock_;
+  std::map<std::pair<NodeId, NodeId>, bool> link_down_;
+  std::vector<std::function<void(NodeId)>> failure_subs_;
+  uint64_t bytes_sent_ = 0;
+  uint64_t messages_sent_ = 0;
+};
+
+}  // namespace dmv::net

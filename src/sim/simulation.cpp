@@ -1,0 +1,36 @@
+#include "sim/simulation.hpp"
+
+namespace dmv::sim {
+
+void Simulation::schedule_at(Time at, std::function<void()> fn) {
+  DMV_ASSERT_MSG(at >= now_, "cannot schedule into the past");
+  queue_.push(Event{at, next_seq_++, std::move(fn)});
+}
+
+void Simulation::spawn(Task<> task) {
+  auto h = task.release();
+  DMV_ASSERT(h);
+  h.promise().detached = true;
+  schedule_at(now_, [h] { h.resume(); });
+}
+
+Time Simulation::run(Time until) {
+  stopped_ = false;
+  while (!queue_.empty() && !stopped_) {
+    if (queue_.top().at > until) {
+      now_ = until;
+      return now_;
+    }
+    // priority_queue::top() is const; move out via const_cast on pop. Keep
+    // the copy cheap by moving the function object.
+    Event ev = std::move(const_cast<Event&>(queue_.top()));
+    queue_.pop();
+    DMV_ASSERT(ev.at >= now_);
+    now_ = ev.at;
+    ++events_processed_;
+    ev.fn();
+  }
+  return now_;
+}
+
+}  // namespace dmv::sim

@@ -1,0 +1,57 @@
+#include "sim/sync.hpp"
+
+namespace dmv::sim {
+
+void WaitQueue::wake(Waiter* w, bool ok) {
+  w->result = ok;
+  sim_->schedule_at(sim_->now(), [h = w->h] { h.resume(); });
+}
+
+void WaitQueue::notify_one(bool ok) {
+  if (waiters_.empty()) return;
+  Waiter* w = waiters_.front();
+  waiters_.pop_front();
+  wake(w, ok);
+}
+
+void WaitQueue::notify_all(bool ok) {
+  auto ws = std::move(waiters_);
+  waiters_.clear();
+  for (Waiter* w : ws) wake(w, ok);
+}
+
+Task<> Resource::use(Time cost) {
+  co_await acquire();
+  busy_ += cost;
+  co_await sim_->delay(cost);
+  release();
+}
+
+Task<> Resource::acquire() {
+  // Fast path only when no one is queued (strict FIFO admission).
+  if (in_use_ < capacity_ && queue_.waiting() == 0) {
+    ++in_use_;
+    co_return;
+  }
+  // Slot ownership is handed off directly by release(): in_use_ stays
+  // counted across the wake-up, so late arrivals cannot barge in front of
+  // a woken waiter and starve it (livelock under retry storms otherwise).
+  co_await queue_.wait();
+}
+
+void Resource::release() {
+  DMV_ASSERT(in_use_ > 0);
+  if (queue_.waiting() > 0) {
+    queue_.notify_one();  // hand the slot to the head waiter
+  } else {
+    --in_use_;
+  }
+}
+
+Task<bool> CountdownLatch::wait() {
+  if (count_ <= 0) co_return true;
+  const bool ok = co_await queue_.wait();
+  co_return ok;
+}
+
+}  // namespace dmv::sim

@@ -1,0 +1,176 @@
+// Synchronization primitives for simulation coroutines.
+//
+//  - WaitQueue: condition-variable analogue. wait() suspends; notify wakes
+//    FIFO. A wake carries a bool: `true` = signalled, `false` = cancelled
+//    (e.g. the owning node was killed), so blocked protocol code can unwind
+//    cooperatively — fault injection never destroys a suspended frame.
+//  - Channel<T>: unbounded FIFO mailbox; receive() yields std::optional<T>,
+//    nullopt after close(). The basis of simulated network endpoints.
+//  - Resource: counted FIFO server pool (node CPUs, disk arms). use(cost)
+//    models "occupy one server for `cost` virtual time".
+//  - CountdownLatch: await N completions (master waiting for slave acks).
+//
+// All wakeups are routed through the Simulation event queue, never resumed
+// inline, keeping execution order deterministic and stacks shallow.
+#pragma once
+
+#include <deque>
+#include <optional>
+
+#include "sim/simulation.hpp"
+#include "sim/task.hpp"
+
+namespace dmv::sim {
+
+class WaitQueue {
+ public:
+  explicit WaitQueue(Simulation& sim) : sim_(&sim) {}
+  WaitQueue(const WaitQueue&) = delete;
+  WaitQueue& operator=(const WaitQueue&) = delete;
+  // Destroying a queue with suspended waiters is legal only at simulation
+  // teardown (the waiters' frames are abandoned along with the event
+  // queue); mid-run, owners must notify/cancel first.
+  ~WaitQueue() { waiters_.clear(); }
+
+  struct Waiter {
+    WaitQueue* q;
+    bool result = false;
+    std::coroutine_handle<> h{};
+    bool await_ready() const noexcept { return false; }
+    void await_suspend(std::coroutine_handle<> handle) {
+      h = handle;
+      q->waiters_.push_back(this);
+    }
+    bool await_resume() const noexcept { return result; }
+  };
+
+  // co_await q.wait() -> bool (true = notified, false = cancelled).
+  Waiter wait() { return Waiter{this}; }
+
+  void notify_one(bool ok = true);
+  void notify_all(bool ok = true);
+  size_t waiting() const { return waiters_.size(); }
+
+ private:
+  friend struct Waiter;
+  void wake(Waiter* w, bool ok);
+  Simulation* sim_;
+  std::deque<Waiter*> waiters_;
+};
+
+template <typename T>
+class Channel {
+ public:
+  explicit Channel(Simulation& sim) : sim_(&sim) {}
+  Channel(const Channel&) = delete;
+  Channel& operator=(const Channel&) = delete;
+
+  void send(T item) {
+    if (closed_) return;  // messages to a closed mailbox are dropped
+    if (!receivers_.empty()) {
+      Receiver* r = receivers_.front();
+      receivers_.pop_front();
+      r->value.emplace(std::move(item));
+      sim_->schedule_at(sim_->now(), [h = r->h] { h.resume(); });
+      return;
+    }
+    items_.push_back(std::move(item));
+  }
+
+  struct Receiver {
+    Channel* c;
+    std::optional<T> value{};
+    std::coroutine_handle<> h{};
+    bool await_ready() {
+      if (!c->items_.empty()) {
+        value.emplace(std::move(c->items_.front()));
+        c->items_.pop_front();
+        return true;
+      }
+      if (c->closed_) return true;  // resume immediately with nullopt
+      return false;
+    }
+    void await_suspend(std::coroutine_handle<> handle) {
+      h = handle;
+      c->receivers_.push_back(this);
+    }
+    std::optional<T> await_resume() noexcept { return std::move(value); }
+  };
+
+  // co_await ch.receive() -> optional<T>; nullopt means channel closed.
+  Receiver receive() { return Receiver{this}; }
+
+  // Close: pending items are discarded, blocked receivers wake with nullopt,
+  // future sends are dropped. Used when a node is killed.
+  void close() {
+    closed_ = true;
+    items_.clear();
+    auto rs = std::move(receivers_);
+    receivers_.clear();
+    for (Receiver* r : rs)
+      sim_->schedule_at(sim_->now(), [h = r->h] { h.resume(); });
+  }
+
+  // Reopen after a node restart.
+  void reopen() { closed_ = false; }
+
+  bool closed() const { return closed_; }
+  size_t size() const { return items_.size(); }
+
+ private:
+  friend struct Receiver;
+  Simulation* sim_;
+  std::deque<T> items_;
+  std::deque<Receiver*> receivers_;
+  bool closed_ = false;
+};
+
+class Resource {
+ public:
+  Resource(Simulation& sim, int capacity)
+      : sim_(&sim), capacity_(capacity), queue_(sim) {
+    DMV_ASSERT(capacity > 0);
+  }
+
+  // Occupy one server for `cost` virtual time (FIFO admission).
+  Task<> use(Time cost);
+
+  Task<> acquire();
+  void release();
+
+  int in_use() const { return in_use_; }
+  int capacity() const { return capacity_; }
+  size_t queued() const { return queue_.waiting(); }
+
+  // Cumulative busy server-time, for utilization reporting.
+  Time busy_time() const { return busy_; }
+
+ private:
+  Simulation* sim_;
+  int capacity_;
+  int in_use_ = 0;
+  Time busy_ = 0;
+  WaitQueue queue_;
+};
+
+class CountdownLatch {
+ public:
+  CountdownLatch(Simulation& sim, int count) : count_(count), queue_(sim) {}
+
+  void count_down() {
+    if (count_ > 0 && --count_ == 0) queue_.notify_all();
+  }
+  // Cancel releases waiters with `false` (e.g. a slave died mid-ack).
+  void cancel() { queue_.notify_all(false); }
+
+  // Returns true when the count reached zero, false if cancelled.
+  Task<bool> wait();
+
+  int remaining() const { return count_; }
+
+ private:
+  int count_;
+  WaitQueue queue_;
+};
+
+}  // namespace dmv::sim

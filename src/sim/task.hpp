@@ -1,0 +1,178 @@
+// Coroutine task type for simulation processes.
+//
+// Task<T> is a lazily-started, move-only coroutine handle. Awaiting a Task
+// starts it and resumes the awaiter when it completes (symmetric transfer).
+// Simulation::spawn() runs a Task<void> detached: the frame self-destructs
+// at final suspension. Exceptions propagate to the awaiter; an exception
+// escaping a detached task aborts the process (simulations are deterministic,
+// so this is always a reproducible bug, never something to swallow).
+#pragma once
+
+#include <coroutine>
+#include <cstdio>
+#include <cstdlib>
+#include <exception>
+#include <optional>
+#include <utility>
+
+namespace dmv::sim {
+
+template <typename T = void>
+class [[nodiscard]] Task;
+
+namespace detail {
+
+struct PromiseBase {
+  std::coroutine_handle<> continuation{};
+  bool detached = false;
+  std::exception_ptr error{};
+
+  std::suspend_always initial_suspend() noexcept { return {}; }
+
+  struct FinalAwaiter {
+    bool await_ready() noexcept { return false; }
+    template <typename Promise>
+    std::coroutine_handle<> await_suspend(
+        std::coroutine_handle<Promise> h) noexcept {
+      auto& p = h.promise();
+      if (p.continuation) return p.continuation;
+      if (p.detached) {
+        if (p.error) {
+          std::fprintf(stderr,
+                       "dmv::sim: exception escaped a detached task\n");
+          try {
+            std::rethrow_exception(p.error);
+          } catch (const std::exception& e) {
+            std::fprintf(stderr, "  what(): %s\n", e.what());
+          } catch (...) {
+          }
+          std::abort();
+        }
+        h.destroy();
+      }
+      return std::noop_coroutine();
+    }
+    void await_resume() noexcept {}
+  };
+
+  FinalAwaiter final_suspend() noexcept { return {}; }
+  void unhandled_exception() { error = std::current_exception(); }
+};
+
+}  // namespace detail
+
+template <typename T>
+class [[nodiscard]] Task {
+ public:
+  struct promise_type : detail::PromiseBase {
+    std::optional<T> value;
+    Task get_return_object() {
+      return Task(std::coroutine_handle<promise_type>::from_promise(*this));
+    }
+    void return_value(T v) { value.emplace(std::move(v)); }
+  };
+  using Handle = std::coroutine_handle<promise_type>;
+
+  Task() = default;
+  explicit Task(Handle h) : h_(h) {}
+  Task(Task&& o) noexcept : h_(std::exchange(o.h_, nullptr)) {}
+  Task& operator=(Task&& o) noexcept {
+    if (this != &o) {
+      destroy();
+      h_ = std::exchange(o.h_, nullptr);
+    }
+    return *this;
+  }
+  Task(const Task&) = delete;
+  Task& operator=(const Task&) = delete;
+  ~Task() { destroy(); }
+
+  bool valid() const { return h_ != nullptr; }
+
+  // Relinquish ownership (used by Simulation::spawn).
+  Handle release() { return std::exchange(h_, nullptr); }
+
+  auto operator co_await() && noexcept {
+    struct Awaiter {
+      Handle h;
+      bool await_ready() const noexcept { return !h || h.done(); }
+      std::coroutine_handle<> await_suspend(
+          std::coroutine_handle<> cont) noexcept {
+        h.promise().continuation = cont;
+        return h;
+      }
+      T await_resume() {
+        auto& p = h.promise();
+        if (p.error) std::rethrow_exception(p.error);
+        return std::move(*p.value);
+      }
+    };
+    return Awaiter{h_};
+  }
+
+ private:
+  void destroy() {
+    if (h_) {
+      h_.destroy();
+      h_ = nullptr;
+    }
+  }
+  Handle h_{};
+};
+
+template <>
+class [[nodiscard]] Task<void> {
+ public:
+  struct promise_type : detail::PromiseBase {
+    Task get_return_object() {
+      return Task(std::coroutine_handle<promise_type>::from_promise(*this));
+    }
+    void return_void() {}
+  };
+  using Handle = std::coroutine_handle<promise_type>;
+
+  Task() = default;
+  explicit Task(Handle h) : h_(h) {}
+  Task(Task&& o) noexcept : h_(std::exchange(o.h_, nullptr)) {}
+  Task& operator=(Task&& o) noexcept {
+    if (this != &o) {
+      destroy();
+      h_ = std::exchange(o.h_, nullptr);
+    }
+    return *this;
+  }
+  Task(const Task&) = delete;
+  Task& operator=(const Task&) = delete;
+  ~Task() { destroy(); }
+
+  bool valid() const { return h_ != nullptr; }
+  Handle release() { return std::exchange(h_, nullptr); }
+
+  auto operator co_await() && noexcept {
+    struct Awaiter {
+      Handle h;
+      bool await_ready() const noexcept { return !h || h.done(); }
+      std::coroutine_handle<> await_suspend(
+          std::coroutine_handle<> cont) noexcept {
+        h.promise().continuation = cont;
+        return h;
+      }
+      void await_resume() {
+        auto& p = h.promise();
+        if (p.error) std::rethrow_exception(p.error);
+      }
+    };
+    return Awaiter{h_};
+  }
+
+ private:
+  void destroy() {
+    if (h_) {
+      h_.destroy();
+      h_ = nullptr;
+    }
+  }
+  Handle h_{};
+};
+
+}  // namespace dmv::sim

@@ -1,0 +1,17 @@
+// Virtual time. The simulation clock counts microseconds from experiment
+// start; all service costs, latencies and timeouts are expressed in Time.
+#pragma once
+
+#include <cstdint>
+
+namespace dmv::sim {
+
+using Time = int64_t;  // microseconds of virtual time
+
+constexpr Time kUsec = 1;
+constexpr Time kMsec = 1000;
+constexpr Time kSec = 1'000'000;
+
+constexpr double to_seconds(Time t) { return double(t) / double(kSec); }
+
+}  // namespace dmv::sim

@@ -1,0 +1,65 @@
+// SQL abstract syntax. The dialect covers what the TPC-W-era middleware
+// actually sent to MySQL: single-table point/range SELECTs with ORDER BY
+// and LIMIT, single-row INSERTs, predicate UPDATEs and DELETEs.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "storage/value.hpp"
+
+namespace dmv::sql {
+
+enum class CmpOp { Eq, Ne, Lt, Le, Gt, Ge };
+
+struct Condition {
+  std::string column;
+  CmpOp op = CmpOp::Eq;
+  storage::Value value;
+};
+
+// WHERE is a conjunction (AND) of simple comparisons.
+using Where = std::vector<Condition>;
+
+enum class Aggregate { None, Count, Sum, Min, Max };
+
+struct SelectStmt {
+  std::vector<std::string> columns;  // empty = *
+  std::string table;
+  Where where;
+  std::optional<std::string> order_by;
+  bool order_desc = false;
+  std::optional<uint64_t> limit;
+  // Aggregate query: SELECT COUNT(*) / SUM(col) / MIN(col) / MAX(col).
+  Aggregate agg = Aggregate::None;
+  std::string agg_column;  // empty for COUNT(*)
+};
+
+struct InsertStmt {
+  std::string table;
+  std::vector<storage::Value> values;  // full row, schema order
+};
+
+struct UpdateStmt {
+  std::string table;
+  std::vector<std::pair<std::string, storage::Value>> sets;
+  Where where;
+};
+
+struct DeleteStmt {
+  std::string table;
+  Where where;
+};
+
+using Statement =
+    std::variant<SelectStmt, InsertStmt, UpdateStmt, DeleteStmt>;
+
+// Thrown on lexical, syntactic or semantic (unknown table/column) errors.
+class SqlError : public std::runtime_error {
+ public:
+  explicit SqlError(const std::string& what) : std::runtime_error(what) {}
+};
+
+}  // namespace dmv::sql

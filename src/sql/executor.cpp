@@ -1,0 +1,424 @@
+#include "sql/executor.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <sstream>
+
+namespace dmv::sql {
+
+namespace {
+
+using storage::ColType;
+using storage::Key;
+using storage::Row;
+using storage::Value;
+
+std::string lower(std::string s) {
+  for (char& c : s) c = char(std::tolower(uint8_t(c)));
+  return s;
+}
+
+const storage::Table& resolve_table(const storage::Database& catalog,
+                                    const std::string& upper_name) {
+  const storage::Table* t = catalog.find_table(lower(upper_name));
+  if (!t) throw SqlError("unknown table: " + lower(upper_name));
+  return *t;
+}
+
+size_t resolve_column(const storage::Table& t, const std::string& upper) {
+  const std::string name = lower(upper);
+  const auto& schema = t.schema();
+  for (size_t i = 0; i < schema.column_count(); ++i)
+    if (schema.column(i).name == name) return i;
+  throw SqlError("unknown column " + name + " on " + t.name());
+}
+
+// Coerce a literal to the column's storage type (int literals may target
+// double columns and vice versa; strings must stay strings).
+Value coerce(const Value& v, ColType type) {
+  switch (type) {
+    case ColType::Int64:
+      if (const auto* i = std::get_if<int64_t>(&v)) return *i;
+      if (const auto* d = std::get_if<double>(&v)) return int64_t(*d);
+      throw SqlError("expected numeric literal");
+    case ColType::Double:
+      if (const auto* d = std::get_if<double>(&v)) return *d;
+      if (const auto* i = std::get_if<int64_t>(&v)) return double(*i);
+      throw SqlError("expected numeric literal");
+    case ColType::Chars:
+      if (const auto* s = std::get_if<std::string>(&v)) return *s;
+      throw SqlError("expected string literal");
+  }
+  throw SqlError("bad column type");
+}
+
+bool cmp_holds(const Value& lhs, CmpOp op, const Value& rhs) {
+  const auto c = storage::compare(lhs, rhs);
+  switch (op) {
+    case CmpOp::Eq:
+      return c == std::strong_ordering::equal;
+    case CmpOp::Ne:
+      return c != std::strong_ordering::equal;
+    case CmpOp::Lt:
+      return c == std::strong_ordering::less;
+    case CmpOp::Le:
+      return c != std::strong_ordering::greater;
+    case CmpOp::Gt:
+      return c == std::strong_ordering::greater;
+    case CmpOp::Ge:
+      return c != std::strong_ordering::less;
+  }
+  return false;
+}
+
+// A WHERE conjunction resolved against the schema.
+struct Bound {
+  size_t col;
+  CmpOp op;
+  Value value;  // coerced
+};
+
+std::vector<Bound> resolve_where(const storage::Table& t, const Where& w) {
+  std::vector<Bound> out;
+  for (const auto& c : w) {
+    Bound b;
+    b.col = resolve_column(t, c.column);
+    b.op = c.op;
+    b.value = coerce(c.value, t.schema().column(b.col).type);
+    out.push_back(std::move(b));
+  }
+  return out;
+}
+
+bool row_matches(const Row& row, const std::vector<Bound>& bounds) {
+  for (const auto& b : bounds)
+    if (!cmp_holds(row[b.col], b.op, b.value)) return false;
+  return true;
+}
+
+// Index-aware access path: choose the index (primary = -1) whose leading
+// columns are pinned by equality bounds, optionally extended by one range
+// bound on the next column.
+struct Plan {
+  int index = -1;          // chosen index (-1 = primary)
+  std::optional<Key> lo;
+  std::optional<Key> hi;
+  bool exact_pk = false;   // full primary key pinned: point access
+  Key pk;                  // when exact_pk
+  size_t score = 0;        // pinned columns (for index choice)
+};
+
+Plan plan_access(const storage::Table& t, const std::vector<Bound>& bounds) {
+  auto eq_for = [&](size_t col) -> const Value* {
+    for (const auto& b : bounds)
+      if (b.col == col && b.op == CmpOp::Eq) return &b.value;
+    return nullptr;
+  };
+  auto range_for = [&](size_t col, const Value** lo,
+                       const Value** hi) {
+    for (const auto& b : bounds) {
+      if (b.col != col) continue;
+      if (b.op == CmpOp::Gt || b.op == CmpOp::Ge) *lo = &b.value;
+      if (b.op == CmpOp::Lt || b.op == CmpOp::Le) *hi = &b.value;
+    }
+  };
+
+  auto consider = [&](int index, const std::vector<size_t>& cols) -> Plan {
+    Plan p;
+    p.index = index;
+    Key prefix;
+    size_t i = 0;
+    for (; i < cols.size(); ++i) {
+      const Value* v = eq_for(cols[i]);
+      if (!v) break;
+      prefix.push_back(*v);
+    }
+    p.score = prefix.size();
+    if (index == -1 && prefix.size() == cols.size() && !prefix.empty()) {
+      p.exact_pk = true;
+      p.pk = prefix;
+      p.score += 1000;  // point access beats everything
+      return p;
+    }
+    Key lo = prefix, hi = prefix;
+    if (i < cols.size()) {
+      const Value* rlo = nullptr;
+      const Value* rhi = nullptr;
+      range_for(cols[i], &rlo, &rhi);
+      if (rlo || rhi) ++p.score;
+      if (rlo) lo.push_back(*rlo);
+      if (rhi) hi.push_back(*rhi);
+    }
+    if (!lo.empty()) p.lo = std::move(lo);
+    if (!hi.empty()) p.hi = std::move(hi);
+    return p;
+  };
+
+  Plan best = consider(-1, t.primary_def().cols);
+  if (best.exact_pk) return best;
+  for (size_t s = 0; s < t.secondary_count(); ++s) {
+    Plan p = consider(int(s), t.secondary_def(s).cols);
+    if (p.score > best.score) best = std::move(p);
+  }
+  return best;
+}
+
+sim::Task<std::vector<Row>> fetch_matching(api::Connection& conn,
+                                           const storage::Table& t,
+                                           const std::vector<Bound>& bounds,
+                                           bool reverse, size_t limit) {
+  const Plan plan = plan_access(t, bounds);
+  std::vector<Row> out;
+  if (plan.exact_pk) {
+    auto row = co_await conn.get(t.id(), plan.pk);
+    if (row && row_matches(*row, bounds)) out.push_back(std::move(*row));
+    co_return out;
+  }
+  api::ScanSpec spec;
+  spec.index = plan.index;
+  spec.lo = plan.lo;
+  spec.hi = plan.hi;
+  spec.reverse = reverse;
+  spec.limit = limit;
+  // Residual filter re-checks the full conjunction (bounds may exceed what
+  // the index consumed).
+  std::vector<Bound> residual = bounds;
+  spec.filter = [residual](const Row& r) {
+    return row_matches(r, residual);
+  };
+  out = co_await conn.scan(t.id(), std::move(spec));
+  co_return out;
+}
+
+Key pk_of(const storage::Table& t, const Row& row) {
+  Key k;
+  for (size_t c : t.primary_def().cols) k.push_back(row[c]);
+  return k;
+}
+
+sim::Task<ResultSet> run_aggregate(api::Connection& conn,
+                                   const storage::Table& t,
+                                   const SelectStmt& s) {
+  const auto bounds = resolve_where(t, s.where);
+  auto rows = co_await fetch_matching(conn, t, bounds, false, SIZE_MAX);
+  ResultSet rs;
+  if (s.agg == Aggregate::Count) {
+    rs.columns = {"count"};
+    rs.rows.push_back({int64_t(rows.size())});
+    co_return rs;
+  }
+  const size_t col = resolve_column(t, s.agg_column);
+  const ColType type = t.schema().column(col).type;
+  if (s.agg == Aggregate::Sum) {
+    if (type == ColType::Chars) throw SqlError("SUM over a string column");
+    rs.columns = {"sum"};
+    if (type == ColType::Int64) {
+      int64_t sum = 0;
+      for (const auto& r : rows) sum += std::get<int64_t>(r[col]);
+      rs.rows.push_back({sum});
+    } else {
+      double sum = 0;
+      for (const auto& r : rows) sum += std::get<double>(r[col]);
+      rs.rows.push_back({sum});
+    }
+    co_return rs;
+  }
+  rs.columns = {s.agg == Aggregate::Min ? "min" : "max"};
+  if (rows.empty()) co_return rs;
+  const Value* best = &rows[0][col];
+  for (const auto& r : rows) {
+    const auto c = storage::compare(r[col], *best);
+    if (s.agg == Aggregate::Min ? c == std::strong_ordering::less
+                                : c == std::strong_ordering::greater)
+      best = &r[col];
+  }
+  rs.rows.push_back({*best});
+  co_return rs;
+}
+
+sim::Task<ResultSet> run_select(api::Connection& conn,
+                                const storage::Table& t,
+                                const SelectStmt& s) {
+  if (s.agg != Aggregate::None)
+    co_return co_await run_aggregate(conn, t, s);
+  const auto bounds = resolve_where(t, s.where);
+  // ORDER BY served by the scan only if it is the leading column of the
+  // chosen index and there is no post-sort ambiguity; otherwise sort here.
+  bool post_sort = false;
+  size_t order_col = 0;
+  if (s.order_by) {
+    order_col = resolve_column(t, *s.order_by);
+    post_sort = true;
+  }
+  // With a post-sort we must materialize every match before LIMIT.
+  const size_t scan_limit =
+      post_sort ? SIZE_MAX : (s.limit ? size_t(*s.limit) : SIZE_MAX);
+  auto rows = co_await fetch_matching(conn, t, bounds,
+                                      /*reverse=*/false, scan_limit);
+  if (post_sort) {
+    std::stable_sort(rows.begin(), rows.end(),
+                     [&](const Row& a, const Row& b) {
+                       const auto c =
+                           storage::compare(a[order_col], b[order_col]);
+                       return s.order_desc
+                                  ? c == std::strong_ordering::greater
+                                  : c == std::strong_ordering::less;
+                     });
+  }
+  if (s.limit && rows.size() > *s.limit) rows.resize(size_t(*s.limit));
+
+  ResultSet rs;
+  std::vector<size_t> proj;
+  if (s.columns.empty()) {
+    for (size_t i = 0; i < t.schema().column_count(); ++i) {
+      proj.push_back(i);
+      rs.columns.push_back(t.schema().column(i).name);
+    }
+  } else {
+    for (const auto& c : s.columns) {
+      proj.push_back(resolve_column(t, c));
+      rs.columns.push_back(lower(c));
+    }
+  }
+  for (auto& row : rows) {
+    Row r;
+    r.reserve(proj.size());
+    for (size_t c : proj) r.push_back(row[c]);
+    rs.rows.push_back(std::move(r));
+  }
+  co_return rs;
+}
+
+sim::Task<ResultSet> run_insert(api::Connection& conn,
+                                const storage::Table& t,
+                                const InsertStmt& s) {
+  if (s.values.size() != t.schema().column_count())
+    throw SqlError("INSERT arity mismatch on " + t.name());
+  Row row;
+  row.reserve(s.values.size());
+  for (size_t i = 0; i < s.values.size(); ++i)
+    row.push_back(coerce(s.values[i], t.schema().column(i).type));
+  const bool ok = co_await conn.insert(t.id(), row);
+  if (!ok) throw SqlError("duplicate primary key on " + t.name());
+  ResultSet rs;
+  rs.affected = 1;
+  co_return rs;
+}
+
+sim::Task<ResultSet> run_update(api::Connection& conn,
+                                const storage::Table& t,
+                                const UpdateStmt& s) {
+  const auto bounds = resolve_where(t, s.where);
+  std::vector<std::pair<size_t, Value>> sets;
+  for (const auto& [col, v] : s.sets) {
+    const size_t c = resolve_column(t, col);
+    sets.emplace_back(c, coerce(v, t.schema().column(c).type));
+  }
+  auto rows = co_await fetch_matching(conn, t, bounds, false, SIZE_MAX);
+  ResultSet rs;
+  for (const auto& row : rows) {
+    Key k = pk_of(t, row);
+    const bool ok = co_await conn.update(t.id(), k, [&sets](Row& r) {
+      for (const auto& [c, v] : sets) r[c] = v;
+    });
+    if (ok) ++rs.affected;
+  }
+  co_return rs;
+}
+
+sim::Task<ResultSet> run_delete(api::Connection& conn,
+                                const storage::Table& t,
+                                const DeleteStmt& s) {
+  const auto bounds = resolve_where(t, s.where);
+  auto rows = co_await fetch_matching(conn, t, bounds, false, SIZE_MAX);
+  ResultSet rs;
+  for (const auto& row : rows) {
+    Key k = pk_of(t, row);
+    if (co_await conn.remove(t.id(), k)) ++rs.affected;
+  }
+  co_return rs;
+}
+
+std::string value_str(const Value& v) {
+  if (const auto* i = std::get_if<int64_t>(&v)) return std::to_string(*i);
+  if (const auto* d = std::get_if<double>(&v)) {
+    std::ostringstream os;
+    os << *d;
+    return os.str();
+  }
+  return std::get<std::string>(v);
+}
+
+}  // namespace
+
+bool is_read_only(const Statement& stmt) {
+  return std::holds_alternative<SelectStmt>(stmt);
+}
+
+sim::Task<ResultSet> execute(api::Connection& conn,
+                             const storage::Database& catalog,
+                             const Statement& stmt) {
+  if (const auto* s = std::get_if<SelectStmt>(&stmt)) {
+    const auto& t = resolve_table(catalog, s->table);
+    co_return co_await run_select(conn, t, *s);
+  }
+  if (const auto* s = std::get_if<InsertStmt>(&stmt)) {
+    const auto& t = resolve_table(catalog, s->table);
+    co_return co_await run_insert(conn, t, *s);
+  }
+  if (const auto* s = std::get_if<UpdateStmt>(&stmt)) {
+    const auto& t = resolve_table(catalog, s->table);
+    co_return co_await run_update(conn, t, *s);
+  }
+  const auto& s = std::get<DeleteStmt>(stmt);
+  const auto& t = resolve_table(catalog, s.table);
+  co_return co_await run_delete(conn, t, s);
+}
+
+sim::Task<ResultSet> execute_sql(api::Connection& conn,
+                                 const storage::Database& catalog,
+                                 std::string text) {
+  const Statement stmt = parse(text);
+  co_return co_await execute(conn, catalog, stmt);
+}
+
+std::string format(const ResultSet& rs) {
+  std::ostringstream os;
+  if (rs.columns.empty()) {
+    os << rs.affected << " row(s) affected\n";
+    return os.str();
+  }
+  std::vector<size_t> w(rs.columns.size());
+  for (size_t i = 0; i < rs.columns.size(); ++i)
+    w[i] = rs.columns[i].size();
+  std::vector<std::vector<std::string>> cells;
+  for (const auto& row : rs.rows) {
+    std::vector<std::string> line;
+    for (size_t i = 0; i < row.size(); ++i) {
+      line.push_back(value_str(row[i]));
+      w[i] = std::max(w[i], line.back().size());
+    }
+    cells.push_back(std::move(line));
+  }
+  auto rule = [&] {
+    for (size_t i = 0; i < w.size(); ++i)
+      os << "+" << std::string(w[i] + 2, '-');
+    os << "+\n";
+  };
+  auto line = [&](const std::vector<std::string>& vals) {
+    for (size_t i = 0; i < w.size(); ++i) {
+      const std::string& v = i < vals.size() ? vals[i] : std::string();
+      os << "| " << v << std::string(w[i] - v.size() + 1, ' ');
+    }
+    os << "|\n";
+  };
+  rule();
+  line(rs.columns);
+  rule();
+  for (const auto& c : cells) line(c);
+  rule();
+  os << rs.rows.size() << " row(s)\n";
+  return os.str();
+}
+
+}  // namespace dmv::sql

@@ -1,0 +1,44 @@
+// SQL planner + executor over api::Connection.
+//
+// The same statement runs unchanged on a stand-alone on-disk engine, a
+// single in-memory engine, or a whole DMV cluster session (see
+// examples/sql_bookstore.cpp, which ships SQL text through the scheduler).
+//
+// Planning is index-aware: a WHERE conjunction that pins the full primary
+// key becomes a point get; a prefix of the primary key or of a secondary
+// index becomes a range scan with residual filtering; everything else is a
+// filtered full scan. ORDER BY is served from the index when it matches
+// the scan order, else sorted after the fact.
+#pragma once
+
+#include "api/api.hpp"
+#include "sql/parser.hpp"
+#include "storage/table.hpp"
+
+namespace dmv::sql {
+
+struct ResultSet {
+  std::vector<std::string> columns;
+  std::vector<storage::Row> rows;
+  uint64_t affected = 0;  // for INSERT/UPDATE/DELETE
+};
+
+// `catalog` supplies table names, schemas and index definitions; every
+// replica builds the identical catalog, so any Database constructed from
+// the deployment's SchemaFn works (it may be empty of data).
+sim::Task<ResultSet> execute(api::Connection& conn,
+                             const storage::Database& catalog,
+                             const Statement& stmt);
+
+// Parse + execute.
+sim::Task<ResultSet> execute_sql(api::Connection& conn,
+                                 const storage::Database& catalog,
+                                 std::string text);
+
+// True if the statement only reads (routing hint for schedulers).
+bool is_read_only(const Statement& stmt);
+
+// Render a result set as an aligned text table (for shells/examples).
+std::string format(const ResultSet& rs);
+
+}  // namespace dmv::sql

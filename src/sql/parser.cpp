@@ -1,0 +1,294 @@
+#include "sql/parser.hpp"
+
+#include <cctype>
+
+namespace dmv::sql {
+
+namespace {
+
+enum class Tok { Ident, Number, String, Symbol, End };
+
+struct Token {
+  Tok kind = Tok::End;
+  std::string text;   // identifier (upper-cased) / symbol / raw string
+  double num = 0;
+  bool is_double = false;
+};
+
+class Lexer {
+ public:
+  explicit Lexer(const std::string& s) : s_(s) { advance(); }
+
+  const Token& peek() const { return cur_; }
+
+  Token take() {
+    Token t = cur_;
+    advance();
+    return t;
+  }
+
+ private:
+  void advance() {
+    while (i_ < s_.size() && std::isspace(uint8_t(s_[i_]))) ++i_;
+    cur_ = Token{};
+    if (i_ >= s_.size()) {
+      cur_.kind = Tok::End;
+      return;
+    }
+    const char c = s_[i_];
+    if (std::isalpha(uint8_t(c)) || c == '_') {
+      size_t j = i_;
+      while (j < s_.size() &&
+             (std::isalnum(uint8_t(s_[j])) || s_[j] == '_'))
+        ++j;
+      cur_.kind = Tok::Ident;
+      cur_.text = s_.substr(i_, j - i_);
+      for (char& ch : cur_.text) ch = char(std::toupper(uint8_t(ch)));
+      i_ = j;
+      return;
+    }
+    if (std::isdigit(uint8_t(c)) ||
+        (c == '-' && i_ + 1 < s_.size() &&
+         std::isdigit(uint8_t(s_[i_ + 1])))) {
+      size_t j = i_ + 1;
+      bool dot = false;
+      while (j < s_.size() &&
+             (std::isdigit(uint8_t(s_[j])) || s_[j] == '.')) {
+        if (s_[j] == '.') dot = true;
+        ++j;
+      }
+      cur_.kind = Tok::Number;
+      cur_.text = s_.substr(i_, j - i_);
+      cur_.num = std::stod(cur_.text);
+      cur_.is_double = dot;
+      i_ = j;
+      return;
+    }
+    if (c == '\'') {
+      size_t j = i_ + 1;
+      std::string out;
+      while (j < s_.size() && s_[j] != '\'') out.push_back(s_[j++]);
+      if (j >= s_.size()) throw SqlError("unterminated string literal");
+      cur_.kind = Tok::String;
+      cur_.text = std::move(out);
+      i_ = j + 1;
+      return;
+    }
+    // multi-char comparison symbols
+    static const char* kTwo[] = {"<=", ">=", "!=", "<>"};
+    for (const char* sym : kTwo) {
+      if (s_.compare(i_, 2, sym) == 0) {
+        cur_.kind = Tok::Symbol;
+        cur_.text = sym;
+        i_ += 2;
+        return;
+      }
+    }
+    cur_.kind = Tok::Symbol;
+    cur_.text = std::string(1, c);
+    ++i_;
+  }
+
+  const std::string& s_;
+  size_t i_ = 0;
+  Token cur_;
+};
+
+class Parser {
+ public:
+  explicit Parser(const std::string& s) : lex_(s) {}
+
+  Statement parse() {
+    const Token t = lex_.take();
+    if (t.kind != Tok::Ident) throw SqlError("expected statement keyword");
+    Statement out = [&]() -> Statement {
+      if (t.text == "SELECT") return select();
+      if (t.text == "INSERT") return insert();
+      if (t.text == "UPDATE") return update();
+      if (t.text == "DELETE") return del();
+      throw SqlError("unknown statement: " + t.text);
+    }();
+    // optional trailing semicolon
+    if (lex_.peek().kind == Tok::Symbol && lex_.peek().text == ";")
+      lex_.take();
+    if (lex_.peek().kind != Tok::End)
+      throw SqlError("trailing tokens after statement");
+    return out;
+  }
+
+ private:
+  std::string ident(const char* what) {
+    const Token t = lex_.take();
+    if (t.kind != Tok::Ident) throw SqlError(std::string("expected ") + what);
+    return t.text;
+  }
+
+  void keyword(const char* kw) {
+    const Token t = lex_.take();
+    if (t.kind != Tok::Ident || t.text != kw)
+      throw SqlError(std::string("expected ") + kw);
+  }
+
+  void symbol(const char* s) {
+    const Token t = lex_.take();
+    if (t.kind != Tok::Symbol || t.text != s)
+      throw SqlError(std::string("expected '") + s + "'");
+  }
+
+  bool accept_keyword(const char* kw) {
+    if (lex_.peek().kind == Tok::Ident && lex_.peek().text == kw) {
+      lex_.take();
+      return true;
+    }
+    return false;
+  }
+
+  storage::Value value() {
+    const Token t = lex_.take();
+    if (t.kind == Tok::Number) {
+      if (t.is_double) return t.num;
+      return int64_t(t.num);
+    }
+    if (t.kind == Tok::String) return t.text;
+    throw SqlError("expected literal value");
+  }
+
+  CmpOp cmp_op() {
+    const Token t = lex_.take();
+    if (t.kind != Tok::Symbol) throw SqlError("expected comparison");
+    if (t.text == "=") return CmpOp::Eq;
+    if (t.text == "!=" || t.text == "<>") return CmpOp::Ne;
+    if (t.text == "<") return CmpOp::Lt;
+    if (t.text == "<=") return CmpOp::Le;
+    if (t.text == ">") return CmpOp::Gt;
+    if (t.text == ">=") return CmpOp::Ge;
+    throw SqlError("unknown comparison: " + t.text);
+  }
+
+  Where where_clause() {
+    Where w;
+    if (!accept_keyword("WHERE")) return w;
+    for (;;) {
+      Condition c;
+      c.column = ident("column");
+      c.op = cmp_op();
+      c.value = value();
+      w.push_back(std::move(c));
+      if (!accept_keyword("AND")) break;
+    }
+    return w;
+  }
+
+  SelectStmt select() {
+    SelectStmt s;
+    bool parsed_projection = false;
+    if (lex_.peek().kind == Tok::Ident &&
+        (lex_.peek().text == "COUNT" || lex_.peek().text == "SUM" ||
+         lex_.peek().text == "MIN" || lex_.peek().text == "MAX")) {
+      const std::string fn = lex_.take().text;
+      if (lex_.peek().kind == Tok::Symbol && lex_.peek().text == "(") {
+        s.agg = fn == "COUNT"  ? Aggregate::Count
+                : fn == "SUM" ? Aggregate::Sum
+                : fn == "MIN" ? Aggregate::Min
+                              : Aggregate::Max;
+        symbol("(");
+        if (s.agg == Aggregate::Count &&
+            lex_.peek().kind == Tok::Symbol && lex_.peek().text == "*") {
+          lex_.take();
+        } else {
+          s.agg_column = ident("column");
+        }
+        symbol(")");
+        parsed_projection = true;
+      } else {
+        // A column that merely shares an aggregate's name.
+        s.columns.push_back(fn);
+        if (lex_.peek().kind == Tok::Symbol && lex_.peek().text == ",") {
+          lex_.take();
+        } else {
+          parsed_projection = true;
+        }
+      }
+    }
+    if (!parsed_projection) {
+      if (lex_.peek().kind == Tok::Symbol && lex_.peek().text == "*") {
+        lex_.take();
+      } else {
+        for (;;) {
+          s.columns.push_back(ident("column"));
+          if (lex_.peek().kind == Tok::Symbol && lex_.peek().text == ",")
+            lex_.take();
+          else
+            break;
+        }
+      }
+    }
+    keyword("FROM");
+    s.table = ident("table");
+    s.where = where_clause();
+    if (accept_keyword("ORDER")) {
+      keyword("BY");
+      s.order_by = ident("column");
+      if (accept_keyword("DESC"))
+        s.order_desc = true;
+      else
+        accept_keyword("ASC");
+    }
+    if (accept_keyword("LIMIT")) {
+      const Token t = lex_.take();
+      if (t.kind != Tok::Number || t.is_double)
+        throw SqlError("LIMIT expects an integer");
+      s.limit = uint64_t(t.num);
+    }
+    return s;
+  }
+
+  InsertStmt insert() {
+    keyword("INTO");
+    InsertStmt s;
+    s.table = ident("table");
+    keyword("VALUES");
+    symbol("(");
+    for (;;) {
+      s.values.push_back(value());
+      const Token t = lex_.take();
+      if (t.kind != Tok::Symbol) throw SqlError("expected ',' or ')'");
+      if (t.text == ")") break;
+      if (t.text != ",") throw SqlError("expected ',' or ')'");
+    }
+    return s;
+  }
+
+  UpdateStmt update() {
+    UpdateStmt s;
+    s.table = ident("table");
+    keyword("SET");
+    for (;;) {
+      std::string col = ident("column");
+      symbol("=");
+      s.sets.emplace_back(std::move(col), value());
+      if (lex_.peek().kind == Tok::Symbol && lex_.peek().text == ",")
+        lex_.take();
+      else
+        break;
+    }
+    s.where = where_clause();
+    return s;
+  }
+
+  DeleteStmt del() {
+    keyword("FROM");
+    DeleteStmt s;
+    s.table = ident("table");
+    s.where = where_clause();
+    return s;
+  }
+
+  Lexer lex_;
+};
+
+}  // namespace
+
+Statement parse(const std::string& text) { return Parser(text).parse(); }
+
+}  // namespace dmv::sql

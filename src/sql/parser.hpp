@@ -1,0 +1,12 @@
+// Hand-written lexer + recursive-descent parser for the SQL dialect in
+// ast.hpp. Strings use single quotes; identifiers and keywords are
+// case-insensitive; numbers with a '.' parse as doubles.
+#pragma once
+
+#include "sql/ast.hpp"
+
+namespace dmv::sql {
+
+Statement parse(const std::string& text);
+
+}  // namespace dmv::sql

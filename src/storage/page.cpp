@@ -1,0 +1,10 @@
+#include "storage/page.hpp"
+
+// Page is header-only; this translation unit exists to give the target a
+// compiled anchor and to host static checks.
+namespace dmv::storage {
+
+static_assert(kPageHeader * 8 >= (kPageSize - kPageHeader) / 16,
+              "bitmap must cover the worst-case slot count (16-byte rows)");
+
+}  // namespace dmv::storage

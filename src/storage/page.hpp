@@ -1,0 +1,107 @@
+// Physical pages: the unit of concurrency control, versioning, diffing,
+// checkpointing and migration throughout the system (as in the paper).
+//
+// Layout: a 64-byte slot-occupancy bitmap (up to 512 slots) followed by
+// fixed-width row slots. The bitmap lives *inside* the page image so that
+// replicating byte diffs also replicates slot allocation exactly.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <cstring>
+#include <span>
+
+#include "util/assert.hpp"
+
+namespace dmv::storage {
+
+constexpr size_t kPageSize = 8192;
+constexpr size_t kPageHeader = 64;  // occupancy bitmap, 512 slots max
+constexpr size_t kMaxSlots = kPageHeader * 8;
+
+using TableId = uint32_t;
+
+// Page index within one table's page array.
+using PageNo = uint32_t;
+
+// Globally unique page identifier.
+struct PageId {
+  TableId table = 0;
+  PageNo page = 0;
+
+  friend auto operator<=>(const PageId&, const PageId&) = default;
+};
+
+struct PageIdHash {
+  size_t operator()(const PageId& p) const {
+    return (size_t(p.table) << 40) ^ p.page;
+  }
+};
+
+// Row address within a table.
+struct RowId {
+  PageNo page = 0;
+  uint16_t slot = 0;
+
+  friend auto operator<=>(const RowId&, const RowId&) = default;
+};
+
+class Page {
+ public:
+  Page() { bytes_.fill(std::byte{0}); }
+
+  static size_t slots_per_page(size_t row_size) {
+    DMV_ASSERT(row_size > 0 && row_size <= kPageSize - kPageHeader);
+    return std::min(kMaxSlots, (kPageSize - kPageHeader) / row_size);
+  }
+
+  bool occupied(size_t slot) const {
+    DMV_ASSERT(slot < kMaxSlots);
+    return (std::to_integer<uint8_t>(bytes_[slot / 8]) >> (slot % 8)) & 1;
+  }
+
+  void set_occupied(size_t slot, bool on) {
+    DMV_ASSERT(slot < kMaxSlots);
+    uint8_t b = std::to_integer<uint8_t>(bytes_[slot / 8]);
+    if (on)
+      b |= uint8_t(1u << (slot % 8));
+    else
+      b &= uint8_t(~(1u << (slot % 8)));
+    bytes_[slot / 8] = std::byte{b};
+  }
+
+  size_t occupied_count(size_t nslots) const {
+    size_t n = 0;
+    for (size_t s = 0; s < nslots; ++s)
+      if (occupied(s)) ++n;
+    return n;
+  }
+
+  std::span<std::byte> slot_bytes(size_t slot, size_t row_size) {
+    DMV_ASSERT(kPageHeader + (slot + 1) * row_size <= kPageSize);
+    return {bytes_.data() + kPageHeader + slot * row_size, row_size};
+  }
+  std::span<const std::byte> slot_bytes(size_t slot, size_t row_size) const {
+    DMV_ASSERT(kPageHeader + (slot + 1) * row_size <= kPageSize);
+    return {bytes_.data() + kPageHeader + slot * row_size, row_size};
+  }
+
+  std::span<std::byte> raw() { return bytes_; }
+  std::span<const std::byte> raw() const { return bytes_; }
+
+  bool operator==(const Page& o) const {
+    return std::memcmp(bytes_.data(), o.bytes_.data(), kPageSize) == 0;
+  }
+
+ private:
+  std::array<std::byte, kPageSize> bytes_;
+};
+
+// Per-page bookkeeping kept *outside* the page image (not diffed): the
+// database version this page was last modified at (master) or brought up to
+// (slave). Checkpoints persist (image, version) pairs atomically.
+struct PageMeta {
+  uint64_t version = 0;
+};
+
+}  // namespace dmv::storage

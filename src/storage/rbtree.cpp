@@ -1,0 +1,384 @@
+#include "storage/rbtree.hpp"
+
+#include <vector>
+
+namespace dmv::storage {
+
+struct RbTree::Node {
+  Key key;
+  RowId rid;
+  Node* left;
+  Node* right;
+  Node* parent;
+  bool red;
+};
+
+RbTree::RbTree() {
+  nil_ = new Node{};
+  nil_->left = nil_->right = nil_->parent = nil_;
+  nil_->red = false;
+  root_ = nil_;
+}
+
+RbTree::~RbTree() {
+  clear();
+  delete nil_;
+}
+
+RbTree::RbTree(RbTree&& o) noexcept
+    : root_(o.root_), nil_(o.nil_), size_(o.size_), rotations_(o.rotations_) {
+  o.nil_ = new Node{};
+  o.nil_->left = o.nil_->right = o.nil_->parent = o.nil_;
+  o.nil_->red = false;
+  o.root_ = o.nil_;
+  o.size_ = 0;
+}
+
+RbTree& RbTree::operator=(RbTree&& o) noexcept {
+  if (this != &o) {
+    clear();
+    delete nil_;
+    root_ = o.root_;
+    nil_ = o.nil_;
+    size_ = o.size_;
+    rotations_ = o.rotations_;
+    o.nil_ = new Node{};
+    o.nil_->left = o.nil_->right = o.nil_->parent = o.nil_;
+    o.nil_->red = false;
+    o.root_ = o.nil_;
+    o.size_ = 0;
+  }
+  return *this;
+}
+
+void RbTree::free_subtree(Node* n) {
+  // Iterative post-order free to avoid deep recursion on large tables.
+  std::vector<Node*> stack;
+  if (n != nil_) stack.push_back(n);
+  while (!stack.empty()) {
+    Node* cur = stack.back();
+    stack.pop_back();
+    if (cur->left != nil_) stack.push_back(cur->left);
+    if (cur->right != nil_) stack.push_back(cur->right);
+    delete cur;
+  }
+}
+
+void RbTree::clear() {
+  free_subtree(root_);
+  root_ = nil_;
+  size_ = 0;
+}
+
+void RbTree::rotate_left(Node* x) {
+  ++rotations_;
+  Node* y = x->right;
+  x->right = y->left;
+  if (y->left != nil_) y->left->parent = x;
+  y->parent = x->parent;
+  if (x->parent == nil_)
+    root_ = y;
+  else if (x == x->parent->left)
+    x->parent->left = y;
+  else
+    x->parent->right = y;
+  y->left = x;
+  x->parent = y;
+}
+
+void RbTree::rotate_right(Node* x) {
+  ++rotations_;
+  Node* y = x->left;
+  x->left = y->right;
+  if (y->right != nil_) y->right->parent = x;
+  y->parent = x->parent;
+  if (x->parent == nil_)
+    root_ = y;
+  else if (x == x->parent->right)
+    x->parent->right = y;
+  else
+    x->parent->left = y;
+  y->right = x;
+  x->parent = y;
+}
+
+bool RbTree::insert(const Key& key, RowId rid) {
+  Node* y = nil_;
+  Node* x = root_;
+  while (x != nil_) {
+    y = x;
+    const auto c = compare(key, x->key);
+    if (c == std::strong_ordering::equal) return false;
+    x = (c == std::strong_ordering::less) ? x->left : x->right;
+  }
+  Node* z = new Node{key, rid, nil_, nil_, y, true};
+  if (y == nil_)
+    root_ = z;
+  else if (key_less(key, y->key))
+    y->left = z;
+  else
+    y->right = z;
+  insert_fixup(z);
+  ++size_;
+  return true;
+}
+
+void RbTree::insert_fixup(Node* z) {
+  while (z->parent->red) {
+    if (z->parent == z->parent->parent->left) {
+      Node* y = z->parent->parent->right;
+      if (y->red) {
+        z->parent->red = false;
+        y->red = false;
+        z->parent->parent->red = true;
+        z = z->parent->parent;
+      } else {
+        if (z == z->parent->right) {
+          z = z->parent;
+          rotate_left(z);
+        }
+        z->parent->red = false;
+        z->parent->parent->red = true;
+        rotate_right(z->parent->parent);
+      }
+    } else {
+      Node* y = z->parent->parent->left;
+      if (y->red) {
+        z->parent->red = false;
+        y->red = false;
+        z->parent->parent->red = true;
+        z = z->parent->parent;
+      } else {
+        if (z == z->parent->left) {
+          z = z->parent;
+          rotate_right(z);
+        }
+        z->parent->red = false;
+        z->parent->parent->red = true;
+        rotate_left(z->parent->parent);
+      }
+    }
+  }
+  root_->red = false;
+}
+
+RbTree::Node* RbTree::minimum(Node* x) const {
+  while (x->left != nil_) x = x->left;
+  return x;
+}
+
+RbTree::Node* RbTree::maximum(Node* x) const {
+  while (x->right != nil_) x = x->right;
+  return x;
+}
+
+void RbTree::transplant(Node* u, Node* v) {
+  if (u->parent == nil_)
+    root_ = v;
+  else if (u == u->parent->left)
+    u->parent->left = v;
+  else
+    u->parent->right = v;
+  v->parent = u->parent;
+}
+
+bool RbTree::erase(const Key& key) {
+  Node* z = root_;
+  while (z != nil_) {
+    const auto c = compare(key, z->key);
+    if (c == std::strong_ordering::equal) break;
+    z = (c == std::strong_ordering::less) ? z->left : z->right;
+  }
+  if (z == nil_) return false;
+
+  Node* y = z;
+  bool y_was_red = y->red;
+  Node* x;
+  if (z->left == nil_) {
+    x = z->right;
+    transplant(z, z->right);
+  } else if (z->right == nil_) {
+    x = z->left;
+    transplant(z, z->left);
+  } else {
+    y = minimum(z->right);
+    y_was_red = y->red;
+    x = y->right;
+    if (y->parent == z) {
+      x->parent = y;
+    } else {
+      transplant(y, y->right);
+      y->right = z->right;
+      y->right->parent = y;
+    }
+    transplant(z, y);
+    y->left = z->left;
+    y->left->parent = y;
+    y->red = z->red;
+  }
+  delete z;
+  if (!y_was_red) erase_fixup(x);
+  --size_;
+  return true;
+}
+
+void RbTree::erase_fixup(Node* x) {
+  while (x != root_ && !x->red) {
+    if (x == x->parent->left) {
+      Node* w = x->parent->right;
+      if (w->red) {
+        w->red = false;
+        x->parent->red = true;
+        rotate_left(x->parent);
+        w = x->parent->right;
+      }
+      if (!w->left->red && !w->right->red) {
+        w->red = true;
+        x = x->parent;
+      } else {
+        if (!w->right->red) {
+          w->left->red = false;
+          w->red = true;
+          rotate_right(w);
+          w = x->parent->right;
+        }
+        w->red = x->parent->red;
+        x->parent->red = false;
+        w->right->red = false;
+        rotate_left(x->parent);
+        x = root_;
+      }
+    } else {
+      Node* w = x->parent->left;
+      if (w->red) {
+        w->red = false;
+        x->parent->red = true;
+        rotate_right(x->parent);
+        w = x->parent->left;
+      }
+      if (!w->right->red && !w->left->red) {
+        w->red = true;
+        x = x->parent;
+      } else {
+        if (!w->left->red) {
+          w->right->red = false;
+          w->red = true;
+          rotate_left(w);
+          w = x->parent->left;
+        }
+        w->red = x->parent->red;
+        x->parent->red = false;
+        w->left->red = false;
+        rotate_right(x->parent);
+        x = root_;
+      }
+    }
+  }
+  x->red = false;
+}
+
+std::optional<RowId> RbTree::find(const Key& key) const {
+  Node* x = root_;
+  while (x != nil_) {
+    const auto c = compare(key, x->key);
+    if (c == std::strong_ordering::equal) return x->rid;
+    x = (c == std::strong_ordering::less) ? x->left : x->right;
+  }
+  return std::nullopt;
+}
+
+RbTree::Node* RbTree::lower_bound(const Key& key) const {
+  Node* x = root_;
+  Node* best = nil_;
+  while (x != nil_) {
+    if (!key_less(x->key, key)) {  // x->key >= key
+      best = x;
+      x = x->left;
+    } else {
+      x = x->right;
+    }
+  }
+  return best;
+}
+
+void RbTree::scan(const Key* lo, const Key* hi,
+                  const std::function<bool(const Key&, RowId)>& fn) const {
+  Node* x = lo ? lower_bound(*lo) : (root_ == nil_ ? nil_ : minimum(root_));
+  while (x != nil_) {
+    // hi is a prefix bound: stop once the key's prefix exceeds it, but keep
+    // longer keys whose prefix equals hi (composite-index range scans).
+    if (hi && compare_prefix(x->key, *hi) == std::strong_ordering::greater)
+      return;
+    if (!fn(x->key, x->rid)) return;
+    // in-order successor
+    if (x->right != nil_) {
+      x = minimum(x->right);
+    } else {
+      Node* p = x->parent;
+      while (p != nil_ && x == p->right) {
+        x = p;
+        p = p->parent;
+      }
+      x = p;
+    }
+  }
+}
+
+RbTree::Node* RbTree::upper_bound_prefix(const Key& bound) const {
+  Node* x = root_;
+  Node* best = nil_;
+  while (x != nil_) {
+    if (compare_prefix(x->key, bound) != std::strong_ordering::greater) {
+      best = x;
+      x = x->right;
+    } else {
+      x = x->left;
+    }
+  }
+  return best;
+}
+
+void RbTree::scan_desc(const Key* lo, const Key* hi,
+                       const std::function<bool(const Key&, RowId)>& fn)
+    const {
+  Node* x = hi ? upper_bound_prefix(*hi)
+               : (root_ == nil_ ? nil_ : maximum(root_));
+  while (x != nil_) {
+    if (lo && key_less(x->key, *lo)) return;
+    if (!fn(x->key, x->rid)) return;
+    // in-order predecessor
+    if (x->left != nil_) {
+      x = maximum(x->left);
+    } else {
+      Node* p = x->parent;
+      while (p != nil_ && x == p->left) {
+        x = p;
+        p = p->parent;
+      }
+      x = p;
+    }
+  }
+}
+
+bool RbTree::check_invariants() const {
+  if (root_->red) return false;
+  // Recursive check via explicit stack: returns black-height or -1 on error.
+  struct Frame {
+    const Node* n;
+    int phase;
+  };
+  // Simple recursion with lambda (tree depth is O(log n), safe).
+  std::function<int(const Node*)> check = [&](const Node* n) -> int {
+    if (n == nil_) return 1;
+    if (n->red && (n->left->red || n->right->red)) return -1;
+    if (n->left != nil_ && !key_less(n->left->key, n->key)) return -1;
+    if (n->right != nil_ && !key_less(n->key, n->right->key)) return -1;
+    const int lh = check(n->left);
+    const int rh = check(n->right);
+    if (lh < 0 || rh < 0 || lh != rh) return -1;
+    return lh + (n->red ? 0 : 1);
+  };
+  return check(root_) >= 0;
+}
+
+}  // namespace dmv::storage

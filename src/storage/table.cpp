@@ -1,0 +1,284 @@
+#include "storage/table.hpp"
+
+#include <algorithm>
+
+namespace dmv::storage {
+
+Table::Table(TableId id, std::string name, Schema schema, IndexDef primary,
+             std::vector<IndexDef> secondaries)
+    : id_(id),
+      name_(std::move(name)),
+      schema_(std::move(schema)),
+      primary_def_(std::move(primary)),
+      secondary_defs_(std::move(secondaries)),
+      slots_per_page_(Page::slots_per_page(schema_.row_size())) {
+  DMV_ASSERT_MSG(!primary_def_.cols.empty(),
+                 "table " << name_ << " needs a primary key");
+  primary_def_.unique = true;
+  for (size_t i = 0; i < secondary_defs_.size(); ++i)
+    secondary_trees_.push_back(std::make_unique<RbTree>());
+}
+
+Key Table::primary_key_of(const Row& row) const {
+  Key k;
+  k.reserve(primary_def_.cols.size());
+  for (size_t c : primary_def_.cols) k.push_back(row[c]);
+  return k;
+}
+
+Key Table::secondary_key_of(const Row& row, size_t idx) const {
+  const IndexDef& def = secondary_defs_[idx];
+  Key k;
+  k.reserve(def.cols.size() + primary_def_.cols.size());
+  for (size_t c : def.cols) k.push_back(row[c]);
+  // Append the PK so entries are unique even for non-unique indexed values.
+  for (size_t c : primary_def_.cols) k.push_back(row[c]);
+  return k;
+}
+
+size_t Table::secondary_index(const std::string& name) const {
+  for (size_t i = 0; i < secondary_defs_.size(); ++i)
+    if (secondary_defs_[i].name == name) return i;
+  DMV_ASSERT_MSG(false, "unknown index " << name << " on " << name_);
+}
+
+void Table::sec_scan(size_t idx, const Key* lo, const Key* hi,
+                     const std::function<bool(const Key&, RowId)>& fn) const {
+  DMV_ASSERT(idx < secondary_trees_.size());
+  secondary_trees_[idx]->scan(lo, hi, fn);
+}
+
+void Table::sec_scan_desc(
+    size_t idx, const Key* lo, const Key* hi,
+    const std::function<bool(const Key&, RowId)>& fn) const {
+  DMV_ASSERT(idx < secondary_trees_.size());
+  secondary_trees_[idx]->scan_desc(lo, hi, fn);
+}
+
+uint64_t Table::index_rotations() const {
+  uint64_t r = primary_tree_.rotations();
+  for (auto& t : secondary_trees_) r += t->rotations();
+  return r;
+}
+
+Page& Table::page(PageNo p) {
+  DMV_ASSERT(p < pages_.size());
+  return *pages_[p];
+}
+const Page& Table::page(PageNo p) const {
+  DMV_ASSERT(p < pages_.size());
+  return *pages_[p];
+}
+PageMeta& Table::meta(PageNo p) {
+  DMV_ASSERT_MSG(p < metas_.size(), "meta " << name_ << " page " << p
+                                            << " of " << metas_.size());
+  return metas_[p];
+}
+const PageMeta& Table::meta(PageNo p) const {
+  DMV_ASSERT(p < metas_.size());
+  return metas_[p];
+}
+
+void Table::ensure_page(PageNo p) {
+  while (pages_.size() <= p) {
+    pages_.push_back(std::make_unique<Page>());
+    metas_.push_back(PageMeta{});
+    pages_with_space_.insert(PageNo(pages_.size() - 1));
+  }
+}
+
+RowId Table::peek_insert_slot() const {
+  for (PageNo p : pages_with_space_) {
+    const Page& pg = *pages_[p];
+    for (uint16_t s = 0; s < slots_per_page_; ++s)
+      if (!pg.occupied(s)) return RowId{p, s};
+  }
+  return RowId{PageNo(pages_.size()), 0};
+}
+
+RowId Table::allocate_slot() {
+  while (!pages_with_space_.empty()) {
+    const PageNo p = *pages_with_space_.begin();
+    Page& pg = *pages_[p];
+    for (uint16_t s = 0; s < slots_per_page_; ++s) {
+      if (!pg.occupied(s)) return RowId{p, s};
+    }
+    pages_with_space_.erase(pages_with_space_.begin());  // actually full
+  }
+  const PageNo p = PageNo(pages_.size());
+  ensure_page(p);
+  return RowId{p, 0};
+}
+
+std::optional<RowId> Table::insert_row(const Row& row) {
+  const Key pk = primary_key_of(row);
+  if (primary_tree_.find(pk)) return std::nullopt;
+
+  const RowId rid = allocate_slot();
+  Page& pg = *pages_[rid.page];
+  schema_.encode(row, pg.slot_bytes(rid.slot, schema_.row_size()));
+  pg.set_occupied(rid.slot, true);
+  if (pg.occupied_count(slots_per_page_) == slots_per_page_)
+    pages_with_space_.erase(rid.page);
+
+  primary_tree_.insert(pk, rid);
+  for (size_t i = 0; i < secondary_trees_.size(); ++i)
+    secondary_trees_[i]->insert(secondary_key_of(row, i), rid);
+  ++row_count_;
+  return rid;
+}
+
+void Table::update_row(RowId rid, const Row& row) {
+  DMV_ASSERT(slot_occupied(rid));
+  const Row old = read_row(rid);
+  Page& pg = *pages_[rid.page];
+
+  const Key old_pk = primary_key_of(old);
+  const Key new_pk = primary_key_of(row);
+  if (!key_eq(old_pk, new_pk)) {
+    DMV_ASSERT_MSG(!primary_tree_.find(new_pk),
+                   "PK update collides on " << name_);
+    primary_tree_.erase(old_pk);
+    primary_tree_.insert(new_pk, rid);
+  }
+  for (size_t i = 0; i < secondary_trees_.size(); ++i) {
+    const Key ok = secondary_key_of(old, i);
+    const Key nk = secondary_key_of(row, i);
+    if (!key_eq(ok, nk)) {
+      secondary_trees_[i]->erase(ok);
+      secondary_trees_[i]->insert(nk, rid);
+    }
+  }
+  schema_.encode(row, pg.slot_bytes(rid.slot, schema_.row_size()));
+}
+
+void Table::delete_row(RowId rid) {
+  DMV_ASSERT(slot_occupied(rid));
+  const Row old = read_row(rid);
+  Page& pg = *pages_[rid.page];
+
+  primary_tree_.erase(primary_key_of(old));
+  for (size_t i = 0; i < secondary_trees_.size(); ++i)
+    secondary_trees_[i]->erase(secondary_key_of(old, i));
+
+  pg.set_occupied(rid.slot, false);
+  // Zero the slot so deleted state is byte-identical across replicas.
+  auto bytes = pg.slot_bytes(rid.slot, schema_.row_size());
+  std::fill(bytes.begin(), bytes.end(), std::byte{0});
+  pages_with_space_.insert(rid.page);
+  --row_count_;
+}
+
+Row Table::read_row(RowId rid) const {
+  DMV_ASSERT_MSG(slot_occupied(rid), "reading empty slot in " << name_);
+  return schema_.decode(
+      pages_[rid.page]->slot_bytes(rid.slot, schema_.row_size()));
+}
+
+bool Table::slot_occupied(RowId rid) const {
+  if (rid.page >= pages_.size() || rid.slot >= slots_per_page_) return false;
+  return pages_[rid.page]->occupied(rid.slot);
+}
+
+void Table::unindex_slot(PageNo p, uint16_t slot) {
+  DMV_ASSERT(p < pages_.size());
+  if (!pages_[p]->occupied(slot)) return;
+  const Row row = read_row(RowId{p, slot});
+  primary_tree_.erase(primary_key_of(row));
+  for (size_t i = 0; i < secondary_trees_.size(); ++i)
+    secondary_trees_[i]->erase(secondary_key_of(row, i));
+  --row_count_;
+}
+
+void Table::index_slot(PageNo p, uint16_t slot) {
+  DMV_ASSERT(p < pages_.size());
+  if (!pages_[p]->occupied(slot)) return;
+  const Row row = read_row(RowId{p, slot});
+  primary_tree_.insert(primary_key_of(row), RowId{p, slot});
+  for (size_t i = 0; i < secondary_trees_.size(); ++i)
+    secondary_trees_[i]->insert(secondary_key_of(row, i), RowId{p, slot});
+  ++row_count_;
+}
+
+void Table::refresh_page_bookkeeping(PageNo p) {
+  DMV_ASSERT(p < pages_.size());
+  if (pages_[p]->occupied_count(slots_per_page_) < slots_per_page_)
+    pages_with_space_.insert(p);
+  else
+    pages_with_space_.erase(p);
+}
+
+void Table::rebuild_indexes() {
+  primary_tree_.clear();
+  for (auto& t : secondary_trees_) t->clear();
+  pages_with_space_.clear();
+  row_count_ = 0;
+  for (PageNo p = 0; p < pages_.size(); ++p) {
+    for (uint16_t s = 0; s < slots_per_page_; ++s)
+      if (pages_[p]->occupied(s)) index_slot(p, s);
+    refresh_page_bookkeeping(p);
+  }
+}
+
+bool Table::pages_equal(const Table& other) const {
+  const size_t n = std::max(pages_.size(), other.pages_.size());
+  static const Page kEmpty;
+  for (size_t p = 0; p < n; ++p) {
+    const Page& a = p < pages_.size() ? *pages_[p] : kEmpty;
+    const Page& b = p < other.pages_.size() ? *other.pages_[p] : kEmpty;
+    if (!(a == b)) return false;
+  }
+  return true;
+}
+
+TableId Database::add_table(std::string name, Schema schema, IndexDef primary,
+                            std::vector<IndexDef> secondaries) {
+  const TableId id = TableId(tables_.size());
+  tables_.push_back(std::make_unique<Table>(id, std::move(name),
+                                            std::move(schema),
+                                            std::move(primary),
+                                            std::move(secondaries)));
+  return id;
+}
+
+Table& Database::table(TableId id) {
+  DMV_ASSERT(id < tables_.size());
+  return *tables_[id];
+}
+const Table& Database::table(TableId id) const {
+  DMV_ASSERT(id < tables_.size());
+  return *tables_[id];
+}
+
+Table* Database::find_table(const std::string& name) {
+  for (auto& t : tables_)
+    if (t->name() == name) return t.get();
+  return nullptr;
+}
+
+const Table* Database::find_table(const std::string& name) const {
+  for (const auto& t : tables_)
+    if (t->name() == name) return t.get();
+  return nullptr;
+}
+
+size_t Database::total_pages() const {
+  size_t n = 0;
+  for (auto& t : tables_) n += t->page_count();
+  return n;
+}
+
+size_t Database::total_rows() const {
+  size_t n = 0;
+  for (auto& t : tables_) n += t->row_count();
+  return n;
+}
+
+bool Database::pages_equal(const Database& other) const {
+  if (tables_.size() != other.tables_.size()) return false;
+  for (size_t i = 0; i < tables_.size(); ++i)
+    if (!tables_[i]->pages_equal(*other.tables_[i])) return false;
+  return true;
+}
+
+}  // namespace dmv::storage

@@ -1,0 +1,149 @@
+// Tables: slotted pages + primary/secondary RB-tree indexes.
+//
+// Table offers *raw* row operations with index maintenance and no
+// concurrency control — the transactional engines (mem::Engine,
+// disk::Engine) layer locking, undo and write-set capture on top.
+//
+// Two mutation paths exist, and tests assert they converge byte-for-byte:
+//  - logical ops (insert_row/update_row/delete_row), used by masters;
+//  - raw byte application (slaves applying replicated page diffs), after
+//    which unindex_slot/index_slot/refresh_page_bookkeeping resynchronize
+//    the indexes and free-space accounting with the new page image.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "storage/page.hpp"
+#include "storage/rbtree.hpp"
+#include "storage/schema.hpp"
+
+namespace dmv::storage {
+
+class Table {
+ public:
+  Table(TableId id, std::string name, Schema schema, IndexDef primary,
+        std::vector<IndexDef> secondaries = {});
+
+  TableId id() const { return id_; }
+  const std::string& name() const { return name_; }
+  const Schema& schema() const { return schema_; }
+  size_t slots_per_page() const { return slots_per_page_; }
+
+  // --- logical row operations (master / stand-alone path) ---
+
+  // Where the next insert will land, without side effects. The returned
+  // page may not exist yet (fresh page at the end of the table). Engines
+  // lock this page *before* calling insert_row.
+  RowId peek_insert_slot() const;
+  // Fails (nullopt) on primary-key duplicate.
+  std::optional<RowId> insert_row(const Row& row);
+  void update_row(RowId rid, const Row& row);
+  void delete_row(RowId rid);
+  Row read_row(RowId rid) const;
+  bool slot_occupied(RowId rid) const;
+  size_t row_count() const { return row_count_; }
+
+  // --- index access ---
+
+  std::optional<RowId> pk_find(const Key& key) const {
+    return primary_tree_.find(key);
+  }
+  // Prefix-aware range scan over the primary key.
+  void pk_scan(const Key* lo, const Key* hi,
+               const std::function<bool(const Key&, RowId)>& fn) const {
+    primary_tree_.scan(lo, hi, fn);
+  }
+  void pk_scan_desc(const Key* lo, const Key* hi,
+                    const std::function<bool(const Key&, RowId)>& fn) const {
+    primary_tree_.scan_desc(lo, hi, fn);
+  }
+  size_t secondary_count() const { return secondary_defs_.size(); }
+  size_t secondary_index(const std::string& name) const;
+  const IndexDef& primary_def() const { return primary_def_; }
+  const IndexDef& secondary_def(size_t i) const {
+    return secondary_defs_[i];
+  }
+  // Secondary keys carry the PK appended; scans use prefix bounds.
+  void sec_scan(size_t idx, const Key* lo, const Key* hi,
+                const std::function<bool(const Key&, RowId)>& fn) const;
+  void sec_scan_desc(size_t idx, const Key* lo, const Key* hi,
+                     const std::function<bool(const Key&, RowId)>& fn) const;
+  const RbTree& primary_tree() const { return primary_tree_; }
+  const RbTree& secondary_tree(size_t idx) const {
+    return *secondary_trees_[idx];
+  }
+  uint64_t index_rotations() const;
+
+  // --- page access (replication / checkpoint / migration path) ---
+
+  size_t page_count() const { return pages_.size(); }
+  Page& page(PageNo p);
+  const Page& page(PageNo p) const;
+  PageMeta& meta(PageNo p);
+  const PageMeta& meta(PageNo p) const;
+  // Grow the page array so that `p` exists (slaves receiving diffs for
+  // fresh pages allocated on the master).
+  void ensure_page(PageNo p);
+
+  // Raw-application index maintenance: call unindex before overwriting a
+  // slot's bytes, index after. No-ops on unoccupied slots.
+  void unindex_slot(PageNo p, uint16_t slot);
+  void index_slot(PageNo p, uint16_t slot);
+  // Recompute free-space accounting for a page after raw byte application.
+  void refresh_page_bookkeeping(PageNo p);
+
+  // Drop and rebuild every index and the free list from page contents
+  // (after checkpoint restore or bulk page migration).
+  void rebuild_indexes();
+
+  // Deep equality of page images (convergence tests).
+  bool pages_equal(const Table& other) const;
+
+  Key primary_key_of(const Row& row) const;
+
+ private:
+  Key secondary_key_of(const Row& row, size_t idx) const;
+  RowId allocate_slot();
+
+  TableId id_;
+  std::string name_;
+  Schema schema_;
+  IndexDef primary_def_;
+  std::vector<IndexDef> secondary_defs_;
+  size_t slots_per_page_;
+
+  std::vector<std::unique_ptr<Page>> pages_;
+  std::vector<PageMeta> metas_;
+  std::set<PageNo> pages_with_space_;
+  size_t row_count_ = 0;
+
+  RbTree primary_tree_;
+  std::vector<std::unique_ptr<RbTree>> secondary_trees_;
+};
+
+// A database: an ordered set of tables. Table ids are dense and stable, and
+// double as positions in the replication version vector.
+class Database {
+ public:
+  TableId add_table(std::string name, Schema schema, IndexDef primary,
+                    std::vector<IndexDef> secondaries = {});
+  Table& table(TableId id);
+  const Table& table(TableId id) const;
+  Table* find_table(const std::string& name);
+  const Table* find_table(const std::string& name) const;
+  size_t table_count() const { return tables_.size(); }
+
+  size_t total_pages() const;
+  size_t total_rows() const;
+
+  bool pages_equal(const Database& other) const;
+
+ private:
+  std::vector<std::unique_ptr<Table>> tables_;
+};
+
+}  // namespace dmv::storage

@@ -1,0 +1,140 @@
+#include "tpcw/client.hpp"
+
+namespace dmv::tpcw {
+
+TpcwClient::TpcwClient(sim::Simulation& sim, Config cfg, ExecuteFn exec,
+                       RecordFn record)
+    : sim_(sim),
+      cfg_(cfg),
+      exec_(std::move(exec)),
+      record_(std::move(record)),
+      rng_(cfg.client_id * 2654435761u + 77),
+      my_customer_(0),
+      sc_id_(0) {
+  for (const auto& e : mix_table(cfg_.mix)) weights_.push_back(e.weight);
+  my_customer_ = random_customer(rng_, cfg_.scale);
+  // Private id space, disjoint from generated data and other clients.
+  id_base_ = 1'000'000'000 + int64_t(cfg_.client_id) * 1'000'000;
+  sc_id_ = id_base_;  // this client's cart
+}
+
+void TpcwClient::start(std::shared_ptr<bool> run) {
+  sim_.spawn(loop(std::move(run)));
+}
+
+const char* TpcwClient::choose() {
+  const auto& table = mix_table(cfg_.mix);
+  const char* proc = table[rng_.weighted(weights_)].proc;
+  // Buying an empty cart degrades to filling it first; keep the session
+  // graph sane without modeling the full TPC-W navigation matrix.
+  if (proc == proc::kBuyConfirm && !cart_nonempty_) proc = proc::kShoppingCart;
+  return proc;
+}
+
+api::Params TpcwClient::params_for(const char* proc) {
+  api::Params p;
+  const int64_t now_date = sim_.now() / sim::kSec + 10'000'000;
+  p.set("date", now_date);
+  if (proc == proc::kHome) {
+    p.set("c_id", my_customer_);
+    p.set("i_id", random_item(rng_, cfg_.scale));
+  } else if (proc == proc::kProductDetail || proc == proc::kAdminRequest ||
+             proc == proc::kSearchRequest) {
+    p.set("i_id", random_item(rng_, cfg_.scale));
+  } else if (proc == proc::kNewProducts) {
+    const auto& s = subjects();
+    p.set("subject", s[size_t(rng_.below(s.size()))]);
+  } else if (proc == proc::kBestSellers) {
+    const auto& s = subjects();
+    // Scale the look-back like the benchmark's 3333 recent orders.
+    const int64_t depth =
+        std::min<int64_t>(3333, cfg_.scale.num_initial_orders() / 3 + 1);
+    p.set("depth", depth);
+    if (rng_.chance(0.5)) p.set("subject", s[size_t(rng_.below(s.size()))]);
+  } else if (proc == proc::kSearchResults) {
+    const int64_t kind = rng_.between(0, 2);
+    p.set("kind", kind);
+    if (kind == 0) {
+      const auto& s = subjects();
+      p.set("term", s[size_t(rng_.below(s.size()))]);
+    } else if (kind == 1) {
+      static const char* kPrefix[] = {"ALPHA", "BRAVO", "CHARL", "DELTA",
+                                      "ECHO_", "FOXTR", "GOLF_", "HOTEL"};
+      p.set("term", std::string(kPrefix[rng_.below(8)]));
+    } else {
+      p.set("term",
+            "alname" + std::to_string(rng_.between(0, 198)));
+    }
+  } else if (proc == proc::kOrderInquiry) {
+    p.set("uname", uname_of(my_customer_));
+  } else if (proc == proc::kOrderDisplay) {
+    p.set("c_id", my_customer_);
+  } else if (proc == proc::kShoppingCart) {
+    p.set("sc_id", sc_id_);
+    p.set("c_id", my_customer_);
+    p.set("i_id", random_item(rng_, cfg_.scale));
+    p.set("qty", rng_.between(1, 3));
+  } else if (proc == proc::kCustomerRegistration) {
+    p.set("new_c_id", id_base_ + 100'000 + (next_local_++));
+    p.set("new_addr_id", id_base_ + 200'000 + (next_local_++));
+    p.set("co_id", rng_.between(1, 92));
+  } else if (proc == proc::kBuyRequest) {
+    p.set("c_id", my_customer_);
+    p.set("sc_id", sc_id_);
+  } else if (proc == proc::kBuyConfirm) {
+    p.set("sc_id", sc_id_);
+    p.set("c_id", my_customer_);
+    p.set("new_o_id", id_base_ + 300'000 + (next_local_++));
+  } else if (proc == proc::kAdminConfirm) {
+    p.set("i_id", random_item(rng_, cfg_.scale));
+  }
+  return p;
+}
+
+sim::Task<> TpcwClient::loop(std::shared_ptr<bool> run) {
+  const auto& table = mix_table(cfg_.mix);
+  while (*run) {
+    const sim::Time think =
+        sim::Time(rng_.exponential(double(cfg_.think_mean)));
+    co_await sim_.delay(think);
+    if (!*run) break;
+
+    const char* proc = choose();
+    api::Params params = params_for(proc);
+
+    InteractionRecord rec;
+    rec.proc = proc;
+    for (const auto& e : table)
+      if (e.proc == proc) rec.is_write = e.is_write;
+    rec.start = sim_.now();
+    auto result = co_await exec_(proc, std::move(params));
+    rec.end = sim_.now();
+    rec.ok = result.has_value();
+    ++interactions_;
+    if (!rec.ok) ++errors_;
+
+    // Session-state transitions.
+    if (rec.ok && proc == proc::kShoppingCart) cart_nonempty_ = true;
+    if (rec.ok && proc == proc::kBuyConfirm && result->ok) cart_nonempty_ = false;
+
+    if (record_) record_(rec);
+  }
+}
+
+std::vector<std::unique_ptr<TpcwClient>> spawn_clients(
+    sim::Simulation& sim, size_t n, TpcwClient::Config base,
+    const std::function<ExecuteFn(size_t)>& make_exec, RecordFn record,
+    std::shared_ptr<bool> run) {
+  std::vector<std::unique_ptr<TpcwClient>> clients;
+  clients.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    TpcwClient::Config cfg = base;
+    cfg.client_id = base.client_id + i;
+    clients.push_back(std::make_unique<TpcwClient>(sim, cfg, make_exec(i),
+                                                   record));
+    clients.back()->start(run);
+  }
+  return clients;
+}
+
+}  // namespace dmv::tpcw

@@ -1,0 +1,78 @@
+// Closed-loop TPC-W client emulator.
+//
+// Each client models one emulated browser: exponentially distributed think
+// time, interaction chosen from the configured mix, session state (its
+// customer identity, its shopping cart, its private id space for new
+// customers/orders). Clients are engine-agnostic: they execute through an
+// ExecuteFn, so the same emulator drives the DMV cluster, the stand-alone
+// on-disk engine and the replicated on-disk baseline.
+#pragma once
+
+#include <functional>
+#include <memory>
+
+#include "sim/simulation.hpp"
+#include "tpcw/interactions.hpp"
+
+namespace dmv::tpcw {
+
+using ExecuteFn = std::function<sim::Task<std::optional<api::TxnResult>>(
+    const std::string&, api::Params)>;
+
+struct InteractionRecord {
+  sim::Time start = 0;
+  sim::Time end = 0;
+  bool ok = false;
+  bool is_write = false;
+  const char* proc = nullptr;
+};
+
+using RecordFn = std::function<void(const InteractionRecord&)>;
+
+class TpcwClient {
+ public:
+  struct Config {
+    Mix mix = Mix::Shopping;
+    sim::Time think_mean = 7 * sim::kSec;
+    uint64_t client_id = 0;  // unique; seeds the rng and the id space
+    ScaleConfig scale;
+  };
+
+  TpcwClient(sim::Simulation& sim, Config cfg, ExecuteFn exec,
+             RecordFn record);
+
+  // Runs until *run turns false.
+  void start(std::shared_ptr<bool> run);
+
+  uint64_t interactions() const { return interactions_; }
+  uint64_t errors() const { return errors_; }
+
+ private:
+  sim::Task<> loop(std::shared_ptr<bool> run);
+  const char* choose();
+  api::Params params_for(const char* proc);
+
+  sim::Simulation& sim_;
+  Config cfg_;
+  ExecuteFn exec_;
+  RecordFn record_;
+  util::Rng rng_;
+  std::vector<double> weights_;
+
+  // Session state.
+  int64_t my_customer_;
+  int64_t sc_id_;
+  bool cart_nonempty_ = false;
+  int64_t id_base_;
+  int64_t next_local_ = 0;
+  uint64_t interactions_ = 0;
+  uint64_t errors_ = 0;
+};
+
+// Convenience: spawn `n` clients with consecutive ids sharing a run flag.
+std::vector<std::unique_ptr<TpcwClient>> spawn_clients(
+    sim::Simulation& sim, size_t n, TpcwClient::Config base,
+    const std::function<ExecuteFn(size_t)>& make_exec, RecordFn record,
+    std::shared_ptr<bool> run);
+
+}  // namespace dmv::tpcw

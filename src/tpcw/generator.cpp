@@ -1,0 +1,139 @@
+#include "tpcw/generator.hpp"
+
+namespace dmv::tpcw {
+
+using storage::Row;
+
+std::string uname_of(int64_t c_id) {
+  return "user" + std::to_string(c_id);
+}
+
+std::string title_of(int64_t i_id) {
+  // A thin spread of prefixes so title searches hit ranges.
+  static const char* kPrefix[] = {"ALPHA", "BRAVO", "CHARL", "DELTA",
+                                  "ECHO_", "FOXTR", "GOLF_", "HOTEL"};
+  return std::string(kPrefix[i_id % 8]) + std::to_string(i_id);
+}
+
+int64_t random_item(util::Rng& rng, const ScaleConfig& scale) {
+  // NURand with A sized to the range, per TPC practice.
+  const int64_t n = scale.items;
+  const int64_t a = n <= 1000 ? 255 : (n <= 10000 ? 1023 : 8191);
+  return rng.nurand(a, 1, n);
+}
+
+int64_t random_customer(util::Rng& rng, const ScaleConfig& scale) {
+  const int64_t n = scale.num_customers();
+  const int64_t a = n <= 1000 ? 255 : (n <= 10000 ? 1023 : 8191);
+  return rng.nurand(a, 1, n);
+}
+
+std::function<void(storage::Database&)> make_loader(ScaleConfig scale) {
+  return [scale](storage::Database& db) {
+    DMV_ASSERT_MSG(db.table_count() == kTableCount,
+                   "build_schema must run before the loader");
+    util::Rng rng(scale.seed);
+    const auto& subj = subjects();
+
+    // countries
+    for (int64_t co = 1; co <= scale.num_countries(); ++co) {
+      db.table(kCountry).insert_row(
+          Row{co, "country" + std::to_string(co),
+              1.0 + double(co % 7) * 0.1, "currency" + std::to_string(co % 9)});
+    }
+
+    // authors
+    for (int64_t a = 1; a <= scale.num_authors(); ++a) {
+      db.table(kAuthor).insert_row(
+          Row{a, "afn" + std::to_string(a),
+              "alname" + std::to_string(a % 199), "am",
+              rng.between(1900, 1990), "bio"});
+    }
+
+    // addresses
+    for (int64_t ad = 1; ad <= scale.num_addresses(); ++ad) {
+      db.table(kAddress).insert_row(
+          Row{ad, "street1", "street2", "city" + std::to_string(ad % 100),
+              "state" + std::to_string(ad % 50),
+              "zip" + std::to_string(ad % 1000),
+              1 + rng.between(0, scale.num_countries() - 1)});
+    }
+
+    // items
+    for (int64_t i = 1; i <= scale.items; ++i) {
+      const int64_t a_id = 1 + rng.between(0, scale.num_authors() - 1);
+      Row item{i,
+               title_of(i),
+               a_id,
+               rng.between(1970, 2006),
+               "publisher" + std::to_string(i % 50),
+               subj[size_t(rng.below(subj.size()))],
+               "description",
+               1 + rng.between(0, scale.items - 1),
+               1 + rng.between(0, scale.items - 1),
+               1 + rng.between(0, scale.items - 1),
+               1 + rng.between(0, scale.items - 1),
+               1 + rng.between(0, scale.items - 1),
+               i % 100,
+               i % 100,
+               double(rng.between(100, 9999)) / 100.0,
+               double(rng.between(50, 5000)) / 100.0,
+               rng.between(0, 30),
+               rng.between(10, 30),
+               "isbn" + std::to_string(i),
+               int64_t(rng.between(20, 9999)),
+               "PAPERBACK",
+               "dims"};
+      db.table(kItem).insert_row(item);
+    }
+
+    // customers
+    for (int64_t c = 1; c <= scale.num_customers(); ++c) {
+      Row cust{c,
+               uname_of(c),
+               "password",
+               "cfn" + std::to_string(c % 500),
+               "cln" + std::to_string(c % 500),
+               1 + rng.between(0, scale.num_addresses() - 1),
+               "555-0100",
+               "u" + std::to_string(c) + "@example.com",
+               rng.between(0, 1000000),
+               rng.between(0, 1000000),
+               int64_t{0},
+               rng.between(0, 1000000),
+               double(rng.between(0, 50)) / 100.0,
+               0.0,
+               0.0,
+               rng.between(1930, 2000),
+               "customer data"};
+      db.table(kCustomer).insert_row(cust);
+    }
+
+    // initial orders + lines + cc_xacts
+    const int64_t orders = scale.num_initial_orders();
+    for (int64_t o = 1; o <= orders; ++o) {
+      const int64_t c_id = 1 + rng.between(0, scale.num_customers() - 1);
+      const int64_t date = int64_t(o);  // monotone: order id ~ recency
+      const int64_t nlines = rng.between(1, 5);
+      double sub = 0;
+      for (int64_t l = 1; l <= nlines; ++l) {
+        const int64_t i_id = random_item(rng, scale);
+        const int64_t qty = rng.between(1, 5);
+        sub += double(qty) * 10.0;
+        db.table(kOrderLine)
+            .insert_row(Row{o, l, i_id, qty,
+                            double(rng.between(0, 10)) / 100.0, "comment"});
+      }
+      db.table(kOrders).insert_row(
+          Row{o, c_id, date, sub, sub * 0.08, sub * 1.08, "AIR",
+              date + 3, 1 + rng.between(0, scale.num_addresses() - 1),
+              1 + rng.between(0, scale.num_addresses() - 1), "SHIPPED"});
+      db.table(kCcXacts).insert_row(
+          Row{o, "VISA", rng.between(1000000, 9999999), "cardholder",
+              rng.between(2007, 2012), "auth", sub * 1.08, date,
+              1 + rng.between(0, scale.num_countries() - 1)});
+    }
+  };
+}
+
+}  // namespace dmv::tpcw

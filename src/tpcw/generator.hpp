@@ -1,0 +1,49 @@
+// Deterministic TPC-W data generator.
+//
+// Cardinalities follow the spec's ratios (paper: 288K customers / 100K
+// items ≈ 2.88 customers per item; ~25% as many authors as items; two
+// addresses per customer; 92 countries; ~0.9 initial orders per customer
+// with ~3 lines each). Absolute scale is configurable; every replica runs
+// the same loader with the same seed and ends up byte-identical.
+#pragma once
+
+#include <functional>
+
+#include "storage/table.hpp"
+#include "tpcw/schema.hpp"
+#include "util/rng.hpp"
+
+namespace dmv::tpcw {
+
+struct ScaleConfig {
+  int64_t items = 1000;
+  int64_t customers = 0;  // 0: derived as 2.88 * items
+  double initial_orders_per_customer = 0.9;
+  uint64_t seed = 20070625;  // DSN'07
+
+  int64_t num_customers() const {
+    return customers > 0 ? customers
+                         : std::max<int64_t>(1, int64_t(2.88 * double(items)));
+  }
+  int64_t num_authors() const { return std::max<int64_t>(1, items / 4); }
+  int64_t num_addresses() const { return num_customers() * 2; }
+  int64_t num_countries() const { return 92; }
+  int64_t num_initial_orders() const {
+    return int64_t(initial_orders_per_customer * double(num_customers()));
+  }
+};
+
+// A loader suitable for DmvCluster::Config::loader and friends: populates
+// an empty database with the initial image.
+std::function<void(storage::Database&)> make_loader(ScaleConfig scale);
+
+// Non-uniform item selection, TPC-style (hot subset of the catalogue —
+// this is what makes the working set a fraction of the database).
+int64_t random_item(util::Rng& rng, const ScaleConfig& scale);
+int64_t random_customer(util::Rng& rng, const ScaleConfig& scale);
+
+// Canonical generated field values (shared by loader and interactions).
+std::string uname_of(int64_t c_id);
+std::string title_of(int64_t i_id);
+
+}  // namespace dmv::tpcw

@@ -1,0 +1,46 @@
+// The fourteen TPC-W web interactions as registered procedures, plus the
+// three workload mixes (browsing / shopping / ordering) with the standard
+// interaction frequencies — whose update fractions are the paper's
+// 5% / 20% / 50%.
+#pragma once
+
+#include "api/api.hpp"
+#include "tpcw/generator.hpp"
+
+namespace dmv::tpcw {
+
+// Proc names (the scheduler routes by these). Wrapped in their own
+// namespace — several collide with TableIds enumerators otherwise.
+namespace proc {
+inline constexpr const char* kHome = "home";
+inline constexpr const char* kNewProducts = "new_products";
+inline constexpr const char* kBestSellers = "best_sellers";
+inline constexpr const char* kProductDetail = "product_detail";
+inline constexpr const char* kSearchRequest = "search_request";
+inline constexpr const char* kSearchResults = "search_results";
+inline constexpr const char* kShoppingCart = "shopping_cart";
+inline constexpr const char* kCustomerRegistration = "customer_registration";
+inline constexpr const char* kBuyRequest = "buy_request";
+inline constexpr const char* kBuyConfirm = "buy_confirm";
+inline constexpr const char* kOrderInquiry = "order_inquiry";
+inline constexpr const char* kOrderDisplay = "order_display";
+inline constexpr const char* kAdminRequest = "admin_request";
+inline constexpr const char* kAdminConfirm = "admin_confirm";
+}  // namespace proc
+
+// Registers all fourteen interactions against the given scale.
+api::ProcRegistry make_registry(const ScaleConfig& scale);
+
+enum class Mix { Browsing, Shopping, Ordering };
+
+struct MixEntry {
+  const char* proc;
+  double weight;   // percent
+  bool is_write;
+};
+
+const std::vector<MixEntry>& mix_table(Mix mix);
+double write_fraction(Mix mix);
+const char* mix_name(Mix mix);
+
+}  // namespace dmv::tpcw

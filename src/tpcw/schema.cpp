@@ -1,0 +1,110 @@
+#include "tpcw/schema.hpp"
+
+namespace dmv::tpcw {
+
+using storage::char_col;
+using storage::double_col;
+using storage::IndexDef;
+using storage::int_col;
+using storage::Schema;
+
+void build_schema(storage::Database& db) {
+  db.add_table(
+      "customer",
+      Schema({int_col("c_id"), char_col("c_uname", 16),
+              char_col("c_passwd", 16), char_col("c_fname", 15),
+              char_col("c_lname", 15), int_col("c_addr_id"),
+              char_col("c_phone", 16), char_col("c_email", 24),
+              int_col("c_since"), int_col("c_last_login"),
+              int_col("c_login"), int_col("c_expiration"),
+              double_col("c_discount"), double_col("c_balance"),
+              double_col("c_ytd_pmt"), int_col("c_birthdate"),
+              char_col("c_data", 64)}),
+      IndexDef{"pk", {col::C_ID}, true},
+      {IndexDef{"by_uname", {col::C_UNAME}, false}});
+
+  db.add_table("address",
+               Schema({int_col("addr_id"), char_col("addr_street1", 20),
+                       char_col("addr_street2", 20),
+                       char_col("addr_city", 15), char_col("addr_state", 10),
+                       char_col("addr_zip", 10), int_col("addr_co_id")}),
+               IndexDef{"pk", {col::ADDR_ID}, true});
+
+  db.add_table("country",
+               Schema({int_col("co_id"), char_col("co_name", 24),
+                       double_col("co_exchange"),
+                       char_col("co_currency", 12)}),
+               IndexDef{"pk", {col::CO_ID}, true});
+
+  db.add_table(
+      "item",
+      Schema({int_col("i_id"), char_col("i_title", 30), int_col("i_a_id"),
+              int_col("i_pub_date"), char_col("i_publisher", 24),
+              char_col("i_subject", 16), char_col("i_desc", 64),
+              int_col("i_related1"), int_col("i_related2"),
+              int_col("i_related3"), int_col("i_related4"),
+              int_col("i_related5"), int_col("i_thumbnail"),
+              int_col("i_image"), double_col("i_srp"), double_col("i_cost"),
+              int_col("i_avail"), int_col("i_stock"), char_col("i_isbn", 13),
+              int_col("i_page"), char_col("i_backing", 12),
+              char_col("i_dimensions", 16)}),
+      IndexDef{"pk", {col::I_ID}, true},
+      {IndexDef{"by_subject", {col::I_SUBJECT, col::I_PUB_DATE}, false},
+       IndexDef{"by_title", {col::I_TITLE}, false},
+       IndexDef{"by_author", {col::I_A_ID}, false}});
+
+  db.add_table("author",
+               Schema({int_col("a_id"), char_col("a_fname", 15),
+                       char_col("a_lname", 15), char_col("a_mname", 15),
+                       int_col("a_dob"), char_col("a_bio", 64)}),
+               IndexDef{"pk", {col::A_ID}, true},
+               {IndexDef{"by_lname", {col::A_LNAME}, false}});
+
+  db.add_table(
+      "orders",
+      Schema({int_col("o_id"), int_col("o_c_id"), int_col("o_date"),
+              double_col("o_sub_total"), double_col("o_tax"),
+              double_col("o_total"), char_col("o_ship_type", 10),
+              int_col("o_ship_date"), int_col("o_bill_addr_id"),
+              int_col("o_ship_addr_id"), char_col("o_status", 12)}),
+      IndexDef{"pk", {col::O_ID}, true},
+      {IndexDef{"by_customer", {col::O_C_ID}, false}});
+
+  db.add_table("order_line",
+               Schema({int_col("ol_o_id"), int_col("ol_num"),
+                       int_col("ol_i_id"), int_col("ol_qty"),
+                       double_col("ol_discount"),
+                       char_col("ol_comment", 32)}),
+               IndexDef{"pk", {col::OL_O_ID, col::OL_NUM}, true});
+
+  db.add_table("cc_xacts",
+               Schema({int_col("cx_o_id"), char_col("cx_type", 10),
+                       int_col("cx_num"), char_col("cx_name", 30),
+                       int_col("cx_expire"), char_col("cx_auth_id", 16),
+                       double_col("cx_amt"), int_col("cx_date"),
+                       int_col("cx_co_id")}),
+               IndexDef{"pk", {col::CX_O_ID}, true});
+
+  db.add_table("shopping_cart",
+               Schema({int_col("sc_id"), int_col("sc_c_id"),
+                       int_col("sc_date"), double_col("sc_sub_total")}),
+               IndexDef{"pk", {col::SC_ID}, true});
+
+  db.add_table("shopping_cart_line",
+               Schema({int_col("scl_sc_id"), int_col("scl_i_id"),
+                       int_col("scl_qty")}),
+               IndexDef{"pk", {col::SCL_SC_ID, col::SCL_I_ID}, true});
+}
+
+const std::vector<std::string>& subjects() {
+  static const std::vector<std::string> kSubjects{
+      "ARTS",       "BIOGRAPHIES", "BUSINESS",  "CHILDREN",
+      "COMPUTERS",  "COOKING",     "HEALTH",    "HISTORY",
+      "HOME",       "HUMOR",       "LITERATURE", "MYSTERY",
+      "NON-FICTION", "PARENTING",  "POLITICS",  "REFERENCE",
+      "RELIGION",   "ROMANCE",     "SELF-HELP", "SCIENCE-NATURE",
+      "SCIENCE-FICTION", "SPORTS", "YOUTH",     "TRAVEL"};
+  return kSubjects;
+}
+
+}  // namespace dmv::tpcw

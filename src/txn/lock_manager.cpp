@@ -1,0 +1,174 @@
+#include "txn/lock_manager.hpp"
+
+namespace dmv::txn {
+
+LockManager::~LockManager() { shutdown(); }
+
+bool LockManager::compatible(const LockState& ls, const TxnCtx& txn,
+                             LockMode mode) const {
+  if (ls.x_holder && ls.x_holder != &txn) return false;
+  if (mode == LockMode::Exclusive) {
+    for (auto& [id, holder] : ls.sharers)
+      if (holder != &txn) return false;
+  }
+  return true;
+}
+
+bool LockManager::must_die(const LockState& ls, const TxnCtx& txn,
+                           LockMode mode) const {
+  // Wait-die with queue-aware edges: the requester may wait only if it is
+  // strictly older (smaller ts) than every conflicting holder AND every
+  // already-queued waiter. This keeps ts strictly increasing along every
+  // waits-for chain, so cycles are impossible even with FIFO queueing.
+  if (ls.x_holder && ls.x_holder != &txn && ls.x_holder->ts() < txn.ts())
+    return true;
+  if (mode == LockMode::Exclusive) {
+    for (auto& [id, holder] : ls.sharers)
+      if (holder != &txn && holder->ts() < txn.ts()) return true;
+  }
+  for (auto& w : ls.queue)
+    if (w->txn->ts() < txn.ts()) return true;
+  return false;
+}
+
+void LockManager::grant(LockState& ls, TxnCtx& txn, LockMode mode) {
+  // Callers record the pid in txn.held_locks() on first grant.
+  if (mode == LockMode::Exclusive) {
+    ls.sharers.erase(txn.id());  // covers S -> X upgrade
+    ls.x_holder = &txn;
+  } else {
+    if (ls.x_holder != &txn) ls.sharers.emplace(txn.id(), &txn);
+  }
+}
+
+void LockManager::collect_deps(const TxnCtx& txn, storage::PageId pid,
+                               std::vector<const TxnCtx*>& out) const {
+  auto it = locks_.find(pid);
+  if (it == locks_.end()) return;
+  const LockState& ls = it->second;
+  if (ls.x_holder && ls.x_holder != &txn) out.push_back(ls.x_holder);
+  for (const auto& [id, holder] : ls.sharers)
+    if (holder != &txn) out.push_back(holder);
+  // Queued-ahead waiters are granted before us (FIFO), so they are real
+  // dependencies too.
+  for (const auto& w : ls.queue)
+    if (w->txn != &txn) out.push_back(w->txn);
+}
+
+bool LockManager::creates_cycle(const TxnCtx& txn,
+                                storage::PageId pid) const {
+  // DFS over the waits-for graph starting from what we would depend on;
+  // a path back to `txn` is a cycle.
+  std::vector<const TxnCtx*> stack;
+  collect_deps(txn, pid, stack);
+  std::set<const TxnCtx*> visited;
+  while (!stack.empty()) {
+    const TxnCtx* u = stack.back();
+    stack.pop_back();
+    if (u == &txn) return true;
+    if (!visited.insert(u).second) continue;
+    auto bit = blocked_on_.find(u);
+    if (bit == blocked_on_.end()) continue;  // running: no outgoing edges
+    collect_deps(*u, bit->second, stack);
+  }
+  return false;
+}
+
+sim::Task<LockRc> LockManager::acquire(TxnCtx& txn, storage::PageId pid,
+                                       LockMode mode) {
+  if (shutdown_) co_return LockRc::Cancelled;
+  LockState& ls = locks_[pid];
+
+  // Reentrant fast paths.
+  if (ls.x_holder == &txn) co_return LockRc::Granted;
+  if (mode == LockMode::Shared && ls.sharers.count(txn.id()))
+    co_return LockRc::Granted;
+
+  const bool was_holder = ls.sharers.count(txn.id()) > 0;
+  if (ls.queue.empty() && compatible(ls, txn, mode)) {
+    grant(ls, txn, mode);
+    if (!was_holder) txn.held_locks().push_back(pid);
+    co_return LockRc::Granted;
+  }
+
+  if (policy_ == LockPolicy::WaitDie) {
+    if (must_die(ls, txn, mode)) {
+      ++deaths_;
+      co_return LockRc::Died;
+    }
+  } else {
+    if (creates_cycle(txn, pid)) {
+      ++deaths_;
+      co_return LockRc::Died;
+    }
+  }
+
+  ++waits_;
+  auto waiter = std::make_unique<Waiter>();
+  waiter->txn = &txn;
+  waiter->mode = mode;
+  waiter->wake = std::make_unique<sim::WaitQueue>(sim_);
+  sim::WaitQueue* wake = waiter->wake.get();
+  ls.queue.push_back(std::move(waiter));
+  blocked_on_[&txn] = pid;
+
+  const bool ok = co_await wake->wait();
+  blocked_on_.erase(&txn);
+  if (!ok) co_return LockRc::Cancelled;
+  // pump() granted the lock and recorded it before waking us.
+  co_return LockRc::Granted;
+}
+
+void LockManager::pump(storage::PageId pid) {
+  auto it = locks_.find(pid);
+  if (it == locks_.end()) return;
+  LockState& ls = it->second;
+  while (!ls.queue.empty()) {
+    Waiter& head = *ls.queue.front();
+    if (!compatible(ls, *head.txn, head.mode)) break;
+    const bool was_holder = ls.sharers.count(head.txn->id()) > 0 ||
+                            ls.x_holder == head.txn;
+    grant(ls, *head.txn, head.mode);
+    if (!was_holder) head.txn->held_locks().push_back(pid);
+    head.wake->notify_one(true);  // empties the wake queue before dtor
+    ls.queue.pop_front();
+  }
+  if (ls.queue.empty() && ls.sharers.empty() && !ls.x_holder)
+    locks_.erase(it);
+}
+
+void LockManager::release_all(TxnCtx& txn) {
+  for (storage::PageId pid : txn.held_locks()) {
+    auto it = locks_.find(pid);
+    if (it == locks_.end()) continue;
+    LockState& ls = it->second;
+    if (ls.x_holder == &txn) ls.x_holder = nullptr;
+    ls.sharers.erase(txn.id());
+    pump(pid);
+  }
+  txn.held_locks().clear();
+}
+
+void LockManager::shutdown() {
+  if (shutdown_) return;
+  shutdown_ = true;
+  for (auto& [pid, ls] : locks_) {
+    for (auto& w : ls.queue) w->wake->notify_one(false);
+    ls.queue.clear();
+  }
+  locks_.clear();
+}
+
+bool LockManager::x_locked(storage::PageId pid) const {
+  auto it = locks_.find(pid);
+  return it != locks_.end() && it->second.x_holder != nullptr;
+}
+
+bool LockManager::held_by(storage::PageId pid, const TxnCtx& txn) const {
+  auto it = locks_.find(pid);
+  if (it == locks_.end()) return false;
+  return it->second.x_holder == &txn ||
+         it->second.sharers.count(txn.id()) > 0;
+}
+
+}  // namespace dmv::txn

@@ -1,0 +1,94 @@
+// Per-page shared/exclusive lock table with strict 2PL (all locks released
+// at commit/abort) and a choice of deadlock policies:
+//
+//  - DeadlockDetect (default): conflicting requests block FIFO; a request
+//    that would close a waits-for cycle dies instead (the victim restarts).
+//    This matches MySQL/InnoDB behavior: conflicts are queueing, aborts are
+//    rare. The detection graph is exact on holders and conservative on
+//    queued-ahead waiters (our grant order makes those real dependencies).
+//  - WaitDie: a requester older than every conflicting holder and queued
+//    waiter blocks; a younger one dies immediately. Simpler and
+//    livelock-free, but hot pages turn into retry storms — kept as an
+//    ablation knob (bench/ablation_lock_policy).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+
+#include "sim/sync.hpp"
+#include "storage/page.hpp"
+#include "txn/transaction.hpp"
+
+namespace dmv::txn {
+
+enum class LockMode { Shared, Exclusive };
+enum class LockRc {
+  Granted,
+  Died,      // deadlock/wait-die victim: abort and restart the transaction
+  Cancelled  // lock table shut down (node killed)
+};
+
+enum class LockPolicy { DeadlockDetect, WaitDie };
+
+class LockManager {
+ public:
+  explicit LockManager(sim::Simulation& sim,
+                       LockPolicy policy = LockPolicy::DeadlockDetect)
+      : sim_(sim), policy_(policy) {}
+  ~LockManager();
+
+  // Blocks (in virtual time) until granted, or returns Died/Cancelled.
+  // Reentrant: S-under-X and repeat requests are granted immediately;
+  // S->X upgrade is supported and subject to wait-die.
+  sim::Task<LockRc> acquire(TxnCtx& txn, storage::PageId pid, LockMode mode);
+
+  // Strict 2PL: drop everything this transaction holds, waking waiters.
+  void release_all(TxnCtx& txn);
+
+  // Cancel all waiters and refuse future requests (fail-stop of the node).
+  void shutdown();
+
+  bool held_by(storage::PageId pid, const TxnCtx& txn) const;
+  // True if some transaction holds this page exclusively (page is dirty
+  // with uncommitted data — fuzzy checkpoints skip such pages).
+  bool x_locked(storage::PageId pid) const;
+  size_t lock_count() const { return locks_.size(); }
+  uint64_t wait_count() const { return waits_; }
+  uint64_t death_count() const { return deaths_; }
+
+ private:
+  struct Waiter {
+    TxnCtx* txn;
+    LockMode mode;
+    std::unique_ptr<sim::WaitQueue> wake;
+  };
+  struct LockState {
+    std::map<uint64_t, TxnCtx*> sharers;  // txn id -> ctx
+    TxnCtx* x_holder = nullptr;
+    std::deque<std::unique_ptr<Waiter>> queue;
+  };
+
+  bool compatible(const LockState& ls, const TxnCtx& txn,
+                  LockMode mode) const;
+  // True if wait-die says this request must die instead of waiting.
+  bool must_die(const LockState& ls, const TxnCtx& txn, LockMode mode) const;
+  // True if blocking txn on pid would close a waits-for cycle.
+  bool creates_cycle(const TxnCtx& txn, storage::PageId pid) const;
+  // Everything `txn` would wait for on `pid` right now.
+  void collect_deps(const TxnCtx& txn, storage::PageId pid,
+                    std::vector<const TxnCtx*>& out) const;
+  void grant(LockState& ls, TxnCtx& txn, LockMode mode);
+  void pump(storage::PageId pid);
+
+  sim::Simulation& sim_;
+  LockPolicy policy_;
+  std::map<storage::PageId, LockState> locks_;
+  std::map<const TxnCtx*, storage::PageId> blocked_on_;
+  bool shutdown_ = false;
+  uint64_t waits_ = 0;
+  uint64_t deaths_ = 0;
+};
+
+}  // namespace dmv::txn

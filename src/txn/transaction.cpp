@@ -1,0 +1,4 @@
+#include "txn/transaction.hpp"
+
+// TxnCtx is header-only; this unit anchors the target.
+namespace dmv::txn {}

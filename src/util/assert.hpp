@@ -1,0 +1,44 @@
+// Internal invariant checking.
+//
+// DMV_ASSERT is always on (the simulator is deterministic, so a violated
+// invariant is always reproducible and must never be silently ignored).
+// Failures throw util::AssertionError so tests can observe them; anything
+// that escapes a detached coroutine terminates the process with a message.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace dmv::util {
+
+class AssertionError : public std::logic_error {
+ public:
+  explicit AssertionError(const std::string& what) : std::logic_error(what) {}
+};
+
+[[noreturn]] inline void assert_fail(const char* expr, const char* file,
+                                     int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "DMV_ASSERT failed: " << expr << " at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw AssertionError(os.str());
+}
+
+}  // namespace dmv::util
+
+#define DMV_ASSERT(expr)                                          \
+  do {                                                            \
+    if (!(expr))                                                  \
+      ::dmv::util::assert_fail(#expr, __FILE__, __LINE__, "");    \
+  } while (0)
+
+#define DMV_ASSERT_MSG(expr, msg)                                 \
+  do {                                                            \
+    if (!(expr)) {                                                \
+      std::ostringstream os_;                                     \
+      os_ << msg;                                                 \
+      ::dmv::util::assert_fail(#expr, __FILE__, __LINE__,         \
+                               os_.str());                        \
+    }                                                             \
+  } while (0)

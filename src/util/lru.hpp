@@ -1,0 +1,85 @@
+// Fixed-capacity LRU set, used for buffer-cache residency models and the
+// on-disk engine's buffer-pool eviction policy.
+#pragma once
+
+#include <cstddef>
+#include <list>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "util/assert.hpp"
+
+namespace dmv::util {
+
+// Tracks the `capacity` most recently touched keys. touch() returns whether
+// the key was already resident; when an insertion overflows capacity the
+// least recently used key is evicted (and returned so callers can write it
+// back, pin-check it, etc.).
+template <typename K, typename Hash = std::hash<K>>
+class LruSet {
+ public:
+  explicit LruSet(size_t capacity) : capacity_(capacity) {
+    DMV_ASSERT(capacity > 0);
+  }
+
+  struct TouchResult {
+    bool hit = false;
+    std::optional<K> evicted;
+  };
+
+  TouchResult touch(const K& key) {
+    TouchResult r;
+    auto it = index_.find(key);
+    if (it != index_.end()) {
+      order_.splice(order_.begin(), order_, it->second);
+      r.hit = true;
+      return r;
+    }
+    order_.push_front(key);
+    index_[key] = order_.begin();
+    if (order_.size() > capacity_) {
+      r.evicted = order_.back();
+      index_.erase(order_.back());
+      order_.pop_back();
+    }
+    return r;
+  }
+
+  bool contains(const K& key) const { return index_.count(key) > 0; }
+
+  void erase(const K& key) {
+    auto it = index_.find(key);
+    if (it == index_.end()) return;
+    order_.erase(it->second);
+    index_.erase(it);
+  }
+
+  void clear() {
+    order_.clear();
+    index_.clear();
+  }
+
+  size_t size() const { return order_.size(); }
+  size_t capacity() const { return capacity_; }
+  void set_capacity(size_t c) {
+    DMV_ASSERT(c > 0);
+    capacity_ = c;
+    while (order_.size() > capacity_) {
+      index_.erase(order_.back());
+      order_.pop_back();
+    }
+  }
+
+  // Most-recently-used first.
+  std::vector<K> keys_mru() const {
+    return std::vector<K>(order_.begin(), order_.end());
+  }
+
+ private:
+  size_t capacity_;
+  std::list<K> order_;
+  std::unordered_map<K, typename std::list<K>::iterator, Hash> index_;
+};
+
+}  // namespace dmv::util

@@ -1,0 +1,75 @@
+#include "util/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/assert.hpp"
+
+namespace dmv::util {
+
+void Histogram::record(double v) {
+  values_.push_back(v);
+  sorted_ = false;
+}
+
+void Histogram::sort_if_needed() const {
+  if (!sorted_) {
+    std::sort(values_.begin(), values_.end());
+    sorted_ = true;
+  }
+}
+
+double Histogram::mean() const {
+  if (values_.empty()) return 0;
+  double s = 0;
+  for (double v : values_) s += v;
+  return s / double(values_.size());
+}
+
+double Histogram::min() const {
+  sort_if_needed();
+  return values_.empty() ? 0 : values_.front();
+}
+
+double Histogram::max() const {
+  sort_if_needed();
+  return values_.empty() ? 0 : values_.back();
+}
+
+double Histogram::quantile(double q) const {
+  DMV_ASSERT(q >= 0.0 && q <= 1.0);
+  if (values_.empty()) return 0;
+  sort_if_needed();
+  const size_t idx = std::min(
+      values_.size() - 1,
+      static_cast<size_t>(std::ceil(q * double(values_.size())) -
+                          (q > 0 ? 1 : 0)));
+  return values_[idx];
+}
+
+void Histogram::clear() {
+  values_.clear();
+  sorted_ = true;
+}
+
+TimeSeries::TimeSeries(uint64_t bucket_width_us) : width_us_(bucket_width_us) {
+  DMV_ASSERT(bucket_width_us > 0);
+}
+
+void TimeSeries::record(uint64_t time_us, double value) {
+  const size_t idx = time_us / width_us_;
+  if (buckets_.size() <= idx) {
+    const size_t old = buckets_.size();
+    buckets_.resize(idx + 1);
+    for (size_t i = old; i < buckets_.size(); ++i)
+      buckets_[i].start_us = i * width_us_;
+  }
+  buckets_[idx].count += 1;
+  buckets_[idx].sum += value;
+}
+
+double TimeSeries::rate_per_sec(const Bucket& b) const {
+  return double(b.count) / (double(width_us_) / 1e6);
+}
+
+}  // namespace dmv::util

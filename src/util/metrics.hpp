@@ -1,0 +1,56 @@
+// Measurement primitives used by the experiment harness:
+//  - Histogram: latency distribution with quantile queries.
+//  - TimeSeries: per-interval aggregation (throughput / mean latency over
+//    20-second windows, as the paper reports).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace dmv::util {
+
+class Histogram {
+ public:
+  void record(double v);
+  size_t count() const { return values_.size(); }
+  double mean() const;
+  double min() const;
+  double max() const;
+  // q in [0,1]; nearest-rank on the sorted sample.
+  double quantile(double q) const;
+  void clear();
+
+ private:
+  void sort_if_needed() const;
+  mutable std::vector<double> values_;
+  mutable bool sorted_ = true;
+};
+
+// Accumulates events into fixed-width time buckets. Values are (time, value)
+// pairs; per bucket we expose the event count (for rates) and the value mean
+// (for latencies).
+class TimeSeries {
+ public:
+  explicit TimeSeries(uint64_t bucket_width_us);
+
+  void record(uint64_t time_us, double value);
+
+  struct Bucket {
+    uint64_t start_us = 0;
+    uint64_t count = 0;
+    double sum = 0;
+    double mean() const { return count ? sum / double(count) : 0.0; }
+    // Events per second in this bucket, given the bucket width.
+  };
+
+  const std::vector<Bucket>& buckets() const { return buckets_; }
+  uint64_t bucket_width_us() const { return width_us_; }
+  double rate_per_sec(const Bucket& b) const;
+
+ private:
+  uint64_t width_us_;
+  std::vector<Bucket> buckets_;
+};
+
+}  // namespace dmv::util

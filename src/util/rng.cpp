@@ -1,0 +1,89 @@
+#include "util/rng.hpp"
+
+#include <cmath>
+
+#include "util/assert.hpp"
+
+namespace dmv::util {
+
+namespace {
+
+// splitmix64: used to expand the seed into xoshiro state.
+uint64_t splitmix64(uint64_t& x) {
+  x += 0x9e3779b97f4a7c15ull;
+  uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+uint64_t rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+Rng::Rng(uint64_t seed) {
+  uint64_t x = seed;
+  for (auto& s : s_) s = splitmix64(x);
+}
+
+uint64_t Rng::next() {
+  const uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+uint64_t Rng::below(uint64_t n) {
+  DMV_ASSERT(n > 0);
+  // Rejection sampling to avoid modulo bias.
+  const uint64_t threshold = -n % n;
+  for (;;) {
+    const uint64_t r = next();
+    if (r >= threshold) return r % n;
+  }
+}
+
+int64_t Rng::between(int64_t lo, int64_t hi) {
+  DMV_ASSERT(lo <= hi);
+  return lo + static_cast<int64_t>(
+                  below(static_cast<uint64_t>(hi - lo) + 1));
+}
+
+double Rng::uniform01() {
+  return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+double Rng::exponential(double mean) {
+  double u = uniform01();
+  // Guard against log(0).
+  if (u <= 0.0) u = 0x1.0p-53;
+  return -mean * std::log(u);
+}
+
+bool Rng::chance(double p) { return uniform01() < p; }
+
+int64_t Rng::nurand(int64_t a, int64_t x, int64_t y) {
+  const int64_t c = 7;  // fixed run-time constant, as in TPC specs
+  return (((between(0, a) | between(x, y)) + c) % (y - x + 1)) + x;
+}
+
+size_t Rng::weighted(const std::vector<double>& weights) {
+  DMV_ASSERT(!weights.empty());
+  double total = 0;
+  for (double w : weights) total += w;
+  double r = uniform01() * total;
+  for (size_t i = 0; i < weights.size(); ++i) {
+    r -= weights[i];
+    if (r < 0) return i;
+  }
+  return weights.size() - 1;
+}
+
+Rng Rng::split() { return Rng(next() ^ 0xd1b54a32d192ed03ull); }
+
+}  // namespace dmv::util

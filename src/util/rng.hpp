@@ -1,0 +1,50 @@
+// Deterministic pseudo-random number generation.
+//
+// The whole reproduction is a single-threaded discrete-event simulation;
+// every stochastic choice (think times, workload mix draws, key skew, load
+// balancing ties) draws from an Rng seeded from the experiment config, so a
+// run is bit-reproducible. xoshiro256** is used for its speed and quality.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace dmv::util {
+
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ull);
+
+  // Uniform over the full 64-bit range.
+  uint64_t next();
+
+  // Uniform in [0, n). n must be > 0.
+  uint64_t below(uint64_t n);
+
+  // Uniform in [lo, hi] inclusive.
+  int64_t between(int64_t lo, int64_t hi);
+
+  // Uniform in [0, 1).
+  double uniform01();
+
+  // Exponentially distributed with the given mean (for think times).
+  double exponential(double mean);
+
+  // True with probability p.
+  bool chance(double p);
+
+  // TPC-style non-uniform random: NURand(A, x..y) — hot-spot skewed draws.
+  int64_t nurand(int64_t a, int64_t x, int64_t y);
+
+  // Pick an index according to a discrete distribution of weights.
+  size_t weighted(const std::vector<double>& weights);
+
+  // Derive an independent stream (for per-component rngs).
+  Rng split();
+
+ private:
+  uint64_t s_[4];
+};
+
+}  // namespace dmv::util

@@ -1,0 +1,91 @@
+#include <gtest/gtest.h>
+
+#include "api/api.hpp"
+#include "util/assert.hpp"
+
+namespace dmv::api {
+namespace {
+
+TEST(Params, SetAndGetTyped) {
+  Params p;
+  p.set("i", int64_t{42}).set("d", 2.5).set("s", std::string("x"));
+  EXPECT_EQ(p.i("i"), 42);
+  EXPECT_DOUBLE_EQ(p.d("d"), 2.5);
+  EXPECT_EQ(p.s("s"), "x");
+  EXPECT_TRUE(p.has("i"));
+  EXPECT_FALSE(p.has("missing"));
+}
+
+TEST(Params, MissingKeyAsserts) {
+  Params p;
+  EXPECT_THROW(p.i("nope"), util::AssertionError);
+}
+
+TEST(Params, OverwriteReplaces) {
+  Params p;
+  p.set("k", int64_t{1});
+  p.set("k", int64_t{2});
+  EXPECT_EQ(p.i("k"), 2);
+}
+
+TEST(Params, CopyIsIndependent) {
+  Params a;
+  a.set("k", int64_t{1});
+  Params b = a;
+  b.set("k", int64_t{9});
+  EXPECT_EQ(a.i("k"), 1);
+  EXPECT_EQ(b.i("k"), 9);
+}
+
+TEST(ProcRegistry, RegisterFindContains) {
+  ProcRegistry reg;
+  ProcInfo info;
+  info.read_only = true;
+  info.tables = {1, 2};
+  info.fn = [](Connection&, const Params&) -> sim::Task<TxnResult> {
+    co_return TxnResult{};
+  };
+  reg.register_proc("p", info);
+  EXPECT_TRUE(reg.contains("p"));
+  EXPECT_FALSE(reg.contains("q"));
+  EXPECT_EQ(reg.size(), 1u);
+  const ProcInfo& found = reg.find("p");
+  EXPECT_TRUE(found.read_only);
+  EXPECT_EQ(found.tables.size(), 2u);
+}
+
+TEST(ProcRegistry, DuplicateNameAsserts) {
+  ProcRegistry reg;
+  ProcInfo info;
+  reg.register_proc("p", info);
+  EXPECT_THROW(reg.register_proc("p", info), util::AssertionError);
+}
+
+TEST(ProcRegistry, UnknownNameAsserts) {
+  ProcRegistry reg;
+  EXPECT_THROW(reg.find("nope"), util::AssertionError);
+}
+
+TEST(ProcRegistry, ForEachVisitsAll) {
+  ProcRegistry reg;
+  ProcInfo info;
+  reg.register_proc("a", info);
+  reg.register_proc("b", info);
+  std::vector<std::string> names;
+  reg.for_each(
+      [&](const std::string& n, const ProcInfo&) { names.push_back(n); });
+  EXPECT_EQ(names, (std::vector<std::string>{"a", "b"}));
+}
+
+TEST(ScanSpec, DefaultsAreOpenScan) {
+  ScanSpec s;
+  EXPECT_EQ(s.index, -1);
+  EXPECT_FALSE(s.lo.has_value());
+  EXPECT_FALSE(s.hi.has_value());
+  EXPECT_EQ(s.limit, SIZE_MAX);
+  EXPECT_FALSE(s.reverse);
+  EXPECT_FALSE(static_cast<bool>(s.filter));
+}
+
+}  // namespace
+}  // namespace dmv::api

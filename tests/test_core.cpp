@@ -1,0 +1,579 @@
+#include <gtest/gtest.h>
+
+#include "core/cluster.hpp"
+
+namespace dmv::core {
+namespace {
+
+using storage::Key;
+using storage::Row;
+using storage::Value;
+
+inline Key K(Value a) { return Key{std::move(a)}; }
+inline Row R(Value a, Value b) { return Row{std::move(a), std::move(b)}; }
+
+void demo_schema(storage::Database& db) {
+  db.add_table("acct",
+               storage::Schema({storage::int_col("id"),
+                                storage::int_col("balance")}),
+               storage::IndexDef{"pk", {0}, true});
+}
+
+void demo_loader(storage::Database& db) {
+  for (int64_t i = 0; i < 100; ++i)
+    db.table(0).insert_row(Row{i, i * 10});
+}
+
+api::ProcRegistry make_registry() {
+  api::ProcRegistry reg;
+  api::ProcInfo deposit;
+  deposit.read_only = false;
+  deposit.tables = {0};
+  deposit.fn = [](api::Connection& c, const api::Params& p)
+      -> sim::Task<api::TxnResult> {
+    Key k = K(p.i("id"));
+    const int64_t amt = p.i("amt");
+    const bool found = co_await c.update(0, k, [amt](Row& r) {
+      r[1] = std::get<int64_t>(r[1]) + amt;
+    });
+    api::TxnResult res;
+    res.ok = found;
+    co_return res;
+  };
+  reg.register_proc("deposit", deposit);
+
+  api::ProcInfo check;
+  check.read_only = true;
+  check.tables = {0};
+  check.fn = [](api::Connection& c, const api::Params& p)
+      -> sim::Task<api::TxnResult> {
+    Key k = K(p.i("id"));
+    auto row = co_await c.get(0, k);
+    api::TxnResult res;
+    res.ok = row.has_value();
+    res.value = row ? std::get<int64_t>((*row)[1]) : -1;
+    co_return res;
+  };
+  reg.register_proc("check", check);
+
+  api::ProcInfo sum;
+  sum.read_only = true;
+  sum.tables = {0};
+  sum.fn = [](api::Connection& c, const api::Params&)
+      -> sim::Task<api::TxnResult> {
+    api::ScanSpec spec;
+    auto rows = co_await c.scan(0, std::move(spec));
+    api::TxnResult res;
+    res.rows = rows.size();
+    for (const auto& r : rows) res.value += std::get<int64_t>(r[1]);
+    co_return res;
+  };
+  reg.register_proc("sum", sum);
+  return reg;
+}
+
+struct Fixture {
+  sim::Simulation sim;
+  net::Network net{sim};
+  api::ProcRegistry reg = make_registry();
+  std::unique_ptr<DmvCluster> cluster;
+
+  explicit Fixture(DmvCluster::Config cfg = {}) {
+    cfg.schema = demo_schema;
+    if (!cfg.loader) cfg.loader = demo_loader;
+    cluster = std::make_unique<DmvCluster>(net, reg, std::move(cfg));
+    cluster->start();
+  }
+
+  // Run one request through a throwaway client; returns the result.
+  std::optional<api::TxnResult> request(const std::string& proc,
+                                        api::Params params) {
+    auto client = cluster->make_client("c");
+    std::optional<api::TxnResult> out;
+    sim.spawn([](ClusterClient& c, const std::string proc, api::Params p,
+                 std::optional<api::TxnResult>& out) -> sim::Task<> {
+      out = co_await c.execute(proc, std::move(p));
+    }(*client, proc, std::move(params), out));
+    sim.run();
+    return out;
+  }
+};
+
+TEST(DmvCluster, UpdateThenReadOneCopySemantics) {
+  Fixture f;
+  api::Params dep;
+  dep.set("id", int64_t{7}).set("amt", int64_t{5});
+  auto r1 = f.request("deposit", dep);
+  ASSERT_TRUE(r1.has_value());
+  EXPECT_TRUE(r1->ok);
+
+  api::Params chk;
+  chk.set("id", int64_t{7});
+  auto r2 = f.request("check", chk);
+  ASSERT_TRUE(r2.has_value());
+  EXPECT_EQ(r2->value, 75);  // 7*10 + 5, read on a slave at the new tag
+  EXPECT_EQ(f.cluster->total_read_commits(), 1u);
+  EXPECT_EQ(f.cluster->total_update_commits(), 1u);
+}
+
+TEST(DmvCluster, ReadsDistributeAcrossSlaves) {
+  DmvCluster::Config cfg;
+  cfg.slaves = 3;
+  Fixture f(cfg);
+  std::vector<std::unique_ptr<ClusterClient>> clients;
+  int ok = 0;
+  for (int i = 0; i < 30; ++i) {
+    clients.push_back(f.cluster->make_client("c" + std::to_string(i)));
+    f.sim.spawn([](ClusterClient& c, int id, int& ok) -> sim::Task<> {
+      api::Params p;
+      p.set("id", int64_t(id % 100));
+      auto r = co_await c.execute("check", p);
+      if (r && r->ok) ++ok;
+    }(*clients.back(), i, ok));
+  }
+  f.sim.run();
+  EXPECT_EQ(ok, 30);
+  // Every slave served something (load balancing).
+  for (size_t i = 0; i < f.cluster->slave_count(); ++i) {
+    EXPECT_GT(f.cluster->node(f.cluster->slave_id(i))
+                  .engine()
+                  .stats()
+                  .read_commits,
+              0u);
+  }
+  // Master stayed out of the read path.
+  EXPECT_EQ(f.cluster->master().engine().stats().read_commits, 0u);
+}
+
+TEST(DmvCluster, SequentialWorkloadKeepsConsistency) {
+  Fixture f;
+  // Interleave deposits and sums; the final sum must reflect all deposits.
+  auto client = f.cluster->make_client("c");
+  int64_t expected = 0;
+  for (int64_t i = 0; i < 100; ++i) expected += i * 10;
+  f.sim.spawn([](ClusterClient& c, int64_t expected) -> sim::Task<> {
+    for (int i = 0; i < 20; ++i) {
+      api::Params dep;
+      dep.set("id", int64_t(i % 100)).set("amt", int64_t{3});
+      auto r = co_await c.execute("deposit", dep);
+      EXPECT_TRUE(r.has_value());
+      api::Params none;
+      auto s = co_await c.execute("sum", none);
+      EXPECT_TRUE(s.has_value());
+      EXPECT_EQ(s->rows, 100u);
+      EXPECT_EQ(s->value, expected + 3 * (i + 1));  // sees all commits
+    }
+  }(*client, expected));
+  f.sim.run();
+}
+
+TEST(DmvCluster, SlaveFailureContinuesService) {
+  DmvCluster::Config cfg;
+  cfg.slaves = 2;
+  Fixture f(cfg);
+  auto client = f.cluster->make_client("c");
+  // Warm up both slaves.
+  for (int i = 0; i < 4; ++i) {
+    api::Params p;
+    p.set("id", int64_t{1});
+    f.request("check", p);
+  }
+  f.cluster->kill_node(f.cluster->slave_id(0));
+  f.sim.run(f.sim.now() + sim::kSec);
+  // Service continues on the surviving slave.
+  api::Params p;
+  p.set("id", int64_t{2});
+  auto r = f.request("check", p);
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(r->value, 20);
+  EXPECT_EQ(f.cluster->scheduler().slaves().size(), 1u);
+}
+
+TEST(DmvCluster, MasterFailureElectsSlaveAndContinues) {
+  DmvCluster::Config cfg;
+  cfg.slaves = 3;
+  Fixture f(cfg);
+  api::Params dep;
+  dep.set("id", int64_t{5}).set("amt", int64_t{7});
+  ASSERT_TRUE(f.request("deposit", dep).has_value());
+
+  f.cluster->kill_node(f.cluster->master_id());
+  f.sim.run(f.sim.now() + sim::kSec);  // detection + recovery
+  EXPECT_EQ(f.cluster->scheduler().stats().recoveries, 1u);
+  EXPECT_NE(f.cluster->scheduler().master(), net::kNoNode);
+  EXPECT_EQ(f.cluster->scheduler().slaves().size(), 2u);
+
+  // Committed data survived; updates flow through the new master.
+  api::Params chk;
+  chk.set("id", int64_t{5});
+  auto r = f.request("check", chk);
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(r->value, 57);
+  api::Params dep2;
+  dep2.set("id", int64_t{5}).set("amt", int64_t{1});
+  ASSERT_TRUE(f.request("deposit", dep2).has_value());
+  auto r2 = f.request("check", chk);
+  ASSERT_TRUE(r2.has_value());
+  EXPECT_EQ(r2->value, 58);
+}
+
+TEST(DmvCluster, MasterFailureIntegratesSpareIntoRotation) {
+  DmvCluster::Config cfg;
+  cfg.slaves = 2;
+  cfg.spares = 1;
+  Fixture f(cfg);
+  api::Params dep;
+  dep.set("id", int64_t{1}).set("amt", int64_t{1});
+  ASSERT_TRUE(f.request("deposit", dep).has_value());
+
+  f.cluster->kill_node(f.cluster->master_id());
+  f.sim.run(f.sim.now() + sim::kSec);
+  // One slave became master; the spare backfilled the read rotation.
+  EXPECT_EQ(f.cluster->scheduler().slaves().size(), 2u);
+  EXPECT_TRUE(f.cluster->scheduler().spares().empty());
+  EXPECT_GE(f.cluster->scheduler().stats().spare_activated_at, 0);
+}
+
+TEST(DmvCluster, SchedulerFailoverKeepsServing) {
+  DmvCluster::Config cfg;
+  cfg.schedulers = 2;
+  Fixture f(cfg);
+  api::Params dep;
+  dep.set("id", int64_t{3}).set("amt", int64_t{9});
+  ASSERT_TRUE(f.request("deposit", dep).has_value());
+
+  f.cluster->kill_scheduler(0);
+  f.sim.run(f.sim.now() + sim::kSec);
+
+  // Client retries transparently against the standby.
+  api::Params chk;
+  chk.set("id", int64_t{3});
+  auto r = f.request("check", chk);
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(r->value, 39);
+  EXPECT_EQ(f.cluster->scheduler(1).stats().takeovers, 1u);
+  EXPECT_TRUE(f.cluster->scheduler(1).is_primary());
+
+  // Updates keep working through the new scheduler (version vector was
+  // recovered from the master).
+  api::Params dep2;
+  dep2.set("id", int64_t{3}).set("amt", int64_t{1});
+  ASSERT_TRUE(f.request("deposit", dep2).has_value());
+  auto r2 = f.request("check", chk);
+  EXPECT_EQ(r2->value, 40);
+}
+
+TEST(DmvCluster, ReintegrationAfterRestart) {
+  DmvCluster::Config cfg;
+  cfg.slaves = 2;
+  cfg.checkpoint_period = 0;  // worst case: full page transfer
+  Fixture f(cfg);
+  auto client = f.cluster->make_client("c");
+  // Produce some committed state.
+  for (int i = 0; i < 10; ++i) {
+    api::Params dep;
+    dep.set("id", int64_t(i)).set("amt", int64_t{100});
+    ASSERT_TRUE(f.request("deposit", dep).has_value());
+  }
+  const NodeId victim = f.cluster->slave_id(0);
+  f.cluster->kill_node(victim);
+  f.sim.run(f.sim.now() + sim::kSec);
+  EXPECT_EQ(f.cluster->scheduler().slaves().size(), 1u);
+
+  // More updates while the node is down.
+  for (int i = 10; i < 20; ++i) {
+    api::Params dep;
+    dep.set("id", int64_t(i)).set("amt", int64_t{100});
+    ASSERT_TRUE(f.request("deposit", dep).has_value());
+  }
+
+  f.cluster->restart_and_rejoin(victim);
+  f.sim.run(f.sim.now() + 10 * sim::kSec);
+  EXPECT_EQ(f.cluster->scheduler().stats().joins_completed, 1u);
+  EXPECT_EQ(f.cluster->scheduler().slaves().size(), 2u);
+  // Joiner caught up: its data matches the master's after applying.
+  auto& joiner = f.cluster->node(victim).engine();
+  EXPECT_GT(joiner.stats().pages_installed, 0u);
+  // Reads on the rejoined node (force by killing the other slave).
+  f.cluster->kill_node(f.cluster->slave_id(1));
+  f.sim.run(f.sim.now() + sim::kSec);
+  api::Params chk;
+  chk.set("id", int64_t{15});
+  auto r = f.request("check", chk);
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(r->value, 250);  // 15*10 + 100
+}
+
+TEST(DmvCluster, PersistenceBackendsConverge) {
+  DmvCluster::Config cfg;
+  cfg.enable_persistence = true;
+  cfg.persistence.backends = 2;
+  Fixture f(cfg);
+  for (int i = 0; i < 10; ++i) {
+    api::Params dep;
+    dep.set("id", int64_t(i)).set("amt", int64_t{50});
+    ASSERT_TRUE(f.request("deposit", dep).has_value());
+  }
+  // Drain the async appliers.
+  f.sim.run(f.sim.now() + 60 * sim::kSec);
+  auto* pb = f.cluster->persistence();
+  ASSERT_NE(pb, nullptr);
+  EXPECT_EQ(pb->log_size(), 10u);
+  EXPECT_TRUE(pb->drained());
+  // Backends hold the committed state (disaster-recovery guarantee).
+  for (size_t b = 0; b < pb->backend_count(); ++b) {
+    auto& tb = pb->backend(b).db().table(0);
+    auto rid = tb.pk_find(K(int64_t{3}));
+    ASSERT_TRUE(rid.has_value());
+    EXPECT_EQ(std::get<int64_t>(tb.read_row(*rid)[1]), 80);
+  }
+}
+
+TEST(DmvCluster, SpareReadFractionWarmsSpare) {
+  DmvCluster::Config cfg;
+  cfg.slaves = 2;
+  cfg.spares = 1;
+  cfg.scheduler.spare_read_fraction = 0.05;
+  Fixture f(cfg);
+  auto client = f.cluster->make_client("c");
+  int done = 0;
+  f.sim.spawn([](ClusterClient& c, int& done) -> sim::Task<> {
+    for (int i = 0; i < 600; ++i) {
+      api::Params p;
+      p.set("id", int64_t(i % 100));
+      auto r = co_await c.execute("check", p);
+      EXPECT_TRUE(r.has_value());
+      ++done;
+    }
+  }(*client, done));
+  f.sim.run();
+  EXPECT_EQ(done, 600);
+  const uint64_t spare_reads = f.cluster->scheduler().stats().spare_reads;
+  EXPECT_GT(spare_reads, 5u);
+  EXPECT_LT(spare_reads, 100u);
+  // The spare's cache holds pages now.
+  EXPECT_GT(f.cluster->node(f.cluster->spare_id(0))
+                .engine()
+                .cache()
+                .resident_pages(),
+            0u);
+}
+
+TEST(DmvCluster, PageIdHintsWarmSpareWithoutQueries) {
+  DmvCluster::Config cfg;
+  cfg.slaves = 2;
+  cfg.spares = 1;
+  cfg.pageid_hints = true;
+  cfg.hint_every_txns = 10;
+  Fixture f(cfg);
+  auto client = f.cluster->make_client("c");
+  int done = 0;
+  f.sim.spawn([](ClusterClient& c, int& done) -> sim::Task<> {
+    for (int i = 0; i < 200; ++i) {
+      api::Params p;
+      p.set("id", int64_t(i % 100));
+      auto r = co_await c.execute("check", p);
+      EXPECT_TRUE(r.has_value());
+      ++done;
+    }
+  }(*client, done));
+  f.sim.run();
+  EXPECT_EQ(done, 200);
+  auto& spare = f.cluster->node(f.cluster->spare_id(0)).engine();
+  EXPECT_EQ(spare.stats().read_commits, 0u);  // no queries went there
+  EXPECT_GT(spare.cache().resident_pages(), 0u);  // but its cache is warm
+  EXPECT_GT(f.cluster->node(f.cluster->slave_id(0)).stats().hints_sent, 0u);
+}
+
+TEST(DmvCluster, SparesReceiveReplicationStream) {
+  DmvCluster::Config cfg;
+  cfg.slaves = 1;
+  cfg.spares = 1;
+  Fixture f(cfg);
+  api::Params dep;
+  dep.set("id", int64_t{4}).set("amt", int64_t{2});
+  ASSERT_TRUE(f.request("deposit", dep).has_value());
+  auto& spare = f.cluster->node(f.cluster->spare_id(0)).engine();
+  EXPECT_EQ(spare.received_version()[0], 1u);  // subscribed like a slave
+}
+
+// ---- Conflict classes (§2.1): one master per disjoint table set ----
+
+void two_table_schema(storage::Database& db) {
+  db.add_table("acct",
+               storage::Schema({storage::int_col("id"),
+                                storage::int_col("balance")}),
+               storage::IndexDef{"pk", {0}, true});
+  db.add_table("audit",
+               storage::Schema({storage::int_col("seq"),
+                                storage::int_col("what")}),
+               storage::IndexDef{"pk", {0}, true});
+}
+
+api::ProcRegistry two_class_registry() {
+  api::ProcRegistry reg;
+  api::ProcInfo dep;
+  dep.read_only = false;
+  dep.tables = {0};
+  dep.fn = [](api::Connection& c, const api::Params& p)
+      -> sim::Task<api::TxnResult> {
+    Key k = K(p.i("id"));
+    const int64_t amt = p.i("amt");
+    co_await c.update(0, k, [amt](Row& r) {
+      r[1] = std::get<int64_t>(r[1]) + amt;
+    });
+    co_return api::TxnResult{};
+  };
+  reg.register_proc("deposit", dep);
+
+  api::ProcInfo log;
+  log.read_only = false;
+  log.tables = {1};
+  log.fn = [](api::Connection& c, const api::Params& p)
+      -> sim::Task<api::TxnResult> {
+    Row row = R(p.i("seq"), p.i("what"));
+    co_await c.insert(1, row);
+    co_return api::TxnResult{};
+  };
+  reg.register_proc("log", log);
+
+  api::ProcInfo snap;
+  snap.read_only = true;
+  snap.tables = {0, 1};
+  snap.fn = [](api::Connection& c, const api::Params& p)
+      -> sim::Task<api::TxnResult> {
+    Key k = K(p.i("id"));
+    auto acct = co_await c.get(0, k);
+    api::ScanSpec all;
+    auto logs = co_await c.scan(1, std::move(all));
+    api::TxnResult res;
+    res.ok = acct.has_value();
+    res.value = acct ? std::get<int64_t>((*acct)[1]) : -1;
+    res.rows = logs.size();
+    co_return res;
+  };
+  reg.register_proc("snapshot", snap);
+  return reg;
+}
+
+struct MultiMasterFixture {
+  sim::Simulation sim;
+  net::Network net{sim};
+  api::ProcRegistry reg = two_class_registry();
+  std::unique_ptr<DmvCluster> cluster;
+
+  MultiMasterFixture() {
+    DmvCluster::Config cfg;
+    cfg.slaves = 2;
+    cfg.conflict_classes = {{0}, {1}};  // two masters
+    cfg.schema = two_table_schema;
+    cfg.loader = [](storage::Database& db) {
+      for (int64_t i = 0; i < 10; ++i)
+        db.table(0).insert_row(Row{i, i * 10});
+    };
+    cluster = std::make_unique<DmvCluster>(net, reg, cfg);
+    cluster->start();
+  }
+
+  std::optional<api::TxnResult> request(const std::string& proc,
+                                        api::Params params) {
+    auto client = cluster->make_client("c");
+    std::optional<api::TxnResult> out;
+    sim.spawn([](ClusterClient& c, const std::string proc, api::Params p,
+                 std::optional<api::TxnResult>& out) -> sim::Task<> {
+      out = co_await c.execute(proc, std::move(p));
+    }(*client, proc, std::move(params), out));
+    sim.run();
+    return out;
+  }
+};
+
+TEST(ConflictClasses, UpdatesRouteToPerClassMasters) {
+  MultiMasterFixture f;
+  ASSERT_EQ(f.cluster->master_count(), 2u);
+  api::Params dep;
+  dep.set("id", int64_t{3}).set("amt", int64_t{7});
+  ASSERT_TRUE(f.request("deposit", dep).has_value());
+  api::Params lg;
+  lg.set("seq", int64_t{1}).set("what", int64_t{42});
+  ASSERT_TRUE(f.request("log", lg).has_value());
+
+  // Each class's master committed exactly its own transaction.
+  EXPECT_EQ(f.cluster->master(0).engine().stats().update_commits, 1u);
+  EXPECT_EQ(f.cluster->master(1).engine().stats().update_commits, 1u);
+  // And produced versions only in its own vector slot.
+  EXPECT_EQ(f.cluster->master(0).engine().version()[0], 1u);
+  EXPECT_EQ(f.cluster->master(0).engine().version()[1], 0u);
+  EXPECT_EQ(f.cluster->master(1).engine().version()[1], 1u);
+}
+
+TEST(ConflictClasses, ReadersSeeMergedSnapshotAcrossClasses) {
+  MultiMasterFixture f;
+  for (int i = 0; i < 5; ++i) {
+    api::Params dep;
+    dep.set("id", int64_t{1}).set("amt", int64_t{10});
+    ASSERT_TRUE(f.request("deposit", dep).has_value());
+    api::Params lg;
+    lg.set("seq", int64_t(100 + i)).set("what", int64_t(i));
+    ASSERT_TRUE(f.request("log", lg).has_value());
+  }
+  api::Params sp;
+  sp.set("id", int64_t{1});
+  auto r = f.request("snapshot", sp);
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(r->value, 60);  // 10 + 5*10
+  EXPECT_EQ(r->rows, 5u);   // all five log records visible
+}
+
+TEST(ConflictClasses, MastersExchangeWriteSets) {
+  MultiMasterFixture f;
+  api::Params lg;
+  lg.set("seq", int64_t{9}).set("what", int64_t{1});
+  ASSERT_TRUE(f.request("log", lg).has_value());
+  // Master 0 is a slave for table 1: it received master 1's write-set.
+  EXPECT_EQ(f.cluster->master(0).engine().received_version()[1], 1u);
+}
+
+TEST(ConflictClasses, PerClassMasterFailureRecoversOnlyThatClass) {
+  MultiMasterFixture f;
+  api::Params dep;
+  dep.set("id", int64_t{2}).set("amt", int64_t{5});
+  ASSERT_TRUE(f.request("deposit", dep).has_value());
+  api::Params lg;
+  lg.set("seq", int64_t{11}).set("what", int64_t{3});
+  ASSERT_TRUE(f.request("log", lg).has_value());
+
+  // Kill the class-1 master; class 0 must keep serving untouched.
+  f.cluster->kill_node(f.cluster->master_id(1));
+  f.sim.run(f.sim.now() + sim::kSec);
+  EXPECT_EQ(f.cluster->scheduler().stats().recoveries, 1u);
+  EXPECT_NE(f.cluster->scheduler().masters()[1], net::kNoNode);
+  EXPECT_EQ(f.cluster->scheduler().masters()[0], f.cluster->master_id(0));
+
+  // Both classes accept updates again.
+  api::Params lg2;
+  lg2.set("seq", int64_t{12}).set("what", int64_t{4});
+  ASSERT_TRUE(f.request("log", lg2).has_value());
+  api::Params dep2;
+  dep2.set("id", int64_t{2}).set("amt", int64_t{1});
+  ASSERT_TRUE(f.request("deposit", dep2).has_value());
+  api::Params sp;
+  sp.set("id", int64_t{2});
+  auto r = f.request("snapshot", sp);
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(r->value, 26);  // 20 + 5 + 1
+  EXPECT_EQ(r->rows, 2u);
+}
+
+TEST(VersionHelpers, MergeCoversSame) {
+  VersionVec a{1, 5, 2}, b{3, 4, 2};
+  merge_max(a, b);
+  EXPECT_EQ(a, (VersionVec{3, 5, 2}));
+  EXPECT_TRUE(covers(a, b));
+  EXPECT_FALSE(covers(b, a));
+  EXPECT_TRUE(same_version(a, a));
+  EXPECT_FALSE(same_version(a, b));
+}
+
+}  // namespace
+}  // namespace dmv::core

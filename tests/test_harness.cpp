@@ -1,0 +1,131 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "harness/experiment.hpp"
+#include "harness/report.hpp"
+
+namespace dmv::harness {
+namespace {
+
+TEST(Series, WipsCountsWholeBucketsOnly) {
+  Series s(sim::Time(1) * sim::kSec);
+  tpcw::InteractionRecord r;
+  r.ok = true;
+  for (int i = 0; i < 10; ++i) {
+    r.start = sim::Time(i) * 100 * sim::kMsec;
+    r.end = r.start + 50 * sim::kMsec;
+    s.add(r);  // all complete inside [0, 1s)
+  }
+  r.start = 1500 * sim::kMsec;
+  r.end = 1600 * sim::kMsec;
+  s.add(r);
+  EXPECT_DOUBLE_EQ(s.wips(0, 1 * sim::kSec), 10.0);
+  EXPECT_DOUBLE_EQ(s.wips(0, 2 * sim::kSec), 5.5);
+  EXPECT_EQ(s.total(), 11u);
+}
+
+TEST(Series, ErrorsExcludedFromThroughput) {
+  Series s(sim::kSec);
+  tpcw::InteractionRecord ok{0, 100, true, false, "x"};
+  tpcw::InteractionRecord bad{0, 100, false, false, "x"};
+  s.add(ok);
+  s.add(bad);
+  EXPECT_EQ(s.errors(), 1u);
+  EXPECT_DOUBLE_EQ(s.wips(0, sim::kSec), 1.0);
+}
+
+TEST(Series, LatencyAveragesWithinWindow) {
+  Series s(sim::kSec);
+  tpcw::InteractionRecord r;
+  r.ok = true;
+  r.start = 0;
+  r.end = 200 * sim::kMsec;  // 0.2 s
+  s.add(r);
+  r.start = 100 * sim::kMsec;
+  r.end = 500 * sim::kMsec;  // 0.4 s
+  s.add(r);
+  EXPECT_NEAR(s.latency(0, sim::kSec), 0.3, 1e-9);
+}
+
+TEST(Report, TableAndTimelineRender) {
+  std::ostringstream os;
+  print_table(os, "T", {"a", "bb"}, {{"1", "2"}, {"333", "4"}});
+  const std::string t = os.str();
+  EXPECT_NE(t.find("## T"), std::string::npos);
+  EXPECT_NE(t.find("333"), std::string::npos);
+
+  Series s(sim::kSec);
+  tpcw::InteractionRecord r{0, 100, true, false, "x"};
+  s.add(r);
+  std::ostringstream os2;
+  print_timeline(os2, "TL", s, 0, 2 * sim::kSec, {{0, "mark"}});
+  EXPECT_NE(os2.str().find("mark"), std::string::npos);
+}
+
+TEST(Report, FmtPrecision) {
+  EXPECT_EQ(fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(fmt(10.0, 0), "10");
+}
+
+TEST(PeakSearch, PicksMaximum) {
+  auto r = find_peak({10, 20, 30}, [](size_t c) -> PeakPoint {
+    return {c, c == 20 ? 100.0 : 50.0, 0.1};
+  });
+  EXPECT_EQ(r.points.size(), 3u);
+  EXPECT_EQ(r.best().clients, 20u);
+  EXPECT_DOUBLE_EQ(r.best().wips, 100.0);
+}
+
+// Smoke: a tiny DMV experiment produces sensible series and is
+// deterministic across identical configs.
+TEST(Experiment, DmvSmokeAndDeterminism) {
+  auto run = [] {
+    DmvExperiment::Config cfg;
+    cfg.workload.scale.items = 100;
+    cfg.workload.clients = 20;
+    cfg.workload.think_mean = 300 * sim::kMsec;
+    cfg.slaves = 2;
+    DmvExperiment exp(cfg);
+    exp.start();
+    exp.run_until(30 * sim::kSec);
+    exp.stop();
+    return std::make_pair(exp.series().total(), exp.series().errors());
+  };
+  auto a = run();
+  auto b = run();
+  EXPECT_GT(a.first, 500u);
+  EXPECT_EQ(a.second, 0u);
+  EXPECT_EQ(a, b);  // bit-deterministic
+}
+
+TEST(Experiment, DiskSmoke) {
+  DiskExperiment::Config cfg;
+  cfg.workload.scale.items = 100;
+  cfg.workload.clients = 10;
+  cfg.workload.think_mean = 300 * sim::kMsec;
+  cfg.buffer_frames = 1 << 16;
+  DiskExperiment exp(cfg);
+  exp.start();
+  exp.run_until(20 * sim::kSec);
+  exp.stop();
+  EXPECT_GT(exp.series().total(), 200u);
+  EXPECT_EQ(exp.series().errors(), 0u);
+}
+
+TEST(Experiment, TierSmoke) {
+  TierExperiment::Config cfg;
+  cfg.workload.scale.items = 100;
+  cfg.workload.clients = 10;
+  cfg.workload.think_mean = 500 * sim::kMsec;
+  cfg.buffer_frames = 1 << 16;
+  TierExperiment exp(cfg);
+  exp.start();
+  exp.run_until(20 * sim::kSec);
+  exp.stop();
+  EXPECT_GT(exp.series().total(), 100u);
+  EXPECT_EQ(exp.series().errors(), 0u);
+}
+
+}  // namespace
+}  // namespace dmv::harness

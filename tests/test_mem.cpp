@@ -1,0 +1,611 @@
+#include <gtest/gtest.h>
+
+#include "mem/checkpoint.hpp"
+#include "mem/engine.hpp"
+#include "util/rng.hpp"
+
+namespace dmv::mem {
+namespace {
+
+using storage::Key;
+using storage::Row;
+using storage::TableId;
+
+
+// GCC 12 cannot copy braced-init-list temporaries across co_await points
+// (coroutine frame bug); K()/R() build keys/rows through a normal call.
+inline Key K(storage::Value a) { return Key{std::move(a)}; }
+inline Row R(storage::Value a, storage::Value b) {
+  return Row{std::move(a), std::move(b)};
+}
+inline Row R(storage::Value a, storage::Value b, storage::Value c) {
+  return Row{std::move(a), std::move(b), std::move(c)};
+}
+
+void demo_schema(storage::Database& db) {
+  db.add_table("acct",
+               storage::Schema({storage::int_col("id"),
+                                storage::int_col("balance"),
+                                storage::char_col("owner", 16)}),
+               storage::IndexDef{"pk", {0}, true},
+               {storage::IndexDef{"by_owner", {2}, false}});
+  db.add_table("log",
+               storage::Schema({storage::int_col("seq"),
+                                storage::int_col("acct")}),
+               storage::IndexDef{"pk", {0}, true});
+}
+
+// A master wired to N slaves through direct on_write_set delivery (the
+// networked path is exercised in core/integration tests).
+struct Cluster {
+  sim::Simulation sim;
+  std::unique_ptr<MemEngine> master;
+  std::vector<std::unique_ptr<MemEngine>> slaves;
+
+  explicit Cluster(int nslaves, MemEngine::Config cfg = {}) {
+    master = std::make_unique<MemEngine>(sim, "master", cfg);
+    master->build_schema(demo_schema);
+    master->set_master_tables({0, 1});
+    for (int i = 0; i < nslaves; ++i) {
+      auto s = std::make_unique<MemEngine>(
+          sim, "slave" + std::to_string(i), cfg);
+      s->build_schema(demo_schema);
+      slaves.push_back(std::move(s));
+    }
+    master->set_broadcast_fn([this](const txn::WriteSet& ws) {
+      for (auto& s : slaves) s->on_write_set(ws);
+    });
+  }
+
+  // Run one update transaction to completion on the master.
+  template <typename Body>
+  void run_update(Body&& body) {
+    sim.spawn([](Cluster& c, Body body) -> sim::Task<> {
+      auto txn = c.master->begin_update();
+      co_await body(*c.master, *txn);
+      co_await c.master->precommit(*txn);
+      c.master->finish_commit(*txn);
+    }(*this, std::forward<Body>(body)));
+    sim.run();
+  }
+};
+
+sim::Task<> insert_acct(MemEngine& eng, txn::TxnCtx& txn, int64_t id,
+                        int64_t bal, const char* owner) {
+  Row row{id, bal, std::string(owner)};
+  const bool ok = co_await eng.insert(txn, 0, row);
+  EXPECT_TRUE(ok);
+}
+
+TEST(MemEngine, MasterInsertVisibleLocally) {
+  Cluster c(0);
+  c.run_update([](MemEngine& m, txn::TxnCtx& txn) -> sim::Task<> {
+    co_await insert_acct(m, txn, 1, 100, "ann");
+  });
+  EXPECT_EQ(c.master->db().table(0).row_count(), 1u);
+  EXPECT_EQ(c.master->version()[0], 1u);
+  EXPECT_EQ(c.master->stats().update_commits, 1u);
+}
+
+TEST(MemEngine, WriteSetReachesSlaveLazily) {
+  Cluster c(1);
+  c.run_update([](MemEngine& m, txn::TxnCtx& txn) -> sim::Task<> {
+    co_await insert_acct(m, txn, 1, 100, "ann");
+  });
+  auto& slave = *c.slaves[0];
+  // Received but not applied: lazy.
+  EXPECT_EQ(slave.received_version()[0], 1u);
+  EXPECT_EQ(slave.db().table(0).row_count(), 0u);
+  EXPECT_EQ(slave.pending_mod_count(), 1u);
+
+  // A tagged read materializes the snapshot.
+  c.sim.spawn([](Cluster& c) -> sim::Task<> {
+    auto txn = c.slaves[0]->begin_read(c.slaves[0]->received_version());
+    auto row = co_await c.slaves[0]->get(*txn, 0, K(int64_t{1}));
+    EXPECT_TRUE(row.has_value());
+    EXPECT_EQ(std::get<int64_t>((*row)[1]), 100);
+    c.slaves[0]->finish_read(*txn);
+  }(c));
+  c.sim.run();
+  EXPECT_EQ(slave.db().table(0).row_count(), 1u);
+  EXPECT_EQ(slave.stats().mods_applied, 1u);
+  EXPECT_TRUE(c.master->db().pages_equal(slave.db()));
+}
+
+TEST(MemEngine, ReaderWaitsForWriteSetArrival) {
+  Cluster c(1);
+  // Delay delivery: buffer the write-set and deliver at t=500.
+  std::vector<txn::WriteSet> buffered;
+  c.master->set_broadcast_fn(
+      [&](const txn::WriteSet& ws) { buffered.push_back(ws); });
+  c.run_update([](MemEngine& m, txn::TxnCtx& txn) -> sim::Task<> {
+    co_await insert_acct(m, txn, 1, 100, "ann");
+  });
+  sim::Time read_done = -1;
+  c.sim.spawn([](Cluster& c, sim::Time& done) -> sim::Task<> {
+    // Tag {1, 0}: the slave hasn't received version 1 yet — must wait.
+    auto txn = c.slaves[0]->begin_read({1, 0});
+    auto row = co_await c.slaves[0]->get(*txn, 0, K(int64_t{1}));
+    EXPECT_TRUE(row.has_value());
+    done = c.sim.now();
+  }(c, read_done));
+  const sim::Time deliver_at = c.sim.now() + 500;
+  c.sim.schedule_at(deliver_at, [&] {
+    for (auto& ws : buffered) c.slaves[0]->on_write_set(ws);
+  });
+  c.sim.run();
+  EXPECT_GE(read_done, deliver_at);
+}
+
+TEST(MemEngine, VersionConflictAbortsOldReader) {
+  Cluster c(1);
+  c.run_update([](MemEngine& m, txn::TxnCtx& txn) -> sim::Task<> {
+    co_await insert_acct(m, txn, 1, 100, "ann");
+  });
+  c.run_update([](MemEngine& m, txn::TxnCtx& txn) -> sim::Task<> {
+    co_await m.update(txn, 0, K(int64_t{1}),
+                      [](Row& r) { r[1] = int64_t{150}; });
+  });
+  auto& slave = *c.slaves[0];
+  // New reader at version 2 pulls the page forward.
+  c.sim.spawn([](MemEngine& s) -> sim::Task<> {
+    auto txn = s.begin_read({2, 0});
+    auto row = co_await s.get(*txn, 0, K(int64_t{1}));
+    EXPECT_EQ(std::get<int64_t>((*row)[1]), 150);
+  }(slave));
+  c.sim.run();
+  // Old reader at version 1 touches the same (now newer) page: abort.
+  bool aborted = false;
+  c.sim.spawn([](MemEngine& s, bool& aborted) -> sim::Task<> {
+    auto txn = s.begin_read({1, 0});
+    try {
+      co_await s.get(*txn, 0, K(int64_t{1}));
+    } catch (const TxnAbort& e) {
+      aborted = e.reason == TxnAbort::Reason::VersionConflict;
+    }
+  }(slave, aborted));
+  c.sim.run();
+  EXPECT_TRUE(aborted);
+  EXPECT_EQ(slave.stats().version_aborts, 1u);
+}
+
+TEST(MemEngine, SnapshotIgnoresNewerCommits) {
+  Cluster c(1);
+  c.run_update([](MemEngine& m, txn::TxnCtx& txn) -> sim::Task<> {
+    co_await insert_acct(m, txn, 1, 100, "ann");
+  });
+  c.run_update([](MemEngine& m, txn::TxnCtx& txn) -> sim::Task<> {
+    co_await m.update(txn, 0, K(int64_t{1}),
+                      [](Row& r) { r[1] = int64_t{999}; });
+  });
+  // Reader tagged with the OLD version, arriving before anyone applied the
+  // new one, must see the old balance (mods <= tag only).
+  c.sim.spawn([](MemEngine& s) -> sim::Task<> {
+    auto txn = s.begin_read({1, 0});
+    auto row = co_await s.get(*txn, 0, K(int64_t{1}));
+    EXPECT_TRUE(row.has_value());
+    EXPECT_EQ(std::get<int64_t>((*row)[1]), 100);
+  }(*c.slaves[0]));
+  c.sim.run();
+  // And the page is left at version 1, not 2.
+  EXPECT_EQ(c.slaves[0]->db().table(0).meta(0).version, 1u);
+}
+
+TEST(MemEngine, RollbackRestoresBytesAndIndexes) {
+  Cluster c(0);
+  c.run_update([](MemEngine& m, txn::TxnCtx& txn) -> sim::Task<> {
+    co_await insert_acct(m, txn, 1, 100, "ann");
+  });
+  storage::Page before = c.master->db().table(0).page(0);
+  c.sim.spawn([](Cluster& c) -> sim::Task<> {
+    auto txn = c.master->begin_update();
+    co_await c.master->insert(*txn, 0, R(int64_t{2}, int64_t{5}, std::string("bob")));
+    co_await c.master->update(*txn, 0, K(int64_t{1}),
+                              [](Row& r) { r[1] = int64_t{0}; });
+    c.master->rollback(*txn);
+  }(c));
+  c.sim.run();
+  EXPECT_TRUE(before == c.master->db().table(0).page(0));
+  EXPECT_FALSE(c.master->db().table(0).pk_find(K(int64_t{2})).has_value());
+  auto rid = c.master->db().table(0).pk_find(K(int64_t{1}));
+  ASSERT_TRUE(rid.has_value());
+  EXPECT_EQ(std::get<int64_t>(c.master->db().table(0).read_row(*rid)[1]),
+            100);
+  // No version was produced.
+  EXPECT_EQ(c.master->version()[0], 1u);
+}
+
+class MemConvergence : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(MemConvergence, ConvergenceUnderRandomWorkload) {
+  Cluster c(2);
+  util::Rng rng(GetParam());
+  // 200 random update txns; then force-apply everything on slaves and
+  // compare byte-for-byte.
+  for (int i = 0; i < 200; ++i) {
+    const int op = int(rng.below(3));
+    const int64_t id = rng.between(1, 60);
+    c.sim.spawn([](Cluster& c, int op, int64_t id, int64_t val,
+                   int64_t seq) -> sim::Task<> {
+      auto txn = c.master->begin_update();
+      if (op == 0) {
+        co_await c.master->insert(*txn, 0,
+                                  R(id, val, "o" + std::to_string(id)));
+        co_await c.master->insert(*txn, 1, R(seq, id));
+      } else if (op == 1) {
+        co_await c.master->update(*txn, 0, K(id),
+                                  [val](Row& r) { r[1] = val; });
+      } else {
+        co_await c.master->remove(*txn, 0, K(id));
+      }
+      co_await c.master->precommit(*txn);
+      c.master->finish_commit(*txn);
+    }(c, op, id, rng.between(0, 1000), int64_t(i + 1000)));
+    c.sim.run();
+  }
+  for (auto& s : c.slaves) {
+    c.sim.spawn([](Cluster& c, MemEngine& s) -> sim::Task<> {
+      for (TableId t = 0; t < 2; ++t)
+        co_await s.apply_pending(t, s.received_version()[t]);
+    }(c, *s));
+    c.sim.run();
+    EXPECT_TRUE(c.master->db().pages_equal(s->db()));
+    EXPECT_EQ(c.master->db().table(0).row_count(),
+              s->db().table(0).row_count());
+    // Index contents equal: same pk scan results.
+    std::vector<int64_t> mk, sk;
+    c.master->db().table(0).pk_scan(nullptr, nullptr,
+                                    [&](const Key& k, storage::RowId) {
+                                      mk.push_back(std::get<int64_t>(k[0]));
+                                      return true;
+                                    });
+    s->db().table(0).pk_scan(nullptr, nullptr,
+                             [&](const Key& k, storage::RowId) {
+                               sk.push_back(std::get<int64_t>(k[0]));
+                               return true;
+                             });
+    EXPECT_EQ(mk, sk);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MemConvergence,
+                         ::testing::Values(4242, 1, 77, 31337, 999));
+
+TEST(MemEngine, ScanWithFilterAndLimit) {
+  Cluster c(1);
+  for (int i = 0; i < 30; ++i) {
+    c.run_update([i](MemEngine& m, txn::TxnCtx& txn) -> sim::Task<> {
+      co_await insert_acct(m, txn, i, (i % 3) * 100,
+                           i % 2 ? "odd" : "even");
+    });
+  }
+  c.sim.spawn([](Cluster& c) -> sim::Task<> {
+    auto txn = c.slaves[0]->begin_read(c.slaves[0]->received_version());
+    MemEngine::ScanSpec spec;
+    spec.lo = K(int64_t{5});
+    spec.hi = K(int64_t{25});
+    spec.limit = 4;
+    spec.filter = [](const Row& r) {
+      return std::get<int64_t>(r[1]) == 0;  // balance 0: ids % 3 == 0
+    };
+    auto rows = co_await c.slaves[0]->scan(*txn, 0, spec);
+    EXPECT_EQ(rows.size(), 4u);
+    if (rows.size() != 4u) co_return;
+    EXPECT_EQ(std::get<int64_t>(rows[0][0]), 6);
+    EXPECT_EQ(std::get<int64_t>(rows[3][0]), 15);
+  }(c));
+  c.sim.run();
+}
+
+TEST(MemEngine, SecondaryIndexScanOnSlave) {
+  Cluster c(1);
+  c.run_update([](MemEngine& m, txn::TxnCtx& txn) -> sim::Task<> {
+    co_await insert_acct(m, txn, 1, 10, "zoe");
+    co_await insert_acct(m, txn, 2, 20, "amy");
+    co_await insert_acct(m, txn, 3, 30, "amy");
+  });
+  c.sim.spawn([](Cluster& c) -> sim::Task<> {
+    auto txn = c.slaves[0]->begin_read(c.slaves[0]->received_version());
+    MemEngine::ScanSpec spec;
+    spec.index = 0;  // by_owner
+    spec.lo = Key{std::string("amy")};
+    spec.hi = Key{std::string("amy")};
+    auto rows = co_await c.slaves[0]->scan(*txn, 0, spec);
+    EXPECT_EQ(rows.size(), 2u);
+  }(c));
+  c.sim.run();
+}
+
+TEST(MemEngine, PromoteSlaveBecomesMaster) {
+  Cluster c(2);
+  c.run_update([](MemEngine& m, txn::TxnCtx& txn) -> sim::Task<> {
+    co_await insert_acct(m, txn, 1, 100, "ann");
+  });
+  auto& s0 = *c.slaves[0];
+  c.sim.spawn([](MemEngine& s) -> sim::Task<> {
+    std::set<TableId> both{0, 1};
+    co_await s.promote(both);
+  }(s0));
+  c.sim.run();
+  EXPECT_TRUE(s0.masters(0));
+  EXPECT_EQ(s0.version()[0], 1u);
+  // New master can now execute updates, continuing the version sequence.
+  s0.set_broadcast_fn([&](const txn::WriteSet& ws) {
+    c.slaves[1]->on_write_set(ws);
+  });
+  c.sim.spawn([](Cluster& c, MemEngine& s) -> sim::Task<> {
+    auto txn = s.begin_update();
+    co_await s.update(*txn, 0, K(int64_t{1}),
+                      [](Row& r) { r[1] = int64_t{500}; });
+    co_await s.precommit(*txn);
+    s.finish_commit(*txn);
+    (void)c;
+  }(c, s0));
+  c.sim.run();
+  EXPECT_EQ(s0.version()[0], 2u);
+  EXPECT_EQ(c.slaves[1]->received_version()[0], 2u);
+}
+
+TEST(MemEngine, DiscardModsAboveCleansPartialPropagation) {
+  Cluster c(1);
+  c.run_update([](MemEngine& m, txn::TxnCtx& txn) -> sim::Task<> {
+    co_await insert_acct(m, txn, 1, 100, "ann");
+  });
+  c.run_update([](MemEngine& m, txn::TxnCtx& txn) -> sim::Task<> {
+    co_await insert_acct(m, txn, 2, 200, "bob");
+  });
+  auto& slave = *c.slaves[0];
+  EXPECT_EQ(slave.received_version()[0], 2u);
+  // Scheduler only confirmed version 1 before the master died.
+  slave.discard_mods_above({1, 0});
+  EXPECT_EQ(slave.received_version()[0], 1u);
+  EXPECT_EQ(slave.pending_mod_count(), 1u);
+  c.sim.spawn([](MemEngine& s) -> sim::Task<> {
+    co_await s.apply_pending(0, 1);
+  }(slave));
+  c.sim.run();
+  EXPECT_TRUE(slave.db().table(0).pk_find(K(int64_t{1})).has_value());
+  EXPECT_FALSE(slave.db().table(0).pk_find(K(int64_t{2})).has_value());
+}
+
+TEST(MemEngine, InstallPageBringsStaleNodeCurrent) {
+  Cluster c(2);
+  for (int i = 0; i < 20; ++i) {
+    c.run_update([i](MemEngine& m, txn::TxnCtx& txn) -> sim::Task<> {
+      co_await insert_acct(m, txn, i, i * 10, "x");
+    });
+  }
+  // slaves[0] applies everything; slaves[1] plays "stale joiner": wipe its
+  // pending queue, then install pages newer than its (zero) versions.
+  auto& support = *c.slaves[0];
+  c.sim.spawn([](MemEngine& s) -> sim::Task<> {
+    co_await s.apply_pending(0, s.received_version()[0]);
+  }(support));
+  c.sim.run();
+
+  MemEngine joiner(c.sim, "joiner", {});
+  joiner.build_schema(demo_schema);
+  const auto joiner_versions = joiner.page_versions();
+  size_t sent = 0;
+  for (auto& [pid, ver] : support.page_versions()) {
+    auto it = joiner_versions.find(pid);
+    const uint64_t have = it == joiner_versions.end() ? 0 : it->second;
+    if (ver > have) {
+      joiner.install_page(pid, support.db().table(pid.table).page(pid.page),
+                          ver);
+      ++sent;
+    }
+  }
+  joiner.adopt_version(support.received_version());
+  EXPECT_GT(sent, 0u);
+  EXPECT_TRUE(support.db().pages_equal(joiner.db()));
+  EXPECT_EQ(joiner.db().table(0).row_count(), 20u);
+}
+
+TEST(MemEngine, WaitDieDeathSurfacesAsAbort) {
+  MemEngine::Config wd_cfg;
+  wd_cfg.lock_policy = txn::LockPolicy::WaitDie;
+  Cluster c(0, wd_cfg);
+  c.run_update([](MemEngine& m, txn::TxnCtx& txn) -> sim::Task<> {
+    co_await insert_acct(m, txn, 1, 100, "ann");
+  });
+  bool died = false;
+  c.sim.spawn([](Cluster& c, bool& died) -> sim::Task<> {
+    auto t_old = c.master->begin_update();
+    auto t_young = c.master->begin_update();
+    // Older txn takes the X lock...
+    co_await c.master->update(*t_old, 0, K(int64_t{1}),
+                              [](Row& r) { r[1] = int64_t{1}; });
+    // ...younger one must die rather than wait.
+    try {
+      co_await c.master->update(*t_young, 0, K(int64_t{1}),
+                                [](Row& r) { r[1] = int64_t{2}; });
+    } catch (const TxnAbort& e) {
+      died = e.reason == TxnAbort::Reason::WaitDie;
+      c.master->rollback(*t_young);
+    }
+    co_await c.master->precommit(*t_old);
+    c.master->finish_commit(*t_old);
+  }(c, died));
+  c.sim.run();
+  EXPECT_TRUE(died);
+  EXPECT_EQ(c.master->stats().waitdie_deaths, 1u);
+}
+
+TEST(MemEngine, FullPageWriteSetsShipWholePages) {
+  MemEngine::Config cfg;
+  cfg.full_page_writesets = true;
+  Cluster c(1, cfg);
+  size_t ws_bytes = 0;
+  c.master->set_broadcast_fn([&](const txn::WriteSet& ws) {
+    ws_bytes = ws.byte_size();
+    c.slaves[0]->on_write_set(ws);
+  });
+  c.run_update([](MemEngine& m, txn::TxnCtx& txn) -> sim::Task<> {
+    co_await insert_acct(m, txn, 1, 100, "ann");
+  });
+  // A one-row insert ships a full 8 KiB page instead of a small diff.
+  EXPECT_GT(ws_bytes, storage::kPageSize);
+  // And the slave still converges.
+  c.sim.spawn([](MemEngine& s) -> sim::Task<> {
+    co_await s.apply_pending(0, s.received_version()[0]);
+  }(*c.slaves[0]));
+  c.sim.run();
+  EXPECT_TRUE(c.master->db().pages_equal(c.slaves[0]->db()));
+}
+
+TEST(MemEngine, DiffWriteSetsAreSmall) {
+  Cluster c(1);
+  size_t ws_bytes = 0;
+  c.master->set_broadcast_fn(
+      [&](const txn::WriteSet& ws) { ws_bytes = ws.byte_size(); });
+  c.run_update([](MemEngine& m, txn::TxnCtx& txn) -> sim::Task<> {
+    co_await insert_acct(m, txn, 1, 100, "ann");
+  });
+  EXPECT_LT(ws_bytes, 256u);  // ~row size + bitmap byte + headers
+}
+
+TEST(MemEngine, PromotedMasterContinuesVersionSequence) {
+  // Regression guard on the §4.2 invariant: the new master's first commit
+  // must produce version N+1 where N is the confirmed version, or slave
+  // pending queues would reject/misorder mods.
+  Cluster c(2);
+  for (int i = 0; i < 5; ++i) {
+    c.run_update([i](MemEngine& m, txn::TxnCtx& txn) -> sim::Task<> {
+      co_await insert_acct(m, txn, i, i, "x");
+    });
+  }
+  auto& s0 = *c.slaves[0];
+  c.sim.spawn([](MemEngine& s) -> sim::Task<> {
+    std::set<storage::TableId> both{0, 1};
+    co_await s.promote(both);
+  }(s0));
+  c.sim.run();
+  EXPECT_EQ(s0.version()[0], 5u);
+  s0.set_broadcast_fn(
+      [&](const txn::WriteSet& ws) { c.slaves[1]->on_write_set(ws); });
+  c.sim.spawn([](Cluster& c, MemEngine& s) -> sim::Task<> {
+    auto txn = s.begin_update();
+    co_await insert_acct(s, *txn, 100, 1, "y");
+    txn::WriteSet ws = co_await s.precommit(*txn);
+    s.finish_commit(*txn);
+    EXPECT_EQ(ws.db_version[0], 6u);
+    (void)c;
+  }(c, s0));
+  c.sim.run();
+  // The other slave accepts and applies the continuation seamlessly.
+  c.sim.spawn([](MemEngine& s) -> sim::Task<> {
+    co_await s.apply_pending(0, s.received_version()[0]);
+  }(*c.slaves[1]));
+  c.sim.run();
+  EXPECT_TRUE(
+      c.slaves[1]->db().table(0).pk_find(K(int64_t{100})).has_value());
+}
+
+TEST(CacheModel, FaultsThenHits) {
+  CacheModel cache(4, 1000);
+  EXPECT_EQ(cache.touch({0, 0}), 1000);
+  EXPECT_EQ(cache.touch({0, 0}), 0);
+  EXPECT_EQ(cache.faults(), 1u);
+  EXPECT_EQ(cache.hits(), 1u);
+}
+
+TEST(CacheModel, EvictionCausesRefault) {
+  CacheModel cache(2, 1000);
+  cache.touch({0, 0});
+  cache.touch({0, 1});
+  cache.touch({0, 2});  // evicts {0,0}
+  EXPECT_EQ(cache.touch({0, 0}), 1000);
+}
+
+TEST(CacheModel, PrefetchWarmsWithoutCharge) {
+  CacheModel cache(8, 1000);
+  cache.prefetch({0, 5});
+  EXPECT_EQ(cache.touch({0, 5}), 0);
+}
+
+TEST(CacheModel, HotPagesMruOrder) {
+  CacheModel cache(8, 1000);
+  cache.touch({0, 1});
+  cache.touch({0, 2});
+  cache.touch({0, 1});
+  auto hot = cache.hot_pages(10);
+  ASSERT_EQ(hot.size(), 2u);
+  EXPECT_EQ(hot[0], (storage::PageId{0, 1}));
+}
+
+TEST(Checkpoint, RoundTripRestoresState) {
+  Cluster c(0);
+  for (int i = 0; i < 25; ++i) {
+    c.run_update([i](MemEngine& m, txn::TxnCtx& txn) -> sim::Task<> {
+      co_await insert_acct(m, txn, i, i, "o");
+    });
+  }
+  StableStore store;
+  Checkpointer cp(c.sim, *c.master, store, 60 * sim::kSec);
+  c.sim.spawn([](Checkpointer& cp) -> sim::Task<> {
+    const size_t flushed = co_await cp.checkpoint_once();
+    EXPECT_GT(flushed, 0u);
+  }(cp));
+  c.sim.run();
+
+  MemEngine restored(c.sim, "restored", {});
+  restored.build_schema(demo_schema);
+  restore_from_checkpoint(restored, store);
+  EXPECT_TRUE(c.master->db().pages_equal(restored.db()));
+  EXPECT_EQ(restored.db().table(0).row_count(), 25u);
+  // Page versions restored too.
+  EXPECT_EQ(restored.db().table(0).meta(0).version,
+            c.master->db().table(0).meta(0).version);
+}
+
+TEST(Checkpoint, SecondPassFlushesOnlyChangedPages) {
+  Cluster c(0);
+  for (int i = 0; i < 10; ++i) {
+    c.run_update([i](MemEngine& m, txn::TxnCtx& txn) -> sim::Task<> {
+      co_await insert_acct(m, txn, i, i, "o");
+    });
+  }
+  StableStore store;
+  Checkpointer cp(c.sim, *c.master, store, 60 * sim::kSec);
+  size_t first = 0, second = 0, third = 0;
+  c.sim.spawn([](Cluster& c, Checkpointer& cp, size_t& a, size_t& b,
+                 size_t& d) -> sim::Task<> {
+    a = co_await cp.checkpoint_once();
+    b = co_await cp.checkpoint_once();  // nothing changed
+    // One more commit dirties one page.
+    auto txn = c.master->begin_update();
+    co_await c.master->update(*txn, 0, K(int64_t{3}),
+                              [](Row& r) { r[1] = int64_t{77}; });
+    co_await c.master->precommit(*txn);
+    c.master->finish_commit(*txn);
+    d = co_await cp.checkpoint_once();
+  }(c, cp, first, second, third));
+  c.sim.run();
+  EXPECT_GT(first, 0u);
+  EXPECT_EQ(second, 0u);
+  EXPECT_EQ(third, 1u);
+}
+
+TEST(Checkpoint, SkipsUncommittedPages) {
+  Cluster c(0);
+  c.run_update([](MemEngine& m, txn::TxnCtx& txn) -> sim::Task<> {
+    co_await insert_acct(m, txn, 1, 100, "ann");
+  });
+  StableStore store;
+  Checkpointer cp(c.sim, *c.master, store, 60 * sim::kSec);
+  c.sim.spawn([](Cluster& c, Checkpointer& cp) -> sim::Task<> {
+    // Open txn holds X on page 0 of table 0 during the checkpoint.
+    auto txn = c.master->begin_update();
+    co_await c.master->update(*txn, 0, K(int64_t{1}),
+                              [](Row& r) { r[1] = int64_t{-1}; });
+    const size_t flushed = co_await cp.checkpoint_once();
+    EXPECT_EQ(flushed, 0u);  // the only populated page was dirty
+    c.master->rollback(*txn);
+  }(c, cp));
+  c.sim.run();
+  EXPECT_EQ(store.get({0, 0}), nullptr);
+}
+
+}  // namespace
+}  // namespace dmv::mem

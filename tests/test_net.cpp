@@ -1,0 +1,283 @@
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "net/failure_detector.hpp"
+#include "net/network.hpp"
+#include "util/rng.hpp"
+
+namespace dmv::net {
+namespace {
+
+struct Ping {
+  int n;
+};
+
+struct Fixture {
+  sim::Simulation sim;
+  Network net;
+  Fixture(NetworkConfig cfg = {}) : net(sim, cfg) {}
+};
+
+TEST(Network, DeliversWithLatency) {
+  Fixture f;
+  NodeId a = f.net.add_node("a");
+  NodeId b = f.net.add_node("b");
+  sim::Time arrival = -1;
+  int value = 0;
+  f.sim.spawn([](Fixture& f, NodeId b, sim::Time& t, int& v) -> sim::Task<> {
+    auto env = co_await f.net.mailbox(b).receive();
+    EXPECT_TRUE(env.has_value());
+    if (!env) co_return;
+    t = f.sim.now();
+    v = as<Ping>(*env)->n;
+  }(f, b, arrival, value));
+  f.net.send(a, b, Ping{41}, 1024);
+  f.sim.run();
+  EXPECT_EQ(value, 41);
+  // base 100us + 1KB * 80us/KB
+  EXPECT_EQ(arrival, 180);
+}
+
+TEST(Network, FifoPerLinkEvenWithSizeSkew) {
+  Fixture f;
+  NodeId a = f.net.add_node("a");
+  NodeId b = f.net.add_node("b");
+  std::vector<int> got;
+  f.sim.spawn([](Fixture& f, NodeId b, std::vector<int>& got) -> sim::Task<> {
+    for (int i = 0; i < 3; ++i) {
+      auto env = co_await f.net.mailbox(b).receive();
+      got.push_back(as<Ping>(*env)->n);
+    }
+  }(f, b, got));
+  // Big message first: smaller later messages must not overtake it.
+  f.net.send(a, b, Ping{1}, 100 * 1024);
+  f.net.send(a, b, Ping{2}, 16);
+  f.net.send(a, b, Ping{3}, 16);
+  f.sim.run();
+  EXPECT_EQ(got, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(Network, KillClosesMailboxAndDropsTraffic) {
+  Fixture f;
+  NodeId a = f.net.add_node("a");
+  NodeId b = f.net.add_node("b");
+  bool saw_close = false;
+  f.sim.spawn([](Fixture& f, NodeId b, bool& flag) -> sim::Task<> {
+    auto env = co_await f.net.mailbox(b).receive();
+    flag = !env.has_value();
+  }(f, b, saw_close));
+  f.sim.schedule_at(10, [&] { f.net.kill(b); });
+  f.sim.schedule_at(20, [&] { f.net.send(a, b, Ping{1}); });
+  f.sim.run();
+  EXPECT_TRUE(saw_close);
+  EXPECT_FALSE(f.net.alive(b));
+}
+
+TEST(Network, InFlightMessageToDeadNodeDropped) {
+  Fixture f;
+  NodeId a = f.net.add_node("a");
+  NodeId b = f.net.add_node("b");
+  f.net.send(a, b, Ping{1}, 1024 * 1024);  // long transfer
+  f.sim.schedule_at(10, [&] { f.net.kill(b); });
+  f.sim.run();  // must not crash; message silently dropped
+  EXPECT_FALSE(f.net.alive(b));
+}
+
+TEST(Network, FailureSubscribersNotifiedAfterDetectDelay) {
+  NetworkConfig cfg;
+  cfg.detect_delay = 500;
+  Fixture f(cfg);
+  NodeId a = f.net.add_node("a");
+  (void)a;
+  NodeId b = f.net.add_node("b");
+  std::vector<std::pair<sim::Time, NodeId>> notices;
+  f.net.subscribe_failures(
+      [&](NodeId n) { notices.emplace_back(f.sim.now(), n); });
+  f.sim.schedule_at(100, [&] { f.net.kill(b); });
+  f.sim.run();
+  ASSERT_EQ(notices.size(), 1u);
+  EXPECT_EQ(notices[0].first, 600);
+  EXPECT_EQ(notices[0].second, b);
+}
+
+TEST(Network, RestartReopensMailbox) {
+  Fixture f;
+  NodeId a = f.net.add_node("a");
+  NodeId b = f.net.add_node("b");
+  f.net.kill(b);
+  f.net.restart(b);
+  EXPECT_TRUE(f.net.alive(b));
+  int got = 0;
+  f.sim.spawn([](Fixture& f, NodeId b, int& got) -> sim::Task<> {
+    auto env = co_await f.net.mailbox(b).receive();
+    got = as<Ping>(*env)->n;
+  }(f, b, got));
+  f.net.send(a, b, Ping{5});
+  f.sim.run();
+  EXPECT_EQ(got, 5);
+}
+
+TEST(Network, PartitionBlocksBothDirections) {
+  Fixture f;
+  NodeId a = f.net.add_node("a");
+  NodeId b = f.net.add_node("b");
+  f.net.set_link(a, b, false);
+  f.net.send(a, b, Ping{1});
+  f.net.send(b, a, Ping{2});
+  f.sim.run();
+  EXPECT_EQ(f.net.mailbox(a).size(), 0u);
+  EXPECT_EQ(f.net.mailbox(b).size(), 0u);
+  f.net.set_link(a, b, true);
+  f.net.send(a, b, Ping{3});
+  f.sim.run();
+  EXPECT_EQ(f.net.mailbox(b).size(), 1u);
+}
+
+TEST(Network, TrafficAccounting) {
+  Fixture f;
+  NodeId a = f.net.add_node("a");
+  NodeId b = f.net.add_node("b");
+  f.net.send(a, b, Ping{1}, 100);
+  f.net.send(a, b, Ping{2}, 50);
+  EXPECT_EQ(f.net.messages_sent(), 2u);
+  EXPECT_EQ(f.net.bytes_sent(), 150u);
+}
+
+TEST(Network, FifoPreservedAcrossManyInterleavedSenders) {
+  // Property: per-link FIFO holds even when many senders with random
+  // message sizes interleave (sizes would reorder naive delivery).
+  Fixture f;
+  NodeId dst = f.net.add_node("dst");
+  std::vector<NodeId> srcs;
+  for (int i = 0; i < 4; ++i)
+    srcs.push_back(f.net.add_node("s" + std::to_string(i)));
+  std::map<NodeId, int> last_seen;
+  bool violated = false;
+  f.sim.spawn([](Fixture& f, NodeId dst, std::map<NodeId, int>& last,
+                 bool& violated) -> sim::Task<> {
+    for (;;) {
+      auto env = co_await f.net.mailbox(dst).receive();
+      if (!env) break;
+      const int n = as<Ping>(*env)->n;
+      if (last.count(env->from) && n != last[env->from] + 1)
+        violated = true;
+      last[env->from] = n;
+    }
+  }(f, dst, last_seen, violated));
+  dmv::util::Rng rng(99);
+  for (int k = 0; k < 200; ++k) {
+    const NodeId src = srcs[rng.below(srcs.size())];
+    static std::map<NodeId, int> seq;
+    f.net.send(src, dst, Ping{seq[src]++}, 16 + rng.below(64 * 1024));
+  }
+  f.sim.schedule_at(60 * sim::kSec, [&] { f.net.kill(dst); });
+  f.sim.run();
+  EXPECT_FALSE(violated);
+  for (auto& [src, n] : last_seen) EXPECT_GT(n, 0);
+}
+
+TEST(Network, PartitionHealsAndTrafficResumes) {
+  Fixture f;
+  NodeId a = f.net.add_node("a");
+  NodeId b = f.net.add_node("b");
+  int got = 0;
+  f.sim.spawn([](Fixture& f, NodeId b, int& got) -> sim::Task<> {
+    for (;;) {
+      auto env = co_await f.net.mailbox(b).receive();
+      if (!env) break;
+      ++got;
+    }
+  }(f, b, got));
+  f.net.send(a, b, Ping{1});
+  f.sim.schedule_at(sim::kSec, [&] { f.net.set_link(a, b, false); });
+  f.sim.schedule_at(2 * sim::kSec, [&] { f.net.send(a, b, Ping{2}); });
+  f.sim.schedule_at(3 * sim::kSec, [&] { f.net.set_link(a, b, true); });
+  f.sim.schedule_at(4 * sim::kSec, [&] { f.net.send(a, b, Ping{3}); });
+  f.sim.schedule_at(5 * sim::kSec, [&] { f.net.kill(b); });
+  f.sim.run();
+  EXPECT_EQ(got, 2);  // the partition-era message was dropped (fail-stop
+                      // links lose, they never buffer)
+}
+
+// Heartbeat detector: two nodes exchanging heartbeats; kill one, the other
+// must suspect it within ~timeout.
+TEST(HeartbeatDetector, SuspectsSilentPeer) {
+  Fixture f;
+  NodeId a = f.net.add_node("a");
+  NodeId b = f.net.add_node("b");
+
+  HeartbeatConfig hb{.interval = 100 * sim::kMsec,
+                     .timeout = 300 * sim::kMsec};
+  HeartbeatDetector da(f.net, a, hb), db(f.net, b, hb);
+  da.monitor(b);
+  db.monitor(a);
+
+  // Each node's receive loop routes heartbeats to its detector.
+  auto pump = [](Network& net, NodeId me,
+                 HeartbeatDetector& d) -> sim::Task<> {
+    for (;;) {
+      auto env = co_await net.mailbox(me).receive();
+      if (!env) break;
+      if (as<HeartbeatMsg>(*env)) d.on_heartbeat(env->from);
+    }
+  };
+  f.sim.spawn(pump(f.net, a, da));
+  f.sim.spawn(pump(f.net, b, db));
+  da.start();
+  db.start();
+
+  std::vector<std::pair<sim::Time, NodeId>> suspected;
+  da.subscribe([&](NodeId n) { suspected.emplace_back(f.sim.now(), n); });
+
+  f.sim.schedule_at(2 * sim::kSec, [&] { f.net.kill(b); });
+  f.sim.schedule_at(4 * sim::kSec, [&] {
+    da.stop();
+    db.stop();
+    f.net.kill(a);
+  });
+  f.sim.run(5 * sim::kSec);
+
+  ASSERT_EQ(suspected.size(), 1u);
+  EXPECT_EQ(suspected[0].second, b);
+  EXPECT_GT(suspected[0].first, 2 * sim::kSec);
+  EXPECT_LT(suspected[0].first, 2 * sim::kSec + 600 * sim::kMsec);
+}
+
+TEST(HeartbeatDetector, NoFalseSuspicionWhileAlive) {
+  Fixture f;
+  NodeId a = f.net.add_node("a");
+  NodeId b = f.net.add_node("b");
+  HeartbeatConfig hb{.interval = 100 * sim::kMsec,
+                     .timeout = 300 * sim::kMsec};
+  HeartbeatDetector da(f.net, a, hb), db(f.net, b, hb);
+  da.monitor(b);
+  db.monitor(a);
+  auto pump = [](Network& net, NodeId me,
+                 HeartbeatDetector& d) -> sim::Task<> {
+    for (;;) {
+      auto env = co_await net.mailbox(me).receive();
+      if (!env) break;
+      if (as<HeartbeatMsg>(*env)) d.on_heartbeat(env->from);
+    }
+  };
+  f.sim.spawn(pump(f.net, a, da));
+  f.sim.spawn(pump(f.net, b, db));
+  da.start();
+  db.start();
+  int suspicions = 0;
+  da.subscribe([&](NodeId) { ++suspicions; });
+  db.subscribe([&](NodeId) { ++suspicions; });
+  f.sim.schedule_at(3 * sim::kSec, [&] {
+    da.stop();
+    db.stop();
+    f.net.kill(a);
+    f.net.kill(b);
+  });
+  f.sim.run(4 * sim::kSec);
+  EXPECT_EQ(suspicions, 0);
+}
+
+}  // namespace
+}  // namespace dmv::net

@@ -1,0 +1,311 @@
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "sim/simulation.hpp"
+#include "sim/sync.hpp"
+
+namespace dmv::sim {
+namespace {
+
+TEST(Simulation, EventsRunInTimeOrder) {
+  Simulation sim;
+  std::vector<int> order;
+  sim.schedule_at(30, [&] { order.push_back(3); });
+  sim.schedule_at(10, [&] { order.push_back(1); });
+  sim.schedule_at(20, [&] { order.push_back(2); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.now(), 30);
+}
+
+TEST(Simulation, TiesBreakBySubmissionOrder) {
+  Simulation sim;
+  std::vector<int> order;
+  sim.schedule_at(5, [&] { order.push_back(1); });
+  sim.schedule_at(5, [&] { order.push_back(2); });
+  sim.schedule_at(5, [&] { order.push_back(3); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(Simulation, RunUntilStopsClock) {
+  Simulation sim;
+  bool ran = false;
+  sim.schedule_at(100, [&] { ran = true; });
+  Time t = sim.run(50);
+  EXPECT_EQ(t, 50);
+  EXPECT_FALSE(ran);
+  sim.run();
+  EXPECT_TRUE(ran);
+}
+
+TEST(Simulation, DelayAdvancesClock) {
+  Simulation sim;
+  Time observed = -1;
+  sim.spawn([](Simulation& s, Time& out) -> Task<> {
+    co_await s.delay(42);
+    out = s.now();
+  }(sim, observed));
+  sim.run();
+  EXPECT_EQ(observed, 42);
+}
+
+TEST(Simulation, NestedTaskAwaitPropagatesValue) {
+  Simulation sim;
+  int result = 0;
+  auto child = [](Simulation& s) -> Task<int> {
+    co_await s.delay(5);
+    co_return 7;
+  };
+  sim.spawn([](Simulation& s, auto child, int& out) -> Task<> {
+    int a = co_await child(s);
+    int b = co_await child(s);
+    out = a + b;
+  }(sim, child, result));
+  sim.run();
+  EXPECT_EQ(result, 14);
+  EXPECT_EQ(sim.now(), 10);
+}
+
+TEST(Simulation, ExceptionPropagatesToAwaiter) {
+  Simulation sim;
+  bool caught = false;
+  auto thrower = [](Simulation& s) -> Task<> {
+    co_await s.delay(1);
+    throw std::runtime_error("boom");
+  };
+  sim.spawn([](Simulation& s, auto thrower, bool& caught) -> Task<> {
+    try {
+      co_await thrower(s);
+    } catch (const std::runtime_error& e) {
+      caught = std::string(e.what()) == "boom";
+    }
+  }(sim, thrower, caught));
+  sim.run();
+  EXPECT_TRUE(caught);
+}
+
+TEST(Simulation, ManyProcessesInterleaveDeterministically) {
+  auto run = [] {
+    Simulation sim;
+    std::vector<int> trace;
+    for (int i = 0; i < 5; ++i) {
+      sim.spawn([](Simulation& s, std::vector<int>& tr, int id) -> Task<> {
+        for (int k = 0; k < 3; ++k) {
+          co_await s.delay(id + 1);
+          tr.push_back(id * 10 + k);
+        }
+      }(sim, trace, i));
+    }
+    sim.run();
+    return trace;
+  };
+  EXPECT_EQ(run(), run());
+}
+
+TEST(WaitQueue, NotifyOneWakesFifo) {
+  Simulation sim;
+  WaitQueue q(sim);
+  std::vector<int> order;
+  for (int i = 0; i < 3; ++i) {
+    sim.spawn([](WaitQueue& q, std::vector<int>& o, int id) -> Task<> {
+      bool ok = co_await q.wait();
+      EXPECT_TRUE(ok);
+      o.push_back(id);
+    }(q, order, i));
+  }
+  sim.schedule_at(10, [&] { q.notify_one(); });
+  sim.schedule_at(20, [&] { q.notify_one(); });
+  sim.schedule_at(30, [&] { q.notify_one(); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+}
+
+TEST(WaitQueue, CancelDeliversFalse) {
+  Simulation sim;
+  WaitQueue q(sim);
+  bool got = true;
+  sim.spawn([](WaitQueue& q, bool& got) -> Task<> {
+    got = co_await q.wait();
+  }(q, got));
+  sim.schedule_at(5, [&] { q.notify_all(false); });
+  sim.run();
+  EXPECT_FALSE(got);
+}
+
+TEST(Channel, DeliversInOrder) {
+  Simulation sim;
+  Channel<int> ch(sim);
+  std::vector<int> got;
+  sim.spawn([](Channel<int>& ch, std::vector<int>& got) -> Task<> {
+    for (;;) {
+      auto v = co_await ch.receive();
+      if (!v) break;
+      got.push_back(*v);
+    }
+  }(ch, got));
+  sim.schedule_at(1, [&] { ch.send(1); });
+  sim.schedule_at(2, [&] { ch.send(2); });
+  sim.schedule_at(3, [&] { ch.send(3); });
+  sim.schedule_at(4, [&] { ch.close(); });
+  sim.run();
+  EXPECT_EQ(got, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(Channel, BufferedBeforeReceiverArrives) {
+  Simulation sim;
+  Channel<int> ch(sim);
+  ch.send(10);
+  ch.send(20);
+  std::vector<int> got;
+  sim.spawn([](Channel<int>& ch, std::vector<int>& got) -> Task<> {
+    got.push_back(*co_await ch.receive());
+    got.push_back(*co_await ch.receive());
+  }(ch, got));
+  sim.run();
+  EXPECT_EQ(got, (std::vector<int>{10, 20}));
+}
+
+TEST(Channel, CloseWakesBlockedReceiverWithNullopt) {
+  Simulation sim;
+  Channel<int> ch(sim);
+  bool got_nullopt = false;
+  sim.spawn([](Channel<int>& ch, bool& flag) -> Task<> {
+    auto v = co_await ch.receive();
+    flag = !v.has_value();
+  }(ch, got_nullopt));
+  sim.schedule_at(7, [&] { ch.close(); });
+  sim.run();
+  EXPECT_TRUE(got_nullopt);
+}
+
+TEST(Channel, SendAfterCloseIsDropped) {
+  Simulation sim;
+  Channel<int> ch(sim);
+  ch.close();
+  ch.send(1);
+  EXPECT_EQ(ch.size(), 0u);
+  ch.reopen();
+  ch.send(2);
+  EXPECT_EQ(ch.size(), 1u);
+}
+
+TEST(Resource, SerializesWhenFull) {
+  Simulation sim;
+  Resource cpu(sim, 1);
+  std::vector<Time> done;
+  for (int i = 0; i < 3; ++i) {
+    sim.spawn([](Simulation& s, Resource& r, std::vector<Time>& d) -> Task<> {
+      co_await r.use(10);
+      d.push_back(s.now());
+    }(sim, cpu, done));
+  }
+  sim.run();
+  EXPECT_EQ(done, (std::vector<Time>{10, 20, 30}));
+  EXPECT_EQ(cpu.busy_time(), 30);
+}
+
+TEST(Resource, ParallelismUpToCapacity) {
+  Simulation sim;
+  Resource cpu(sim, 2);
+  std::vector<Time> done;
+  for (int i = 0; i < 4; ++i) {
+    sim.spawn([](Simulation& s, Resource& r, std::vector<Time>& d) -> Task<> {
+      co_await r.use(10);
+      d.push_back(s.now());
+    }(sim, cpu, done));
+  }
+  sim.run();
+  EXPECT_EQ(done, (std::vector<Time>{10, 10, 20, 20}));
+}
+
+TEST(Resource, AcquireReleaseManual) {
+  Simulation sim;
+  Resource r(sim, 1);
+  std::vector<int> order;
+  sim.spawn([](Simulation& s, Resource& r, std::vector<int>& o) -> Task<> {
+    co_await r.acquire();
+    o.push_back(1);
+    co_await s.delay(100);
+    r.release();
+  }(sim, r, order));
+  sim.spawn([](Simulation& s, Resource& r, std::vector<int>& o) -> Task<> {
+    co_await s.delay(1);
+    co_await r.acquire();
+    o.push_back(2);
+    EXPECT_EQ(s.now(), 100);
+    r.release();
+  }(sim, r, order));
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+TEST(CountdownLatch, WaitsForAll) {
+  Simulation sim;
+  CountdownLatch latch(sim, 3);
+  Time done_at = -1;
+  bool ok = false;
+  sim.spawn([](Simulation& s, CountdownLatch& l, Time& t, bool& ok) -> Task<> {
+    ok = co_await l.wait();
+    t = s.now();
+  }(sim, latch, done_at, ok));
+  for (Time t : {10, 20, 30})
+    sim.schedule_at(t, [&] { latch.count_down(); });
+  sim.run();
+  EXPECT_TRUE(ok);
+  EXPECT_EQ(done_at, 30);
+}
+
+TEST(CountdownLatch, AlreadyZeroReturnsImmediately) {
+  Simulation sim;
+  CountdownLatch latch(sim, 0);
+  bool ok = false;
+  sim.spawn([](CountdownLatch& l, bool& ok) -> Task<> {
+    ok = co_await l.wait();
+  }(latch, ok));
+  sim.run();
+  EXPECT_TRUE(ok);
+}
+
+TEST(CountdownLatch, CancelReturnsFalse) {
+  Simulation sim;
+  CountdownLatch latch(sim, 2);
+  bool ok = true;
+  sim.spawn([](CountdownLatch& l, bool& ok) -> Task<> {
+    ok = co_await l.wait();
+  }(latch, ok));
+  sim.schedule_at(5, [&] { latch.cancel(); });
+  sim.run();
+  EXPECT_FALSE(ok);
+}
+
+// Determinism of a composite scenario: full event trace must be identical
+// across runs with the same structure.
+TEST(Simulation, CompositeScenarioDeterministic) {
+  auto run = [] {
+    Simulation sim;
+    Channel<int> ch(sim);
+    Resource cpu(sim, 2);
+    std::vector<std::pair<Time, int>> trace;
+    sim.spawn([](Simulation& s, Channel<int>& ch, Resource& cpu,
+                 std::vector<std::pair<Time, int>>& tr) -> Task<> {
+      for (;;) {
+        auto v = co_await ch.receive();
+        if (!v) break;
+        co_await cpu.use(7);
+        tr.emplace_back(s.now(), *v);
+      }
+    }(sim, ch, cpu, trace));
+    for (int i = 0; i < 10; ++i)
+      sim.schedule_at(i * 3, [&ch, i] { ch.send(i); });
+    sim.schedule_at(1000, [&] { ch.close(); });
+    sim.run();
+    return trace;
+  };
+  EXPECT_EQ(run(), run());
+}
+
+}  // namespace
+}  // namespace dmv::sim

@@ -1,0 +1,311 @@
+#include <gtest/gtest.h>
+
+#include "disk/engine.hpp"
+#include "sql/executor.hpp"
+#include "util/rng.hpp"
+
+namespace dmv::sql {
+namespace {
+
+using storage::Row;
+using storage::Value;
+
+// ---------- parser ----------
+
+TEST(Parser, SelectStar) {
+  auto s = std::get<SelectStmt>(parse("SELECT * FROM item"));
+  EXPECT_TRUE(s.columns.empty());
+  EXPECT_EQ(s.table, "ITEM");
+  EXPECT_TRUE(s.where.empty());
+}
+
+TEST(Parser, SelectWithEverything) {
+  auto s = std::get<SelectStmt>(
+      parse("select id, price from item where subject = 'ARTS' and "
+            "price >= 10.5 order by price desc limit 7;"));
+  ASSERT_EQ(s.columns.size(), 2u);
+  EXPECT_EQ(s.columns[0], "ID");
+  ASSERT_EQ(s.where.size(), 2u);
+  EXPECT_EQ(s.where[0].column, "SUBJECT");
+  EXPECT_EQ(std::get<std::string>(s.where[0].value), "ARTS");
+  EXPECT_EQ(s.where[1].op, CmpOp::Ge);
+  EXPECT_DOUBLE_EQ(std::get<double>(s.where[1].value), 10.5);
+  ASSERT_TRUE(s.order_by.has_value());
+  EXPECT_EQ(*s.order_by, "PRICE");
+  EXPECT_TRUE(s.order_desc);
+  EXPECT_EQ(*s.limit, 7u);
+}
+
+TEST(Parser, Insert) {
+  auto s = std::get<InsertStmt>(
+      parse("INSERT INTO acct VALUES (1, 'ann', -2.5)"));
+  EXPECT_EQ(s.table, "ACCT");
+  ASSERT_EQ(s.values.size(), 3u);
+  EXPECT_EQ(std::get<int64_t>(s.values[0]), 1);
+  EXPECT_EQ(std::get<std::string>(s.values[1]), "ann");
+  EXPECT_DOUBLE_EQ(std::get<double>(s.values[2]), -2.5);
+}
+
+TEST(Parser, UpdateAndDelete) {
+  auto u = std::get<UpdateStmt>(
+      parse("UPDATE acct SET balance = 10, owner = 'bob' WHERE id = 3"));
+  ASSERT_EQ(u.sets.size(), 2u);
+  EXPECT_EQ(u.sets[1].first, "OWNER");
+  ASSERT_EQ(u.where.size(), 1u);
+  auto d = std::get<DeleteStmt>(parse("DELETE FROM acct WHERE id != 4"));
+  EXPECT_EQ(d.where[0].op, CmpOp::Ne);
+}
+
+TEST(Parser, ErrorsAreReported) {
+  EXPECT_THROW(parse("SELEKT * FROM x"), SqlError);
+  EXPECT_THROW(parse("SELECT * FROM"), SqlError);
+  EXPECT_THROW(parse("INSERT INTO t VALUES (1"), SqlError);
+  EXPECT_THROW(parse("SELECT * FROM t WHERE a = 'unterminated"), SqlError);
+  EXPECT_THROW(parse("SELECT * FROM t LIMIT 2.5"), SqlError);
+  EXPECT_THROW(parse("SELECT * FROM t extra"), SqlError);
+}
+
+TEST(Parser, ReadOnlyClassification) {
+  EXPECT_TRUE(is_read_only(parse("SELECT * FROM t")));
+  EXPECT_FALSE(is_read_only(parse("DELETE FROM t WHERE a = 1")));
+  EXPECT_FALSE(is_read_only(parse("INSERT INTO t VALUES (1)")));
+  EXPECT_FALSE(is_read_only(parse("UPDATE t SET a = 1 WHERE a = 2")));
+}
+
+// ---------- executor (against a stand-alone on-disk engine) ----------
+
+void demo_schema(storage::Database& db) {
+  db.add_table("acct",
+               storage::Schema({storage::int_col("id"),
+                                storage::char_col("owner", 16),
+                                storage::double_col("balance")}),
+               storage::IndexDef{"pk", {0}, true},
+               {storage::IndexDef{"by_owner", {1}, false}});
+}
+
+struct Fixture {
+  sim::Simulation sim;
+  disk::DiskEngine eng{sim, "d", {}};
+  storage::Database catalog;
+
+  Fixture() {
+    eng.build_schema(demo_schema);
+    demo_schema(catalog);
+  }
+
+  ResultSet run(const std::string& text) {
+    ResultSet out;
+    bool failed = false;
+    std::string error;
+    sim.spawn([](Fixture& f, const std::string text, ResultSet& out,
+                 bool& failed, std::string& error) -> sim::Task<> {
+      auto txn = f.eng.begin(is_read_only(parse(text))
+                                 ? txn::TxnKind::ReadOnly
+                                 : txn::TxnKind::Update);
+      disk::DiskConnection conn(f.eng, *txn);
+      try {
+        out = co_await execute_sql(conn, f.catalog, text);
+        co_await f.eng.commit(*txn);
+      } catch (const SqlError& e) {
+        failed = true;
+        error = e.what();
+        f.eng.rollback(*txn);
+      }
+    }(*this, text, out, failed, error));
+    sim.run();
+    if (failed) throw SqlError(error);
+    return out;
+  }
+};
+
+TEST(Executor, InsertSelectRoundTrip) {
+  Fixture f;
+  f.run("INSERT INTO acct VALUES (1, 'ann', 100.0)");
+  f.run("INSERT INTO acct VALUES (2, 'bob', 50.0)");
+  auto rs = f.run("SELECT owner, balance FROM acct WHERE id = 1");
+  ASSERT_EQ(rs.rows.size(), 1u);
+  EXPECT_EQ(std::get<std::string>(rs.rows[0][0]), "ann");
+  EXPECT_DOUBLE_EQ(std::get<double>(rs.rows[0][1]), 100.0);
+}
+
+TEST(Executor, IntLiteralCoercesToDoubleColumn) {
+  Fixture f;
+  f.run("INSERT INTO acct VALUES (1, 'ann', 100)");  // 100 -> 100.0
+  auto rs = f.run("SELECT balance FROM acct WHERE id = 1");
+  EXPECT_DOUBLE_EQ(std::get<double>(rs.rows[0][0]), 100.0);
+}
+
+TEST(Executor, RangeScanWithOrderAndLimit) {
+  Fixture f;
+  for (int i = 0; i < 20; ++i)
+    f.run("INSERT INTO acct VALUES (" + std::to_string(i) + ", 'u" +
+          std::to_string(i % 3) + "', " + std::to_string(i * 10) + ".0)");
+  auto rs = f.run(
+      "SELECT id FROM acct WHERE id >= 5 AND id < 15 "
+      "ORDER BY id DESC LIMIT 3");
+  ASSERT_EQ(rs.rows.size(), 3u);
+  EXPECT_EQ(std::get<int64_t>(rs.rows[0][0]), 14);
+  EXPECT_EQ(std::get<int64_t>(rs.rows[2][0]), 12);
+}
+
+TEST(Executor, SecondaryIndexEquality) {
+  Fixture f;
+  for (int i = 0; i < 9; ++i)
+    f.run("INSERT INTO acct VALUES (" + std::to_string(i) + ", 'u" +
+          std::to_string(i % 3) + "', 0.0)");
+  auto rs = f.run("SELECT id FROM acct WHERE owner = 'u1' ORDER BY id");
+  ASSERT_EQ(rs.rows.size(), 3u);
+  EXPECT_EQ(std::get<int64_t>(rs.rows[0][0]), 1);
+  EXPECT_EQ(std::get<int64_t>(rs.rows[2][0]), 7);
+}
+
+TEST(Executor, UpdateByPredicate) {
+  Fixture f;
+  for (int i = 0; i < 5; ++i)
+    f.run("INSERT INTO acct VALUES (" + std::to_string(i) +
+          ", 'ann', 10.0)");
+  auto rs = f.run("UPDATE acct SET balance = 99.0 WHERE id >= 3");
+  EXPECT_EQ(rs.affected, 2u);
+  auto check = f.run("SELECT balance FROM acct WHERE id = 4");
+  EXPECT_DOUBLE_EQ(std::get<double>(check.rows[0][0]), 99.0);
+  auto untouched = f.run("SELECT balance FROM acct WHERE id = 2");
+  EXPECT_DOUBLE_EQ(std::get<double>(untouched.rows[0][0]), 10.0);
+}
+
+TEST(Executor, DeleteByPredicate) {
+  Fixture f;
+  for (int i = 0; i < 6; ++i)
+    f.run("INSERT INTO acct VALUES (" + std::to_string(i) +
+          ", 'ann', 0.0)");
+  auto rs = f.run("DELETE FROM acct WHERE id < 4 AND id != 2");
+  EXPECT_EQ(rs.affected, 3u);
+  auto left = f.run("SELECT id FROM acct ORDER BY id");
+  ASSERT_EQ(left.rows.size(), 3u);
+  EXPECT_EQ(std::get<int64_t>(left.rows[0][0]), 2);
+}
+
+TEST(Executor, DuplicatePkIsError) {
+  Fixture f;
+  f.run("INSERT INTO acct VALUES (1, 'ann', 0.0)");
+  EXPECT_THROW(f.run("INSERT INTO acct VALUES (1, 'bob', 1.0)"), SqlError);
+}
+
+TEST(Executor, UnknownTableAndColumn) {
+  Fixture f;
+  EXPECT_THROW(f.run("SELECT * FROM nope"), SqlError);
+  EXPECT_THROW(f.run("SELECT nope FROM acct"), SqlError);
+  EXPECT_THROW(f.run("INSERT INTO acct VALUES (1, 'a')"), SqlError);
+}
+
+TEST(Parser, Aggregates) {
+  auto c = std::get<SelectStmt>(parse("SELECT COUNT(*) FROM acct"));
+  EXPECT_EQ(c.agg, Aggregate::Count);
+  auto m = std::get<SelectStmt>(
+      parse("SELECT MAX(balance) FROM acct WHERE id < 5"));
+  EXPECT_EQ(m.agg, Aggregate::Max);
+  EXPECT_EQ(m.agg_column, "BALANCE");
+  EXPECT_THROW(parse("SELECT SUM( FROM acct"), SqlError);
+}
+
+TEST(Parser, ColumnNamedLikeAggregate) {
+  auto s = std::get<SelectStmt>(parse("SELECT count, max FROM stats"));
+  EXPECT_EQ(s.agg, Aggregate::None);
+  ASSERT_EQ(s.columns.size(), 2u);
+  EXPECT_EQ(s.columns[0], "COUNT");
+  EXPECT_EQ(s.columns[1], "MAX");
+  auto single = std::get<SelectStmt>(parse("SELECT sum FROM stats"));
+  EXPECT_EQ(single.agg, Aggregate::None);
+  ASSERT_EQ(single.columns.size(), 1u);
+}
+
+TEST(Executor, Aggregates) {
+  Fixture f;
+  for (int i = 0; i < 10; ++i)
+    f.run("INSERT INTO acct VALUES (" + std::to_string(i) + ", 'a', " +
+          std::to_string(i) + ".5)");
+  auto cnt = f.run("SELECT COUNT(*) FROM acct WHERE id >= 4");
+  EXPECT_EQ(std::get<int64_t>(cnt.rows[0][0]), 6);
+  auto sum = f.run("SELECT SUM(balance) FROM acct WHERE id < 2");
+  EXPECT_DOUBLE_EQ(std::get<double>(sum.rows[0][0]), 0.5 + 1.5);
+  auto mx = f.run("SELECT MAX(balance) FROM acct");
+  EXPECT_DOUBLE_EQ(std::get<double>(mx.rows[0][0]), 9.5);
+  auto mn = f.run("SELECT MIN(id) FROM acct WHERE id > 3");
+  EXPECT_EQ(std::get<int64_t>(mn.rows[0][0]), 4);
+  EXPECT_THROW(f.run("SELECT SUM(owner) FROM acct"), SqlError);
+}
+
+TEST(Executor, AggregateOverEmptyMatch) {
+  Fixture f;
+  auto cnt = f.run("SELECT COUNT(*) FROM acct");
+  EXPECT_EQ(std::get<int64_t>(cnt.rows[0][0]), 0);
+  auto mx = f.run("SELECT MAX(id) FROM acct");
+  EXPECT_TRUE(mx.rows.empty());
+}
+
+TEST(Executor, FormatRendersTable) {
+  Fixture f;
+  f.run("INSERT INTO acct VALUES (7, 'zoe', 12.5)");
+  auto rs = f.run("SELECT id, owner FROM acct");
+  const std::string text = format(rs);
+  EXPECT_NE(text.find("zoe"), std::string::npos);
+  EXPECT_NE(text.find("id"), std::string::npos);
+  EXPECT_NE(text.find("1 row(s)"), std::string::npos);
+}
+
+// Property: random inserts/updates/deletes issued as SQL match a
+// std::map reference model under random point/range queries.
+class SqlProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SqlProperty, MatchesReferenceModel) {
+  Fixture f;
+  util::Rng rng(GetParam());
+  std::map<int64_t, std::pair<std::string, double>> model;
+  for (int step = 0; step < 120; ++step) {
+    const int64_t id = rng.between(0, 40);
+    const int op = int(rng.below(4));
+    if (op == 0) {
+      const std::string owner = "u" + std::to_string(rng.below(5));
+      const double bal = double(rng.between(0, 100));
+      if (!model.count(id)) {
+        f.run("INSERT INTO acct VALUES (" + std::to_string(id) + ", '" +
+              owner + "', " + std::to_string(bal) + ")");
+        model[id] = {owner, bal};
+      }
+    } else if (op == 1) {
+      const double bal = double(rng.between(0, 100));
+      auto rs = f.run("UPDATE acct SET balance = " + std::to_string(bal) +
+                      " WHERE id = " + std::to_string(id));
+      if (model.count(id)) {
+        EXPECT_EQ(rs.affected, 1u);
+        model[id].second = bal;
+      } else {
+        EXPECT_EQ(rs.affected, 0u);
+      }
+    } else if (op == 2) {
+      auto rs = f.run("DELETE FROM acct WHERE id = " + std::to_string(id));
+      EXPECT_EQ(rs.affected, model.erase(id));
+    } else {
+      // Range query vs model.
+      const int64_t lo = rng.between(0, 20);
+      const int64_t hi = lo + rng.between(0, 20);
+      auto rs = f.run("SELECT id FROM acct WHERE id >= " +
+                      std::to_string(lo) + " AND id <= " +
+                      std::to_string(hi) + " ORDER BY id");
+      std::vector<int64_t> expect;
+      for (auto& [k, v] : model)
+        if (k >= lo && k <= hi) expect.push_back(k);
+      ASSERT_EQ(rs.rows.size(), expect.size());
+      for (size_t i = 0; i < expect.size(); ++i)
+        EXPECT_EQ(std::get<int64_t>(rs.rows[i][0]), expect[i]);
+    }
+  }
+  // Final full count agrees.
+  auto cnt = f.run("SELECT COUNT(*) FROM acct");
+  EXPECT_EQ(std::get<int64_t>(cnt.rows[0][0]), int64_t(model.size()));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SqlProperty,
+                         ::testing::Values(3, 14, 159, 2653));
+
+}  // namespace
+}  // namespace dmv::sql

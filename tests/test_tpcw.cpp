@@ -1,0 +1,418 @@
+#include <gtest/gtest.h>
+
+#include "core/cluster.hpp"
+#include "disk/engine.hpp"
+#include "tpcw/client.hpp"
+
+namespace dmv::tpcw {
+namespace {
+
+ScaleConfig small_scale() {
+  ScaleConfig s;
+  s.items = 100;
+  return s;
+}
+
+TEST(Generator, CardinalitiesFollowRatios) {
+  ScaleConfig s;
+  s.items = 1000;
+  EXPECT_EQ(s.num_customers(), 2880);
+  EXPECT_EQ(s.num_authors(), 250);
+  EXPECT_EQ(s.num_addresses(), 5760);
+  EXPECT_EQ(s.num_countries(), 92);
+  EXPECT_EQ(s.num_initial_orders(), 2592);
+}
+
+TEST(Generator, LoaderIsDeterministic) {
+  ScaleConfig s = small_scale();
+  storage::Database a, b;
+  build_schema(a);
+  build_schema(b);
+  auto loader = make_loader(s);
+  loader(a);
+  loader(b);
+  EXPECT_TRUE(a.pages_equal(b));
+  EXPECT_EQ(a.table(kItem).row_count(), size_t(s.items));
+  EXPECT_EQ(a.table(kCustomer).row_count(), size_t(s.num_customers()));
+  EXPECT_EQ(a.table(kOrders).row_count(), size_t(s.num_initial_orders()));
+  EXPECT_GT(a.table(kOrderLine).row_count(),
+            a.table(kOrders).row_count());  // >1 line per order on average
+  EXPECT_EQ(a.table(kCcXacts).row_count(), a.table(kOrders).row_count());
+}
+
+TEST(Generator, NurandSelectionSkewsHot) {
+  ScaleConfig s;
+  s.items = 1000;
+  util::Rng rng(5);
+  std::map<int64_t, int> hist;
+  for (int i = 0; i < 50000; ++i) hist[random_item(rng, s)]++;
+  // All draws in range.
+  EXPECT_GE(hist.begin()->first, 1);
+  EXPECT_LE(hist.rbegin()->first, 1000);
+  // Distinct items touched is well below the full catalogue in the top
+  // half of the mass (locality the paper relies on for memory residency).
+  std::vector<int> counts;
+  for (auto& [k, v] : hist) counts.push_back(v);
+  std::sort(counts.rbegin(), counts.rend());
+  int top = 0, covered = 0;
+  for (int v : counts) {
+    top += v;
+    ++covered;
+    if (top >= 25000) break;
+  }
+  EXPECT_LT(covered, 300);  // half the accesses hit < 30% of items
+}
+
+TEST(Mixes, WriteFractionsMatchPaper) {
+  EXPECT_NEAR(write_fraction(Mix::Browsing), 0.05, 0.01);
+  EXPECT_NEAR(write_fraction(Mix::Shopping), 0.20, 0.02);
+  EXPECT_NEAR(write_fraction(Mix::Ordering), 0.50, 0.015);
+}
+
+TEST(Registry, AllFourteenRegistered) {
+  auto reg = make_registry(small_scale());
+  EXPECT_EQ(reg.size(), 14u);
+  for (const auto& e : mix_table(Mix::Shopping)) {
+    EXPECT_TRUE(reg.contains(e.proc));
+    EXPECT_EQ(reg.find(e.proc).read_only, !e.is_write);
+  }
+}
+
+// Exercise every interaction once against a stand-alone on-disk engine.
+TEST(Interactions, AllRunOnDiskEngine) {
+  sim::Simulation sim;
+  ScaleConfig scale = small_scale();
+  auto reg = make_registry(scale);
+  disk::DiskEngine::Config cfg;
+  cfg.buffer_frames = 1 << 20;
+  disk::DiskEngine eng(sim, "d", cfg);
+  eng.build_schema(build_schema);
+  make_loader(scale)(eng.db());
+
+  int failures = 0;
+  sim.spawn([](sim::Simulation& sim, disk::DiskEngine& eng,
+               api::ProcRegistry& reg, ScaleConfig scale,
+               int& failures) -> sim::Task<> {
+    TpcwClient::Config ccfg;
+    ccfg.scale = scale;
+    ccfg.client_id = 1;
+    // Drive through the client's param generator for realistic params.
+    util::Rng rng(3);
+    const int64_t base = 1'000'000'000;
+    auto run1 = [&](const char* name,
+                    api::Params p) -> sim::Task<> {
+      auto r = co_await disk::run_proc_on_disk(eng, reg.find(name), p);
+      if (!r.has_value()) ++failures;
+    };
+    api::Params p;
+    p.set("date", int64_t{123456});
+    p.set("c_id", int64_t{7});
+    p.set("i_id", int64_t{11});
+    co_await run1(proc::kHome, p);
+    co_await run1(proc::kProductDetail, p);
+    co_await run1(proc::kAdminRequest, p);
+    co_await run1(proc::kSearchRequest, p);
+    api::Params np = p;
+    np.set("subject", subjects()[0]);
+    co_await run1(proc::kNewProducts, np);
+    api::Params bs = p;
+    bs.set("depth", int64_t{50});
+    co_await run1(proc::kBestSellers, bs);
+    api::Params sr = p;
+    sr.set("kind", int64_t{1}).set("term", std::string("ALPHA"));
+    co_await run1(proc::kSearchResults, sr);
+    api::Params oi = p;
+    oi.set("uname", uname_of(7));
+    co_await run1(proc::kOrderInquiry, oi);
+    co_await run1(proc::kOrderDisplay, p);
+    api::Params sc = p;
+    sc.set("sc_id", base).set("qty", int64_t{2});
+    co_await run1(proc::kShoppingCart, sc);
+    api::Params cr = p;
+    cr.set("new_c_id", base + 1).set("new_addr_id", base + 2)
+        .set("co_id", int64_t{3});
+    co_await run1(proc::kCustomerRegistration, cr);
+    api::Params br = p;
+    br.set("sc_id", base);
+    co_await run1(proc::kBuyRequest, br);
+    api::Params bc = p;
+    bc.set("sc_id", base).set("new_o_id", base + 3);
+    co_await run1(proc::kBuyConfirm, bc);
+    co_await run1(proc::kAdminConfirm, p);
+    (void)sim;
+    (void)rng;
+  }(sim, eng, reg, scale, failures));
+  sim.run();
+  EXPECT_EQ(failures, 0);
+
+  // BuyConfirm really bought: order + lines + cc exist, cart drained.
+  auto& orders = eng.db().table(kOrders);
+  storage::Key ok{int64_t{1'000'000'003}};
+  EXPECT_TRUE(orders.pk_find(ok).has_value());
+  EXPECT_EQ(eng.db().table(kShoppingCartLine).row_count(), 0u);
+  // Stock decremented on the bought item.
+  EXPECT_EQ(eng.db().table(kCcXacts).row_count(),
+            eng.db().table(kOrders).row_count());
+}
+
+// Semantic checks of individual interactions against a fast disk engine.
+struct ProcFixture {
+  sim::Simulation sim;
+  disk::DiskEngine eng{sim, "d", make_cfg()};
+  api::ProcRegistry reg = make_registry(small_scale());
+
+  static disk::DiskEngine::Config make_cfg() {
+    disk::DiskEngine::Config c;
+    c.buffer_frames = 1 << 20;
+    return c;
+  }
+  ProcFixture() {
+    eng.build_schema(build_schema);
+    make_loader(small_scale())(eng.db());
+  }
+  api::TxnResult run(const char* proc, api::Params p) {
+    std::optional<api::TxnResult> out;
+    sim.spawn([](ProcFixture& f, const char* proc, api::Params p,
+                 std::optional<api::TxnResult>& out) -> sim::Task<> {
+      out = co_await disk::run_proc_on_disk(f.eng, f.reg.find(proc), p);
+    }(*this, proc, std::move(p), out));
+    sim.run();
+    return out.value();
+  }
+  int64_t stock_of(int64_t i_id) {
+    auto& tb = eng.db().table(kItem);
+    storage::Key k{i_id};
+    return std::get<int64_t>(tb.read_row(*tb.pk_find(k))[col::I_STOCK]);
+  }
+};
+
+TEST(Interactions, BuyConfirmAppliesStockRule) {
+  ProcFixture f;
+  const int64_t base = 2'000'000'000;
+  // Force the item's stock to a known value, cart 3 units, buy.
+  {
+    auto& tb = f.eng.db().table(kItem);
+    storage::Key k{int64_t{5}};
+    auto rid = *tb.pk_find(k);
+    auto row = tb.read_row(rid);
+    row[col::I_STOCK] = int64_t{20};
+    tb.update_row(rid, row);
+  }
+  api::Params sc;
+  sc.set("date", int64_t{1}).set("sc_id", base).set("c_id", int64_t{1})
+      .set("i_id", int64_t{5}).set("qty", int64_t{3});
+  ASSERT_TRUE(f.run(proc::kShoppingCart, sc).ok);
+  api::Params bc;
+  bc.set("date", int64_t{2}).set("sc_id", base).set("c_id", int64_t{1})
+      .set("new_o_id", base + 1);
+  ASSERT_TRUE(f.run(proc::kBuyConfirm, bc).ok);
+  EXPECT_EQ(f.stock_of(5), 17);  // 20 - 3, above the restock threshold
+
+  // Low stock restocks: set to 11, buy 3 -> 8 < 10 -> +21 = 29.
+  {
+    auto& tb = f.eng.db().table(kItem);
+    storage::Key k{int64_t{5}};
+    auto rid = *tb.pk_find(k);
+    auto row = tb.read_row(rid);
+    row[col::I_STOCK] = int64_t{11};
+    tb.update_row(rid, row);
+  }
+  api::Params sc2 = sc;
+  ASSERT_TRUE(f.run(proc::kShoppingCart, sc2).ok);
+  api::Params bc2 = bc;
+  bc2.set("new_o_id", base + 2);
+  ASSERT_TRUE(f.run(proc::kBuyConfirm, bc2).ok);
+  EXPECT_EQ(f.stock_of(5), 29);
+}
+
+TEST(Interactions, BuyConfirmEmptiesCartAndWritesAllTables) {
+  ProcFixture f;
+  const int64_t base = 2'100'000'000;
+  const size_t orders0 = f.eng.db().table(kOrders).row_count();
+  const size_t lines0 = f.eng.db().table(kOrderLine).row_count();
+  api::Params sc;
+  sc.set("date", int64_t{1}).set("sc_id", base).set("c_id", int64_t{2})
+      .set("i_id", int64_t{7}).set("qty", int64_t{2});
+  f.run(proc::kShoppingCart, sc);
+  api::Params sc2 = sc;
+  sc2.set("i_id", int64_t{9});
+  f.run(proc::kShoppingCart, sc2);
+  api::Params bc;
+  bc.set("date", int64_t{3}).set("sc_id", base).set("c_id", int64_t{2})
+      .set("new_o_id", base + 1);
+  auto r = f.run(proc::kBuyConfirm, bc);
+  ASSERT_TRUE(r.ok);
+  EXPECT_EQ(r.value, base + 1);
+  EXPECT_EQ(f.eng.db().table(kOrders).row_count(), orders0 + 1);
+  EXPECT_EQ(f.eng.db().table(kOrderLine).row_count(), lines0 + 2);
+  EXPECT_EQ(f.eng.db().table(kShoppingCartLine).row_count(), 0u);
+  storage::Key ok{base + 1};
+  EXPECT_TRUE(f.eng.db().table(kCcXacts).pk_find(ok).has_value());
+  // Buying again with an empty cart reports failure.
+  api::Params bc2 = bc;
+  bc2.set("new_o_id", base + 2);
+  EXPECT_FALSE(f.run(proc::kBuyConfirm, bc2).ok);
+}
+
+TEST(Interactions, BestSellersRanksByRecentQuantity) {
+  ProcFixture f;
+  const int64_t base = 2'200'000'000;
+  // Create a burst of recent orders all buying item 3 heavily.
+  for (int i = 0; i < 6; ++i) {
+    api::Params sc;
+    sc.set("date", int64_t{i}).set("sc_id", base + i)
+        .set("c_id", int64_t{1}).set("i_id", int64_t{3})
+        .set("qty", int64_t{3});
+    f.run(proc::kShoppingCart, sc);
+    api::Params bc;
+    bc.set("date", int64_t{i}).set("sc_id", base + i)
+        .set("c_id", int64_t{1}).set("new_o_id", base + 100 + i);
+    ASSERT_TRUE(f.run(proc::kBuyConfirm, bc).ok);
+  }
+  api::Params bs;
+  bs.set("date", int64_t{9}).set("depth", int64_t{10});
+  auto r = f.run(proc::kBestSellers, bs);
+  ASSERT_TRUE(r.ok);
+  EXPECT_GE(r.rows, 1u);  // item 3 dominates the recent window
+}
+
+TEST(Interactions, OrderDisplayShowsLatestOrder) {
+  ProcFixture f;
+  const int64_t base = 2'300'000'000;
+  for (int i = 0; i < 2; ++i) {
+    api::Params sc;
+    sc.set("date", int64_t{i}).set("sc_id", base).set("c_id", int64_t{4})
+        .set("i_id", int64_t{2 + i}).set("qty", int64_t{1});
+    f.run(proc::kShoppingCart, sc);
+    api::Params bc;
+    bc.set("date", int64_t{i}).set("sc_id", base).set("c_id", int64_t{4})
+        .set("new_o_id", base + i);
+    ASSERT_TRUE(f.run(proc::kBuyConfirm, bc).ok);
+  }
+  api::Params od;
+  od.set("date", int64_t{5}).set("c_id", int64_t{4});
+  auto r = f.run(proc::kOrderDisplay, od);
+  ASSERT_TRUE(r.ok);
+  EXPECT_EQ(r.value, base + 1);  // the newest order id
+}
+
+TEST(Interactions, CustomerRegistrationCreatesRetrievableUser) {
+  ProcFixture f;
+  const int64_t base = 2'400'000'000;
+  api::Params cr;
+  cr.set("date", int64_t{1}).set("new_c_id", base)
+      .set("new_addr_id", base + 1).set("co_id", int64_t{5});
+  ASSERT_TRUE(f.run(proc::kCustomerRegistration, cr).ok);
+  api::Params oi;
+  oi.set("date", int64_t{2}).set("uname", uname_of(base));
+  auto r = f.run(proc::kOrderInquiry, oi);
+  EXPECT_EQ(r.rows, 1u);  // findable by generated uname
+}
+
+// End-to-end: a small DMV cluster under the shopping mix for a few virtual
+// minutes. Checks service health, replica convergence and the paper's
+// abort-rate bound.
+TEST(TpcwOnCluster, ShoppingMixRunsClean) {
+  sim::Simulation sim;
+  net::Network net(sim);
+  ScaleConfig scale = small_scale();
+  auto reg = make_registry(scale);
+
+  core::DmvCluster::Config cfg;
+  cfg.slaves = 2;
+  cfg.schema = build_schema;
+  cfg.loader = make_loader(scale);
+  core::DmvCluster cluster(net, reg, cfg);
+  cluster.start();
+
+  auto run = std::make_shared<bool>(true);
+  std::vector<std::unique_ptr<core::ClusterClient>> conns;
+  TpcwClient::Config ccfg;
+  ccfg.scale = scale;
+  ccfg.mix = Mix::Shopping;
+  ccfg.think_mean = 500 * sim::kMsec;
+
+  uint64_t completed = 0, failed = 0;
+  auto record = [&](const InteractionRecord& r) {
+    if (r.ok)
+      ++completed;
+    else
+      ++failed;
+  };
+  auto clients = spawn_clients(
+      sim, 20, ccfg,
+      [&](size_t i) -> ExecuteFn {
+        conns.push_back(cluster.make_client("tpcw" + std::to_string(i)));
+        core::ClusterClient* c = conns.back().get();
+        return [c](const std::string& proc, api::Params p) {
+          return c->execute(proc, std::move(p));
+        };
+      },
+      record, run);
+
+  sim.run(3 * 60 * sim::kSec);
+  *run = false;
+  sim.run(sim.now() + 20 * sim::kSec);
+
+  EXPECT_GT(completed, 2000u);
+  EXPECT_EQ(failed, 0u);
+  // Abort rate below the paper's 2.5% bound.
+  const double aborts = double(cluster.total_version_aborts());
+  EXPECT_LT(aborts / double(completed), 0.025);
+  // Slaves converge to the master after applying everything.
+  for (size_t i = 0; i < cluster.slave_count(); ++i) {
+    auto& slave = cluster.node(cluster.slave_id(i)).engine();
+    sim.spawn([](mem::MemEngine& s) -> sim::Task<> {
+      for (storage::TableId t = 0; t < kTableCount; ++t)
+        co_await s.apply_pending(t, s.received_version()[t]);
+    }(slave));
+    sim.run();
+    EXPECT_TRUE(cluster.master().engine().db().pages_equal(slave.db()));
+  }
+  // Update commits landed on the master only.
+  EXPECT_GT(cluster.master().engine().stats().update_commits, 100u);
+}
+
+TEST(TpcwOnCluster, OrderingMixStressesMaster) {
+  sim::Simulation sim;
+  net::Network net(sim);
+  ScaleConfig scale = small_scale();
+  auto reg = make_registry(scale);
+
+  core::DmvCluster::Config cfg;
+  cfg.slaves = 2;
+  cfg.schema = build_schema;
+  cfg.loader = make_loader(scale);
+  core::DmvCluster cluster(net, reg, cfg);
+  cluster.start();
+
+  auto run = std::make_shared<bool>(true);
+  std::vector<std::unique_ptr<core::ClusterClient>> conns;
+  TpcwClient::Config ccfg;
+  ccfg.scale = scale;
+  ccfg.mix = Mix::Ordering;
+  ccfg.think_mean = 500 * sim::kMsec;
+  uint64_t completed = 0, failed = 0;
+  auto clients = spawn_clients(
+      sim, 10, ccfg,
+      [&](size_t i) -> ExecuteFn {
+        conns.push_back(cluster.make_client("tpcw" + std::to_string(i)));
+        core::ClusterClient* c = conns.back().get();
+        return [c](const std::string& proc, api::Params p) {
+          return c->execute(proc, std::move(p));
+        };
+      },
+      [&](const InteractionRecord& r) { r.ok ? ++completed : ++failed; },
+      run);
+  sim.run(2 * 60 * sim::kSec);
+  *run = false;
+  sim.run(sim.now() + 20 * sim::kSec);
+  EXPECT_GT(completed, 500u);
+  EXPECT_EQ(failed, 0u);
+  // ~half the interactions are updates.
+  const auto& st = cluster.master().engine().stats();
+  EXPECT_GT(st.update_commits, completed / 3);
+}
+
+}  // namespace
+}  // namespace dmv::tpcw

@@ -1,0 +1,202 @@
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "util/lru.hpp"
+#include "util/metrics.hpp"
+#include "util/rng.hpp"
+
+namespace dmv::util {
+namespace {
+
+TEST(Rng, DeterministicForSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i)
+    if (a.next() == b.next()) ++equal;
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, BelowStaysInRange) {
+  Rng r(7);
+  for (int i = 0; i < 10000; ++i) EXPECT_LT(r.below(17), 17u);
+}
+
+TEST(Rng, BetweenInclusive) {
+  Rng r(7);
+  std::set<int64_t> seen;
+  for (int i = 0; i < 10000; ++i) {
+    int64_t v = r.between(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 7u);  // all values hit
+}
+
+TEST(Rng, Uniform01Bounds) {
+  Rng r(9);
+  for (int i = 0; i < 10000; ++i) {
+    double v = r.uniform01();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(Rng, ExponentialMeanRoughlyCorrect) {
+  Rng r(11);
+  double sum = 0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) sum += r.exponential(7.0);
+  EXPECT_NEAR(sum / n, 7.0, 0.15);
+}
+
+TEST(Rng, NurandWithinRange) {
+  Rng r(13);
+  for (int i = 0; i < 10000; ++i) {
+    int64_t v = r.nurand(255, 1, 1000);
+    EXPECT_GE(v, 1);
+    EXPECT_LE(v, 1000);
+  }
+}
+
+TEST(Rng, NurandIsSkewed) {
+  // NURand should concentrate mass relative to uniform: the most popular
+  // decile should receive clearly more than 10% of draws.
+  Rng r(17);
+  std::map<int64_t, int> hist;
+  for (int i = 0; i < 100000; ++i) hist[r.nurand(255, 1, 1000) / 100]++;
+  int max_bucket = 0;
+  for (auto& [k, v] : hist) max_bucket = std::max(max_bucket, v);
+  EXPECT_GT(max_bucket, 12000);
+}
+
+TEST(Rng, WeightedRespectsZeroWeight) {
+  Rng r(19);
+  std::vector<double> w{0.0, 1.0, 0.0};
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(r.weighted(w), 1u);
+}
+
+TEST(Rng, WeightedProportions) {
+  Rng r(21);
+  std::vector<double> w{1.0, 3.0};
+  int c1 = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i)
+    if (r.weighted(w) == 1) ++c1;
+  EXPECT_NEAR(double(c1) / n, 0.75, 0.02);
+}
+
+TEST(Rng, SplitStreamsIndependent) {
+  Rng a(5);
+  Rng b = a.split();
+  EXPECT_NE(a.next(), b.next());
+}
+
+TEST(Lru, HitAndMiss) {
+  LruSet<int> lru(2);
+  EXPECT_FALSE(lru.touch(1).hit);
+  EXPECT_TRUE(lru.touch(1).hit);
+  EXPECT_FALSE(lru.touch(2).hit);
+  EXPECT_EQ(lru.size(), 2u);
+}
+
+TEST(Lru, EvictsLeastRecentlyUsed) {
+  LruSet<int> lru(2);
+  lru.touch(1);
+  lru.touch(2);
+  lru.touch(1);                    // order now: 1, 2
+  auto r = lru.touch(3);           // evicts 2
+  ASSERT_TRUE(r.evicted.has_value());
+  EXPECT_EQ(*r.evicted, 2);
+  EXPECT_TRUE(lru.contains(1));
+  EXPECT_FALSE(lru.contains(2));
+}
+
+TEST(Lru, EraseAndClear) {
+  LruSet<int> lru(4);
+  lru.touch(1);
+  lru.touch(2);
+  lru.erase(1);
+  EXPECT_FALSE(lru.contains(1));
+  EXPECT_EQ(lru.size(), 1u);
+  lru.clear();
+  EXPECT_EQ(lru.size(), 0u);
+}
+
+TEST(Lru, ShrinkCapacityEvicts) {
+  LruSet<int> lru(4);
+  for (int i = 0; i < 4; ++i) lru.touch(i);
+  lru.set_capacity(2);
+  EXPECT_EQ(lru.size(), 2u);
+  EXPECT_TRUE(lru.contains(3));
+  EXPECT_TRUE(lru.contains(2));
+}
+
+TEST(Lru, KeysMruOrder) {
+  LruSet<int> lru(3);
+  lru.touch(1);
+  lru.touch(2);
+  lru.touch(3);
+  lru.touch(1);
+  auto keys = lru.keys_mru();
+  ASSERT_EQ(keys.size(), 3u);
+  EXPECT_EQ(keys[0], 1);
+  EXPECT_EQ(keys[1], 3);
+  EXPECT_EQ(keys[2], 2);
+}
+
+TEST(Histogram, BasicStats) {
+  Histogram h;
+  for (double v : {1.0, 2.0, 3.0, 4.0}) h.record(v);
+  EXPECT_EQ(h.count(), 4u);
+  EXPECT_DOUBLE_EQ(h.mean(), 2.5);
+  EXPECT_DOUBLE_EQ(h.min(), 1.0);
+  EXPECT_DOUBLE_EQ(h.max(), 4.0);
+}
+
+TEST(Histogram, Quantiles) {
+  Histogram h;
+  for (int i = 1; i <= 100; ++i) h.record(double(i));
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 50.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.99), 99.0);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 100.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.0), 1.0);
+}
+
+TEST(Histogram, EmptyIsZero) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 0.0);
+}
+
+TEST(TimeSeries, BucketsEvents) {
+  TimeSeries ts(1'000'000);  // 1s buckets
+  ts.record(100, 5.0);
+  ts.record(900'000, 7.0);
+  ts.record(1'500'000, 1.0);
+  ASSERT_EQ(ts.buckets().size(), 2u);
+  EXPECT_EQ(ts.buckets()[0].count, 2u);
+  EXPECT_DOUBLE_EQ(ts.buckets()[0].mean(), 6.0);
+  EXPECT_EQ(ts.buckets()[1].count, 1u);
+  EXPECT_DOUBLE_EQ(ts.rate_per_sec(ts.buckets()[0]), 2.0);
+}
+
+TEST(TimeSeries, SparseGapsArePresent) {
+  TimeSeries ts(1'000'000);
+  ts.record(0, 1.0);
+  ts.record(5'000'000, 1.0);
+  ASSERT_EQ(ts.buckets().size(), 6u);
+  EXPECT_EQ(ts.buckets()[3].count, 0u);
+  EXPECT_EQ(ts.buckets()[3].start_us, 3'000'000u);
+}
+
+}  // namespace
+}  // namespace dmv::util
