@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_reintegration.dir/fig4_reintegration.cpp.o"
+  "CMakeFiles/fig4_reintegration.dir/fig4_reintegration.cpp.o.d"
+  "fig4_reintegration"
+  "fig4_reintegration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_reintegration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

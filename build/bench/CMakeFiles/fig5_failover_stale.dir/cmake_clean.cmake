@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_failover_stale.dir/fig5_failover_stale.cpp.o"
+  "CMakeFiles/fig5_failover_stale.dir/fig5_failover_stale.cpp.o.d"
+  "fig5_failover_stale"
+  "fig5_failover_stale.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_failover_stale.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

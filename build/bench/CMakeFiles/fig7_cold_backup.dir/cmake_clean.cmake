@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_cold_backup.dir/fig7_cold_backup.cpp.o"
+  "CMakeFiles/fig7_cold_backup.dir/fig7_cold_backup.cpp.o.d"
+  "fig7_cold_backup"
+  "fig7_cold_backup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_cold_backup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_warm_query.dir/fig8_warm_query.cpp.o"
+  "CMakeFiles/fig8_warm_query.dir/fig8_warm_query.cpp.o.d"
+  "fig8_warm_query"
+  "fig8_warm_query.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_warm_query.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_warm_pageid.dir/fig9_warm_pageid.cpp.o"
+  "CMakeFiles/fig9_warm_pageid.dir/fig9_warm_pageid.cpp.o.d"
+  "fig9_warm_pageid"
+  "fig9_warm_pageid.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_warm_pageid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

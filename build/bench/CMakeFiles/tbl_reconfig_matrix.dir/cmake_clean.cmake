@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tbl_reconfig_matrix.dir/tbl_reconfig_matrix.cpp.o"
+  "CMakeFiles/tbl_reconfig_matrix.dir/tbl_reconfig_matrix.cpp.o.d"
+  "tbl_reconfig_matrix"
+  "tbl_reconfig_matrix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tbl_reconfig_matrix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

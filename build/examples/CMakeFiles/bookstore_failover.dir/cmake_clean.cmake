@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bookstore_failover.dir/bookstore_failover.cpp.o"
+  "CMakeFiles/bookstore_failover.dir/bookstore_failover.cpp.o.d"
+  "bookstore_failover"
+  "bookstore_failover.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bookstore_failover.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

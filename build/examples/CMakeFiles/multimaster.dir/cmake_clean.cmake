@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multimaster.dir/multimaster.cpp.o"
+  "CMakeFiles/multimaster.dir/multimaster.cpp.o.d"
+  "multimaster"
+  "multimaster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multimaster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sql_bookstore.dir/sql_bookstore.cpp.o"
+  "CMakeFiles/sql_bookstore.dir/sql_bookstore.cpp.o.d"
+  "sql_bookstore"
+  "sql_bookstore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sql_bookstore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/versioned_reads.dir/versioned_reads.cpp.o"
+  "CMakeFiles/versioned_reads.dir/versioned_reads.cpp.o.d"
+  "versioned_reads"
+  "versioned_reads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/versioned_reads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dmv_api.dir/api/api.cpp.o"
+  "CMakeFiles/dmv_api.dir/api/api.cpp.o.d"
+  "libdmv_api.a"
+  "libdmv_api.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dmv_api.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dmv_core.dir/core/cluster.cpp.o"
+  "CMakeFiles/dmv_core.dir/core/cluster.cpp.o.d"
+  "CMakeFiles/dmv_core.dir/core/engine_node.cpp.o"
+  "CMakeFiles/dmv_core.dir/core/engine_node.cpp.o.d"
+  "CMakeFiles/dmv_core.dir/core/persistence_binding.cpp.o"
+  "CMakeFiles/dmv_core.dir/core/persistence_binding.cpp.o.d"
+  "CMakeFiles/dmv_core.dir/core/scheduler.cpp.o"
+  "CMakeFiles/dmv_core.dir/core/scheduler.cpp.o.d"
+  "CMakeFiles/dmv_core.dir/core/version.cpp.o"
+  "CMakeFiles/dmv_core.dir/core/version.cpp.o.d"
+  "libdmv_core.a"
+  "libdmv_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dmv_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dmv_disk.dir/disk/engine.cpp.o"
+  "CMakeFiles/dmv_disk.dir/disk/engine.cpp.o.d"
+  "CMakeFiles/dmv_disk.dir/disk/replicated_tier.cpp.o"
+  "CMakeFiles/dmv_disk.dir/disk/replicated_tier.cpp.o.d"
+  "libdmv_disk.a"
+  "libdmv_disk.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dmv_disk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dmv_harness.dir/harness/experiment.cpp.o"
+  "CMakeFiles/dmv_harness.dir/harness/experiment.cpp.o.d"
+  "CMakeFiles/dmv_harness.dir/harness/report.cpp.o"
+  "CMakeFiles/dmv_harness.dir/harness/report.cpp.o.d"
+  "CMakeFiles/dmv_harness.dir/harness/series.cpp.o"
+  "CMakeFiles/dmv_harness.dir/harness/series.cpp.o.d"
+  "libdmv_harness.a"
+  "libdmv_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dmv_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dmv_mem.dir/mem/cache_model.cpp.o"
+  "CMakeFiles/dmv_mem.dir/mem/cache_model.cpp.o.d"
+  "CMakeFiles/dmv_mem.dir/mem/checkpoint.cpp.o"
+  "CMakeFiles/dmv_mem.dir/mem/checkpoint.cpp.o.d"
+  "CMakeFiles/dmv_mem.dir/mem/engine.cpp.o"
+  "CMakeFiles/dmv_mem.dir/mem/engine.cpp.o.d"
+  "libdmv_mem.a"
+  "libdmv_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dmv_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

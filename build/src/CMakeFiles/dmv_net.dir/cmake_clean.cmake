@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dmv_net.dir/net/failure_detector.cpp.o"
+  "CMakeFiles/dmv_net.dir/net/failure_detector.cpp.o.d"
+  "CMakeFiles/dmv_net.dir/net/network.cpp.o"
+  "CMakeFiles/dmv_net.dir/net/network.cpp.o.d"
+  "libdmv_net.a"
+  "libdmv_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dmv_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dmv_sim.dir/sim/simulation.cpp.o"
+  "CMakeFiles/dmv_sim.dir/sim/simulation.cpp.o.d"
+  "CMakeFiles/dmv_sim.dir/sim/sync.cpp.o"
+  "CMakeFiles/dmv_sim.dir/sim/sync.cpp.o.d"
+  "libdmv_sim.a"
+  "libdmv_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dmv_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sql/executor.cpp" "src/CMakeFiles/dmv_sql.dir/sql/executor.cpp.o" "gcc" "src/CMakeFiles/dmv_sql.dir/sql/executor.cpp.o.d"
+  "/root/repo/src/sql/parser.cpp" "src/CMakeFiles/dmv_sql.dir/sql/parser.cpp.o" "gcc" "src/CMakeFiles/dmv_sql.dir/sql/parser.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/dmv_api.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dmv_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dmv_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dmv_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dmv_sql.dir/sql/executor.cpp.o"
+  "CMakeFiles/dmv_sql.dir/sql/executor.cpp.o.d"
+  "CMakeFiles/dmv_sql.dir/sql/parser.cpp.o"
+  "CMakeFiles/dmv_sql.dir/sql/parser.cpp.o.d"
+  "libdmv_sql.a"
+  "libdmv_sql.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dmv_sql.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

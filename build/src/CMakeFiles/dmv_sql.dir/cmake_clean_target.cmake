@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdmv_sql.a"
+)

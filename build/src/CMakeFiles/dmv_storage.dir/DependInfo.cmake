@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/storage/page.cpp" "src/CMakeFiles/dmv_storage.dir/storage/page.cpp.o" "gcc" "src/CMakeFiles/dmv_storage.dir/storage/page.cpp.o.d"
+  "/root/repo/src/storage/rbtree.cpp" "src/CMakeFiles/dmv_storage.dir/storage/rbtree.cpp.o" "gcc" "src/CMakeFiles/dmv_storage.dir/storage/rbtree.cpp.o.d"
+  "/root/repo/src/storage/schema.cpp" "src/CMakeFiles/dmv_storage.dir/storage/schema.cpp.o" "gcc" "src/CMakeFiles/dmv_storage.dir/storage/schema.cpp.o.d"
+  "/root/repo/src/storage/table.cpp" "src/CMakeFiles/dmv_storage.dir/storage/table.cpp.o" "gcc" "src/CMakeFiles/dmv_storage.dir/storage/table.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/dmv_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dmv_storage.dir/storage/page.cpp.o"
+  "CMakeFiles/dmv_storage.dir/storage/page.cpp.o.d"
+  "CMakeFiles/dmv_storage.dir/storage/rbtree.cpp.o"
+  "CMakeFiles/dmv_storage.dir/storage/rbtree.cpp.o.d"
+  "CMakeFiles/dmv_storage.dir/storage/schema.cpp.o"
+  "CMakeFiles/dmv_storage.dir/storage/schema.cpp.o.d"
+  "CMakeFiles/dmv_storage.dir/storage/table.cpp.o"
+  "CMakeFiles/dmv_storage.dir/storage/table.cpp.o.d"
+  "libdmv_storage.a"
+  "libdmv_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dmv_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dmv_tpcw.dir/tpcw/client.cpp.o"
+  "CMakeFiles/dmv_tpcw.dir/tpcw/client.cpp.o.d"
+  "CMakeFiles/dmv_tpcw.dir/tpcw/generator.cpp.o"
+  "CMakeFiles/dmv_tpcw.dir/tpcw/generator.cpp.o.d"
+  "CMakeFiles/dmv_tpcw.dir/tpcw/interactions.cpp.o"
+  "CMakeFiles/dmv_tpcw.dir/tpcw/interactions.cpp.o.d"
+  "CMakeFiles/dmv_tpcw.dir/tpcw/schema.cpp.o"
+  "CMakeFiles/dmv_tpcw.dir/tpcw/schema.cpp.o.d"
+  "libdmv_tpcw.a"
+  "libdmv_tpcw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dmv_tpcw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/txn/lock_manager.cpp" "src/CMakeFiles/dmv_txn.dir/txn/lock_manager.cpp.o" "gcc" "src/CMakeFiles/dmv_txn.dir/txn/lock_manager.cpp.o.d"
+  "/root/repo/src/txn/transaction.cpp" "src/CMakeFiles/dmv_txn.dir/txn/transaction.cpp.o" "gcc" "src/CMakeFiles/dmv_txn.dir/txn/transaction.cpp.o.d"
+  "/root/repo/src/txn/write_set.cpp" "src/CMakeFiles/dmv_txn.dir/txn/write_set.cpp.o" "gcc" "src/CMakeFiles/dmv_txn.dir/txn/write_set.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/dmv_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dmv_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dmv_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dmv_txn.dir/txn/lock_manager.cpp.o"
+  "CMakeFiles/dmv_txn.dir/txn/lock_manager.cpp.o.d"
+  "CMakeFiles/dmv_txn.dir/txn/transaction.cpp.o"
+  "CMakeFiles/dmv_txn.dir/txn/transaction.cpp.o.d"
+  "CMakeFiles/dmv_txn.dir/txn/write_set.cpp.o"
+  "CMakeFiles/dmv_txn.dir/txn/write_set.cpp.o.d"
+  "libdmv_txn.a"
+  "libdmv_txn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dmv_txn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

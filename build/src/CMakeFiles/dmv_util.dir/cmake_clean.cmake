@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dmv_util.dir/util/metrics.cpp.o"
+  "CMakeFiles/dmv_util.dir/util/metrics.cpp.o.d"
+  "CMakeFiles/dmv_util.dir/util/rng.cpp.o"
+  "CMakeFiles/dmv_util.dir/util/rng.cpp.o.d"
+  "libdmv_util.a"
+  "libdmv_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dmv_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_sql.cpp" "tests/CMakeFiles/test_sql.dir/test_sql.cpp.o" "gcc" "tests/CMakeFiles/test_sql.dir/test_sql.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/dmv_sql.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dmv_disk.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dmv_api.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dmv_txn.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dmv_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dmv_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dmv_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

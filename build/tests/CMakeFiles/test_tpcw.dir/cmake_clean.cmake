@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tpcw.dir/test_tpcw.cpp.o"
+  "CMakeFiles/test_tpcw.dir/test_tpcw.cpp.o.d"
+  "test_tpcw"
+  "test_tpcw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tpcw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test([=[test_util]=] "/root/repo/build/tests/test_util")
+set_tests_properties([=[test_util]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;4;add_test;/root/repo/tests/CMakeLists.txt;7;dmv_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test([=[test_sim]=] "/root/repo/build/tests/test_sim")
+set_tests_properties([=[test_sim]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;4;add_test;/root/repo/tests/CMakeLists.txt;8;dmv_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test([=[test_net]=] "/root/repo/build/tests/test_net")
+set_tests_properties([=[test_net]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;4;add_test;/root/repo/tests/CMakeLists.txt;9;dmv_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test([=[test_storage]=] "/root/repo/build/tests/test_storage")
+set_tests_properties([=[test_storage]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;4;add_test;/root/repo/tests/CMakeLists.txt;10;dmv_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test([=[test_txn]=] "/root/repo/build/tests/test_txn")
+set_tests_properties([=[test_txn]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;4;add_test;/root/repo/tests/CMakeLists.txt;11;dmv_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test([=[test_mem]=] "/root/repo/build/tests/test_mem")
+set_tests_properties([=[test_mem]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;4;add_test;/root/repo/tests/CMakeLists.txt;12;dmv_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test([=[test_disk]=] "/root/repo/build/tests/test_disk")
+set_tests_properties([=[test_disk]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;4;add_test;/root/repo/tests/CMakeLists.txt;13;dmv_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test([=[test_core]=] "/root/repo/build/tests/test_core")
+set_tests_properties([=[test_core]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;4;add_test;/root/repo/tests/CMakeLists.txt;14;dmv_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test([=[test_tpcw]=] "/root/repo/build/tests/test_tpcw")
+set_tests_properties([=[test_tpcw]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;4;add_test;/root/repo/tests/CMakeLists.txt;15;dmv_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test([=[test_sql]=] "/root/repo/build/tests/test_sql")
+set_tests_properties([=[test_sql]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;4;add_test;/root/repo/tests/CMakeLists.txt;16;dmv_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test([=[test_integration]=] "/root/repo/build/tests/test_integration")
+set_tests_properties([=[test_integration]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;4;add_test;/root/repo/tests/CMakeLists.txt;17;dmv_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test([=[test_harness]=] "/root/repo/build/tests/test_harness")
+set_tests_properties([=[test_harness]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;4;add_test;/root/repo/tests/CMakeLists.txt;18;dmv_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test([=[test_api]=] "/root/repo/build/tests/test_api")
+set_tests_properties([=[test_api]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;4;add_test;/root/repo/tests/CMakeLists.txt;19;dmv_add_test;/root/repo/tests/CMakeLists.txt;0;")
