@@ -8,10 +8,53 @@
 // shapes are the reproduction target, not absolute magnitudes.
 #pragma once
 
+#include <cstring>
+#include <iostream>
+
 #include "harness/experiment.hpp"
 #include "harness/report.hpp"
+#include "obs/export.hpp"
 
 namespace dmv::bench {
+
+// Tracing flags shared by the figure benches:
+//   --trace <file>   capture a Chrome trace_event JSON of a traced run
+//   --span-stats     print the per-span-name latency table after the run
+struct BenchOptions {
+  std::string trace_path;
+  bool span_stats = false;
+  bool tracing() const { return !trace_path.empty() || span_stats; }
+};
+
+inline BenchOptions parse_bench_options(int argc, char** argv) {
+  BenchOptions o;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
+      o.trace_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--span-stats") == 0) {
+      o.span_stats = true;
+    } else {
+      std::cerr << "unknown option: " << argv[i]
+                << " (supported: --trace <file>, --span-stats)\n";
+      std::exit(2);
+    }
+  }
+  return o;
+}
+
+// Export whatever the options asked for. Call while the experiment (and
+// hence its tracer) is still alive.
+inline void finish_tracing(const obs::Tracer& tracer,
+                           const BenchOptions& opts, std::ostream& os) {
+  if (!opts.trace_path.empty()) {
+    if (obs::write_chrome_trace(opts.trace_path, tracer))
+      os << "# wrote " << tracer.completed().size() << " spans to "
+         << opts.trace_path << "\n";
+    else
+      os << "# FAILED to write trace to " << opts.trace_path << "\n";
+  }
+  if (opts.span_stats) obs::print_span_stats(os, tracer);
+}
 
 inline txn::CostModel calibrated_costs() {
   txn::CostModel c;

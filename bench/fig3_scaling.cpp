@@ -55,9 +55,36 @@ Measured measure_disk(tpcw::Mix mix, size_t clients) {
   return m;
 }
 
+// Traced mode (--trace / --span-stats): instead of the full peak sweep,
+// run one representative DMV configuration with the tracer enabled and
+// export. The trace contains the full request lifecycle: client think,
+// scheduler routing, master execution/precommit/broadcast, slave reads
+// and lazy pending-mod application.
+int run_traced(const BenchOptions& opts) {
+  harness::DmvExperiment::Config cfg;
+  cfg.workload = default_workload(tpcw::Mix::Shopping, 300);
+  cfg.slaves = 2;
+  cfg.costs = calibrated_costs();
+  cfg.trace = true;
+  harness::DmvExperiment exp(cfg);
+  exp.start();
+  exp.run_until(60 * sim::kSec);
+  exp.stop();
+  std::cout << "# traced DMV run: shopping mix, 2 slaves, 300 clients, "
+            << "60s virtual\n"
+            << "# WIPS " << harness::fmt(exp.series().wips(
+                                 20 * sim::kSec, 60 * sim::kSec))
+            << "\n";
+  finish_tracing(exp.tracer(), opts, std::cout);
+  return 0;
+}
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const BenchOptions opts = parse_bench_options(argc, argv);
+  if (opts.tracing()) return run_traced(opts);
+
   std::cout << "# Figure 3 — DMV in-memory tier vs stand-alone InnoDB\n";
   std::cout << "# peak WIPS via step-function client search; "
             << "warm-up excluded\n";

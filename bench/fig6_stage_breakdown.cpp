@@ -31,8 +31,10 @@ sim::Time recovery_point(const harness::Series& s, sim::Time from,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const BenchOptions opts = parse_bench_options(argc, argv);
   std::cout << "# Figure 6 — fail-over stage breakdown (shopping mix)\n";
+  std::cout << "# stage durations derived from dmv_obs fail-over spans\n";
   std::vector<std::vector<std::string>> rows;
 
   // ---- InnoDB replicated tier ----
@@ -42,20 +44,27 @@ int main() {
     cfg.costs = calibrated_costs();
     cfg.buffer_frames = baseline_pool_frames();
     cfg.backup_sync_period = kSync;
+    // Only the fail-over path is of interest; keep span memory bounded
+    // over the 11-virtual-minute run.
+    cfg.trace = true;
+    cfg.trace_categories = obs::mask_of(obs::Cat::Recovery) |
+                           obs::mask_of(obs::Cat::Migration) |
+                           obs::mask_of(obs::Cat::Warmup);
     harness::TierExperiment exp(cfg);
     exp.schedule_fault(kFail, [&] { exp.tier().kill_active(1); });
     exp.start();
     exp.run_until(kEnd);
-    const auto& fo = exp.tier().failover();
+    // DB Update = backlog replay on the promoted backup, as traced.
+    const obs::SpanRec* dbu = exp.tracer().find_first("tier.db_update");
+    DMV_ASSERT_MSG(dbu, "no tier.db_update span recorded");
     const double steady = exp.series().wips(kEnd - 2 * 60 * sim::kSec, kEnd);
-    const sim::Time rec =
-        recovery_point(exp.series(), fo.db_update_done, steady * 0.9);
+    const sim::Time rec = recovery_point(exp.series(), dbu->end,
+                                         steady * 0.9);
     exp.stop();
     rows.push_back(
         {"InnoDB tier", "0.0 (no master role)",
-         harness::fmt(sim::to_seconds(fo.db_update_duration())) +
-             " (paper: ~94)",
-         harness::fmt(sim::to_seconds(rec - fo.db_update_done))});
+         harness::fmt(sim::to_seconds(dbu->duration())) + " (paper: ~94)",
+         harness::fmt(sim::to_seconds(rec - dbu->end))});
   }
 
   // ---- DMV ----
@@ -68,6 +77,10 @@ int main() {
     cfg.costs = calibrated_costs();
     cfg.costs.mem_page_fault = 8 * sim::kMsec;
     cfg.checkpoint_period = 60 * sim::kSec;
+    cfg.trace = true;
+    cfg.trace_categories = obs::mask_of(obs::Cat::Recovery) |
+                           obs::mask_of(obs::Cat::Migration) |
+                           obs::mask_of(obs::Cat::Warmup);
     harness::DmvExperiment exp(cfg);
     const net::NodeId backup = exp.cluster().spare_id(0);
     const net::NodeId master = exp.cluster().master_id();
@@ -77,23 +90,26 @@ int main() {
                        [&] { exp.cluster().restart_and_rejoin(backup); });
     exp.start();
     exp.run_until(kEnd);
-    const auto& sched = exp.cluster().scheduler().stats();
-    const auto& joiner = exp.cluster().node(backup).stats();
+    // Recovery = the scheduler's master fail-over span (discard above the
+    // recovery version vector + promote a slave). DB Update = the page
+    // transfer of the rejoining node; find_last skips any start-of-run
+    // join and picks the post-failure rejoin.
+    const obs::SpanRec* recov = exp.tracer().find_first("failover.recovery");
+    const obs::SpanRec* pages = exp.tracer().find_last("join.pages");
+    DMV_ASSERT_MSG(recov, "no failover.recovery span recorded");
+    DMV_ASSERT_MSG(pages, "no join.pages span recorded");
     const double steady = exp.series().wips(kEnd - 2 * 60 * sim::kSec, kEnd);
-    const sim::Time rec =
-        recovery_point(exp.series(), joiner.join_pages_done, steady * 0.9);
+    const sim::Time rec = recovery_point(exp.series(), pages->end,
+                                         steady * 0.9);
     exp.stop();
     rows.push_back(
         {"DMV tier",
-         harness::fmt(sim::to_seconds(sched.master_recovery_end -
-                                      sched.master_recovery_start),
-                      2) +
+         harness::fmt(sim::to_seconds(recov->duration()), 2) +
              " (paper: ~6)",
-         harness::fmt(
-             sim::to_seconds(joiner.join_pages_done - joiner.join_started),
-             2) +
+         harness::fmt(sim::to_seconds(pages->duration()), 2) +
              " (page transfer, paper: seconds)",
-         harness::fmt(sim::to_seconds(rec - joiner.join_pages_done))});
+         harness::fmt(sim::to_seconds(rec - pages->end))});
+    finish_tracing(exp.tracer(), opts, std::cout);
   }
 
   harness::print_table(

@@ -2,6 +2,7 @@
 
 #include "core/version.hpp"
 #include "net/failure_detector.hpp"
+#include "obs/trace.hpp"
 
 namespace dmv::core {
 
@@ -75,6 +76,7 @@ EngineNode::EngineNode(net::Network& net, NodeId id,
                        mem::StableStore* store)
     : net_(net), id_(id), procs_(procs), cfg_(cfg), store_(store) {
   engine_ = std::make_unique<MemEngine>(net.sim(), net.name(id), cfg_.engine);
+  engine_->set_trace_node(id_);
   engine_->build_schema(schema);
   engine_->set_broadcast_fn(
       [this](const txn::WriteSet& ws) { broadcast_write_set(ws); });
@@ -129,6 +131,8 @@ void EngineNode::broadcast_write_set(const txn::WriteSet& ws) {
   const uint64_t seq = ++next_bcast_seq_;
   last_bcast_seq_ = seq;
   if (replicas_.empty()) return;
+  obs::count("ws.broadcasts", id_);
+  obs::count("ws.bytes", id_, double(ws.byte_size() * replicas_.size()));
   auto wait = std::make_unique<AckWait>();
   wait->pending.insert(replicas_.begin(), replicas_.end());
   wait->done = std::make_unique<sim::WaitQueue>(net_.sim());
@@ -181,6 +185,7 @@ sim::Task<> EngineNode::main_loop() {
       net_.sim().spawn(handle_exec(*exec));
     } else if (const auto* ws = net::as<WriteSetMsg>(*env)) {
       engine_->on_write_set(ws->ws);
+      obs::gauge("pending_mods", id_, double(engine_->pending_mod_count()));
       net_.send(id_, ws->master, AckMsg{ws->seq}, 32);
       if (cfg_.eager_apply) {
         for (storage::TableId t = 0; t < engine_->db().table_count(); ++t)
@@ -238,6 +243,7 @@ sim::Task<> EngineNode::handle_exec(ExecTxn m) {
 sim::Task<> EngineNode::run_read(ExecTxn m) {
   const api::ProcInfo& proc = procs_.find(m.proc);
   auto txn = engine_->begin_read(m.tag);
+  obs::SpanGuard span("slave.read", obs::Cat::Txn, id_, txn->id());
   MemConnection conn(*engine_, *txn, nullptr);
   try {
     api::TxnResult result = co_await proc.fn(conn, m.params);
@@ -252,6 +258,8 @@ sim::Task<> EngineNode::run_read(ExecTxn m) {
   } catch (const TxnAbort& e) {
     if (e.reason == TxnAbort::Reason::VersionConflict) {
       ++stats_.version_abort_replies;
+      span.attr("abort", "version");
+      obs::count("aborts.version", id_);
       TxnDone done;
       done.ok = false;
       done.version_abort = true;
@@ -263,6 +271,8 @@ sim::Task<> EngineNode::run_read(ExecTxn m) {
 
 sim::Task<> EngineNode::run_update(ExecTxn m) {
   const api::ProcInfo& proc = procs_.find(m.proc);
+  obs::SpanGuard txn_span("master.commit", obs::Cat::Txn, id_);
+  txn_span.attr("proc", m.proc);
   std::optional<uint64_t> reuse_ts;
   for (;;) {
     auto txn = engine_->begin_update(reuse_ts);
@@ -273,19 +283,28 @@ sim::Task<> EngineNode::run_update(ExecTxn m) {
     MemConnection conn(*engine_, *txn, &inf.poisoned);
     bool retry = false;
     try {
+      obs::SpanGuard exec_span("master.exec", obs::Cat::Txn, id_, txn->id());
       api::TxnResult result = co_await proc.fn(conn, m.params);
+      exec_span.done();
       if (inf.poisoned) throw TxnAbort(TxnAbort::Reason::Cancelled);
       inf.in_precommit = true;
+      obs::SpanGuard pc_span("master.precommit", obs::Cat::Replication, id_,
+                             txn->id());
       txn::WriteSet ws = co_await engine_->precommit(*txn);
+      pc_span.done();
       // precommit resumes us synchronously after its broadcast, so
       // last_bcast_seq_ still refers to *our* write-set.
       const uint64_t my_seq = last_bcast_seq_;
+      obs::SpanGuard bc_span("master.broadcast", obs::Cat::Replication, id_,
+                             txn->id());
       const bool acked = co_await wait_acks(my_seq);
+      bc_span.done();
       if (!acked) throw TxnAbort(TxnAbort::Reason::Cancelled);
       engine_->finish_commit(*txn);
       inflight_.erase(m.req_id);
       precommit_drain_->notify_all();
       ++stats_.txns_executed;
+      obs::count("master.commits", id_);
       TxnDone done;
       done.ok = true;
       done.result = result;
@@ -299,9 +318,12 @@ sim::Task<> EngineNode::run_update(ExecTxn m) {
       precommit_drain_->notify_all();
       if (e.reason == TxnAbort::Reason::WaitDie) {
         ++stats_.waitdie_restarts;
+        obs::count("aborts.waitdie", id_);
         retry = true;
       } else {
         ++stats_.poisoned_aborts;
+        obs::count("aborts.poisoned", id_);
+        txn_span.attr("abort", "poisoned");
         // Poisoned (scheduler-recovery abort, §4.1) or node going down.
         // Report the abort; if we are dying the message is dropped anyway,
         // but a poisoned transaction's client must not hang forever.
@@ -339,6 +361,7 @@ sim::Task<> EngineNode::handle_abort_all(NodeId from, AbortAllRequest m) {
 
 sim::Task<> EngineNode::handle_promote(NodeId from, PromoteToMaster m) {
   (void)from;
+  obs::SpanGuard span("promote.apply", obs::Cat::Recovery, id_);
   std::set<storage::TableId> tables(m.tables.begin(), m.tables.end());
   co_await engine_->promote(tables);
   replicas_ = m.replicas;
@@ -354,6 +377,7 @@ sim::Task<> EngineNode::serve_page_request(NodeId to, PageRequest m) {
   // joiner lacks or holds at an older version (§4.4: "selectively
   // transmits only the pages that changed after the joining node's
   // version").
+  obs::SpanGuard span("migration.serve", obs::Cat::Migration, id_);
   const bool ok = co_await engine_->wait_received(m.target);
   if (!ok) co_return;
   for (storage::TableId t = 0; t < engine_->db().table_count(); ++t)
@@ -366,6 +390,7 @@ sim::Task<> EngineNode::serve_page_request(NodeId to, PageRequest m) {
     net_.send(id_, to, std::move(chunk), bytes);
     chunk = PageChunk{};
   };
+  uint64_t sent = 0;
   for (const auto& [pid, ver] : engine_->page_versions()) {
     auto it = m.have.find(pid);
     const uint64_t have = it == m.have.end() ? 0 : it->second;
@@ -373,12 +398,16 @@ sim::Task<> EngineNode::serve_page_request(NodeId to, PageRequest m) {
     chunk.pages.push_back(mem::PageSnapshot{
         pid, ver, engine_->db().table(pid.table).page(pid.page)});
     ++stats_.pages_served;
+    ++sent;
     if (chunk.pages.size() >= cfg_.migration_chunk_pages) flush(false);
   }
   flush(true);
+  span.attr("pages", std::to_string(sent));
+  obs::count("migration.pages", id_, double(sent));
 }
 
 sim::Task<> EngineNode::rejoin_protocol(NodeId scheduler) {
+  obs::SpanGuard join_span("join", obs::Cat::Recovery, id_);
   stats_.join_started = net_.sim().now();
   net_.send(id_, scheduler, JoinRequest{id_}, 64);
   auto info = co_await join_infos_->receive();
@@ -388,6 +417,7 @@ sim::Task<> EngineNode::rejoin_protocol(NodeId scheduler) {
   //    to the replication list of the masters"); everything from here on
   //    queues in our pending-mod lists. The target vector is the
   //    elementwise max of what the masters report.
+  obs::SpanGuard sub_span("join.subscribe", obs::Cat::Migration, id_);
   VersionVec target(engine_->db().table_count(), 0);
   for (NodeId m : info->masters) {
     net_.send(id_, m, SubscribeRequest{id_, id_}, 64);
@@ -395,8 +425,11 @@ sim::Task<> EngineNode::rejoin_protocol(NodeId scheduler) {
     if (!sub) co_return;
     merge_max(target, sub->db_version);
   }
+  sub_span.done();
 
   // 2. Ask the support slave for pages newer than our checkpointed ones.
+  obs::SpanGuard pages_span("join.pages", obs::Cat::Migration, id_);
+  uint64_t installed = 0;
   net_.send(id_, info->support,
             PageRequest{id_, engine_->page_versions(), target}, 2048);
   for (;;) {
@@ -411,8 +444,10 @@ sim::Task<> EngineNode::rejoin_protocol(NodeId scheduler) {
       const uint64_t have = snap.pid.page < tb.page_count()
                                 ? tb.meta(snap.pid.page).version
                                 : 0;
-      if (snap.version > have)
+      if (snap.version > have) {
         engine_->install_page(snap.pid, snap.image, snap.version);
+        ++installed;
+      }
       cost += cfg_.engine.costs.install_page;
     }
     if (cost > 0) co_await engine_->cpu().use(cost);
@@ -420,6 +455,9 @@ sim::Task<> EngineNode::rejoin_protocol(NodeId scheduler) {
   }
   engine_->adopt_version(target);
   stats_.join_pages_done = net_.sim().now();
+  pages_span.attr("installed", std::to_string(installed));
+  pages_span.done();
+  obs::count("migration.pages_installed", id_, double(installed));
 
   // 3. Report ready; the scheduler adds us to the read rotation.
   net_.send(id_, scheduler, JoinComplete{id_}, 64);

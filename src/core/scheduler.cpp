@@ -167,15 +167,39 @@ void Scheduler::handle_client(ClientRequest req) {
     route_update(std::move(out));
 }
 
+void Scheduler::begin_req_span(Outstanding& out, const char* name) {
+  if (out.span != 0) return;
+  if (obs::Tracer* t = obs::tracer()) {
+    out.span = t->begin(name, obs::Cat::Scheduler, id_);
+    t->attr(out.span, "proc", out.client.proc);
+  }
+}
+
+void Scheduler::end_req_span(Outstanding& out, const char* status) {
+  if (out.span == 0) return;
+  // Use the installed tracer even if disabled mid-run, so spans opened
+  // while enabled are still closed.
+  if (obs::Tracer* t = obs::installed_tracer()) {
+    if (status) t->attr(out.span, "status", status);
+    t->end(out.span);
+  }
+  out.span = 0;
+}
+
 void Scheduler::route_update(Outstanding out) {
+  begin_req_span(out, "sched.update");
   const api::ProcInfo& proc = procs_.find(out.client.proc);
   const size_t cls = class_of(proc);
   if (recovering_classes_.count(cls)) {
+    // The span cannot follow the bare ClientRequest into the hold queue; a
+    // fresh one opens when the request is re-routed after recovery.
+    end_req_span(out, "parked_for_recovery");
     held_updates_.push_back(std::move(out.client));
     return;
   }
   const NodeId master = cls < masters_.size() ? masters_[cls] : net::kNoNode;
   if (master == net::kNoNode || !net_.alive(master)) {
+    end_req_span(out, "no_master");
     reply_client(out.client, false, {});
     return;
   }
@@ -243,6 +267,9 @@ NodeId Scheduler::pick_read_replica() {
 bool Scheduler::try_dispatch_read(Outstanding& out) {
   const NodeId node = pick_read_replica();
   if (node == net::kNoNode) return false;
+  if (out.span != 0)
+    if (obs::Tracer* t = obs::installed_tracer())
+      t->attr(out.span, "replica", std::to_string(node));
   const uint64_t rid = next_req_++;
   ExecTxn m;
   m.req_id = rid;
@@ -261,22 +288,28 @@ bool Scheduler::try_dispatch_read(Outstanding& out) {
 }
 
 void Scheduler::route_read(Outstanding out) {
+  begin_req_span(out, "sched.read");
   if (try_dispatch_read(out)) return;
   bool any_target = !live_replicas().empty();
   for (NodeId m : masters_)
     if (m != net::kNoNode && net_.alive(m)) any_target = true;
   if (!any_target) {
+    end_req_span(out, "no_replica");
     reply_client(out.client, false, {});
     return;
   }
   held_reads_.push_back(std::move(out));  // wait for a slot (§2.2)
+  obs::gauge("sched.held_reads", id_, double(held_reads_.size()));
 }
 
 void Scheduler::pump_held_reads() {
+  const size_t before = held_reads_.size();
   while (!held_reads_.empty()) {
     if (!try_dispatch_read(held_reads_.front())) break;
     held_reads_.pop_front();
   }
+  if (held_reads_.size() != before)
+    obs::gauge("sched.held_reads", id_, double(held_reads_.size()));
 }
 
 void Scheduler::handle_txn_done(NodeId from, const TxnDone& d) {
@@ -291,6 +324,7 @@ void Scheduler::handle_txn_done(NodeId from, const TxnDone& d) {
   if (d.ok) {
     if (!out.read_only) {
       merge_max(version_, d.db_version);
+      obs::count("sched.commits", id_);
       // §4.6: log the committed update's queries, ship to the on-disk
       // back-end asynchronously; §4.1: gossip the vector to peers.
       if (persist_ && !d.ops.empty()) persist_(d.ops);
@@ -298,6 +332,7 @@ void Scheduler::handle_txn_done(NodeId from, const TxnDone& d) {
         if (net_.alive(p))
           net_.send(id_, p, VersionGossip{version_}, 128);
     }
+    end_req_span(out, nullptr);
     reply_client(out.client, true, d.result);
     return;
   }
@@ -306,9 +341,11 @@ void Scheduler::handle_txn_done(NodeId from, const TxnDone& d) {
     // Retry with a fresh tag (and possibly another replica).
     ++stats_.version_abort_retries;
     ++out.retries;
+    obs::count("sched.version_retries", id_);
     route_read(std::move(out));
     return;
   }
+  end_req_span(out, "error");
   reply_client(out.client, false, {});
 }
 
@@ -326,6 +363,7 @@ void Scheduler::fail_outstanding_on(NodeId node) {
     Outstanding out = std::move(outstanding_[rid]);
     outstanding_.erase(rid);
     // §4.3: abort, error to the client/application server.
+    end_req_span(out, "node_failed");
     reply_client(out.client, false, {});
   }
   outstanding_per_node_[node] = 0;
@@ -377,6 +415,7 @@ void Scheduler::integrate_spare() {
   // so integration is pure bookkeeping — it simply starts taking reads.
   for (auto it = spares_.begin(); it != spares_.end(); ++it) {
     if (net_.alive(*it)) {
+      obs::instant("spare.activated", obs::Cat::Warmup, *it);
       slaves_.push_back(*it);
       spares_.erase(it);
       stats_.spare_activated_at = net_.sim().now();
@@ -386,6 +425,8 @@ void Scheduler::integrate_spare() {
 }
 
 sim::Task<> Scheduler::recover_master(size_t cls) {
+  obs::SpanGuard recovery("failover.recovery", obs::Cat::Recovery, id_);
+  recovery.attr("class", std::to_string(cls));
   recovering_classes_.insert(cls);
   ++stats_.recoveries;
   stats_.master_recovery_start = net_.sim().now();
@@ -403,6 +444,7 @@ sim::Task<> Scheduler::recover_master(size_t cls) {
   for (NodeId other : masters_)
     if (other != net::kNoNode && net_.alive(other))
       targets.push_back(other);
+  obs::SpanGuard discard("failover.discard", obs::Cat::Recovery, id_);
   for (NodeId n : targets)
     net_.send(id_, n, DiscardAbove{confirmed, cls_tables}, 128);
   size_t acks = 0;
@@ -412,6 +454,7 @@ sim::Task<> Scheduler::recover_master(size_t cls) {
     if (!net_.alive(*who)) continue;
     ++acks;
   }
+  discard.done();
 
   // 2. Elect a new master: the first live active slave, else a spare.
   NodeId new_master = net::kNoNode;
@@ -441,9 +484,12 @@ sim::Task<> Scheduler::recover_master(size_t cls) {
   pm.reply_to = id_;
   pm.tables = cls_tables;
   pm.replicas = replicas_for_master(new_master);
+  obs::SpanGuard promote("failover.promote", obs::Cat::Recovery, id_);
+  promote.attr("new_master", std::to_string(new_master));
   net_.send(id_, new_master, std::move(pm), 256);
   auto done = co_await promote_done_->receive();
   if (!done) co_return;
+  promote.done();
   merge_max(version_, done->version);
   masters_[cls] = new_master;
 
@@ -475,6 +521,7 @@ sim::Task<> Scheduler::takeover() {
   if (is_primary_) co_return;
   is_primary_ = true;
   ++stats_.takeovers;
+  obs::SpanGuard span("sched.takeover", obs::Cat::Recovery, id_);
   // §4.1: ask the masters to abort unconfirmed transactions and report
   // the authoritative version vector.
   for (NodeId m : masters_) {

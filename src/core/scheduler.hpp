@@ -30,6 +30,7 @@
 
 #include "core/engine_node.hpp"
 #include "core/version.hpp"
+#include "obs/trace.hpp"
 
 namespace dmv::core {
 
@@ -100,6 +101,9 @@ class Scheduler {
     NodeId node = net::kNoNode;
     bool read_only = true;
     int retries = 0;
+    // Request-lifetime trace span: opened on routing, closed on the final
+    // client reply (survives version-abort retries and admission queueing).
+    obs::SpanId span = 0;
   };
 
   sim::Task<> main_loop();
@@ -113,6 +117,8 @@ class Scheduler {
   void fail_outstanding_on(NodeId node);
   void reply_client(const ClientRequest& req, bool ok,
                     const api::TxnResult& result);
+  void begin_req_span(Outstanding& out, const char* name);
+  void end_req_span(Outstanding& out, const char* status);
   // Conflict class whose table set covers the proc's tables (paper: the
   // scheduler is preconfigured with each transaction type's tables).
   size_t class_of(const api::ProcInfo& proc) const;

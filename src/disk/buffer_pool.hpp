@@ -8,6 +8,7 @@
 #include <unordered_set>
 
 #include "disk/sim_disk.hpp"
+#include "obs/trace.hpp"
 #include "storage/page.hpp"
 #include "util/lru.hpp"
 
@@ -24,8 +25,10 @@ class BufferPool {
     const auto r = lru_.touch(pid);
     if (r.hit) {
       ++hits_;
+      obs::count("bp.hits", trace_node_);
     } else {
       ++misses_;
+      obs::count("bp.misses", trace_node_);
       co_await disk_.read_page();
     }
     if (r.evicted) {
@@ -61,6 +64,7 @@ class BufferPool {
   uint64_t misses() const { return misses_; }
   uint64_t evictions() const { return evictions_; }
   uint64_t writebacks() const { return writebacks_; }
+  void set_trace_node(uint32_t node) { trace_node_ = node; }
 
  private:
   SimDisk& disk_;
@@ -70,6 +74,7 @@ class BufferPool {
   uint64_t misses_ = 0;
   uint64_t evictions_ = 0;
   uint64_t writebacks_ = 0;
+  uint32_t trace_node_ = obs::kNoNode;
 };
 
 }  // namespace dmv::disk

@@ -1,5 +1,6 @@
 #include "disk/engine.hpp"
 
+#include "obs/trace.hpp"
 #include "txn/write_set.hpp"
 
 namespace dmv::disk {
@@ -211,8 +212,11 @@ sim::Task<> DiskEngine::commit(TxnCtx& txn) {
   }
   txn::TxnRecord rec;
   rec.ops = txn.op_log();
+  obs::SpanGuard span("disk.commit", obs::Cat::Disk, trace_node_, txn.id());
   wal_.append(rec.byte_size());
   co_await wal_.sync();  // durable before the commit is acknowledged
+  span.done();
+  obs::count("disk.commits", trace_node_);
   rec.seq = ++commit_seq_;
   binlog_.push_back(std::move(rec));
   locks_.release_all(txn);

@@ -101,6 +101,12 @@ class DiskEngine {
   sim::Resource& cpu() { return cpu_; }
   const txn::CostModel& costs() const { return cfg_.costs; }
   DiskEngineStats& stats() { return stats_; }
+  // Node id for trace spans (propagates to the lock manager and pool).
+  void set_trace_node(uint32_t node) {
+    trace_node_ = node;
+    locks_.set_trace_node(node);
+    pool_.set_trace_node(node);
+  }
 
  private:
   sim::Task<> lock_page(txn::TxnCtx& txn, storage::PageId pid,
@@ -117,6 +123,7 @@ class DiskEngine {
   Wal wal_;
   sim::Resource cpu_;
   bool shutdown_ = false;
+  uint32_t trace_node_ = UINT32_MAX;
 
   uint64_t next_txn_ = 1;
   uint64_t commit_seq_ = 0;

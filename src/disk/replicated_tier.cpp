@@ -1,8 +1,14 @@
 #include "disk/replicated_tier.hpp"
 
+#include "obs/trace.hpp"
+
 namespace dmv::disk {
 
 using txn::TxnKind;
+
+// Tier nodes live outside net::Network, so give them a disjoint pseudo-id
+// range for trace spans.
+static uint32_t tier_trace_node(size_t i) { return 1000 + uint32_t(i); }
 
 ReplicatedDiskTier::ReplicatedDiskTier(sim::Simulation& sim, Config cfg,
                                        const SchemaFn& schema,
@@ -13,6 +19,8 @@ ReplicatedDiskTier::ReplicatedDiskTier(sim::Simulation& sim, Config cfg,
     Node n;
     n.engine = std::make_unique<DiskEngine>(
         sim, "disk" + std::to_string(i), cfg_.engine);
+    n.engine->set_trace_node(tier_trace_node(size_t(i)));
+    obs::name_node(tier_trace_node(size_t(i)), n.engine->name());
     n.engine->build_schema(schema);
     n.active = i < cfg_.actives;
     n.feed = std::make_unique<sim::Channel<txn::TxnRecord>>(sim);
@@ -153,6 +161,7 @@ void ReplicatedDiskTier::kill_active(size_t idx) {
   nodes_[idx].engine->shutdown();
   nodes_[idx].feed->close();
   failover_.failed_at = sim_.now();
+  obs::instant("tier.node_killed", obs::Cat::Recovery, tier_trace_node(idx));
   // Integrate the first live backup.
   for (size_t i = 0; i < nodes_.size(); ++i) {
     if (!nodes_[i].active && !nodes_[i].dead) {
@@ -166,6 +175,9 @@ sim::Task<> ReplicatedDiskTier::failover_task(size_t backup_idx) {
   Node& b = nodes_[backup_idx];
   failover_.db_update_start = sim_.now();
   failover_.backlog_txns = size_t(next_seq_ - b.applied_tier_seq);
+  obs::SpanGuard span("tier.db_update", obs::Cat::Recovery,
+                      tier_trace_node(backup_idx));
+  span.attr("backlog_txns", std::to_string(failover_.backlog_txns));
   // Ship the backlog; the applier replays it at disk speed. Updates that
   // commit while catch-up runs are shipped as they appear.
   ship_to(backup_idx, b.applied_tier_seq);

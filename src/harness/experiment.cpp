@@ -4,9 +4,27 @@ namespace dmv::harness {
 
 // ---------- DmvExperiment ----------
 
+namespace {
+
+// Create, configure and globally install an experiment's tracer. Installed
+// even when disabled so node-name registration during construction lands.
+std::unique_ptr<obs::Tracer> make_tracer(sim::Simulation& sim,
+                                         bool enable, uint32_t categories,
+                                         obs::Tracer** prev_out) {
+  auto t = std::make_unique<obs::Tracer>(sim);
+  t->set_category_mask(categories);
+  if (enable) t->enable();
+  *prev_out = obs::set_tracer(t.get());
+  return t;
+}
+
+}  // namespace
+
 DmvExperiment::DmvExperiment(Config cfg)
     : cfg_(cfg), series_(cfg.workload.bucket) {
   sim_ = std::make_unique<sim::Simulation>();
+  tracer_ = make_tracer(*sim_, cfg_.trace, cfg_.trace_categories,
+                        &prev_tracer_);
   net_ = std::make_unique<net::Network>(*sim_);
   registry_ = tpcw::make_registry(cfg_.workload.scale);
 
@@ -34,7 +52,10 @@ DmvExperiment::DmvExperiment(Config cfg)
   cluster_->start();
 }
 
-DmvExperiment::~DmvExperiment() { stop(); }
+DmvExperiment::~DmvExperiment() {
+  stop();
+  obs::set_tracer(prev_tracer_);
+}
 
 void DmvExperiment::start() {
   DMV_ASSERT(!run_flag_);
@@ -75,11 +96,15 @@ void DmvExperiment::schedule_fault(sim::Time at,
 DiskExperiment::DiskExperiment(Config cfg)
     : cfg_(cfg), series_(cfg.workload.bucket) {
   sim_ = std::make_unique<sim::Simulation>();
+  tracer_ = make_tracer(*sim_, cfg_.trace, cfg_.trace_categories,
+                        &prev_tracer_);
   registry_ = tpcw::make_registry(cfg_.workload.scale);
   disk::DiskEngine::Config dc;
   dc.costs = cfg_.costs;
   dc.buffer_frames = cfg_.buffer_frames;
   engine_ = std::make_unique<disk::DiskEngine>(*sim_, "innodb", dc);
+  engine_->set_trace_node(0);
+  obs::name_node(0, engine_->name());
   engine_->build_schema(tpcw::build_schema);
   tpcw::make_loader(cfg_.workload.scale)(engine_->db());
   if (cfg_.prewarm) {
@@ -112,6 +137,11 @@ void DiskExperiment::start() {
       series_.recorder(), run_flag_);
 }
 
+DiskExperiment::~DiskExperiment() {
+  stop();
+  obs::set_tracer(prev_tracer_);
+}
+
 void DiskExperiment::run_until(sim::Time t) { sim_->run(t); }
 
 void DiskExperiment::stop() {
@@ -126,6 +156,8 @@ void DiskExperiment::stop() {
 TierExperiment::TierExperiment(Config cfg)
     : cfg_(cfg), series_(cfg.workload.bucket) {
   sim_ = std::make_unique<sim::Simulation>();
+  tracer_ = make_tracer(*sim_, cfg_.trace, cfg_.trace_categories,
+                        &prev_tracer_);
   registry_ = tpcw::make_registry(cfg_.workload.scale);
   disk::ReplicatedDiskTier::Config tc;
   tc.engine.costs = cfg_.costs;
@@ -165,6 +197,11 @@ void TierExperiment::start() {
         };
       },
       series_.recorder(), run_flag_);
+}
+
+TierExperiment::~TierExperiment() {
+  stop();
+  obs::set_tracer(prev_tracer_);
 }
 
 void TierExperiment::run_until(sim::Time t) { sim_->run(t); }

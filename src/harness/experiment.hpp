@@ -9,6 +9,7 @@
 #include "core/cluster.hpp"
 #include "disk/replicated_tier.hpp"
 #include "harness/series.hpp"
+#include "obs/trace.hpp"
 
 namespace dmv::harness {
 
@@ -48,6 +49,10 @@ class DmvExperiment {
     bool full_page_writesets = false;
     bool eager_apply = false;
     uint64_t reads_inflight_cap = 4;
+    // Structured tracing (dmv_obs). With trace=false the tracer exists but
+    // stays disabled: instrumentation costs one load+branch per site.
+    bool trace = false;
+    uint32_t trace_categories = obs::kAllCats;
   };
 
   explicit DmvExperiment(Config cfg);
@@ -65,10 +70,16 @@ class DmvExperiment {
   sim::Simulation& sim() { return *sim_; }
   core::DmvCluster& cluster() { return *cluster_; }
   Series& series() { return series_; }
+  obs::Tracer& tracer() { return *tracer_; }
   const Config& config() const { return cfg_; }
 
  private:
   Config cfg_;
+  // Declared before sim_: members destroy in reverse order, so the tracer
+  // outlives the simulation and every SpanGuard in a coroutine frame. Its
+  // destructor never touches the Simulation reference it holds.
+  std::unique_ptr<obs::Tracer> tracer_;
+  obs::Tracer* prev_tracer_ = nullptr;
   std::unique_ptr<sim::Simulation> sim_;
   std::unique_ptr<net::Network> net_;
   api::ProcRegistry registry_;
@@ -88,9 +99,12 @@ class DiskExperiment {
     txn::CostModel costs;
     size_t buffer_frames = 2048;
     bool prewarm = true;
+    bool trace = false;
+    uint32_t trace_categories = obs::kAllCats;
   };
 
   explicit DiskExperiment(Config cfg);
+  ~DiskExperiment();
 
   void start();
   void run_until(sim::Time t);
@@ -99,9 +113,12 @@ class DiskExperiment {
   sim::Simulation& sim() { return *sim_; }
   disk::DiskEngine& engine() { return *engine_; }
   Series& series() { return series_; }
+  obs::Tracer& tracer() { return *tracer_; }
 
  private:
   Config cfg_;
+  std::unique_ptr<obs::Tracer> tracer_;  // before sim_: destroyed last
+  obs::Tracer* prev_tracer_ = nullptr;
   std::unique_ptr<sim::Simulation> sim_;
   api::ProcRegistry registry_;
   std::unique_ptr<disk::DiskEngine> engine_;
@@ -122,9 +139,12 @@ class TierExperiment {
     int backups = 1;
     sim::Time backup_sync_period = 30 * 60 * sim::kSec;
     bool prewarm_actives = true;
+    bool trace = false;
+    uint32_t trace_categories = obs::kAllCats;
   };
 
   explicit TierExperiment(Config cfg);
+  ~TierExperiment();
 
   void start();
   void run_until(sim::Time t);
@@ -134,9 +154,12 @@ class TierExperiment {
   sim::Simulation& sim() { return *sim_; }
   disk::ReplicatedDiskTier& tier() { return *tier_; }
   Series& series() { return series_; }
+  obs::Tracer& tracer() { return *tracer_; }
 
  private:
   Config cfg_;
+  std::unique_ptr<obs::Tracer> tracer_;  // before sim_: destroyed last
+  obs::Tracer* prev_tracer_ = nullptr;
   std::unique_ptr<sim::Simulation> sim_;
   api::ProcRegistry registry_;
   std::unique_ptr<disk::ReplicatedDiskTier> tier_;

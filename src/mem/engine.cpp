@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/trace.hpp"
+
 namespace dmv::mem {
 
 using storage::Key;
@@ -85,10 +87,16 @@ sim::Task<> MemEngine::ensure_table(TxnCtx& txn, TableId t) {
   }
   DMV_ASSERT(txn.read_version().size() == db_.table_count());
   const uint64_t v = txn.read_version()[t];
-  while (received_[t] < v) {
-    if (shutdown_) throw TxnAbort(TxnAbort::Reason::Cancelled);
-    const bool ok = co_await arrival_[t]->wait();
-    if (!ok) throw TxnAbort(TxnAbort::Reason::Cancelled);
+  if (received_[t] < v) {
+    // Replication lag: the tagged version hasn't arrived yet (span only
+    // materializes when we actually wait).
+    obs::SpanGuard wait_span("slave.wait_version", obs::Cat::Apply,
+                             trace_node_, txn.id());
+    while (received_[t] < v) {
+      if (shutdown_) throw TxnAbort(TxnAbort::Reason::Cancelled);
+      const bool ok = co_await arrival_[t]->wait();
+      if (!ok) throw TxnAbort(TxnAbort::Reason::Cancelled);
+    }
   }
   sim::Time cost = 0;
   auto& q = pending_[t];
@@ -97,7 +105,11 @@ sim::Task<> MemEngine::ensure_table(TxnCtx& txn, TableId t) {
     apply_one(table, q.front(), cost);
     q.pop_front();
   }
-  if (cost > 0) co_await cpu_.use(cost);
+  if (cost > 0) {
+    obs::SpanGuard apply_span("slave.apply", obs::Cat::Apply, trace_node_,
+                              txn.id());
+    co_await cpu_.use(cost);
+  }
 }
 
 void MemEngine::check_page(const TxnCtx& txn, TableId t,
@@ -112,6 +124,7 @@ void MemEngine::check_page(const TxnCtx& txn, TableId t,
                                << " received " << received_[t]);
   if (db_.table(t).meta(p).version > txn.read_version()[t]) {
     const_cast<EngineStats&>(stats_).version_aborts++;
+    obs::instant("version_abort", obs::Cat::Apply, trace_node_, txn.id());
     throw TxnAbort(TxnAbort::Reason::VersionConflict);
   }
 }
@@ -350,8 +363,12 @@ sim::Task<txn::WriteSet> MemEngine::precommit(TxnCtx& txn) {
   // Charge the diff cost up front so the section below — version
   // increments, page-version stamping, broadcast — runs without
   // suspension: write-sets leave this master in version order.
-  co_await cpu_.use(cfg_.costs.diff_page *
-                    sim::Time(txn.dirty_pages().size()));
+  {
+    obs::SpanGuard diff_span("master.diff", obs::Cat::Replication,
+                             trace_node_, txn.id());
+    co_await cpu_.use(cfg_.costs.diff_page *
+                      sim::Time(txn.dirty_pages().size()));
+  }
 
   txn::WriteSet ws;
   ws.txn_id = txn.id();
@@ -462,7 +479,10 @@ sim::Task<> MemEngine::apply_pending(TableId t, uint64_t v) {
     apply_one(table, q.front(), cost);
     q.pop_front();
   }
-  if (cost > 0) co_await cpu_.use(cost);
+  if (cost > 0) {
+    obs::SpanGuard apply_span("slave.apply", obs::Cat::Apply, trace_node_);
+    co_await cpu_.use(cost);
+  }
 }
 
 sim::Task<bool> MemEngine::wait_received(const VersionVec& target) {

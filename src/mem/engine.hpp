@@ -172,6 +172,13 @@ class MemEngine {
   const VersionVec& received_version() const { return received_; }
   CacheModel& cache() { return cache_; }
   txn::LockManager& locks() { return locks_; }
+  // Node id attached to trace spans emitted by this engine (and its lock
+  // manager); kNoNode until the hosting node wires it.
+  void set_trace_node(uint32_t node) {
+    trace_node_ = node;
+    locks_.set_trace_node(node);
+  }
+  uint32_t trace_node() const { return trace_node_; }
   sim::Resource& cpu() { return cpu_; }
   const txn::CostModel& costs() const { return cfg_.costs; }
   EngineStats& stats() { return stats_; }
@@ -209,6 +216,7 @@ class MemEngine {
   bool shutdown_ = false;
 
   uint64_t next_txn_ = 1;
+  uint32_t trace_node_ = UINT32_MAX;
   EngineStats stats_;
 };
 

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/trace.hpp"
+
 namespace dmv::net {
 
 Network::Network(sim::Simulation& sim, NetworkConfig cfg)
@@ -11,6 +13,7 @@ NodeId Network::add_node(std::string name) {
   const NodeId id = static_cast<NodeId>(nodes_.size());
   nodes_.push_back(Node{std::move(name), true,
                         std::make_unique<sim::Channel<Envelope>>(sim_)});
+  obs::name_node(id, nodes_.back().name);
   return id;
 }
 
@@ -37,6 +40,7 @@ void Network::send(NodeId from, NodeId to, std::any payload, size_t bytes) {
 
   bytes_sent_ += bytes;
   ++messages_sent_;
+  obs::count("net.bytes", from, double(bytes));
 
   const auto key = std::make_pair(from, to);
   sim::Time deliver_at =
@@ -60,6 +64,7 @@ sim::Channel<Envelope>& Network::mailbox(NodeId id) {
 void Network::kill(NodeId id) {
   DMV_ASSERT(id < nodes_.size());
   if (!nodes_[id].alive) return;
+  obs::instant("node.killed", obs::Cat::Recovery, id);
   nodes_[id].alive = false;
   nodes_[id].mailbox->close();
   sim_.schedule_after(cfg_.detect_delay, [this, id] {

@@ -1,0 +1,47 @@
+#include "obs/counters.hpp"
+
+#include "sim/simulation.hpp"
+
+namespace dmv::obs {
+
+CounterRegistry::CounterRegistry(sim::Simulation& sim, sim::Time bucket_width)
+    : sim_(sim), bucket_width_(bucket_width) {}
+
+CounterRegistry::Entry& CounterRegistry::entry(const char* name, uint32_t node,
+                                               Kind kind) {
+  auto it = entries_.find(Key{name, node});
+  if (it == entries_.end()) {
+    it = entries_
+             .emplace(std::piecewise_construct,
+                      std::forward_as_tuple(Key{name, node}),
+                      std::forward_as_tuple(kind, uint64_t(bucket_width_)))
+             .first;
+  }
+  return it->second;
+}
+
+void CounterRegistry::add(const char* name, uint32_t node, double delta) {
+  Entry& e = entry(name, node, Kind::Counter);
+  e.total += delta;
+  e.series.record(uint64_t(sim_.now()), delta);
+}
+
+void CounterRegistry::set(const char* name, uint32_t node, double value) {
+  Entry& e = entry(name, node, Kind::Gauge);
+  e.total = value;
+  e.series.record(uint64_t(sim_.now()), value);
+}
+
+double CounterRegistry::total(std::string_view name, uint32_t node) const {
+  auto it = entries_.find(Key{std::string(name), node});
+  return it == entries_.end() ? 0.0 : it->second.total;
+}
+
+double CounterRegistry::total_all_nodes(std::string_view name) const {
+  double sum = 0;
+  for (const auto& [key, e] : entries_)
+    if (key.name == name) sum += e.total;
+  return sum;
+}
+
+}  // namespace dmv::obs

@@ -1,0 +1,72 @@
+// Named per-node counters and gauges sampled into virtual-time series.
+//
+// Counters are monotonic deltas (commits, abort causes, bytes broadcast);
+// gauges are sampled levels (pending-mod queue depth, held-read queue). Each
+// (name, node) pair accumulates into a util::TimeSeries with fixed-width
+// buckets, so exporters can emit Chrome "C" counter events and the harness
+// can plot rates over the run. All writes stamp sim.now().
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+
+#include "sim/time.hpp"
+#include "util/metrics.hpp"
+
+namespace dmv::sim {
+class Simulation;
+}
+
+namespace dmv::obs {
+
+class CounterRegistry {
+ public:
+  enum class Kind { Counter, Gauge };
+
+  struct Key {
+    std::string name;
+    uint32_t node;
+    bool operator<(const Key& o) const {
+      if (int c = name.compare(o.name); c != 0) return c < 0;
+      return node < o.node;
+    }
+  };
+
+  struct Entry {
+    Kind kind;
+    // Counters: cumulative sum of deltas. Gauges: last set value.
+    double total = 0;
+    util::TimeSeries series;
+    Entry(Kind k, uint64_t bucket_width_us)
+        : kind(k), series(bucket_width_us) {}
+  };
+
+  CounterRegistry(sim::Simulation& sim, sim::Time bucket_width = sim::kSec);
+
+  // Monotonic counter: add `delta` at the current virtual time.
+  void add(const char* name, uint32_t node, double delta = 1);
+
+  // Gauge: record the current level at the current virtual time.
+  void set(const char* name, uint32_t node, double value);
+
+  const std::map<Key, Entry>& entries() const { return entries_; }
+
+  // Cumulative counter total / last gauge value; 0 if never touched.
+  double total(std::string_view name, uint32_t node) const;
+
+  // Sum of a counter across all nodes.
+  double total_all_nodes(std::string_view name) const;
+
+  sim::Time bucket_width() const { return bucket_width_; }
+
+ private:
+  Entry& entry(const char* name, uint32_t node, Kind kind);
+
+  sim::Simulation& sim_;
+  sim::Time bucket_width_;
+  std::map<Key, Entry> entries_;
+};
+
+}  // namespace dmv::obs

@@ -1,0 +1,163 @@
+#include "obs/export.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <ostream>
+
+#include "util/metrics.hpp"
+
+namespace dmv::obs {
+
+namespace {
+
+// Chrome groups events by pid; give clients (node == kNoNode) pid 0 and
+// shift real nodes up by one so they never collide.
+uint64_t pid_of(uint32_t node) { return node == kNoNode ? 0 : uint64_t(node) + 1; }
+
+void write_event_common(std::ostream& os, const char* name, const char* cat,
+                        char ph, sim::Time ts, uint64_t pid, uint64_t tid) {
+  os << "{\"name\":\"" << json_escape(name) << "\",\"cat\":\"" << cat
+     << "\",\"ph\":\"" << ph << "\",\"ts\":" << ts << ",\"pid\":" << pid
+     << ",\"tid\":" << tid;
+}
+
+void write_args(std::ostream& os, const std::vector<Attr>& attrs) {
+  os << ",\"args\":{";
+  bool first = true;
+  for (const Attr& a : attrs) {
+    if (!first) os << ",";
+    first = false;
+    os << "\"" << json_escape(a.key) << "\":\"" << json_escape(a.value)
+       << "\"";
+  }
+  os << "}";
+}
+
+}  // namespace
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void write_chrome_trace(std::ostream& os, const Tracer& tracer) {
+  os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  auto sep = [&] {
+    if (!first) os << ",\n";
+    first = false;
+  };
+
+  // Process-name metadata: named nodes, plus a pseudo-process for clients
+  // if any span or counter refers to kNoNode.
+  std::map<uint64_t, std::string> names;
+  names[0] = "clients";
+  for (const auto& [node, name] : tracer.node_names())
+    names[pid_of(node)] = name;
+  for (const auto& [pid, name] : names) {
+    sep();
+    os << "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":" << pid
+       << ",\"args\":{\"name\":\"" << json_escape(name) << "\"}}";
+  }
+
+  for (const SpanRec& rec : tracer.completed()) {
+    sep();
+    if (rec.start == rec.end && rec.attrs.empty() && rec.txn == 0) {
+      // Instant marker.
+      write_event_common(os, rec.name, cat_name(rec.cat), 'i', rec.start,
+                         pid_of(rec.node), 0);
+      os << ",\"s\":\"p\"}";
+      continue;
+    }
+    write_event_common(os, rec.name, cat_name(rec.cat), 'X', rec.start,
+                       pid_of(rec.node), rec.txn);
+    os << ",\"dur\":" << rec.duration();
+    if (!rec.attrs.empty()) write_args(os, rec.attrs);
+    os << "}";
+  }
+
+  for (const auto& [key, entry] : tracer.counters().entries()) {
+    const bool is_gauge = entry.kind == CounterRegistry::Kind::Gauge;
+    for (const auto& bucket : entry.series.buckets()) {
+      if (bucket.count == 0) continue;
+      sep();
+      write_event_common(os, key.name.c_str(), "counter", 'C',
+                         sim::Time(bucket.start_us), pid_of(key.node), 0);
+      os << ",\"args\":{\"value\":" << (is_gauge ? bucket.mean() : bucket.sum)
+         << "}}";
+    }
+  }
+
+  os << "\n]}\n";
+}
+
+bool write_chrome_trace(const std::string& path, const Tracer& tracer) {
+  std::ofstream out(path);
+  if (!out) return false;
+  write_chrome_trace(out, tracer);
+  return bool(out);
+}
+
+std::vector<SpanStat> span_stats(const Tracer& tracer) {
+  std::map<std::string, util::Histogram> by_name;
+  for (const SpanRec& rec : tracer.completed())
+    by_name[rec.name].record(double(rec.duration()));
+
+  std::vector<SpanStat> out;
+  out.reserve(by_name.size());
+  for (auto& [name, hist] : by_name) {
+    SpanStat s;
+    s.name = name;
+    s.count = hist.count();
+    s.mean_us = hist.mean();
+    s.p50_us = hist.quantile(0.50);
+    s.p95_us = hist.quantile(0.95);
+    s.p99_us = hist.quantile(0.99);
+    s.max_us = hist.max();
+    s.total_us = hist.mean() * double(hist.count());
+    out.push_back(std::move(s));
+  }
+  std::sort(out.begin(), out.end(), [](const SpanStat& a, const SpanStat& b) {
+    return a.total_us > b.total_us;
+  });
+  return out;
+}
+
+void print_span_stats(std::ostream& os, const Tracer& tracer) {
+  auto stats = span_stats(tracer);
+  char line[256];
+  std::snprintf(line, sizeof(line), "%-24s %10s %12s %12s %12s %12s\n",
+                "span", "count", "mean(us)", "p95(us)", "p99(us)",
+                "total(ms)");
+  os << line;
+  for (const SpanStat& s : stats) {
+    std::snprintf(line, sizeof(line),
+                  "%-24s %10zu %12.1f %12.1f %12.1f %12.1f\n", s.name.c_str(),
+                  s.count, s.mean_us, s.p95_us, s.p99_us, s.total_us / 1000.0);
+    os << line;
+  }
+  if (tracer.dropped() > 0)
+    os << "(" << tracer.dropped() << " spans dropped at capacity)\n";
+}
+
+}  // namespace dmv::obs

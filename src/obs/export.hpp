@@ -1,0 +1,41 @@
+// Exporters for obs::Tracer:
+//  - write_chrome_trace: Chrome trace_event JSON (load in chrome://tracing
+//    or https://ui.perfetto.dev). Virtual-time microseconds map directly to
+//    the format's `ts` field; pid = cluster node, tid = transaction id, so
+//    per-transaction span nesting renders as stacked slices.
+//  - span_stats / print_span_stats: per-span-name count/mean/p95/p99 table.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "obs/trace.hpp"
+
+namespace dmv::obs {
+
+void write_chrome_trace(std::ostream& os, const Tracer& tracer);
+
+// Returns false if the file could not be opened.
+bool write_chrome_trace(const std::string& path, const Tracer& tracer);
+
+struct SpanStat {
+  std::string name;
+  size_t count = 0;
+  double mean_us = 0;
+  double p50_us = 0;
+  double p95_us = 0;
+  double p99_us = 0;
+  double max_us = 0;
+  double total_us = 0;
+};
+
+// Aggregate completed spans by name, sorted by total time descending.
+std::vector<SpanStat> span_stats(const Tracer& tracer);
+
+void print_span_stats(std::ostream& os, const Tracer& tracer);
+
+// JSON string escaping (exposed for tests).
+std::string json_escape(std::string_view s);
+
+}  // namespace dmv::obs

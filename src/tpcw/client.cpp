@@ -1,5 +1,7 @@
 #include "tpcw/client.hpp"
 
+#include "obs/trace.hpp"
+
 namespace dmv::tpcw {
 
 TpcwClient::TpcwClient(sim::Simulation& sim, Config cfg, ExecuteFn exec,
@@ -93,10 +95,16 @@ api::Params TpcwClient::params_for(const char* proc) {
 
 sim::Task<> TpcwClient::loop(std::shared_ptr<bool> run) {
   const auto& table = mix_table(cfg_.mix);
+  // Trace spans use the client id as the "txn" lane so each client's
+  // think/interaction alternation renders as one track.
+  const uint64_t lane = uint64_t(cfg_.client_id) + 1;
   while (*run) {
     const sim::Time think =
         sim::Time(rng_.exponential(double(cfg_.think_mean)));
-    co_await sim_.delay(think);
+    {
+      obs::SpanGuard g("client.think", obs::Cat::Client, obs::kNoNode, lane);
+      co_await sim_.delay(think);
+    }
     if (!*run) break;
 
     const char* proc = choose();
@@ -107,11 +115,15 @@ sim::Task<> TpcwClient::loop(std::shared_ptr<bool> run) {
     for (const auto& e : table)
       if (e.proc == proc) rec.is_write = e.is_write;
     rec.start = sim_.now();
+    obs::SpanGuard g(proc, obs::Cat::Client, obs::kNoNode, lane);
     auto result = co_await exec_(proc, std::move(params));
+    if (!result.has_value()) g.attr("error", "1");
+    g.done();
     rec.end = sim_.now();
     rec.ok = result.has_value();
     ++interactions_;
     if (!rec.ok) ++errors_;
+    obs::count(rec.ok ? "client.ok" : "client.error", obs::kNoNode);
 
     // Session-state transitions.
     if (rec.ok && proc == proc::kShoppingCart) cart_nonempty_ = true;

@@ -1,5 +1,7 @@
 #include "txn/lock_manager.hpp"
 
+#include "obs/trace.hpp"
+
 namespace dmv::txn {
 
 LockManager::~LockManager() { shutdown(); }
@@ -94,11 +96,13 @@ sim::Task<LockRc> LockManager::acquire(TxnCtx& txn, storage::PageId pid,
   if (policy_ == LockPolicy::WaitDie) {
     if (must_die(ls, txn, mode)) {
       ++deaths_;
+      obs::count("lock.deaths", trace_node_);
       co_return LockRc::Died;
     }
   } else {
     if (creates_cycle(txn, pid)) {
       ++deaths_;
+      obs::count("lock.deaths", trace_node_);
       co_return LockRc::Died;
     }
   }
@@ -112,7 +116,11 @@ sim::Task<LockRc> LockManager::acquire(TxnCtx& txn, storage::PageId pid,
   ls.queue.push_back(std::move(waiter));
   blocked_on_[&txn] = pid;
 
+  obs::SpanGuard span("lock.wait", obs::Cat::Lock, trace_node_, txn.id());
+  const sim::Time wait_start = sim_.now();
   const bool ok = co_await wake->wait();
+  span.done();
+  obs::count("lock.wait_us", trace_node_, double(sim_.now() - wait_start));
   blocked_on_.erase(&txn);
   if (!ok) co_return LockRc::Cancelled;
   // pump() granted the lock and recorded it before waking us.

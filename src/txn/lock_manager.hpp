@@ -58,6 +58,9 @@ class LockManager {
   uint64_t wait_count() const { return waits_; }
   uint64_t death_count() const { return deaths_; }
 
+  // Node id attached to lock-wait trace spans (obs); kNoNode by default.
+  void set_trace_node(uint32_t node) { trace_node_ = node; }
+
  private:
   struct Waiter {
     TxnCtx* txn;
@@ -89,6 +92,7 @@ class LockManager {
   bool shutdown_ = false;
   uint64_t waits_ = 0;
   uint64_t deaths_ = 0;
+  uint32_t trace_node_ = UINT32_MAX;
 };
 
 }  // namespace dmv::txn

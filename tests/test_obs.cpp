@@ -1,0 +1,345 @@
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <new>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/export.hpp"
+#include "obs/trace.hpp"
+#include "sim/simulation.hpp"
+
+namespace dmv::obs {
+namespace {
+
+// Installs `t` for the duration of a test and restores the previous tracer.
+struct ScopedTracer {
+  explicit ScopedTracer(Tracer* t) : prev(set_tracer(t)) {}
+  ~ScopedTracer() { set_tracer(prev); }
+  Tracer* prev;
+};
+
+// ---- spans ----
+
+TEST(Tracer, GuardRecordsNestedSpans) {
+  sim::Simulation sim;
+  Tracer t(sim);
+  t.enable();
+  ScopedTracer install(&t);
+
+  sim.spawn([](sim::Simulation& s) -> sim::Task<> {
+    SpanGuard outer("outer", Cat::Txn, 1, 42);
+    co_await s.delay(10);
+    {
+      SpanGuard inner("inner", Cat::Replication, 1, 42);
+      inner.attr("k", "v");
+      co_await s.delay(5);
+    }
+    co_await s.delay(3);
+  }(sim));
+  sim.run();
+
+  ASSERT_EQ(t.completed().size(), 2u);
+  const SpanRec* inner = t.find_first("inner");
+  const SpanRec* outer = t.find_first("outer");
+  ASSERT_TRUE(inner && outer);
+  EXPECT_EQ(inner->start, 10);
+  EXPECT_EQ(inner->end, 15);
+  EXPECT_EQ(outer->start, 0);
+  EXPECT_EQ(outer->end, 18);
+  EXPECT_EQ(outer->node, 1u);
+  EXPECT_EQ(outer->txn, 42u);
+  ASSERT_EQ(inner->attrs.size(), 1u);
+  EXPECT_STREQ(inner->attrs[0].key, "k");
+  EXPECT_EQ(inner->attrs[0].value, "v");
+}
+
+TEST(Tracer, ExplicitSpanCrossesCoroutines) {
+  // A span opened in one coroutine and closed in another (the scheduler
+  // request pattern) — the id is plain data, not tied to a frame.
+  sim::Simulation sim;
+  Tracer t(sim);
+  t.enable();
+  ScopedTracer install(&t);
+
+  SpanId id = 0;
+  sim.spawn([](sim::Simulation& s, Tracer& tr, SpanId& out) -> sim::Task<> {
+    co_await s.delay(7);
+    out = tr.begin("request", Cat::Scheduler, 0);
+  }(sim, t, id));
+  sim.run();
+  ASSERT_NE(id, 0u);
+  EXPECT_EQ(t.open_count(), 1u);
+
+  sim.spawn([](sim::Simulation& s, Tracer& tr, SpanId sid) -> sim::Task<> {
+    co_await s.delay(13);
+    tr.attr(sid, "status", "ok");
+    tr.end(sid);
+  }(sim, t, id));
+  sim.run();
+
+  EXPECT_EQ(t.open_count(), 0u);
+  const SpanRec* rec = t.find_first("request");
+  ASSERT_TRUE(rec);
+  EXPECT_EQ(rec->start, 7);
+  EXPECT_EQ(rec->end, 20);
+}
+
+TEST(Tracer, CategoryMaskFiltersSpans) {
+  sim::Simulation sim;
+  Tracer t(sim);
+  t.enable();
+  t.set_category_mask(mask_of(Cat::Recovery));
+  EXPECT_EQ(t.begin("skipped", Cat::Txn), 0u);
+  const SpanId id = t.begin("kept", Cat::Recovery);
+  EXPECT_NE(id, 0u);
+  t.end(id);
+  t.instant("skipped_instant", Cat::Client);
+  EXPECT_EQ(t.completed().size(), 1u);
+  EXPECT_EQ(t.completed()[0].name, std::string("kept"));
+}
+
+TEST(Tracer, MaxSpansDropsNotGrows) {
+  sim::Simulation sim;
+  Tracer t(sim, /*max_spans=*/2);
+  t.enable();
+  const SpanId a = t.begin("a", Cat::Txn);
+  const SpanId b = t.begin("b", Cat::Txn);
+  const SpanId c = t.begin("c", Cat::Txn);  // past capacity
+  EXPECT_NE(a, 0u);
+  EXPECT_NE(b, 0u);
+  EXPECT_EQ(c, 0u);
+  EXPECT_EQ(t.dropped(), 1u);
+  t.end(a);
+  t.end(b);
+  t.end(c);  // no-op
+  EXPECT_EQ(t.completed().size(), 2u);
+}
+
+TEST(Tracer, EndTwiceAndInvalidIdAreNoOps) {
+  sim::Simulation sim;
+  Tracer t(sim);
+  t.enable();
+  const SpanId id = t.begin("x", Cat::Txn);
+  t.end(id);
+  t.end(id);
+  t.end(0);
+  t.attr(0, "k", "v");
+  t.attr(id, "k", "v");  // already closed
+  EXPECT_EQ(t.completed().size(), 1u);
+  EXPECT_TRUE(t.completed()[0].attrs.empty());
+}
+
+// ---- disabled-tracer overhead ----
+
+size_t g_news = 0;
+
+struct NewCounterGuard {
+  NewCounterGuard() { counting = true; }
+  ~NewCounterGuard() { counting = false; }
+  static inline bool counting = false;
+};
+
+}  // namespace
+}  // namespace dmv::obs
+
+// Global replacement so instrumentation-side allocations are observable.
+void* operator new(std::size_t n) {
+  if (dmv::obs::NewCounterGuard::counting) ++dmv::obs::g_news;
+  if (void* p = std::malloc(n)) return p;
+  throw std::bad_alloc();
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+
+namespace dmv::obs {
+namespace {
+
+TEST(Tracer, DisabledPathAllocatesNothing) {
+  sim::Simulation sim;
+  Tracer t(sim);  // installed but not enabled
+  ScopedTracer install(&t);
+
+  NewCounterGuard guard;
+  const size_t before = g_news;
+  for (int i = 0; i < 1000; ++i) {
+    SpanGuard g("hot", Cat::Txn, 3, uint64_t(i));
+    g.attr("k", "would-allocate-if-enabled");
+    instant("i", Cat::Txn);
+    count("c", 3);
+    gauge("g", 3, 1.0);
+  }
+  EXPECT_EQ(g_news, before);
+  EXPECT_EQ(t.completed().size(), 0u);
+  EXPECT_EQ(t.counters().entries().size(), 0u);
+}
+
+TEST(Tracer, NoInstalledTracerIsSafe) {
+  ScopedTracer install(nullptr);
+  SpanGuard g("orphan", Cat::Txn);
+  EXPECT_FALSE(g.active());
+  instant("i", Cat::Txn);
+  count("c", 0);
+  name_node(0, "nobody");
+}
+
+// ---- counters ----
+
+TEST(Counters, CounterAccumulatesIntoBuckets) {
+  sim::Simulation sim;
+  CounterRegistry reg(sim, /*bucket_width=*/100);
+  sim.schedule_at(10, [&] { reg.add("commits", 1, 2); });
+  sim.schedule_at(20, [&] { reg.add("commits", 1); });
+  sim.schedule_at(150, [&] { reg.add("commits", 1, 5); });
+  sim.schedule_at(150, [&] { reg.add("commits", 2, 7); });
+  sim.run();
+
+  EXPECT_DOUBLE_EQ(reg.total("commits", 1), 8.0);
+  EXPECT_DOUBLE_EQ(reg.total("commits", 2), 7.0);
+  EXPECT_DOUBLE_EQ(reg.total_all_nodes("commits"), 15.0);
+  EXPECT_DOUBLE_EQ(reg.total("commits", 99), 0.0);
+
+  const auto& entries = reg.entries();
+  ASSERT_EQ(entries.size(), 2u);
+  const auto& series = entries.begin()->second.series;  // ("commits", 1)
+  ASSERT_EQ(series.buckets().size(), 2u);
+  EXPECT_DOUBLE_EQ(series.buckets()[0].sum, 3.0);
+  EXPECT_DOUBLE_EQ(series.buckets()[1].sum, 5.0);
+}
+
+TEST(Counters, GaugeKeepsLastValue) {
+  sim::Simulation sim;
+  CounterRegistry reg(sim);
+  sim.schedule_at(5, [&] { reg.set("depth", 0, 10.0); });
+  sim.schedule_at(9, [&] { reg.set("depth", 0, 4.0); });
+  sim.run();
+  EXPECT_DOUBLE_EQ(reg.total("depth", 0), 4.0);
+}
+
+// ---- Chrome trace export ----
+
+// Minimal structural JSON check: quotes (outside escapes) balanced,
+// braces/brackets balanced and properly nested.
+bool json_balanced(const std::string& s) {
+  std::vector<char> stack;
+  bool in_str = false, esc = false;
+  for (char c : s) {
+    if (esc) {
+      esc = false;
+      continue;
+    }
+    if (in_str) {
+      if (c == '\\') esc = true;
+      if (c == '"') in_str = false;
+      continue;
+    }
+    switch (c) {
+      case '"':
+        in_str = true;
+        break;
+      case '{':
+      case '[':
+        stack.push_back(c);
+        break;
+      case '}':
+        if (stack.empty() || stack.back() != '{') return false;
+        stack.pop_back();
+        break;
+      case ']':
+        if (stack.empty() || stack.back() != '[') return false;
+        stack.pop_back();
+        break;
+    }
+  }
+  return !in_str && stack.empty();
+}
+
+TEST(Export, ChromeTraceIsWellFormed) {
+  sim::Simulation sim;
+  Tracer t(sim);
+  t.enable();
+  t.set_node_name(0, "master");
+  ScopedTracer install(&t);
+
+  sim.spawn([](sim::Simulation& s, Tracer& tr) -> sim::Task<> {
+    SpanGuard g("txn \"quoted\"\nname", Cat::Txn, 0, 1);
+    g.attr("proc", "buy\\confirm");
+    co_await s.delay(10);
+    tr.instant("marker", Cat::Recovery, 0);
+    tr.counters().add("commits", 0, 3);
+  }(sim, t));
+  sim.run();
+
+  std::ostringstream os;
+  write_chrome_trace(os, t);
+  const std::string out = os.str();
+
+  EXPECT_TRUE(json_balanced(out)) << out;
+  EXPECT_NE(out.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(out.find("\"ph\":\"X\""), std::string::npos);  // complete span
+  EXPECT_NE(out.find("\"ph\":\"i\""), std::string::npos);  // instant
+  EXPECT_NE(out.find("\"ph\":\"C\""), std::string::npos);  // counter
+  EXPECT_NE(out.find("\"process_name\""), std::string::npos);
+  EXPECT_NE(out.find("master"), std::string::npos);
+  // Raw control characters and quotes must have been escaped.
+  EXPECT_EQ(out.find("txn \"quoted\""), std::string::npos);
+  EXPECT_NE(out.find("txn \\\"quoted\\\"\\nname"), std::string::npos);
+}
+
+TEST(Export, JsonEscape) {
+  EXPECT_EQ(json_escape("plain"), "plain");
+  EXPECT_EQ(json_escape("a\"b"), "a\\\"b");
+  EXPECT_EQ(json_escape("a\\b"), "a\\\\b");
+  EXPECT_EQ(json_escape("a\nb\tc"), "a\\nb\\tc");
+  EXPECT_EQ(json_escape(std::string_view("\x01", 1)), "\\u0001");
+}
+
+TEST(Export, SpanStatsAggregates) {
+  sim::Simulation sim;
+  Tracer t(sim);
+  t.enable();
+  // Spans of durations 10, 20, 30, 40 µs driven by scheduled callbacks.
+  SpanId ids[4];
+  sim.schedule_at(0, [&] {
+    for (int i = 0; i < 4; ++i) ids[i] = t.begin("op", Cat::Txn);
+  });
+  sim.schedule_at(10, [&] { t.end(ids[0]); });
+  sim.schedule_at(20, [&] { t.end(ids[1]); });
+  sim.schedule_at(30, [&] { t.end(ids[2]); });
+  sim.schedule_at(40, [&] { t.end(ids[3]); });
+  sim.run();
+
+  const auto stats = span_stats(t);
+  ASSERT_EQ(stats.size(), 1u);
+  EXPECT_EQ(stats[0].name, "op");
+  EXPECT_EQ(stats[0].count, 4u);
+  EXPECT_DOUBLE_EQ(stats[0].mean_us, 25.0);
+  EXPECT_DOUBLE_EQ(stats[0].max_us, 40.0);
+  EXPECT_DOUBLE_EQ(stats[0].total_us, 100.0);
+
+  std::ostringstream os;
+  print_span_stats(os, t);
+  EXPECT_NE(os.str().find("op"), std::string::npos);
+}
+
+TEST(Tracer, QueriesCountAndTotal) {
+  sim::Simulation sim;
+  Tracer t(sim);
+  t.enable();
+  SpanId a = t.begin("q", Cat::Txn);
+  t.end(a);
+  sim.schedule_at(25, [&] {
+    SpanId b = t.begin("q", Cat::Txn);
+    t.end(b);
+  });
+  sim.run();
+  EXPECT_EQ(t.count("q"), 2u);
+  EXPECT_EQ(t.total_duration("q"), 0);
+  const SpanRec* last = t.find_last("q");
+  ASSERT_TRUE(last);
+  EXPECT_EQ(last->start, 25);
+}
+
+}  // namespace
+}  // namespace dmv::obs

@@ -175,6 +175,38 @@ TEST(Histogram, EmptyIsZero) {
   EXPECT_EQ(h.count(), 0u);
   EXPECT_DOUBLE_EQ(h.mean(), 0.0);
   EXPECT_DOUBLE_EQ(h.quantile(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 0.0);
+  EXPECT_DOUBLE_EQ(h.min(), 0.0);
+  EXPECT_DOUBLE_EQ(h.max(), 0.0);
+}
+
+TEST(Histogram, SingleSampleEveryQuantile) {
+  Histogram h;
+  h.record(42.0);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_DOUBLE_EQ(h.mean(), 42.0);
+  EXPECT_DOUBLE_EQ(h.min(), 42.0);
+  EXPECT_DOUBLE_EQ(h.max(), 42.0);
+  for (double q : {0.0, 0.5, 0.95, 0.99, 1.0})
+    EXPECT_DOUBLE_EQ(h.quantile(q), 42.0);
+}
+
+TEST(Histogram, RecordAfterQueryResorts) {
+  Histogram h;
+  h.record(5.0);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 5.0);
+  h.record(1.0);  // arrives out of order after a sorted query
+  EXPECT_DOUBLE_EQ(h.quantile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 5.0);
+}
+
+TEST(Histogram, ClearResets) {
+  Histogram h;
+  h.record(3.0);
+  h.clear();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 0.0);
 }
 
 TEST(TimeSeries, BucketsEvents) {
