@@ -1,0 +1,177 @@
+#include "chaos/fault_plan.hpp"
+
+#include <charconv>
+
+namespace dmv::chaos {
+namespace {
+
+bool parse_time(std::string_view s, sim::Time* out) {
+  int64_t v = 0;
+  auto [p, ec] = std::from_chars(s.data(), s.data() + s.size(), v);
+  if (ec != std::errc{} || p != s.data() + s.size() || v < 0) return false;
+  *out = v;
+  return true;
+}
+
+bool parse_int(std::string_view s, int* out) {
+  int v = 0;
+  auto [p, ec] = std::from_chars(s.data(), s.data() + s.size(), v);
+  if (ec != std::errc{} || p != s.data() + s.size()) return false;
+  *out = v;
+  return true;
+}
+
+// Node and point names: anything non-empty without DSL metacharacters.
+bool valid_name(std::string_view s) {
+  if (s.empty()) return false;
+  for (char c : s)
+    if (c == ';' || c == '@' || c == '~' || c == ':' || c == '#')
+      return false;
+  return true;
+}
+
+bool fail(std::string* err, std::string_view frag, const char* why) {
+  if (err) *err = std::string(why) + ": '" + std::string(frag) + "'";
+  return false;
+}
+
+bool parse_fault(std::string_view s, Fault* f, std::string* err) {
+  const size_t at = s.rfind('@');
+  if (at == std::string_view::npos)
+    return fail(err, s, "fault needs 'action@trigger'");
+  std::string_view act = s.substr(0, at);
+  std::string_view trig = s.substr(at + 1);
+
+  // ---- action ----
+  const size_t colon = act.find(':');
+  if (colon == std::string_view::npos)
+    return fail(err, act, "action needs 'verb:operand'");
+  const std::string_view verb = act.substr(0, colon);
+  const std::string_view rest = act.substr(colon + 1);
+  auto split_link = [&](std::string_view lnk, std::string_view* a,
+                        std::string_view* b) {
+    const size_t tilde = lnk.find('~');
+    if (tilde == std::string_view::npos) return false;
+    *a = lnk.substr(0, tilde);
+    *b = lnk.substr(tilde + 1);
+    return valid_name(*a) && valid_name(*b);
+  };
+  if (verb == "kill" || verb == "restart") {
+    if (!valid_name(rest)) return fail(err, act, "bad node name");
+    f->action.kind =
+        verb == "kill" ? ActionKind::Kill : ActionKind::Restart;
+    f->action.node = std::string(rest);
+  } else if (verb == "drop" || verb == "heal") {
+    std::string_view a, b;
+    if (!split_link(rest, &a, &b)) return fail(err, act, "bad link 'a~b'");
+    f->action.kind = verb == "drop" ? ActionKind::Drop : ActionKind::Heal;
+    f->action.a = std::string(a);
+    f->action.b = std::string(b);
+  } else if (verb == "slow") {
+    const size_t c2 = rest.rfind(':');
+    if (c2 == std::string_view::npos)
+      return fail(err, act, "slow needs 'a~b:usec'");
+    std::string_view a, b;
+    if (!split_link(rest.substr(0, c2), &a, &b))
+      return fail(err, act, "bad link 'a~b'");
+    sim::Time extra = 0;
+    if (!parse_time(rest.substr(c2 + 1), &extra))
+      return fail(err, act, "bad latency");
+    f->action.kind = ActionKind::Slow;
+    f->action.a = std::string(a);
+    f->action.b = std::string(b);
+    f->action.extra = extra;
+  } else {
+    return fail(err, act, "unknown action");
+  }
+
+  // ---- trigger ----
+  if (trig.size() < 3 || trig[1] != ':')
+    return fail(err, trig, "trigger needs 't:usec' or 'p:point'");
+  const std::string_view body = trig.substr(2);
+  if (trig[0] == 't') {
+    f->trigger.at_point = false;
+    if (!parse_time(body, &f->trigger.at))
+      return fail(err, trig, "bad trigger time");
+  } else if (trig[0] == 'p') {
+    f->trigger.at_point = true;
+    f->trigger.occurrence = 1;
+    std::string_view point = body;
+    const size_t hash = body.rfind('#');
+    if (hash != std::string_view::npos) {
+      point = body.substr(0, hash);
+      if (!parse_int(body.substr(hash + 1), &f->trigger.occurrence) ||
+          f->trigger.occurrence < 1)
+        return fail(err, trig, "bad occurrence");
+    }
+    if (!valid_name(point)) return fail(err, trig, "bad point name");
+    // Point names may legitimately contain '.' but not DSL chars; ':' is
+    // excluded by valid_name which is fine for dmv_obs names.
+    f->trigger.point = std::string(point);
+  } else {
+    return fail(err, trig, "unknown trigger kind");
+  }
+  return true;
+}
+
+}  // namespace
+
+std::string Fault::str() const {
+  std::string s;
+  switch (action.kind) {
+    case ActionKind::Kill:
+      s = "kill:" + action.node;
+      break;
+    case ActionKind::Restart:
+      s = "restart:" + action.node;
+      break;
+    case ActionKind::Drop:
+      s = "drop:" + action.a + "~" + action.b;
+      break;
+    case ActionKind::Heal:
+      s = "heal:" + action.a + "~" + action.b;
+      break;
+    case ActionKind::Slow:
+      s = "slow:" + action.a + "~" + action.b + ":" +
+          std::to_string(action.extra);
+      break;
+  }
+  s += '@';
+  if (trigger.at_point) {
+    s += "p:" + trigger.point;
+    if (trigger.occurrence != 1)
+      s += "#" + std::to_string(trigger.occurrence);
+  } else {
+    s += "t:" + std::to_string(trigger.at);
+  }
+  return s;
+}
+
+std::string FaultPlan::str() const {
+  std::string s;
+  for (size_t i = 0; i < faults.size(); ++i) {
+    if (i) s += ';';
+    s += faults[i].str();
+  }
+  return s;
+}
+
+std::optional<FaultPlan> FaultPlan::parse(std::string_view s,
+                                          std::string* err) {
+  FaultPlan plan;
+  if (s.empty()) return plan;  // empty plan: run fault-free
+  size_t pos = 0;
+  while (pos <= s.size()) {
+    size_t semi = s.find(';', pos);
+    if (semi == std::string_view::npos) semi = s.size();
+    Fault f;
+    if (!parse_fault(s.substr(pos, semi - pos), &f, err))
+      return std::nullopt;
+    plan.faults.push_back(std::move(f));
+    if (semi == s.size()) break;
+    pos = semi + 1;
+  }
+  return plan;
+}
+
+}  // namespace dmv::chaos

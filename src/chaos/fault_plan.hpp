@@ -1,0 +1,72 @@
+// FaultPlan: a tiny DSL describing deterministic fault schedules.
+//
+// A plan is a ';'-separated list of faults; each fault is an action plus a
+// trigger:
+//
+//   plan    := fault (';' fault)*
+//   fault   := action '@' trigger
+//   action  := 'kill:' node            fail-stop a node (engine or scheduler)
+//            | 'restart:' node         reboot + rejoin a killed engine node
+//            | 'drop:' a '~' b         partition one link (both directions)
+//            | 'heal:' a '~' b         undo a drop
+//            | 'slow:' a '~' b ':' us  add `us` usec latency to one link
+//   trigger := 't:' usec               at absolute virtual time
+//            | 'p:' point ['#' occ]    when trace point `point` fires for
+//                                      the occ'th time (default 1)
+//
+// Nodes are addressed by their network-registered names ("master",
+// "slave0", "sched1", ...). Protocol points are dmv_obs span/instant names
+// ("failover.discard", "sched.takeover", "join.pages", ...), so a plan can
+// say "kill the support slave inside the discard phase" without knowing
+// when that phase happens to start:
+//
+//   kill:master@t:30000;kill:slave0@p:failover.discard#1
+//
+// Plans round-trip through parse()/str() exactly, which is what lets the
+// sweep shrink a failure and print a --fault-plan string that replays it.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace dmv::chaos {
+
+enum class ActionKind { Kill, Restart, Drop, Heal, Slow };
+
+struct Action {
+  ActionKind kind = ActionKind::Kill;
+  std::string node;          // Kill / Restart
+  std::string a, b;          // Drop / Heal / Slow link endpoints
+  sim::Time extra = 0;       // Slow: added latency (usec)
+};
+
+struct Trigger {
+  bool at_point = false;
+  sim::Time at = 0;          // timed trigger (virtual usec)
+  std::string point;         // point trigger: span/instant name
+  int occurrence = 1;        // fire on the n'th emission (1-based)
+};
+
+struct Fault {
+  Action action;
+  Trigger trigger;
+  std::string str() const;
+};
+
+struct FaultPlan {
+  std::vector<Fault> faults;
+
+  bool empty() const { return faults.empty(); }
+  std::string str() const;
+
+  // Parse a plan string; on failure returns nullopt and, if `err` is given,
+  // a message naming the offending fragment.
+  static std::optional<FaultPlan> parse(std::string_view s,
+                                        std::string* err = nullptr);
+};
+
+}  // namespace dmv::chaos

@@ -1,0 +1,366 @@
+#include "chaos/harness.hpp"
+
+#include <set>
+#include <sstream>
+
+#include "util/rng.hpp"
+
+namespace dmv::chaos {
+namespace {
+
+// ---- workload: one account table, ledgered deposits + tagged reads ----
+
+void chaos_schema(storage::Database& db) {
+  db.add_table("acct",
+               storage::Schema({storage::int_col("id"),
+                                storage::int_col("balance")}),
+               storage::IndexDef{"pk", {0}, true});
+}
+
+api::ProcRegistry make_chaos_registry() {
+  api::ProcRegistry reg;
+  api::ProcInfo deposit;
+  deposit.read_only = false;
+  deposit.tables = {0};
+  deposit.fn = [](api::Connection& c, const api::Params& p)
+      -> sim::Task<api::TxnResult> {
+    storage::Key k{p.i("id")};
+    const std::function<void(storage::Row&)> bump = [](storage::Row& r) {
+      r[1] = std::get<int64_t>(r[1]) + 1;
+    };
+    const bool found = co_await c.update(0, k, bump);
+    api::TxnResult res;
+    res.ok = found;
+    co_return res;
+  };
+  reg.register_proc("deposit", deposit);
+
+  api::ProcInfo check;
+  check.read_only = true;
+  check.tables = {0};
+  check.fn = [](api::Connection& c, const api::Params& p)
+      -> sim::Task<api::TxnResult> {
+    storage::Key k{p.i("id")};
+    auto row = co_await c.get(0, k);
+    api::TxnResult res;
+    res.ok = row.has_value();
+    res.value = row ? std::get<int64_t>((*row)[1]) : -1;
+    co_return res;
+  };
+  reg.register_proc("check", check);
+
+  api::ProcInfo sum;
+  sum.read_only = true;
+  sum.tables = {0};
+  sum.fn = [](api::Connection& c, const api::Params&)
+      -> sim::Task<api::TxnResult> {
+    api::ScanSpec spec;
+    auto rows = co_await c.scan(0, std::move(spec));
+    api::TxnResult res;
+    res.rows = rows.size();
+    for (const auto& r : rows) res.value += std::get<int64_t>(r[1]);
+    co_return res;
+  };
+  reg.register_proc("sum", sum);
+  return reg;
+}
+
+// ---- harness context ----
+
+struct ClientState {
+  std::unique_ptr<core::ClusterClient> client;
+  bool done = false;
+  uint64_t ok = 0;
+  uint64_t errors = 0;
+};
+
+struct Ctx {
+  const ChaosConfig& cfg;
+  sim::Simulation& sim;
+  net::Network& net;
+  core::DmvCluster& cluster;
+  WorkloadLedger ledger{};
+  Violations viol{};
+  std::vector<ClientState> clients{};
+  size_t clients_done = 0;
+  sim::Time max_read_latency = 0;
+  ClusterProbe probe{};
+  MonotonicityProbe monotone{};
+};
+
+// Read-availability check (see ChaosConfig::max_read_stall).
+void note_read_latency(Ctx& ctx, sim::Time sent_at) {
+  const sim::Time lat = ctx.sim.now() - sent_at;
+  if (lat > ctx.max_read_latency) ctx.max_read_latency = lat;
+  if (ctx.cfg.max_read_stall > 0 && lat > ctx.cfg.max_read_stall)
+    ctx.viol.add("read stalled: a read-only op took " + std::to_string(lat) +
+                 "us, above the availability bound of " +
+                 std::to_string(ctx.cfg.max_read_stall) +
+                 "us (reads must divert, not wait out failure detection)");
+}
+
+sim::Task<> client_loop(Ctx& ctx, size_t ci, util::Rng rng) {
+  ClientState& st = ctx.clients[ci];
+  for (int op = 0; op < ctx.cfg.ops_per_client; ++op) {
+    co_await ctx.sim.delay(
+        sim::Time(rng.exponential(double(ctx.cfg.mean_think))));
+    if (rng.chance(ctx.cfg.update_fraction)) {
+      const int64_t id = int64_t(rng.below(uint64_t(ctx.cfg.rows)));
+      // Count the attempt before the send: a reply lost after commit must
+      // still fall inside the [acked, attempted] interval.
+      ctx.ledger.on_attempt(id);
+      api::Params p;
+      p.set("id", id);
+      auto r = co_await st.client->execute("deposit", std::move(p));
+      if (r && r->ok) {
+        ctx.ledger.on_ack(id);
+        ++st.ok;
+      } else {
+        ++st.errors;
+      }
+    } else if (rng.chance(ctx.cfg.sum_fraction)) {
+      const uint64_t floor = ctx.ledger.global_acked;
+      const sim::Time sent_at = ctx.sim.now();
+      auto r = co_await st.client->execute("sum", {});
+      if (r && r->ok) {
+        note_read_latency(ctx, sent_at);
+        check_sum_value(ctx.ledger, int64_t(r->rows), r->value, floor,
+                        &ctx.viol);
+        ++st.ok;
+      } else {
+        ++st.errors;
+      }
+    } else {
+      const int64_t id = int64_t(rng.below(uint64_t(ctx.cfg.rows)));
+      const uint64_t floor = ctx.ledger.acked[size_t(id)];
+      api::Params p;
+      p.set("id", id);
+      const sim::Time sent_at = ctx.sim.now();
+      auto r = co_await st.client->execute("check", std::move(p));
+      if (r && r->ok) {
+        note_read_latency(ctx, sent_at);
+        check_read_value(ctx.ledger, id, r->value, floor, &ctx.viol);
+        ++st.ok;
+      } else {
+        ++st.errors;
+      }
+    }
+  }
+  st.done = true;
+  ++ctx.clients_done;
+}
+
+// Version-monotonicity sampler; exits once the workload completes (the
+// final state is sampled again by run_chaos after quiesce).
+sim::Task<> probe_loop(Ctx& ctx) {
+  while (ctx.clients_done < ctx.clients.size()) {
+    ctx.monotone.sample(ctx.probe, &ctx.viol);
+    co_await ctx.sim.delay(5 * sim::kMsec);
+  }
+}
+
+// ---- fault execution ----
+
+struct FaultExec {
+  Ctx* ctx = nullptr;
+  std::vector<net::NodeId> sched_ids;
+  std::set<net::NodeId> engine_ids;
+  struct Pending {
+    Fault f;
+    size_t seen = 0;
+    bool fired = false;
+  };
+  std::vector<Pending> pending;
+  size_t fired_count = 0;
+
+  void plan_error(const Fault& f, const char* why) {
+    ctx->viol.add(std::string("plan error: ") + why + " in '" + f.str() +
+                  "'");
+  }
+
+  void fire(const Fault& f) {
+    ++fired_count;
+    net::Network& net = ctx->net;
+    switch (f.action.kind) {
+      case ActionKind::Kill: {
+        const net::NodeId id = net.find_node(f.action.node);
+        if (id == net::kNoNode) return plan_error(f, "unknown node");
+        if (!net.alive(id)) return;  // already dead: no-op
+        for (size_t i = 0; i < sched_ids.size(); ++i)
+          if (sched_ids[i] == id) return ctx->cluster.kill_scheduler(i);
+        if (engine_ids.count(id)) return ctx->cluster.kill_node(id);
+        net.kill(id);  // auxiliary endpoint (client, monitor)
+        return;
+      }
+      case ActionKind::Restart: {
+        const net::NodeId id = net.find_node(f.action.node);
+        if (id == net::kNoNode) return plan_error(f, "unknown node");
+        if (!engine_ids.count(id))
+          return plan_error(f, "only engine nodes restart");
+        if (net.alive(id)) return;  // never killed: no-op
+        ctx->cluster.restart_and_rejoin(id);
+        return;
+      }
+      case ActionKind::Drop:
+      case ActionKind::Heal: {
+        const net::NodeId a = net.find_node(f.action.a);
+        const net::NodeId b = net.find_node(f.action.b);
+        if (a == net::kNoNode || b == net::kNoNode)
+          return plan_error(f, "unknown link endpoint");
+        net.set_link(a, b, f.action.kind == ActionKind::Heal);
+        return;
+      }
+      case ActionKind::Slow: {
+        const net::NodeId a = net.find_node(f.action.a);
+        const net::NodeId b = net.find_node(f.action.b);
+        if (a == net::kNoNode || b == net::kNoNode)
+          return plan_error(f, "unknown link endpoint");
+        net.set_link_delay(a, b, f.action.extra);
+        return;
+      }
+    }
+  }
+};
+
+}  // namespace
+
+std::string ChaosReport::summary() const {
+  std::ostringstream os;
+  os << (passed ? "PASS" : "FAIL") << " t=" << end_time << "us ok="
+     << ops_ok << " err=" << client_errors << " rec=" << recoveries
+     << " take=" << takeovers << " joins=" << joins;
+  if (!passed) os << " violations=" << violations.size();
+  return os.str();
+}
+
+ChaosReport run_chaos(const ChaosConfig& cfg, const FaultPlan& plan) {
+  ChaosReport rep;
+  sim::Simulation sim;
+  net::Network net(sim);
+  obs::Tracer tracer(sim);
+  tracer.enable();
+  struct Restore {
+    obs::Tracer* prev;
+    ~Restore() { obs::set_tracer(prev); }
+  } restore{obs::set_tracer(&tracer)};
+
+  api::ProcRegistry reg = make_chaos_registry();
+  core::DmvCluster::Config cc;
+  cc.slaves = cfg.slaves;
+  cc.spares = cfg.spares;
+  cc.schedulers = cfg.schedulers;
+  cc.heartbeats = cfg.heartbeats;
+  cc.scheduler.rng_seed = cfg.seed * 7919 + 17;
+  cc.schema = chaos_schema;
+  const int64_t rows = cfg.rows;
+  cc.loader = [rows](storage::Database& db) {
+    for (int64_t i = 0; i < rows; ++i)
+      db.table(0).insert_row(storage::Row{i, i * kBalanceBase});
+  };
+  core::DmvCluster cluster(net, reg, std::move(cc));
+  cluster.start();
+
+  Ctx ctx{cfg, sim, net, cluster};
+  ctx.ledger.init(cfg.rows);
+  ctx.probe.cluster = &cluster;
+  ctx.probe.net = &net;
+  ctx.probe.tracer = &tracer;
+  for (size_t c = 0; c < cluster.master_count(); ++c)
+    ctx.probe.engine_ids.push_back(cluster.master_id(c));
+  for (size_t i = 0; i < cluster.slave_count(); ++i)
+    ctx.probe.engine_ids.push_back(cluster.slave_id(i));
+  for (size_t i = 0; i < cluster.spare_count(); ++i)
+    ctx.probe.engine_ids.push_back(cluster.spare_id(i));
+
+  FaultExec exec;
+  exec.ctx = &ctx;
+  exec.sched_ids = cluster.scheduler_ids();
+  exec.engine_ids.insert(ctx.probe.engine_ids.begin(),
+                         ctx.probe.engine_ids.end());
+  for (const Fault& f : plan.faults) {
+    if (f.trigger.at_point) {
+      exec.pending.push_back({f});
+    } else {
+      sim.schedule_at(f.trigger.at, [&exec, f] { exec.fire(f); });
+    }
+  }
+  // Point-triggered faults piggyback on trace emissions. The observer only
+  // *schedules* the action (at the current instant): the emitting coroutine
+  // finishes its synchronous step before the fault lands, which is also
+  // exactly the determinism the replayable plan string relies on.
+  tracer.set_point_observer(
+      [&exec, &rep, &sim](const char* name, obs::Cat cat, uint32_t) {
+        if (cat == obs::Cat::Recovery || cat == obs::Cat::Migration ||
+            cat == obs::Cat::Warmup)
+          ++rep.points_fired[name];
+        for (auto& pf : exec.pending) {
+          if (pf.fired || pf.f.trigger.point != name) continue;
+          if (int(++pf.seen) == pf.f.trigger.occurrence) {
+            pf.fired = true;
+            const Fault f = pf.f;
+            sim.schedule_at(sim.now(), [&exec, f] { exec.fire(f); });
+          }
+        }
+      });
+
+  util::Rng rng(cfg.seed ^ 0xc8a05c5d1u);
+  ctx.clients.resize(size_t(cfg.clients));
+  for (int i = 0; i < cfg.clients; ++i) {
+    ctx.clients[size_t(i)].client =
+        cluster.make_client("c" + std::to_string(i));
+    sim.spawn(client_loop(ctx, size_t(i), rng.split()));
+  }
+  sim.spawn(probe_loop(ctx));
+
+  rep.end_time = sim.run(cfg.quiesce_horizon);
+
+  // ---- hang detection ----
+  if (sim.pending_events() > 0) {
+    std::ostringstream os;
+    os << "hang: " << sim.pending_events()
+       << " event(s) still pending past the quiesce horizon ("
+       << cfg.quiesce_horizon << "us)";
+    ctx.viol.add(os.str());
+  }
+  for (size_t i = 0; i < ctx.clients.size(); ++i)
+    if (!ctx.clients[i].done)
+      ctx.viol.add("client " + std::to_string(i) +
+                   " never completed its workload (wedged request)");
+
+  ctx.probe.scheduler_count = exec.sched_ids.size();
+  ctx.monotone.sample(ctx.probe, &ctx.viol);
+  check_end_invariants(ctx.probe, ctx.ledger, &ctx.viol);
+
+  // Detach the observer before anything in this frame dies; teardown may
+  // still emit events.
+  tracer.set_point_observer(nullptr);
+
+  for (const auto& pf : exec.pending)
+    if (!pf.fired) ++rep.faults_unfired;
+  rep.faults_fired = exec.fired_count;
+  for (const auto& st : ctx.clients) {
+    rep.ops_ok += st.ok;
+    rep.client_errors += st.errors;
+  }
+  for (size_t i = 0; i < exec.sched_ids.size(); ++i) {
+    auto& st = cluster.scheduler(i).stats();
+    rep.recoveries += st.recoveries;
+    rep.takeovers += st.takeovers;
+    rep.joins += st.joins_completed;
+  }
+  rep.update_commits = cluster.total_update_commits();
+  rep.read_commits = cluster.total_read_commits();
+  rep.max_read_latency = ctx.max_read_latency;
+  rep.violations = ctx.viol.items;
+  rep.passed = ctx.viol.ok();
+  return rep;
+}
+
+ChaosReport run_chaos(const ChaosConfig& cfg, const std::string& plan_str) {
+  std::string err;
+  auto plan = FaultPlan::parse(plan_str, &err);
+  DMV_ASSERT_MSG(plan.has_value(), "bad fault plan: " << err);
+  return run_chaos(cfg, *plan);
+}
+
+}  // namespace dmv::chaos

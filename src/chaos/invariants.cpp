@@ -1,0 +1,223 @@
+#include "chaos/invariants.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace dmv::chaos {
+namespace {
+
+std::string fmt_vec(const std::vector<uint64_t>& v) {
+  std::string s = "[";
+  for (size_t i = 0; i < v.size(); ++i) {
+    if (i) s += ",";
+    s += std::to_string(v[i]);
+  }
+  return s + "]";
+}
+
+// A live scheduler to read the current rotation from (primary preferred).
+core::Scheduler* live_scheduler(const ClusterProbe& p) {
+  core::Scheduler* any = nullptr;
+  for (size_t i = 0; i < p.scheduler_count; ++i) {
+    core::Scheduler& s = p.cluster->scheduler(i);
+    if (!p.net->alive(s.id())) continue;
+    if (s.is_primary()) return &s;
+    if (!any) any = &s;
+  }
+  return any;
+}
+
+void check_monotone(const char* what, net::NodeId id,
+                    const std::vector<uint64_t>& prev,
+                    const std::vector<uint64_t>& cur, Violations* v) {
+  for (size_t t = 0; t < std::min(prev.size(), cur.size()); ++t) {
+    if (cur[t] < prev[t]) {
+      std::ostringstream os;
+      os << what << " version moved backwards on node " << id << " table "
+         << t << ": " << fmt_vec(prev) << " -> " << fmt_vec(cur);
+      v->add(os.str());
+      return;  // one report per sample is enough
+    }
+  }
+}
+
+}  // namespace
+
+void check_read_value(const WorkloadLedger& lg, int64_t id, int64_t value,
+                      uint64_t acked_at_send, Violations* v) {
+  const int64_t delta = value - id * kBalanceBase;
+  const uint64_t hi = lg.attempted[size_t(id)];
+  if (delta < 0 || uint64_t(delta) < acked_at_send ||
+      uint64_t(delta) > hi) {
+    std::ostringstream os;
+    os << "stale/corrupt read: row " << id << " value " << value
+       << " implies delta " << delta << ", outside [" << acked_at_send
+       << ", " << hi << "]";
+    v->add(os.str());
+  }
+}
+
+void check_sum_value(const WorkloadLedger& lg, int64_t rows_seen,
+                     int64_t value, uint64_t global_acked_at_send,
+                     Violations* v) {
+  if (rows_seen != lg.rows) {
+    std::ostringstream os;
+    os << "sum scan saw " << rows_seen << " rows, expected " << lg.rows;
+    v->add(os.str());
+  }
+  const int64_t base = kBalanceBase * lg.rows * (lg.rows - 1) / 2;
+  const int64_t delta = value - base;
+  if (delta < 0 || uint64_t(delta) < global_acked_at_send ||
+      uint64_t(delta) > lg.global_attempted) {
+    std::ostringstream os;
+    os << "inconsistent sum: value " << value << " implies delta " << delta
+       << ", outside [" << global_acked_at_send << ", "
+       << lg.global_attempted << "]";
+    v->add(os.str());
+  }
+}
+
+void MonotonicityProbe::sample(const ClusterProbe& p, Violations* v) {
+  for (net::NodeId id : p.engine_ids) {
+    if (!p.net->alive(id)) {
+      // Death ends this process's history; a restart is a fresh process
+      // whose vector legitimately starts over from its checkpoint.
+      last_engine_.erase(id);
+      continue;
+    }
+    const auto& cur = p.cluster->node(id).engine().version();
+    auto it = last_engine_.find(id);
+    if (it != last_engine_.end())
+      check_monotone("engine", id, it->second, cur, v);
+    last_engine_[id] = cur;
+  }
+  for (size_t i = 0; i < p.scheduler_count; ++i) {
+    core::Scheduler& s = p.cluster->scheduler(i);
+    if (!p.net->alive(s.id())) {
+      last_sched_.erase(s.id());
+      continue;
+    }
+    const auto& cur = s.version();
+    auto it = last_sched_.find(s.id());
+    if (it != last_sched_.end())
+      check_monotone("scheduler", s.id(), it->second, cur, v);
+    last_sched_[s.id()] = cur;
+  }
+}
+
+void check_end_invariants(const ClusterProbe& p, const WorkloadLedger& lg,
+                          Violations* v) {
+  // ---- scheduler drain ----
+  for (size_t i = 0; i < p.scheduler_count; ++i) {
+    core::Scheduler& s = p.cluster->scheduler(i);
+    if (!p.net->alive(s.id())) continue;
+    std::ostringstream os;
+    os << "scheduler " << i << " (" << p.net->name(s.id()) << ")";
+    if (s.outstanding() != 0)
+      v->add(os.str() + " has " + std::to_string(s.outstanding()) +
+             " outstanding requests at quiesce");
+    if (s.held_reads() != 0)
+      v->add(os.str() + " has " + std::to_string(s.held_reads()) +
+             " parked reads at quiesce");
+    if (s.held_updates() != 0)
+      v->add(os.str() + " has " + std::to_string(s.held_updates()) +
+             " parked updates at quiesce");
+    if (s.held_joins() != 0)
+      v->add(os.str() + " has " + std::to_string(s.held_joins()) +
+             " parked joins at quiesce");
+    if (s.recovering())
+      v->add(os.str() + " still marks a recovery in flight at quiesce");
+    if (s.inflight_total() != 0)
+      v->add(os.str() + " per-node in-flight counters sum to " +
+             std::to_string(s.inflight_total()) + " at quiesce");
+  }
+
+  // ---- span balance ----
+  if (p.tracer && p.tracer->open_count() != 0) {
+    std::string names;
+    for (const auto& n : p.tracer->open_span_names()) {
+      if (!names.empty()) names += ", ";
+      names += n;
+    }
+    v->add("span leak: " + std::to_string(p.tracer->open_count()) +
+           " span(s) still open at quiesce: " + names);
+  }
+
+  // ---- durability: row intervals on a live master ----
+  core::Scheduler* sched = live_scheduler(p);
+  net::NodeId master = net::kNoNode;
+  // The master slot can legitimately be kNoNode here — e.g. a recovery
+  // wedged by the very bug a fault plan is probing for — and alive()
+  // asserts on it; the checker must report, not crash.
+  if (sched && !sched->masters().empty() &&
+      sched->masters()[0] != net::kNoNode &&
+      p.net->alive(sched->masters()[0])) {
+    master = sched->masters()[0];
+  } else {
+    for (net::NodeId id : p.engine_ids)
+      if (p.net->alive(id) && p.cluster->node(id).is_master()) {
+        master = id;
+        break;
+      }
+  }
+  if (master != net::kNoNode) {
+    const storage::Table& t =
+        p.cluster->node(master).engine().db().table(0);
+    if (int64_t(t.row_count()) != lg.rows)
+      v->add("row count changed: master has " +
+             std::to_string(t.row_count()) + " rows, expected " +
+             std::to_string(lg.rows));
+    for (int64_t id = 0; id < lg.rows; ++id) {
+      auto rid = t.pk_find(storage::Key{id});
+      if (!rid) {
+        v->add("row " + std::to_string(id) + " missing on master");
+        continue;
+      }
+      const storage::Row row = t.read_row(*rid);
+      const int64_t bal = std::get<int64_t>(row[1]);
+      const int64_t delta = bal - id * kBalanceBase;
+      const uint64_t lo = lg.acked[size_t(id)];
+      const uint64_t hi = lg.attempted[size_t(id)];
+      if (delta < 0 || uint64_t(delta) < lo || uint64_t(delta) > hi) {
+        std::ostringstream os;
+        os << "durability: row " << id << " balance " << bal
+           << " implies delta " << delta << ", outside acked/attempted ["
+           << lo << ", " << hi << "] — an acknowledged update was lost "
+           << "or a phantom update applied";
+        v->add(os.str());
+      }
+    }
+  }
+
+  // ---- convergence across the read rotation ----
+  if (sched) {
+    std::vector<net::NodeId> rotation;
+    for (net::NodeId m : sched->masters())
+      if (m != net::kNoNode && p.net->alive(m)) rotation.push_back(m);
+    for (net::NodeId s : sched->slaves())
+      if (p.net->alive(s)) rotation.push_back(s);
+    if (rotation.size() >= 2) {
+      auto effective = [&](net::NodeId id) {
+        const auto& eng = p.cluster->node(id).engine();
+        std::vector<uint64_t> eff(eng.version().size());
+        for (size_t t = 0; t < eff.size(); ++t)
+          eff[t] =
+              std::max(eng.version()[t], eng.received_version()[t]);
+        return eff;
+      };
+      const auto ref = effective(rotation[0]);
+      for (size_t i = 1; i < rotation.size(); ++i) {
+        const auto got = effective(rotation[i]);
+        if (got != ref) {
+          std::ostringstream os;
+          os << "divergence at quiesce: " << p.net->name(rotation[0])
+             << " is at " << fmt_vec(ref) << " but "
+             << p.net->name(rotation[i]) << " is at " << fmt_vec(got);
+          v->add(os.str());
+        }
+      }
+    }
+  }
+}
+
+}  // namespace dmv::chaos

@@ -103,10 +103,15 @@ DmvCluster::DmvCluster(net::Network& net, const api::ProcRegistry& procs,
       });
   }
 
-  // Failure notifications (broken connections) go to every scheduler and,
-  // for scheduler deaths, to every client (so a blocked request can fail
-  // over to a peer scheduler).
+  // Failure notifications (broken connections) go to every engine node
+  // (masters prune dead replicas from ack waits, joiners retry), every
+  // scheduler and, for scheduler deaths, to every client (so a blocked
+  // request can fail over to a peer scheduler). Engine nodes are told
+  // first: a master wedged on a dead replica's ack must unwedge before a
+  // scheduler's recovery asks it to abort or discard.
   net_.subscribe_failures([this](NodeId n) {
+    for (auto& [id, node] : nodes_)
+      if (net_.alive(id)) node->on_peer_killed(n);
     for (auto& s : schedulers_) s->on_node_killed(n);
     if (std::find(scheduler_node_ids_.begin(), scheduler_node_ids_.end(),
                   n) != scheduler_node_ids_.end()) {
@@ -130,6 +135,8 @@ void DmvCluster::start() {
         net_, heartbeat_node_, cfg_.heartbeat);
     for (auto& [id, node] : nodes_) heartbeat_->monitor(id);
     heartbeat_->subscribe([this](NodeId n) {
+      for (auto& [id, node] : nodes_)
+        if (net_.alive(id)) node->on_peer_killed(n);
       for (auto& s : schedulers_) s->on_node_killed(n);
     });
     net_.sim().spawn([](net::Network& net, NodeId me,
@@ -172,16 +179,39 @@ NodeId DmvCluster::primary_scheduler_id() const {
 void DmvCluster::kill_node(NodeId id) {
   auto it = nodes_.find(id);
   DMV_ASSERT_MSG(it != nodes_.end(), "not an engine node");
+  killed_at_[id] = net_.sim().now();
   net_.kill(id);
   it->second->on_killed();
 }
 
 void DmvCluster::kill_scheduler(size_t i) {
   net_.kill(scheduler_node_ids_[i]);
+  // Fail-stop the scheduler object too: close request/held spans and
+  // cancel blocked recovery coroutines while the object is still owned.
+  schedulers_[i]->shutdown();
 }
 
 void DmvCluster::restart_and_rejoin(NodeId id) {
   DMV_ASSERT(!net_.alive(id));
+  // A reboot must not win the race against the dead process's obituary
+  // (see header): hold the new incarnation back until strictly after the
+  // broken-connection notification has gone out.
+  auto killed = killed_at_.find(id);
+  const sim::Time now = net_.sim().now();
+  if (killed != killed_at_.end()) {
+    const sim::Time ready =
+        killed->second + net_.config().detect_delay + 1;
+    if (now < ready) {
+      net_.sim().schedule_after(ready - now, [this, id] {
+        if (!net_.alive(id)) do_restart(id);
+      });
+      return;
+    }
+  }
+  do_restart(id);
+}
+
+void DmvCluster::do_restart(NodeId id) {
   net_.restart(id);
   // Fresh process: rebuild from the base image + local checkpoint; the
   // volatile buffer cache starts cold.
@@ -194,8 +224,10 @@ void DmvCluster::restart_and_rejoin(NodeId id) {
   nodes_[id] = std::move(node);
   nodes_[id]->start(/*restore_from_store=*/true);
   const NodeId sched = primary_scheduler_id();
-  DMV_ASSERT_MSG(sched != net::kNoNode, "no scheduler to rejoin");
-  nodes_[id]->begin_rejoin(sched);
+  // Every scheduler may be dead (chaos schedules do this); the node then
+  // simply runs without joining — nobody would route to it anyway.
+  if (sched != net::kNoNode)
+    nodes_[id]->begin_rejoin(sched, scheduler_node_ids_);
 }
 
 std::unique_ptr<ClusterClient> DmvCluster::make_client(
@@ -243,6 +275,12 @@ sim::Task<std::optional<api::TxnResult>> ClusterClient::execute(
     bool* b;
     ~Unbusy() { *b = false; }
   } unbusy{&busy_};
+  // One id for the whole logical request: a retry on a peer scheduler
+  // (after the current one died mid-request) is a *resubmission*, and the
+  // master dedupes resubmissions by (client, req_id) — a fresh id per
+  // attempt would turn an already-committed-but-unacked update into a
+  // double deposit.
+  const uint64_t rid = next_req_++;
   for (size_t attempt = 0; attempt < schedulers_.size() + 1; ++attempt) {
     // Pick a live scheduler.
     NodeId sched = net::kNoNode;
@@ -259,7 +297,6 @@ sim::Task<std::optional<api::TxnResult>> ClusterClient::execute(
       co_return std::nullopt;
     }
 
-    const uint64_t rid = next_req_++;
     ClientRequest req;
     req.req_id = rid;
     req.reply_to = id_;

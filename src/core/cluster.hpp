@@ -71,7 +71,13 @@ class DmvCluster {
   void kill_scheduler(size_t i);
   // Reboot a previously killed engine node: reload the base image (the
   // mmapped on-disk file) plus its local checkpoint, then run the §4.4
-  // reintegration protocol against the primary scheduler.
+  // reintegration protocol against the primary scheduler. A reboot never
+  // outruns failure detection: if the node's death has not been announced
+  // to the cluster yet (detect_delay hasn't elapsed), the restart is
+  // deferred until just after the announcement. Otherwise the fresh
+  // incarnation would race its predecessor's obituary — the scheduler
+  // would keep routing to a process that lost its in-memory state, and
+  // masters would keep a replication stream open across the gap.
   void restart_and_rejoin(NodeId id);
 
   // --- clients ---
@@ -86,6 +92,7 @@ class DmvCluster {
 
  private:
   NodeId primary_scheduler_id() const;
+  void do_restart(NodeId id);
 
   net::Network& net_;
   const api::ProcRegistry& procs_;
@@ -100,6 +107,7 @@ class DmvCluster {
   std::vector<std::unique_ptr<Scheduler>> schedulers_;
   std::unique_ptr<PersistenceBinding> persistence_;
   std::vector<NodeId> client_ids_;
+  std::map<NodeId, sim::Time> killed_at_;  // restart-vs-detection ordering
   std::unique_ptr<net::HeartbeatDetector> heartbeat_;
   NodeId heartbeat_node_ = net::kNoNode;
   bool started_ = false;

@@ -1,5 +1,7 @@
 #include "core/engine_node.hpp"
 
+#include <algorithm>
+
 #include "core/version.hpp"
 #include "net/failure_detector.hpp"
 #include "obs/trace.hpp"
@@ -12,6 +14,13 @@ using storage::Row;
 using txn::TxnCtx;
 
 namespace {
+
+constexpr int kMaxJoinAttempts = 8;
+constexpr sim::Time kJoinRetryBackoff = 250 * sim::kMsec;
+
+void erase_value(std::vector<net::NodeId>& v, net::NodeId n) {
+  v.erase(std::remove(v.begin(), v.end(), n), v.end());
+}
 
 // api::Connection adapter over (engine, txn). `poisoned` (nullable) is the
 // scheduler-recovery abort flag: when a new scheduler asks the master to
@@ -123,22 +132,57 @@ void EngineNode::on_killed() {
   page_chunks_->close();
 }
 
-void EngineNode::begin_rejoin(NodeId scheduler) {
+void EngineNode::begin_rejoin(NodeId scheduler, std::vector<NodeId> peers) {
+  join_schedulers_.clear();
+  join_schedulers_.push_back(scheduler);
+  for (NodeId p : peers)
+    if (p != scheduler) join_schedulers_.push_back(p);
+  join_attempts_ = 0;
   net_.sim().spawn(rejoin_protocol(scheduler));
 }
 
+void EngineNode::on_peer_killed(NodeId n) {
+  if (!alive_ || !*alive_ || n == id_) return;
+  erase_value(replicas_, n);
+  erase_value(subscribers_, n);
+  for (auto& [seq, w] : ack_waits_)
+    if (w->pending.erase(n) && w->pending.empty()) w->done->notify_all();
+  if (joining_ && join_peer_ == n) {
+    // The protocol step in flight awaits a reply this peer will never
+    // send. Close the reply channels: the join coroutine wakes with
+    // nullopt and retries against a live scheduler.
+    join_peer_ = net::kNoNode;
+    sub_replies_->close();
+    join_infos_->close();
+    page_chunks_->close();
+  }
+}
+
 void EngineNode::broadcast_write_set(const txn::WriteSet& ws) {
+  // A dead process broadcasts nothing — a commit that was suspended in
+  // precommit when the node was killed resumes (simulation timers still
+  // fire) but must not register an ack wait nobody will ever satisfy.
+  if (!alive_ || !*alive_) return;
   const uint64_t seq = ++next_bcast_seq_;
   last_bcast_seq_ = seq;
-  if (replicas_.empty()) return;
+  std::set<NodeId> targets(replicas_.begin(), replicas_.end());
+  targets.insert(subscribers_.begin(), subscribers_.end());
+  if (targets.empty()) return;
   obs::count("ws.broadcasts", id_);
-  obs::count("ws.bytes", id_, double(ws.byte_size() * replicas_.size()));
+  obs::count("ws.bytes", id_, double(ws.byte_size() * targets.size()));
   auto wait = std::make_unique<AckWait>();
-  wait->pending.insert(replicas_.begin(), replicas_.end());
+  wait->pending = targets;
   wait->done = std::make_unique<sim::WaitQueue>(net_.sim());
   ack_waits_[seq] = std::move(wait);
-  for (NodeId r : replicas_)
-    net_.send(id_, r, WriteSetMsg{id_, seq, ws}, ws.byte_size());
+  NodeId origin = net::kNoNode;
+  uint64_t origin_req = 0;
+  if (auto it = origin_by_txn_.find(ws.txn_id); it != origin_by_txn_.end()) {
+    origin = it->second.first;
+    origin_req = it->second.second;
+  }
+  for (NodeId r : targets)
+    net_.send(id_, r, WriteSetMsg{id_, seq, ws, origin, origin_req},
+              ws.byte_size());
 }
 
 sim::Task<bool> EngineNode::wait_acks(uint64_t seq) {
@@ -156,8 +200,12 @@ sim::Task<bool> EngineNode::wait_acks(uint64_t seq) {
 
 void EngineNode::on_replica_set(std::vector<NodeId> replicas) {
   replicas_ = std::move(replicas);
-  // Dead replicas will never ack: drop them from every pending wait.
-  const std::set<NodeId> live(replicas_.begin(), replicas_.end());
+  // Graduate subscribers that made it into the official replica set.
+  for (NodeId r : replicas_) erase_value(subscribers_, r);
+  // Dead replicas will never ack: drop everyone outside the new set (plus
+  // still-migrating subscribers, who keep acking) from every pending wait.
+  std::set<NodeId> live(replicas_.begin(), replicas_.end());
+  live.insert(subscribers_.begin(), subscribers_.end());
   for (auto& [seq, w] : ack_waits_) {
     for (auto it = w->pending.begin(); it != w->pending.end();) {
       if (!live.count(*it))
@@ -185,6 +233,8 @@ sim::Task<> EngineNode::main_loop() {
       net_.sim().spawn(handle_exec(*exec));
     } else if (const auto* ws = net::as<WriteSetMsg>(*env)) {
       engine_->on_write_set(ws->ws);
+      if (ws->origin != net::kNoNode)
+        committed_[ws->origin] = {ws->origin_req, ws->ws.db_version, {}};
       obs::gauge("pending_mods", id_, double(engine_->pending_mod_count()));
       net_.send(id_, ws->master, AckMsg{ws->seq}, 32);
       if (cfg_.eager_apply) {
@@ -202,7 +252,25 @@ sim::Task<> EngineNode::main_loop() {
       on_replica_set(rs->replicas);
     } else if (const auto* da = net::as<DiscardAbove>(*env)) {
       engine_->discard_mods_above(da->confirmed, da->tables);
-      net_.send(id_, env->from, AckMsg{0}, 32);  // DiscardAbove ack
+      // Committed marks for discarded updates must go too: their clients
+      // never got an ack, and a resubmission has to re-execute, not be
+      // re-acked against state that no longer holds the update.
+      for (auto it = committed_.begin(); it != committed_.end();) {
+        bool above = false;
+        const auto in_scope = [&](storage::TableId t) {
+          return da->tables.empty() ||
+                 std::find(da->tables.begin(), da->tables.end(), t) !=
+                     da->tables.end();
+        };
+        for (size_t t = 0; t < it->second.version.size() &&
+                           t < da->confirmed.size();
+             ++t)
+          if (in_scope(storage::TableId(t)) &&
+              it->second.version[t] > da->confirmed[t])
+            above = true;
+        it = above ? committed_.erase(it) : std::next(it);
+      }
+      net_.send(id_, env->from, AckMsg{da->token}, 32);  // DiscardAbove ack
     } else if (const auto* aa = net::as<AbortAllRequest>(*env)) {
       net_.sim().spawn(handle_abort_all(env->from, *aa));
     } else if (const auto* pm = net::as<PromoteToMaster>(*env)) {
@@ -210,7 +278,12 @@ sim::Task<> EngineNode::main_loop() {
     } else if (const auto* sub = net::as<SubscribeRequest>(*env)) {
       // Atomic with respect to broadcasts: add the subscriber, then report
       // the current version vector — every later write-set reaches it.
-      replicas_.push_back(sub->joiner);
+      // Deduplicated so a retried join can't double-subscribe.
+      if (std::find(replicas_.begin(), replicas_.end(), sub->joiner) ==
+              replicas_.end() &&
+          std::find(subscribers_.begin(), subscribers_.end(), sub->joiner) ==
+              subscribers_.end())
+        subscribers_.push_back(sub->joiner);
       VersionVec v(engine_->db().table_count());
       for (size_t t = 0; t < v.size(); ++t)
         v[t] = std::max(engine_->version()[t],
@@ -271,6 +344,35 @@ sim::Task<> EngineNode::run_read(ExecTxn m) {
 
 sim::Task<> EngineNode::run_update(ExecTxn m) {
   const api::ProcInfo& proc = procs_.find(m.proc);
+  // Refuse rather than execute if we don't master the proc's tables: a
+  // scheduler with a stale view (a promotion it hasn't heard of, a fresh
+  // incarnation it hasn't detected) gets a clean error instead of this
+  // process asserting out from under the whole cluster.
+  for (storage::TableId t : proc.tables) {
+    if (!engine_->masters(t)) {
+      obs::instant("master.refused", obs::Cat::Txn, id_);
+      TxnDone done;
+      done.ok = false;
+      reply_txn_done(m, std::move(done));
+      co_return;
+    }
+  }
+  // At-most-once: a resubmission of an update we already committed (the
+  // client's ack died with its scheduler, and it retried via a standby) is
+  // re-acked from the committed mark, never executed a second time.
+  if (m.origin != net::kNoNode) {
+    auto it = committed_.find(m.origin);
+    if (it != committed_.end() && it->second.req == m.origin_req) {
+      obs::instant("master.dedup", obs::Cat::Txn, id_);
+      TxnDone done;
+      done.ok = true;
+      done.result = it->second.result;
+      done.db_version = it->second.version;
+      reply_txn_done(m, std::move(done));
+      co_return;
+    }
+  }
+  auto alive = alive_;
   obs::SpanGuard txn_span("master.commit", obs::Cat::Txn, id_);
   txn_span.attr("proc", m.proc);
   std::optional<uint64_t> reuse_ts;
@@ -286,12 +388,28 @@ sim::Task<> EngineNode::run_update(ExecTxn m) {
       obs::SpanGuard exec_span("master.exec", obs::Cat::Txn, id_, txn->id());
       api::TxnResult result = co_await proc.fn(conn, m.params);
       exec_span.done();
+      // Every co_await may resume after this process has been killed
+      // (simulation timers outlive the process). A dead node must stop
+      // cold — above all it must not touch ack_waits_, which on_killed
+      // already cancelled. Spans close via RAII; the inflight entry
+      // points into this frame and must not dangle.
+      if (!*alive) {
+        inflight_.erase(m.req_id);
+        co_return;
+      }
       if (inf.poisoned) throw TxnAbort(TxnAbort::Reason::Cancelled);
       inf.in_precommit = true;
       obs::SpanGuard pc_span("master.precommit", obs::Cat::Replication, id_,
                              txn->id());
+      if (m.origin != net::kNoNode)
+        origin_by_txn_[txn->id()] = {m.origin, m.origin_req};
       txn::WriteSet ws = co_await engine_->precommit(*txn);
+      origin_by_txn_.erase(txn->id());
       pc_span.done();
+      if (!*alive) {
+        inflight_.erase(m.req_id);
+        co_return;
+      }
       // precommit resumes us synchronously after its broadcast, so
       // last_bcast_seq_ still refers to *our* write-set.
       const uint64_t my_seq = last_bcast_seq_;
@@ -299,12 +417,18 @@ sim::Task<> EngineNode::run_update(ExecTxn m) {
                              txn->id());
       const bool acked = co_await wait_acks(my_seq);
       bc_span.done();
+      if (!*alive) {
+        inflight_.erase(m.req_id);
+        co_return;
+      }
       if (!acked) throw TxnAbort(TxnAbort::Reason::Cancelled);
       engine_->finish_commit(*txn);
       inflight_.erase(m.req_id);
       precommit_drain_->notify_all();
       ++stats_.txns_executed;
       obs::count("master.commits", id_);
+      if (m.origin != net::kNoNode)
+        committed_[m.origin] = {m.origin_req, ws.db_version, result};
       TxnDone done;
       done.ok = true;
       done.result = result;
@@ -313,6 +437,7 @@ sim::Task<> EngineNode::run_update(ExecTxn m) {
       reply_txn_done(m, std::move(done));
       co_return;
     } catch (const TxnAbort& e) {
+      origin_by_txn_.erase(txn->id());
       engine_->rollback(*txn);
       inflight_.erase(m.req_id);
       precommit_drain_->notify_all();
@@ -406,23 +531,76 @@ sim::Task<> EngineNode::serve_page_request(NodeId to, PageRequest m) {
   obs::count("migration.pages", id_, double(sent));
 }
 
+void EngineNode::join_failed(const std::shared_ptr<bool>& alive) {
+  joining_ = false;
+  join_peer_ = net::kNoNode;
+  if (!alive || !*alive) return;  // the node itself died: no retry
+  // Reply channels may have been closed by on_peer_killed; make them usable
+  // for the next attempt.
+  sub_replies_->reopen();
+  join_infos_->reopen();
+  page_chunks_->reopen();
+  if (++join_attempts_ > kMaxJoinAttempts) {
+    obs::instant("join.gave_up", obs::Cat::Recovery, id_);
+    return;  // stay out of the rotation; operator intervention territory
+  }
+  obs::instant("join.retry", obs::Cat::Recovery, id_);
+  const sim::Time backoff = kJoinRetryBackoff * join_attempts_;
+  net_.sim().schedule_after(backoff, [this, alive] {
+    if (!*alive || joining_) return;
+    NodeId target = net::kNoNode;
+    for (NodeId s : join_schedulers_)
+      if (net_.alive(s)) {
+        target = s;
+        break;
+      }
+    if (target == net::kNoNode) return;  // no scheduler left to join via
+    net_.sim().spawn(rejoin_protocol(target));
+  });
+}
+
 sim::Task<> EngineNode::rejoin_protocol(NodeId scheduler) {
+  auto alive = alive_;
+  joining_ = true;
   obs::SpanGuard join_span("join", obs::Cat::Recovery, id_);
-  stats_.join_started = net_.sim().now();
+  if (stats_.join_started < 0) stats_.join_started = net_.sim().now();
+  if (!net_.alive(scheduler)) {
+    join_failed(alive);
+    co_return;
+  }
+  join_peer_ = scheduler;
   net_.send(id_, scheduler, JoinRequest{id_}, 64);
   auto info = co_await join_infos_->receive();
-  if (!info) co_return;
+  if (!info || !*alive) {
+    join_failed(alive);
+    co_return;
+  }
+  if (info->masters.empty() || info->support == net::kNoNode) {
+    // Rejected: no coherent master set right now (e.g. the tier is mid
+    // recovery with no survivors yet). Back off and retry.
+    join_failed(alive);
+    co_return;
+  }
 
   // 1. Subscribe to every master's replication stream (§4.4: "subscribes
   //    to the replication list of the masters"); everything from here on
   //    queues in our pending-mod lists. The target vector is the
-  //    elementwise max of what the masters report.
+  //    elementwise max of what the masters report. Each step records the
+  //    peer it awaits: if that peer dies, on_peer_killed wakes us to retry.
   obs::SpanGuard sub_span("join.subscribe", obs::Cat::Migration, id_);
   VersionVec target(engine_->db().table_count(), 0);
   for (NodeId m : info->masters) {
+    if (m == net::kNoNode || !net_.alive(m)) {
+      join_failed(alive);
+      co_return;
+    }
+    join_peer_ = m;
     net_.send(id_, m, SubscribeRequest{id_, id_}, 64);
     auto sub = co_await sub_replies_->receive();
-    if (!sub) co_return;
+    if (!sub || !*alive) {
+      join_failed(alive);
+      co_return;
+    }
     merge_max(target, sub->db_version);
   }
   sub_span.done();
@@ -430,11 +608,19 @@ sim::Task<> EngineNode::rejoin_protocol(NodeId scheduler) {
   // 2. Ask the support slave for pages newer than our checkpointed ones.
   obs::SpanGuard pages_span("join.pages", obs::Cat::Migration, id_);
   uint64_t installed = 0;
+  if (!net_.alive(info->support)) {
+    join_failed(alive);
+    co_return;
+  }
+  join_peer_ = info->support;
   net_.send(id_, info->support,
             PageRequest{id_, engine_->page_versions(), target}, 2048);
   for (;;) {
     auto chunk = co_await page_chunks_->receive();
-    if (!chunk) co_return;
+    if (!chunk || !*alive) {
+      join_failed(alive);
+      co_return;
+    }
     sim::Time cost = 0;
     for (const auto& snap : chunk->pages) {
       // Stale-guard: never downgrade a page we already hold at a newer
@@ -459,8 +645,22 @@ sim::Task<> EngineNode::rejoin_protocol(NodeId scheduler) {
   pages_span.done();
   obs::count("migration.pages_installed", id_, double(installed));
 
-  // 3. Report ready; the scheduler adds us to the read rotation.
-  net_.send(id_, scheduler, JoinComplete{id_}, 64);
+  // 3. Report ready; the scheduler adds us to the read rotation. If the
+  // scheduler that answered the join died meanwhile, report to a live
+  // peer instead (it gossips the new topology to the others).
+  joining_ = false;
+  join_peer_ = net::kNoNode;
+  NodeId report_to = scheduler;
+  if (!net_.alive(report_to)) {
+    report_to = net::kNoNode;
+    for (NodeId s : join_schedulers_)
+      if (net_.alive(s)) {
+        report_to = s;
+        break;
+      }
+  }
+  if (report_to != net::kNoNode)
+    net_.send(id_, report_to, JoinComplete{id_}, 64);
 }
 
 void EngineNode::maybe_send_hints() {

@@ -70,12 +70,20 @@ class EngineNode {
   // checkpoint first (restart path).
   void start(bool restore_from_store = false);
 
-  // Begin the §4.4 reintegration protocol against `scheduler`.
-  void begin_rejoin(NodeId scheduler);
+  // Begin the §4.4 reintegration protocol against `scheduler`. The
+  // optional peer list lets the joiner retry against another scheduler if
+  // `scheduler` dies (or rejects the join) mid-protocol.
+  void begin_rejoin(NodeId scheduler, std::vector<NodeId> peers = {});
 
   // Called by the cluster controller after net.kill(id): release volatile
   // state, cancel waiters.
   void on_killed();
+
+  // Failure notification for some *other* node: prune it from replica and
+  // subscriber lists and from pending ack waits (a master wedged in
+  // pre-commit must not wait for a dead replica), and cancel/retry a join
+  // that depends on it.
+  void on_peer_killed(NodeId n);
 
   bool is_master() const { return engine_->is_master(); }
   const std::vector<NodeId>& replicas() const { return replicas_; }
@@ -92,6 +100,17 @@ class EngineNode {
     std::unique_ptr<sim::WaitQueue> done;
     bool cancelled = false;
   };
+  // At-most-once bookkeeping: the last committed update per client.
+  // Clients are single-outstanding, so one mark per client suffices; a
+  // resubmission (same req after a scheduler fail-over) is re-acked from
+  // here instead of executed twice. Replicated via the write-set stream
+  // and pruned by DiscardAbove so a promoted slave inherits only marks
+  // whose updates it actually kept.
+  struct CommittedMark {
+    uint64_t req = 0;
+    VersionVec version;  // post-commit vector, for discard pruning
+    api::TxnResult result;
+  };
 
   sim::Task<> main_loop();
   sim::Task<> handle_exec(ExecTxn m);
@@ -101,6 +120,9 @@ class EngineNode {
   sim::Task<> handle_promote(NodeId from, PromoteToMaster m);
   sim::Task<> serve_page_request(NodeId to, PageRequest m);
   sim::Task<> rejoin_protocol(NodeId scheduler);
+  // Abort the current join attempt and schedule a capped-backoff retry
+  // against the first live scheduler in join_schedulers_.
+  void join_failed(const std::shared_ptr<bool>& alive);
   void broadcast_write_set(const txn::WriteSet& ws);
   sim::Task<bool> wait_acks(uint64_t seq);
   void on_replica_set(std::vector<NodeId> replicas);
@@ -117,6 +139,12 @@ class EngineNode {
   std::shared_ptr<bool> alive_;
 
   std::vector<NodeId> replicas_;
+  // In-progress joiners subscribed to our stream (§4.4) but not yet in the
+  // scheduler's replica sets. Kept separate so a ReplicaSetUpdate (which
+  // *replaces* replicas_) cannot silently drop them mid-migration; unioned
+  // with replicas_ for every broadcast, graduated out when they appear in
+  // a ReplicaSetUpdate, pruned on death.
+  std::vector<NodeId> subscribers_;
   uint64_t next_bcast_seq_ = 0;
   uint64_t last_bcast_seq_ = 0;  // seq of the most recent broadcast (valid
                                  // immediately after precommit returns)
@@ -124,11 +152,24 @@ class EngineNode {
 
   std::unordered_map<uint64_t, Inflight*> inflight_;
   std::unique_ptr<sim::WaitQueue> precommit_drain_;
+  std::map<NodeId, CommittedMark> committed_;
+  // Origin of the update currently in precommit, keyed by engine txn id —
+  // broadcast_write_set (called from inside precommit) stamps it onto the
+  // outgoing WriteSetMsg.
+  std::map<uint64_t, std::pair<NodeId, uint64_t>> origin_by_txn_;
 
   // Join-protocol reply channels (one protocol at a time).
   std::unique_ptr<sim::Channel<SubscribeReply>> sub_replies_;
   std::unique_ptr<sim::Channel<JoinInfo>> join_infos_;
   std::unique_ptr<sim::Channel<PageChunk>> page_chunks_;
+
+  // Join liveness state: the peer the current protocol step awaits (its
+  // death closes the channels, waking the join coroutine to retry), the
+  // scheduler list for retries, and a capped attempt counter.
+  bool joining_ = false;
+  NodeId join_peer_ = net::kNoNode;
+  std::vector<NodeId> join_schedulers_;
+  int join_attempts_ = 0;
 
   uint64_t txns_since_hint_ = 0;
   EngineNodeStats stats_;

@@ -42,6 +42,13 @@ struct ExecTxn {
   api::Params params;
   bool read_only = true;
   VersionVec tag;  // read-only: versions this transaction must observe
+  // Originating client and its request id (updates only). A client that
+  // fails over to a standby scheduler resubmits under the same id; the
+  // master uses the pair to detect a resubmission of an update that
+  // already committed (the ack died with the old scheduler) and re-acks
+  // instead of executing it twice.
+  NodeId origin = net::kNoNode;
+  uint64_t origin_req = 0;
 };
 
 struct TxnDone {
@@ -59,6 +66,11 @@ struct WriteSetMsg {
   NodeId master = net::kNoNode;
   uint64_t seq = 0;  // per-master broadcast sequence, for acks
   txn::WriteSet ws;
+  // Originating client of the update (see ExecTxn): replicated so that a
+  // slave promoted after a master+scheduler double failure still detects
+  // client resubmissions of updates it already holds.
+  NodeId origin = net::kNoNode;
+  uint64_t origin_req = 0;
 };
 
 struct AckMsg {
@@ -78,10 +90,12 @@ struct AbortAllReply {
 
 // Scheduler -> replicas on master failure: drop queued mods above the last
 // confirmed version (§4.2). `tables` restricts the discard to the failed
-// master's conflict class (empty = all tables).
+// master's conflict class (empty = all tables). `token` is echoed in the
+// AckMsg so concurrent recoveries (multi-class) can tell their acks apart.
 struct DiscardAbove {
   VersionVec confirmed;
   std::vector<storage::TableId> tables;
+  uint64_t token = 0;
 };
 
 // Scheduler -> elected slave: become master for these tables.

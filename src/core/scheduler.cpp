@@ -18,15 +18,34 @@ Scheduler::Scheduler(net::Network& net, NodeId id,
       procs_(procs),
       cfg_(cfg),
       rng_(cfg.rng_seed),
-      version_(table_count, 0) {
-  discard_acks_ = std::make_unique<sim::Channel<NodeId>>(net.sim());
-  promote_done_ = std::make_unique<sim::Channel<PromoteDone>>(net.sim());
-  abort_all_replies_ =
-      std::make_unique<sim::Channel<AbortAllReply>>(net.sim());
-}
+      version_(table_count, 0) {}
 
 Scheduler::~Scheduler() {
   if (alive_) *alive_ = false;
+  // Spans held by parked/outstanding requests must not leak at teardown;
+  // waits are NOT notified here — waking a coroutine from the destructor
+  // would resume it against a dead object (shutdown() handles the mid-run
+  // fail-stop case while the scheduler is still owned by the cluster).
+  close_all_request_spans();
+}
+
+void Scheduler::shutdown() {
+  close_all_request_spans();
+  if (!alive_ || !*alive_) return;
+  *alive_ = false;
+  for (auto& [tok, w] : discard_waits_) w.wq->notify_all(false);
+  for (auto& [tok, w] : promote_waits_) w.wq->notify_all(false);
+  if (takeover_wait_) takeover_wait_->wq->notify_all(false);
+}
+
+void Scheduler::close_all_request_spans() {
+  for (auto& [rid, out] : outstanding_) end_req_span(out, "scheduler_down");
+  outstanding_.clear();
+  outstanding_per_node_.clear();
+  for (auto& out : held_reads_) end_req_span(out, "scheduler_down");
+  held_reads_.clear();
+  held_updates_.clear();
+  held_joins_.clear();
 }
 
 void Scheduler::set_topology(std::vector<NodeId> masters,
@@ -106,6 +125,43 @@ void Scheduler::answer_join(NodeId joiner) {
   net_.send(id_, joiner, std::move(info), 64);
 }
 
+void Scheduler::answer_or_park_join(NodeId joiner) {
+  // §4.4: point the joiner at the masters and a support slave. During
+  // master recovery, park the joiner until the new master is known.
+  if (!recovering_classes_.empty()) {
+    held_joins_.push_back(joiner);
+    return;
+  }
+  // A joiner we still list in the topology is a restarted incarnation
+  // whose death we haven't processed yet — answering now could name the
+  // joiner as its own master or support. Reject; by the time its backoff
+  // expires the obituary has arrived and the lists are clean.
+  if (any_master(joiner) ||
+      std::find(slaves_.begin(), slaves_.end(), joiner) != slaves_.end() ||
+      std::find(spares_.begin(), spares_.end(), joiner) != spares_.end()) {
+    net_.send(id_, joiner, JoinInfo{}, 64);
+    return;
+  }
+  bool masters_ok = true;
+  for (NodeId m : masters_)
+    if (m == net::kNoNode || !net_.alive(m)) masters_ok = false;
+  if (!masters_ok) {
+    // No coherent master set and no recovery running that would restore
+    // one: reject (empty JoinInfo) so the joiner backs off and retries
+    // instead of parking forever.
+    net_.send(id_, joiner, JoinInfo{}, 64);
+    return;
+  }
+  answer_join(joiner);
+}
+
+void Scheduler::answer_held_joins() {
+  auto held = std::move(held_joins_);
+  held_joins_.clear();
+  for (NodeId j : held)
+    if (net_.alive(j)) answer_or_park_join(j);
+}
+
 sim::Task<> Scheduler::main_loop() {
   auto alive = alive_;
   auto& mailbox = net_.mailbox(id_);
@@ -124,23 +180,23 @@ sim::Task<> Scheduler::main_loop() {
       slaves_ = tg->slaves;
       spares_ = tg->spares;
     } else if (const auto* ack = net::as<AckMsg>(*env)) {
-      (void)ack;  // DiscardAbove ack
-      discard_acks_->send(env->from);
+      // DiscardAbove ack; the token routes it to its recovery's wait.
+      auto it = discard_waits_.find(ack->seq);
+      if (it != discard_waits_.end() && it->second.pending.erase(env->from))
+        it->second.wq->notify_all();
     } else if (const auto* pd = net::as<PromoteDone>(*env)) {
-      promote_done_->send(*pd);
+      for (auto& [tok, w] : promote_waits_)
+        if (w.target == env->from && !w.reply) {
+          w.reply = *pd;
+          w.wq->notify_all();
+          break;
+        }
     } else if (const auto* ar = net::as<AbortAllReply>(*env)) {
-      abort_all_replies_->send(*ar);
+      merge_max(version_, ar->version);
+      if (takeover_wait_ && takeover_wait_->pending.erase(env->from))
+        takeover_wait_->wq->notify_all();
     } else if (const auto* jr = net::as<JoinRequest>(*env)) {
-      // §4.4: point the joiner at the masters and a support slave. During
-      // master recovery, park the joiner until the new master is known.
-      bool masters_ok = !recovering_classes_.empty() ? false : true;
-      for (NodeId m : masters_)
-        if (m == net::kNoNode || !net_.alive(m)) masters_ok = false;
-      if (!masters_ok) {
-        held_joins_.push_back(jr->joiner);
-        continue;
-      }
-      answer_join(jr->joiner);
+      answer_or_park_join(jr->joiner);
     } else if (const auto* jc = net::as<JoinComplete>(*env)) {
       ++stats_.joins_completed;
       erase_value(slaves_, jc->joiner);
@@ -210,6 +266,8 @@ void Scheduler::route_update(Outstanding out) {
   m.proc = out.client.proc;
   m.params = out.client.params;
   m.read_only = false;
+  m.origin = out.client.reply_to;
+  m.origin_req = out.client.req_id;
   out.node = master;
   ++outstanding_per_node_[master];
   ++stats_.updates_routed;
@@ -238,8 +296,10 @@ NodeId Scheduler::pick_read_replica() {
   uint64_t best_load = UINT64_MAX;
   NodeId fallback = net::kNoNode;
   uint64_t fallback_load = UINT64_MAX;
+  bool any_live_slave = false;
   for (NodeId s : slaves_) {
     if (!net_.alive(s)) continue;
+    any_live_slave = true;
     const uint64_t load = outstanding_per_node_[s];
     if (load >= cfg_.max_reads_inflight_per_node) continue;  // admission
     auto it = last_tag_.find(s);
@@ -255,11 +315,21 @@ NodeId Scheduler::pick_read_replica() {
     }
   }
   if (best == net::kNoNode) best = fallback;
-  if (best == net::kNoNode && slaves_.empty()) {
-    // Last resort: a master may serve reads for tables outside its class;
-    // with a single class this reads at-latest on the master.
+  if (best == net::kNoNode && !any_live_slave) {
+    // Last resort, gated on *liveness* rather than list emptiness (a slave
+    // can be dead but not yet pruned from slaves_ — e.g. on a standby
+    // scheduler that just took over): a master may serve reads for tables
+    // outside its class (with a single class this reads at-latest on the
+    // master), then a spare, both under the same admission limit. Saturated
+    // live slaves do NOT divert to the master — those reads queue (§2.2).
     for (NodeId m : masters_)
-      if (m != net::kNoNode && net_.alive(m)) return m;
+      if (m != net::kNoNode && net_.alive(m) &&
+          outstanding_per_node_[m] < cfg_.max_reads_inflight_per_node)
+        return m;
+    for (NodeId s : spares_)
+      if (net_.alive(s) &&
+          outstanding_per_node_[s] < cfg_.max_reads_inflight_per_node)
+        return s;
   }
   return best;
 }
@@ -287,13 +357,25 @@ bool Scheduler::try_dispatch_read(Outstanding& out) {
   return true;
 }
 
+bool Scheduler::reads_serviceable() const {
+  for (NodeId s : slaves_)
+    if (net_.alive(s)) return true;
+  for (NodeId m : masters_)
+    if (m != net::kNoNode && net_.alive(m)) return true;
+  for (NodeId s : spares_)
+    if (net_.alive(s)) return true;
+  // A recovery in flight may still promote a node back into service;
+  // parked reads are re-pumped (or failed) when it finishes.
+  return !recovering_classes_.empty();
+}
+
 void Scheduler::route_read(Outstanding out) {
   begin_req_span(out, "sched.read");
   if (try_dispatch_read(out)) return;
-  bool any_target = !live_replicas().empty();
-  for (NodeId m : masters_)
-    if (m != net::kNoNode && net_.alive(m)) any_target = true;
-  if (!any_target) {
+  // Consistent with pick_read_replica: park only if some serviceable node
+  // exists (or may exist after recovery) — otherwise the read would sit in
+  // held_reads_ forever.
+  if (!reads_serviceable()) {
     end_req_span(out, "no_replica");
     reply_client(out.client, false, {});
     return;
@@ -307,6 +389,15 @@ void Scheduler::pump_held_reads() {
   while (!held_reads_.empty()) {
     if (!try_dispatch_read(held_reads_.front())) break;
     held_reads_.pop_front();
+  }
+  if (!held_reads_.empty() && !reads_serviceable()) {
+    // The cluster lost its last serviceable node while these were parked.
+    while (!held_reads_.empty()) {
+      Outstanding out = std::move(held_reads_.front());
+      held_reads_.pop_front();
+      end_req_span(out, "no_replica");
+      reply_client(out.client, false, {});
+    }
   }
   if (held_reads_.size() != before)
     obs::gauge("sched.held_reads", id_, double(held_reads_.size()));
@@ -376,6 +467,18 @@ void Scheduler::broadcast_replica_sets() {
   }
 }
 
+void Scheduler::prune_waits_for(NodeId n) {
+  for (auto& [tok, w] : discard_waits_)
+    if (w.pending.erase(n)) w.wq->notify_all();
+  for (auto& [tok, w] : promote_waits_)
+    if (w.target == n) {
+      w.target = net::kNoNode;
+      w.wq->notify_all();
+    }
+  if (takeover_wait_ && takeover_wait_->pending.erase(n))
+    takeover_wait_->wq->notify_all();
+}
+
 void Scheduler::on_node_killed(NodeId n) {
   if (!alive_ || !*alive_) return;
   // Standby schedulers track membership; the primary also orchestrates.
@@ -394,6 +497,9 @@ void Scheduler::on_node_killed(NodeId n) {
     }
     return;
   }
+  // A recovery may be blocked on this node's reply; shrink the waits
+  // first so no death during recovery can wedge it.
+  prune_waits_for(n);
   if (was_slave || was_spare) {
     erase_value(slaves_, n);
     erase_value(spares_, n);
@@ -402,12 +508,21 @@ void Scheduler::on_node_killed(NodeId n) {
     broadcast_replica_sets();
     if (was_slave && cfg_.auto_integrate_spare) integrate_spare();
     gossip_topology();
-    pump_held_reads();
   }
   if (was_master) {
     for (size_t c = 0; c < masters_.size(); ++c)
-      if (masters_[c] == n) net_.sim().spawn(recover_master(c));
+      if (masters_[c] == n) maybe_spawn_recovery(c);
   }
+  if (was_slave || was_spare) pump_held_reads();
+}
+
+void Scheduler::maybe_spawn_recovery(size_t cls) {
+  // The class is marked recovering at spawn time, not at coroutine start:
+  // duplicate failure notifications (broken connection + heartbeat) and
+  // requests racing the first recovery event both observe the flag.
+  if (recovering_classes_.count(cls)) return;
+  recovering_classes_.insert(cls);
+  net_.sim().spawn(recover_master(cls));
 }
 
 void Scheduler::integrate_spare() {
@@ -425,72 +540,112 @@ void Scheduler::integrate_spare() {
 }
 
 sim::Task<> Scheduler::recover_master(size_t cls) {
+  auto alive = alive_;
   obs::SpanGuard recovery("failover.recovery", obs::Cat::Recovery, id_);
   recovery.attr("class", std::to_string(cls));
-  recovering_classes_.insert(cls);
   ++stats_.recoveries;
   stats_.master_recovery_start = net_.sim().now();
   const NodeId dead_master = masters_[cls];
-  fail_outstanding_on(dead_master);
+  if (dead_master != net::kNoNode) fail_outstanding_on(dead_master);
   masters_[cls] = net::kNoNode;
   broadcast_replica_sets();  // surviving masters stop waiting on the dead
 
   // 1. Everyone discards write-sets of the failed class above the last
-  //    version it acknowledged to us (§4.2).
+  //    version it acknowledged to us (§4.2). The wait is liveness-aware:
+  //    a target dying before acking is pruned from the pending set
+  //    (prune_waits_for), so recovery can never hang on a dead node's ack.
   const VersionVec confirmed = version_;
   std::vector<storage::TableId> cls_tables(classes_[cls].begin(),
                                            classes_[cls].end());
-  std::vector<NodeId> targets = live_replicas();
-  for (NodeId other : masters_)
-    if (other != net::kNoNode && net_.alive(other))
-      targets.push_back(other);
-  obs::SpanGuard discard("failover.discard", obs::Cat::Recovery, id_);
-  for (NodeId n : targets)
-    net_.send(id_, n, DiscardAbove{confirmed, cls_tables}, 128);
-  size_t acks = 0;
-  while (acks < targets.size()) {
-    auto who = co_await discard_acks_->receive();
-    if (!who) co_return;
-    if (!net_.alive(*who)) continue;
-    ++acks;
+  const uint64_t token = next_token_++;
+  {
+    AckWaitSet& dw = discard_waits_[token];
+    dw.wq = std::make_unique<sim::WaitQueue>(net_.sim());
+    for (NodeId n : live_replicas()) dw.pending.insert(n);
+    for (NodeId other : masters_)
+      if (other != net::kNoNode && net_.alive(other))
+        dw.pending.insert(other);
+    for (NodeId n : dw.pending)
+      net_.send(id_, n, DiscardAbove{confirmed, cls_tables, token}, 128);
   }
+  obs::SpanGuard discard("failover.discard", obs::Cat::Recovery, id_);
+  for (;;) {
+    // Re-find after every resume: the map may rehash while suspended.
+    AckWaitSet& dw = discard_waits_[token];
+    if (dw.pending.empty()) break;
+    const bool ok = co_await dw.wq->wait();
+    if (!ok || !*alive) {
+      discard_waits_.erase(token);
+      co_return;
+    }
+  }
+  discard_waits_.erase(token);
   discard.done();
 
-  // 2. Elect a new master: the first live active slave, else a spare.
+  // 2. Elect and promote: the first live active slave, else a spare. If
+  //    the candidate dies before completing promotion, elect another.
   NodeId new_master = net::kNoNode;
-  for (NodeId s : slaves_)
-    if (net_.alive(s)) {
-      new_master = s;
-      break;
-    }
-  if (new_master == net::kNoNode)
-    for (NodeId s : spares_)
+  for (;;) {
+    new_master = net::kNoNode;
+    for (NodeId s : slaves_)
       if (net_.alive(s)) {
         new_master = s;
         break;
       }
+    if (new_master == net::kNoNode)
+      for (NodeId s : spares_)
+        if (net_.alive(s)) {
+          new_master = s;
+          break;
+        }
+    if (new_master == net::kNoNode) break;
+    erase_value(slaves_, new_master);
+    erase_value(spares_, new_master);
+
+    PromoteToMaster pm;
+    pm.reply_to = id_;
+    pm.tables = cls_tables;
+    pm.replicas = replicas_for_master(new_master);
+    const uint64_t ptok = next_token_++;
+    {
+      PromoteWait& pw = promote_waits_[ptok];
+      pw.target = new_master;
+      pw.wq = std::make_unique<sim::WaitQueue>(net_.sim());
+    }
+    obs::SpanGuard promote("failover.promote", obs::Cat::Recovery, id_);
+    promote.attr("new_master", std::to_string(new_master));
+    net_.send(id_, new_master, std::move(pm), 256);
+    for (;;) {
+      PromoteWait& pw = promote_waits_[ptok];
+      if (pw.reply || pw.target == net::kNoNode) break;
+      const bool ok = co_await pw.wq->wait();
+      if (!ok || !*alive) {
+        promote_waits_.erase(ptok);
+        co_return;
+      }
+    }
+    std::optional<PromoteDone> done = std::move(promote_waits_[ptok].reply);
+    promote_waits_.erase(ptok);
+    // The candidate may die between sending PromoteDone and our resume;
+    // a dead new master would leave the class headless forever.
+    if (done && net_.alive(new_master)) {
+      promote.done();
+      merge_max(version_, done->version);
+      break;
+    }
+    obs::instant("failover.reelect", obs::Cat::Recovery, id_);
+  }
+
   if (new_master == net::kNoNode) {
     // Whole in-memory tier is gone; fail queued updates (the on-disk
     // back-end still holds all committed data).
     for (auto& req : held_updates_) reply_client(req, false, {});
     held_updates_.clear();
     recovering_classes_.erase(cls);
+    if (recovering_classes_.empty()) answer_held_joins();  // rejected
+    pump_held_reads();  // fails them: nothing serviceable remains
     co_return;
   }
-  erase_value(slaves_, new_master);
-  erase_value(spares_, new_master);
-
-  PromoteToMaster pm;
-  pm.reply_to = id_;
-  pm.tables = cls_tables;
-  pm.replicas = replicas_for_master(new_master);
-  obs::SpanGuard promote("failover.promote", obs::Cat::Recovery, id_);
-  promote.attr("new_master", std::to_string(new_master));
-  net_.send(id_, new_master, std::move(pm), 256);
-  auto done = co_await promote_done_->receive();
-  if (!done) co_return;
-  promote.done();
-  merge_max(version_, done->version);
   masters_[cls] = new_master;
 
   // 3. The promoted node left the read rotation; backfill with a spare.
@@ -500,11 +655,9 @@ sim::Task<> Scheduler::recover_master(size_t cls) {
 
   recovering_classes_.erase(cls);
   stats_.master_recovery_end = net_.sim().now();
-  // Serve joiners that arrived mid-recovery.
+  // Serve joiners and updates that arrived mid-recovery.
   if (recovering_classes_.empty()) {
-    for (NodeId j : held_joins_)
-      if (net_.alive(j)) answer_join(j);
-    held_joins_.clear();
+    answer_held_joins();
     auto held = std::move(held_updates_);
     held_updates_.clear();
     for (auto& req : held) {
@@ -519,17 +672,56 @@ sim::Task<> Scheduler::recover_master(size_t cls) {
 
 sim::Task<> Scheduler::takeover() {
   if (is_primary_) co_return;
+  auto alive = alive_;
   is_primary_ = true;
   ++stats_.takeovers;
   obs::SpanGuard span("sched.takeover", obs::Cat::Recovery, id_);
-  // §4.1: ask the masters to abort unconfirmed transactions and report
-  // the authoritative version vector.
-  for (NodeId m : masters_) {
-    if (m == net::kNoNode || !net_.alive(m)) continue;
+
+  // Deaths observed while standing by were only used for peer seniority;
+  // adopt a coherent view first. Pruning dead replicas and pushing the
+  // updated replica sets *before* the abort-all wait matters: a master can
+  // be wedged in pre-commit waiting for a dead replica's ack, and such a
+  // master would never answer AbortAllRequest.
+  for (NodeId s : std::vector<NodeId>(slaves_))
+    if (!net_.alive(s)) {
+      erase_value(slaves_, s);
+      fail_outstanding_on(s);
+    }
+  for (NodeId s : std::vector<NodeId>(spares_))
+    if (!net_.alive(s)) {
+      erase_value(spares_, s);
+      fail_outstanding_on(s);
+    }
+  broadcast_replica_sets();
+
+  // §4.1: ask the masters to abort unconfirmed transactions and report the
+  // authoritative version vector. Liveness-aware: a master that dies after
+  // this liveness check but before replying is pruned from the pending set
+  // by prune_waits_for, so the takeover cannot wedge on it.
+  takeover_wait_ = std::make_unique<AckWaitSet>();
+  takeover_wait_->wq = std::make_unique<sim::WaitQueue>(net_.sim());
+  for (NodeId m : masters_)
+    if (m != net::kNoNode && net_.alive(m)) takeover_wait_->pending.insert(m);
+  for (NodeId m : takeover_wait_->pending)
     net_.send(id_, m, AbortAllRequest{id_}, 64);
-    auto reply = co_await abort_all_replies_->receive();
-    if (reply) merge_max(version_, reply->version);
+  while (!takeover_wait_->pending.empty()) {
+    const bool ok = co_await takeover_wait_->wq->wait();
+    if (!ok || !*alive) {
+      takeover_wait_.reset();
+      co_return;
+    }
   }
+  takeover_wait_.reset();
+  span.done();
+
+  // Classes whose master died while we were standing by (or during the
+  // abort-all wait) never got a recovery from the dead primary: run it now.
+  for (size_t c = 0; c < masters_.size(); ++c)
+    if (masters_[c] == net::kNoNode || !net_.alive(masters_[c]))
+      maybe_spawn_recovery(c);
+  if (cfg_.auto_integrate_spare && slaves_.empty()) integrate_spare();
+  gossip_topology();
+  pump_held_reads();
 }
 
 void Scheduler::gossip_topology() {

@@ -82,6 +82,12 @@ class Scheduler {
   void start();
   // Wired to net failure subscription by the cluster controller.
   void on_node_killed(NodeId n);
+  // Fail-stop this scheduler (cluster controller calls it right after
+  // net.kill): close every open request span, drop held queues, and cancel
+  // blocked recovery coroutines so their frames unwind while the object is
+  // still owned. Destruction alone must not wake coroutines (they would
+  // resume against a freed scheduler), so the destructor only closes spans.
+  void shutdown();
 
   NodeId id() const { return id_; }
   const VersionVec& version() const { return version_; }
@@ -94,6 +100,19 @@ class Scheduler {
   const std::vector<NodeId>& spares() const { return spares_; }
   SchedulerStats& stats() { return stats_; }
   size_t outstanding() const { return outstanding_.size(); }
+
+  // ---- invariant-checker probes (dmv_chaos) ----
+  size_t held_reads() const { return held_reads_.size(); }
+  size_t held_updates() const { return held_updates_.size(); }
+  size_t held_joins() const { return held_joins_.size(); }
+  bool recovering() const { return !recovering_classes_.empty(); }
+  // Sum of per-node in-flight counters; must equal outstanding() (and hit
+  // zero) at quiesce.
+  uint64_t inflight_total() const {
+    uint64_t n = 0;
+    for (const auto& [node, cnt] : outstanding_per_node_) n += cnt;
+    return n;
+  }
 
  private:
   struct Outstanding {
@@ -123,14 +142,23 @@ class Scheduler {
   // scheduler is preconfigured with each transaction type's tables).
   size_t class_of(const api::ProcInfo& proc) const;
   sim::Task<> recover_master(size_t cls);
+  void maybe_spawn_recovery(size_t cls);
   sim::Task<> takeover();
   void integrate_spare();
   void gossip_topology();
   void broadcast_replica_sets();
   void answer_join(NodeId joiner);
+  void answer_or_park_join(NodeId joiner);
+  void answer_held_joins();
   std::vector<NodeId> live_replicas() const;
   std::vector<NodeId> replicas_for_master(NodeId m) const;
   bool any_master(NodeId n) const;
+  // True if some node could (eventually) serve a tagged read: a live
+  // slave/master/spare, or a recovery in flight that may promote one.
+  bool reads_serviceable() const;
+  // Drop node n from every liveness-aware protocol wait.
+  void prune_waits_for(NodeId n);
+  void close_all_request_spans();
 
   net::Network& net_;
   NodeId id_;
@@ -158,10 +186,24 @@ class Scheduler {
 
   std::function<void(const std::vector<txn::OpRecord>&)> persist_;
 
-  // Protocol reply channels.
-  std::unique_ptr<sim::Channel<NodeId>> discard_acks_;
-  std::unique_ptr<sim::Channel<PromoteDone>> promote_done_;
-  std::unique_ptr<sim::Channel<AbortAllReply>> abort_all_replies_;
+  // Liveness-aware protocol waits. Each wait tracks the exact peers whose
+  // replies are still required; a peer's death (prune_waits_for) removes it
+  // from `pending` and wakes the waiter, so a reply that will never arrive
+  // can never wedge recovery. Channels are the wrong tool here: a channel
+  // delivers whatever comes, but recovery must know *who* still owes it.
+  struct AckWaitSet {
+    std::set<NodeId> pending;
+    std::unique_ptr<sim::WaitQueue> wq;
+  };
+  struct PromoteWait {
+    NodeId target = net::kNoNode;  // kNoNode once the target died
+    std::optional<PromoteDone> reply;
+    std::unique_ptr<sim::WaitQueue> wq;
+  };
+  uint64_t next_token_ = 1;
+  std::map<uint64_t, AckWaitSet> discard_waits_;   // keyed by message token
+  std::map<uint64_t, PromoteWait> promote_waits_;  // keyed by local token
+  std::unique_ptr<AckWaitSet> takeover_wait_;
 
   SchedulerStats stats_;
 };

@@ -22,6 +22,12 @@ const std::string& Network::name(NodeId id) const {
   return nodes_[id].name;
 }
 
+NodeId Network::find_node(std::string_view name) const {
+  for (NodeId id = 0; id < nodes_.size(); ++id)
+    if (nodes_[id].name == name) return id;
+  return kNoNode;
+}
+
 bool Network::alive(NodeId id) const {
   DMV_ASSERT(id < nodes_.size());
   return nodes_[id].alive;
@@ -42,9 +48,13 @@ void Network::send(NodeId from, NodeId to, std::any payload, size_t bytes) {
   ++messages_sent_;
   obs::count("net.bytes", from, double(bytes));
 
+  sim::Time extra = 0;
+  auto ex = link_extra_.find({std::min(from, to), std::max(from, to)});
+  if (ex != link_extra_.end()) extra = ex->second;
+
   const auto key = std::make_pair(from, to);
   sim::Time deliver_at =
-      std::max(sim_.now() + transfer_time(bytes), link_clock_[key]);
+      std::max(sim_.now() + transfer_time(bytes) + extra, link_clock_[key]);
   link_clock_[key] = deliver_at;
 
   sim_.schedule_at(
@@ -81,6 +91,11 @@ void Network::restart(NodeId id) {
 
 void Network::set_link(NodeId a, NodeId b, bool up) {
   link_down_[{std::min(a, b), std::max(a, b)}] = !up;
+}
+
+void Network::set_link_delay(NodeId a, NodeId b, sim::Time extra) {
+  DMV_ASSERT(extra >= 0);
+  link_extra_[{std::min(a, b), std::max(a, b)}] = extra;
 }
 
 void Network::subscribe_failures(std::function<void(NodeId)> cb) {

@@ -54,6 +54,9 @@ class Network {
   NodeId add_node(std::string name);
 
   const std::string& name(NodeId id) const;
+  // Reverse lookup by registered name; kNoNode if absent. Fault plans
+  // address nodes by name ("master", "slave0", "sched1", ...).
+  NodeId find_node(std::string_view name) const;
   bool alive(NodeId id) const;
   size_t node_count() const { return nodes_.size(); }
 
@@ -68,6 +71,11 @@ class Network {
 
   // Bidirectional link partition control (for partition tests).
   void set_link(NodeId a, NodeId b, bool up);
+
+  // Extra per-message latency on one link, both directions (0 to clear).
+  // Per-link FIFO order is preserved; fault plans use this to stretch
+  // protocol windows deterministically.
+  void set_link_delay(NodeId a, NodeId b, sim::Time extra);
 
   // Subscribers are told about every node death, `detect_delay` after it.
   void subscribe_failures(std::function<void(NodeId)> cb);
@@ -94,6 +102,7 @@ class Network {
   // FIFO enforcement: next admissible delivery time per directed link.
   std::map<std::pair<NodeId, NodeId>, sim::Time> link_clock_;
   std::map<std::pair<NodeId, NodeId>, bool> link_down_;
+  std::map<std::pair<NodeId, NodeId>, sim::Time> link_extra_;
   std::vector<std::function<void(NodeId)>> failure_subs_;
   uint64_t bytes_sent_ = 0;
   uint64_t messages_sent_ = 0;

@@ -1,5 +1,7 @@
 #include "obs/trace.hpp"
 
+#include <algorithm>
+
 #include "sim/simulation.hpp"
 #include "util/assert.hpp"
 
@@ -50,6 +52,7 @@ SpanId Tracer::begin(const char* name, Cat cat, uint32_t node, uint64_t txn) {
   rec.node = node;
   rec.txn = txn;
   rec.start = sim_.now();
+  if (observer_) observer_(name, cat, node);
   return id;
 }
 
@@ -83,6 +86,15 @@ void Tracer::instant(const char* name, Cat cat, uint32_t node, uint64_t txn) {
   rec.txn = txn;
   rec.start = rec.end = sim_.now();
   done_.push_back(std::move(rec));
+  if (observer_) observer_(name, cat, node);
+}
+
+std::vector<std::string> Tracer::open_span_names() const {
+  std::vector<std::string> names;
+  names.reserve(open_.size());
+  for (const auto& [id, rec] : open_) names.emplace_back(rec.name);
+  std::sort(names.begin(), names.end());
+  return names;
 }
 
 void Tracer::set_node_name(uint32_t node, std::string name) {

@@ -16,6 +16,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <string_view>
 #include <unordered_map>
@@ -103,6 +104,15 @@ class Tracer {
   void instant(const char* name, Cat cat, uint32_t node = kNoNode,
                uint64_t txn = 0);
 
+  // Protocol-point observer: invoked synchronously on every recorded
+  // begin() and instant() (after mask/capacity checks). dmv_chaos hooks
+  // fault injection onto span names with this — e.g. "kill the support
+  // slave when `failover.discard` opens". The observer must not mutate the
+  // tracer; scheduling simulation events is the intended use.
+  using PointObserver =
+      std::function<void(const char* name, Cat cat, uint32_t node)>;
+  void set_point_observer(PointObserver fn) { observer_ = std::move(fn); }
+
   CounterRegistry& counters() { return counters_; }
   const CounterRegistry& counters() const { return counters_; }
 
@@ -121,6 +131,9 @@ class Tracer {
   sim::Time total_duration(std::string_view name) const;
 
   size_t open_count() const { return open_.size(); }
+  // Names of still-open spans, sorted — for span-balance diagnostics (a
+  // non-empty list at quiesce means a request or protocol span leaked).
+  std::vector<std::string> open_span_names() const;
   size_t dropped() const { return dropped_; }
 
   sim::Simulation& sim() { return sim_; }
@@ -137,6 +150,7 @@ class Tracer {
   std::vector<SpanRec> done_;
   std::unordered_map<uint32_t, std::string> node_names_;
   CounterRegistry counters_;
+  PointObserver observer_;
 };
 
 namespace detail {

@@ -1,0 +1,131 @@
+#include <gtest/gtest.h>
+
+#include "chaos/harness.hpp"
+
+namespace dmv::chaos {
+namespace {
+
+// ---- FaultPlan DSL ----
+
+TEST(FaultPlan, ParsesAndRoundTrips) {
+  const std::string s =
+      "kill:master@t:30000;restart:slave0@t:50000;"
+      "kill:slave0@p:failover.discard#2;drop:sched0~master@t:10;"
+      "heal:sched0~master@t:20;slow:slave0~spare0:4000@p:join.pages";
+  auto plan = FaultPlan::parse(s);
+  ASSERT_TRUE(plan.has_value());
+  ASSERT_EQ(plan->faults.size(), 6u);
+  EXPECT_EQ(plan->faults[0].action.kind, ActionKind::Kill);
+  EXPECT_EQ(plan->faults[0].action.node, "master");
+  EXPECT_FALSE(plan->faults[0].trigger.at_point);
+  EXPECT_EQ(plan->faults[0].trigger.at, 30000);
+  EXPECT_EQ(plan->faults[1].action.kind, ActionKind::Restart);
+  EXPECT_TRUE(plan->faults[2].trigger.at_point);
+  EXPECT_EQ(plan->faults[2].trigger.point, "failover.discard");
+  EXPECT_EQ(plan->faults[2].trigger.occurrence, 2);
+  EXPECT_EQ(plan->faults[3].action.a, "sched0");
+  EXPECT_EQ(plan->faults[3].action.b, "master");
+  EXPECT_EQ(plan->faults[5].action.kind, ActionKind::Slow);
+  EXPECT_EQ(plan->faults[5].action.extra, 4000);
+  EXPECT_EQ(plan->faults[5].trigger.occurrence, 1);  // default
+  EXPECT_EQ(plan->str(), s);  // exact round-trip (replayable strings)
+}
+
+TEST(FaultPlan, EmptyPlanIsValid) {
+  auto plan = FaultPlan::parse("");
+  ASSERT_TRUE(plan.has_value());
+  EXPECT_TRUE(plan->empty());
+  EXPECT_EQ(plan->str(), "");
+}
+
+TEST(FaultPlan, RejectsMalformedInput) {
+  std::string err;
+  EXPECT_FALSE(FaultPlan::parse("kill:master", &err));  // no trigger
+  EXPECT_FALSE(err.empty());
+  EXPECT_FALSE(FaultPlan::parse("explode:master@t:1", &err));
+  EXPECT_FALSE(FaultPlan::parse("kill:@t:1", &err));      // empty node
+  EXPECT_FALSE(FaultPlan::parse("kill:m@t:-5", &err));    // negative time
+  EXPECT_FALSE(FaultPlan::parse("kill:m@x:5", &err));     // bad trigger
+  EXPECT_FALSE(FaultPlan::parse("kill:m@p:pt#0", &err));  // occurrence < 1
+  EXPECT_FALSE(FaultPlan::parse("drop:a@t:1", &err));     // missing '~b'
+  EXPECT_FALSE(FaultPlan::parse("slow:a~b@t:1", &err));   // missing usec
+  EXPECT_FALSE(FaultPlan::parse("kill:master@t:1;;", &err));  // empty fault
+}
+
+// ---- harness ----
+
+TEST(ChaosHarness, BaselinePassesAllInvariants) {
+  ChaosConfig cfg;
+  cfg.clients = 3;
+  cfg.ops_per_client = 15;
+  const ChaosReport rep = run_chaos(cfg, "");
+  for (const auto& v : rep.violations) ADD_FAILURE() << v;
+  EXPECT_TRUE(rep.passed);
+  EXPECT_EQ(rep.client_errors, 0u);
+  EXPECT_GT(rep.ops_ok, 0u);
+  EXPECT_EQ(rep.recoveries, 0u);
+}
+
+TEST(ChaosHarness, MasterKillRecoversAndReportsPoints) {
+  ChaosConfig cfg;
+  const ChaosReport rep = run_chaos(cfg, "kill:master@t:30000");
+  for (const auto& v : rep.violations) ADD_FAILURE() << v;
+  EXPECT_TRUE(rep.passed);
+  EXPECT_GE(rep.recoveries, 1u);
+  EXPECT_EQ(rep.faults_fired, 1u);
+  // The §4.2 phases fired as observable protocol points.
+  EXPECT_GE(rep.points_fired.count("failover.discard"), 1u);
+  EXPECT_GE(rep.points_fired.count("failover.promote"), 1u);
+}
+
+TEST(ChaosHarness, PointTriggeredFaultFires) {
+  ChaosConfig cfg;
+  const ChaosReport rep = run_chaos(
+      cfg, "kill:master@t:30000;kill:slave0@p:failover.discard#1");
+  for (const auto& v : rep.violations) ADD_FAILURE() << v;
+  EXPECT_TRUE(rep.passed);
+  EXPECT_EQ(rep.faults_fired, 2u);
+  EXPECT_EQ(rep.faults_unfired, 0u);
+}
+
+TEST(ChaosHarness, CatastrophicLossStillSatisfiesInvariants) {
+  // Kill everything that can serve requests: clients must fail cleanly
+  // (errors, not hangs) and no invariant may trip.
+  ChaosConfig cfg;
+  cfg.slaves = 2;
+  cfg.spares = 0;
+  const ChaosReport rep = run_chaos(
+      cfg,
+      "kill:slave0@t:20000;kill:slave1@t:20000;kill:master@t:20000;"
+      "kill:sched0@t:25000;kill:sched1@t:25000");
+  for (const auto& v : rep.violations) ADD_FAILURE() << v;
+  EXPECT_TRUE(rep.passed);
+  EXPECT_GT(rep.client_errors, 0u);
+}
+
+TEST(ChaosHarness, UnknownNodeIsAPlanError) {
+  ChaosConfig cfg;
+  cfg.clients = 1;
+  cfg.ops_per_client = 3;
+  const ChaosReport rep = run_chaos(cfg, "kill:bogus@t:1000");
+  EXPECT_FALSE(rep.passed);
+  ASSERT_EQ(rep.violations.size(), 1u);
+  EXPECT_NE(rep.violations[0].find("unknown node"), std::string::npos);
+}
+
+TEST(ChaosHarness, DeterministicAcrossReplays) {
+  ChaosConfig cfg;
+  cfg.seed = 42;
+  const std::string plan = "kill:master@t:30000";
+  const ChaosReport a = run_chaos(cfg, plan);
+  const ChaosReport b = run_chaos(cfg, plan);
+  EXPECT_EQ(a.passed, b.passed);
+  EXPECT_EQ(a.end_time, b.end_time);
+  EXPECT_EQ(a.ops_ok, b.ops_ok);
+  EXPECT_EQ(a.client_errors, b.client_errors);
+  EXPECT_EQ(a.update_commits, b.update_commits);
+  EXPECT_EQ(a.points_fired, b.points_fired);
+}
+
+}  // namespace
+}  // namespace dmv::chaos

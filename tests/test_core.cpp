@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include "chaos/harness.hpp"
 #include "core/cluster.hpp"
 
 namespace dmv::core {
@@ -563,6 +564,99 @@ TEST(ConflictClasses, PerClassMasterFailureRecoversOnlyThatClass) {
   ASSERT_TRUE(r.has_value());
   EXPECT_EQ(r->value, 26);  // 20 + 5 + 1
   EXPECT_EQ(r->rows, 2u);
+}
+
+// ---- fail-over corner cases, replayed as shrunk chaos plans ----
+//
+// Each plan below was found (or is the shrunk form of one found) by the
+// dmv_chaos sweep; replaying it through run_chaos checks every invariant —
+// no lost acked update, consistent tagged reads, monotone version vectors,
+// drained scheduler queues, balanced spans — not just liveness.
+
+chaos::ChaosReport replay(const char* plan, uint64_t seed = 1,
+                          int slaves = 2, int spares = 1) {
+  chaos::ChaosConfig cfg;
+  cfg.slaves = slaves;
+  cfg.spares = spares;
+  cfg.seed = seed;
+  return chaos::run_chaos(cfg, plan);
+}
+
+TEST(Failover, RecoverySurvivesSlaveDeathDuringDiscard) {
+  // The support slave dies while the recovery is collecting DiscardAbove
+  // acks: the wait must prune the dead node instead of hanging (the
+  // original bug wedged recover_master forever).
+  auto r = replay("kill:master@t:30000;kill:slave0@p:failover.discard#1");
+  EXPECT_TRUE(r.passed) << r.summary();
+  EXPECT_GE(r.recoveries, 1u);
+  EXPECT_EQ(r.faults_unfired, 0u);
+}
+
+TEST(Failover, DoubleFailureMasterAndSupportSlave) {
+  // A node is rejoining (bounced slave); the master dies exactly while the
+  // support slave is serving pages. Join must retry/complete against the
+  // recovered topology and the recovery itself must not hang.
+  auto r = replay(
+      "kill:slave0@t:20000;restart:slave0@t:40000;"
+      "kill:master@p:migration.serve#1");
+  EXPECT_TRUE(r.passed) << r.summary();
+  EXPECT_GE(r.recoveries, 1u);
+}
+
+TEST(Failover, TakeoverWithConcurrentlyDyingMaster) {
+  // The primary scheduler dies; the standby's takeover liveness-checks the
+  // master, which then dies before AbortAllReply. The takeover wait must
+  // be pruned on the obituary (the original bug hung the standby forever).
+  auto r = replay("kill:sched0@t:30000;kill:master@p:sched.takeover#1");
+  EXPECT_TRUE(r.passed) << r.summary();
+  EXPECT_GE(r.takeovers, 1u);
+  EXPECT_GE(r.recoveries, 1u);
+}
+
+TEST(Failover, ReadsSurviveLastSlaveDeath) {
+  // Single slave, no spares: killing it must divert reads to the master
+  // (liveness-gated fallback) rather than starving them behind a dead
+  // entry still present in slaves_. The availability bound asserts the
+  // diversion is immediate — a fallback gated on list emptiness parks
+  // reads for the whole failure-detection window.
+  chaos::ChaosConfig cfg;
+  cfg.slaves = 1;
+  cfg.spares = 0;
+  cfg.max_read_stall = 20 * sim::kMsec;  // well under detect_delay (50ms)
+  auto r = chaos::run_chaos(cfg, "kill:slave0@t:30000");
+  EXPECT_TRUE(r.passed) << r.summary();
+  EXPECT_EQ(r.client_errors, 0u);
+  EXPECT_GT(r.read_commits, 0u);
+  EXPECT_LT(r.max_read_latency, 20 * sim::kMsec);
+}
+
+TEST(Failover, JoinArrivingMidRecovery) {
+  // A bounced slave's JoinRequest lands while the cluster is recovering
+  // from the master's death (slowed support link widens the window): the
+  // join must be parked/retried, never answered with a stale topology.
+  auto r = replay(
+      "slow:slave0~spare0:4000@t:0;kill:slave1@t:20000;"
+      "restart:slave1@t:30000;kill:master@p:join.subscribe#1");
+  EXPECT_TRUE(r.passed) << r.summary();
+  EXPECT_GE(r.recoveries, 1u);
+  EXPECT_GE(r.joins, 1u);
+}
+
+TEST(Failover, ResubmittedUpdateIsNotExecutedTwice) {
+  // Scheduler dies with committed-but-unacked updates in flight; clients
+  // resubmit via the standby under the same request id and the master must
+  // dedupe (at-most-once) — the ledger's durability check fails on any
+  // double-applied deposit.
+  auto r = replay("kill:sched0@t:30000", 2, /*slaves=*/1, /*spares=*/0);
+  EXPECT_TRUE(r.passed) << r.summary();
+  EXPECT_GE(r.takeovers, 1u);
+}
+
+TEST(Failover, SchedulerDeathClosesRequestSpans) {
+  // Killing a scheduler with parked/in-flight requests must close their
+  // spans (shutdown path) — the span-balance invariant catches leaks.
+  auto r = replay("kill:sched0@t:20000;kill:sched1@t:90000");
+  EXPECT_TRUE(r.passed) << r.summary();
 }
 
 TEST(VersionHelpers, MergeCoversSame) {

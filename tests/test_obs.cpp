@@ -323,6 +323,50 @@ TEST(Export, SpanStatsAggregates) {
   EXPECT_NE(os.str().find("op"), std::string::npos);
 }
 
+TEST(Tracer, PointObserverSeesBeginsAndInstants) {
+  sim::Simulation sim;
+  Tracer t(sim);
+  t.enable();
+  std::vector<std::string> seen;
+  std::vector<uint32_t> nodes;
+  t.set_point_observer([&](const char* name, Cat cat, uint32_t node) {
+    (void)cat;
+    seen.push_back(name);
+    nodes.push_back(node);
+  });
+  SpanId a = t.begin("failover.discard", Cat::Recovery, 3);
+  t.instant("spare.activated", Cat::Recovery, 7);
+  t.end(a);  // end() is not a protocol point
+  ASSERT_EQ(seen.size(), 2u);
+  EXPECT_EQ(seen[0], "failover.discard");
+  EXPECT_EQ(seen[1], "spare.activated");
+  EXPECT_EQ(nodes[0], 3u);
+  EXPECT_EQ(nodes[1], 7u);
+  // Detaching the observer stops callbacks.
+  t.set_point_observer(nullptr);
+  t.instant("spare.activated", Cat::Recovery, 7);
+  EXPECT_EQ(seen.size(), 2u);
+}
+
+TEST(Tracer, OpenSpanNamesListsLeaks) {
+  sim::Simulation sim;
+  Tracer t(sim);
+  t.enable();
+  SpanId a = t.begin("sched.update", Cat::Txn, 1);
+  SpanId b = t.begin("join.pages", Cat::Migration, 2);
+  SpanId c = t.begin("master.commit", Cat::Txn, 1);
+  t.end(a);
+  EXPECT_EQ(t.open_count(), 2u);
+  const auto names = t.open_span_names();
+  ASSERT_EQ(names.size(), 2u);  // sorted
+  EXPECT_EQ(names[0], "join.pages");
+  EXPECT_EQ(names[1], "master.commit");
+  t.end(b);
+  t.end(c);
+  EXPECT_EQ(t.open_count(), 0u);
+  EXPECT_TRUE(t.open_span_names().empty());
+}
+
 TEST(Tracer, QueriesCountAndTotal) {
   sim::Simulation sim;
   Tracer t(sim);
