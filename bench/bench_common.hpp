@@ -23,6 +23,9 @@ namespace dmv::bench {
 struct BenchOptions {
   std::string trace_path;
   bool span_stats = false;
+  // Replication-pipeline ablation: run with write-set batching and
+  // cumulative-ack coalescing windows open (see apply_batching).
+  bool batched = false;
   bool tracing() const { return !trace_path.empty() || span_stats; }
 };
 
@@ -33,13 +36,32 @@ inline BenchOptions parse_bench_options(int argc, char** argv) {
       o.trace_path = argv[++i];
     } else if (std::strcmp(argv[i], "--span-stats") == 0) {
       o.span_stats = true;
+    } else if (std::strcmp(argv[i], "--batched") == 0) {
+      o.batched = true;
     } else {
       std::cerr << "unknown option: " << argv[i]
-                << " (supported: --trace <file>, --span-stats)\n";
+                << " (supported: --trace <file>, --span-stats, "
+                   "--batched)\n";
       std::exit(2);
     }
   }
   return o;
+}
+
+// Reference batching windows for the ablations: up to 8 write-sets or
+// 5ms per replica link; replicas ack every 8th write-set (a full window
+// acks immediately) or 5ms after the first unacked one. Updates pay at
+// most one batch window plus one ack window of extra reply latency
+// (locks are already released at local commit); with 700ms think times
+// and a read-heavy mix that is invisible, while the replication message
+// count per commit collapses.
+inline void apply_batching(harness::DmvExperiment::Config& cfg,
+                           bool batched) {
+  if (!batched) return;
+  cfg.batch_max_writesets = 8;
+  cfg.batch_delay = 5 * sim::kMsec;
+  cfg.ack_every_n = 8;
+  cfg.ack_delay = 5 * sim::kMsec;
 }
 
 // Export whatever the options asked for. Call while the experiment (and

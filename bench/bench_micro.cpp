@@ -96,6 +96,36 @@ void BM_PageDiffApply(benchmark::State& state) {
 }
 BENCHMARK(BM_PageDiffApply);
 
+// Slave-side application of a 16-write-set stream, delivered one
+// write-set per message (Arg 1, the unbatched pipeline) vs coalesced
+// into WriteSetBatchMsg-sized groups (Arg 8): the per-message dispatch
+// boundary that batching amortizes on the wire, measured as host time.
+void BM_WriteSetApply(benchmark::State& state) {
+  const size_t per_msg = size_t(state.range(0));
+  util::Rng rng(7);
+  storage::Page before;
+  std::vector<txn::PageMod> mods(16);
+  for (auto& mod : mods) {
+    storage::Page after = before;
+    for (int i = 0; i < 32; ++i)
+      after.raw()[rng.below(storage::kPageSize)] =
+          std::byte(uint8_t(rng.below(256)));
+    mod.runs = txn::diff_pages(before, after);
+  }
+  for (auto _ : state) {
+    storage::Page target = before;
+    for (size_t base = 0; base < mods.size(); base += per_msg) {
+      benchmark::ClobberMemory();  // per-message dispatch boundary
+      const size_t end = std::min(mods.size(), base + per_msg);
+      for (size_t j = base; j < end; ++j)
+        txn::apply_runs(target, mods[j].runs);
+    }
+    benchmark::DoNotOptimize(target.raw().data());
+  }
+  state.SetItemsProcessed(int64_t(state.iterations() * mods.size()));
+}
+BENCHMARK(BM_WriteSetApply)->Arg(1)->Arg(8);
+
 void BM_RowCodec(benchmark::State& state) {
   storage::Schema s({storage::int_col("a"), storage::char_col("b", 24),
                      storage::double_col("c"), storage::int_col("d")});

@@ -1,0 +1,137 @@
+// Replication-pipeline macro bench: the cumulative-ack + batching
+// ablation at 8 slaves under the TPC-W shopping mix.
+//
+// Runs the identical workload twice — unbatched baseline (one WriteSetMsg
+// and one immediate CumAckMsg per write-set per replica) and batched
+// (apply_batching windows) — and reports WIPS plus replication messages
+// and bytes per committed update, from the network's per-payload-type
+// counters. Results go to BENCH_repl.json (CI perf artifact).
+//
+//   bench_repl [--quick] [--out FILE]
+#include <cstring>
+#include <fstream>
+#include <iostream>
+
+#include "bench_common.hpp"
+
+using namespace dmv;
+using namespace dmv::bench;
+
+namespace {
+
+struct Run {
+  double wips = 0;
+  double lat_ms = 0;
+  uint64_t update_commits = 0;
+  uint64_t ws_messages = 0;     // WriteSetMsg + WriteSetBatchMsg
+  uint64_t ws_bytes = 0;
+  uint64_t ack_messages = 0;    // CumAckMsg
+  uint64_t batch_messages = 0;  // WriteSetBatchMsg only
+  double msgs_per_commit = 0;   // (ws + ack) / update commits
+  double bytes_per_commit = 0;  // ws bytes / update commits
+};
+
+Run run(bool batched, size_t clients, sim::Time end) {
+  harness::DmvExperiment::Config cfg;
+  cfg.workload = default_workload(tpcw::Mix::Shopping, clients);
+  // 5s series buckets so the quick run still spans whole buckets
+  // (Series::wips counts only complete buckets inside [warm, end)).
+  cfg.workload.bucket = 5 * sim::kSec;
+  cfg.slaves = 8;
+  cfg.costs = calibrated_costs();
+  apply_batching(cfg, batched);
+  harness::DmvExperiment exp(cfg);
+  exp.start();
+  exp.run_until(end);
+  exp.stop();
+
+  const sim::Time warm = 10 * sim::kSec;
+  Run r;
+  r.wips = exp.series().wips(warm, end);
+  r.lat_ms = exp.series().latency(warm, end) * 1000;
+  r.update_commits = exp.cluster().total_update_commits();
+  const auto& net = exp.cluster().net();
+  const auto ws = net.stats_of<core::WriteSetMsg>();
+  const auto wsb = net.stats_of<core::WriteSetBatchMsg>();
+  const auto ack = net.stats_of<core::CumAckMsg>();
+  r.ws_messages = ws.messages + wsb.messages;
+  r.ws_bytes = ws.bytes + wsb.bytes;
+  r.ack_messages = ack.messages;
+  r.batch_messages = wsb.messages;
+  const double commits = double(std::max<uint64_t>(1, r.update_commits));
+  r.msgs_per_commit = double(r.ws_messages + r.ack_messages) / commits;
+  r.bytes_per_commit = double(r.ws_bytes) / commits;
+  return r;
+}
+
+void emit(std::ostream& os, const char* key, const Run& r, bool last) {
+  os << "  \"" << key << "\": {\n"
+     << "    \"wips\": " << r.wips << ",\n"
+     << "    \"latency_ms\": " << r.lat_ms << ",\n"
+     << "    \"update_commits\": " << r.update_commits << ",\n"
+     << "    \"writeset_messages\": " << r.ws_messages << ",\n"
+     << "    \"writeset_batches\": " << r.batch_messages << ",\n"
+     << "    \"writeset_bytes\": " << r.ws_bytes << ",\n"
+     << "    \"ack_messages\": " << r.ack_messages << ",\n"
+     << "    \"messages_per_commit\": " << r.msgs_per_commit << ",\n"
+     << "    \"bytes_per_commit\": " << r.bytes_per_commit << "\n"
+     << "  }" << (last ? "\n" : ",\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool quick = false;
+  std::string out_path = "BENCH_repl.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) {
+      quick = true;
+    } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out_path = argv[++i];
+    } else {
+      std::cerr << "usage: bench_repl [--quick] [--out FILE]\n";
+      return 2;
+    }
+  }
+  const size_t clients = quick ? 400 : 1200;
+  const sim::Time end = (quick ? 30 : 60) * sim::kSec;
+
+  std::cout << "# bench_repl — shopping mix, 8 slaves, " << clients
+            << " clients, " << end / sim::kSec << "s virtual\n";
+  const Run unbatched = run(false, clients, end);
+  const Run batched = run(true, clients, end);
+
+  const double msg_drop_pct =
+      100.0 * (1.0 - batched.msgs_per_commit / unbatched.msgs_per_commit);
+  const double wips_delta_pct =
+      100.0 * (batched.wips / unbatched.wips - 1.0);
+
+  auto row = [](const char* name, const Run& r) {
+    return std::vector<std::string>{
+        name, harness::fmt(r.wips), harness::fmt(r.lat_ms, 1),
+        std::to_string(r.update_commits),
+        harness::fmt(r.msgs_per_commit, 2),
+        harness::fmt(r.bytes_per_commit / 1024.0, 2)};
+  };
+  harness::print_table(
+      std::cout, "Replication pipeline (per committed update)",
+      {"mode", "WIPS", "lat ms", "commits", "msgs/commit", "KB/commit"},
+      {row("unbatched", unbatched), row("batched", batched)});
+  std::cout << "\nmessages/commit drop: " << harness::fmt(msg_drop_pct, 1)
+            << "%  (target >= 40%), WIPS delta: "
+            << harness::fmt(wips_delta_pct, 2) << "%\n";
+
+  std::ofstream os(out_path);
+  os << "{\n"
+     << "  \"bench\": \"bench_repl\",\n"
+     << "  \"config\": {\"slaves\": 8, \"mix\": \"shopping\", "
+     << "\"clients\": " << clients << ", \"virtual_seconds\": "
+     << end / sim::kSec << "},\n";
+  emit(os, "unbatched", unbatched, false);
+  emit(os, "batched", batched, false);
+  os << "  \"messages_per_commit_drop_pct\": " << msg_drop_pct << ",\n"
+     << "  \"wips_delta_pct\": " << wips_delta_pct << "\n"
+     << "}\n";
+  std::cout << "# wrote " << out_path << "\n";
+  return 0;
+}

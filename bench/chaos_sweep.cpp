@@ -93,6 +93,7 @@ std::string replay_hint(const chaos::ChaosConfig& cfg,
     s += " --schedulers " + std::to_string(cfg.schedulers);
   if (cfg.max_read_stall != d.max_read_stall)
     s += " --max-read-stall " + std::to_string(cfg.max_read_stall);
+  if (cfg.batch_max_writesets != d.batch_max_writesets) s += " --batched";
   if (seed != 1) s += "   # seed " + std::to_string(seed);
   return s;
 }
@@ -179,9 +180,17 @@ int main(int argc, char** argv) {
       opt.base.ops_per_client = std::stoi(next());
     } else if (a == "--max-read-stall") {
       opt.base.max_read_stall = std::stoll(next());
+    } else if (a == "--batched") {
+      // Run every schedule with the replication pipeline's coalescing
+      // windows open: acks stand for prefixes and write-sets sit in
+      // master-side batch windows while faults fire.
+      opt.base.batch_max_writesets = 4;
+      opt.base.batch_delay = 500;             // 500us
+      opt.base.ack_every_n = 4;
+      opt.base.ack_delay = 500;
     } else {
       std::cerr << "usage: chaos_sweep [--fault-plan PLAN] [--seeds N] "
-                   "[--quick] [--verbose] [--list-points]\n"
+                   "[--quick] [--verbose] [--list-points] [--batched]\n"
                    "                   [--slaves N] [--spares N] "
                    "[--schedulers N] [--clients N] [--ops N] "
                    "[--max-read-stall USEC]\n";

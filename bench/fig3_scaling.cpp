@@ -21,11 +21,14 @@ struct Measured {
   double abort_rate = 0;
 };
 
+bool g_batched = false;  // --batched: replication-pipeline ablation
+
 Measured measure_dmv(tpcw::Mix mix, int slaves, size_t clients) {
   harness::DmvExperiment::Config cfg;
   cfg.workload = default_workload(mix, clients);
   cfg.slaves = slaves;
   cfg.costs = calibrated_costs();
+  apply_batching(cfg, g_batched);
   harness::DmvExperiment exp(cfg);
   exp.start();
   exp.run_until(kEnd);
@@ -65,6 +68,7 @@ int run_traced(const BenchOptions& opts) {
   cfg.workload = default_workload(tpcw::Mix::Shopping, 300);
   cfg.slaves = 2;
   cfg.costs = calibrated_costs();
+  apply_batching(cfg, opts.batched);
   cfg.trace = true;
   harness::DmvExperiment exp(cfg);
   exp.start();
@@ -83,9 +87,11 @@ int run_traced(const BenchOptions& opts) {
 
 int main(int argc, char** argv) {
   const BenchOptions opts = parse_bench_options(argc, argv);
+  g_batched = opts.batched;
   if (opts.tracing()) return run_traced(opts);
 
-  std::cout << "# Figure 3 — DMV in-memory tier vs stand-alone InnoDB\n";
+  std::cout << "# Figure 3 — DMV in-memory tier vs stand-alone InnoDB"
+            << (opts.batched ? " (batched replication)" : "") << "\n";
   std::cout << "# peak WIPS via step-function client search; "
             << "warm-up excluded\n";
 

@@ -250,6 +250,10 @@ ChaosReport run_chaos(const ChaosConfig& cfg, const FaultPlan& plan) {
   cc.spares = cfg.spares;
   cc.schedulers = cfg.schedulers;
   cc.heartbeats = cfg.heartbeats;
+  cc.batch_max_writesets = cfg.batch_max_writesets;
+  cc.batch_delay = cfg.batch_delay;
+  cc.ack_every_n = cfg.ack_every_n;
+  cc.ack_delay = cfg.ack_delay;
   cc.scheduler.rng_seed = cfg.seed * 7919 + 17;
   cc.schema = chaos_schema;
   const int64_t rows = cfg.rows;

@@ -33,6 +33,13 @@ struct ChaosConfig {
   sim::Time quiesce_horizon = 600 * sim::kSec;
   uint64_t seed = 1;
   bool heartbeats = false;  // broken-connection detection is the default
+  // Replication pipeline windows (EngineNode::Config): sweeps run with
+  // batching + delayed acks on to prove the fail-over invariants hold
+  // when acks stand for prefixes and write-sets sit in windows.
+  size_t batch_max_writesets = 1;
+  sim::Time batch_delay = 0;
+  uint64_t ack_every_n = 1;
+  sim::Time ack_delay = 0;
   // Read-availability bound (0 = unchecked): a *successful* read-only op
   // taking longer than this is a violation. Schedules that kill the last
   // slave set it to assert the paper's continuous-availability claim —

@@ -51,6 +51,10 @@ DmvCluster::DmvCluster(net::Network& net, const api::ProcRegistry& procs,
     nc.engine = cfg_.engine;
     nc.checkpoint_period = cfg_.checkpoint_period;
     nc.eager_apply = cfg_.eager_apply;
+    nc.batch_max_writesets = cfg_.batch_max_writesets;
+    nc.batch_delay = cfg_.batch_delay;
+    nc.ack_every_n = cfg_.ack_every_n;
+    nc.ack_delay = cfg_.ack_delay;
     if (hint_source && cfg_.pageid_hints && !spare_ids_.empty()) {
       nc.hint_target = spare_ids_[0];
       nc.hint_every_txns = cfg_.hint_every_txns;
@@ -218,6 +222,11 @@ void DmvCluster::do_restart(NodeId id) {
   EngineNode::Config nc;
   nc.engine = cfg_.engine;
   nc.checkpoint_period = cfg_.checkpoint_period;
+  nc.eager_apply = cfg_.eager_apply;
+  nc.batch_max_writesets = cfg_.batch_max_writesets;
+  nc.batch_delay = cfg_.batch_delay;
+  nc.ack_every_n = cfg_.ack_every_n;
+  nc.ack_delay = cfg_.ack_delay;
   auto node = std::make_unique<EngineNode>(net_, id, procs_, cfg_.schema,
                                            nc, stores_[id].get());
   if (cfg_.loader) cfg_.loader(node->engine().db());

@@ -31,6 +31,12 @@ class DmvCluster {
     bool pageid_hints = false;
     uint64_t hint_every_txns = 100;
     bool eager_apply = false;  // ablation: see EngineNode::Config
+    // Replication pipeline windows (see EngineNode::Config): write-set
+    // batching on masters, cumulative-ack coalescing on replicas.
+    size_t batch_max_writesets = 1;
+    sim::Time batch_delay = 0;
+    uint64_t ack_every_n = 1;
+    sim::Time ack_delay = 0;
     // Failure detection: broken connections (default, detect_delay) plus,
     // optionally, heartbeats from the primary scheduler to every engine
     // node — the paper's "missed heartbeat messages" backstop, which also

@@ -109,6 +109,9 @@ void EngineNode::start(bool restore_from_store) {
   if (restore_from_store && store_)
     mem::restore_from_checkpoint(*engine_, *store_);
   net_.sim().spawn(main_loop());
+  if (cfg_.eager_apply)
+    for (storage::TableId t = 0; t < engine_->db().table_count(); ++t)
+      net_.sim().spawn(eager_drainer(t));
   if (cfg_.checkpoint_period > 0 && store_) {
     checkpointer_ = std::make_unique<mem::Checkpointer>(
         net_.sim(), *engine_, *store_, cfg_.checkpoint_period);
@@ -126,6 +129,8 @@ void EngineNode::on_killed() {
     w->done->notify_all(false);
   }
   ack_waits_.clear();
+  outbox_.clear();
+  cum_acks_.clear();
   precommit_drain_->notify_all(false);
   sub_replies_->close();
   join_infos_->close();
@@ -145,6 +150,11 @@ void EngineNode::on_peer_killed(NodeId n) {
   if (!alive_ || !*alive_ || n == id_) return;
   erase_value(replicas_, n);
   erase_value(subscribers_, n);
+  // Buffered write-sets for the dead replica go nowhere; its ack window
+  // state is from a stream that no longer exists (a restarted incarnation
+  // rejoins with fresh seqs and must not inherit the old prefix).
+  outbox_.erase(n);
+  cum_acks_.erase(n);
   for (auto& [seq, w] : ack_waits_)
     if (w->pending.erase(n) && w->pending.empty()) w->done->notify_all();
   if (joining_ && join_peer_ == n) {
@@ -174,15 +184,119 @@ void EngineNode::broadcast_write_set(const txn::WriteSet& ws) {
   wait->pending = targets;
   wait->done = std::make_unique<sim::WaitQueue>(net_.sim());
   ack_waits_[seq] = std::move(wait);
-  NodeId origin = net::kNoNode;
-  uint64_t origin_req = 0;
+  WriteSetMsg msg;
+  msg.master = id_;
+  msg.seq = seq;
+  msg.ws = ws;
   if (auto it = origin_by_txn_.find(ws.txn_id); it != origin_by_txn_.end()) {
-    origin = it->second.first;
-    origin_req = it->second.second;
+    msg.origin = it->second.origin;
+    msg.origin_req = it->second.req;
+    msg.origin_result = it->second.result;
   }
-  for (NodeId r : targets)
-    net_.send(id_, r, WriteSetMsg{id_, seq, ws, origin, origin_req},
-              ws.byte_size());
+  for (NodeId r : targets) enqueue_write_set(r, msg);
+}
+
+void EngineNode::enqueue_write_set(NodeId to, WriteSetMsg msg) {
+  Outbox& ob = outbox_[to];
+  ob.bytes += msg.ws.byte_size();
+  ob.items.push_back(std::move(msg));
+  const bool window = cfg_.batch_max_writesets > 1 && cfg_.batch_delay > 0;
+  if (!window || ob.items.size() >= cfg_.batch_max_writesets) {
+    flush_outbox(to);
+    return;
+  }
+  if (!ob.timer_armed) {
+    ob.timer_armed = true;
+    net_.sim().schedule_after(cfg_.batch_delay, [this, to, alive = alive_] {
+      if (!*alive) return;
+      auto it = outbox_.find(to);
+      if (it == outbox_.end()) return;
+      it->second.timer_armed = false;
+      flush_outbox(to);
+    });
+  }
+}
+
+void EngineNode::flush_outbox(NodeId to) {
+  auto it = outbox_.find(to);
+  if (it == outbox_.end() || it->second.items.empty()) return;
+  Outbox ob = std::move(it->second);
+  outbox_.erase(it);
+  if (ob.items.size() == 1) {
+    net_.send(id_, to, std::move(ob.items[0]), ob.bytes);
+    return;
+  }
+  obs::count("repl.batches", id_);
+  obs::count("repl.batched_writesets", id_, double(ob.items.size()));
+  WriteSetBatchMsg batch;
+  batch.master = id_;
+  batch.items = std::move(ob.items);
+  net_.send(id_, to, std::move(batch), ob.bytes + 64);
+}
+
+void EngineNode::prune_outbox(const std::set<NodeId>& live) {
+  for (auto it = outbox_.begin(); it != outbox_.end();)
+    it = live.count(it->first) ? std::next(it) : outbox_.erase(it);
+}
+
+void EngineNode::apply_incoming_write_set(const WriteSetMsg& ws) {
+  engine_->on_write_set(ws.ws);
+  if (ws.origin != net::kNoNode)
+    committed_[ws.origin] = {ws.origin_req, ws.ws.db_version,
+                             ws.origin_result};
+  note_received(ws.master, ws.seq);
+}
+
+void EngineNode::note_received(NodeId master, uint64_t seq) {
+  CumAckState& st = cum_acks_[master];
+  // A master we never saw die restarted its stream (seq resets): a stale
+  // acked_seq above the new stream would silently cover seqs we lack.
+  if (seq <= st.acked_seq) st.acked_seq = seq - 1;
+  st.last_seq = seq;
+  const bool window = cfg_.ack_every_n > 1 && cfg_.ack_delay > 0;
+  if (!window || st.last_seq - st.acked_seq >= cfg_.ack_every_n) {
+    flush_cum_ack(master);
+    return;
+  }
+  if (!st.timer_armed) {
+    st.timer_armed = true;
+    net_.sim().schedule_after(cfg_.ack_delay,
+                              [this, master, alive = alive_] {
+                                if (!*alive) return;
+                                auto it = cum_acks_.find(master);
+                                if (it == cum_acks_.end()) return;
+                                it->second.timer_armed = false;
+                                flush_cum_ack(master);
+                              });
+  }
+}
+
+void EngineNode::flush_cum_ack(NodeId master) {
+  auto it = cum_acks_.find(master);
+  if (it == cum_acks_.end()) return;
+  CumAckState& st = it->second;
+  if (st.last_seq <= st.acked_seq) return;
+  st.acked_seq = st.last_seq;
+  obs::count("repl.cum_acks", id_);
+  net_.send(id_, master, CumAckMsg{st.acked_seq}, 32);
+}
+
+void EngineNode::flush_all_cum_acks() {
+  for (auto& [m, st] : cum_acks_) flush_cum_ack(m);
+}
+
+// Ablation (eager_apply): one persistent drainer per table, woken by the
+// engine's arrival queues — replaces spawning table_count coroutines per
+// incoming write-set.
+sim::Task<> EngineNode::eager_drainer(storage::TableId t) {
+  auto alive = alive_;
+  for (;;) {
+    while (*alive && engine_->has_applicable(t))
+      co_await engine_->apply_pending(t, engine_->received_version()[t]);
+    if (!*alive) co_return;
+    const bool ok = co_await engine_->wait_arrival(t);
+    if (!ok || !*alive) co_return;
+  }
 }
 
 sim::Task<bool> EngineNode::wait_acks(uint64_t seq) {
@@ -206,6 +320,7 @@ void EngineNode::on_replica_set(std::vector<NodeId> replicas) {
   // still-migrating subscribers, who keep acking) from every pending wait.
   std::set<NodeId> live(replicas_.begin(), replicas_.end());
   live.insert(subscribers_.begin(), subscribers_.end());
+  prune_outbox(live);
   for (auto& [seq, w] : ack_waits_) {
     for (auto it = w->pending.begin(); it != w->pending.end();) {
       if (!live.count(*it))
@@ -232,25 +347,29 @@ sim::Task<> EngineNode::main_loop() {
     if (const auto* exec = net::as<ExecTxn>(*env)) {
       net_.sim().spawn(handle_exec(*exec));
     } else if (const auto* ws = net::as<WriteSetMsg>(*env)) {
-      engine_->on_write_set(ws->ws);
-      if (ws->origin != net::kNoNode)
-        committed_[ws->origin] = {ws->origin_req, ws->ws.db_version, {}};
+      apply_incoming_write_set(*ws);
       obs::gauge("pending_mods", id_, double(engine_->pending_mod_count()));
-      net_.send(id_, ws->master, AckMsg{ws->seq}, 32);
-      if (cfg_.eager_apply) {
-        for (storage::TableId t = 0; t < engine_->db().table_count(); ++t)
-          net_.sim().spawn(
-              engine_->apply_pending(t, engine_->received_version()[t]));
-      }
-    } else if (const auto* ack = net::as<AckMsg>(*env)) {
-      auto it = ack_waits_.find(ack->seq);
-      if (it != ack_waits_.end()) {
-        it->second->pending.erase(env->from);
-        if (it->second->pending.empty()) it->second->done->notify_all();
-      }
+    } else if (const auto* batch = net::as<WriteSetBatchMsg>(*env)) {
+      // One FIFO message: items apply strictly in the order the master
+      // produced them, so version order within the batch is preserved.
+      for (const auto& item : batch->items) apply_incoming_write_set(item);
+      obs::gauge("pending_mods", id_, double(engine_->pending_mod_count()));
+    } else if (const auto* ca = net::as<CumAckMsg>(*env)) {
+      // Acks stand for prefixes: one cumulative ack completes this
+      // replica's slot in every wait at or below the acked seq.
+      const auto stop = ack_waits_.upper_bound(ca->seq);
+      for (auto it = ack_waits_.begin(); it != stop; ++it)
+        if (it->second->pending.erase(env->from) &&
+            it->second->pending.empty())
+          it->second->done->notify_all();
     } else if (const auto* rs = net::as<ReplicaSetUpdate>(*env)) {
       on_replica_set(rs->replicas);
     } else if (const auto* da = net::as<DiscardAbove>(*env)) {
+      // A delayed cumulative ack must not outlive the discard: flush the
+      // windows now so every ack in flight refers to a prefix we still
+      // hold (the discard then clamps received state below it only for
+      // the dead master's tables, whose stream died with it).
+      flush_all_cum_acks();
       engine_->discard_mods_above(da->confirmed, da->tables);
       // Committed marks for discarded updates must go too: their clients
       // never got an ack, and a resubmission has to re-execute, not be
@@ -402,7 +521,7 @@ sim::Task<> EngineNode::run_update(ExecTxn m) {
       obs::SpanGuard pc_span("master.precommit", obs::Cat::Replication, id_,
                              txn->id());
       if (m.origin != net::kNoNode)
-        origin_by_txn_[txn->id()] = {m.origin, m.origin_req};
+        origin_by_txn_[txn->id()] = {m.origin, m.origin_req, result};
       txn::WriteSet ws = co_await engine_->precommit(*txn);
       origin_by_txn_.erase(txn->id());
       pc_span.done();
@@ -410,6 +529,16 @@ sim::Task<> EngineNode::run_update(ExecTxn m) {
         inflight_.erase(m.req_id);
         co_return;
       }
+      // Locally committed: the write-set is sequenced on every replica
+      // link and nothing can abort this transaction any more short of
+      // this node dying (wait_acks only fails via on_killed). Release
+      // the page locks NOW — holding them across the ack wait would
+      // serialize hot pages for the whole coalescing window when the
+      // batching/ack-delay knobs are on — and let the ack wait gate
+      // only the client-visible reply.
+      engine_->finish_commit(*txn);
+      inflight_.erase(m.req_id);
+      precommit_drain_->notify_all();
       // precommit resumes us synchronously after its broadcast, so
       // last_bcast_seq_ still refers to *our* write-set.
       const uint64_t my_seq = last_bcast_seq_;
@@ -417,14 +546,10 @@ sim::Task<> EngineNode::run_update(ExecTxn m) {
                              txn->id());
       const bool acked = co_await wait_acks(my_seq);
       bc_span.done();
-      if (!*alive) {
-        inflight_.erase(m.req_id);
-        co_return;
-      }
-      if (!acked) throw TxnAbort(TxnAbort::Reason::Cancelled);
-      engine_->finish_commit(*txn);
-      inflight_.erase(m.req_id);
-      precommit_drain_->notify_all();
+      // A false ack wait means this node was killed mid-wait; the reply
+      // would be dropped by the network anyway. Locks are already gone
+      // and the write-set already sequenced, so just stop.
+      if (!*alive || !acked) co_return;
       ++stats_.txns_executed;
       obs::count("master.commits", id_);
       if (m.origin != net::kNoNode)
@@ -490,6 +615,9 @@ sim::Task<> EngineNode::handle_promote(NodeId from, PromoteToMaster m) {
   std::set<storage::TableId> tables(m.tables.begin(), m.tables.end());
   co_await engine_->promote(tables);
   replicas_ = m.replicas;
+  std::set<NodeId> live(replicas_.begin(), replicas_.end());
+  live.insert(subscribers_.begin(), subscribers_.end());
+  prune_outbox(live);
   VersionVec v(engine_->db().table_count());
   for (size_t t = 0; t < v.size(); ++t)
     v[t] =

@@ -6,7 +6,9 @@
 //    replica, then release locks and report the new version vector to the
 //    scheduler). Read-only transactions run tagged; a version-inconsistency
 //    abort is reported so the scheduler can retry with a fresh tag.
-//  - WriteSetMsg: queue mods (lazy application) and ack the master.
+//  - WriteSetMsg / WriteSetBatchMsg: queue mods (lazy application) and
+//    cumulatively ack the master (the ack covers the whole received
+//    prefix of its stream, optionally coalesced over a window).
 //  - Control: promotion, discard-above (master recovery), abort-all
 //    (scheduler recovery), replica-set updates.
 //  - Migration: serve PageRequests as a support slave; run the §4.4 join
@@ -47,8 +49,24 @@ class EngineNode {
     size_t migration_chunk_pages = 64;  // pages per PageChunk message
     // Ablation: apply incoming write-sets immediately instead of lazily
     // on first read (costs CPU off the read path; loses the "create the
-    // version a reader needs, when it needs it" batching).
+    // version a reader needs, when it needs it" batching). Implemented as
+    // one persistent per-table drainer woken by arrivals.
     bool eager_apply = false;
+    // --- replication pipeline (cumulative acks + batching) ---
+    // Master side: coalesce up to batch_max_writesets write-sets bound for
+    // the same replica into one WriteSetBatchMsg, holding each for at most
+    // batch_delay. Batching needs both knobs (>1 and >0): a count-only
+    // window with no deadline could hold a commit's write-set forever.
+    // Defaults are the unbatched baseline (send immediately).
+    size_t batch_max_writesets = 1;
+    sim::Time batch_delay = 0;
+    // Replica side: acks are cumulative (CumAckMsg covers the whole
+    // received prefix) and may be coalesced — send after every
+    // ack_every_n write-sets or ack_delay after the first unacked one,
+    // whichever comes first. Same both-knobs rule; defaults ack every
+    // write-set immediately.
+    uint64_t ack_every_n = 1;
+    sim::Time ack_delay = 0;
   };
 
   EngineNode(net::Network& net, NodeId id, const api::ProcRegistry& procs,
@@ -111,6 +129,20 @@ class EngineNode {
     VersionVec version;  // post-commit vector, for discard pruning
     api::TxnResult result;
   };
+  // Master->replica batch window, one per destination link.
+  struct Outbox {
+    std::vector<WriteSetMsg> items;
+    size_t bytes = 0;
+    bool timer_armed = false;
+  };
+  // Replica-side cumulative-ack window, one per master stream. Per-link
+  // FIFO makes received seqs contiguous, so last_seq IS the cumulative
+  // ack; acked_seq is how far we have told the master.
+  struct CumAckState {
+    uint64_t last_seq = 0;
+    uint64_t acked_seq = 0;
+    bool timer_armed = false;
+  };
 
   sim::Task<> main_loop();
   sim::Task<> handle_exec(ExecTxn m);
@@ -125,6 +157,16 @@ class EngineNode {
   void join_failed(const std::shared_ptr<bool>& alive);
   void broadcast_write_set(const txn::WriteSet& ws);
   sim::Task<bool> wait_acks(uint64_t seq);
+  // Batch-window plumbing (master side).
+  void enqueue_write_set(NodeId to, WriteSetMsg msg);
+  void flush_outbox(NodeId to);
+  void prune_outbox(const std::set<NodeId>& live);
+  // Cumulative-ack plumbing (replica side).
+  void apply_incoming_write_set(const WriteSetMsg& ws);
+  void note_received(NodeId master, uint64_t seq);
+  void flush_cum_ack(NodeId master);
+  void flush_all_cum_acks();
+  sim::Task<> eager_drainer(storage::TableId t);
   void on_replica_set(std::vector<NodeId> replicas);
   void maybe_send_hints();
   void reply_txn_done(const ExecTxn& m, TxnDone done);
@@ -149,14 +191,21 @@ class EngineNode {
   uint64_t last_bcast_seq_ = 0;  // seq of the most recent broadcast (valid
                                  // immediately after precommit returns)
   std::map<uint64_t, std::unique_ptr<AckWait>> ack_waits_;
+  std::map<NodeId, Outbox> outbox_;
+  std::map<NodeId, CumAckState> cum_acks_;
 
   std::unordered_map<uint64_t, Inflight*> inflight_;
   std::unique_ptr<sim::WaitQueue> precommit_drain_;
   std::map<NodeId, CommittedMark> committed_;
-  // Origin of the update currently in precommit, keyed by engine txn id —
-  // broadcast_write_set (called from inside precommit) stamps it onto the
-  // outgoing WriteSetMsg.
-  std::map<uint64_t, std::pair<NodeId, uint64_t>> origin_by_txn_;
+  // Origin + committed result of the update currently in precommit, keyed
+  // by engine txn id — broadcast_write_set (called from inside precommit)
+  // stamps them onto the outgoing WriteSetMsg.
+  struct UpdateOrigin {
+    NodeId origin = net::kNoNode;
+    uint64_t req = 0;
+    api::TxnResult result;
+  };
+  std::map<uint64_t, UpdateOrigin> origin_by_txn_;
 
   // Join-protocol reply channels (one protocol at a time).
   std::unique_ptr<sim::Channel<SubscribeReply>> sub_replies_;

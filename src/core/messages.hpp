@@ -68,9 +68,29 @@ struct WriteSetMsg {
   txn::WriteSet ws;
   // Originating client of the update (see ExecTxn): replicated so that a
   // slave promoted after a master+scheduler double failure still detects
-  // client resubmissions of updates it already holds.
+  // client resubmissions of updates it already holds. The committed result
+  // rides along so the promoted master can re-ack the resubmission with
+  // the real payload instead of success-with-empty-result.
   NodeId origin = net::kNoNode;
   uint64_t origin_req = 0;
+  api::TxnResult origin_result;
+};
+
+// Master-side batching: write-sets bound for the same replica, coalesced
+// inside a bounded window into one message (one base_latency, summed byte
+// cost). The link is FIFO, so items apply in the order they appear — the
+// order the master produced them.
+struct WriteSetBatchMsg {
+  NodeId master = net::kNoNode;
+  std::vector<WriteSetMsg> items;
+};
+
+// Replica -> master: cumulative ack of the master's broadcast stream —
+// every seq <= `seq` on this link has been received (per-link FIFO makes
+// the received prefix contiguous). Distinct from AckMsg, whose seq doubles
+// as a DiscardAbove token on the scheduler side.
+struct CumAckMsg {
+  uint64_t seq = 0;
 };
 
 struct AckMsg {

@@ -201,6 +201,10 @@ sim::Task<> Scheduler::main_loop() {
       ++stats_.joins_completed;
       erase_value(slaves_, jc->joiner);
       erase_value(spares_, jc->joiner);
+      // A fresh incarnation joins with nothing outstanding and no tag;
+      // pre-crash routing state must not skew reads against it.
+      outstanding_per_node_.erase(jc->joiner);
+      last_tag_.erase(jc->joiner);
       if (cfg_.join_as_spare)
         spares_.push_back(jc->joiner);
       else
@@ -457,7 +461,11 @@ void Scheduler::fail_outstanding_on(NodeId node) {
     end_req_span(out, "node_failed");
     reply_client(out.client, false, {});
   }
-  outstanding_per_node_[node] = 0;
+  // Drop the node's routing state entirely, not just the load count: a
+  // stale last_tag_ would make pick_read_replica deem the node's next
+  // incarnation ineligible until the version vector happened to match.
+  outstanding_per_node_.erase(node);
+  last_tag_.erase(node);
 }
 
 void Scheduler::broadcast_replica_sets() {
@@ -500,6 +508,10 @@ void Scheduler::on_node_killed(NodeId n) {
   // A recovery may be blocked on this node's reply; shrink the waits
   // first so no death during recovery can wedge it.
   prune_waits_for(n);
+  // Routing state for the dead node goes regardless of role (a joiner that
+  // dies mid-join is in neither list but may carry a tag from before).
+  outstanding_per_node_.erase(n);
+  last_tag_.erase(n);
   if (was_slave || was_spare) {
     erase_value(slaves_, n);
     erase_value(spares_, n);

@@ -113,6 +113,12 @@ class Scheduler {
     for (const auto& [node, cnt] : outstanding_per_node_) n += cnt;
     return n;
   }
+  // Any read-routing state (load counter or version tag) held for `n`.
+  // Dead and freshly-rejoined nodes must have none — stale tags skew
+  // pick_read_replica against a restarted slave.
+  bool has_routing_state(NodeId n) const {
+    return outstanding_per_node_.count(n) != 0 || last_tag_.count(n) != 0;
+  }
 
  private:
   struct Outstanding {

@@ -37,6 +37,10 @@ DmvExperiment::DmvExperiment(Config cfg)
   cc.engine.lock_policy = cfg_.lock_policy;
   cc.engine.full_page_writesets = cfg_.full_page_writesets;
   cc.eager_apply = cfg_.eager_apply;
+  cc.batch_max_writesets = cfg_.batch_max_writesets;
+  cc.batch_delay = cfg_.batch_delay;
+  cc.ack_every_n = cfg_.ack_every_n;
+  cc.ack_delay = cfg_.ack_delay;
   cc.checkpoint_period = cfg_.checkpoint_period;
   cc.scheduler.spare_read_fraction = cfg_.spare_read_fraction;
   cc.scheduler.max_reads_inflight_per_node = cfg_.reads_inflight_cap;

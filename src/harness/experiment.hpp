@@ -48,6 +48,12 @@ class DmvExperiment {
     txn::LockPolicy lock_policy = txn::LockPolicy::DeadlockDetect;
     bool full_page_writesets = false;
     bool eager_apply = false;
+    // Replication pipeline windows (cumulative acks are always on; these
+    // control coalescing — see EngineNode::Config).
+    size_t batch_max_writesets = 1;
+    sim::Time batch_delay = 0;
+    uint64_t ack_every_n = 1;
+    sim::Time ack_delay = 0;
     uint64_t reads_inflight_cap = 4;
     // Structured tracing (dmv_obs). With trace=false the tracer exists but
     // stays disabled: instrumentation costs one load+branch per site.

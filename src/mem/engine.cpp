@@ -373,16 +373,16 @@ sim::Task<txn::WriteSet> MemEngine::precommit(TxnCtx& txn) {
   txn::WriteSet ws;
   ws.txn_id = txn.id();
 
-  std::set<TableId> touched;
-  for (const PageId& pid : txn.dirty_pages()) touched.insert(pid.table);
-  for (TableId t : touched) {
-    DMV_ASSERT_MSG(masters(t), "dirtied a non-mastered table");
-    ++version_[t];
-  }
+  // Diff first, bump versions after: a table whose every dirty page diffs
+  // empty (written then reverted) must not publish a version number no
+  // write-set carries — cumulative acks equate "version seen" with
+  // "write-set received" (DESIGN.md, replication pipeline).
+  std::vector<txn::PageMod> mods;
+  std::set<TableId> changed;
   for (const PageId& pid : txn.dirty_pages()) {
+    DMV_ASSERT_MSG(masters(pid.table), "dirtied a non-mastered table");
     txn::PageMod mod;
     mod.pid = pid;
-    mod.version = version_[pid.table];
     storage::Table& tb = db_.table(pid.table);
     if (cfg_.full_page_writesets) {
       txn::ByteRun whole;
@@ -395,7 +395,13 @@ sim::Task<txn::WriteSet> MemEngine::precommit(TxnCtx& txn) {
           txn::diff_pages(txn.before_images().at(pid), tb.page(pid.page));
       if (mod.runs.empty()) continue;  // written then reverted
     }
-    tb.meta(pid.page).version = mod.version;
+    changed.insert(pid.table);
+    mods.push_back(std::move(mod));
+  }
+  for (TableId t : changed) ++version_[t];
+  for (txn::PageMod& mod : mods) {
+    mod.version = version_[mod.pid.table];
+    db_.table(mod.pid.table).meta(mod.pid.page).version = mod.version;
     ws.mods.push_back(std::move(mod));
   }
   ws.db_version.resize(db_.table_count());
@@ -483,6 +489,16 @@ sim::Task<> MemEngine::apply_pending(TableId t, uint64_t v) {
     obs::SpanGuard apply_span("slave.apply", obs::Cat::Apply, trace_node_);
     co_await cpu_.use(cost);
   }
+}
+
+bool MemEngine::has_applicable(TableId t) const {
+  const auto& q = pending_[t];
+  return !q.empty() && q.front().version <= received_[t];
+}
+
+sim::Task<bool> MemEngine::wait_arrival(TableId t) {
+  if (shutdown_) co_return false;
+  co_return co_await arrival_[t]->wait();
 }
 
 sim::Task<bool> MemEngine::wait_received(const VersionVec& target) {

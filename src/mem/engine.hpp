@@ -149,6 +149,13 @@ class MemEngine {
                           const std::vector<storage::TableId>& tables = {});
   // Roll table t's pages forward to version v (charging apply costs).
   sim::Task<> apply_pending(storage::TableId t, uint64_t v);
+  // True if table t has queued mods whose versions the replication stream
+  // has already covered (i.e. apply_pending(t, received) would do work).
+  bool has_applicable(storage::TableId t) const;
+  // Block until the next arrival (write-set or version advance) for table
+  // t; false if the engine shut down. Persistent eager-apply drainers
+  // park here between bursts.
+  sim::Task<bool> wait_arrival(storage::TableId t);
   // Block until the replication stream has delivered at least `target`
   // for every table. False if the engine shut down while waiting.
   sim::Task<bool> wait_received(const VersionVec& target);

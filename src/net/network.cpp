@@ -46,6 +46,9 @@ void Network::send(NodeId from, NodeId to, std::any payload, size_t bytes) {
 
   bytes_sent_ += bytes;
   ++messages_sent_;
+  auto& ps = payload_stats_[std::type_index(payload.type())];
+  ++ps.messages;
+  ps.bytes += bytes;
   obs::count("net.bytes", from, double(bytes));
 
   sim::Time extra = 0;

@@ -20,6 +20,7 @@
 #include <map>
 #include <memory>
 #include <string>
+#include <typeindex>
 #include <vector>
 
 #include "sim/sync.hpp"
@@ -84,6 +85,22 @@ class Network {
   uint64_t bytes_sent() const { return bytes_sent_; }
   uint64_t messages_sent() const { return messages_sent_; }
 
+  // Per-payload-type accounting: messages and bytes keyed by the payload's
+  // dynamic type. Benches report replication cost per committed update
+  // from these (e.g. stats_of<WriteSetMsg>() + stats_of<WriteSetBatchMsg>()).
+  struct PayloadStats {
+    uint64_t messages = 0;
+    uint64_t bytes = 0;
+  };
+  const std::map<std::type_index, PayloadStats>& payload_stats() const {
+    return payload_stats_;
+  }
+  template <typename T>
+  PayloadStats stats_of() const {
+    auto it = payload_stats_.find(std::type_index(typeid(T)));
+    return it == payload_stats_.end() ? PayloadStats{} : it->second;
+  }
+
   sim::Simulation& sim() { return sim_; }
   const NetworkConfig& config() const { return cfg_; }
 
@@ -106,6 +123,7 @@ class Network {
   std::vector<std::function<void(NodeId)>> failure_subs_;
   uint64_t bytes_sent_ = 0;
   uint64_t messages_sent_ = 0;
+  std::map<std::type_index, PayloadStats> payload_stats_;
 };
 
 }  // namespace dmv::net

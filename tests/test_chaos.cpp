@@ -113,6 +113,22 @@ TEST(ChaosHarness, UnknownNodeIsAPlanError) {
   EXPECT_NE(rep.violations[0].find("unknown node"), std::string::npos);
 }
 
+TEST(ChaosHarness, BatchedPipelineKeepsInvariantsThroughMasterKill) {
+  // Coalescing windows open: write-sets sit in master-side batch windows
+  // and acks stand for prefixes while the master dies. Recovery must
+  // flush delayed acks (DiscardAbove), prune per-master ack state, and
+  // still satisfy every invariant — no lost acked update, consistent
+  // tagged reads, monotone version vectors.
+  chaos::ChaosConfig cfg;
+  cfg.batch_max_writesets = 4;
+  cfg.batch_delay = 500;  // 500us
+  cfg.ack_every_n = 4;
+  cfg.ack_delay = 500;
+  auto r = chaos::run_chaos(cfg, "kill:master@t:30000");
+  EXPECT_TRUE(r.passed) << r.summary();
+  EXPECT_GE(r.recoveries, 1u);
+}
+
 TEST(ChaosHarness, DeterministicAcrossReplays) {
   ChaosConfig cfg;
   cfg.seed = 42;

@@ -659,6 +659,198 @@ TEST(Failover, SchedulerDeathClosesRequestSpans) {
   EXPECT_TRUE(r.passed) << r.summary();
 }
 
+// ---- replication pipeline: cumulative acks + write-set batching ----
+
+TEST(DmvCluster, SchedulerRoutingStateErasedOnDeathAndRejoin) {
+  DmvCluster::Config cfg;
+  cfg.slaves = 2;
+  Fixture f(cfg);
+  api::Params dep;
+  dep.set("id", int64_t{1}).set("amt", int64_t{5});
+  ASSERT_TRUE(f.request("deposit", dep).has_value());
+  for (int i = 0; i < 6; ++i) {
+    api::Params p;
+    p.set("id", int64_t{1});
+    ASSERT_TRUE(f.request("check", p).has_value());
+  }
+  const NodeId victim = f.cluster->slave_id(0);
+  ASSERT_TRUE(f.cluster->scheduler().has_routing_state(victim));
+
+  f.cluster->kill_node(victim);
+  f.sim.run(f.sim.now() + sim::kSec);
+  // A dead node's routing state must go with it: a stale last_tag_ entry
+  // biases pick_read_replica against the node's next incarnation, and a
+  // leaked outstanding_per_node_ counter skews load comparisons forever.
+  EXPECT_FALSE(f.cluster->scheduler().has_routing_state(victim));
+
+  f.cluster->restart_and_rejoin(victim);
+  f.sim.run(f.sim.now() + 10 * sim::kSec);
+  ASSERT_EQ(f.cluster->scheduler().stats().joins_completed, 1u);
+  EXPECT_FALSE(f.cluster->scheduler().has_routing_state(victim));
+
+  // The fresh incarnation serves reads (force it by killing the peer).
+  f.cluster->kill_node(f.cluster->slave_id(1));
+  f.sim.run(f.sim.now() + sim::kSec);
+  api::Params chk;
+  chk.set("id", int64_t{1});
+  auto r = f.request("check", chk);
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(r->value, 15);
+}
+
+TEST(Failover, ResubmissionAfterPromotionCarriesResult) {
+  DmvCluster::Config cfg;
+  cfg.slaves = 2;
+  Fixture f(cfg);
+  const NodeId me = f.net.add_node("raw-client");
+  const NodeId sched = f.cluster->scheduler_ids()[0];
+
+  auto send_req = [&] {
+    ClientRequest cr;
+    cr.req_id = 77;
+    cr.reply_to = me;
+    cr.proc = "deposit";
+    cr.params.set("id", int64_t{4}).set("amt", int64_t{6});
+    f.net.send(me, sched, std::move(cr));
+  };
+  auto receive = [&](std::optional<ClientReply>& out) {
+    f.sim.spawn([](net::Network& net, NodeId me,
+                   std::optional<ClientReply>& out) -> sim::Task<> {
+      auto env = co_await net.mailbox(me).receive();
+      if (!env) co_return;
+      if (const auto* r = net::as<ClientReply>(*env)) out = *r;
+    }(f.net, me, out));
+  };
+
+  std::optional<ClientReply> first;
+  receive(first);
+  send_req();
+  f.sim.run();
+  ASSERT_TRUE(first.has_value());
+  EXPECT_TRUE(first->ok);
+  EXPECT_TRUE(first->result.ok);
+
+  f.cluster->kill_node(f.cluster->master_id());
+  f.sim.run(f.sim.now() + sim::kSec);
+
+  // Same client, same request id, after fail-over: the promoted master
+  // never executed the original update — it only has the committed mark
+  // replicated in the write-set. The mark must carry the original result
+  // (it rides in WriteSetMsg), so the re-ack is indistinguishable from
+  // the first ack, not an empty TxnResult.
+  std::optional<ClientReply> second;
+  receive(second);
+  send_req();
+  f.sim.run();
+  ASSERT_TRUE(second.has_value());
+  EXPECT_TRUE(second->ok);
+  EXPECT_TRUE(second->result.ok);
+
+  // At-most-once held: the deposit applied exactly once.
+  api::Params chk;
+  chk.set("id", int64_t{4});
+  auto r = f.request("check", chk);
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(r->value, 46);
+}
+
+TEST(DmvCluster, BatchedReplicationCoalescesAndPreservesOrder) {
+  DmvCluster::Config cfg;
+  cfg.slaves = 2;
+  cfg.batch_max_writesets = 4;
+  cfg.batch_delay = 5 * sim::kMsec;
+  cfg.ack_every_n = 4;
+  cfg.ack_delay = 5 * sim::kMsec;
+  Fixture f(cfg);
+  constexpr int kDeposits = 8;
+  std::vector<std::unique_ptr<ClusterClient>> clients;
+  std::vector<std::optional<api::TxnResult>> outs(kDeposits);
+  for (int i = 0; i < kDeposits; ++i)
+    clients.push_back(f.cluster->make_client("c" + std::to_string(i)));
+  for (int i = 0; i < kDeposits; ++i) {
+    f.sim.spawn([](ClusterClient& c, int i,
+                   std::optional<api::TxnResult>& out) -> sim::Task<> {
+      api::Params p;
+      p.set("id", int64_t(i)).set("amt", int64_t{7});
+      out = co_await c.execute("deposit", std::move(p));
+    }(*clients[i], i, outs[i]));
+  }
+  f.sim.run();
+  for (auto& out : outs) {
+    ASSERT_TRUE(out.has_value());
+    EXPECT_TRUE(out->ok);
+  }
+  // Concurrent write-sets coalesced into WriteSetBatchMsg; replicas
+  // answered with cumulative acks; the per-write-set AckMsg is gone from
+  // the replication path (it only carries DiscardAbove acks now).
+  EXPECT_GT(f.net.stats_of<WriteSetBatchMsg>().messages, 0u);
+  EXPECT_GT(f.net.stats_of<CumAckMsg>().messages, 0u);
+  EXPECT_EQ(f.net.stats_of<AckMsg>().messages, 0u);
+  EXPECT_LT(f.net.stats_of<WriteSetMsg>().messages +
+                f.net.stats_of<WriteSetBatchMsg>().messages,
+            uint64_t(kDeposits) * 2);
+  // In-batch application preserved version order on every replica: each
+  // account reads back exactly one deposit on top of its seed balance.
+  for (int i = 0; i < kDeposits; ++i) {
+    api::Params chk;
+    chk.set("id", int64_t(i));
+    auto r = f.request("check", chk);
+    ASSERT_TRUE(r.has_value());
+    EXPECT_EQ(r->value, i * 10 + 7);
+  }
+}
+
+TEST(DmvCluster, DelayedCumAckFlushesOnDeadline) {
+  DmvCluster::Config cfg;
+  cfg.slaves = 1;
+  cfg.ack_every_n = 16;  // the count threshold will never be reached
+  cfg.ack_delay = 2 * sim::kMsec;
+  Fixture f(cfg);
+  api::Params dep;
+  dep.set("id", int64_t{1}).set("amt", int64_t{5});
+  ASSERT_TRUE(f.request("deposit", dep).has_value());
+  const sim::Time t0 = f.sim.now();
+  // A lone update cannot fill the ack window; only the deadline timer
+  // stands between it and a parked commit.
+  api::Params dep2;
+  dep2.set("id", int64_t{2}).set("amt", int64_t{5});
+  auto r = f.request("deposit", dep2);
+  ASSERT_TRUE(r.has_value());
+  EXPECT_TRUE(r->ok);
+  EXPECT_GE(f.sim.now() - t0, 2 * sim::kMsec);
+}
+
+TEST(DmvCluster, ReplicaDeathMidAckWindowDoesNotHangCommit) {
+  DmvCluster::Config cfg;
+  cfg.slaves = 2;
+  cfg.ack_every_n = 64;
+  cfg.ack_delay = 200 * sim::kMsec;  // much longer than failure detection
+  Fixture f(cfg);
+  auto client = f.cluster->make_client("c");
+  std::optional<api::TxnResult> out;
+  f.sim.spawn([](ClusterClient& c,
+                 std::optional<api::TxnResult>& out) -> sim::Task<> {
+    api::Params p;
+    p.set("id", int64_t{1}).set("amt", int64_t{5});
+    out = co_await c.execute("deposit", std::move(p));
+  }(*client, out));
+  f.sim.run(f.sim.now() + 2 * sim::kMsec);
+  ASSERT_FALSE(out.has_value());  // both replicas are sitting on the ack
+  // One replica dies mid-window: the master must learn the prefix it DID
+  // ack is all it will ever get, prune it from the wait, and complete on
+  // the survivor's (deadline-flushed) cumulative ack — not hang.
+  f.cluster->kill_node(f.cluster->slave_id(0));
+  f.sim.run();
+  ASSERT_TRUE(out.has_value());
+  EXPECT_TRUE(out->ok);
+
+  api::Params chk;
+  chk.set("id", int64_t{1});
+  auto r = f.request("check", chk);
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(r->value, 15);
+}
+
 TEST(VersionHelpers, MergeCoversSame) {
   VersionVec a{1, 5, 2}, b{3, 4, 2};
   merge_max(a, b);

@@ -502,6 +502,36 @@ TEST(MemEngine, PromotedMasterContinuesVersionSequence) {
       c.slaves[1]->db().table(0).pk_find(K(int64_t{100})).has_value());
 }
 
+TEST(MemEngine, RevertedWriteDoesNotBumpVersion) {
+  Cluster c(1);
+  c.run_update([](MemEngine& m, txn::TxnCtx& txn) -> sim::Task<> {
+    co_await insert_acct(m, txn, 1, 100, "ann");
+  });
+  ASSERT_EQ(c.master->version()[0], 1u);
+
+  // Written then reverted: the dirty page diffs empty, so no mod ships
+  // and the table version must NOT advance — cumulative acks equate
+  // "version seen" with "write-set received", and a version number no
+  // write-set carries would park tagged readers forever.
+  c.run_update([](MemEngine& m, txn::TxnCtx& txn) -> sim::Task<> {
+    const bool found = co_await m.update(
+        txn, 0, K(int64_t{1}), [](Row& r) { r[1] = int64_t{100}; });
+    EXPECT_TRUE(found);
+  });
+  EXPECT_EQ(c.master->version()[0], 1u);
+  EXPECT_EQ(c.master->stats().update_commits, 2u);
+  EXPECT_EQ(c.slaves[0]->received_version()[0], 1u);
+  EXPECT_EQ(c.slaves[0]->pending_mod_count(), 1u);  // only the insert
+
+  // The next real change resumes the sequence without a gap.
+  c.run_update([](MemEngine& m, txn::TxnCtx& txn) -> sim::Task<> {
+    co_await m.update(txn, 0, K(int64_t{1}),
+                      [](Row& r) { r[1] = int64_t{150}; });
+  });
+  EXPECT_EQ(c.master->version()[0], 2u);
+  EXPECT_EQ(c.slaves[0]->received_version()[0], 2u);
+}
+
 TEST(CacheModel, FaultsThenHits) {
   CacheModel cache(4, 1000);
   EXPECT_EQ(cache.touch({0, 0}), 1000);
