@@ -58,27 +58,13 @@ chaos::ChaosReport run_one(const chaos::ChaosConfig& cfg,
   return chaos::run_chaos(c, plan);
 }
 
-// Greedy delta-debugging: drop one fault at a time as long as the failure
-// still reproduces under the same seed.
+// Greedy delta-debugging via the shared shrinker: drop one fault at a time
+// as long as the failure still reproduces under the same seed.
 std::string shrink(const chaos::ChaosConfig& cfg, const std::string& plan,
                    uint64_t seed) {
-  auto parsed = chaos::FaultPlan::parse(plan);
-  if (!parsed) return plan;
-  chaos::FaultPlan cur = *parsed;
-  bool shrunk = true;
-  while (shrunk && cur.faults.size() > 1) {
-    shrunk = false;
-    for (size_t i = 0; i < cur.faults.size(); ++i) {
-      chaos::FaultPlan cand = cur;
-      cand.faults.erase(cand.faults.begin() + long(i));
-      if (!run_one(cfg, cand.str(), seed).passed) {
-        cur = cand;
-        shrunk = true;
-        break;
-      }
-    }
-  }
-  return cur.str();
+  return chaos::shrink_plan(plan, [&](const std::string& cand) {
+    return !run_one(cfg, cand, seed).passed;
+  });
 }
 
 std::string replay_hint(const chaos::ChaosConfig& cfg,

@@ -17,6 +17,7 @@
 #include <map>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "sim/task.hpp"
 #include "storage/page.hpp"
@@ -50,6 +51,9 @@ class Params {
     return std::get<std::string>(at(k));
   }
   bool has(const std::string& k) const { return kv_.count(k) > 0; }
+  // Full key/value view (history recording: the dmv_check recorder
+  // serializes the invocation so the oracle can re-evaluate it).
+  const std::map<std::string, storage::Value>& raw() const { return kv_; }
 
  private:
   const storage::Value& at(const std::string& k) const {
@@ -64,6 +68,10 @@ struct TxnResult {
   bool ok = true;
   uint64_t rows = 0;       // rows produced (the "web page" payload size)
   int64_t value = 0;       // procedure-specific scalar (e.g. new order id)
+  // Procedure-specific observed cells (read-only procs that want their
+  // full read set checked against the dmv_check sequential oracle fill
+  // this; empty for procs that don't participate in history checking).
+  std::vector<int64_t> values;
 };
 
 // One transaction's query surface. Implementations: the DMV cluster

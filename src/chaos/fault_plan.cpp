@@ -174,4 +174,26 @@ std::optional<FaultPlan> FaultPlan::parse(std::string_view s,
   return plan;
 }
 
+std::string shrink_plan(
+    const std::string& plan,
+    const std::function<bool(const std::string&)>& still_fails) {
+  auto parsed = FaultPlan::parse(plan);
+  if (!parsed) return plan;
+  FaultPlan cur = *parsed;
+  bool shrunk = true;
+  while (shrunk && cur.faults.size() > 1) {
+    shrunk = false;
+    for (size_t i = 0; i < cur.faults.size(); ++i) {
+      FaultPlan cand = cur;
+      cand.faults.erase(cand.faults.begin() + long(i));
+      if (still_fails(cand.str())) {
+        cur = cand;
+        shrunk = true;
+        break;
+      }
+    }
+  }
+  return cur.str();
+}
+
 }  // namespace dmv::chaos

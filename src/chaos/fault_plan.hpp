@@ -26,6 +26,7 @@
 // sweep shrink a failure and print a --fault-plan string that replays it.
 #pragma once
 
+#include <functional>
 #include <optional>
 #include <string>
 #include <string_view>
@@ -68,5 +69,12 @@ struct FaultPlan {
   static std::optional<FaultPlan> parse(std::string_view s,
                                         std::string* err = nullptr);
 };
+
+// Greedy delta-debugging: drop one fault at a time as long as `still_fails`
+// reproduces on the candidate plan string. Returns the smallest failing
+// plan found (the input itself if nothing could be dropped or it doesn't
+// parse). Shared by chaos_sweep and check_sweep.
+std::string shrink_plan(const std::string& plan,
+                        const std::function<bool(const std::string&)>& still_fails);
 
 }  // namespace dmv::chaos

@@ -3,6 +3,7 @@
 #include <set>
 #include <sstream>
 
+#include "chaos/fault_exec.hpp"
 #include "util/rng.hpp"
 
 namespace dmv::chaos {
@@ -159,69 +160,6 @@ sim::Task<> probe_loop(Ctx& ctx) {
   }
 }
 
-// ---- fault execution ----
-
-struct FaultExec {
-  Ctx* ctx = nullptr;
-  std::vector<net::NodeId> sched_ids;
-  std::set<net::NodeId> engine_ids;
-  struct Pending {
-    Fault f;
-    size_t seen = 0;
-    bool fired = false;
-  };
-  std::vector<Pending> pending;
-  size_t fired_count = 0;
-
-  void plan_error(const Fault& f, const char* why) {
-    ctx->viol.add(std::string("plan error: ") + why + " in '" + f.str() +
-                  "'");
-  }
-
-  void fire(const Fault& f) {
-    ++fired_count;
-    net::Network& net = ctx->net;
-    switch (f.action.kind) {
-      case ActionKind::Kill: {
-        const net::NodeId id = net.find_node(f.action.node);
-        if (id == net::kNoNode) return plan_error(f, "unknown node");
-        if (!net.alive(id)) return;  // already dead: no-op
-        for (size_t i = 0; i < sched_ids.size(); ++i)
-          if (sched_ids[i] == id) return ctx->cluster.kill_scheduler(i);
-        if (engine_ids.count(id)) return ctx->cluster.kill_node(id);
-        net.kill(id);  // auxiliary endpoint (client, monitor)
-        return;
-      }
-      case ActionKind::Restart: {
-        const net::NodeId id = net.find_node(f.action.node);
-        if (id == net::kNoNode) return plan_error(f, "unknown node");
-        if (!engine_ids.count(id))
-          return plan_error(f, "only engine nodes restart");
-        if (net.alive(id)) return;  // never killed: no-op
-        ctx->cluster.restart_and_rejoin(id);
-        return;
-      }
-      case ActionKind::Drop:
-      case ActionKind::Heal: {
-        const net::NodeId a = net.find_node(f.action.a);
-        const net::NodeId b = net.find_node(f.action.b);
-        if (a == net::kNoNode || b == net::kNoNode)
-          return plan_error(f, "unknown link endpoint");
-        net.set_link(a, b, f.action.kind == ActionKind::Heal);
-        return;
-      }
-      case ActionKind::Slow: {
-        const net::NodeId a = net.find_node(f.action.a);
-        const net::NodeId b = net.find_node(f.action.b);
-        if (a == net::kNoNode || b == net::kNoNode)
-          return plan_error(f, "unknown link endpoint");
-        net.set_link_delay(a, b, f.action.extra);
-        return;
-      }
-    }
-  }
-};
-
 }  // namespace
 
 std::string ChaosReport::summary() const {
@@ -276,35 +214,15 @@ ChaosReport run_chaos(const ChaosConfig& cfg, const FaultPlan& plan) {
   for (size_t i = 0; i < cluster.spare_count(); ++i)
     ctx.probe.engine_ids.push_back(cluster.spare_id(i));
 
-  FaultExec exec;
-  exec.ctx = &ctx;
-  exec.sched_ids = cluster.scheduler_ids();
-  exec.engine_ids.insert(ctx.probe.engine_ids.begin(),
-                         ctx.probe.engine_ids.end());
-  for (const Fault& f : plan.faults) {
-    if (f.trigger.at_point) {
-      exec.pending.push_back({f});
-    } else {
-      sim.schedule_at(f.trigger.at, [&exec, f] { exec.fire(f); });
-    }
-  }
-  // Point-triggered faults piggyback on trace emissions. The observer only
-  // *schedules* the action (at the current instant): the emitting coroutine
-  // finishes its synchronous step before the fault lands, which is also
-  // exactly the determinism the replayable plan string relies on.
+  FaultExec exec(sim, net, cluster, &ctx.viol);
+  exec.arm(plan);
+  // Point-triggered faults piggyback on trace emissions (see FaultExec).
   tracer.set_point_observer(
-      [&exec, &rep, &sim](const char* name, obs::Cat cat, uint32_t) {
+      [&exec, &rep](const char* name, obs::Cat cat, uint32_t) {
         if (cat == obs::Cat::Recovery || cat == obs::Cat::Migration ||
             cat == obs::Cat::Warmup)
           ++rep.points_fired[name];
-        for (auto& pf : exec.pending) {
-          if (pf.fired || pf.f.trigger.point != name) continue;
-          if (int(++pf.seen) == pf.f.trigger.occurrence) {
-            pf.fired = true;
-            const Fault f = pf.f;
-            sim.schedule_at(sim.now(), [&exec, f] { exec.fire(f); });
-          }
-        }
+        exec.observe_point(name);
       });
 
   util::Rng rng(cfg.seed ^ 0xc8a05c5d1u);
@@ -331,7 +249,7 @@ ChaosReport run_chaos(const ChaosConfig& cfg, const FaultPlan& plan) {
       ctx.viol.add("client " + std::to_string(i) +
                    " never completed its workload (wedged request)");
 
-  ctx.probe.scheduler_count = exec.sched_ids.size();
+  ctx.probe.scheduler_count = cluster.scheduler_ids().size();
   ctx.monotone.sample(ctx.probe, &ctx.viol);
   check_end_invariants(ctx.probe, ctx.ledger, &ctx.viol);
 
@@ -339,14 +257,13 @@ ChaosReport run_chaos(const ChaosConfig& cfg, const FaultPlan& plan) {
   // still emit events.
   tracer.set_point_observer(nullptr);
 
-  for (const auto& pf : exec.pending)
-    if (!pf.fired) ++rep.faults_unfired;
-  rep.faults_fired = exec.fired_count;
+  rep.faults_unfired = exec.unfired_count();
+  rep.faults_fired = exec.fired_count();
   for (const auto& st : ctx.clients) {
     rep.ops_ok += st.ok;
     rep.client_errors += st.errors;
   }
-  for (size_t i = 0; i < exec.sched_ids.size(); ++i) {
+  for (size_t i = 0; i < cluster.scheduler_ids().size(); ++i) {
     auto& st = cluster.scheduler(i).stats();
     rep.recoveries += st.recoveries;
     rep.takeovers += st.takeovers;

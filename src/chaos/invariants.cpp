@@ -45,8 +45,22 @@ void check_monotone(const char* what, net::NodeId id,
 
 void check_read_value(const WorkloadLedger& lg, int64_t id, int64_t value,
                       uint64_t acked_at_send, Violations* v) {
-  const int64_t delta = value - id * kBalanceBase;
+  // The interval's two sample points must themselves be monotone: the
+  // lower bound was sampled at send, so by reply time the current acked
+  // count can only have grown, and acks can never outrun attempts. A
+  // violation here means the ledger samples were taken out of order (a
+  // harness bug the interval check alone would silently absorb by widening
+  // the window).
   const uint64_t hi = lg.attempted[size_t(id)];
+  if (acked_at_send > lg.acked[size_t(id)] ||
+      lg.acked[size_t(id)] > hi) {
+    std::ostringstream os;
+    os << "ledger sample order: row " << id << " acked-at-send "
+       << acked_at_send << " vs acked " << lg.acked[size_t(id)]
+       << " vs attempted " << hi << " (must be non-decreasing)";
+    v->add(os.str());
+  }
+  const int64_t delta = value - id * kBalanceBase;
   if (delta < 0 || uint64_t(delta) < acked_at_send ||
       uint64_t(delta) > hi) {
     std::ostringstream os;
@@ -63,6 +77,15 @@ void check_sum_value(const WorkloadLedger& lg, int64_t rows_seen,
   if (rows_seen != lg.rows) {
     std::ostringstream os;
     os << "sum scan saw " << rows_seen << " rows, expected " << lg.rows;
+    v->add(os.str());
+  }
+  if (global_acked_at_send > lg.global_acked ||
+      lg.global_acked > lg.global_attempted) {
+    std::ostringstream os;
+    os << "ledger sample order: global acked-at-send "
+       << global_acked_at_send << " vs acked " << lg.global_acked
+       << " vs attempted " << lg.global_attempted
+       << " (must be non-decreasing)";
     v->add(os.str());
   }
   const int64_t base = kBalanceBase * lg.rows * (lg.rows - 1) / 2;

@@ -1,0 +1,559 @@
+#include "check/checker.hpp"
+
+#include <set>
+#include <sstream>
+
+#include "chaos/fault_exec.hpp"
+#include "chaos/invariants.hpp"
+#include "obs/trace.hpp"
+#include "check/history.hpp"
+#include "check/oracle.hpp"
+#include "core/cluster.hpp"
+#include "util/rng.hpp"
+
+namespace dmv::check {
+namespace {
+
+// ---- workload: two single-table conflict classes, updates + tagged reads
+
+constexpr storage::TableId kTableA = 0;
+constexpr storage::TableId kTableB = 1;
+
+int64_t initial_balance(storage::TableId t, int64_t key) {
+  return 1000 * int64_t(t + 1) + key * 10;
+}
+
+void check_schema(storage::Database& db) {
+  for (const char* name : {"acct_a", "acct_b"})
+    db.add_table(name,
+                 storage::Schema({storage::int_col("id"),
+                                  storage::int_col("balance")}),
+                 storage::IndexDef{"pk", {0}, true});
+}
+
+// Procs come in _a/_b pairs so ProcInfo::tables stays static per proc
+// (the scheduler routes by declared table set, §2.1).
+storage::TableId proc_table(const std::string& proc) {
+  return proc.size() >= 2 && proc[proc.size() - 1] == 'b' ? kTableB
+                                                          : kTableA;
+}
+
+api::ProcRegistry make_check_registry() {
+  api::ProcRegistry reg;
+  for (storage::TableId t : {kTableA, kTableB}) {
+    const std::string sfx = t == kTableA ? "_a" : "_b";
+
+    // Two-row money transfer: the multi-row atomicity probe. A reader
+    // that sees one leg without the other is a torn snapshot.
+    api::ProcInfo xfer;
+    xfer.read_only = false;
+    xfer.tables = {t};
+    xfer.fn = [t](api::Connection& c, const api::Params& p)
+        -> sim::Task<api::TxnResult> {
+      const int64_t amt = p.i("amt");
+      storage::Key src{p.i("src")};
+      storage::Key dst{p.i("dst")};
+      const std::function<void(storage::Row&)> debit =
+          [amt](storage::Row& r) {
+            r[1] = std::get<int64_t>(r[1]) - amt;
+          };
+      const std::function<void(storage::Row&)> credit =
+          [amt](storage::Row& r) {
+            r[1] = std::get<int64_t>(r[1]) + amt;
+          };
+      const bool a = co_await c.update(t, src, debit);
+      const bool b = co_await c.update(t, dst, credit);
+      api::TxnResult res;
+      res.ok = a && b;
+      co_return res;
+    };
+    reg.register_proc("xfer" + sfx, xfer);
+
+    // Single-row read-modify-write.
+    api::ProcInfo rmw;
+    rmw.read_only = false;
+    rmw.tables = {t};
+    rmw.fn = [t](api::Connection& c, const api::Params& p)
+        -> sim::Task<api::TxnResult> {
+      const int64_t add = p.i("add");
+      storage::Key k{p.i("k")};
+      const std::function<void(storage::Row&)> bump =
+          [add](storage::Row& r) {
+            r[1] = std::get<int64_t>(r[1]) + add;
+          };
+      const bool found = co_await c.update(t, k, bump);
+      api::TxnResult res;
+      res.ok = found;
+      co_return res;
+    };
+    reg.register_proc("rmw" + sfx, rmw);
+
+    // Single-row get.
+    api::ProcInfo get;
+    get.read_only = true;
+    get.tables = {t};
+    get.fn = [t](api::Connection& c, const api::Params& p)
+        -> sim::Task<api::TxnResult> {
+      storage::Key k{p.i("k")};
+      auto row = co_await c.get(t, k);
+      api::TxnResult res;
+      res.values.push_back(row ? std::get<int64_t>((*row)[1]) : -1);
+      co_return res;
+    };
+    reg.register_proc("get" + sfx, get);
+
+    // Two-row pair read within one class (torn-snapshot detector for the
+    // transfer legs).
+    api::ProcInfo pair;
+    pair.read_only = true;
+    pair.tables = {t};
+    pair.fn = [t](api::Connection& c, const api::Params& p)
+        -> sim::Task<api::TxnResult> {
+      storage::Key k1{p.i("k1")};
+      storage::Key k2{p.i("k2")};
+      auto r1 = co_await c.get(t, k1);
+      auto r2 = co_await c.get(t, k2);
+      api::TxnResult res;
+      res.values.push_back(r1 ? std::get<int64_t>((*r1)[1]) : -1);
+      res.values.push_back(r2 ? std::get<int64_t>((*r2)[1]) : -1);
+      co_return res;
+    };
+    reg.register_proc("pair" + sfx, pair);
+
+    // Full-table range sum: every balance in key order. The widest
+    // snapshot probe — any single withheld or phantom version shows up.
+    api::ProcInfo sum;
+    sum.read_only = true;
+    sum.tables = {t};
+    sum.fn = [t](api::Connection& c, const api::Params&)
+        -> sim::Task<api::TxnResult> {
+      api::ScanSpec spec;
+      auto rows = co_await c.scan(t, std::move(spec));
+      api::TxnResult res;
+      res.rows = rows.size();
+      for (const auto& r : rows)
+        res.values.push_back(std::get<int64_t>(r[1]));
+      co_return res;
+    };
+    reg.register_proc("sum" + sfx, sum);
+  }
+
+  // Cross-class pair: one row from each class's table. The tag is a
+  // vector cut across two masters; each cell must match its own table's
+  // component.
+  api::ProcInfo px;
+  px.read_only = true;
+  px.tables = {kTableA, kTableB};
+  px.fn = [](api::Connection& c, const api::Params& p)
+      -> sim::Task<api::TxnResult> {
+    storage::Key k1{p.i("k1")};
+    storage::Key k2{p.i("k2")};
+    auto ra = co_await c.get(kTableA, k1);
+    auto rb = co_await c.get(kTableB, k2);
+    api::TxnResult res;
+    res.values.push_back(ra ? std::get<int64_t>((*ra)[1]) : -1);
+    res.values.push_back(rb ? std::get<int64_t>((*rb)[1]) : -1);
+    co_return res;
+  };
+  reg.register_proc("pair_x", px);
+  return reg;
+}
+
+// Model-side re-evaluation of every read proc (OracleConfig::expect).
+std::vector<int64_t> expect_read(const StateView& view,
+                                 const std::string& proc,
+                                 const api::Params& p) {
+  auto cell = [&](storage::TableId t, int64_t k) {
+    return view.get(t, k).value_or(-1);
+  };
+  if (proc == "pair_x") return {cell(kTableA, p.i("k1")),
+                                cell(kTableB, p.i("k2"))};
+  const storage::TableId t = proc_table(proc);
+  if (proc.rfind("get", 0) == 0) return {cell(t, p.i("k"))};
+  if (proc.rfind("pair", 0) == 0)
+    return {cell(t, p.i("k1")), cell(t, p.i("k2"))};
+  if (proc.rfind("sum", 0) == 0) {
+    std::vector<int64_t> out;
+    for (const auto& [key, value] : view.scan(t)) {
+      (void)key;
+      out.push_back(value);
+    }
+    return out;
+  }
+  return {};  // unknown read proc: expect no checked cells
+}
+
+// ---- closed-loop clients ----
+
+struct ClientState {
+  std::unique_ptr<core::ClusterClient> client;
+  bool done = false;
+  uint64_t ok = 0;
+  uint64_t errors = 0;
+};
+
+struct Ctx {
+  const CheckConfig& cfg;
+  sim::Simulation& sim;
+  std::vector<ClientState> clients{};
+  size_t clients_done = 0;
+};
+
+sim::Task<> client_loop(Ctx& ctx, size_t ci, util::Rng rng) {
+  ClientState& st = ctx.clients[ci];
+  const int64_t rows = ctx.cfg.rows_per_table;
+  for (int op = 0; op < ctx.cfg.ops_per_client; ++op) {
+    co_await ctx.sim.delay(
+        sim::Time(rng.exponential(double(ctx.cfg.mean_think))));
+    std::string proc;
+    api::Params p;
+    if (rng.chance(ctx.cfg.update_fraction)) {
+      const std::string sfx = rng.chance(0.5) ? "_a" : "_b";
+      if (rng.chance(0.5)) {
+        const int64_t src = int64_t(rng.below(uint64_t(rows)));
+        int64_t dst = int64_t(rng.below(uint64_t(rows - 1)));
+        if (dst >= src) ++dst;
+        proc = "xfer" + sfx;
+        p.set("src", src).set("dst", dst);
+        p.set("amt", rng.between(1, 5));
+      } else {
+        proc = "rmw" + sfx;
+        p.set("k", int64_t(rng.below(uint64_t(rows))));
+        p.set("add", rng.between(1, 3));
+      }
+    } else {
+      const uint64_t pick = rng.below(100);
+      if (pick < 35) {
+        proc = rng.chance(0.5) ? "get_a" : "get_b";
+        p.set("k", int64_t(rng.below(uint64_t(rows))));
+      } else if (pick < 60) {
+        proc = rng.chance(0.5) ? "pair_a" : "pair_b";
+        p.set("k1", int64_t(rng.below(uint64_t(rows))));
+        p.set("k2", int64_t(rng.below(uint64_t(rows))));
+      } else if (pick < 85) {
+        proc = rng.chance(0.5) ? "sum_a" : "sum_b";
+      } else {
+        proc = "pair_x";
+        p.set("k1", int64_t(rng.below(uint64_t(rows))));
+        p.set("k2", int64_t(rng.below(uint64_t(rows))));
+      }
+    }
+    auto r = co_await st.client->execute(proc, std::move(p));
+    if (r && r->ok)
+      ++st.ok;
+    else
+      ++st.errors;
+  }
+  st.done = true;
+  ++ctx.clients_done;
+}
+
+}  // namespace
+
+std::string CheckReport::summary() const {
+  std::ostringstream os;
+  os << (passed ? "PASS" : "FAIL") << " t=" << end_time << "us ok="
+     << ops_ok << " err=" << client_errors << " commits="
+     << commits_recorded << " reads=" << reads_checked << " vaborts="
+     << version_aborts << " rec=" << recoveries << " take=" << takeovers;
+  if (!passed) os << " violations=" << violations.size();
+  return os.str();
+}
+
+CheckReport run_check(const CheckConfig& cfg, const chaos::FaultPlan& plan) {
+
+  CheckReport rep;
+  chaos::Violations viol;
+  sim::Simulation sim;
+  net::Network net(sim);
+  obs::Tracer tracer(sim);
+  tracer.enable();
+  struct Restore {
+    obs::Tracer* prev;
+    ~Restore() { obs::set_tracer(prev); }
+  } restore{obs::set_tracer(&tracer)};
+
+  Recorder rec(sim);
+
+  api::ProcRegistry reg = make_check_registry();
+  core::DmvCluster::Config cc;
+  cc.slaves = cfg.slaves;
+  cc.spares = cfg.spares;
+  cc.schedulers = cfg.schedulers;
+  cc.conflict_classes = {{kTableA}, {kTableB}};
+  cc.heartbeats = cfg.heartbeats;
+  cc.batch_max_writesets = cfg.batch_max_writesets;
+  cc.batch_delay = cfg.batch_delay;
+  cc.ack_every_n = cfg.ack_every_n;
+  cc.ack_delay = cfg.ack_delay;
+  cc.scheduler.rng_seed = cfg.seed * 7919 + 17;
+  cc.scheduler.mut_skip_ack_merge = cfg.mut_skip_ack_merge;
+  cc.engine.mut_skip_tag_upgrade = cfg.mut_skip_tag_upgrade;
+  cc.engine.mut_apply_off_by_one = cfg.mut_apply_off_by_one;
+  cc.engine.mut_skip_discard = cfg.mut_skip_discard;
+  cc.mut_batch_reverse = cfg.mut_batch_reverse;
+  cc.schema = check_schema;
+  const int64_t rows = cfg.rows_per_table;
+  cc.loader = [rows](storage::Database& db) {
+    for (storage::TableId t : {kTableA, kTableB})
+      for (int64_t i = 0; i < rows; ++i)
+        db.table(t).insert_row(
+            storage::Row{i, initial_balance(t, i)});
+  };
+  core::DmvCluster cluster(net, reg, std::move(cc));
+
+  // Install the sink only while the cluster lives: cleared (declaration
+  // order) before the cluster destructor can emit anything.
+  struct SinkGuard {
+    explicit SinkGuard(Sink* s) { set_sink(s); }
+    ~SinkGuard() { set_sink(nullptr); }
+  } sink_guard{&rec};
+
+  cluster.start();
+
+  chaos::FaultExec exec(sim, net, cluster, &viol);
+  exec.arm(plan);
+  tracer.set_point_observer(
+      [&exec](const char* name, obs::Cat, uint32_t) {
+        exec.observe_point(name);
+      });
+
+  Ctx ctx{cfg, sim};
+  util::Rng rng(cfg.seed ^ 0x5b4c1e9f3d2a7081ull);
+  ctx.clients.resize(size_t(cfg.clients));
+  for (int i = 0; i < cfg.clients; ++i) {
+    ctx.clients[size_t(i)].client =
+        cluster.make_client("c" + std::to_string(i));
+    sim.spawn(client_loop(ctx, size_t(i), rng.split()));
+  }
+
+  rep.end_time = sim.run(cfg.quiesce_horizon);
+
+  // ---- hang detection ----
+  if (sim.pending_events() > 0)
+    viol.add("hang: " + std::to_string(sim.pending_events()) +
+             " event(s) still pending past the quiesce horizon (" +
+             std::to_string(cfg.quiesce_horizon) + "us)");
+  for (size_t i = 0; i < ctx.clients.size(); ++i)
+    if (!ctx.clients[i].done)
+      viol.add("client " + std::to_string(i) +
+               " never completed its workload (wedged request)");
+
+  // Scheduler drain: nothing may be outstanding, parked, or mid-recovery
+  // once the event queue is empty (mirrors chaos::check_end_invariants).
+  for (size_t i = 0; i < cluster.scheduler_ids().size(); ++i) {
+    core::Scheduler& s = cluster.scheduler(i);
+    if (!net.alive(s.id())) continue;
+    const std::string who = "scheduler " + std::to_string(i);
+    if (s.outstanding() != 0)
+      viol.add(who + " has " + std::to_string(s.outstanding()) +
+               " outstanding requests at quiesce");
+    if (s.held_reads() != 0)
+      viol.add(who + " has " + std::to_string(s.held_reads()) +
+               " parked reads at quiesce");
+    if (s.held_updates() != 0)
+      viol.add(who + " has " + std::to_string(s.held_updates()) +
+               " parked updates at quiesce");
+    if (s.held_joins() != 0)
+      viol.add(who + " has " + std::to_string(s.held_joins()) +
+               " parked joins at quiesce");
+    if (s.recovering())
+      viol.add(who + " still marks a recovery in flight at quiesce");
+  }
+
+  tracer.set_point_observer(nullptr);
+
+  // ---- replay the history through the sequential oracle ----
+  OracleConfig oc;
+  oc.tables = 2;
+  oc.initial.resize(2);
+  for (storage::TableId t : {kTableA, kTableB})
+    for (int64_t i = 0; i < rows; ++i)
+      oc.initial[t][i] = initial_balance(t, i);
+  oc.expect = expect_read;
+  Oracle oracle(std::move(oc));
+  oracle.check(rec.events(), &viol);
+  for (const auto& v : rec.online().items) viol.add(v);
+
+  rep.faults_fired = exec.fired_count();
+  rep.faults_unfired = exec.unfired_count();
+  for (const auto& st : ctx.clients) {
+    rep.ops_ok += st.ok;
+    rep.client_errors += st.errors;
+  }
+  for (size_t i = 0; i < cluster.scheduler_ids().size(); ++i) {
+    auto& st = cluster.scheduler(i).stats();
+    rep.recoveries += st.recoveries;
+    rep.takeovers += st.takeovers;
+  }
+  rep.update_commits = cluster.total_update_commits();
+  rep.read_commits = cluster.total_read_commits();
+  rep.version_aborts = cluster.total_version_aborts();
+  rep.reads_checked = oracle.reads_checked();
+  rep.commits_recorded = rec.commit_count();
+  rep.violations = viol.items;
+  rep.passed = viol.ok();
+  if (!rep.passed) rep.history_dump = rec.dump_string();
+  return rep;
+}
+
+CheckReport run_check(const CheckConfig& cfg, const std::string& plan_str) {
+  std::string err;
+  auto plan = chaos::FaultPlan::parse(plan_str, &err);
+  DMV_ASSERT_MSG(plan.has_value(), "bad fault plan: " << err);
+  return run_check(cfg, *plan);
+}
+
+std::string random_fault_plan(const CheckConfig& cfg, uint64_t seed,
+                              int faults) {
+  util::Rng rng(seed * 0x9e3779b97f4a7c15ull + 0x2545f4914f6cdd1dull);
+  // Victims chosen so <= 2 deaths always leave the cluster serviceable:
+  // every class keeps a promotable replica and sched1+ stay alive.
+  std::vector<std::string> victims = {"master0", "master1"};
+  for (int i = 0; i < cfg.slaves; ++i)
+    victims.push_back("slave" + std::to_string(i));
+  for (int i = 0; i < cfg.spares; ++i)
+    victims.push_back("spare" + std::to_string(i));
+  if (cfg.schedulers > 1) victims.push_back("sched0");
+
+  std::string plan;
+  std::set<std::string> killed;
+  for (int i = 0; i < faults; ++i) {
+    const std::string& v = victims[rng.below(victims.size())];
+    if (!killed.insert(v).second) continue;  // one death per node
+    const long long t = 3000 + (long long)rng.below(47000);
+    if (!plan.empty()) plan += ";";
+    plan += "kill:" + v + "@t:" + std::to_string(t);
+    // Engines sometimes come back through the §4.4 rejoin protocol.
+    if (v.rfind("sched", 0) != 0 && rng.chance(0.4))
+      plan += ";restart:" + v + "@t:" +
+              std::to_string(t + 20000 + (long long)rng.below(40000));
+  }
+  return plan;
+}
+
+const std::vector<Mutation>& mutation_list() {
+  static const std::vector<Mutation> muts = [] {
+    std::vector<Mutation> m;
+    // Common scale for the planted-bug runs: enough traffic that each
+    // bug's window is hit on most seeds.
+    auto busy = [](CheckConfig& c) {
+      c.clients = 4;
+      c.ops_per_client = 20;
+      c.mean_think = 500;
+    };
+
+    m.push_back(
+        {"skip-tag-upgrade",
+         "master-served reads skip the §2.1 tag upgrade + page latch and "
+         "read in-place state unchecked",
+         {"snapshot-mismatch"},
+         [busy](CheckConfig& c) {
+           busy(c);
+           // Kill the only slave so reads fall back to the masters,
+           // where the mutated path serves them.
+           c.slaves = 1;
+           c.spares = 0;
+           c.schedulers = 1;
+           c.update_fraction = 0.7;
+           c.mut_skip_tag_upgrade = true;
+         },
+         "kill:slave0@t:5000"});
+
+    m.push_back(
+        {"skip-ack-merge",
+         "scheduler forgets to merge commit stamps into its version "
+         "vector before acking the client (session order lost)",
+         {"tag-coverage"},
+         [busy](CheckConfig& c) {
+           busy(c);
+           c.schedulers = 1;
+           c.update_fraction = 0.6;
+           c.mut_skip_ack_merge = true;
+         },
+         ""});
+
+    m.push_back(
+        {"apply-off-by-one",
+         "replicas apply the pending-mod prefix one version short of the "
+         "read's tag (stale snapshots served as fresh)",
+         {"snapshot-mismatch"},
+         [busy](CheckConfig& c) {
+           busy(c);
+           c.update_fraction = 0.6;
+           c.mut_apply_off_by_one = true;
+         },
+         ""});
+
+    m.push_back(
+        {"skip-discard",
+         "replicas ignore DiscardAbove during fail-over: unconfirmed "
+         "write-sets survive the discard and leak into the new epoch",
+         {"version-gap", "snapshot-mismatch", "at-most-once"},
+         [busy](CheckConfig& c) {
+           busy(c);
+           c.update_fraction = 0.8;
+           c.mean_think = 200;
+           // Open the pipeline windows so the dying master has
+           // unconfirmed write-sets in flight.
+           c.batch_max_writesets = 4;
+           c.batch_delay = 500;
+           c.ack_every_n = 4;
+           c.ack_delay = 500;
+           c.mut_skip_discard = true;
+         },
+         "kill:master0@t:8000"});
+
+    m.push_back(
+        {"batch-reverse",
+         "masters emit each replication batch in reverse order (apply "
+         "order broken under coalescing)",
+         {"snapshot-mismatch"},
+         [busy](CheckConfig& c) {
+           busy(c);
+           c.ops_per_client = 24;
+           c.update_fraction = 0.85;
+           c.mean_think = 100;
+           c.batch_max_writesets = 4;
+           c.batch_delay = 500;
+           c.mut_batch_reverse = true;
+         },
+         ""});
+    return m;
+  }();
+  return muts;
+}
+
+bool run_mutation_smoke(std::ostream& log, bool verbose) {
+  bool all = true;
+  for (const Mutation& m : mutation_list()) {
+    bool caught = false;
+    for (int seed = 1; seed <= m.seeds && !caught; ++seed) {
+      CheckConfig cfg;
+      m.apply(cfg);
+      cfg.seed = uint64_t(seed);
+      const CheckReport rep = run_check(cfg, m.plan);
+      if (verbose)
+        log << "  [" << m.name << " seed " << seed << "] "
+            << rep.summary() << "\n";
+      for (const auto& v : rep.violations) {
+        for (const auto& e : m.expect) {
+          if (v.find(e) == std::string::npos) continue;
+          log << "caught: " << m.name << " (seed " << seed << ") -> "
+              << v << "\n";
+          caught = true;
+          break;
+        }
+        if (caught) break;
+      }
+    }
+    if (!caught) {
+      log << "MISSED: " << m.name << " — no seed produced any of the "
+          << "expected violations (" << m.what << ")\n";
+      all = false;
+    }
+  }
+  return all;
+}
+
+}  // namespace dmv::check

@@ -1,0 +1,111 @@
+// Property-based one-copy-serializability checker (dmv_check).
+//
+// run_check() builds a two-class DMV cluster (tables acct_a / acct_b, one
+// master each), installs a history Recorder as the check::Sink, runs a
+// randomized multi-row workload — two-row transfers, read-modify-writes,
+// single gets, two-row pair reads (torn-snapshot detectors, including one
+// crossing both conflict classes) and full-table range sums — composed
+// with an arbitrary FaultPlan schedule, then replays the recorded history
+// through the sequential Oracle. Everything is deterministic in
+// (CheckConfig, plan, seed): a failure reproduces from the one-line
+//
+//   check_sweep --seed N --fault-plan '...'
+//
+// Workload shape is deliberate: only updates of pre-loaded rows (no
+// inserts or deletes after load). An uncommitted delete hides a row from
+// the index; a master-served scan that misses it is *correct* if the
+// delete later aborts, but rollback republishes no version, so the oracle
+// could not tell that apart from a lost row. Updates-only keeps the oracle
+// exact instead of interval-shaped.
+//
+// Mutation smoke mode (run_mutation_smoke) flips known-critical checks
+// one at a time — the §2.1 tag-upgrade guard, the scheduler's ack merge,
+// fail-over discard, replication apply order, batch order — and asserts
+// the checker reports each with its expected named violation. A checker
+// that cannot see a planted bug is worse than none.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "chaos/fault_plan.hpp"
+#include "sim/time.hpp"
+
+namespace dmv::check {
+
+struct CheckConfig {
+  int slaves = 2;       // per cluster (shared by both classes)
+  int spares = 1;
+  int schedulers = 2;
+  int clients = 3;
+  int ops_per_client = 12;
+  int64_t rows_per_table = 8;
+  double update_fraction = 0.5;
+  sim::Time mean_think = 2 * sim::kMsec;
+  sim::Time quiesce_horizon = 600 * sim::kSec;
+  uint64_t seed = 1;
+  bool heartbeats = false;
+  // Replication pipeline knobs (exercise batching + cumulative acks).
+  size_t batch_max_writesets = 1;
+  sim::Time batch_delay = 0;
+  uint64_t ack_every_n = 1;
+  sim::Time ack_delay = 0;
+  // Mutation knobs — plumb through to the cluster (smoke mode only).
+  bool mut_skip_tag_upgrade = false;
+  bool mut_apply_off_by_one = false;
+  bool mut_skip_discard = false;
+  bool mut_skip_ack_merge = false;
+  bool mut_batch_reverse = false;
+};
+
+struct CheckReport {
+  bool passed = false;
+  std::vector<std::string> violations;
+  uint64_t ops_ok = 0;
+  uint64_t client_errors = 0;
+  uint64_t update_commits = 0;
+  uint64_t read_commits = 0;
+  uint64_t version_aborts = 0;
+  uint64_t recoveries = 0;
+  uint64_t takeovers = 0;
+  size_t reads_checked = 0;
+  size_t commits_recorded = 0;
+  size_t faults_fired = 0;
+  size_t faults_unfired = 0;
+  sim::Time end_time = 0;
+  // Full event log, populated only on failure (for --artifacts).
+  std::string history_dump;
+  std::string summary() const;
+};
+
+CheckReport run_check(const CheckConfig& cfg, const chaos::FaultPlan& plan);
+CheckReport run_check(const CheckConfig& cfg, const std::string& plan_str);
+
+// Deterministic random fault schedule over the checker cluster's node
+// names (master0, master1, slave0.., spare0.., sched0): `faults` kills,
+// engine kills sometimes followed by a §4.4 restart. With the default
+// role counts any two deaths leave every class a promotable replica and a
+// live scheduler, so plans never make the workload unserviceable.
+std::string random_fault_plan(const CheckConfig& cfg, uint64_t seed,
+                              int faults);
+
+// One deliberately-planted bug + the evidence required to call it caught.
+struct Mutation {
+  std::string name;
+  std::string what;                 // one-line description of the bug
+  std::vector<std::string> expect;  // any-of violation-name substrings
+  std::function<void(CheckConfig&)> apply;
+  std::string plan;
+  int seeds = 10;  // seeds tried until the mutation is detected
+};
+
+const std::vector<Mutation>& mutation_list();
+
+// Runs every mutation; true iff each one produced one of its expected
+// named violations on some seed. Per-mutation outcomes go to `log`.
+bool run_mutation_smoke(std::ostream& log, bool verbose);
+
+}  // namespace dmv::check

@@ -55,6 +55,7 @@ DmvCluster::DmvCluster(net::Network& net, const api::ProcRegistry& procs,
     nc.batch_delay = cfg_.batch_delay;
     nc.ack_every_n = cfg_.ack_every_n;
     nc.ack_delay = cfg_.ack_delay;
+    nc.mut_batch_reverse = cfg_.mut_batch_reverse;
     if (hint_source && cfg_.pageid_hints && !spare_ids_.empty()) {
       nc.hint_target = spare_ids_[0];
       nc.hint_every_txns = cfg_.hint_every_txns;
@@ -227,6 +228,7 @@ void DmvCluster::do_restart(NodeId id) {
   nc.batch_delay = cfg_.batch_delay;
   nc.ack_every_n = cfg_.ack_every_n;
   nc.ack_delay = cfg_.ack_delay;
+  nc.mut_batch_reverse = cfg_.mut_batch_reverse;
   auto node = std::make_unique<EngineNode>(net_, id, procs_, cfg_.schema,
                                            nc, stores_[id].get());
   if (cfg_.loader) cfg_.loader(node->engine().db());

@@ -37,6 +37,8 @@ class DmvCluster {
     sim::Time batch_delay = 0;
     uint64_t ack_every_n = 1;
     sim::Time ack_delay = 0;
+    // Test-only mutation (see EngineNode::Config::mut_batch_reverse).
+    bool mut_batch_reverse = false;
     // Failure detection: broken connections (default, detect_delay) plus,
     // optionally, heartbeats from the primary scheduler to every engine
     // node — the paper's "missed heartbeat messages" backstop, which also

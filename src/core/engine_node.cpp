@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "check/sink.hpp"
 #include "core/version.hpp"
 #include "net/failure_detector.hpp"
 #include "obs/trace.hpp"
@@ -352,7 +353,14 @@ sim::Task<> EngineNode::main_loop() {
     } else if (const auto* batch = net::as<WriteSetBatchMsg>(*env)) {
       // One FIFO message: items apply strictly in the order the master
       // produced them, so version order within the batch is preserved.
-      for (const auto& item : batch->items) apply_incoming_write_set(item);
+      if (cfg_.mut_batch_reverse) {
+        for (auto it = batch->items.rbegin(); it != batch->items.rend();
+             ++it)
+          apply_incoming_write_set(*it);
+      } else {
+        for (const auto& item : batch->items)
+          apply_incoming_write_set(item);
+      }
       obs::gauge("pending_mods", id_, double(engine_->pending_mod_count()));
     } else if (const auto* ca = net::as<CumAckMsg>(*env)) {
       // Acks stand for prefixes: one cumulative ack completes this
@@ -446,11 +454,19 @@ sim::Task<> EngineNode::run_read(ExecTxn m) {
     TxnDone done;
     done.ok = true;
     done.result = result;
+    // The tag actually observed: master-served reads upgraded their
+    // mastered entries in place (mem::MemEngine::ensure_table).
+    done.read_tag = txn->read_version();
     reply_txn_done(m, std::move(done));
   } catch (const TxnAbort& e) {
-    if (e.reason == TxnAbort::Reason::VersionConflict) {
+    if (e.reason == TxnAbort::Reason::VersionConflict ||
+        e.reason == TxnAbort::Reason::WaitDie) {
+      // WaitDie only reaches read-only transactions via the master-read
+      // page latch; like a version conflict, the cure is a retry with a
+      // fresh tag, so report it on the same path.
       ++stats_.version_abort_replies;
-      span.attr("abort", "version");
+      span.attr("abort",
+                e.reason == TxnAbort::Reason::WaitDie ? "latch" : "version");
       obs::count("aborts.version", id_);
       TxnDone done;
       done.ok = false;
@@ -529,6 +545,13 @@ sim::Task<> EngineNode::run_update(ExecTxn m) {
         inflight_.erase(m.req_id);
         co_return;
       }
+      // History recording: precommit resumed us synchronously after its
+      // broadcast, so commits are reported in master commit (version)
+      // order, and a node killed before the broadcast (alive check above)
+      // reports nothing.
+      if (auto* s = check::sink())
+        s->update_commit(id_, m.origin, m.origin_req, txn->op_log(),
+                         ws.db_version);
       // Locally committed: the write-set is sequenced on every replica
       // link and nothing can abort this transaction any more short of
       // this node dying (wait_acks only fails via on_killed). Release
@@ -602,10 +625,15 @@ sim::Task<> EngineNode::handle_abort_all(NodeId from, AbortAllRequest m) {
     const bool ok = co_await precommit_drain_->wait();
     if (!ok) co_return;
   }
+  // Report versions only for tables this node masters — it is the sole
+  // source of their sequence, and the drain above folded in every commit
+  // that will be acked. For other classes' tables we hold at best
+  // *received*, possibly-unconfirmed write-sets; reporting those would let
+  // the new primary adopt a version the replicas may never receive (their
+  // copy can die with the failed master) and tag reads that wait forever.
   VersionVec v(engine_->db().table_count());
   for (size_t t = 0; t < v.size(); ++t)
-    v[t] =
-        std::max(engine_->version()[t], engine_->received_version()[t]);
+    if (engine_->masters(t)) v[t] = engine_->version()[t];
   net_.send(id_, m.reply_to, AbortAllReply{std::move(v)}, 128);
 }
 

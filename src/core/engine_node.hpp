@@ -67,6 +67,11 @@ class EngineNode {
     // write-set immediately.
     uint64_t ack_every_n = 1;
     sim::Time ack_delay = 0;
+    // Test-only mutation (dmv_check smoke mode): apply the items of an
+    // incoming WriteSetBatchMsg in reverse, violating the FIFO version
+    // order the replication stream guarantees. Never set outside
+    // bench/check_sweep --mutations.
+    bool mut_batch_reverse = false;
   };
 
   EngineNode(net::Network& net, NodeId id, const api::ProcRegistry& procs,

@@ -58,6 +58,12 @@ struct TxnDone {
   api::TxnResult result;
   VersionVec db_version;            // updates: post-commit version vector
   std::vector<txn::OpRecord> ops;   // updates: for the persistence log
+  // Committed reads: the tag the transaction actually observed. Equal to
+  // the dispatch tag except for reads served by a table's master, whose
+  // mastered entries were upgraded to the master's version at first touch
+  // (mem::MemEngine::ensure_table). The dmv_check oracle verifies observed
+  // values against the sequential model at exactly this vector.
+  VersionVec read_tag;
 };
 
 // ---- replication (master -> replicas) ----

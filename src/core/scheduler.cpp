@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "check/sink.hpp"
+
 namespace dmv::core {
 
 namespace {
@@ -352,6 +354,7 @@ bool Scheduler::try_dispatch_read(Outstanding& out) {
   m.params = out.client.params;
   m.read_only = true;
   m.tag = version_;
+  if (auto* s = check::sink()) s->read_tag(id_, m.tag);
   out.node = node;
   last_tag_[node] = version_;
   ++outstanding_per_node_[node];
@@ -418,7 +421,8 @@ void Scheduler::handle_txn_done(NodeId from, const TxnDone& d) {
 
   if (d.ok) {
     if (!out.read_only) {
-      merge_max(version_, d.db_version);
+      if (!cfg_.mut_skip_ack_merge) merge_max(version_, d.db_version);
+      if (auto* s = check::sink()) s->update_ack(id_, d.db_version);
       obs::count("sched.commits", id_);
       // §4.6: log the committed update's queries, ship to the on-disk
       // back-end asynchronously; §4.1: gossip the vector to peers.
@@ -426,6 +430,9 @@ void Scheduler::handle_txn_done(NodeId from, const TxnDone& d) {
       for (NodeId p : peers_)
         if (net_.alive(p))
           net_.send(id_, p, VersionGossip{version_}, 128);
+    } else if (auto* s = check::sink()) {
+      s->read_done(id_, from, out.client.proc, out.client.params,
+                   d.read_tag, d.result);
     }
     end_req_span(out, nullptr);
     reply_client(out.client, true, d.result);
@@ -495,6 +502,21 @@ void Scheduler::on_node_killed(NodeId n) {
       std::find(slaves_.begin(), slaves_.end(), n) != slaves_.end();
   const bool was_spare =
       std::find(spares_.begin(), spares_.end(), n) != spares_.end();
+  // Membership bookkeeping runs on EVERY scheduler, standby included. A
+  // standby that keeps a dead slave listed inherits it on takeover; if the
+  // node restarted in between (alive again, state empty) the takeover
+  // prune can't tell, so the new primary routes reads to a fresh replica
+  // serving its initial load — and rejects the node's own rejoin with
+  // "still in topology" forever, because the obituary that was supposed to
+  // clean the list was consumed back when this scheduler was standing by.
+  // Routing state for the dead node goes regardless of role (a joiner that
+  // dies mid-join is in neither list but may carry a tag from before).
+  outstanding_per_node_.erase(n);
+  last_tag_.erase(n);
+  if (was_slave || was_spare) {
+    erase_value(slaves_, n);
+    erase_value(spares_, n);
+  }
   if (!is_primary_) {
     // Peer scheduler death: the most senior live scheduler takes over.
     if (std::find(peers_.begin(), peers_.end(), n) != peers_.end()) {
@@ -508,13 +530,7 @@ void Scheduler::on_node_killed(NodeId n) {
   // A recovery may be blocked on this node's reply; shrink the waits
   // first so no death during recovery can wedge it.
   prune_waits_for(n);
-  // Routing state for the dead node goes regardless of role (a joiner that
-  // dies mid-join is in neither list but may carry a tag from before).
-  outstanding_per_node_.erase(n);
-  last_tag_.erase(n);
   if (was_slave || was_spare) {
-    erase_value(slaves_, n);
-    erase_value(spares_, n);
     fail_outstanding_on(n);
     // Unblock the masters' pending ack waits.
     broadcast_replica_sets();
@@ -569,6 +585,7 @@ sim::Task<> Scheduler::recover_master(size_t cls) {
   const VersionVec confirmed = version_;
   std::vector<storage::TableId> cls_tables(classes_[cls].begin(),
                                            classes_[cls].end());
+  if (auto* s = check::sink()) s->discard(id_, confirmed, cls_tables);
   const uint64_t token = next_token_++;
   {
     AckWaitSet& dw = discard_waits_[token];

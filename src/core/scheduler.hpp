@@ -59,6 +59,11 @@ class Scheduler {
                                  // of active slaves
     bool auto_integrate_spare = true;  // backfill a spare on node death
     uint64_t rng_seed = 12345;
+    // Test-only mutation (dmv_check smoke mode): skip merging a committed
+    // update's db_version into the scheduler vector before acking the
+    // client — later reads may be tagged behind writes the client already
+    // saw acknowledged. Never set outside bench/check_sweep --mutations.
+    bool mut_skip_ack_merge = false;
   };
 
   Scheduler(net::Network& net, NodeId id, const api::ProcRegistry& procs,

@@ -83,6 +83,17 @@ sim::Task<> MemEngine::ensure_table(TxnCtx& txn, TableId t) {
   if (txn.kind() != TxnKind::ReadOnly) co_return;
   if (masters(t)) {
     ++stats_.master_reads_latest;
+    // §2.1: reads served by the master see its latest state. Make that
+    // sound under the tag semantics by raising the txn's tag for *every*
+    // mastered table to the master's current version, once, on first
+    // touch — precommit stamps versions without suspending, so version_
+    // snapshot here is one consistent cut — and let check_page enforce
+    // the upgraded tag like any other read.
+    if (!cfg_.mut_skip_tag_upgrade && !txn.tag_upgraded()) {
+      for (TableId mt : master_tables_)
+        txn.upgrade_read_version(mt, version_[mt]);
+      txn.mark_tag_upgraded();
+    }
     co_return;
   }
   DMV_ASSERT(txn.read_version().size() == db_.table_count());
@@ -99,9 +110,10 @@ sim::Task<> MemEngine::ensure_table(TxnCtx& txn, TableId t) {
     }
   }
   sim::Time cost = 0;
+  const uint64_t bound = cfg_.mut_apply_off_by_one && v > 0 ? v - 1 : v;
   auto& q = pending_[t];
   storage::Table& table = db_.table(t);
-  while (!q.empty() && q.front().version <= v) {
+  while (!q.empty() && q.front().version <= bound) {
     apply_one(table, q.front(), cost);
     q.pop_front();
   }
@@ -114,7 +126,9 @@ sim::Task<> MemEngine::ensure_table(TxnCtx& txn, TableId t) {
 
 void MemEngine::check_page(const TxnCtx& txn, TableId t,
                            storage::PageNo p) const {
-  if (read_at_latest(txn, t)) return;
+  // Master-served reads are checked against their *upgraded* tag like any
+  // other read; only the mutation knob restores the old unchecked bypass.
+  if (cfg_.mut_skip_tag_upgrade && read_at_latest(txn, t)) return;
   if (txn.kind() != TxnKind::ReadOnly) return;
   DMV_ASSERT_MSG(p < db_.table(t).page_count(),
                  "check_page " << name_ << " table "
@@ -126,6 +140,21 @@ void MemEngine::check_page(const TxnCtx& txn, TableId t,
     const_cast<EngineStats&>(stats_).version_aborts++;
     obs::instant("version_abort", obs::Cat::Apply, trace_node_, txn.id());
     throw TxnAbort(TxnAbort::Reason::VersionConflict);
+  }
+}
+
+sim::Task<> MemEngine::latch_for_master_read(TxnCtx& txn, TableId t,
+                                             storage::PageNo p) {
+  if (!read_at_latest(txn, t) || cfg_.mut_skip_tag_upgrade) co_return;
+  co_await lock_page(txn, {t, p}, LockMode::Shared);
+  // Under the latch no writer holds the page Exclusive, so its content is
+  // committed; strict 2PL stamps meta.version at pre-commit before release,
+  // so check_page now decides committed-at-or-before-tag exactly.
+  try {
+    check_page(txn, t, p);
+  } catch (...) {
+    locks_.release_all(txn);
+    throw;
   }
 }
 
@@ -155,16 +184,30 @@ sim::Task<std::optional<Row>> MemEngine::get(TxnCtx& txn, TableId t,
 
   if (txn.kind() == TxnKind::ReadOnly) {
     co_await ensure_table(txn, t);
-    const auto rid = tb.pk_find(pk);
+    std::optional<RowId> rid = tb.pk_find(pk);
+    const bool latch = read_at_latest(txn, t) && !cfg_.mut_skip_tag_upgrade;
+    if (latch) {
+      // Master-served read: take the page latch so an uncommitted update's
+      // in-place writes cannot be observed; chase the row if it moved
+      // while we waited for the latch.
+      while (rid) {
+        co_await latch_for_master_read(txn, t, rid->page);
+        const auto again = tb.pk_find(pk);
+        if (again == rid) break;
+        locks_.release_all(txn);
+        rid = again;
+      }
+    }
     if (!rid) {
       co_await cpu_.use(cost);
       co_return std::nullopt;
     }
-    check_page(txn, t, rid->page);
+    if (!latch) check_page(txn, t, rid->page);
     cost += cache_.touch({t, rid->page}) + cfg_.costs.row_read;
     ++txn.stats().pages_read;
     ++txn.stats().rows_touched;
     Row row = tb.read_row(*rid);
+    if (latch) locks_.release_all(txn);
     co_await cpu_.use(cost);
     co_return row;
   }
@@ -224,12 +267,22 @@ sim::Task<std::vector<Row>> MemEngine::scan(TxnCtx& txn, TableId t,
 
   std::vector<Row> out;
   if (txn.kind() == TxnKind::ReadOnly) {
+    const bool latch = read_at_latest(txn, t) && !cfg_.mut_skip_tag_upgrade;
     for (const RowId& rid : rids) {
       if (out.size() >= spec.limit) break;
-      check_page(txn, t, rid.page);
+      if (latch) {
+        co_await latch_for_master_read(txn, t, rid.page);
+        if (!tb.slot_occupied(rid)) {  // undone while we waited
+          locks_.release_all(txn);
+          continue;
+        }
+      } else {
+        check_page(txn, t, rid.page);
+      }
       cost += cache_.touch({t, rid.page}) + cfg_.costs.row_read;
       ++txn.stats().rows_touched;
       Row row = tb.read_row(rid);
+      if (latch) locks_.release_all(txn);
       if (spec.filter && !spec.filter(row)) continue;
       out.push_back(std::move(row));
     }
@@ -404,9 +457,18 @@ sim::Task<txn::WriteSet> MemEngine::precommit(TxnCtx& txn) {
     db_.table(mod.pid.table).meta(mod.pid.page).version = mod.version;
     ws.mods.push_back(std::move(mod));
   }
+  // Stamp with the *applied* version vector only. Conflict classes are
+  // disjoint, so an update can never causally depend on another class's
+  // tables; folding received_ in here would leak merely-received,
+  // unconfirmed (and therefore discardable) versions of other classes into
+  // a stamp that outlives a fail-over. The scheduler merges such a stamp
+  // back into its vector after the discard and tags reads with a version
+  // no replica will ever receive again (wedged reads), and a replica that
+  // sees the stamp bumps received_ for a table whose mods it does not hold
+  // and serves old pages under the new tag.
   ws.db_version.resize(db_.table_count());
   for (size_t i = 0; i < ws.db_version.size(); ++i)
-    ws.db_version[i] = std::max(version_[i], received_[i]);
+    ws.db_version[i] = version_[i];
 
   if (broadcast_fn_) broadcast_fn_(ws);
   co_return ws;
@@ -464,6 +526,7 @@ void MemEngine::discard_mods_above(
     const VersionVec& confirmed,
     const std::vector<storage::TableId>& tables) {
   DMV_ASSERT(confirmed.size() == db_.table_count());
+  if (cfg_.mut_skip_discard) return;
   auto affected = [&](size_t t) {
     if (tables.empty()) return true;
     return std::find(tables.begin(), tables.end(), storage::TableId(t)) !=

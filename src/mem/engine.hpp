@@ -79,6 +79,22 @@ class MemEngine {
     txn::LockPolicy lock_policy = txn::LockPolicy::DeadlockDetect;
     // Ablation: ship whole page images instead of byte-diff runs.
     bool full_page_writesets = false;
+    // --- test-only mutation knobs (dmv_check mutation smoke mode) ---
+    // Each knob disables one known-critical consistency check so the
+    // history checker can prove it would catch the resulting bug. Never
+    // set outside bench/check_sweep --mutations.
+    // Restore the pre-checker behavior for reads served by a table's
+    // master: no tag upgrade, no page latch, check_page bypassed — the
+    // read observes whatever is there, torn and dirty included.
+    bool mut_skip_tag_upgrade = false;
+    // Apply the pending-mod prefix one version short of the tag, so a
+    // reader observes state staler than the snapshot it claims. (The other
+    // direction — applying past the tag — is caught by the §2.2 abort rule
+    // itself, so it would not exercise the history oracle.)
+    bool mut_apply_off_by_one = false;
+    // Ignore DiscardAbove: partially-propagated write-sets of a failed
+    // master survive on this replica past recovery.
+    bool mut_skip_discard = false;
   };
 
   MemEngine(sim::Simulation& sim, std::string name, Config cfg);
@@ -202,9 +218,19 @@ class MemEngine {
   // Apply one mod with cost accounting into `cost`.
   void apply_one(storage::Table& table, const txn::PageMod& mod,
                  sim::Time& cost);
-  // True for read-only access paths that bypass versioning because this
-  // node masters the table (reads-at-latest on the master, §2.1).
+  // True for read-only access on a table this node masters (§2.1: such
+  // reads are served from the master's latest state). With the tag-upgrade
+  // guard on (default) the txn's tag is raised to the master's current cut
+  // and check_page enforces it; only the mut_skip_tag_upgrade mutation
+  // turns this into an unchecked bypass.
   bool read_at_latest(const txn::TxnCtx& txn, storage::TableId t) const;
+  // Serialize a master-served read against in-flight writers on one page:
+  // take the page latch (a Shared page lock held only across the
+  // synchronous row read), run check_page under it, and release before the
+  // caller suspends. Prevents dirty reads of uncommitted in-place writes;
+  // no-op for slave-served (purely versioned) reads.
+  sim::Task<> latch_for_master_read(txn::TxnCtx& txn, storage::TableId t,
+                                    storage::PageNo p);
 
   sim::Simulation& sim_;
   std::string name_;

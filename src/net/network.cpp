@@ -11,7 +11,7 @@ Network::Network(sim::Simulation& sim, NetworkConfig cfg)
 
 NodeId Network::add_node(std::string name) {
   const NodeId id = static_cast<NodeId>(nodes_.size());
-  nodes_.push_back(Node{std::move(name), true,
+  nodes_.push_back(Node{std::move(name), true, 0, 0,
                         std::make_unique<sim::Channel<Envelope>>(sim_)});
   obs::name_node(id, nodes_.back().name);
   return id;
@@ -62,9 +62,20 @@ void Network::send(NodeId from, NodeId to, std::any payload, size_t bytes) {
 
   sim_.schedule_at(
       deliver_at,
-      [this, from, to, p = std::move(payload)]() mutable {
+      [this, from, to, epoch = nodes_[from].epoch,
+       p = std::move(payload)]() mutable {
         // Receiver may have died while the message was in flight.
         if (!nodes_[to].alive) return;
+        // Sender may have died too. Its in-flight bytes still arrive —
+        // until the receiver observes the broken connection (detect_delay
+        // after the kill). Past that point the connection is sealed:
+        // delivering would hand the receiver data from a stream every
+        // peer has already pronounced dead — e.g. a write-set batch on a
+        // slowed link resurrecting versions a fail-over discarded.
+        const Node& src = nodes_[from];
+        if ((!src.alive || src.epoch != epoch) &&
+            sim_.now() >= src.killed_at + cfg_.detect_delay)
+          return;
         nodes_[to].mailbox->send(Envelope{from, to, std::move(p)});
       });
 }
@@ -79,6 +90,7 @@ void Network::kill(NodeId id) {
   if (!nodes_[id].alive) return;
   obs::instant("node.killed", obs::Cat::Recovery, id);
   nodes_[id].alive = false;
+  nodes_[id].killed_at = sim_.now();
   nodes_[id].mailbox->close();
   sim_.schedule_after(cfg_.detect_delay, [this, id] {
     for (auto& cb : failure_subs_) cb(id);
@@ -89,6 +101,7 @@ void Network::restart(NodeId id) {
   DMV_ASSERT(id < nodes_.size());
   if (nodes_[id].alive) return;
   nodes_[id].alive = true;
+  ++nodes_[id].epoch;  // a fresh incarnation: old connections stay dead
   nodes_[id].mailbox->reopen();
 }
 

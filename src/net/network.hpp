@@ -10,9 +10,14 @@
 // Fail-stop faults: kill() closes the node's mailbox (receivers wake with
 // nullopt), drops in-flight and future traffic, and notifies failure
 // subscribers after `detect_delay` — modeling peers observing a broken
-// connection, the paper's §4 failure-detection assumption. restart() brings
-// the node back with an empty mailbox (its volatile state is gone; higher
-// layers re-join via the data-migration protocol).
+// connection, the paper's §4 failure-detection assumption. A dead node's
+// own in-flight messages keep arriving only until that same detection
+// point: once a peer has observed the broken connection, the stream is
+// sealed (a TCP connection cannot deliver after the receiver saw it
+// break), so e.g. a write-set lingering on a slowed link cannot resurrect
+// versions a fail-over already discarded. restart() brings the node back
+// with an empty mailbox and a fresh connection epoch (its volatile state
+// is gone; higher layers re-join via the data-migration protocol).
 #pragma once
 
 #include <any>
@@ -108,6 +113,10 @@ class Network {
   struct Node {
     std::string name;
     bool alive = true;
+    // Connection identity: bumped on restart; with killed_at it bounds
+    // how long a dead incarnation's in-flight messages keep arriving.
+    uint64_t epoch = 0;
+    sim::Time killed_at = 0;
     std::unique_ptr<sim::Channel<Envelope>> mailbox;
   };
 

@@ -59,6 +59,16 @@ class TxnCtx {
     read_version_ = std::move(v);
   }
   const std::vector<uint64_t>& read_version() const { return read_version_; }
+  // In-place tag upgrade (§2.1 reads served by a table's master): the
+  // engine raises the tag of every mastered table to the master's current
+  // version once, on the transaction's first touch of a mastered table, so
+  // the whole read observes one consistent cut and check_page can enforce
+  // it. The flag makes the upgrade once-per-transaction.
+  void upgrade_read_version(size_t table, uint64_t v) {
+    if (read_version_[table] < v) read_version_[table] = v;
+  }
+  bool tag_upgraded() const { return tag_upgraded_; }
+  void mark_tag_upgraded() { tag_upgraded_ = true; }
 
   // Lock bookkeeping (owned by LockManager).
   std::vector<storage::PageId>& held_locks() { return held_locks_; }
@@ -80,6 +90,7 @@ class TxnCtx {
   std::vector<storage::PageId> held_locks_;
   std::vector<OpRecord> op_log_;
   std::vector<uint64_t> read_version_;
+  bool tag_upgraded_ = false;
   TxnStats stats_;
 };
 

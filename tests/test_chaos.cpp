@@ -1,9 +1,62 @@
 #include <gtest/gtest.h>
 
 #include "chaos/harness.hpp"
+#include "chaos/invariants.hpp"
 
 namespace dmv::chaos {
 namespace {
+
+// ---- WorkloadLedger read-interval checks ----
+
+TEST(WorkloadLedger, SamplePointsMustBeMonotone) {
+  // The interval check brackets a read between acked-at-send and attempted.
+  // Those two sample points must themselves be ordered: acked can only have
+  // grown since the send snapshot, and acks can never outrun attempts. A
+  // harness bug that samples them out of order would otherwise just widen
+  // the interval and absorb real violations silently.
+  WorkloadLedger lg;
+  lg.init(2);
+  lg.on_attempt(0);
+  lg.on_ack(0);
+
+  Violations ok;
+  check_read_value(lg, 0, 0 * kBalanceBase + 1, /*acked_at_send=*/1, &ok);
+  EXPECT_TRUE(ok.ok()) << ok.items.front();
+
+  // acked-at-send above the current acked count: the lower bound was
+  // sampled "in the future" relative to reply time.
+  Violations bad_order;
+  check_read_value(lg, 0, 0 * kBalanceBase + 1, /*acked_at_send=*/2,
+                   &bad_order);
+  ASSERT_FALSE(bad_order.ok());
+  EXPECT_NE(bad_order.items[0].find("ledger sample order"),
+            std::string::npos);
+
+  // acked overtaking attempted is equally impossible.
+  lg.on_ack(1);  // ack without a matching attempt
+  Violations bad_ack;
+  check_read_value(lg, 1, 1 * kBalanceBase, /*acked_at_send=*/0, &bad_ack);
+  ASSERT_FALSE(bad_ack.ok());
+  EXPECT_NE(bad_ack.items[0].find("ledger sample order"),
+            std::string::npos);
+}
+
+TEST(WorkloadLedger, GlobalSumSampleOrderChecked) {
+  WorkloadLedger lg;
+  lg.init(2);
+  lg.on_attempt(0);
+  lg.on_ack(0);
+  const int64_t base = kBalanceBase * lg.rows * (lg.rows - 1) / 2;
+
+  Violations ok;
+  check_sum_value(lg, 2, base + 1, /*global_acked_at_send=*/1, &ok);
+  EXPECT_TRUE(ok.ok()) << ok.items.front();
+
+  Violations bad;
+  check_sum_value(lg, 2, base + 1, /*global_acked_at_send=*/2, &bad);
+  ASSERT_FALSE(bad.ok());
+  EXPECT_NE(bad.items[0].find("ledger sample order"), std::string::npos);
+}
 
 // ---- FaultPlan DSL ----
 

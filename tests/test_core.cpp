@@ -1,7 +1,10 @@
 #include <gtest/gtest.h>
 
 #include "chaos/harness.hpp"
+#include "check/checker.hpp"
 #include "core/cluster.hpp"
+#include "obs/counters.hpp"
+#include "obs/trace.hpp"
 
 namespace dmv::core {
 namespace {
@@ -849,6 +852,91 @@ TEST(DmvCluster, ReplicaDeathMidAckWindowDoesNotHangCommit) {
   auto r = f.request("check", chk);
   ASSERT_TRUE(r.has_value());
   EXPECT_EQ(r->value, 15);
+}
+
+TEST(Failover, LateWriteSetBatchAfterDiscardIsDropped) {
+  // Slowed replication links hold the dead master's last write-set batches
+  // in flight past failure detection, so they arrive at the replicas after
+  // the recovery's DiscardAbove truncated the stream. Delivering them
+  // would resurrect discarded versions: received_ jumps to versions the
+  // new master will restamp with different transactions, the stale mods
+  // apply to pages the new stream hasn't touched, and tagged reads observe
+  // a state that never existed in the one-copy history. The connection
+  // model must seal the stream instead — once a peer has observed the
+  // broken connection, nothing more arrives on it. Caught end-to-end by
+  // the dmv_check oracle (these seeds fail with snapshot-mismatch if the
+  // late batches are let through; the chaos ledger alone cannot see it).
+  for (uint64_t seed : {6u, 8u, 9u}) {
+    check::CheckConfig cfg;
+    cfg.seed = seed;
+    cfg.rows_per_table = 4096;  // spread rows over pages: no accidental
+    cfg.clients = 4;            // page-version masking of stale mods
+    cfg.ops_per_client = 25;
+    cfg.batch_max_writesets = 4;
+    cfg.batch_delay = 2 * sim::kMsec;
+    cfg.ack_every_n = 4;
+    cfg.ack_delay = 2 * sim::kMsec;
+    auto r = check::run_check(
+        cfg,
+        "slow:master0~slave0:70000@t:0;slow:master0~slave1:70000@t:0;"
+        "slow:master0~spare0:70000@t:0;kill:master0@t:4000");
+    EXPECT_TRUE(r.passed) << "seed " << seed << ": " << r.summary() << "\n"
+                          << (r.violations.empty() ? ""
+                                                   : r.violations.front());
+    EXPECT_GE(r.recoveries, 1u);
+    EXPECT_EQ(r.faults_unfired, 0u);
+  }
+}
+
+TEST(MemEngine, RacingReaderPastTagAbortsAndCounts) {
+  // §2.2: two concurrent read-only transactions hit the same slave. The
+  // first is tagged {1} and lazily applies the pending v1 mod, raising the
+  // page version past the second reader's tag {0}; the second must abort
+  // with version_abort (the scheduler would retry it under a fresh tag),
+  // and the dmv_obs abort-rate counter must record it.
+  Fixture f;
+  obs::Tracer tracer(f.sim);
+  tracer.enable();
+  struct Restore {
+    obs::Tracer* prev;
+    ~Restore() { obs::set_tracer(prev); }
+  } restore{obs::set_tracer(&tracer)};
+
+  api::Params dep;
+  dep.set("id", int64_t{1}).set("amt", int64_t{5});
+  ASSERT_TRUE(f.request("deposit", dep).has_value());
+
+  const NodeId me = f.net.add_node("raw-sched");
+  const NodeId slave = f.cluster->slave_id(0);
+  auto send_read = [&](uint64_t req, uint64_t tag) {
+    ExecTxn m;
+    m.req_id = req;
+    m.reply_to = me;
+    m.proc = "check";
+    m.params.set("id", int64_t{1});
+    m.read_only = true;
+    m.tag = {tag};
+    f.net.send(me, slave, std::move(m));
+  };
+  std::map<uint64_t, TxnDone> done;
+  f.sim.spawn([](net::Network& net, NodeId me,
+                 std::map<uint64_t, TxnDone>& done) -> sim::Task<> {
+    for (int i = 0; i < 2; ++i) {
+      auto env = co_await net.mailbox(me).receive();
+      if (!env) co_return;
+      if (const auto* d = net::as<TxnDone>(*env)) done[d->req_id] = *d;
+    }
+  }(f.net, me, done));
+  send_read(1, 1);  // applies the pending v1 mod on first touch
+  send_read(2, 0);  // same page, older tag: §2.2 must abort it
+  f.sim.run();
+
+  ASSERT_EQ(done.size(), 2u);
+  EXPECT_TRUE(done[1].ok);
+  EXPECT_EQ(done[1].result.value, 15);
+  EXPECT_FALSE(done[2].ok);
+  EXPECT_TRUE(done[2].version_abort);
+  EXPECT_GE(tracer.counters().total("aborts.version", slave), 1.0);
 }
 
 TEST(VersionHelpers, MergeCoversSame) {

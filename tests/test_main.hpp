@@ -1,0 +1,21 @@
+// Shared entry point for every test binary.
+//
+// Each binary accepts, besides the usual gtest flags:
+//
+//   --seed N       seed randomized tests (dmv::test::base_seed, default 1)
+//   --list         list test names (alias for --gtest_list_tests)
+//   --filter PAT   run matching tests (alias for --gtest_filter=PAT)
+//
+// Randomized tests derive their RNGs from base_seed so a sweep failure's
+// one-line repro (`test_foo --seed 1337 --filter Suite.Case`) replays the
+// exact same run.
+#pragma once
+
+#include <cstdint>
+
+namespace dmv::test {
+
+// Set by the shared main from --seed before RUN_ALL_TESTS.
+extern uint64_t base_seed;
+
+}  // namespace dmv::test

@@ -102,6 +102,43 @@ TEST(Network, FailureSubscribersNotifiedAfterDetectDelay) {
   EXPECT_EQ(notices[0].second, b);
 }
 
+TEST(Network, DeadSenderStreamSealsAtDetection) {
+  // A dead node's in-flight messages model bytes already on the wire:
+  // they arrive while the break is unobserved, but once detect_delay has
+  // passed the receiver has seen the connection die and nothing more may
+  // come out of it — late stragglers on a slowed link are dropped.
+  NetworkConfig cfg;
+  cfg.detect_delay = 500;
+  Fixture f(cfg);
+  NodeId a = f.net.add_node("a");
+  NodeId b = f.net.add_node("b");
+  f.net.set_link_delay(a, b, 300);
+  std::vector<int> got;
+  f.sim.spawn([](Fixture& f, NodeId b, std::vector<int>& got) -> sim::Task<> {
+    for (;;) {
+      auto env = co_await f.net.mailbox(b).receive();
+      if (!env) co_return;
+      got.push_back(as<Ping>(*env)->n);
+    }
+  }(f, b, got));
+  f.net.send(a, b, Ping{1});  // arrives ~400: before detection (500)
+  f.sim.schedule_at(0, [&] {
+    f.net.set_link_delay(a, b, 900);
+    f.net.send(a, b, Ping{2});  // would arrive ~1000: after detection
+    f.net.kill(a);
+  });
+  f.sim.run();
+  EXPECT_EQ(got, (std::vector<int>{1}));
+
+  // A restarted incarnation is a new connection: its messages flow even
+  // though the old epoch's stragglers were sealed out.
+  f.net.set_link_delay(a, b, 0);
+  f.net.restart(a);
+  f.net.send(a, b, Ping{3});
+  f.sim.run();
+  EXPECT_EQ(got, (std::vector<int>{1, 3}));
+}
+
 TEST(Network, RestartReopensMailbox) {
   Fixture f;
   NodeId a = f.net.add_node("a");
