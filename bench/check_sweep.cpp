@@ -20,6 +20,13 @@
 // broken one at a time and the checker must report the expected named
 // violation (see check::mutation_list).
 //
+// --disaster runs the §4.6 whole-tier drill instead: every seed deploys
+// the persistence tier, destroys every live engine node at a seed-derived
+// point mid-workload (plus optional warm-up kills and backend bounces),
+// and the oracle verifies that a replacement tier bootstrapped from each
+// recoverable backend equals the acked sequential prefix exactly
+// (recovery-mismatch). Quick mode covers 100 seeds.
+//
 // Exit status: 0 if every seed passed (and, with --mutations, every
 // mutation was caught), 1 otherwise.
 #include <fstream>
@@ -41,6 +48,7 @@ struct Options {
   bool plan_given = false;
   bool quick = false;
   bool mutations = false;
+  bool disaster = false;
   bool verbose = false;
   std::string artifacts;
   check::CheckConfig base;
@@ -62,6 +70,7 @@ std::string repro_line(const check::CheckConfig& cfg,
   if (cfg.ops_per_client != d.ops_per_client)
     s += " --ops " + std::to_string(cfg.ops_per_client);
   if (cfg.batch_max_writesets != d.batch_max_writesets) s += " --batched";
+  if (cfg.disaster) s += " --disaster";
   return s;
 }
 
@@ -131,6 +140,9 @@ int main(int argc, char** argv) {
       opt.quick = true;
     } else if (a == "--mutations") {
       opt.mutations = true;
+    } else if (a == "--disaster") {
+      opt.disaster = true;
+      opt.base.disaster = true;
     } else if (a == "--verbose") {
       opt.verbose = true;
     } else if (a == "--artifacts") {
@@ -154,13 +166,14 @@ int main(int argc, char** argv) {
       std::cerr
           << "usage: check_sweep [--seeds N | --quick | --seed N] "
              "[--fault-plan PLAN] [--mutations]\n"
-             "                   [--artifacts DIR] [--verbose] "
-             "[--batched] [--slaves N] [--spares N]\n"
-             "                   [--schedulers N] [--clients N] [--ops N]\n";
+             "                   [--disaster] [--artifacts DIR] [--verbose] "
+             "[--batched] [--slaves N]\n"
+             "                   [--spares N] [--schedulers N] [--clients N] "
+             "[--ops N]\n";
       return 2;
     }
   }
-  if (opt.quick) opt.seeds = 200;
+  if (opt.quick) opt.seeds = opt.disaster ? 100 : 200;
 
   if (opt.plan_given) {
     std::string err;
@@ -176,20 +189,26 @@ int main(int argc, char** argv) {
     // Single-run repro mode: the plan is taken verbatim (defaults to the
     // seed-derived schedule the sweep would have used).
     const uint64_t seed = uint64_t(opt.seed);
-    const std::string plan =
-        opt.plan_given
-            ? opt.plan
-            : check::random_fault_plan(opt.base, seed,
-                                       seed % 2 == 0 ? 2 : 1);
+    std::string plan;
+    if (opt.plan_given)
+      plan = opt.plan;
+    else if (opt.disaster)
+      plan = check::random_disaster_plan(opt.base, seed);
+    else
+      plan = check::random_fault_plan(opt.base, seed,
+                                      seed % 2 == 0 ? 2 : 1);
     if (!run_one(opt, seed, plan)) ++failures;
   } else if (!opt.mutations) {
     // Sweep: alternate single- and double-fault schedules; every 8th
-    // seed runs fault-free as a control for the harness itself.
+    // seed runs fault-free as a control for the harness itself. Disaster
+    // mode replaces the schedule with a seed-derived wipe-tier drill.
     for (int s = 1; s <= opt.seeds; ++s) {
       const uint64_t seed = uint64_t(s);
       std::string plan;
       if (opt.plan_given)
         plan = opt.plan;
+      else if (opt.disaster)
+        plan = check::random_disaster_plan(opt.base, seed);
       else if (s % 8 != 0)
         plan = check::random_fault_plan(opt.base, seed,
                                         s % 2 == 0 ? 2 : 1);

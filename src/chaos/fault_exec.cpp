@@ -78,6 +78,23 @@ void FaultExec::fire(const Fault& f) {
       net_.set_link_delay(a, b, f.action.extra);
       return;
     }
+    case ActionKind::KillBackend:
+    case ActionKind::RestartBackend: {
+      auto* pb = cluster_.persistence();
+      if (!pb) return plan_error(f, "no persistence tier");
+      if (f.action.backend < 0 ||
+          size_t(f.action.backend) >= pb->backend_count())
+        return plan_error(f, "backend index out of range");
+      if (f.action.kind == ActionKind::KillBackend)
+        cluster_.kill_backend(size_t(f.action.backend));
+      else
+        cluster_.restart_backend(size_t(f.action.backend));
+      return;
+    }
+    case ActionKind::WipeTier: {
+      cluster_.wipe_tier();
+      return;
+    }
   }
 }
 

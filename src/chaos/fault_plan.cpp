@@ -35,57 +35,7 @@ bool fail(std::string* err, std::string_view frag, const char* why) {
   return false;
 }
 
-bool parse_fault(std::string_view s, Fault* f, std::string* err) {
-  const size_t at = s.rfind('@');
-  if (at == std::string_view::npos)
-    return fail(err, s, "fault needs 'action@trigger'");
-  std::string_view act = s.substr(0, at);
-  std::string_view trig = s.substr(at + 1);
-
-  // ---- action ----
-  const size_t colon = act.find(':');
-  if (colon == std::string_view::npos)
-    return fail(err, act, "action needs 'verb:operand'");
-  const std::string_view verb = act.substr(0, colon);
-  const std::string_view rest = act.substr(colon + 1);
-  auto split_link = [&](std::string_view lnk, std::string_view* a,
-                        std::string_view* b) {
-    const size_t tilde = lnk.find('~');
-    if (tilde == std::string_view::npos) return false;
-    *a = lnk.substr(0, tilde);
-    *b = lnk.substr(tilde + 1);
-    return valid_name(*a) && valid_name(*b);
-  };
-  if (verb == "kill" || verb == "restart") {
-    if (!valid_name(rest)) return fail(err, act, "bad node name");
-    f->action.kind =
-        verb == "kill" ? ActionKind::Kill : ActionKind::Restart;
-    f->action.node = std::string(rest);
-  } else if (verb == "drop" || verb == "heal") {
-    std::string_view a, b;
-    if (!split_link(rest, &a, &b)) return fail(err, act, "bad link 'a~b'");
-    f->action.kind = verb == "drop" ? ActionKind::Drop : ActionKind::Heal;
-    f->action.a = std::string(a);
-    f->action.b = std::string(b);
-  } else if (verb == "slow") {
-    const size_t c2 = rest.rfind(':');
-    if (c2 == std::string_view::npos)
-      return fail(err, act, "slow needs 'a~b:usec'");
-    std::string_view a, b;
-    if (!split_link(rest.substr(0, c2), &a, &b))
-      return fail(err, act, "bad link 'a~b'");
-    sim::Time extra = 0;
-    if (!parse_time(rest.substr(c2 + 1), &extra))
-      return fail(err, act, "bad latency");
-    f->action.kind = ActionKind::Slow;
-    f->action.a = std::string(a);
-    f->action.b = std::string(b);
-    f->action.extra = extra;
-  } else {
-    return fail(err, act, "unknown action");
-  }
-
-  // ---- trigger ----
+bool parse_trigger(std::string_view trig, Fault* f, std::string* err) {
   if (trig.size() < 3 || trig[1] != ':')
     return fail(err, trig, "trigger needs 't:usec' or 'p:point'");
   const std::string_view body = trig.substr(2);
@@ -114,6 +64,72 @@ bool parse_fault(std::string_view s, Fault* f, std::string* err) {
   return true;
 }
 
+bool parse_fault(std::string_view s, Fault* f, std::string* err) {
+  const size_t at = s.rfind('@');
+  if (at == std::string_view::npos)
+    return fail(err, s, "fault needs 'action@trigger'");
+  std::string_view act = s.substr(0, at);
+  std::string_view trig = s.substr(at + 1);
+
+  // ---- action ----
+  if (act == "wipe-tier") {
+    // The one verb without an operand: it targets the whole mem tier.
+    f->action.kind = ActionKind::WipeTier;
+    return parse_trigger(trig, f, err);
+  }
+  const size_t colon = act.find(':');
+  if (colon == std::string_view::npos)
+    return fail(err, act, "action needs 'verb:operand'");
+  const std::string_view verb = act.substr(0, colon);
+  const std::string_view rest = act.substr(colon + 1);
+  auto split_link = [&](std::string_view lnk, std::string_view* a,
+                        std::string_view* b) {
+    const size_t tilde = lnk.find('~');
+    if (tilde == std::string_view::npos) return false;
+    *a = lnk.substr(0, tilde);
+    *b = lnk.substr(tilde + 1);
+    return valid_name(*a) && valid_name(*b);
+  };
+  if (verb == "kill" || verb == "restart") {
+    if (!valid_name(rest)) return fail(err, act, "bad node name");
+    f->action.kind =
+        verb == "kill" ? ActionKind::Kill : ActionKind::Restart;
+    f->action.node = std::string(rest);
+  } else if (verb == "killbackend" || verb == "restartbackend") {
+    int idx = -1;
+    if (!parse_int(rest, &idx) || idx < 0)
+      return fail(err, act, "bad backend index");
+    f->action.kind = verb == "killbackend" ? ActionKind::KillBackend
+                                           : ActionKind::RestartBackend;
+    f->action.backend = idx;
+  } else if (verb == "drop" || verb == "heal") {
+    std::string_view a, b;
+    if (!split_link(rest, &a, &b)) return fail(err, act, "bad link 'a~b'");
+    f->action.kind = verb == "drop" ? ActionKind::Drop : ActionKind::Heal;
+    f->action.a = std::string(a);
+    f->action.b = std::string(b);
+  } else if (verb == "slow") {
+    const size_t c2 = rest.rfind(':');
+    if (c2 == std::string_view::npos)
+      return fail(err, act, "slow needs 'a~b:usec'");
+    std::string_view a, b;
+    if (!split_link(rest.substr(0, c2), &a, &b))
+      return fail(err, act, "bad link 'a~b'");
+    sim::Time extra = 0;
+    if (!parse_time(rest.substr(c2 + 1), &extra))
+      return fail(err, act, "bad latency");
+    f->action.kind = ActionKind::Slow;
+    f->action.a = std::string(a);
+    f->action.b = std::string(b);
+    f->action.extra = extra;
+  } else {
+    return fail(err, act, "unknown action");
+  }
+
+  // ---- trigger ----
+  return parse_trigger(trig, f, err);
+}
+
 }  // namespace
 
 std::string Fault::str() const {
@@ -134,6 +150,15 @@ std::string Fault::str() const {
     case ActionKind::Slow:
       s = "slow:" + action.a + "~" + action.b + ":" +
           std::to_string(action.extra);
+      break;
+    case ActionKind::KillBackend:
+      s = "killbackend:" + std::to_string(action.backend);
+      break;
+    case ActionKind::RestartBackend:
+      s = "restartbackend:" + std::to_string(action.backend);
+      break;
+    case ActionKind::WipeTier:
+      s = "wipe-tier";
       break;
   }
   s += '@';

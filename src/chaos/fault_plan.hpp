@@ -10,6 +10,12 @@
 //            | 'drop:' a '~' b         partition one link (both directions)
 //            | 'heal:' a '~' b         undo a drop
 //            | 'slow:' a '~' b ':' us  add `us` usec latency to one link
+//            | 'killbackend:' i        fail-stop on-disk backend i (§4.6)
+//            | 'restartbackend:' i     resume a killed backend (replays or
+//                                      re-attaches past the truncation
+//                                      horizon)
+//            | 'wipe-tier'             kill every in-memory engine node at
+//                                      once (the §4.6 disaster scenario)
 //   trigger := 't:' usec               at absolute virtual time
 //            | 'p:' point ['#' occ]    when trace point `point` fires for
 //                                      the occ'th time (default 1)
@@ -36,13 +42,23 @@
 
 namespace dmv::chaos {
 
-enum class ActionKind { Kill, Restart, Drop, Heal, Slow };
+enum class ActionKind {
+  Kill,
+  Restart,
+  Drop,
+  Heal,
+  Slow,
+  KillBackend,
+  RestartBackend,
+  WipeTier
+};
 
 struct Action {
   ActionKind kind = ActionKind::Kill;
   std::string node;          // Kill / Restart
   std::string a, b;          // Drop / Heal / Slow link endpoints
   sim::Time extra = 0;       // Slow: added latency (usec)
+  int backend = -1;          // KillBackend / RestartBackend index
 };
 
 struct Trigger {

@@ -193,6 +193,10 @@ ChaosReport run_chaos(const ChaosConfig& cfg, const FaultPlan& plan) {
   cc.ack_every_n = cfg.ack_every_n;
   cc.ack_delay = cfg.ack_delay;
   cc.scheduler.rng_seed = cfg.seed * 7919 + 17;
+  cc.enable_persistence = cfg.enable_persistence;
+  cc.persistence.backends = cfg.backends;
+  cc.persistence.checkpoint_period = cfg.persist_checkpoint_period;
+  cc.persistence.max_lag = cfg.persist_max_lag;
   cc.schema = chaos_schema;
   const int64_t rows = cfg.rows;
   cc.loader = [rows](storage::Database& db) {

@@ -40,6 +40,14 @@ struct ChaosConfig {
   sim::Time batch_delay = 0;
   uint64_t ack_every_n = 1;
   sim::Time ack_delay = 0;
+  // Persistence tier (§4.6): on-disk backends fed from the scheduler
+  // update log, targetable by killbackend/restartbackend/wipe-tier
+  // faults; the end-of-run invariants then require every drained live
+  // backend to hold the acked ledger intervals.
+  bool enable_persistence = false;
+  int backends = 2;
+  sim::Time persist_checkpoint_period = 2 * sim::kSec;
+  uint64_t persist_max_lag = 0;
   // Read-availability bound (0 = unchecked): a *successful* read-only op
   // taking longer than this is a violation. Schedules that kill the last
   // slave set it to assert the paper's continuous-availability claim —

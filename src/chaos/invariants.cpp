@@ -212,6 +212,59 @@ void check_end_invariants(const ClusterProbe& p, const WorkloadLedger& lg,
     }
   }
 
+  // ---- backend durability (§4.6): acked commits survive backend death --
+  // Every live backend drains to the log tail before quiesce (its applier
+  // only sleeps at the tail), so its rows must sit in the same ledger
+  // intervals as a live master's — including after killbackend/
+  // restartbackend faults and after the mem tier itself was wiped. A live
+  // backend stuck mid-reattach (its snapshot source died and never came
+  // back) cannot be checked; if no live backend is checkable at all, the
+  // tier lost its durability story and that is itself a violation.
+  if (auto* pb = p.cluster->persistence()) {
+    const uint64_t total = pb->total_seq();
+    size_t live = 0, checked = 0;
+    for (size_t b = 0; b < pb->backend_count(); ++b) {
+      if (!pb->backend_live(b)) continue;
+      ++live;
+      if (!pb->backend_recoverable(b)) continue;  // wedged mid-reattach
+      if (pb->backend_applied(b) < total) {
+        v->add("backend " + std::to_string(b) + " failed to drain: applied " +
+               std::to_string(pb->backend_applied(b)) + " of " +
+               std::to_string(total) + " log records at quiesce");
+        continue;
+      }
+      ++checked;
+      const storage::Table& t = pb->backend(b).db().table(0);
+      if (int64_t(t.row_count()) != lg.rows)
+        v->add("backend " + std::to_string(b) + " row count changed: " +
+               std::to_string(t.row_count()) + " rows, expected " +
+               std::to_string(lg.rows));
+      for (int64_t id = 0; id < lg.rows; ++id) {
+        auto rid = t.pk_find(storage::Key{id});
+        if (!rid) {
+          v->add("backend " + std::to_string(b) + ": row " +
+                 std::to_string(id) + " missing");
+          continue;
+        }
+        const int64_t bal = std::get<int64_t>(t.read_row(*rid)[1]);
+        const int64_t delta = bal - id * kBalanceBase;
+        const uint64_t lo = lg.acked[size_t(id)];
+        const uint64_t hi = lg.attempted[size_t(id)];
+        if (delta < 0 || uint64_t(delta) < lo || uint64_t(delta) > hi) {
+          std::ostringstream os;
+          os << "backend durability: backend " << b << " row " << id
+             << " balance " << bal << " implies delta " << delta
+             << ", outside acked/attempted [" << lo << ", " << hi
+             << "] — an acknowledged update did not survive on disk";
+          v->add(os.str());
+        }
+      }
+    }
+    if (live > 0 && checked == 0)
+      v->add("no live backend drained and recoverable at quiesce — the "
+             "persistence tier cannot reconstruct the acked prefix");
+  }
+
   // ---- convergence across the read rotation ----
   if (sched) {
     std::vector<net::NodeId> rotation;

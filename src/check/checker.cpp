@@ -9,6 +9,7 @@
 #include "check/history.hpp"
 #include "check/oracle.hpp"
 #include "core/cluster.hpp"
+#include "core/persistence_binding.hpp"
 #include "util/rng.hpp"
 
 namespace dmv::check {
@@ -292,6 +293,11 @@ CheckReport run_check(const CheckConfig& cfg, const chaos::FaultPlan& plan) {
   cc.engine.mut_apply_off_by_one = cfg.mut_apply_off_by_one;
   cc.engine.mut_skip_discard = cfg.mut_skip_discard;
   cc.mut_batch_reverse = cfg.mut_batch_reverse;
+  cc.enable_persistence = cfg.disaster;
+  cc.persistence.backends = cfg.backends;
+  cc.persistence.checkpoint_period = cfg.persist_checkpoint_period;
+  cc.persistence.max_lag = cfg.persist_max_lag;
+  cc.persistence.mut_skip_suffix = cfg.mut_skip_suffix;
   cc.schema = check_schema;
   const int64_t rows = cfg.rows_per_table;
   cc.loader = [rows](storage::Database& db) {
@@ -375,6 +381,29 @@ CheckReport run_check(const CheckConfig& cfg, const chaos::FaultPlan& plan) {
   oracle.check(rec.events(), &viol);
   for (const auto& v : rec.online().items) viol.add(v);
 
+  // ---- disaster drill (§4.6): reconstruct the tier from each backend ----
+  // The log's version frontier is exactly the last acked commit per table
+  // (every confirmed update is logged before its client reply), so each
+  // recoverable backend — alive or fail-stopped, rows plus log suffix —
+  // must reproduce the oracle's sequential prefix at that frontier.
+  if (cfg.disaster) {
+    auto* pb = cluster.persistence();
+    DMV_ASSERT_MSG(pb, "disaster drill requires the persistence tier");
+    const std::vector<uint64_t>& logged = pb->logged_version();
+    size_t usable = 0;
+    for (size_t b = 0; b < pb->backend_count(); ++b) {
+      if (!pb->backend_recoverable(b)) continue;
+      ++usable;
+      oracle.check_recovered_state(pb->bootstrap_image(b), logged,
+                                   "backend " + std::to_string(b), &viol);
+    }
+    if (usable == 0)
+      viol.add(
+          "recovery-mismatch: no backend can bootstrap a replacement tier "
+          "— every backend is dead below the truncation horizon or wedged "
+          "mid-reattach");
+  }
+
   rep.faults_fired = exec.fired_count();
   rep.faults_unfired = exec.unfired_count();
   for (const auto& st : ctx.clients) {
@@ -429,6 +458,45 @@ std::string random_fault_plan(const CheckConfig& cfg, uint64_t seed,
       plan += ";restart:" + v + "@t:" +
               std::to_string(t + 20000 + (long long)rng.below(40000));
   }
+  return plan;
+}
+
+std::string random_disaster_plan(const CheckConfig& cfg, uint64_t seed) {
+  util::Rng rng(seed * 0x9e3779b97f4a7c15ull + 0x7f4a7c159e3779b9ull);
+  std::string plan;
+  auto append = [&plan](const std::string& f) {
+    if (!plan.empty()) plan += ";";
+    plan += f;
+  };
+  // Warm-up mem-tier kills, never restarted: a rejoining engine could
+  // still be mid-warmup when the wipe lands, and the drill's subject is
+  // the persistence tier, not the join protocol.
+  std::vector<std::string> victims = {"master0", "master1"};
+  for (int i = 0; i < cfg.slaves; ++i)
+    victims.push_back("slave" + std::to_string(i));
+  for (int i = 0; i < cfg.spares; ++i)
+    victims.push_back("spare" + std::to_string(i));
+  std::set<std::string> killed;
+  const int pre = int(rng.below(3));
+  for (int i = 0; i < pre; ++i) {
+    const std::string& v = victims[rng.below(victims.size())];
+    if (!killed.insert(v).second) continue;
+    append("kill:" + v + "@t:" +
+           std::to_string(3000 + (long long)rng.below(25000)));
+  }
+  // Sometimes bounce a backend so the sweep also covers fail-stop at an
+  // arbitrary record boundary, reattach, and the snapshot+suffix path.
+  if (cfg.backends > 0 && rng.chance(0.5)) {
+    const int b = int(rng.below(uint64_t(cfg.backends)));
+    const long long t = 4000 + (long long)rng.below(20000);
+    append("killbackend:" + std::to_string(b) + "@t:" + std::to_string(t));
+    if (rng.chance(0.7))
+      append("restartbackend:" + std::to_string(b) + "@t:" +
+             std::to_string(t + 5000 + (long long)rng.below(15000)));
+  }
+  // The disaster: every live engine node dies at once, mid-workload.
+  append("wipe-tier@t:" +
+         std::to_string(35000 + (long long)rng.below(25000)));
   return plan;
 }
 
@@ -519,6 +587,22 @@ const std::vector<Mutation>& mutation_list() {
            c.mut_batch_reverse = true;
          },
          ""});
+
+    m.push_back(
+        {"skip-recovery-suffix",
+         "disaster bootstrap replays backend rows but drops the update-log "
+         "suffix above the backend's watermark (acked tail lost)",
+         {"recovery-mismatch"},
+         [busy](CheckConfig& c) {
+           busy(c);
+           c.disaster = true;
+           // No checkpoints: the killed backend must stay above the
+           // truncation horizon so the drill bootstraps from it with a
+           // non-empty suffix — which the mutation then discards.
+           c.persist_checkpoint_period = 0;
+           c.mut_skip_suffix = true;
+         },
+         "killbackend:0@t:6000;wipe-tier@t:30000"});
     return m;
   }();
   return muts;

@@ -53,12 +53,21 @@ struct CheckConfig {
   sim::Time batch_delay = 0;
   uint64_t ack_every_n = 1;
   sim::Time ack_delay = 0;
+  // Disaster drill (§4.6): deploy the persistence tier and, after the
+  // oracle replay, bootstrap a tier image from every recoverable backend
+  // (rows + update-log suffix) and require it to equal the sequential
+  // prefix at the log's acked version frontier (recovery-mismatch).
+  bool disaster = false;
+  int backends = 2;
+  sim::Time persist_checkpoint_period = 2 * sim::kSec;
+  uint64_t persist_max_lag = 0;
   // Mutation knobs — plumb through to the cluster (smoke mode only).
   bool mut_skip_tag_upgrade = false;
   bool mut_apply_off_by_one = false;
   bool mut_skip_discard = false;
   bool mut_skip_ack_merge = false;
   bool mut_batch_reverse = false;
+  bool mut_skip_suffix = false;  // disaster bootstrap drops the log suffix
 };
 
 struct CheckReport {
@@ -91,6 +100,12 @@ CheckReport run_check(const CheckConfig& cfg, const std::string& plan_str);
 // live scheduler, so plans never make the workload unserviceable.
 std::string random_fault_plan(const CheckConfig& cfg, uint64_t seed,
                               int faults);
+
+// Disaster-drill schedule (requires cfg.disaster): a few engine/backend
+// kills with no mem-tier restarts, then `wipe-tier` destroys every live
+// engine node at a seed-derived point mid-workload. Recovery is verified
+// off-line by the oracle's check_recovered_state, not by the cluster.
+std::string random_disaster_plan(const CheckConfig& cfg, uint64_t seed);
 
 // One deliberately-planted bug + the evidence required to call it caught.
 struct Mutation {

@@ -171,6 +171,55 @@ void Oracle::check_read(const ReadEvent& r, chaos::Violations* v) {
   }
 }
 
+void Oracle::check_recovered_state(
+    const std::map<storage::TableId, std::map<storage::Key, storage::Row>>&
+        state,
+    const std::vector<uint64_t>& logged, const std::string& who,
+    chaos::Violations* v) const {
+  for (storage::TableId t = 0; t < chains_.size(); ++t) {
+    const uint64_t vt = t < logged.size() ? logged[t] : 0;
+    // The model prefix: every key's value at the logged frontier. Chain
+    // entries above vt are commits whose ack never reached a scheduler —
+    // they are legitimately absent from the reconstruction.
+    std::map<int64_t, int64_t> expect;
+    for (const auto& [key, chain] : chains_[t]) {
+      (void)chain;
+      if (auto val = value_at(t, key, vt)) expect[key] = *val;
+    }
+    std::map<int64_t, int64_t> got;
+    if (auto ts = state.find(t); ts != state.end())
+      for (const auto& [k, row] : ts->second) {
+        if (k.empty() || !std::holds_alternative<int64_t>(k[0])) continue;
+        if (row.size() < 2 || !std::holds_alternative<int64_t>(row[1]))
+          continue;
+        got[std::get<int64_t>(k[0])] = std::get<int64_t>(row[1]);
+      }
+    for (const auto& [key, val] : expect) {
+      auto it = got.find(key);
+      if (it == got.end()) {
+        v->add("recovery-mismatch: " + who + " table " + std::to_string(t) +
+               " lost row " + std::to_string(key) +
+               " — the acked prefix at version " + std::to_string(vt) +
+               " holds " + std::to_string(val));
+      } else if (it->second != val) {
+        v->add("recovery-mismatch: " + who + " table " + std::to_string(t) +
+               " row " + std::to_string(key) + " holds " +
+               std::to_string(it->second) +
+               " but the acked prefix at version " + std::to_string(vt) +
+               " holds " + std::to_string(val) +
+               " — the reconstructed state is not the sequential prefix up "
+               "to the last acked commit");
+      }
+    }
+    for (const auto& [key, val] : got)
+      if (!expect.count(key))
+        v->add("recovery-mismatch: " + who + " table " + std::to_string(t) +
+               " has phantom row " + std::to_string(key) + " = " +
+               std::to_string(val) + ", absent from the acked prefix at "
+               "version " + std::to_string(vt));
+  }
+}
+
 void Oracle::check(const std::vector<Event>& events, chaos::Violations* v) {
   for (const Event& e : events) {
     if (const auto* c = std::get_if<CommitEvent>(&e))

@@ -74,6 +74,19 @@ class Oracle {
   // Replays the history, appending named violations. Call once.
   void check(const std::vector<Event>& events, chaos::Violations* v);
 
+  // Disaster drill (§4.6), call after check(): compare a reconstructed
+  // tier image (backend rows + log-suffix fold) against the model prefix
+  // at the persistence log's version frontier `logged` — the last acked
+  // commit per table, since every acked update is logged before its
+  // client reply. Missing, phantom, or divergent rows are all
+  // `recovery-mismatch` violations tagged with `who` (which backend was
+  // the bootstrap source).
+  void check_recovered_state(
+      const std::map<storage::TableId, std::map<storage::Key, storage::Row>>&
+          state,
+      const std::vector<uint64_t>& logged, const std::string& who,
+      chaos::Violations* v) const;
+
   size_t reads_checked() const { return reads_checked_; }
   size_t commits_applied() const { return commits_applied_; }
 

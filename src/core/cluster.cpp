@@ -103,8 +103,9 @@ DmvCluster::DmvCluster(net::Network& net, const api::ProcRegistry& procs,
         net_.sim(), cfg_.persistence, cfg_.schema);
     if (cfg_.loader) persistence_->load(cfg_.loader);
     for (auto& s : schedulers_)
-      s->set_persistence([this](const std::vector<txn::OpRecord>& ops) {
-        persistence_->log_update(ops);
+      s->set_persistence([this](const std::vector<txn::OpRecord>& ops,
+                                const VersionVec& db_version) {
+        persistence_->log_update(ops, db_version);
       });
   }
 
@@ -194,6 +195,26 @@ void DmvCluster::kill_scheduler(size_t i) {
   // Fail-stop the scheduler object too: close request/held spans and
   // cancel blocked recovery coroutines while the object is still owned.
   schedulers_[i]->shutdown();
+}
+
+void DmvCluster::kill_backend(size_t idx) {
+  DMV_ASSERT_MSG(persistence_, "no persistence tier");
+  persistence_->kill_backend(idx);
+}
+
+void DmvCluster::restart_backend(size_t idx) {
+  DMV_ASSERT_MSG(persistence_, "no persistence tier");
+  persistence_->restart_backend(idx);
+}
+
+void DmvCluster::wipe_tier() {
+  // The §4.6 disaster: every in-memory engine node fails at once. The
+  // schedulers' recoveries find no promotable candidate and fail held
+  // work; the persistence log plus any recoverable backend is then the
+  // only copy of the committed state.
+  obs::instant("tier.wipe", obs::Cat::Recovery);
+  for (auto& [id, node] : nodes_)
+    if (net_.alive(id)) kill_node(id);
 }
 
 void DmvCluster::restart_and_rejoin(NodeId id) {

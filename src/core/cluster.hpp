@@ -87,6 +87,12 @@ class DmvCluster {
   // would keep routing to a process that lost its in-memory state, and
   // masters would keep a replication stream open across the gap.
   void restart_and_rejoin(NodeId id);
+  // Persistence-tier faults (§4.6): fail-stop / resume one on-disk
+  // backend, and the disaster scenario — lose the entire in-memory tier
+  // at once (every engine node; schedulers and backends survive).
+  void kill_backend(size_t idx);
+  void restart_backend(size_t idx);
+  void wipe_tier();
 
   // --- clients ---
   std::unique_ptr<ClusterClient> make_client(const std::string& name);

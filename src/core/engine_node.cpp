@@ -193,6 +193,7 @@ void EngineNode::broadcast_write_set(const txn::WriteSet& ws) {
     msg.origin = it->second.origin;
     msg.origin_req = it->second.req;
     msg.origin_result = it->second.result;
+    msg.origin_ops = it->second.ops;
   }
   for (NodeId r : targets) enqueue_write_set(r, msg);
 }
@@ -200,6 +201,7 @@ void EngineNode::broadcast_write_set(const txn::WriteSet& ws) {
 void EngineNode::enqueue_write_set(NodeId to, WriteSetMsg msg) {
   Outbox& ob = outbox_[to];
   ob.bytes += msg.ws.byte_size();
+  for (const auto& op : msg.origin_ops) ob.bytes += op.byte_size();
   ob.items.push_back(std::move(msg));
   const bool window = cfg_.batch_max_writesets > 1 && cfg_.batch_delay > 0;
   if (!window || ob.items.size() >= cfg_.batch_max_writesets) {
@@ -244,7 +246,7 @@ void EngineNode::apply_incoming_write_set(const WriteSetMsg& ws) {
   engine_->on_write_set(ws.ws);
   if (ws.origin != net::kNoNode)
     committed_[ws.origin] = {ws.origin_req, ws.ws.db_version,
-                             ws.origin_result};
+                             ws.origin_result, ws.origin_ops};
   note_received(ws.master, ws.seq);
 }
 
@@ -503,6 +505,10 @@ sim::Task<> EngineNode::run_update(ExecTxn m) {
       done.ok = true;
       done.result = it->second.result;
       done.db_version = it->second.version;
+      // The ops ride along so the scheduler's persistence hook sees the
+      // commit even when the original ack (and its log append) died with
+      // a failed-over scheduler; the log's stamp dedup drops re-logs.
+      done.ops = it->second.ops;
       reply_txn_done(m, std::move(done));
       co_return;
     }
@@ -537,7 +543,8 @@ sim::Task<> EngineNode::run_update(ExecTxn m) {
       obs::SpanGuard pc_span("master.precommit", obs::Cat::Replication, id_,
                              txn->id());
       if (m.origin != net::kNoNode)
-        origin_by_txn_[txn->id()] = {m.origin, m.origin_req, result};
+        origin_by_txn_[txn->id()] = {m.origin, m.origin_req, result,
+                                     txn->op_log()};
       txn::WriteSet ws = co_await engine_->precommit(*txn);
       origin_by_txn_.erase(txn->id());
       pc_span.done();
@@ -576,7 +583,8 @@ sim::Task<> EngineNode::run_update(ExecTxn m) {
       ++stats_.txns_executed;
       obs::count("master.commits", id_);
       if (m.origin != net::kNoNode)
-        committed_[m.origin] = {m.origin_req, ws.db_version, result};
+        committed_[m.origin] = {m.origin_req, ws.db_version, result,
+                                txn->op_log()};
       TxnDone done;
       done.ok = true;
       done.result = result;

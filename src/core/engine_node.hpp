@@ -133,6 +133,7 @@ class EngineNode {
     uint64_t req = 0;
     VersionVec version;  // post-commit vector, for discard pruning
     api::TxnResult result;
+    std::vector<txn::OpRecord> ops;  // re-acks re-feed the persistence log
   };
   // Master->replica batch window, one per destination link.
   struct Outbox {
@@ -209,6 +210,7 @@ class EngineNode {
     NodeId origin = net::kNoNode;
     uint64_t req = 0;
     api::TxnResult result;
+    std::vector<txn::OpRecord> ops;
   };
   std::map<uint64_t, UpdateOrigin> origin_by_txn_;
 

@@ -80,6 +80,12 @@ struct WriteSetMsg {
   NodeId origin = net::kNoNode;
   uint64_t origin_req = 0;
   api::TxnResult origin_result;
+  // The committed update's op-log rides along too: a re-ack must carry the
+  // ops so the scheduler's persistence hook can (re-)log the commit — the
+  // update log deduplicates by version stamp, but a re-ack with empty ops
+  // would leave an acked commit unlogged when the original ack died with
+  // its scheduler before the append.
+  std::vector<txn::OpRecord> origin_ops;
 };
 
 // Master-side batching: write-sets bound for the same replica, coalesced

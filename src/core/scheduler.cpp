@@ -425,8 +425,13 @@ void Scheduler::handle_txn_done(NodeId from, const TxnDone& d) {
       if (auto* s = check::sink()) s->update_ack(id_, d.db_version);
       obs::count("sched.commits", id_);
       // §4.6: log the committed update's queries, ship to the on-disk
-      // back-end asynchronously; §4.1: gossip the vector to peers.
-      if (persist_ && !d.ops.empty()) persist_(d.ops);
+      // back-end asynchronously; §4.1: gossip the vector to peers. The
+      // instant is a chaos protocol point (fault plans can kill this
+      // scheduler between the log append and the client reply).
+      if (persist_ && !d.ops.empty()) {
+        obs::instant("persist.append", obs::Cat::Replication, id_);
+        persist_(d.ops, d.db_version);
+      }
       for (NodeId p : peers_)
         if (net_.alive(p))
           net_.send(id_, p, VersionGossip{version_}, 128);

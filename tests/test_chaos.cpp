@@ -84,6 +84,26 @@ TEST(FaultPlan, ParsesAndRoundTrips) {
   EXPECT_EQ(plan->str(), s);  // exact round-trip (replayable strings)
 }
 
+TEST(FaultPlan, PersistenceVerbsParseAndRoundTrip) {
+  const std::string s =
+      "killbackend:0@t:5000;restartbackend:1@t:9000;wipe-tier@t:30000;"
+      "wipe-tier@p:failover.promote#2";
+  auto plan = FaultPlan::parse(s);
+  ASSERT_TRUE(plan.has_value());
+  ASSERT_EQ(plan->faults.size(), 4u);
+  EXPECT_EQ(plan->faults[0].action.kind, ActionKind::KillBackend);
+  EXPECT_EQ(plan->faults[0].action.backend, 0);
+  EXPECT_EQ(plan->faults[1].action.kind, ActionKind::RestartBackend);
+  EXPECT_EQ(plan->faults[1].action.backend, 1);
+  EXPECT_EQ(plan->faults[2].action.kind, ActionKind::WipeTier);
+  EXPECT_TRUE(plan->faults[3].trigger.at_point);
+  EXPECT_EQ(plan->str(), s);
+  std::string err;
+  EXPECT_FALSE(FaultPlan::parse("killbackend:x@t:1", &err));  // not an int
+  EXPECT_FALSE(FaultPlan::parse("killbackend:-1@t:1", &err));
+  EXPECT_FALSE(FaultPlan::parse("wipe-tier:0@t:1", &err));  // no operand
+}
+
 TEST(FaultPlan, EmptyPlanIsValid) {
   auto plan = FaultPlan::parse("");
   ASSERT_TRUE(plan.has_value());
@@ -180,6 +200,56 @@ TEST(ChaosHarness, BatchedPipelineKeepsInvariantsThroughMasterKill) {
   auto r = chaos::run_chaos(cfg, "kill:master@t:30000");
   EXPECT_TRUE(r.passed) << r.summary();
   EXPECT_GE(r.recoveries, 1u);
+}
+
+TEST(ChaosHarness, BackendKillRestartKeepsDurability) {
+  // Fail-stop a backend mid-workload and bring it back: the restarted
+  // applier must replay (or snapshot+suffix attach) to the tail, and the
+  // end invariants require its rows inside the acked ledger intervals.
+  ChaosConfig cfg;
+  cfg.enable_persistence = true;
+  const ChaosReport rep =
+      run_chaos(cfg, "killbackend:0@t:20000;restartbackend:0@t:60000");
+  for (const auto& v : rep.violations) ADD_FAILURE() << v;
+  EXPECT_TRUE(rep.passed);
+  EXPECT_EQ(rep.faults_fired, 2u);
+}
+
+TEST(ChaosHarness, SchedulerKillAtPersistPointKeepsAckedDurability) {
+  // Regression: kill a scheduler exactly at the persistence protocol
+  // point (the §4.6 log append for a committed txn). The client resubmits
+  // through the surviving scheduler; the re-acked commit must reach the
+  // update log exactly once, and every acked update must be on disk at
+  // quiesce.
+  ChaosConfig cfg;
+  cfg.enable_persistence = true;
+  const ChaosReport rep = run_chaos(cfg, "kill:sched0@p:persist.append#3");
+  for (const auto& v : rep.violations) ADD_FAILURE() << v;
+  EXPECT_TRUE(rep.passed);
+  EXPECT_EQ(rep.faults_fired, 1u);
+}
+
+TEST(ChaosHarness, WipeTierBackendsStillHoldAckedPrefix) {
+  // Destroy the whole mem tier mid-workload: remaining client ops fail
+  // cleanly, and the backends alone must still hold every acked update
+  // (the paper's disaster-recovery guarantee).
+  ChaosConfig cfg;
+  cfg.enable_persistence = true;
+  const ChaosReport rep = run_chaos(cfg, "wipe-tier@t:30000");
+  for (const auto& v : rep.violations) ADD_FAILURE() << v;
+  EXPECT_TRUE(rep.passed);
+  EXPECT_GT(rep.client_errors, 0u);
+}
+
+TEST(ChaosHarness, BackendFaultWithoutTierIsAPlanError) {
+  ChaosConfig cfg;
+  cfg.clients = 1;
+  cfg.ops_per_client = 3;
+  const ChaosReport rep = run_chaos(cfg, "killbackend:0@t:1000");
+  EXPECT_FALSE(rep.passed);
+  ASSERT_EQ(rep.violations.size(), 1u);
+  EXPECT_NE(rep.violations[0].find("no persistence tier"),
+            std::string::npos);
 }
 
 TEST(ChaosHarness, DeterministicAcrossReplays) {

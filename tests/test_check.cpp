@@ -210,6 +210,34 @@ TEST(RunCheck, RandomFaultPlansParse) {
   }
 }
 
+TEST(RunCheck, DisasterDrillRoundTrips) {
+  // The §4.6 drill: destroy the whole mem tier mid-workload, then have
+  // the oracle verify that a tier image bootstrapped from each
+  // recoverable backend (rows + log suffix) equals the sequential prefix
+  // at the acked frontier exactly.
+  CheckConfig cfg = quick_cfg(test::base_seed);
+  cfg.disaster = true;
+  CheckReport rep = check::run_check(
+      cfg, "killbackend:0@t:6000;wipe-tier@t:30000");
+  EXPECT_TRUE(rep.passed) << rep.summary() << "\n"
+                          << (rep.violations.empty()
+                                  ? ""
+                                  : rep.violations.front());
+  EXPECT_EQ(rep.faults_unfired, 0u);
+}
+
+TEST(RunCheck, RandomDisasterPlansParseAndWipe) {
+  CheckConfig cfg = quick_cfg(1);
+  cfg.disaster = true;
+  for (uint64_t s = 1; s <= 8; ++s) {
+    const std::string plan = check::random_disaster_plan(cfg, s);
+    std::string err;
+    ASSERT_TRUE(chaos::FaultPlan::parse(plan, &err).has_value())
+        << plan << ": " << err;
+    EXPECT_NE(plan.find("wipe-tier@t:"), std::string::npos) << plan;
+  }
+}
+
 // ---- mutation + shrink machinery ---------------------------------------
 
 TEST(Mutation, SkipAckMergeCaughtByTagCoverage) {
@@ -226,6 +254,23 @@ TEST(Mutation, SkipAckMergeCaughtByTagCoverage) {
     for (const auto& v : rep.violations)
       for (const auto& e : mut->expect)
         if (v.find(e) != std::string::npos) caught = true;
+  }
+  EXPECT_TRUE(caught);
+}
+
+TEST(Mutation, SkipRecoverySuffixCaughtByRecoveryMismatch) {
+  const check::Mutation* mut = nullptr;
+  for (const auto& m : check::mutation_list())
+    if (m.name == "skip-recovery-suffix") mut = &m;
+  ASSERT_NE(mut, nullptr);
+  bool caught = false;
+  for (int s = 1; s <= mut->seeds && !caught; ++s) {
+    CheckConfig cfg;
+    cfg.seed = uint64_t(s);
+    mut->apply(cfg);
+    CheckReport rep = check::run_check(cfg, mut->plan);
+    for (const auto& v : rep.violations)
+      if (v.find("recovery-mismatch") != std::string::npos) caught = true;
   }
   EXPECT_TRUE(caught);
 }

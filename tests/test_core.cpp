@@ -3,6 +3,7 @@
 #include "chaos/harness.hpp"
 #include "check/checker.hpp"
 #include "core/cluster.hpp"
+#include "core/persistence_binding.hpp"
 #include "obs/counters.hpp"
 #include "obs/trace.hpp"
 
@@ -322,8 +323,12 @@ TEST(DmvCluster, PersistenceBackendsConverge) {
   f.sim.run(f.sim.now() + 60 * sim::kSec);
   auto* pb = f.cluster->persistence();
   ASSERT_NE(pb, nullptr);
-  EXPECT_EQ(pb->log_size(), 10u);
+  EXPECT_EQ(pb->total_seq(), 10u);
   EXPECT_TRUE(pb->drained());
+  // Once every backend checkpointed past the tail, the log truncates to
+  // empty — steady-state memory is bounded, not proportional to history.
+  EXPECT_EQ(pb->log_size(), 0u);
+  EXPECT_EQ(pb->log_base(), 10u);
   // Backends hold the committed state (disaster-recovery guarantee).
   for (size_t b = 0; b < pb->backend_count(); ++b) {
     auto& tb = pb->backend(b).db().table(0);
@@ -331,6 +336,129 @@ TEST(DmvCluster, PersistenceBackendsConverge) {
     ASSERT_TRUE(rid.has_value());
     EXPECT_EQ(std::get<int64_t>(tb.read_row(*rid)[1]), 80);
   }
+}
+
+TEST(DmvCluster, PersistenceTruncationSkipsDeadBackendAndReattaches) {
+  DmvCluster::Config cfg;
+  cfg.enable_persistence = true;
+  cfg.persistence.backends = 2;
+  cfg.persistence.checkpoint_period = sim::kSec;
+  Fixture f(cfg);
+  auto deposit = [&f](int64_t id) {
+    api::Params dep;
+    dep.set("id", id).set("amt", int64_t{50});
+    ASSERT_TRUE(f.request("deposit", dep).has_value());
+  };
+  for (int64_t i = 0; i < 5; ++i) deposit(i);
+  auto* pb = f.cluster->persistence();
+  ASSERT_NE(pb, nullptr);
+  ASSERT_TRUE(pb->drained());
+  EXPECT_EQ(pb->log_base(), 5u);  // both checkpointed: fully truncated
+
+  // A dead backend must not pin the log: the horizon keeps tracking the
+  // slowest *live* backend, so truncation advances past the corpse.
+  f.cluster->kill_backend(0);
+  for (int64_t i = 0; i < 5; ++i) deposit(i);
+  EXPECT_EQ(pb->total_seq(), 10u);
+  EXPECT_EQ(pb->log_base(), 10u);
+  EXPECT_EQ(pb->backend_applied(0), 5u);
+  EXPECT_FALSE(pb->backend_live(0));
+  EXPECT_FALSE(pb->backend_recoverable(0));  // watermark below the horizon
+  EXPECT_TRUE(pb->backend_recoverable(1));
+
+  // On restart the applier finds its watermark below the horizon and must
+  // route through a peer snapshot + suffix replay, not the retained log
+  // alone (which is missing records 5..9 of its gap).
+  f.cluster->restart_backend(0);
+  f.sim.run(f.sim.now() + 30 * sim::kSec);
+  EXPECT_TRUE(pb->drained());
+  EXPECT_EQ(pb->backend_applied(0), 10u);
+  EXPECT_TRUE(pb->backend_recoverable(0));
+  for (size_t b = 0; b < pb->backend_count(); ++b) {
+    auto& tb = pb->backend(b).db().table(0);
+    auto rid = tb.pk_find(K(int64_t{3}));
+    ASSERT_TRUE(rid.has_value());
+    EXPECT_EQ(std::get<int64_t>(tb.read_row(*rid)[1]), 130);  // 30 + 2*50
+  }
+}
+
+TEST(DmvCluster, PersistenceBackpressureBoundsLog) {
+  DmvCluster::Config cfg;
+  cfg.enable_persistence = true;
+  cfg.persistence.backends = 2;
+  cfg.persistence.checkpoint_period = 0;  // isolate pressure truncation
+  cfg.persistence.max_lag = 4;
+  Fixture f(cfg);
+  for (int i = 0; i < 12; ++i) {
+    api::Params dep;
+    dep.set("id", int64_t(i)).set("amt", int64_t{50});
+    ASSERT_TRUE(f.request("deposit", dep).has_value());
+  }
+  f.sim.run(f.sim.now() + 10 * sim::kSec);
+  auto* pb = f.cluster->persistence();
+  ASSERT_NE(pb, nullptr);
+  EXPECT_TRUE(pb->drained());
+  EXPECT_EQ(pb->total_seq(), 12u);
+  // With checkpoints off, only the lag bound truncates; the retained log
+  // must sit at the bound, not at full history depth.
+  EXPECT_LE(pb->log_size(), 4u);
+  EXPECT_GE(pb->log_base(), 8u);
+}
+
+// One post-image update op: set row `id` of table 0 to balance `bal`.
+std::vector<txn::OpRecord> persist_op(int64_t id, int64_t bal) {
+  txn::OpRecord op;
+  op.kind = txn::OpRecord::Kind::Update;
+  op.table = 0;
+  op.pk = {id};
+  op.row = {id, bal};
+  return {op};
+}
+
+// Regression: concurrent catch_up() drains racing the applier loop used to
+// double-apply records (both paths consumed the same feed). The cursor
+// design makes the applier the only consumer; every record is applied
+// exactly once no matter how many drains are in flight.
+TEST(PersistenceBinding, ConcurrentCatchUpAppliesEachRecordOnce) {
+  sim::Simulation sim;
+  PersistenceBinding::Config pcfg;
+  pcfg.backends = 1;
+  pcfg.checkpoint_period = 0;
+  PersistenceBinding pb(sim, pcfg, demo_schema);
+  pb.load(demo_loader);
+  pb.start();
+  for (int64_t i = 0; i < 6; ++i)
+    pb.log_update(persist_op(i, i * 10 + 7), {uint64_t(i + 1)});
+  sim.spawn(pb.catch_up(0));
+  sim.spawn(pb.catch_up(0));
+  sim.run();
+  EXPECT_TRUE(pb.drained());
+  EXPECT_EQ(pb.backend_applied(0), 6u);
+  EXPECT_EQ(pb.backend(0).stats().records_applied, 6u);
+  auto& tb = pb.backend(0).db().table(0);
+  auto rid = tb.pk_find(K(int64_t{4}));
+  ASSERT_TRUE(rid.has_value());
+  EXPECT_EQ(std::get<int64_t>(tb.read_row(*rid)[1]), 47);
+}
+
+// Regression: the scheduler's persist_ hook can fire after stop() — a
+// TxnDone still draining through a failing-over scheduler. log_update must
+// drop it instead of waking appliers whose frames are unwinding.
+TEST(PersistenceBinding, LogUpdateAfterStopIsDropped) {
+  sim::Simulation sim;
+  PersistenceBinding::Config pcfg;
+  pcfg.backends = 1;
+  pcfg.checkpoint_period = 0;
+  PersistenceBinding pb(sim, pcfg, demo_schema);
+  pb.load(demo_loader);
+  pb.start();
+  pb.log_update(persist_op(0, 1), {1});
+  sim.run();
+  pb.stop();
+  pb.log_update(persist_op(1, 11), {0, 0});  // late TxnDone: dropped
+  sim.run();
+  EXPECT_EQ(pb.total_seq(), 1u);
+  EXPECT_EQ(pb.backend_applied(0), 1u);
 }
 
 TEST(DmvCluster, SpareReadFractionWarmsSpare) {
