@@ -27,6 +27,11 @@
 // recoverable backend equals the acked sequential prefix exactly
 // (recovery-mismatch). Quick mode covers 100 seeds.
 //
+// --geo runs the WAN variant: a two-region deployment with quorum commit
+// and open pipeline windows, under seed-derived partition-heavy schedules
+// (symmetric and directed region cuts, always healed, composed with the
+// usual kills). One-copy serializability must hold across every cut.
+//
 // Exit status: 0 if every seed passed (and, with --mutations, every
 // mutation was caught), 1 otherwise.
 #include <fstream>
@@ -49,6 +54,7 @@ struct Options {
   bool quick = false;
   bool mutations = false;
   bool disaster = false;
+  bool geo = false;
   bool verbose = false;
   std::string artifacts;
   check::CheckConfig base;
@@ -71,6 +77,7 @@ std::string repro_line(const check::CheckConfig& cfg,
     s += " --ops " + std::to_string(cfg.ops_per_client);
   if (cfg.batch_max_writesets != d.batch_max_writesets) s += " --batched";
   if (cfg.disaster) s += " --disaster";
+  if (cfg.regions > 1) s += " --geo";
   return s;
 }
 
@@ -143,6 +150,16 @@ int main(int argc, char** argv) {
     } else if (a == "--disaster") {
       opt.disaster = true;
       opt.base.disaster = true;
+    } else if (a == "--geo") {
+      opt.geo = true;
+      opt.base.regions = 2;
+      opt.base.quorum_commit = true;
+      // Open pipeline windows: lazy catch-up only matters when the
+      // master can run ahead of the slow region's acks.
+      opt.base.batch_max_writesets = 4;
+      opt.base.batch_delay = 500;
+      opt.base.ack_every_n = 4;
+      opt.base.ack_delay = 500;
     } else if (a == "--verbose") {
       opt.verbose = true;
     } else if (a == "--artifacts") {
@@ -166,14 +183,14 @@ int main(int argc, char** argv) {
       std::cerr
           << "usage: check_sweep [--seeds N | --quick | --seed N] "
              "[--fault-plan PLAN] [--mutations]\n"
-             "                   [--disaster] [--artifacts DIR] [--verbose] "
-             "[--batched] [--slaves N]\n"
-             "                   [--spares N] [--schedulers N] [--clients N] "
-             "[--ops N]\n";
+             "                   [--disaster] [--geo] [--artifacts DIR] "
+             "[--verbose] [--batched]\n"
+             "                   [--slaves N] [--spares N] [--schedulers N] "
+             "[--clients N] [--ops N]\n";
       return 2;
     }
   }
-  if (opt.quick) opt.seeds = opt.disaster ? 100 : 200;
+  if (opt.quick) opt.seeds = opt.disaster || opt.geo ? 100 : 200;
 
   if (opt.plan_given) {
     std::string err;
@@ -194,6 +211,9 @@ int main(int argc, char** argv) {
       plan = opt.plan;
     else if (opt.disaster)
       plan = check::random_disaster_plan(opt.base, seed);
+    else if (opt.geo)
+      plan = check::random_geo_fault_plan(opt.base, seed,
+                                          seed % 2 == 0 ? 2 : 1);
     else
       plan = check::random_fault_plan(opt.base, seed,
                                       seed % 2 == 0 ? 2 : 1);
@@ -209,6 +229,9 @@ int main(int argc, char** argv) {
         plan = opt.plan;
       else if (opt.disaster)
         plan = check::random_disaster_plan(opt.base, seed);
+      else if (opt.geo && s % 8 != 0)
+        plan = check::random_geo_fault_plan(opt.base, seed,
+                                            s % 2 == 0 ? 2 : 1);
       else if (s % 8 != 0)
         plan = check::random_fault_plan(opt.base, seed,
                                         s % 2 == 0 ? 2 : 1);

@@ -95,6 +95,26 @@ void FaultExec::fire(const Fault& f) {
       cluster_.wipe_tier();
       return;
     }
+    case ActionKind::Partition: {
+      const net::RegionId a = net_.topology().find_region(f.action.a);
+      const net::RegionId b = net_.topology().find_region(f.action.b);
+      if (a == net::kNoRegion || b == net::kNoRegion)
+        return plan_error(f, "unknown region");
+      net_.partition_regions(a, b, /*both_ways=*/!f.action.directed);
+      return;
+    }
+    case ActionKind::HealPartition: {
+      if (f.action.a.empty()) {
+        net_.heal_all_partitions();
+        return;
+      }
+      const net::RegionId a = net_.topology().find_region(f.action.a);
+      const net::RegionId b = net_.topology().find_region(f.action.b);
+      if (a == net::kNoRegion || b == net::kNoRegion)
+        return plan_error(f, "unknown region");
+      net_.heal_partition(a, b, /*both_ways=*/!f.action.directed);
+      return;
+    }
   }
 }
 

@@ -73,8 +73,13 @@ bool parse_fault(std::string_view s, Fault* f, std::string* err) {
 
   // ---- action ----
   if (act == "wipe-tier") {
-    // The one verb without an operand: it targets the whole mem tier.
+    // Operand-less verb: it targets the whole mem tier.
     f->action.kind = ActionKind::WipeTier;
+    return parse_trigger(trig, f, err);
+  }
+  if (act == "heal-partition") {
+    // Operand-less form: heal every region partition.
+    f->action.kind = ActionKind::HealPartition;
     return parse_trigger(trig, f, err);
   }
   const size_t colon = act.find(':');
@@ -108,6 +113,29 @@ bool parse_fault(std::string_view s, Fault* f, std::string* err) {
     f->action.kind = verb == "drop" ? ActionKind::Drop : ActionKind::Heal;
     f->action.a = std::string(a);
     f->action.b = std::string(b);
+  } else if (verb == "partition" || verb == "heal-partition") {
+    // Regions: 'rA|rB' cuts/heals both directions, 'rA>rB' only one.
+    size_t sep = rest.find('|');
+    bool directed = false;
+    if (sep == std::string_view::npos) {
+      sep = rest.find('>');
+      directed = true;
+    }
+    if (sep == std::string_view::npos)
+      return fail(err, act, "bad region pair 'rA|rB'");
+    const std::string_view a = rest.substr(0, sep);
+    const std::string_view b = rest.substr(sep + 1);
+    if (!valid_name(a) || !valid_name(b) ||
+        a.find('|') != std::string_view::npos ||
+        b.find('|') != std::string_view::npos ||
+        a.find('>') != std::string_view::npos ||
+        b.find('>') != std::string_view::npos)
+      return fail(err, act, "bad region name");
+    f->action.kind = verb == "partition" ? ActionKind::Partition
+                                         : ActionKind::HealPartition;
+    f->action.a = std::string(a);
+    f->action.b = std::string(b);
+    f->action.directed = directed;
   } else if (verb == "slow") {
     const size_t c2 = rest.rfind(':');
     if (c2 == std::string_view::npos)
@@ -159,6 +187,14 @@ std::string Fault::str() const {
       break;
     case ActionKind::WipeTier:
       s = "wipe-tier";
+      break;
+    case ActionKind::Partition:
+      s = "partition:" + action.a + (action.directed ? ">" : "|") + action.b;
+      break;
+    case ActionKind::HealPartition:
+      s = action.a.empty() ? "heal-partition"
+                           : "heal-partition:" + action.a +
+                                 (action.directed ? ">" : "|") + action.b;
       break;
   }
   s += '@';

@@ -16,6 +16,13 @@
 //                                      horizon)
 //            | 'wipe-tier'             kill every in-memory engine node at
 //                                      once (the §4.6 disaster scenario)
+//            | 'partition:' rA '|' rB  cut both directions between regions
+//                                      (traffic parks and replays on heal)
+//            | 'partition:' rA '>' rB  cut only rA-to-rB traffic
+//                                      (asymmetric partition)
+//            | 'heal-partition'        heal every region partition
+//            | 'heal-partition:' rA '|' rB   heal one region pair
+//                                      ('>' heals one direction)
 //   trigger := 't:' usec               at absolute virtual time
 //            | 'p:' point ['#' occ]    when trace point `point` fires for
 //                                      the occ'th time (default 1)
@@ -50,15 +57,19 @@ enum class ActionKind {
   Slow,
   KillBackend,
   RestartBackend,
-  WipeTier
+  WipeTier,
+  Partition,      // region partition (a, b are region names)
+  HealPartition,  // heal one region pair, or all when a/b are empty
 };
 
 struct Action {
   ActionKind kind = ActionKind::Kill;
   std::string node;          // Kill / Restart
-  std::string a, b;          // Drop / Heal / Slow link endpoints
+  std::string a, b;          // Drop / Heal / Slow endpoints; regions for
+                             // Partition / HealPartition
   sim::Time extra = 0;       // Slow: added latency (usec)
   int backend = -1;          // KillBackend / RestartBackend index
+  bool directed = false;     // Partition / HealPartition: one direction only
 };
 
 struct Trigger {

@@ -267,6 +267,14 @@ CheckReport run_check(const CheckConfig& cfg, const chaos::FaultPlan& plan) {
   chaos::Violations viol;
   sim::Simulation sim;
   net::Network net(sim);
+  if (cfg.regions > 1) {
+    net::LinkClassConfig& cross =
+        net.topology().link(net::LinkClass::Cross);
+    cross.base_latency = cfg.cross_base_latency;
+    cross.per_kb = cfg.cross_per_kb;
+    cross.jitter = cfg.cross_jitter;
+    cross.detect_delay = cfg.cross_detect_delay;
+  }
   obs::Tracer tracer(sim);
   tracer.enable();
   struct Restore {
@@ -287,6 +295,10 @@ CheckReport run_check(const CheckConfig& cfg, const chaos::FaultPlan& plan) {
   cc.batch_delay = cfg.batch_delay;
   cc.ack_every_n = cfg.ack_every_n;
   cc.ack_delay = cfg.ack_delay;
+  cc.regions = cfg.regions;
+  cc.quorum_commit = cfg.quorum_commit;
+  cc.write_quorum = cfg.write_quorum;
+  cc.mut_reply_before_quorum = cfg.mut_reply_before_quorum;
   cc.scheduler.rng_seed = cfg.seed * 7919 + 17;
   cc.scheduler.mut_skip_ack_merge = cfg.mut_skip_ack_merge;
   cc.engine.mut_skip_tag_upgrade = cfg.mut_skip_tag_upgrade;
@@ -500,6 +512,64 @@ std::string random_disaster_plan(const CheckConfig& cfg, uint64_t seed) {
   return plan;
 }
 
+std::string random_geo_fault_plan(const CheckConfig& cfg, uint64_t seed,
+                                  int faults) {
+  DMV_ASSERT_MSG(cfg.regions >= 2, "geo plans need >= 2 regions");
+  util::Rng rng(seed * 0x9e3779b97f4a7c15ull + 0x6a09e667f3bcc909ull);
+  std::vector<std::string> regions = {"local"};
+  for (size_t r = 1; r < cfg.regions; ++r)
+    regions.push_back("r" + std::to_string(r));
+
+  std::string plan;
+  auto append = [&plan](const std::string& f) {
+    if (!plan.empty()) plan += ";";
+    plan += f;
+  };
+
+  // Region cuts: each opened mid-workload and healed a while later —
+  // partitions park cross-region traffic, so an unhealed cut would wedge
+  // the run, not fail it cleanly. A quarter are directed (one-way) cuts.
+  const int cuts = 1 + int(rng.below(uint64_t(std::max(1, faults))));
+  for (int i = 0; i < cuts; ++i) {
+    const size_t a = rng.below(regions.size());
+    size_t b = rng.below(regions.size() - 1);
+    if (b >= a) ++b;
+    const char* sep = rng.chance(0.25) ? ">" : "|";
+    const long long t = 2000 + (long long)rng.below(40000);
+    append("partition:" + regions[a] + sep + regions[b] + "@t:" +
+           std::to_string(t));
+    append("heal-partition:" + regions[a] + sep + regions[b] + "@t:" +
+           std::to_string(t + 3000 + (long long)rng.below(25000)));
+  }
+
+  // A smaller dose of the usual kills, so cuts compose with fail-over
+  // (a master dying while a region is dark exercises the quorum
+  // reconciliation: DiscardAbove acks from the dark region arrive only
+  // after the heal, and recovery must elect the most caught-up survivor).
+  std::vector<std::string> victims = {"master0", "master1"};
+  for (int i = 0; i < cfg.slaves; ++i)
+    victims.push_back("slave" + std::to_string(i));
+  for (int i = 0; i < cfg.spares; ++i)
+    victims.push_back("spare" + std::to_string(i));
+  if (cfg.schedulers > 1) victims.push_back("sched0");
+  std::set<std::string> killed;
+  const int kills = int(rng.below(uint64_t(std::max(1, faults))));
+  for (int i = 0; i < kills; ++i) {
+    const std::string& v = victims[rng.below(victims.size())];
+    if (!killed.insert(v).second) continue;
+    const long long t = 3000 + (long long)rng.below(47000);
+    append("kill:" + v + "@t:" + std::to_string(t));
+    if (v.rfind("sched", 0) != 0 && rng.chance(0.4))
+      append("restart:" + v + "@t:" +
+             std::to_string(t + 20000 + (long long)rng.below(40000)));
+  }
+
+  // Safety net: whatever is still cut heals long before the quiesce
+  // horizon, so every parked message gets delivered and the run drains.
+  append("heal-partition@t:250000");
+  return plan;
+}
+
 const std::vector<Mutation>& mutation_list() {
   static const std::vector<Mutation> muts = [] {
     std::vector<Mutation> m;
@@ -603,6 +673,29 @@ const std::vector<Mutation>& mutation_list() {
            c.mut_skip_suffix = true;
          },
          "killbackend:0@t:6000;wipe-tier@t:30000"});
+
+    m.push_back(
+        {"reply-before-quorum",
+         "quorum commit acks the client before any replica confirmed the "
+         "write-set (a master death loses client-acked commits; the "
+         "version-vector read gate turns the loss into reads wedged on "
+         "versions no survivor can ever reach)",
+         {"wedged request", "at-most-once", "snapshot-mismatch",
+          "version-gap"},
+         [busy](CheckConfig& c) {
+           busy(c);
+           c.update_fraction = 0.8;
+           c.mean_think = 200;
+           // Open pipeline windows: the dying master holds client-acked
+           // write-sets that no replica has seen yet.
+           c.batch_max_writesets = 4;
+           c.batch_delay = 500;
+           c.ack_every_n = 4;
+           c.ack_delay = 500;
+           c.quorum_commit = true;
+           c.mut_reply_before_quorum = true;
+         },
+         "kill:master0@t:8000"});
     return m;
   }();
   return muts;

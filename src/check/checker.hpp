@@ -53,6 +53,18 @@ struct CheckConfig {
   sim::Time batch_delay = 0;
   uint64_t ack_every_n = 1;
   sim::Time ack_delay = 0;
+  // Geo mode: spread slaves/spares/schedulers over `regions` WAN regions
+  // (region 0 = "local", then "r1", ...) with the cross-region link
+  // parameters below; quorum_commit acks updates once a write quorum of
+  // voters confirmed instead of every replica. random_geo_fault_plan
+  // layers region partitions (always healed) over the usual kills.
+  size_t regions = 1;
+  bool quorum_commit = false;
+  int write_quorum = 0;  // 0 = majority of voters + master
+  sim::Time cross_base_latency = 5 * sim::kMsec;
+  sim::Time cross_per_kb = 200;  // usec/KiB
+  sim::Time cross_jitter = 500;
+  sim::Time cross_detect_delay = 100 * sim::kMsec;
   // Disaster drill (§4.6): deploy the persistence tier and, after the
   // oracle replay, bootstrap a tier image from every recoverable backend
   // (rows + update-log suffix) and require it to equal the sequential
@@ -68,6 +80,7 @@ struct CheckConfig {
   bool mut_skip_ack_merge = false;
   bool mut_batch_reverse = false;
   bool mut_skip_suffix = false;  // disaster bootstrap drops the log suffix
+  bool mut_reply_before_quorum = false;  // ack client before the quorum
 };
 
 struct CheckReport {
@@ -106,6 +119,13 @@ std::string random_fault_plan(const CheckConfig& cfg, uint64_t seed,
 // engine node at a seed-derived point mid-workload. Recovery is verified
 // off-line by the oracle's check_recovered_state, not by the cluster.
 std::string random_disaster_plan(const CheckConfig& cfg, uint64_t seed);
+
+// Partition-heavy geo schedule (requires cfg.regions >= 2): region cuts —
+// symmetric and directed — each healed a seed-derived while later, plus a
+// smaller dose of the usual kills/restarts, closed by an unconditional
+// heal-partition so nothing stays parked past the quiesce horizon.
+std::string random_geo_fault_plan(const CheckConfig& cfg, uint64_t seed,
+                                  int faults);
 
 // One deliberately-planted bug + the evidence required to call it caught.
 struct Mutation {

@@ -45,6 +45,28 @@ DmvCluster::DmvCluster(net::Network& net, const api::ProcRegistry& procs,
     scheduler_node_ids_.push_back(
         net_.add_node("sched" + std::to_string(i)));
 
+  // Geo placement. Masters (and later the clients and the monitor) stay
+  // in region 0; slaves, spares and schedulers round-robin across the
+  // regions so each region keeps local read capacity and a scheduler to
+  // fail over to. Single-region deployments leave the topology untouched.
+  if (cfg_.regions > 1) {
+    net::Topology& topo = net_.topology();
+    std::vector<net::RegionId> region_ids = {0};
+    for (size_t r = 1; r < cfg_.regions; ++r) {
+      const std::string name = "r" + std::to_string(r);
+      net::RegionId rid = topo.find_region(name);
+      if (rid == net::kNoRegion) rid = topo.add_region(name);
+      region_ids.push_back(rid);
+    }
+    for (size_t i = 0; i < slave_ids_.size(); ++i)
+      topo.place(slave_ids_[i], region_ids[i % region_ids.size()]);
+    for (size_t i = 0; i < spare_ids_.size(); ++i)
+      topo.place(spare_ids_[i], region_ids[i % region_ids.size()]);
+    for (size_t i = 0; i < scheduler_node_ids_.size(); ++i)
+      topo.place(scheduler_node_ids_[i],
+                 region_ids[i % region_ids.size()]);
+  }
+
   // Engine nodes (all replicas share the same schema and base image).
   auto make_node = [&](NodeId id, bool hint_source) {
     EngineNode::Config nc;
@@ -56,6 +78,9 @@ DmvCluster::DmvCluster(net::Network& net, const api::ProcRegistry& procs,
     nc.ack_every_n = cfg_.ack_every_n;
     nc.ack_delay = cfg_.ack_delay;
     nc.mut_batch_reverse = cfg_.mut_batch_reverse;
+    nc.quorum_commit = cfg_.quorum_commit;
+    nc.write_quorum = cfg_.write_quorum;
+    nc.mut_reply_before_quorum = cfg_.mut_reply_before_quorum;
     if (hint_source && cfg_.pageid_hints && !spare_ids_.empty()) {
       nc.hint_target = spare_ids_[0];
       nc.hint_every_txns = cfg_.hint_every_txns;
@@ -79,10 +104,15 @@ DmvCluster::DmvCluster(net::Network& net, const api::ProcRegistry& procs,
   for (size_t ci = 0; ci < master_ids_.size(); ++ci) {
     std::vector<NodeId> replicas = slave_ids_;
     replicas.insert(replicas.end(), spare_ids_.begin(), spare_ids_.end());
+    // Voters — the replicas counting toward a write quorum — are exactly
+    // the slaves + spares: the pool a fail-over would elect from. The
+    // other-class masters subscribe to the stream below but must not
+    // satisfy the quorum (see PromoteToMaster::voters).
+    std::vector<NodeId> voters = replicas;
     for (NodeId other : master_ids_)
       if (other != master_ids_[ci]) replicas.push_back(other);
-    nodes_[master_ids_[ci]]->make_master(classes_[ci],
-                                         std::move(replicas));
+    nodes_[master_ids_[ci]]->make_master(classes_[ci], std::move(replicas),
+                                         std::move(voters));
   }
 
   // Schedulers: the first is primary; all share the topology.
@@ -114,15 +144,23 @@ DmvCluster::DmvCluster(net::Network& net, const api::ProcRegistry& procs,
   // scheduler and, for scheduler deaths, to every client (so a blocked
   // request can fail over to a peer scheduler). Engine nodes are told
   // first: a master wedged on a dead replica's ack must unwedge before a
-  // scheduler's recovery asks it to abort or discard.
-  net_.subscribe_failures([this](NodeId n) {
+  // scheduler's recovery asks it to abort or discard. Detection is
+  // per-link-class: an observer learns of a death when *its own*
+  // connection to the dead node breaks, so same-region peers react at the
+  // intra-region delay while cross-region peers lag behind (each observer
+  // sits in exactly one wave — the one matching its link class to the
+  // victim). Flat topologies collapse both waves onto one instant.
+  net_.subscribe_failures_by_class([this](NodeId n, net::LinkClass cls) {
+    const net::Topology& topo = net_.topology();
     for (auto& [id, node] : nodes_)
-      if (net_.alive(id)) node->on_peer_killed(n);
-    for (auto& s : schedulers_) s->on_node_killed(n);
+      if (net_.alive(id) && topo.link_class(id, n) == cls)
+        node->on_peer_killed(n);
+    for (auto& s : schedulers_)
+      if (topo.link_class(s->id(), n) == cls) s->on_node_killed(n);
     if (std::find(scheduler_node_ids_.begin(), scheduler_node_ids_.end(),
                   n) != scheduler_node_ids_.end()) {
       for (NodeId cid : client_ids_)
-        if (net_.alive(cid))
+        if (net_.alive(cid) && topo.link_class(cid, n) == cls)
           net_.mailbox(cid).send(net::Envelope{cid, cid, SchedulerDown{n}});
     }
   });
@@ -225,8 +263,9 @@ void DmvCluster::restart_and_rejoin(NodeId id) {
   auto killed = killed_at_.find(id);
   const sim::Time now = net_.sim().now();
   if (killed != killed_at_.end()) {
-    const sim::Time ready =
-        killed->second + net_.config().detect_delay + 1;
+    // detect_horizon = the slowest link class's detection delay; past it,
+    // every observer — cross-region ones included — has seen the obituary.
+    const sim::Time ready = killed->second + net_.detect_horizon() + 1;
     if (now < ready) {
       net_.sim().schedule_after(ready - now, [this, id] {
         if (!net_.alive(id)) do_restart(id);
@@ -250,6 +289,9 @@ void DmvCluster::do_restart(NodeId id) {
   nc.ack_every_n = cfg_.ack_every_n;
   nc.ack_delay = cfg_.ack_delay;
   nc.mut_batch_reverse = cfg_.mut_batch_reverse;
+  nc.quorum_commit = cfg_.quorum_commit;
+  nc.write_quorum = cfg_.write_quorum;
+  nc.mut_reply_before_quorum = cfg_.mut_reply_before_quorum;
   auto node = std::make_unique<EngineNode>(net_, id, procs_, cfg_.schema,
                                            nc, stores_[id].get());
   if (cfg_.loader) cfg_.loader(node->engine().db());

@@ -39,6 +39,22 @@ class DmvCluster {
     sim::Time ack_delay = 0;
     // Test-only mutation (see EngineNode::Config::mut_batch_reverse).
     bool mut_batch_reverse = false;
+    // Geo deployment: spread the replica tier over this many regions.
+    // Region 0 ("local") keeps the masters, the primary scheduler, the
+    // clients and the monitor; slaves, spares and standby schedulers are
+    // placed round-robin (index % regions) so every region holds a share
+    // of the read capacity. Cross-region link parameters live on
+    // net::Topology (configure net.topology().link(LinkClass::Cross)
+    // before constructing the cluster).
+    size_t regions = 1;
+    // Quorum commit (see EngineNode::Config): ack the client once a write
+    // quorum of replicas confirmed the write-set; the rest catch up
+    // lazily. Voters are the slaves + spares (the fail-over candidate
+    // pool); other-class masters never count toward the quorum.
+    bool quorum_commit = false;
+    int write_quorum = 0;  // 0 = majority of voters + master
+    // Test-only mutation (see EngineNode::Config::mut_reply_before_quorum).
+    bool mut_reply_before_quorum = false;
     // Failure detection: broken connections (default, detect_delay) plus,
     // optionally, heartbeats from the primary scheduler to every engine
     // node — the paper's "missed heartbeat messages" backstop, which also

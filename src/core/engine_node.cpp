@@ -99,9 +99,11 @@ EngineNode::EngineNode(net::Network& net, NodeId id,
 EngineNode::~EngineNode() { on_killed(); }
 
 void EngineNode::make_master(std::set<storage::TableId> tables,
-                             std::vector<NodeId> replicas) {
+                             std::vector<NodeId> replicas,
+                             std::vector<NodeId> voters) {
   engine_->set_master_tables(std::move(tables));
   replicas_ = std::move(replicas);
+  voters_ = voters.empty() ? replicas_ : std::move(voters);
 }
 
 void EngineNode::start(bool restore_from_store) {
@@ -156,8 +158,8 @@ void EngineNode::on_peer_killed(NodeId n) {
   // rejoins with fresh seqs and must not inherit the old prefix).
   outbox_.erase(n);
   cum_acks_.erase(n);
-  for (auto& [seq, w] : ack_waits_)
-    if (w->pending.erase(n) && w->pending.empty()) w->done->notify_all();
+  erase_value(voters_, n);
+  for (auto& [seq, w] : ack_waits_) ack_wait_dropped(*w, n);
   if (joining_ && join_peer_ == n) {
     // The protocol step in flight awaits a reply this peer will never
     // send. Close the reply channels: the join coroutine wakes with
@@ -184,6 +186,24 @@ void EngineNode::broadcast_write_set(const txn::WriteSet& ws) {
   auto wait = std::make_unique<AckWait>();
   wait->pending = targets;
   wait->done = std::make_unique<sim::WaitQueue>(net_.sim());
+  if (cfg_.quorum_commit) {
+    wait->quorum = true;
+    const net::Topology& topo = net_.topology();
+    for (NodeId v : voters_)
+      if (targets.count(v)) {
+        wait->voters.insert(v);
+        // Same-region voters are the synchronous replicas: the quorum
+        // must include every one of them, whatever its size.
+        if (topo.region_of(v) == topo.region_of(id_))
+          wait->sync_pending.insert(v);
+      }
+    // Quorum counted over the voters plus this master; the master's own
+    // (implicit, immediate) vote means one fewer ack to wait for.
+    const size_t total = wait->voters.size() + 1;
+    const size_t quorum = cfg_.write_quorum > 0 ? size_t(cfg_.write_quorum)
+                                                : total / 2 + 1;
+    wait->need = std::min(quorum > 0 ? quorum - 1 : 0, wait->voters.size());
+  }
   ack_waits_[seq] = std::move(wait);
   WriteSetMsg msg;
   msg.master = id_;
@@ -302,11 +322,33 @@ sim::Task<> EngineNode::eager_drainer(storage::TableId t) {
   }
 }
 
+void EngineNode::ack_wait_acked(AckWait& w, NodeId from) {
+  if (!w.pending.erase(from)) return;
+  if (w.voters.count(from)) ++w.votes;
+  w.sync_pending.erase(from);
+  if (w.satisfied()) w.done->notify_all();
+}
+
+void EngineNode::ack_wait_dropped(AckWait& w, NodeId from) {
+  // A dead or removed replica never acks: it leaves the pending set (and
+  // the synchronous set — a commit must not wait forever on a corpse)
+  // without contributing a vote.
+  const bool changed =
+      w.pending.erase(from) > 0 || w.sync_pending.erase(from) > 0;
+  if (changed && w.satisfied()) w.done->notify_all();
+}
+
 sim::Task<bool> EngineNode::wait_acks(uint64_t seq) {
+  if (cfg_.mut_reply_before_quorum) {
+    // Mutation: skip the ack wait entirely — the client hears "committed"
+    // while no replica is guaranteed to hold the write-set.
+    ack_waits_.erase(seq);
+    co_return true;
+  }
   auto it = ack_waits_.find(seq);
   if (it == ack_waits_.end()) co_return true;  // no replicas / already done
   AckWait& w = *it->second;
-  while (!w.pending.empty() && !w.cancelled) {
+  while (!w.satisfied() && !w.cancelled) {
     const bool ok = co_await w.done->wait();
     if (!ok) co_return false;
   }
@@ -315,8 +357,10 @@ sim::Task<bool> EngineNode::wait_acks(uint64_t seq) {
   co_return ok;
 }
 
-void EngineNode::on_replica_set(std::vector<NodeId> replicas) {
+void EngineNode::on_replica_set(std::vector<NodeId> replicas,
+                                std::vector<NodeId> voters) {
   replicas_ = std::move(replicas);
+  voters_ = std::move(voters);
   // Graduate subscribers that made it into the official replica set.
   for (NodeId r : replicas_) erase_value(subscribers_, r);
   // Dead replicas will never ack: drop everyone outside the new set (plus
@@ -325,13 +369,10 @@ void EngineNode::on_replica_set(std::vector<NodeId> replicas) {
   live.insert(subscribers_.begin(), subscribers_.end());
   prune_outbox(live);
   for (auto& [seq, w] : ack_waits_) {
-    for (auto it = w->pending.begin(); it != w->pending.end();) {
-      if (!live.count(*it))
-        it = w->pending.erase(it);
-      else
-        ++it;
-    }
-    if (w->pending.empty()) w->done->notify_all();
+    std::vector<NodeId> gone;
+    for (NodeId n : w->pending)
+      if (!live.count(n)) gone.push_back(n);
+    for (NodeId n : gone) ack_wait_dropped(*w, n);
   }
 }
 
@@ -369,11 +410,9 @@ sim::Task<> EngineNode::main_loop() {
       // replica's slot in every wait at or below the acked seq.
       const auto stop = ack_waits_.upper_bound(ca->seq);
       for (auto it = ack_waits_.begin(); it != stop; ++it)
-        if (it->second->pending.erase(env->from) &&
-            it->second->pending.empty())
-          it->second->done->notify_all();
+        ack_wait_acked(*it->second, env->from);
     } else if (const auto* rs = net::as<ReplicaSetUpdate>(*env)) {
-      on_replica_set(rs->replicas);
+      on_replica_set(rs->replicas, rs->voters);
     } else if (const auto* da = net::as<DiscardAbove>(*env)) {
       // A delayed cumulative ack must not outlive the discard: flush the
       // windows now so every ack in flight refers to a prefix we still
@@ -399,7 +438,14 @@ sim::Task<> EngineNode::main_loop() {
             above = true;
         it = above ? committed_.erase(it) : std::next(it);
       }
-      net_.send(id_, env->from, AckMsg{da->token}, 32);  // DiscardAbove ack
+      // The ack reports our post-discard received state so the recovering
+      // scheduler can elect the most caught-up candidate (under quorum
+      // commit, an acked write may live on only a quorum of replicas).
+      VersionVec held(engine_->db().table_count());
+      for (size_t t = 0; t < held.size(); ++t)
+        held[t] = std::max(engine_->version()[t],
+                           engine_->received_version()[t]);
+      net_.send(id_, env->from, AckMsg{da->token, std::move(held)}, 64);
     } else if (const auto* aa = net::as<AbortAllRequest>(*env)) {
       net_.sim().spawn(handle_abort_all(env->from, *aa));
     } else if (const auto* pm = net::as<PromoteToMaster>(*env)) {
@@ -651,6 +697,7 @@ sim::Task<> EngineNode::handle_promote(NodeId from, PromoteToMaster m) {
   std::set<storage::TableId> tables(m.tables.begin(), m.tables.end());
   co_await engine_->promote(tables);
   replicas_ = m.replicas;
+  voters_ = m.voters;
   std::set<NodeId> live(replicas_.begin(), replicas_.end());
   live.insert(subscribers_.begin(), subscribers_.end());
   prune_outbox(live);

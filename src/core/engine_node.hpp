@@ -72,6 +72,19 @@ class EngineNode {
     // order the replication stream guarantees. Never set outside
     // bench/check_sweep --mutations.
     bool mut_batch_reverse = false;
+    // --- quorum commit (geo-replication) ---
+    // When set, the client-visible reply waits only for a write-quorum of
+    // voter acks (plus every same-region voter — the synchronous replicas)
+    // instead of every replica; the rest catch up lazily through the
+    // cumulative-ack stream, and the scheduler's version vectors gate
+    // reads on them exactly as for any stale slave.
+    bool quorum_commit = false;
+    // Write-quorum size counted over voters + this master; 0 = majority.
+    int write_quorum = 0;
+    // Test-only mutation: reply to the client without waiting for any
+    // acks — the bug quorum reconciliation exists to rule out. Never set
+    // outside bench/check_sweep --mutations.
+    bool mut_reply_before_quorum = false;
   };
 
   EngineNode(net::Network& net, NodeId id, const api::ProcRegistry& procs,
@@ -84,9 +97,12 @@ class EngineNode {
   EngineNodeStats& stats() { return stats_; }
   const Config& config() const { return cfg_; }
 
-  // Pre-start role assignment (initial deployment).
+  // Pre-start role assignment (initial deployment). `voters` is the
+  // subset of replicas whose acks may satisfy a write quorum (the
+  // election candidate pool); empty means every replica votes.
   void make_master(std::set<storage::TableId> tables,
-                   std::vector<NodeId> replicas);
+                   std::vector<NodeId> replicas,
+                   std::vector<NodeId> voters = {});
 
   // Start the message loop (+ checkpointer if configured). If
   // `restore_from_store` and a StableStore was given, reload the local
@@ -118,10 +134,26 @@ class EngineNode {
     bool poisoned = false;
     bool in_precommit = false;
   };
+  // One broadcast's ack bookkeeping. In the default all-ack mode the wait
+  // completes when `pending` empties. Under quorum commit it completes as
+  // soon as every same-region voter (sync_pending) has acked AND `votes`
+  // voter acks arrived — or when pending empties anyway (every replica
+  // acked or died), which keeps the no-live-replica degradation identical
+  // to the all-ack mode.
   struct AckWait {
     std::set<NodeId> pending;
     std::unique_ptr<sim::WaitQueue> done;
     bool cancelled = false;
+    bool quorum = false;
+    std::set<NodeId> voters;        // snapshot of the voter set, ∩ targets
+    std::set<NodeId> sync_pending;  // same-region voters yet to ack
+    size_t votes = 0;               // voter acks received
+    size_t need = 0;                // voter acks required (self-vote excluded)
+    bool satisfied() const {
+      if (pending.empty()) return true;
+      if (!quorum) return false;
+      return sync_pending.empty() && votes >= need;
+    }
   };
   // At-most-once bookkeeping: the last committed update per client.
   // Clients are single-outstanding, so one mark per client suffices; a
@@ -163,6 +195,10 @@ class EngineNode {
   void join_failed(const std::shared_ptr<bool>& alive);
   void broadcast_write_set(const txn::WriteSet& ws);
   sim::Task<bool> wait_acks(uint64_t seq);
+  // Ack-wait mutation helpers: `from` acked everything up to the wait's
+  // seq / died / left the replica set; wake the committer if satisfied.
+  void ack_wait_acked(AckWait& w, NodeId from);
+  void ack_wait_dropped(AckWait& w, NodeId from);
   // Batch-window plumbing (master side).
   void enqueue_write_set(NodeId to, WriteSetMsg msg);
   void flush_outbox(NodeId to);
@@ -173,7 +209,8 @@ class EngineNode {
   void flush_cum_ack(NodeId master);
   void flush_all_cum_acks();
   sim::Task<> eager_drainer(storage::TableId t);
-  void on_replica_set(std::vector<NodeId> replicas);
+  void on_replica_set(std::vector<NodeId> replicas,
+                      std::vector<NodeId> voters);
   void maybe_send_hints();
   void reply_txn_done(const ExecTxn& m, TxnDone done);
 
@@ -187,6 +224,10 @@ class EngineNode {
   std::shared_ptr<bool> alive_;
 
   std::vector<NodeId> replicas_;
+  // Election candidate pool (live slaves + spares) as last told by the
+  // scheduler; the only acks that may satisfy a write quorum. Empty =
+  // every replica votes (pre-start make_master default).
+  std::vector<NodeId> voters_;
   // In-progress joiners subscribed to our stream (§4.4) but not yet in the
   // scheduler's replica sets. Kept separate so a ReplicaSetUpdate (which
   // *replaces* replicas_) cannot silently drop them mid-migration; unioned

@@ -107,6 +107,11 @@ struct CumAckMsg {
 
 struct AckMsg {
   uint64_t seq = 0;
+  // DiscardAbove replies: the replica's post-discard received vector. The
+  // recovering scheduler elects the most caught-up candidate from these —
+  // under quorum commit a client-acked write may live on only a quorum of
+  // replicas, so electing an arbitrary survivor could lose it.
+  VersionVec received;
 };
 
 // ---- recovery & control ----
@@ -135,6 +140,11 @@ struct PromoteToMaster {
   NodeId reply_to = net::kNoNode;
   std::vector<storage::TableId> tables;
   std::vector<NodeId> replicas;  // nodes to broadcast write-sets to
+  // Subset of `replicas` that counts toward the write quorum: the slaves
+  // and spares a fail-over would elect from. Other-class masters receive
+  // the stream too but their acks must not satisfy the quorum — a commit
+  // acked only by non-candidates could be lost by the next election.
+  std::vector<NodeId> voters;
 };
 struct PromoteDone {
   VersionVec version;
@@ -143,6 +153,7 @@ struct PromoteDone {
 // Scheduler -> master: replica membership changed (join/death).
 struct ReplicaSetUpdate {
   std::vector<NodeId> replicas;
+  std::vector<NodeId> voters;  // see PromoteToMaster
 };
 
 // ---- reintegration / data migration (§4.4) ----

@@ -184,8 +184,10 @@ sim::Task<> Scheduler::main_loop() {
     } else if (const auto* ack = net::as<AckMsg>(*env)) {
       // DiscardAbove ack; the token routes it to its recovery's wait.
       auto it = discard_waits_.find(ack->seq);
-      if (it != discard_waits_.end() && it->second.pending.erase(env->from))
+      if (it != discard_waits_.end() && it->second.pending.erase(env->from)) {
+        it->second.received[env->from] = ack->received;
         it->second.wq->notify_all();
+      }
     } else if (const auto* pd = net::as<PromoteDone>(*env)) {
       for (auto& [tok, w] : promote_waits_)
         if (w.target == env->from && !w.reply) {
@@ -481,9 +483,13 @@ void Scheduler::fail_outstanding_on(NodeId node) {
 }
 
 void Scheduler::broadcast_replica_sets() {
+  // Voters are the election candidate pool (live slaves + spares): only
+  // their acks may satisfy a write quorum, because only they can be
+  // promoted by a fail-over.
+  const std::vector<NodeId> voters = live_replicas();
   for (NodeId m : masters_) {
     if (m == net::kNoNode || !net_.alive(m)) continue;
-    net_.send(id_, m, ReplicaSetUpdate{replicas_for_master(m)}, 128);
+    net_.send(id_, m, ReplicaSetUpdate{replicas_for_master(m), voters}, 128);
   }
 }
 
@@ -613,25 +619,45 @@ sim::Task<> Scheduler::recover_master(size_t cls) {
       co_return;
     }
   }
+  std::map<NodeId, VersionVec> received =
+      std::move(discard_waits_[token].received);
   discard_waits_.erase(token);
   discard.done();
 
-  // 2. Elect and promote: the first live active slave, else a spare. If
-  //    the candidate dies before completing promotion, elect another.
+  // 2. Elect and promote the most caught-up candidate: the live slave (or,
+  //    failing that, spare) whose post-discard received vector is furthest
+  //    along on the failed class's tables. Under quorum commit a client-
+  //    acked write may live on only a quorum of replicas, so electing an
+  //    arbitrary survivor could lose it; the quorum intersects the live
+  //    candidates, so the max-received one holds every acked write. Ties
+  //    keep the historical order (first live slave, spares last). If the
+  //    candidate dies before completing promotion, elect another.
+  const auto cls_score = [&](NodeId n) {
+    auto it = received.find(n);
+    if (it == received.end()) return uint64_t(0);
+    // FIFO per-master streams make received vectors prefixes of one
+    // another on this class's tables, so a per-table sum is a total order.
+    uint64_t score = 0;
+    for (storage::TableId t : cls_tables)
+      if (t < it->second.size()) score += it->second[t];
+    return score;
+  };
   NodeId new_master = net::kNoNode;
   for (;;) {
     new_master = net::kNoNode;
+    uint64_t best = 0;
     for (NodeId s : slaves_)
-      if (net_.alive(s)) {
+      if (net_.alive(s) &&
+          (new_master == net::kNoNode || cls_score(s) > best)) {
         new_master = s;
-        break;
+        best = cls_score(s);
       }
-    if (new_master == net::kNoNode)
-      for (NodeId s : spares_)
-        if (net_.alive(s)) {
-          new_master = s;
-          break;
-        }
+    for (NodeId s : spares_)
+      if (net_.alive(s) &&
+          (new_master == net::kNoNode || cls_score(s) > best)) {
+        new_master = s;
+        best = cls_score(s);
+      }
     if (new_master == net::kNoNode) break;
     erase_value(slaves_, new_master);
     erase_value(spares_, new_master);
@@ -640,6 +666,7 @@ sim::Task<> Scheduler::recover_master(size_t cls) {
     pm.reply_to = id_;
     pm.tables = cls_tables;
     pm.replicas = replicas_for_master(new_master);
+    pm.voters = live_replicas();
     const uint64_t ptok = next_token_++;
     {
       PromoteWait& pw = promote_waits_[ptok];

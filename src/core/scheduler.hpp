@@ -209,6 +209,10 @@ class Scheduler {
   struct AckWaitSet {
     std::set<NodeId> pending;
     std::unique_ptr<sim::WaitQueue> wq;
+    // DiscardAbove acks carry each replica's post-discard received vector;
+    // recover_master elects the most caught-up candidate from these (under
+    // quorum commit an acked write may live on only a quorum of replicas).
+    std::map<NodeId, VersionVec> received;
   };
   struct PromoteWait {
     NodeId target = net::kNoNode;  // kNoNode once the target died

@@ -26,6 +26,14 @@ DmvExperiment::DmvExperiment(Config cfg)
   tracer_ = make_tracer(*sim_, cfg_.trace, cfg_.trace_categories,
                         &prev_tracer_);
   net_ = std::make_unique<net::Network>(*sim_);
+  if (cfg_.regions > 1) {
+    net::LinkClassConfig& cross =
+        net_->topology().link(net::LinkClass::Cross);
+    cross.base_latency = cfg_.cross_base_latency;
+    cross.per_kb = cfg_.cross_per_kb;
+    cross.jitter = cfg_.cross_jitter;
+    cross.detect_delay = cfg_.cross_detect_delay;
+  }
   registry_ = tpcw::make_registry(cfg_.workload.scale);
 
   core::DmvCluster::Config cc;
@@ -41,6 +49,9 @@ DmvExperiment::DmvExperiment(Config cfg)
   cc.batch_delay = cfg_.batch_delay;
   cc.ack_every_n = cfg_.ack_every_n;
   cc.ack_delay = cfg_.ack_delay;
+  cc.regions = cfg_.regions;
+  cc.quorum_commit = cfg_.quorum_commit;
+  cc.write_quorum = cfg_.write_quorum;
   cc.checkpoint_period = cfg_.checkpoint_period;
   cc.scheduler.spare_read_fraction = cfg_.spare_read_fraction;
   cc.scheduler.max_reads_inflight_per_node = cfg_.reads_inflight_cap;

@@ -55,6 +55,18 @@ class DmvExperiment {
     uint64_t ack_every_n = 1;
     sim::Time ack_delay = 0;
     uint64_t reads_inflight_cap = 4;
+    // Geo deployment (see DmvCluster::Config::regions): >1 spreads the
+    // slave/spare/scheduler tier over WAN regions; the cross-region link
+    // class gets the parameters below. quorum_commit acks the client once
+    // a write quorum confirmed the write-set (remaining replicas catch up
+    // lazily via the cumulative-ack stream).
+    size_t regions = 1;
+    bool quorum_commit = false;
+    int write_quorum = 0;  // 0 = majority of voters + master
+    sim::Time cross_base_latency = 20 * sim::kMsec;
+    sim::Time cross_per_kb = 200;  // usec/KiB
+    sim::Time cross_jitter = 500;  // uniform extra, usec
+    sim::Time cross_detect_delay = 200 * sim::kMsec;
     // Structured tracing (dmv_obs). With trace=false the tracer exists but
     // stays disabled: instrumentation costs one load+branch per site.
     bool trace = false;

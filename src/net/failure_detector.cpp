@@ -42,6 +42,14 @@ bool HeartbeatDetector::suspects(NodeId peer) const {
   return it != peers_.end() && it->second.suspected;
 }
 
+sim::Time HeartbeatDetector::timeout_for(NodeId peer) const {
+  const Topology& topo = net_.topology();
+  const sim::Time extra =
+      topo.rtt(owner_, peer) - topo.rtt(LinkClass::Intra);
+  if (extra <= 0) return cfg_.timeout;
+  return cfg_.timeout + cfg_.rtt_slack * extra;
+}
+
 sim::Task<> HeartbeatDetector::sender_loop(std::shared_ptr<bool> stop) {
   while (!*stop && net_.alive(owner_)) {
     for (auto& [peer, st] : peers_)
@@ -57,7 +65,7 @@ sim::Task<> HeartbeatDetector::checker_loop(std::shared_ptr<bool> stop) {
     if (*stop) break;
     const sim::Time now = net_.sim().now();
     for (auto& [peer, st] : peers_) {
-      if (!st.suspected && now - st.last_heard > cfg_.timeout) {
+      if (!st.suspected && now - st.last_heard > timeout_for(peer)) {
         st.suspected = true;
         for (auto& cb : subs_) cb(peer);
       }

@@ -4,9 +4,15 @@
 //
 // A HeartbeatDetector runs on behalf of one node: it periodically sends
 // HeartbeatMsg to every monitored peer and expects the peer's detector to
-// do the same; a peer that stays silent past `timeout` is declared suspect
-// exactly once (until heard from again). The owning node's receive loop
-// must route HeartbeatMsg envelopes into on_heartbeat().
+// do the same; a peer that stays silent past its timeout is declared
+// suspect exactly once (until heard from again). The owning node's receive
+// loop must route HeartbeatMsg envelopes into on_heartbeat().
+//
+// The timeout is per peer, not one global constant: `timeout` is the base
+// tuned for intra-region peers, and a peer on a slower link class is
+// granted extra slack proportional to how much its topology RTT exceeds
+// the intra-region RTT (scaled by rtt_slack), so a cross-region peer is
+// not declared dead by LAN-tuned timers.
 #pragma once
 
 #include <functional>
@@ -23,7 +29,10 @@ struct HeartbeatMsg {
 
 struct HeartbeatConfig {
   sim::Time interval = 500 * sim::kMsec;
+  // Base timeout, applied to intra-region peers. Peers on slower link
+  // classes get timeout + rtt_slack * (rtt(peer) - rtt(intra)).
   sim::Time timeout = 1500 * sim::kMsec;
+  int rtt_slack = 4;
 };
 
 class HeartbeatDetector {
@@ -44,6 +53,10 @@ class HeartbeatDetector {
   void stop();
 
   bool suspects(NodeId peer) const;
+
+  // The effective timeout for one peer: base + slack for its link class's
+  // RTT over the intra-region RTT. Exposed for tests and tuning reports.
+  sim::Time timeout_for(NodeId peer) const;
 
  private:
   sim::Task<> sender_loop(std::shared_ptr<bool> stop);

@@ -7,7 +7,17 @@
 namespace dmv::net {
 
 Network::Network(sim::Simulation& sim, NetworkConfig cfg)
-    : sim_(sim), cfg_(cfg) {}
+    : sim_(sim), cfg_(cfg), jitter_rng_(cfg.jitter_seed) {
+  // Both link classes start flat: a topology nobody touches behaves exactly
+  // like the pre-geo single-constant network.
+  for (size_t c = 0; c < kNumLinkClasses; ++c) {
+    LinkClassConfig& lc = topo_.link(LinkClass(c));
+    lc.base_latency = cfg_.base_latency;
+    lc.per_kb = cfg_.per_kb;
+    lc.jitter = 0;
+    lc.detect_delay = cfg_.detect_delay;
+  }
+}
 
 NodeId Network::add_node(std::string name) {
   const NodeId id = static_cast<NodeId>(nodes_.size());
@@ -33,9 +43,46 @@ bool Network::alive(NodeId id) const {
   return nodes_[id].alive;
 }
 
-sim::Time Network::transfer_time(size_t bytes) const {
-  return cfg_.base_latency +
-         sim::Time(bytes) * cfg_.per_kb / 1024;
+sim::Time Network::transfer_time(size_t bytes,
+                                 const LinkClassConfig& lc) const {
+  return lc.base_latency + sim::Time(bytes) * lc.per_kb / 1024;
+}
+
+void Network::account_delivered(size_t bytes, LinkClass cls) {
+  DMV_ASSERT(inflight_bytes_[size_t(cls)] >= bytes);
+  inflight_bytes_[size_t(cls)] -= bytes;
+  obs::gauge("net.inflight_bytes", uint32_t(cls),
+             double(inflight_bytes_[size_t(cls)]));
+}
+
+void Network::deliver_one(NodeId from, NodeId to, uint64_t epoch,
+                          std::any payload, size_t bytes, LinkClass cls) {
+  // Receiver may have died while the message was in flight.
+  if (!nodes_[to].alive) {
+    account_delivered(bytes, cls);
+    return;
+  }
+  // Sender may have died too. Its in-flight bytes still arrive — until the
+  // receiver observes the broken connection (the link class's detect delay
+  // after the kill). Past that point the connection is sealed: delivering
+  // would hand the receiver data from a stream every peer has already
+  // pronounced dead — e.g. a write-set batch on a slowed link resurrecting
+  // versions a fail-over discarded.
+  const Node& src = nodes_[from];
+  if ((!src.alive || src.epoch != epoch) &&
+      sim_.now() >= src.killed_at + topo_.link(cls).detect_delay) {
+    account_delivered(bytes, cls);
+    return;
+  }
+  // A region partition parks the message instead of losing it: TCP rides
+  // out the cut and redelivers in order once the route heals.
+  if (regions_partitioned(topo_.region_of(from), topo_.region_of(to))) {
+    parked_[{from, to}].push_back(
+        Parked{epoch, std::move(payload), bytes, cls});
+    return;
+  }
+  account_delivered(bytes, cls);
+  nodes_[to].mailbox->send(Envelope{from, to, std::move(payload)});
 }
 
 void Network::send(NodeId from, NodeId to, std::any payload, size_t bytes) {
@@ -44,40 +91,39 @@ void Network::send(NodeId from, NodeId to, std::any payload, size_t bytes) {
   auto down = link_down_.find({std::min(from, to), std::max(from, to)});
   if (down != link_down_.end() && down->second) return;
 
+  const LinkClass cls = topo_.link_class(from, to);
+  const LinkClassConfig& lc = topo_.link(cls);
+
   bytes_sent_ += bytes;
   ++messages_sent_;
   auto& ps = payload_stats_[std::type_index(payload.type())];
   ++ps.messages;
   ps.bytes += bytes;
+  auto& cps = class_stats_[size_t(cls)][std::type_index(payload.type())];
+  ++cps.messages;
+  cps.bytes += bytes;
   obs::count("net.bytes", from, double(bytes));
+  obs::gauge("net.link_rtt", uint32_t(cls), double(topo_.rtt(cls)));
+  inflight_bytes_[size_t(cls)] += bytes;
+  obs::gauge("net.inflight_bytes", uint32_t(cls),
+             double(inflight_bytes_[size_t(cls)]));
 
   sim::Time extra = 0;
   auto ex = link_extra_.find({std::min(from, to), std::max(from, to)});
   if (ex != link_extra_.end()) extra = ex->second;
+  if (lc.jitter > 0) extra += sim::Time(jitter_rng_.below(lc.jitter + 1));
 
   const auto key = std::make_pair(from, to);
   sim::Time deliver_at =
-      std::max(sim_.now() + transfer_time(bytes) + extra, link_clock_[key]);
+      std::max(sim_.now() + transfer_time(bytes, lc) + extra,
+               link_clock_[key]);
   link_clock_[key] = deliver_at;
 
-  sim_.schedule_at(
-      deliver_at,
-      [this, from, to, epoch = nodes_[from].epoch,
-       p = std::move(payload)]() mutable {
-        // Receiver may have died while the message was in flight.
-        if (!nodes_[to].alive) return;
-        // Sender may have died too. Its in-flight bytes still arrive —
-        // until the receiver observes the broken connection (detect_delay
-        // after the kill). Past that point the connection is sealed:
-        // delivering would hand the receiver data from a stream every
-        // peer has already pronounced dead — e.g. a write-set batch on a
-        // slowed link resurrecting versions a fail-over discarded.
-        const Node& src = nodes_[from];
-        if ((!src.alive || src.epoch != epoch) &&
-            sim_.now() >= src.killed_at + cfg_.detect_delay)
-          return;
-        nodes_[to].mailbox->send(Envelope{from, to, std::move(p)});
-      });
+  sim_.schedule_at(deliver_at,
+                   [this, from, to, epoch = nodes_[from].epoch, bytes, cls,
+                    p = std::move(payload)]() mutable {
+                     deliver_one(from, to, epoch, std::move(p), bytes, cls);
+                   });
 }
 
 sim::Channel<Envelope>& Network::mailbox(NodeId id) {
@@ -92,7 +138,18 @@ void Network::kill(NodeId id) {
   nodes_[id].alive = false;
   nodes_[id].killed_at = sim_.now();
   nodes_[id].mailbox->close();
-  sim_.schedule_after(cfg_.detect_delay, [this, id] {
+  // Detection happens in waves: peers on each link class observe the broken
+  // connection after that class's delay. Plain subscribers hear at the
+  // horizon (the slowest wave), by which point every peer knows.
+  if (!class_failure_subs_.empty()) {
+    for (size_t c = 0; c < kNumLinkClasses; ++c) {
+      const LinkClass cls = LinkClass(c);
+      sim_.schedule_after(topo_.link(cls).detect_delay, [this, id, cls] {
+        for (auto& cb : class_failure_subs_) cb(id, cls);
+      });
+    }
+  }
+  sim_.schedule_after(detect_horizon(), [this, id] {
     for (auto& cb : failure_subs_) cb(id);
   });
 }
@@ -114,8 +171,51 @@ void Network::set_link_delay(NodeId a, NodeId b, sim::Time extra) {
   link_extra_[{std::min(a, b), std::max(a, b)}] = extra;
 }
 
+void Network::partition_regions(RegionId a, RegionId b, bool both_ways) {
+  DMV_ASSERT(a < topo_.region_count() && b < topo_.region_count());
+  obs::instant("net.partition", obs::Cat::Net);
+  region_cuts_.insert({a, b});
+  if (both_ways) region_cuts_.insert({b, a});
+}
+
+void Network::heal_partition(RegionId a, RegionId b, bool both_ways) {
+  region_cuts_.erase({a, b});
+  if (both_ways) region_cuts_.erase({b, a});
+  flush_parked();
+}
+
+void Network::heal_all_partitions() {
+  region_cuts_.clear();
+  flush_parked();
+}
+
+bool Network::regions_partitioned(RegionId from, RegionId to) const {
+  return !region_cuts_.empty() && region_cuts_.count({from, to}) > 0;
+}
+
+void Network::flush_parked() {
+  obs::instant("net.heal_partition", obs::Cat::Net);
+  for (auto& [link, q] : parked_) {
+    if (regions_partitioned(topo_.region_of(link.first),
+                            topo_.region_of(link.second)))
+      continue;
+    // Replay in FIFO order through the normal delivery point: the sealed-
+    // connection and liveness checks re-run against heal-time state.
+    std::deque<Parked> drain;
+    drain.swap(q);
+    for (auto& m : drain)
+      deliver_one(link.first, link.second, m.epoch, std::move(m.payload),
+                  m.bytes, m.cls);
+  }
+}
+
 void Network::subscribe_failures(std::function<void(NodeId)> cb) {
   failure_subs_.push_back(std::move(cb));
+}
+
+void Network::subscribe_failures_by_class(
+    std::function<void(NodeId, LinkClass)> cb) {
+  class_failure_subs_.push_back(std::move(cb));
 }
 
 }  // namespace dmv::net

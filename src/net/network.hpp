@@ -5,34 +5,52 @@
 // delivery a TCP connection would give the real system, which the DMV
 // replication protocol depends on (write-sets from a master must apply in
 // version order). Latency is a fixed per-message cost plus a per-KB
-// transfer cost.
+// transfer cost, both taken from the link's class in the Topology: intra-
+// region pairs pay LAN costs, cross-region pairs pay WAN costs (plus
+// deterministic jitter). The default topology has one region and both
+// classes initialised from NetworkConfig, reproducing the flat pre-geo
+// behaviour exactly.
 //
 // Fail-stop faults: kill() closes the node's mailbox (receivers wake with
 // nullopt), drops in-flight and future traffic, and notifies failure
-// subscribers after `detect_delay` — modeling peers observing a broken
-// connection, the paper's §4 failure-detection assumption. A dead node's
-// own in-flight messages keep arriving only until that same detection
-// point: once a peer has observed the broken connection, the stream is
-// sealed (a TCP connection cannot deliver after the receiver saw it
-// break), so e.g. a write-set lingering on a slowed link cannot resurrect
-// versions a fail-over already discarded. restart() brings the node back
-// with an empty mailbox and a fresh connection epoch (its volatile state
-// is gone; higher layers re-join via the data-migration protocol).
+// subscribers after the link class's detect delay — modeling peers
+// observing a broken connection, the paper's §4 failure-detection
+// assumption; a cross-region peer on a slower class observes the death
+// later than a same-region one. A dead node's own in-flight messages keep
+// arriving only until that same per-class detection point: once a peer has
+// observed the broken connection, the stream is sealed (a TCP connection
+// cannot deliver after the receiver saw it break), so e.g. a write-set
+// lingering on a slowed link cannot resurrect versions a fail-over already
+// discarded. restart() brings the node back with an empty mailbox and a
+// fresh connection epoch (its volatile state is gone; higher layers re-join
+// via the data-migration protocol).
+//
+// Region partitions (partition_regions / heal_partition) model a WAN cut:
+// unlike the fail-stop node-pair set_link() — which loses messages — a
+// region partition parks traffic at the delivery point in per-link FIFO
+// queues and flushes it in order on heal, the way TCP retransmission rides
+// out a transient route loss. Parked messages still pass the sealed-
+// connection check at flush time, so a sender that died mid-partition
+// cannot leak stale stream data after the heal.
 #pragma once
 
 #include <any>
+#include <array>
+#include <deque>
 #include <functional>
 #include <map>
 #include <memory>
+#include <set>
 #include <string>
 #include <typeindex>
 #include <vector>
 
+#include "net/topology.hpp"
 #include "sim/sync.hpp"
+#include "util/rng.hpp"
 
 namespace dmv::net {
 
-using NodeId = uint32_t;
 constexpr NodeId kNoNode = UINT32_MAX;
 
 struct Envelope {
@@ -51,6 +69,7 @@ struct NetworkConfig {
   sim::Time base_latency = 100 * sim::kUsec;   // per-message propagation
   sim::Time per_kb = 80 * sim::kUsec;          // transfer time per KB
   sim::Time detect_delay = 50 * sim::kMsec;    // broken-connection detection
+  uint64_t jitter_seed = 0x7c4a1d6f0b9e3325ull;  // per-message jitter stream
 };
 
 class Network {
@@ -66,8 +85,13 @@ class Network {
   bool alive(NodeId id) const;
   size_t node_count() const { return nodes_.size(); }
 
+  // Region placement and link-class parameters. Mutate before (or between)
+  // runs: e.g. net.topology().add_region("west") and place(id, west).
+  Topology& topology() { return topo_; }
+  const Topology& topology() const { return topo_; }
+
   // Deliver `payload` to `to` after link latency. Silently dropped if either
-  // end is dead or the link is partitioned (fail-stop model).
+  // end is dead or the node-pair link is partitioned (fail-stop model).
   void send(NodeId from, NodeId to, std::any payload, size_t bytes = 256);
 
   sim::Channel<Envelope>& mailbox(NodeId id);
@@ -75,7 +99,8 @@ class Network {
   void kill(NodeId id);
   void restart(NodeId id);
 
-  // Bidirectional link partition control (for partition tests).
+  // Bidirectional link partition control (for partition tests). Fail-stop:
+  // messages crossing a downed pair are lost, never buffered.
   void set_link(NodeId a, NodeId b, bool up);
 
   // Extra per-message latency on one link, both directions (0 to clear).
@@ -83,8 +108,27 @@ class Network {
   // protocol windows deterministically.
   void set_link_delay(NodeId a, NodeId b, sim::Time extra);
 
-  // Subscribers are told about every node death, `detect_delay` after it.
+  // Region partition control. Directed: traffic from `a` to `b` parks at
+  // the delivery point until healed, then flushes in FIFO order (TCP rides
+  // out the cut; nothing is lost unless an endpoint dies meanwhile).
+  // `both_ways` cuts/heals the reverse direction too.
+  void partition_regions(RegionId a, RegionId b, bool both_ways = true);
+  void heal_partition(RegionId a, RegionId b, bool both_ways = true);
+  void heal_all_partitions();
+  bool regions_partitioned(RegionId from, RegionId to) const;
+
+  // Subscribers are told about every node death, detect_delay after it.
+  // The plain form fires once per death at the detection horizon (the
+  // slowest class's delay); the by-class form fires once per link class at
+  // that class's delay, so callers can notify same-region observers before
+  // cross-region ones.
   void subscribe_failures(std::function<void(NodeId)> cb);
+  void subscribe_failures_by_class(
+      std::function<void(NodeId, LinkClass)> cb);
+
+  // The longest broken-connection detect delay over all link classes: by
+  // this long after a kill, every peer has observed the death.
+  sim::Time detect_horizon() const { return topo_.max_detect_delay(); }
 
   // Cumulative traffic accounting (for reporting replication volume).
   uint64_t bytes_sent() const { return bytes_sent_; }
@@ -93,6 +137,7 @@ class Network {
   // Per-payload-type accounting: messages and bytes keyed by the payload's
   // dynamic type. Benches report replication cost per committed update
   // from these (e.g. stats_of<WriteSetMsg>() + stats_of<WriteSetBatchMsg>()).
+  // The class-keyed overloads separate WAN from LAN volume.
   struct PayloadStats {
     uint64_t messages = 0;
     uint64_t bytes = 0;
@@ -100,10 +145,26 @@ class Network {
   const std::map<std::type_index, PayloadStats>& payload_stats() const {
     return payload_stats_;
   }
+  const std::map<std::type_index, PayloadStats>& payload_stats(
+      LinkClass c) const {
+    return class_stats_[size_t(c)];
+  }
   template <typename T>
   PayloadStats stats_of() const {
     auto it = payload_stats_.find(std::type_index(typeid(T)));
     return it == payload_stats_.end() ? PayloadStats{} : it->second;
+  }
+  template <typename T>
+  PayloadStats stats_of(LinkClass c) const {
+    const auto& m = class_stats_[size_t(c)];
+    auto it = m.find(std::type_index(typeid(T)));
+    return it == m.end() ? PayloadStats{} : it->second;
+  }
+
+  // Bytes sent but not yet delivered (or dropped) on links of a class —
+  // includes traffic parked behind an active region partition.
+  uint64_t inflight_bytes(LinkClass c) const {
+    return inflight_bytes_[size_t(c)];
   }
 
   sim::Simulation& sim() { return sim_; }
@@ -120,19 +181,43 @@ class Network {
     std::unique_ptr<sim::Channel<Envelope>> mailbox;
   };
 
-  sim::Time transfer_time(size_t bytes) const;
+  // A message that reached its delivery point while the region pair was
+  // partitioned: queued per directed link, flushed in order on heal.
+  struct Parked {
+    uint64_t epoch = 0;  // sender epoch at send time
+    std::any payload;
+    size_t bytes = 0;
+    LinkClass cls = LinkClass::Intra;
+  };
+
+  sim::Time transfer_time(size_t bytes, const LinkClassConfig& lc) const;
+  // The delivery point: receiver-alive and sealed-sender checks, then park
+  // (partitioned) or hand to the mailbox. Used by both the scheduled send
+  // completion and the heal-time flush.
+  void deliver_one(NodeId from, NodeId to, uint64_t epoch, std::any payload,
+                   size_t bytes, LinkClass cls);
+  void flush_parked();
+  void account_delivered(size_t bytes, LinkClass cls);
 
   sim::Simulation& sim_;
   NetworkConfig cfg_;
+  Topology topo_;
+  util::Rng jitter_rng_;
   std::vector<Node> nodes_;
   // FIFO enforcement: next admissible delivery time per directed link.
   std::map<std::pair<NodeId, NodeId>, sim::Time> link_clock_;
   std::map<std::pair<NodeId, NodeId>, bool> link_down_;
   std::map<std::pair<NodeId, NodeId>, sim::Time> link_extra_;
+  std::set<std::pair<RegionId, RegionId>> region_cuts_;  // directed
+  std::map<std::pair<NodeId, NodeId>, std::deque<Parked>> parked_;
   std::vector<std::function<void(NodeId)>> failure_subs_;
+  std::vector<std::function<void(NodeId, LinkClass)>> class_failure_subs_;
   uint64_t bytes_sent_ = 0;
   uint64_t messages_sent_ = 0;
   std::map<std::type_index, PayloadStats> payload_stats_;
+  std::array<std::map<std::type_index, PayloadStats>, kNumLinkClasses>
+      class_stats_;
+  std::array<uint64_t, kNumLinkClasses> inflight_bytes_{};
 };
 
 }  // namespace dmv::net

@@ -1016,6 +1016,234 @@ TEST(Failover, LateWriteSetBatchAfterDiscardIsDropped) {
   }
 }
 
+// ---- geo-replication: WAN regions + quorum commit ----
+
+// Two-region deployment: region 0 ("local") keeps the master, sched0 and
+// the clients; slave1 lands in "r1" behind a slow cross-region link.
+struct GeoFixture {
+  sim::Simulation sim;
+  net::Network net{sim};
+  api::ProcRegistry reg = make_registry();
+  std::unique_ptr<DmvCluster> cluster;
+  net::RegionId remote = net::kNoRegion;
+
+  GeoFixture(DmvCluster::Config cfg, sim::Time cross_base) {
+    net::LinkClassConfig& cross =
+        net.topology().link(net::LinkClass::Cross);
+    cross.base_latency = cross_base;
+    cross.per_kb = 200;
+    cross.detect_delay = 200 * sim::kMsec;
+    cfg.regions = 2;
+    cfg.schema = demo_schema;
+    cfg.loader = demo_loader;
+    cluster = std::make_unique<DmvCluster>(net, reg, std::move(cfg));
+    cluster->start();
+    remote = net.topology().find_region("r1");
+  }
+
+  // Run `deposit`/`check` in a coroutine, recording completion time.
+  sim::Task<> timed(ClusterClient& c, std::string proc, api::Params p,
+                    std::optional<api::TxnResult>& out, sim::Time& done) {
+    out = co_await c.execute(std::move(proc), std::move(p));
+    done = sim.now();
+  }
+
+  std::optional<api::TxnResult> request(const std::string& proc,
+                                        api::Params params) {
+    auto client = cluster->make_client("c");
+    std::optional<api::TxnResult> out;
+    sim::Time done = -1;
+    sim.spawn(timed(*client, proc, std::move(params), out, done));
+    sim.run();
+    return out;
+  }
+};
+
+TEST(GeoReplication, QuorumCommitDoesNotWaitForRemoteRegion) {
+  DmvCluster::Config cfg;
+  cfg.slaves = 2;  // slave0 -> local (sync voter), slave1 -> r1
+  cfg.quorum_commit = true;
+  GeoFixture f(std::move(cfg), 100 * sim::kMsec);
+  auto client = f.cluster->make_client("c");
+  std::optional<api::TxnResult> r;
+  sim::Time done = -1;
+  api::Params p;
+  p.set("id", int64_t{7}).set("amt", int64_t{5});
+  f.sim.spawn(f.timed(*client, "deposit", p, r, done));
+  f.sim.run();
+  ASSERT_TRUE(r.has_value());
+  EXPECT_TRUE(r->ok);
+  // Majority quorum = master + one voter ack, and the same-region sync
+  // voter (slave0) covers both — the reply never rides the 100ms WAN leg.
+  EXPECT_LT(done, 100 * sim::kMsec);
+  // The remote replica still catches up lazily over the same stream.
+  EXPECT_EQ(f.cluster->node(f.cluster->slave_id(1))
+                .engine()
+                .received_version()[0],
+            1u);
+}
+
+TEST(GeoReplication, AllAckCommitWaitsForRemoteRegion) {
+  // Control for the test above: with quorum commit off, the client reply
+  // gates on every replica's cumulative ack — one WAN round trip minimum.
+  DmvCluster::Config cfg;
+  cfg.slaves = 2;
+  cfg.quorum_commit = false;
+  GeoFixture f(std::move(cfg), 100 * sim::kMsec);
+  auto client = f.cluster->make_client("c");
+  std::optional<api::TxnResult> r;
+  sim::Time done = -1;
+  api::Params p;
+  p.set("id", int64_t{7}).set("amt", int64_t{5});
+  f.sim.spawn(f.timed(*client, "deposit", p, r, done));
+  f.sim.run();
+  ASSERT_TRUE(r.has_value());
+  EXPECT_TRUE(r->ok);
+  EXPECT_GE(done, 200 * sim::kMsec);  // write-set out + ack back
+}
+
+TEST(GeoReplication, MasterDeathOneAckShortOfQuorumDiscardsEverywhere) {
+  // write_quorum=3 over {master, slave0, slave1}: the commit needs the
+  // remote voter too. Kill the master while that ack is still on the WAN:
+  // the client was never acked, so fail-over confirms the pre-commit
+  // version and every replica discards the in-flight write-set — the
+  // update vanishes consistently, and a fresh attempt applies once.
+  DmvCluster::Config cfg;
+  cfg.slaves = 2;
+  cfg.quorum_commit = true;
+  cfg.write_quorum = 3;
+  GeoFixture f(std::move(cfg), 100 * sim::kMsec);
+  auto client = f.cluster->make_client("c");
+  std::optional<api::TxnResult> r;
+  sim::Time done = -1;
+  api::Params p;
+  p.set("id", int64_t{7}).set("amt", int64_t{5});
+  f.sim.spawn(f.timed(*client, "deposit", p, r, done));
+  f.sim.run(20 * sim::kMsec);  // local voter acked; remote ack in flight
+  EXPECT_FALSE(r.has_value());
+  f.cluster->kill_node(f.cluster->master_id());
+  f.sim.run(f.sim.now() + 2 * sim::kSec);  // detection + recovery
+  ASSERT_TRUE(done >= 0);
+  EXPECT_FALSE(r.has_value());  // errored, not acked
+  EXPECT_EQ(f.cluster->scheduler().stats().recoveries, 1u);
+
+  // The one-short commit left no trace on any survivor.
+  api::Params chk;
+  chk.set("id", int64_t{7});
+  auto v = f.request("check", chk);
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(v->value, 70);
+
+  // A fresh deposit flows through the new master exactly once.
+  ASSERT_TRUE(f.request("deposit", p).has_value());
+  auto v2 = f.request("check", chk);
+  ASSERT_TRUE(v2.has_value());
+  EXPECT_EQ(v2->value, 75);
+}
+
+TEST(GeoReplication, LaggingReplicaServesReadOnlyAfterCatchUp) {
+  // A read tagged at the commit vector and routed to the lagging remote
+  // replica must block on the version gate until the write-set crosses
+  // the WAN — never serve the stale pre-commit state.
+  DmvCluster::Config cfg;
+  cfg.slaves = 2;
+  cfg.quorum_commit = true;
+  GeoFixture f(std::move(cfg), 2 * sim::kSec);
+  auto client = f.cluster->make_client("c");
+  std::optional<api::TxnResult> r;
+  sim::Time done = -1;
+  api::Params p;
+  p.set("id", int64_t{7}).set("amt", int64_t{5});
+  f.sim.spawn(f.timed(*client, "deposit", p, r, done));
+  f.sim.run(50 * sim::kMsec);
+  ASSERT_TRUE(r.has_value());  // quorum-acked via the local voter
+  const sim::Time committed_at = done;
+
+  // Take the caught-up local slave out so the read must go remote.
+  f.cluster->kill_node(f.cluster->slave_id(0));
+  f.sim.run(f.sim.now() + sim::kSec);  // past detection; WAN leg still open
+  EXPECT_LT(f.cluster->node(f.cluster->slave_id(1))
+                .engine()
+                .received_version()[0],
+            1u);
+
+  std::optional<api::TxnResult> v;
+  sim::Time read_done = -1;
+  api::Params chk;
+  chk.set("id", int64_t{7});
+  auto reader = f.cluster->make_client("r");
+  f.sim.spawn(f.timed(*reader, "check", chk, v, read_done));
+  f.sim.run();
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(v->value, 75);  // the committed value, never the stale one
+  // The read waited for the replication stream, not the other way around.
+  EXPECT_GE(read_done, committed_at + 2 * sim::kSec);
+  EXPECT_GE(f.cluster->node(f.cluster->slave_id(1))
+                .engine()
+                .stats()
+                .read_commits,
+            1u);
+}
+
+TEST(GeoReplication, PartitionedMinorityRegionDoesNotBlockQuorumCommits) {
+  DmvCluster::Config cfg;
+  cfg.slaves = 2;
+  cfg.quorum_commit = true;
+  GeoFixture f(std::move(cfg), 10 * sim::kMsec);
+  f.net.partition_regions(0, f.remote);
+
+  auto client = f.cluster->make_client("c");
+  std::optional<api::TxnResult> r;
+  sim::Time done = -1;
+  api::Params p;
+  p.set("id", int64_t{7}).set("amt", int64_t{5});
+  f.sim.spawn(f.timed(*client, "deposit", p, r, done));
+  f.sim.run(sim::kSec);
+  ASSERT_TRUE(r.has_value());  // majority side keeps committing
+  EXPECT_TRUE(r->ok);
+  EXPECT_LT(done, 100 * sim::kMsec);
+  // The dark region saw nothing: its stream is parked, not lost.
+  EXPECT_EQ(f.cluster->node(f.cluster->slave_id(1))
+                .engine()
+                .received_version()[0],
+            0u);
+  EXPECT_GT(f.net.inflight_bytes(net::LinkClass::Cross), 0u);
+
+  f.net.heal_partition(0, f.remote);
+  f.sim.run();
+  EXPECT_EQ(f.cluster->node(f.cluster->slave_id(1))
+                .engine()
+                .received_version()[0],
+            1u);
+}
+
+TEST(GeoReplication, WriteQuorumSpanningPartitionStallsUntilHeal) {
+  // If the configured quorum needs the minority region's voter, a commit
+  // issued during the cut must wait for the heal — blocked, not lost.
+  DmvCluster::Config cfg;
+  cfg.slaves = 2;
+  cfg.quorum_commit = true;
+  cfg.write_quorum = 3;
+  GeoFixture f(std::move(cfg), 10 * sim::kMsec);
+  f.net.partition_regions(0, f.remote);
+
+  auto client = f.cluster->make_client("c");
+  std::optional<api::TxnResult> r;
+  sim::Time done = -1;
+  api::Params p;
+  p.set("id", int64_t{7}).set("amt", int64_t{5});
+  f.sim.spawn(f.timed(*client, "deposit", p, r, done));
+  f.sim.run(100 * sim::kMsec);
+  EXPECT_FALSE(r.has_value());  // one ack short until the WAN heals
+
+  f.sim.schedule_at(500 * sim::kMsec,
+                    [&] { f.net.heal_partition(0, f.remote); });
+  f.sim.run();
+  ASSERT_TRUE(r.has_value());
+  EXPECT_TRUE(r->ok);
+  EXPECT_GE(done, 500 * sim::kMsec);
+}
+
 TEST(MemEngine, RacingReaderPastTagAbortsAndCounts) {
   // §2.2: two concurrent read-only transactions hit the same slave. The
   // first is tagged {1} and lazily applies the pending v1 mod, raising the

@@ -238,6 +238,155 @@ TEST(Network, PartitionHealsAndTrafficResumes) {
                       // links lose, they never buffer)
 }
 
+TEST(Topology, CrossRegionLinksPayTheirOwnCosts) {
+  Fixture f;
+  Topology& topo = f.net.topology();
+  const RegionId west = topo.add_region("west");
+  topo.link(LinkClass::Cross) = {.base_latency = 10 * sim::kMsec,
+                                 .per_kb = 200,
+                                 .jitter = 0,
+                                 .detect_delay = 200 * sim::kMsec};
+  NodeId a = f.net.add_node("a");
+  NodeId b = f.net.add_node("b");
+  NodeId c = f.net.add_node("c");
+  topo.place(c, west);
+  EXPECT_EQ(topo.link_class(a, b), LinkClass::Intra);
+  EXPECT_EQ(topo.link_class(a, c), LinkClass::Cross);
+
+  std::map<NodeId, sim::Time> arrival;
+  auto sink = [](Fixture& f, NodeId me,
+                 std::map<NodeId, sim::Time>& at) -> sim::Task<> {
+    auto env = co_await f.net.mailbox(me).receive();
+    if (env) at[me] = f.sim.now();
+  };
+  f.sim.spawn(sink(f, b, arrival));
+  f.sim.spawn(sink(f, c, arrival));
+  f.net.send(a, b, Ping{1}, 1024);
+  f.net.send(a, c, Ping{2}, 1024);
+  f.sim.run();
+  EXPECT_EQ(arrival[b], 180);                   // LAN: 100us + 1KB*80us
+  EXPECT_EQ(arrival[c], 10 * sim::kMsec + 200);  // WAN: 10ms + 1KB*200us
+
+  // Per-class accounting split, consistent with the aggregate.
+  EXPECT_EQ(f.net.stats_of<Ping>(LinkClass::Intra).messages, 1u);
+  EXPECT_EQ(f.net.stats_of<Ping>(LinkClass::Cross).messages, 1u);
+  EXPECT_EQ(f.net.stats_of<Ping>(LinkClass::Intra).bytes, 1024u);
+  EXPECT_EQ(f.net.stats_of<Ping>(LinkClass::Cross).bytes, 1024u);
+  EXPECT_EQ(f.net.stats_of<Ping>().messages, 2u);
+  EXPECT_EQ(f.net.inflight_bytes(LinkClass::Cross), 0u);
+}
+
+TEST(Topology, RegionPartitionParksAndFlushesInOrder) {
+  // A region cut must not lose messages (that would break the FIFO-
+  // reliable contract replication depends on): traffic parks at the
+  // delivery point and flushes in send order on heal.
+  Fixture f;
+  Topology& topo = f.net.topology();
+  const RegionId west = topo.add_region("west");
+  NodeId a = f.net.add_node("a");
+  NodeId b = f.net.add_node("b");
+  topo.place(b, west);
+  std::vector<int> got;
+  f.sim.spawn([](Fixture& f, NodeId b, std::vector<int>& got) -> sim::Task<> {
+    for (;;) {
+      auto env = co_await f.net.mailbox(b).receive();
+      if (!env) break;
+      got.push_back(as<Ping>(*env)->n);
+    }
+  }(f, b, got));
+
+  f.net.partition_regions(0, west);
+  f.net.send(a, b, Ping{1}, 64);
+  f.net.send(a, b, Ping{2}, 64);
+  f.sim.run(sim::kSec);
+  EXPECT_TRUE(got.empty());
+  EXPECT_TRUE(f.net.regions_partitioned(0, west));
+  EXPECT_GT(f.net.inflight_bytes(LinkClass::Cross), 0u);  // parked, not lost
+
+  f.net.heal_partition(0, west);
+  f.net.send(a, b, Ping{3}, 64);
+  f.sim.run(2 * sim::kSec);
+  EXPECT_EQ(got, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(f.net.inflight_bytes(LinkClass::Cross), 0u);
+}
+
+TEST(Topology, DirectedPartitionCutsOneWayOnly) {
+  Fixture f;
+  Topology& topo = f.net.topology();
+  const RegionId west = topo.add_region("west");
+  NodeId a = f.net.add_node("a");
+  NodeId b = f.net.add_node("b");
+  topo.place(b, west);
+  int got_a = 0, got_b = 0;
+  auto count = [](Fixture& f, NodeId me, int& n) -> sim::Task<> {
+    for (;;) {
+      auto env = co_await f.net.mailbox(me).receive();
+      if (!env) break;
+      ++n;
+    }
+  };
+  f.sim.spawn(count(f, a, got_a));
+  f.sim.spawn(count(f, b, got_b));
+  f.net.partition_regions(0, west, /*both_ways=*/false);
+  f.net.send(a, b, Ping{1});
+  f.net.send(b, a, Ping{2});
+  f.sim.run(sim::kSec);
+  EXPECT_EQ(got_b, 0);  // local -> west parked
+  EXPECT_EQ(got_a, 1);  // west -> local still flows
+  f.net.heal_all_partitions();
+  f.sim.run(2 * sim::kSec);
+  EXPECT_EQ(got_b, 1);
+}
+
+TEST(Network, FailureWavesFirePerLinkClass) {
+  // Same-region peers observe a death at the intra detect delay; cross-
+  // region peers only at their slower class's delay. The plain
+  // subscription fires once, at the horizon.
+  Fixture f;
+  Topology& topo = f.net.topology();
+  const RegionId west = topo.add_region("west");
+  topo.link(LinkClass::Intra).detect_delay = 100;
+  topo.link(LinkClass::Cross).detect_delay = 700;
+  NodeId b = f.net.add_node("b");
+  std::vector<std::pair<sim::Time, LinkClass>> waves;
+  f.net.subscribe_failures_by_class(
+      [&](NodeId n, LinkClass c) {
+        EXPECT_EQ(n, b);
+        waves.emplace_back(f.sim.now(), c);
+      });
+  std::vector<sim::Time> plain;
+  f.net.subscribe_failures([&](NodeId) { plain.push_back(f.sim.now()); });
+  (void)west;
+  f.sim.schedule_at(50, [&] { f.net.kill(b); });
+  f.sim.run();
+  ASSERT_EQ(waves.size(), 2u);
+  EXPECT_EQ(waves[0], (std::pair<sim::Time, LinkClass>{150, LinkClass::Intra}));
+  EXPECT_EQ(waves[1], (std::pair<sim::Time, LinkClass>{750, LinkClass::Cross}));
+  ASSERT_EQ(plain.size(), 1u);
+  EXPECT_EQ(plain[0], 750);  // detect_horizon = slowest class
+  EXPECT_EQ(f.net.detect_horizon(), 700);
+}
+
+TEST(HeartbeatDetector, CrossRegionPeerGetsProportionalSlack) {
+  Fixture f;
+  Topology& topo = f.net.topology();
+  const RegionId west = topo.add_region("west");
+  topo.link(LinkClass::Cross).base_latency = 10 * sim::kMsec;
+  NodeId a = f.net.add_node("a");
+  NodeId near = f.net.add_node("near");
+  NodeId far = f.net.add_node("far");
+  topo.place(far, west);
+  HeartbeatConfig hb{.interval = 100 * sim::kMsec,
+                     .timeout = 300 * sim::kMsec};
+  HeartbeatDetector da(f.net, a, hb);
+  da.monitor(near);
+  da.monitor(far);
+  EXPECT_EQ(da.timeout_for(near), hb.timeout);
+  const sim::Time extra =
+      topo.rtt(LinkClass::Cross) - topo.rtt(LinkClass::Intra);
+  EXPECT_EQ(da.timeout_for(far), hb.timeout + hb.rtt_slack * extra);
+}
+
 // Heartbeat detector: two nodes exchanging heartbeats; kill one, the other
 // must suspect it within ~timeout.
 TEST(HeartbeatDetector, SuspectsSilentPeer) {
