@@ -78,6 +78,7 @@ std::string repro_line(const check::CheckConfig& cfg,
   if (cfg.batch_max_writesets != d.batch_max_writesets) s += " --batched";
   if (cfg.disaster) s += " --disaster";
   if (cfg.regions > 1) s += " --geo";
+  if (cfg.mvcc) s += " --cc=mvcc";
   return s;
 }
 
@@ -179,12 +180,22 @@ int main(int argc, char** argv) {
       opt.base.batch_delay = 500;
       opt.base.ack_every_n = 4;
       opt.base.ack_delay = 500;
+    } else if (a == "--cc" || a == "--cc=mvcc" || a == "--cc=page2pl") {
+      const std::string mode =
+          a == "--cc" ? next() : a.substr(std::string("--cc=").size());
+      if (mode == "mvcc") {
+        opt.base.mvcc = true;
+      } else if (mode != "page2pl") {
+        std::cerr << "unknown --cc mode '" << mode
+                  << "' (expected page2pl or mvcc)\n";
+        return 2;
+      }
     } else {
       std::cerr
           << "usage: check_sweep [--seeds N | --quick | --seed N] "
              "[--fault-plan PLAN] [--mutations]\n"
              "                   [--disaster] [--geo] [--artifacts DIR] "
-             "[--verbose] [--batched]\n"
+             "[--verbose] [--batched] [--cc MODE]\n"
              "                   [--slaves N] [--spares N] [--schedulers N] "
              "[--clients N] [--ops N]\n";
       return 2;

@@ -9,60 +9,71 @@
 namespace dmv::chaos {
 namespace {
 
-// ---- workload: one account table, ledgered deposits + tagged reads ----
+// ---- workload: one account table per conflict class, ledgered deposits
+// + tagged reads. Class 0 keeps the historical proc names (deposit/check/
+// sum); class c > 0 gets deposit<c>/check<c>/sum<c> against table c. ----
 
-void chaos_schema(storage::Database& db) {
-  db.add_table("acct",
-               storage::Schema({storage::int_col("id"),
-                                storage::int_col("balance")}),
-               storage::IndexDef{"pk", {0}, true});
+void chaos_schema(storage::Database& db, int classes) {
+  for (int c = 0; c < classes; ++c) {
+    const std::string name =
+        c == 0 ? "acct" : "acct" + std::to_string(c + 1);
+    db.add_table(name,
+                 storage::Schema({storage::int_col("id"),
+                                  storage::int_col("balance")}),
+                 storage::IndexDef{"pk", {0}, true});
+  }
 }
 
-api::ProcRegistry make_chaos_registry() {
+api::ProcRegistry make_chaos_registry(int classes) {
   api::ProcRegistry reg;
-  api::ProcInfo deposit;
-  deposit.read_only = false;
-  deposit.tables = {0};
-  deposit.fn = [](api::Connection& c, const api::Params& p)
-      -> sim::Task<api::TxnResult> {
-    storage::Key k{p.i("id")};
-    const std::function<void(storage::Row&)> bump = [](storage::Row& r) {
-      r[1] = std::get<int64_t>(r[1]) + 1;
+  for (int c = 0; c < classes; ++c) {
+    const storage::TableId tbl = storage::TableId(c);
+    const std::string sfx = c == 0 ? "" : std::to_string(c);
+
+    api::ProcInfo deposit;
+    deposit.read_only = false;
+    deposit.tables = {tbl};
+    deposit.fn = [tbl](api::Connection& c, const api::Params& p)
+        -> sim::Task<api::TxnResult> {
+      storage::Key k{p.i("id")};
+      const std::function<void(storage::Row&)> bump = [](storage::Row& r) {
+        r[1] = std::get<int64_t>(r[1]) + 1;
+      };
+      const bool found = co_await c.update(tbl, k, bump);
+      api::TxnResult res;
+      res.ok = found;
+      co_return res;
     };
-    const bool found = co_await c.update(0, k, bump);
-    api::TxnResult res;
-    res.ok = found;
-    co_return res;
-  };
-  reg.register_proc("deposit", deposit);
+    reg.register_proc("deposit" + sfx, deposit);
 
-  api::ProcInfo check;
-  check.read_only = true;
-  check.tables = {0};
-  check.fn = [](api::Connection& c, const api::Params& p)
-      -> sim::Task<api::TxnResult> {
-    storage::Key k{p.i("id")};
-    auto row = co_await c.get(0, k);
-    api::TxnResult res;
-    res.ok = row.has_value();
-    res.value = row ? std::get<int64_t>((*row)[1]) : -1;
-    co_return res;
-  };
-  reg.register_proc("check", check);
+    api::ProcInfo check;
+    check.read_only = true;
+    check.tables = {tbl};
+    check.fn = [tbl](api::Connection& c, const api::Params& p)
+        -> sim::Task<api::TxnResult> {
+      storage::Key k{p.i("id")};
+      auto row = co_await c.get(tbl, k);
+      api::TxnResult res;
+      res.ok = row.has_value();
+      res.value = row ? std::get<int64_t>((*row)[1]) : -1;
+      co_return res;
+    };
+    reg.register_proc("check" + sfx, check);
 
-  api::ProcInfo sum;
-  sum.read_only = true;
-  sum.tables = {0};
-  sum.fn = [](api::Connection& c, const api::Params&)
-      -> sim::Task<api::TxnResult> {
-    api::ScanSpec spec;
-    auto rows = co_await c.scan(0, std::move(spec));
-    api::TxnResult res;
-    res.rows = rows.size();
-    for (const auto& r : rows) res.value += std::get<int64_t>(r[1]);
-    co_return res;
-  };
-  reg.register_proc("sum", sum);
+    api::ProcInfo sum;
+    sum.read_only = true;
+    sum.tables = {tbl};
+    sum.fn = [tbl](api::Connection& c, const api::Params&)
+        -> sim::Task<api::TxnResult> {
+      api::ScanSpec spec;
+      auto rows = co_await c.scan(tbl, std::move(spec));
+      api::TxnResult res;
+      res.rows = rows.size();
+      for (const auto& r : rows) res.value += std::get<int64_t>(r[1]);
+      co_return res;
+    };
+    reg.register_proc("sum" + sfx, sum);
+  }
   return reg;
 }
 
@@ -80,7 +91,8 @@ struct Ctx {
   sim::Simulation& sim;
   net::Network& net;
   core::DmvCluster& cluster;
-  WorkloadLedger ledger{};
+  std::vector<WorkloadLedger> ledgers{};  // one per conflict class / table
+  std::vector<std::string> dep_names{}, chk_names{}, sum_names{};
   Violations viol{};
   std::vector<ClientState> clients{};
   size_t clients_done = 0;
@@ -105,42 +117,47 @@ sim::Task<> client_loop(Ctx& ctx, size_t ci, util::Rng rng) {
   for (int op = 0; op < ctx.cfg.ops_per_client; ++op) {
     co_await ctx.sim.delay(
         sim::Time(rng.exponential(double(ctx.cfg.mean_think))));
+    // Pick the conflict class for this op. Single-class configs skip the
+    // draw so historical (config, plan, seed) runs replay unchanged.
+    const size_t cl = ctx.ledgers.size() > 1
+                          ? size_t(rng.below(ctx.ledgers.size()))
+                          : 0;
+    WorkloadLedger& lg = ctx.ledgers[cl];
     if (rng.chance(ctx.cfg.update_fraction)) {
       const int64_t id = int64_t(rng.below(uint64_t(ctx.cfg.rows)));
       // Count the attempt before the send: a reply lost after commit must
       // still fall inside the [acked, attempted] interval.
-      ctx.ledger.on_attempt(id);
+      lg.on_attempt(id);
       api::Params p;
       p.set("id", id);
-      auto r = co_await st.client->execute("deposit", std::move(p));
+      auto r = co_await st.client->execute(ctx.dep_names[cl], std::move(p));
       if (r && r->ok) {
-        ctx.ledger.on_ack(id);
+        lg.on_ack(id);
         ++st.ok;
       } else {
         ++st.errors;
       }
     } else if (rng.chance(ctx.cfg.sum_fraction)) {
-      const uint64_t floor = ctx.ledger.global_acked;
+      const uint64_t floor = lg.global_acked;
       const sim::Time sent_at = ctx.sim.now();
-      auto r = co_await st.client->execute("sum", {});
+      auto r = co_await st.client->execute(ctx.sum_names[cl], {});
       if (r && r->ok) {
         note_read_latency(ctx, sent_at);
-        check_sum_value(ctx.ledger, int64_t(r->rows), r->value, floor,
-                        &ctx.viol);
+        check_sum_value(lg, int64_t(r->rows), r->value, floor, &ctx.viol);
         ++st.ok;
       } else {
         ++st.errors;
       }
     } else {
       const int64_t id = int64_t(rng.below(uint64_t(ctx.cfg.rows)));
-      const uint64_t floor = ctx.ledger.acked[size_t(id)];
+      const uint64_t floor = lg.acked[size_t(id)];
       api::Params p;
       p.set("id", id);
       const sim::Time sent_at = ctx.sim.now();
-      auto r = co_await st.client->execute("check", std::move(p));
+      auto r = co_await st.client->execute(ctx.chk_names[cl], std::move(p));
       if (r && r->ok) {
         note_read_latency(ctx, sent_at);
-        check_read_value(ctx.ledger, id, r->value, floor, &ctx.viol);
+        check_read_value(lg, id, r->value, floor, &ctx.viol);
         ++st.ok;
       } else {
         ++st.errors;
@@ -182,11 +199,14 @@ ChaosReport run_chaos(const ChaosConfig& cfg, const FaultPlan& plan) {
     ~Restore() { obs::set_tracer(prev); }
   } restore{obs::set_tracer(&tracer)};
 
-  api::ProcRegistry reg = make_chaos_registry();
+  const int classes = cfg.classes > 0 ? cfg.classes : 1;
+  api::ProcRegistry reg = make_chaos_registry(classes);
   core::DmvCluster::Config cc;
   cc.slaves = cfg.slaves;
   cc.spares = cfg.spares;
   cc.schedulers = cfg.schedulers;
+  for (int c = 0; classes > 1 && c < classes; ++c)
+    cc.conflict_classes.push_back({storage::TableId(c)});
   cc.heartbeats = cfg.heartbeats;
   cc.batch_max_writesets = cfg.batch_max_writesets;
   cc.batch_delay = cfg.batch_delay;
@@ -197,17 +217,28 @@ ChaosReport run_chaos(const ChaosConfig& cfg, const FaultPlan& plan) {
   cc.persistence.backends = cfg.backends;
   cc.persistence.checkpoint_period = cfg.persist_checkpoint_period;
   cc.persistence.max_lag = cfg.persist_max_lag;
-  cc.schema = chaos_schema;
+  cc.schema = [classes](storage::Database& db) {
+    chaos_schema(db, classes);
+  };
   const int64_t rows = cfg.rows;
-  cc.loader = [rows](storage::Database& db) {
-    for (int64_t i = 0; i < rows; ++i)
-      db.table(0).insert_row(storage::Row{i, i * kBalanceBase});
+  cc.loader = [rows, classes](storage::Database& db) {
+    for (int c = 0; c < classes; ++c)
+      for (int64_t i = 0; i < rows; ++i)
+        db.table(storage::TableId(c))
+            .insert_row(storage::Row{i, i * kBalanceBase});
   };
   core::DmvCluster cluster(net, reg, std::move(cc));
   cluster.start();
 
   Ctx ctx{cfg, sim, net, cluster};
-  ctx.ledger.init(cfg.rows);
+  ctx.ledgers.resize(size_t(classes));
+  for (auto& lg : ctx.ledgers) lg.init(cfg.rows);
+  for (int c = 0; c < classes; ++c) {
+    const std::string sfx = c == 0 ? "" : std::to_string(c);
+    ctx.dep_names.push_back("deposit" + sfx);
+    ctx.chk_names.push_back("check" + sfx);
+    ctx.sum_names.push_back("sum" + sfx);
+  }
   ctx.probe.cluster = &cluster;
   ctx.probe.net = &net;
   ctx.probe.tracer = &tracer;
@@ -255,7 +286,9 @@ ChaosReport run_chaos(const ChaosConfig& cfg, const FaultPlan& plan) {
 
   ctx.probe.scheduler_count = cluster.scheduler_ids().size();
   ctx.monotone.sample(ctx.probe, &ctx.viol);
-  check_end_invariants(ctx.probe, ctx.ledger, &ctx.viol);
+  std::vector<const WorkloadLedger*> ledger_ptrs;
+  for (const auto& lg : ctx.ledgers) ledger_ptrs.push_back(&lg);
+  check_end_invariants(ctx.probe, ledger_ptrs, &ctx.viol);
 
   // Detach the observer before anything in this frame dies; teardown may
   // still emit events.

@@ -23,6 +23,11 @@ struct ChaosConfig {
   int slaves = 2;
   int spares = 1;
   int schedulers = 2;
+  // Conflict classes (§2.1): classes > 1 deploys one account table per
+  // class (each with its own master, ledger and per-class deposit/check/
+  // sum procs). The end-of-run durability invariant then checks EVERY
+  // class's live master against its own ledger.
+  int classes = 1;
   int clients = 4;
   int ops_per_client = 25;
   int64_t rows = 64;

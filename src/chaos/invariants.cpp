@@ -128,7 +128,8 @@ void MonotonicityProbe::sample(const ClusterProbe& p, Violations* v) {
   }
 }
 
-void check_end_invariants(const ClusterProbe& p, const WorkloadLedger& lg,
+void check_end_invariants(const ClusterProbe& p,
+                          const std::vector<const WorkloadLedger*>& ledgers,
                           Violations* v) {
   // ---- scheduler drain ----
   for (size_t i = 0; i < p.scheduler_count; ++i) {
@@ -166,34 +167,46 @@ void check_end_invariants(const ClusterProbe& p, const WorkloadLedger& lg,
            " span(s) still open at quiesce: " + names);
   }
 
-  // ---- durability: row intervals on a live master ----
+  // ---- durability: row intervals on every class's live master ----
+  // Each table belongs to one conflict class; its ledger intervals must
+  // hold on a live master OF THAT TABLE. Inspecting only masters()[0]
+  // (the old behavior) made a dead or corrupted class-1 master invisible.
   core::Scheduler* sched = live_scheduler(p);
-  net::NodeId master = net::kNoNode;
-  // The master slot can legitimately be kNoNode here — e.g. a recovery
-  // wedged by the very bug a fault plan is probing for — and alive()
-  // asserts on it; the checker must report, not crash.
-  if (sched && !sched->masters().empty() &&
-      sched->masters()[0] != net::kNoNode &&
-      p.net->alive(sched->masters()[0])) {
-    master = sched->masters()[0];
-  } else {
-    for (net::NodeId id : p.engine_ids)
-      if (p.net->alive(id) && p.cluster->node(id).is_master()) {
-        master = id;
-        break;
-      }
-  }
-  if (master != net::kNoNode) {
+  for (size_t tid = 0; tid < ledgers.size(); ++tid) {
+    const WorkloadLedger& lg = *ledgers[tid];
+    const auto tbl = storage::TableId(tid);
+    net::NodeId master = net::kNoNode;
+    // The master slot can legitimately be kNoNode here — e.g. a recovery
+    // wedged by the very bug a fault plan is probing for — and alive()
+    // asserts on it; the checker must report, not crash.
+    if (sched) {
+      for (net::NodeId m : sched->masters())
+        if (m != net::kNoNode && p.net->alive(m) &&
+            p.cluster->node(m).engine().masters(tbl)) {
+          master = m;
+          break;
+        }
+    }
+    if (master == net::kNoNode) {
+      for (net::NodeId id : p.engine_ids)
+        if (p.net->alive(id) &&
+            p.cluster->node(id).engine().masters(tbl)) {
+          master = id;
+          break;
+        }
+    }
+    if (master == net::kNoNode) continue;
     const storage::Table& t =
-        p.cluster->node(master).engine().db().table(0);
+        p.cluster->node(master).engine().db().table(tbl);
     if (int64_t(t.row_count()) != lg.rows)
-      v->add("row count changed: master has " +
-             std::to_string(t.row_count()) + " rows, expected " +
-             std::to_string(lg.rows));
+      v->add("row count changed: table " + std::to_string(tid) +
+             " on master has " + std::to_string(t.row_count()) +
+             " rows, expected " + std::to_string(lg.rows));
     for (int64_t id = 0; id < lg.rows; ++id) {
       auto rid = t.pk_find(storage::Key{id});
       if (!rid) {
-        v->add("row " + std::to_string(id) + " missing on master");
+        v->add("row " + std::to_string(id) + " missing on master (table " +
+               std::to_string(tid) + ")");
         continue;
       }
       const storage::Row row = t.read_row(*rid);
@@ -203,9 +216,10 @@ void check_end_invariants(const ClusterProbe& p, const WorkloadLedger& lg,
       const uint64_t hi = lg.attempted[size_t(id)];
       if (delta < 0 || uint64_t(delta) < lo || uint64_t(delta) > hi) {
         std::ostringstream os;
-        os << "durability: row " << id << " balance " << bal
-           << " implies delta " << delta << ", outside acked/attempted ["
-           << lo << ", " << hi << "] — an acknowledged update was lost "
+        os << "durability: table " << tid << " row " << id << " balance "
+           << bal << " implies delta " << delta
+           << ", outside acked/attempted [" << lo << ", " << hi
+           << "] — an acknowledged update was lost "
            << "or a phantom update applied";
         v->add(os.str());
       }
@@ -234,29 +248,35 @@ void check_end_invariants(const ClusterProbe& p, const WorkloadLedger& lg,
         continue;
       }
       ++checked;
-      const storage::Table& t = pb->backend(b).db().table(0);
-      if (int64_t(t.row_count()) != lg.rows)
-        v->add("backend " + std::to_string(b) + " row count changed: " +
-               std::to_string(t.row_count()) + " rows, expected " +
-               std::to_string(lg.rows));
-      for (int64_t id = 0; id < lg.rows; ++id) {
-        auto rid = t.pk_find(storage::Key{id});
-        if (!rid) {
-          v->add("backend " + std::to_string(b) + ": row " +
-                 std::to_string(id) + " missing");
-          continue;
-        }
-        const int64_t bal = std::get<int64_t>(t.read_row(*rid)[1]);
-        const int64_t delta = bal - id * kBalanceBase;
-        const uint64_t lo = lg.acked[size_t(id)];
-        const uint64_t hi = lg.attempted[size_t(id)];
-        if (delta < 0 || uint64_t(delta) < lo || uint64_t(delta) > hi) {
-          std::ostringstream os;
-          os << "backend durability: backend " << b << " row " << id
-             << " balance " << bal << " implies delta " << delta
-             << ", outside acked/attempted [" << lo << ", " << hi
-             << "] — an acknowledged update did not survive on disk";
-          v->add(os.str());
+      for (size_t tid = 0; tid < ledgers.size(); ++tid) {
+        const WorkloadLedger& lg = *ledgers[tid];
+        const storage::Table& t =
+            pb->backend(b).db().table(storage::TableId(tid));
+        if (int64_t(t.row_count()) != lg.rows)
+          v->add("backend " + std::to_string(b) + " row count changed: " +
+                 "table " + std::to_string(tid) + " has " +
+                 std::to_string(t.row_count()) + " rows, expected " +
+                 std::to_string(lg.rows));
+        for (int64_t id = 0; id < lg.rows; ++id) {
+          auto rid = t.pk_find(storage::Key{id});
+          if (!rid) {
+            v->add("backend " + std::to_string(b) + ": table " +
+                   std::to_string(tid) + " row " + std::to_string(id) +
+                   " missing");
+            continue;
+          }
+          const int64_t bal = std::get<int64_t>(t.read_row(*rid)[1]);
+          const int64_t delta = bal - id * kBalanceBase;
+          const uint64_t lo = lg.acked[size_t(id)];
+          const uint64_t hi = lg.attempted[size_t(id)];
+          if (delta < 0 || uint64_t(delta) < lo || uint64_t(delta) > hi) {
+            std::ostringstream os;
+            os << "backend durability: backend " << b << " table " << tid
+               << " row " << id << " balance " << bal << " implies delta "
+               << delta << ", outside acked/attempted [" << lo << ", "
+               << hi << "] — an acknowledged update did not survive on disk";
+            v->add(os.str());
+          }
         }
       }
     }

@@ -101,8 +101,19 @@ class MonotonicityProbe {
 
 // End-of-run structural + durability + convergence checks (see header
 // comment). Call after the simulation has quiesced, *before* tearing the
-// cluster down (teardown legitimately closes spans).
-void check_end_invariants(const ClusterProbe& p, const WorkloadLedger& lg,
+// cluster down (teardown legitimately closes spans). `ledgers[t]` is the
+// ledger for table t — one per conflict class in a multi-class deployment;
+// the durability interval is checked against EVERY class's live master
+// (not just class 0's), so a corrupted or short table on any master is a
+// violation regardless of which class it belongs to.
+void check_end_invariants(const ClusterProbe& p,
+                          const std::vector<const WorkloadLedger*>& ledgers,
                           Violations* v);
+
+// Single-class convenience (table 0 only).
+inline void check_end_invariants(const ClusterProbe& p,
+                                 const WorkloadLedger& lg, Violations* v) {
+  check_end_invariants(p, std::vector<const WorkloadLedger*>{&lg}, v);
+}
 
 }  // namespace dmv::chaos

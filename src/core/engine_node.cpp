@@ -205,6 +205,7 @@ void EngineNode::broadcast_write_set(const txn::WriteSet& ws) {
     wait->need = std::min(quorum > 0 ? quorum - 1 : 0, wait->voters.size());
   }
   ack_waits_[seq] = std::move(wait);
+  const AckWait& w = *ack_waits_[seq];
   WriteSetMsg msg;
   msg.master = id_;
   msg.seq = seq;
@@ -215,16 +216,35 @@ void EngineNode::broadcast_write_set(const txn::WriteSet& ws) {
     msg.origin_result = it->second.result;
     msg.origin_ops = it->second.ops;
   }
-  for (NodeId r : targets) enqueue_write_set(r, msg);
+  for (NodeId r : targets) {
+    // All-ack mode: every recipient's ack gates the client reply. Quorum
+    // commit: only voters can complete the wait — everyone else is a lazy
+    // catch-up stream whose acks should keep coalescing. The mutated node
+    // replies to the client without waiting, so nothing it sends is
+    // client-blocking: a real reply-before-quorum bug leaves the whole
+    // pipeline on the lazy path, which is exactly the window the checker
+    // must catch (acked commits stranded in a dying master's outbox).
+    msg.ack_urgent = (!w.quorum || w.voters.count(r) > 0) &&
+                     !cfg_.mut_reply_before_quorum;
+    enqueue_write_set(r, msg);
+  }
 }
 
 void EngineNode::enqueue_write_set(NodeId to, WriteSetMsg msg) {
   Outbox& ob = outbox_[to];
   ob.bytes += msg.ws.byte_size();
   for (const auto& op : msg.origin_ops) ob.bytes += op.byte_size();
+  ob.has_urgent = ob.has_urgent || msg.ack_urgent;
   ob.items.push_back(std::move(msg));
   const bool window = cfg_.batch_max_writesets > 1 && cfg_.batch_delay > 0;
-  if (!window || ob.items.size() >= cfg_.batch_max_writesets) {
+  // Nagle-style urgent path: a client-blocking write-set on an idle link
+  // goes out now — making it sit out the batch window would tax every
+  // commit by batch_delay for zero coalescing (nothing else is coming).
+  // On a busy link it waits at most one ack round-trip (see the CumAckMsg
+  // handler), which is when overlapping commits actually batch.
+  const bool idle = ob.acked_seq >= ob.sent_seq;
+  if (!window || ob.items.size() >= cfg_.batch_max_writesets ||
+      (ob.has_urgent && idle)) {
     flush_outbox(to);
     return;
   }
@@ -243,18 +263,25 @@ void EngineNode::enqueue_write_set(NodeId to, WriteSetMsg msg) {
 void EngineNode::flush_outbox(NodeId to) {
   auto it = outbox_.find(to);
   if (it == outbox_.end() || it->second.items.empty()) return;
-  Outbox ob = std::move(it->second);
-  outbox_.erase(it);
-  if (ob.items.size() == 1) {
-    net_.send(id_, to, std::move(ob.items[0]), ob.bytes);
+  // The entry survives the flush: sent_seq/acked_seq track link idleness
+  // across batches for the urgent fast path.
+  Outbox& ob = it->second;
+  std::vector<WriteSetMsg> items = std::move(ob.items);
+  const size_t bytes = ob.bytes;
+  ob.items.clear();
+  ob.bytes = 0;
+  ob.has_urgent = false;
+  ob.sent_seq = std::max(ob.sent_seq, items.back().seq);
+  if (items.size() == 1) {
+    net_.send(id_, to, std::move(items[0]), bytes);
     return;
   }
   obs::count("repl.batches", id_);
-  obs::count("repl.batched_writesets", id_, double(ob.items.size()));
+  obs::count("repl.batched_writesets", id_, double(items.size()));
   WriteSetBatchMsg batch;
   batch.master = id_;
-  batch.items = std::move(ob.items);
-  net_.send(id_, to, std::move(batch), ob.bytes + 64);
+  batch.items = std::move(items);
+  net_.send(id_, to, std::move(batch), bytes + 64);
 }
 
 void EngineNode::prune_outbox(const std::set<NodeId>& live) {
@@ -392,18 +419,28 @@ sim::Task<> EngineNode::main_loop() {
       net_.sim().spawn(handle_exec(*exec));
     } else if (const auto* ws = net::as<WriteSetMsg>(*env)) {
       apply_incoming_write_set(*ws);
+      // A client reply is blocked on this ack: don't let it sit out the
+      // ack_delay window. One flush per network message, so the ack
+      // economy of batching is preserved.
+      if (ws->ack_urgent) flush_cum_ack(ws->master);
       obs::gauge("pending_mods", id_, double(engine_->pending_mod_count()));
     } else if (const auto* batch = net::as<WriteSetBatchMsg>(*env)) {
       // One FIFO message: items apply strictly in the order the master
       // produced them, so version order within the batch is preserved.
+      bool urgent = false;
       if (cfg_.mut_batch_reverse) {
         for (auto it = batch->items.rbegin(); it != batch->items.rend();
-             ++it)
+             ++it) {
           apply_incoming_write_set(*it);
+          urgent = urgent || it->ack_urgent;
+        }
       } else {
-        for (const auto& item : batch->items)
+        for (const auto& item : batch->items) {
           apply_incoming_write_set(item);
+          urgent = urgent || item.ack_urgent;
+        }
       }
+      if (urgent) flush_cum_ack(batch->master);
       obs::gauge("pending_mods", id_, double(engine_->pending_mod_count()));
     } else if (const auto* ca = net::as<CumAckMsg>(*env)) {
       // Acks stand for prefixes: one cumulative ack completes this
@@ -411,6 +448,15 @@ sim::Task<> EngineNode::main_loop() {
       const auto stop = ack_waits_.upper_bound(ca->seq);
       for (auto it = ack_waits_.begin(); it != stop; ++it)
         ack_wait_acked(*it->second, env->from);
+      // Nagle urgent path, release side: the link just went idle — if a
+      // client-blocking write-set coalesced behind the acked batch, send
+      // it now instead of waiting out the batch_delay window.
+      if (auto ob = outbox_.find(env->from); ob != outbox_.end()) {
+        ob->second.acked_seq = std::max(ob->second.acked_seq, ca->seq);
+        if (ob->second.has_urgent &&
+            ob->second.acked_seq >= ob->second.sent_seq)
+          flush_outbox(env->from);
+      }
     } else if (const auto* rs = net::as<ReplicaSetUpdate>(*env)) {
       on_replica_set(rs->replicas, rs->voters);
     } else if (const auto* da = net::as<DiscardAbove>(*env)) {
@@ -563,6 +609,7 @@ sim::Task<> EngineNode::run_update(ExecTxn m) {
   obs::SpanGuard txn_span("master.commit", obs::Cat::Txn, id_);
   txn_span.attr("proc", m.proc);
   std::optional<uint64_t> reuse_ts;
+  uint64_t occ_attempts = 0;
   for (;;) {
     auto txn = engine_->begin_update(reuse_ts);
     reuse_ts = txn->ts();
@@ -647,6 +694,13 @@ sim::Task<> EngineNode::run_update(ExecTxn m) {
         ++stats_.waitdie_restarts;
         obs::count("aborts.waitdie", id_);
         retry = true;
+      } else if (e.reason == TxnAbort::Reason::ValidationConflict) {
+        // mvcc first-committer-wins loser: someone else committed, so the
+        // system made progress — retry against the new committed state.
+        ++stats_.occ_restarts;
+        obs::count("aborts.occ", id_);
+        ++occ_attempts;
+        retry = true;
       } else {
         ++stats_.poisoned_aborts;
         obs::count("aborts.poisoned", id_);
@@ -660,8 +714,26 @@ sim::Task<> EngineNode::run_update(ExecTxn m) {
         co_return;
       }
     }
-    if (retry)
-      co_await net_.sim().delay(cfg_.engine.costs.wait_die_backoff);
+    if (retry) {
+      sim::Time d = cfg_.engine.costs.wait_die_backoff;
+      if (occ_attempts > 0) {
+        // Validation losers re-offering immediately melt down under
+        // contention: every wasted re-execution lengthens the CPU queue,
+        // which widens the conflict window, which breeds more losers.
+        // Exponential backoff with deterministic jitter (a hash of the
+        // transaction's timestamp and attempt count — the simulation has
+        // no ambient randomness) sheds the re-offered load instead.
+        const unsigned shift = unsigned(std::min<uint64_t>(occ_attempts, 6));
+        const sim::Time span = d << shift;
+        uint64_t h = reuse_ts.value_or(0) +
+                     0x9e3779b97f4a7c15ull * (occ_attempts + 1);
+        h ^= h >> 30;
+        h *= 0xbf58476d1ce4e5b9ull;
+        h ^= h >> 27;
+        d = span / 2 + sim::Time(h % uint64_t(span / 2 + 1));
+      }
+      co_await net_.sim().delay(d);
+    }
   }
 }
 

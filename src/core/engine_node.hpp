@@ -29,6 +29,7 @@ struct EngineNodeStats {
   uint64_t txns_executed = 0;
   uint64_t version_abort_replies = 0;
   uint64_t waitdie_restarts = 0;
+  uint64_t occ_restarts = 0;  // mvcc validation-conflict retries
   uint64_t poisoned_aborts = 0;
   uint64_t pages_served = 0;   // migration, as support slave
   uint64_t hints_sent = 0;
@@ -167,11 +168,22 @@ class EngineNode {
     api::TxnResult result;
     std::vector<txn::OpRecord> ops;  // re-acks re-feed the persistence log
   };
-  // Master->replica batch window, one per destination link.
+  // Master->replica batch window, one per destination link. Urgent
+  // (client-blocking) write-sets take a Nagle-style path: flush
+  // immediately when the link is idle (acked_seq has caught up with
+  // sent_seq), otherwise coalesce behind the in-flight batch and flush
+  // when its cumulative ack returns — so batching never costs a blocked
+  // client more than one ack round-trip, and batches still form exactly
+  // when commits overlap (the only regime where message economy exists).
+  // Lazy streams (quorum non-voters, catch-up subscribers) ignore the
+  // urgent path and keep the full batch_delay window.
   struct Outbox {
     std::vector<WriteSetMsg> items;
     size_t bytes = 0;
     bool timer_armed = false;
+    bool has_urgent = false;  // pending items include a client-blocking one
+    uint64_t sent_seq = 0;    // highest seq flushed on this link
+    uint64_t acked_seq = 0;   // highest cumulative ack from this replica
   };
   // Replica-side cumulative-ack window, one per master stream. Per-link
   // FIFO makes received seqs contiguous, so last_seq IS the cumulative

@@ -72,6 +72,13 @@ struct WriteSetMsg {
   NodeId master = net::kNoNode;
   uint64_t seq = 0;  // per-master broadcast sequence, for acks
   txn::WriteSet ws;
+  // The master's ack wait for this write-set blocks a client reply on
+  // THIS recipient's ack (all-ack mode: every replica; quorum commit:
+  // voters only). The recipient flushes its cumulative-ack window
+  // immediately after processing such a message instead of letting the
+  // client-visible reply sit out the ack_delay coalescing window; lazy
+  // catch-up streams (non-voters, WAN subscribers) keep coalescing.
+  bool ack_urgent = false;
   // Originating client of the update (see ExecTxn): replicated so that a
   // slave promoted after a master+scheduler double failure still detects
   // client resubmissions of updates it already holds. The committed result

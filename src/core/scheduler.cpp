@@ -65,6 +65,34 @@ void Scheduler::set_topology(std::vector<NodeId> masters,
 
 void Scheduler::start() {
   DMV_ASSERT_MSG(!alive_, "scheduler already started");
+  // Conflict classes partition update routing (§2.1): every update proc
+  // must fit inside ONE class, or it would execute on a single master
+  // while touching tables mastered elsewhere — silently misrouted, and
+  // the write-set would bump versions the other class's master owns.
+  // Catch the misconfiguration here, by name, instead of at run time.
+  if (classes_.size() > 1) {
+    procs_.for_each([&](const std::string& name, const api::ProcInfo& p) {
+      if (p.read_only) return;  // reads fan out per-table tags, any node
+      bool fits = false;
+      for (const auto& cls : classes_) {
+        bool all = true;
+        for (storage::TableId t : p.tables)
+          if (!cls.count(t)) {
+            all = false;
+            break;
+          }
+        if (all) {
+          fits = true;
+          break;
+        }
+      }
+      DMV_ASSERT_MSG(fits, "update proc '"
+                               << name
+                               << "' spans conflict classes: its tables "
+                                  "fit no single class, routing would be "
+                                  "undefined");
+    });
+  }
   alive_ = std::make_shared<bool>(true);
   net_.sim().spawn(main_loop());
 }
@@ -103,9 +131,13 @@ size_t Scheduler::class_of(const api::ProcInfo& proc) const {
       }
     if (all) return c;
   }
-  // §2.1: if conflict classes cannot be determined for this transaction,
-  // fall back to the designated (first) master.
-  return 0;
+  // Unreachable for registries that passed start()'s validation; a proc
+  // registered after start (or a registry swapped under us) could still
+  // land here — fail loudly rather than misroute to class 0.
+  DMV_ASSERT_MSG(false,
+                 "update proc spans conflict classes (tables fit no "
+                 "single class); routing would be undefined");
+  return 0;  // not reached
 }
 
 void Scheduler::answer_join(NodeId joiner) {

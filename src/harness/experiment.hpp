@@ -46,6 +46,7 @@ class DmvExperiment {
     bool prewarm_spares = false;
     bool persistence = false;
     txn::LockPolicy lock_policy = txn::LockPolicy::DeadlockDetect;
+    mem::CcMode cc_mode = mem::CcMode::Page2pl;
     bool full_page_writesets = false;
     bool eager_apply = false;
     // Replication pipeline windows (cumulative acks are always on; these

@@ -104,9 +104,13 @@ class Table {
   bool pages_equal(const Table& other) const;
 
   Key primary_key_of(const Row& row) const;
+  // Secondary key (indexed columns + appended PK) a row would carry in
+  // index `idx`. Public so callers patching un-indexed buffered rows into
+  // scan results (the engine's optimistic mode) can place them in index
+  // order.
+  Key secondary_key_of(const Row& row, size_t idx) const;
 
  private:
-  Key secondary_key_of(const Row& row, size_t idx) const;
   RowId allocate_slot();
 
   TableId id_;

@@ -1,5 +1,7 @@
 #include "tpcw/client.hpp"
 
+#include <string_view>
+
 #include "obs/trace.hpp"
 
 namespace dmv::tpcw {
@@ -29,31 +31,36 @@ const char* TpcwClient::choose() {
   const char* proc = table[rng_.weighted(weights_)].proc;
   // Buying an empty cart degrades to filling it first; keep the session
   // graph sane without modeling the full TPC-W navigation matrix.
-  if (proc == proc::kBuyConfirm && !cart_nonempty_) proc = proc::kShoppingCart;
+  if (std::string_view(proc) == proc::kBuyConfirm && !cart_nonempty_)
+    proc = proc::kShoppingCart;
   return proc;
 }
 
 api::Params TpcwClient::params_for(const char* proc) {
+  // Compare by content, not pointer: proc::k* are constexpr, so each TU
+  // folds them to its own copy of the literal — equal addresses are only
+  // a linker-merging accident (and sanitizer builds don't merge).
+  const std::string_view pv(proc);
   api::Params p;
   const int64_t now_date = sim_.now() / sim::kSec + 10'000'000;
   p.set("date", now_date);
-  if (proc == proc::kHome) {
+  if (pv == proc::kHome) {
     p.set("c_id", my_customer_);
     p.set("i_id", random_item(rng_, cfg_.scale));
-  } else if (proc == proc::kProductDetail || proc == proc::kAdminRequest ||
-             proc == proc::kSearchRequest) {
+  } else if (pv == proc::kProductDetail || pv == proc::kAdminRequest ||
+             pv == proc::kSearchRequest) {
     p.set("i_id", random_item(rng_, cfg_.scale));
-  } else if (proc == proc::kNewProducts) {
+  } else if (pv == proc::kNewProducts) {
     const auto& s = subjects();
     p.set("subject", s[size_t(rng_.below(s.size()))]);
-  } else if (proc == proc::kBestSellers) {
+  } else if (pv == proc::kBestSellers) {
     const auto& s = subjects();
     // Scale the look-back like the benchmark's 3333 recent orders.
     const int64_t depth =
         std::min<int64_t>(3333, cfg_.scale.num_initial_orders() / 3 + 1);
     p.set("depth", depth);
     if (rng_.chance(0.5)) p.set("subject", s[size_t(rng_.below(s.size()))]);
-  } else if (proc == proc::kSearchResults) {
+  } else if (pv == proc::kSearchResults) {
     const int64_t kind = rng_.between(0, 2);
     p.set("kind", kind);
     if (kind == 0) {
@@ -67,27 +74,27 @@ api::Params TpcwClient::params_for(const char* proc) {
       p.set("term",
             "alname" + std::to_string(rng_.between(0, 198)));
     }
-  } else if (proc == proc::kOrderInquiry) {
+  } else if (pv == proc::kOrderInquiry) {
     p.set("uname", uname_of(my_customer_));
-  } else if (proc == proc::kOrderDisplay) {
+  } else if (pv == proc::kOrderDisplay) {
     p.set("c_id", my_customer_);
-  } else if (proc == proc::kShoppingCart) {
+  } else if (pv == proc::kShoppingCart) {
     p.set("sc_id", sc_id_);
     p.set("c_id", my_customer_);
     p.set("i_id", random_item(rng_, cfg_.scale));
     p.set("qty", rng_.between(1, 3));
-  } else if (proc == proc::kCustomerRegistration) {
+  } else if (pv == proc::kCustomerRegistration) {
     p.set("new_c_id", id_base_ + 100'000 + (next_local_++));
     p.set("new_addr_id", id_base_ + 200'000 + (next_local_++));
     p.set("co_id", rng_.between(1, 92));
-  } else if (proc == proc::kBuyRequest) {
+  } else if (pv == proc::kBuyRequest) {
     p.set("c_id", my_customer_);
     p.set("sc_id", sc_id_);
-  } else if (proc == proc::kBuyConfirm) {
+  } else if (pv == proc::kBuyConfirm) {
     p.set("sc_id", sc_id_);
     p.set("c_id", my_customer_);
     p.set("new_o_id", id_base_ + 300'000 + (next_local_++));
-  } else if (proc == proc::kAdminConfirm) {
+  } else if (pv == proc::kAdminConfirm) {
     p.set("i_id", random_item(rng_, cfg_.scale));
   }
   return p;
@@ -113,7 +120,7 @@ sim::Task<> TpcwClient::loop(std::shared_ptr<bool> run) {
     InteractionRecord rec;
     rec.proc = proc;
     for (const auto& e : table)
-      if (e.proc == proc) rec.is_write = e.is_write;
+      if (std::string_view(e.proc) == proc) rec.is_write = e.is_write;
     rec.start = sim_.now();
     obs::SpanGuard g(proc, obs::Cat::Client, obs::kNoNode, lane);
     auto result = co_await exec_(proc, std::move(params));
@@ -126,8 +133,9 @@ sim::Task<> TpcwClient::loop(std::shared_ptr<bool> run) {
     obs::count(rec.ok ? "client.ok" : "client.error", obs::kNoNode);
 
     // Session-state transitions.
-    if (rec.ok && proc == proc::kShoppingCart) cart_nonempty_ = true;
-    if (rec.ok && proc == proc::kBuyConfirm && result->ok) cart_nonempty_ = false;
+    const std::string_view pv(proc);
+    if (rec.ok && pv == proc::kShoppingCart) cart_nonempty_ = true;
+    if (rec.ok && pv == proc::kBuyConfirm && result->ok) cart_nonempty_ = false;
 
     if (record_) record_(rec);
   }

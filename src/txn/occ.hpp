@@ -1,0 +1,94 @@
+// Optimistic-validation metadata for the engine's `mvcc` concurrency-
+// control mode (Config::cc_mode), kept beside the lock manager because it
+// is the lock manager's alternative: a Hekaton-style optimistic protocol
+// where update transactions take no page locks at all. Execution reads the
+// committed state (in the mvcc engine the shared pages only ever hold
+// committed bytes — writers buffer), records what it depended on, and
+// buffers its writes as logical operations. At pre-commit the engine
+// validates the recorded dependencies inside the synchronous commit
+// section: if any of them changed, another transaction committed first and
+// this one aborts (first-committer-wins).
+//
+// Three dependency kinds, validated exactly:
+//  - page_reads: the page version observed at first access of every page
+//    whose bytes the transaction read. First-committer-wins on the page.
+//  - key_misses: primary keys looked up and found absent ("row not there"
+//    influenced the program). Re-probed at validation; a concurrent
+//    insert of exactly that key invalidates the transaction, inserts of
+//    unrelated keys do not.
+//  - scans: the index range walked and the row ids it yielded. Re-walked
+//    at validation; membership changes in the range (phantoms) invalidate,
+//    row-content changes are already covered by page_reads.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "storage/page.hpp"
+#include "storage/value.hpp"
+
+namespace dmv::txn {
+
+// One buffered write of an optimistic update transaction, applied in
+// program order inside the pre-commit critical section (and folded over
+// committed state at execution time for read-your-own-writes).
+//
+// Updates carry the materialized post-image, evaluated against the
+// visible snapshot at buffering time, NOT the caller's mutation closure:
+// validation (page-version equality, and validate→apply running without
+// suspension) guarantees the base row is unchanged at apply time, so
+// installing the post-image is equivalent to re-running the mutation —
+// and a stored closure would dangle, because the transaction body's
+// coroutine frame (which the closure's captures point into) is destroyed
+// before pre-commit runs.
+struct OccOp {
+  enum class Kind { Insert, Update, Remove };
+  Kind kind;
+  storage::TableId table = 0;
+  storage::Key pk;
+  storage::Row row;  // Insert: the full row; Update: the post-image
+};
+
+// One index range walk and the row ids it produced, re-executed verbatim
+// at validation (phantom protection at exact range granularity).
+struct OccScan {
+  storage::TableId table = 0;
+  int index = -1;  // -1: primary key, else secondary index position
+  std::optional<storage::Key> lo, hi;
+  size_t limit = SIZE_MAX;
+  bool reverse = false;
+  bool stop_at_limit = false;  // collection stopped at `limit` entries
+  std::vector<storage::RowId> rids;
+};
+
+struct OccMeta {
+  std::map<storage::PageId, uint64_t> page_reads;
+  std::vector<std::pair<storage::TableId, storage::Key>> key_misses;
+  std::vector<OccScan> scans;
+  std::vector<OccOp> ops;
+
+  // First observation wins: validation must check the version this
+  // transaction actually based its reads on, not a later re-read.
+  void note_page(storage::PageId pid, uint64_t version) {
+    page_reads.try_emplace(pid, version);
+  }
+  void note_miss(storage::TableId t, storage::Key pk) {
+    key_misses.emplace_back(t, std::move(pk));
+  }
+  // True if the transaction already buffered a write for this key (its
+  // own ops determine the visible row, so committed absence is not a
+  // dependency).
+  bool has_own_write(storage::TableId t, const storage::Key& pk) const;
+};
+
+inline bool OccMeta::has_own_write(storage::TableId t,
+                                   const storage::Key& pk) const {
+  for (const auto& op : ops)
+    if (op.table == t && storage::key_eq(op.pk, pk)) return true;
+  return false;
+}
+
+}  // namespace dmv::txn

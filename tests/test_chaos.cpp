@@ -151,6 +151,97 @@ TEST(ChaosHarness, MasterKillRecoversAndReportsPoints) {
   EXPECT_GE(rep.points_fired.count("failover.promote"), 1u);
 }
 
+TEST(ChaosHarness, TwoClassBaselinePassesAllInvariants) {
+  ChaosConfig cfg;
+  cfg.classes = 2;
+  cfg.clients = 3;
+  cfg.ops_per_client = 15;
+  const ChaosReport rep = run_chaos(cfg, "");
+  for (const auto& v : rep.violations) ADD_FAILURE() << v;
+  EXPECT_TRUE(rep.passed);
+  EXPECT_EQ(rep.client_errors, 0u);
+}
+
+TEST(ChaosHarness, TwoClassClassOneMasterKillKeepsInvariants) {
+  // Regression for the masters()[0] blind spot: before the fix, the
+  // durability invariant only ever inspected class 0's master, so a
+  // class-1 master kill (and any damage around its recovery) was checked
+  // against nothing. With per-class checking, this schedule must both
+  // recover and hold every table's ledger intervals.
+  ChaosConfig cfg;
+  cfg.classes = 2;
+  cfg.seed = 5;
+  const ChaosReport rep = run_chaos(cfg, "kill:master1@t:30000");
+  for (const auto& v : rep.violations) ADD_FAILURE() << v;
+  EXPECT_TRUE(rep.passed);
+  EXPECT_GE(rep.recoveries, 1u);
+  EXPECT_EQ(rep.faults_fired, 1u);
+}
+
+TEST(ChaosInvariants, ClassOneCorruptionIsCaught) {
+  // Teeth: damage to the SECOND class's table on its own master must be
+  // reported — under the old masters()[0]-only durability check this
+  // corruption was invisible.
+  sim::Simulation sim;
+  net::Network net(sim);
+  api::ProcRegistry reg;  // no traffic needed
+  core::DmvCluster::Config cc;
+  cc.slaves = 1;
+  cc.spares = 0;
+  cc.schedulers = 1;
+  cc.conflict_classes = {{0}, {1}};
+  cc.schema = [](storage::Database& db) {
+    for (const char* name : {"acct", "acct2"})
+      db.add_table(name,
+                   storage::Schema({storage::int_col("id"),
+                                    storage::int_col("balance")}),
+                   storage::IndexDef{"pk", {0}, true});
+  };
+  constexpr int64_t kRows = 4;
+  cc.loader = [](storage::Database& db) {
+    for (storage::TableId t : {storage::TableId(0), storage::TableId(1)})
+      for (int64_t i = 0; i < kRows; ++i)
+        db.table(t).insert_row(storage::Row{i, i * kBalanceBase});
+  };
+  core::DmvCluster cluster(net, reg, std::move(cc));
+  cluster.start();
+  sim.run();
+
+  ClusterProbe probe;
+  probe.cluster = &cluster;
+  probe.net = &net;
+  for (size_t c = 0; c < cluster.master_count(); ++c)
+    probe.engine_ids.push_back(cluster.master_id(c));
+  for (size_t i = 0; i < cluster.slave_count(); ++i)
+    probe.engine_ids.push_back(cluster.slave_id(i));
+  probe.scheduler_count = cluster.scheduler_ids().size();
+
+  WorkloadLedger lg0, lg1;
+  lg0.init(kRows);
+  lg1.init(kRows);
+
+  Violations clean;
+  check_end_invariants(probe, {&lg0, &lg1}, &clean);
+  for (const auto& v : clean.items) ADD_FAILURE() << v;
+  EXPECT_TRUE(clean.ok());
+
+  // Corrupt a balance in table 1 on class 1's master: outside [0, 0].
+  storage::Table& t1 =
+      cluster.master(1).engine().db().table(storage::TableId(1));
+  auto rid = t1.pk_find(storage::Key{int64_t{2}});
+  ASSERT_TRUE(rid.has_value());
+  t1.update_row(*rid, storage::Row{int64_t{2}, int64_t{999}});
+
+  Violations dirty;
+  check_end_invariants(probe, {&lg0, &lg1}, &dirty);
+  ASSERT_FALSE(dirty.ok());
+  bool mentions_table1 = false;
+  for (const auto& v : dirty.items)
+    if (v.find("table 1") != std::string::npos) mentions_table1 = true;
+  EXPECT_TRUE(mentions_table1)
+      << "corruption in class 1 not attributed to table 1";
+}
+
 TEST(ChaosHarness, PointTriggeredFaultFires) {
   ChaosConfig cfg;
   const ChaosReport rep = run_chaos(

@@ -6,6 +6,7 @@
 #include "core/persistence_binding.hpp"
 #include "obs/counters.hpp"
 #include "obs/trace.hpp"
+#include "util/assert.hpp"
 
 namespace dmv::core {
 namespace {
@@ -620,6 +621,30 @@ struct MultiMasterFixture {
   }
 };
 
+TEST(ConflictClasses, UpdateProcSpanningClassesFailsAtStart) {
+  // An update proc whose tables fit no single conflict class cannot be
+  // routed: it would execute on one master while writing tables mastered
+  // elsewhere. Scheduler::start() must reject the registry by proc name
+  // instead of silently falling back to class 0.
+  sim::Simulation sim;
+  net::Network net{sim};
+  api::ProcRegistry reg = two_class_registry();
+  api::ProcInfo bad;
+  bad.read_only = false;
+  bad.tables = {0, 1};  // spans both classes
+  bad.fn = [](api::Connection&, const api::Params&)
+      -> sim::Task<api::TxnResult> { co_return api::TxnResult{}; };
+  reg.register_proc("cross_class_transfer", bad);
+
+  DmvCluster::Config cfg;
+  cfg.slaves = 2;
+  cfg.conflict_classes = {{0}, {1}};
+  cfg.schema = two_table_schema;
+  cfg.loader = [](storage::Database&) {};
+  DmvCluster cluster(net, reg, cfg);
+  EXPECT_THROW(cluster.start(), util::AssertionError);
+}
+
 TEST(ConflictClasses, UpdatesRouteToPerClassMasters) {
   MultiMasterFixture f;
   ASSERT_EQ(f.cluster->master_count(), 2u);
@@ -951,7 +976,13 @@ TEST(DmvCluster, DelayedCumAckFlushesOnDeadline) {
   EXPECT_GE(f.sim.now() - t0, 2 * sim::kMsec);
 }
 
-TEST(DmvCluster, ReplicaDeathMidAckWindowDoesNotHangCommit) {
+TEST(DmvCluster, ReplicaDeathMidAckWaitDoesNotHangCommit) {
+  // Client-blocking acks no longer park in the ack_delay window (replicas
+  // flush urgently — see ack_urgent in messages.hpp), so a death can no
+  // longer strand a commit on acks a survivor is sitting on. The hazard
+  // that remains: a replica dies while the write-set is on the wire to it,
+  // so ITS ack is never coming. The master must prune the dead node from
+  // the ack-wait on failure detection and complete on the survivor alone.
   DmvCluster::Config cfg;
   cfg.slaves = 2;
   cfg.ack_every_n = 64;
@@ -965,11 +996,15 @@ TEST(DmvCluster, ReplicaDeathMidAckWindowDoesNotHangCommit) {
     p.set("id", int64_t{1}).set("amt", int64_t{5});
     out = co_await c.execute("deposit", std::move(p));
   }(*client, out));
-  f.sim.run(f.sim.now() + 2 * sim::kMsec);
-  ASSERT_FALSE(out.has_value());  // both replicas are sitting on the ack
-  // One replica dies mid-window: the master must learn the prefix it DID
-  // ack is all it will ever get, prune it from the wait, and complete on
-  // the survivor's (deadline-flushed) cumulative ack — not hang.
+  // Advance in sub-latency steps until the master has broadcast to both
+  // replicas, then kill one immediately — the write-set (or at worst its
+  // cumulative ack) is still in flight and dies with the sealed connection.
+  const sim::Time deadline = f.sim.now() + 10 * sim::kMsec;
+  while (f.net.stats_of<WriteSetMsg>().messages < 2 &&
+         f.sim.now() < deadline)
+    f.sim.run(f.sim.now() + 20 * sim::kUsec);
+  ASSERT_GE(f.net.stats_of<WriteSetMsg>().messages, 2u);
+  ASSERT_FALSE(out.has_value());  // commit still gated on the acks
   f.cluster->kill_node(f.cluster->slave_id(0));
   f.sim.run();
   ASSERT_TRUE(out.has_value());
