@@ -37,7 +37,10 @@ Out run(uint64_t cap, txn::LockPolicy policy, size_t clients) {
   o.lat_ms = exp.series().latency(kWarm, kEnd) * 1000;
   o.abort_pct = 100.0 * double(exp.cluster().total_version_aborts()) /
                 double(std::max<uint64_t>(1, exp.series().total()));
-  o.lock_deaths = exp.cluster().master().engine().stats().waitdie_deaths;
+  // Sum over every conflict class's master — class 0 alone undercounts
+  // the moment the cluster runs more than one master.
+  for (size_t c = 0; c < exp.cluster().master_count(); ++c)
+    o.lock_deaths += exp.cluster().master(c).engine().stats().waitdie_deaths;
   exp.stop();
   return o;
 }

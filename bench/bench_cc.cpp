@@ -65,11 +65,13 @@ Run run(mem::CcMode mode, size_t clients, sim::Time end, bool batched,
   r.lat_ms = exp.series().latency(warm, end) * 1000;
   r.update_commits = exp.cluster().total_update_commits();
   r.version_aborts = exp.cluster().total_version_aborts();
-  // Single conflict class and no faults: the one master executes every
-  // update, so its counters are the cluster totals.
-  const auto& ns = exp.cluster().master(0).stats();
-  r.cc_restarts = mode == mem::CcMode::Mvcc ? ns.occ_restarts
-                                            : ns.waitdie_restarts;
+  // No faults, so summing the masters' counters (one per conflict class)
+  // gives the cluster totals regardless of how many classes are deployed.
+  for (size_t c = 0; c < exp.cluster().master_count(); ++c) {
+    const auto& ns = exp.cluster().master(c).stats();
+    r.cc_restarts += mode == mem::CcMode::Mvcc ? ns.occ_restarts
+                                               : ns.waitdie_restarts;
+  }
   r.restart_rate = double(r.cc_restarts) /
                    double(std::max<uint64_t>(1, r.update_commits) +
                           r.cc_restarts);

@@ -32,6 +32,11 @@
 // (symmetric and directed region cuts, always healed, composed with the
 // usual kills). One-copy serializability must hold across every cut.
 //
+// --elastic runs the fleet-resize variant: seed-derived schedules add
+// fresh slaves mid-workload (live §4.4 joins) and usually retire one
+// (drain then kill), composed with the usual master/spare kills. The
+// oracle must hold while the fleet resizes in both directions.
+//
 // Exit status: 0 if every seed passed (and, with --mutations, every
 // mutation was caught), 1 otherwise.
 #include <fstream>
@@ -55,6 +60,7 @@ struct Options {
   bool mutations = false;
   bool disaster = false;
   bool geo = false;
+  bool elastic = false;
   bool verbose = false;
   std::string artifacts;
   check::CheckConfig base;
@@ -78,6 +84,7 @@ std::string repro_line(const check::CheckConfig& cfg,
   if (cfg.batch_max_writesets != d.batch_max_writesets) s += " --batched";
   if (cfg.disaster) s += " --disaster";
   if (cfg.regions > 1) s += " --geo";
+  if (cfg.elastic) s += " --elastic";
   if (cfg.mvcc) s += " --cc=mvcc";
   return s;
 }
@@ -161,6 +168,9 @@ int main(int argc, char** argv) {
       opt.base.batch_delay = 500;
       opt.base.ack_every_n = 4;
       opt.base.ack_delay = 500;
+    } else if (a == "--elastic") {
+      opt.elastic = true;
+      opt.base.elastic = true;
     } else if (a == "--verbose") {
       opt.verbose = true;
     } else if (a == "--artifacts") {
@@ -194,14 +204,16 @@ int main(int argc, char** argv) {
       std::cerr
           << "usage: check_sweep [--seeds N | --quick | --seed N] "
              "[--fault-plan PLAN] [--mutations]\n"
-             "                   [--disaster] [--geo] [--artifacts DIR] "
+             "                   [--disaster] [--geo] [--elastic] "
+             "[--artifacts DIR] "
              "[--verbose] [--batched] [--cc MODE]\n"
              "                   [--slaves N] [--spares N] [--schedulers N] "
              "[--clients N] [--ops N]\n";
       return 2;
     }
   }
-  if (opt.quick) opt.seeds = opt.disaster || opt.geo ? 100 : 200;
+  if (opt.quick)
+    opt.seeds = opt.disaster || opt.geo || opt.elastic ? 100 : 200;
 
   if (opt.plan_given) {
     std::string err;
@@ -225,6 +237,9 @@ int main(int argc, char** argv) {
     else if (opt.geo)
       plan = check::random_geo_fault_plan(opt.base, seed,
                                           seed % 2 == 0 ? 2 : 1);
+    else if (opt.elastic)
+      plan = check::random_elastic_fault_plan(opt.base, seed,
+                                              seed % 2 == 0 ? 2 : 1);
     else
       plan = check::random_fault_plan(opt.base, seed,
                                       seed % 2 == 0 ? 2 : 1);
@@ -243,6 +258,9 @@ int main(int argc, char** argv) {
       else if (opt.geo && s % 8 != 0)
         plan = check::random_geo_fault_plan(opt.base, seed,
                                             s % 2 == 0 ? 2 : 1);
+      else if (opt.elastic && s % 8 != 0)
+        plan = check::random_elastic_fault_plan(opt.base, seed,
+                                                s % 2 == 0 ? 2 : 1);
       else if (s % 8 != 0)
         plan = check::random_fault_plan(opt.base, seed,
                                         s % 2 == 0 ? 2 : 1);

@@ -115,6 +115,21 @@ void FaultExec::fire(const Fault& f) {
       net_.heal_partition(a, b, /*both_ways=*/!f.action.directed);
       return;
     }
+    case ActionKind::AddSlave: {
+      // Track the new node so later kill/restart/retire verbs resolve it.
+      engine_ids_.insert(cluster_.add_slave());
+      return;
+    }
+    case ActionKind::Retire: {
+      const net::NodeId id = net_.find_node(f.action.node);
+      if (id == net::kNoNode) return plan_error(f, "unknown node");
+      if (!engine_ids_.count(id))
+        return plan_error(f, "only engine nodes retire");
+      // A false return (dead node, current master) is a benign race with
+      // concurrent faults/fail-over — the retiree simply stays.
+      cluster_.retire_node(id);
+      return;
+    }
   }
 }
 

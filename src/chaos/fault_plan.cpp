@@ -82,6 +82,11 @@ bool parse_fault(std::string_view s, Fault* f, std::string* err) {
     f->action.kind = ActionKind::HealPartition;
     return parse_trigger(trig, f, err);
   }
+  if (act == "addslave") {
+    // Operand-less verb: the cluster names the new node itself.
+    f->action.kind = ActionKind::AddSlave;
+    return parse_trigger(trig, f, err);
+  }
   const size_t colon = act.find(':');
   if (colon == std::string_view::npos)
     return fail(err, act, "action needs 'verb:operand'");
@@ -95,10 +100,11 @@ bool parse_fault(std::string_view s, Fault* f, std::string* err) {
     *b = lnk.substr(tilde + 1);
     return valid_name(*a) && valid_name(*b);
   };
-  if (verb == "kill" || verb == "restart") {
+  if (verb == "kill" || verb == "restart" || verb == "retire") {
     if (!valid_name(rest)) return fail(err, act, "bad node name");
-    f->action.kind =
-        verb == "kill" ? ActionKind::Kill : ActionKind::Restart;
+    f->action.kind = verb == "kill"      ? ActionKind::Kill
+                     : verb == "restart" ? ActionKind::Restart
+                                         : ActionKind::Retire;
     f->action.node = std::string(rest);
   } else if (verb == "killbackend" || verb == "restartbackend") {
     int idx = -1;
@@ -195,6 +201,12 @@ std::string Fault::str() const {
       s = action.a.empty() ? "heal-partition"
                            : "heal-partition:" + action.a +
                                  (action.directed ? ">" : "|") + action.b;
+      break;
+    case ActionKind::AddSlave:
+      s = "addslave";
+      break;
+    case ActionKind::Retire:
+      s = "retire:" + action.node;
       break;
   }
   s += '@';

@@ -23,6 +23,12 @@
 //            | 'heal-partition'        heal every region partition
 //            | 'heal-partition:' rA '|' rB   heal one region pair
 //                                      ('>' heals one direction)
+//            | 'addslave'              elastic scale-out: allocate a fresh
+//                                      slave on the live network and run
+//                                      the §4.4 join under load
+//            | 'retire:' node          elastic scale-in: drain the node's
+//                                      in-flight reads, then remove it
+//                                      (no-op on masters/dead nodes)
 //   trigger := 't:' usec               at absolute virtual time
 //            | 'p:' point ['#' occ]    when trace point `point` fires for
 //                                      the occ'th time (default 1)
@@ -60,6 +66,8 @@ enum class ActionKind {
   WipeTier,
   Partition,      // region partition (a, b are region names)
   HealPartition,  // heal one region pair, or all when a/b are empty
+  AddSlave,       // elastic scale-out (operand-less)
+  Retire,         // elastic scale-in: drain + remove `node`
 };
 
 struct Action {

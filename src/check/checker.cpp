@@ -303,6 +303,7 @@ CheckReport run_check(const CheckConfig& cfg, const chaos::FaultPlan& plan) {
       cfg.mvcc ? mem::CcMode::Mvcc : mem::CcMode::Page2pl;
   cc.scheduler.rng_seed = cfg.seed * 7919 + 17;
   cc.scheduler.mut_skip_ack_merge = cfg.mut_skip_ack_merge;
+  cc.scheduler.mut_route_to_joiner = cfg.mut_route_to_joiner;
   cc.engine.mut_skip_tag_upgrade = cfg.mut_skip_tag_upgrade;
   cc.engine.mut_apply_off_by_one = cfg.mut_apply_off_by_one;
   cc.engine.mut_skip_discard = cfg.mut_skip_discard;
@@ -572,6 +573,64 @@ std::string random_geo_fault_plan(const CheckConfig& cfg, uint64_t seed,
   return plan;
 }
 
+std::string random_elastic_fault_plan(const CheckConfig& cfg, uint64_t seed,
+                                      int faults) {
+  util::Rng rng(seed * 0x9e3779b97f4a7c15ull + 0x3c6ef372fe94f82bull);
+  std::string plan;
+  auto append = [&plan](const std::string& f) {
+    if (!plan.empty()) plan += ";";
+    plan += f;
+  };
+
+  // Scale-outs: one or (sometimes) two fresh slaves join mid-workload via
+  // §4.4, under live traffic. Elastically-added engines are named after
+  // the next free slave index, so the first joiner is slave<cfg.slaves>.
+  const int adds = 1 + int(rng.chance(0.4));
+  long long earliest_add = -1;
+  for (int i = 0; i < adds; ++i) {
+    const long long t = 2000 + (long long)rng.below(30000);
+    if (earliest_add < 0 || t < earliest_add) earliest_add = t;
+    append("addslave@t:" + std::to_string(t));
+  }
+
+  // Usually a retire, so the sweep exercises both directions of the fleet
+  // resize. The victim is either an original slave, or — to cover the
+  // add-then-drain lifecycle — the first elastically-added one; the latter
+  // must be timed after its add fires or the retire is a benign no-op.
+  if (rng.chance(0.8)) {
+    std::string victim;
+    long long not_before = 3000;
+    if (rng.chance(0.4)) {
+      victim = "slave" + std::to_string(cfg.slaves);
+      not_before = earliest_add + 5000;
+    } else {
+      victim = "slave" + std::to_string(rng.below(uint64_t(cfg.slaves)));
+    }
+    append("retire:" + victim + "@t:" +
+           std::to_string(not_before + (long long)rng.below(30000)));
+  }
+
+  // A smaller dose of the usual deaths, so joins and drains compose with
+  // fail-over (a master dying while a joiner catches up exercises the
+  // §4.2 discard against a half-subscribed node).
+  std::vector<std::string> victims = {"master0", "master1"};
+  for (int i = 0; i < cfg.spares; ++i)
+    victims.push_back("spare" + std::to_string(i));
+  if (cfg.schedulers > 1) victims.push_back("sched0");
+  const int kills = int(rng.below(uint64_t(std::max(1, faults))));
+  std::set<std::string> killed;
+  for (int i = 0; i < kills; ++i) {
+    const std::string& v = victims[rng.below(victims.size())];
+    if (!killed.insert(v).second) continue;
+    const long long t = 3000 + (long long)rng.below(47000);
+    append("kill:" + v + "@t:" + std::to_string(t));
+    if (v.rfind("sched", 0) != 0 && rng.chance(0.4))
+      append("restart:" + v + "@t:" +
+             std::to_string(t + 20000 + (long long)rng.below(40000)));
+  }
+  return plan;
+}
+
 const std::vector<Mutation>& mutation_list() {
   static const std::vector<Mutation> muts = [] {
     std::vector<Mutation> m;
@@ -698,6 +757,22 @@ const std::vector<Mutation>& mutation_list() {
            c.mut_reply_before_quorum = true;
          },
          "kill:master0@t:8000"});
+
+    m.push_back(
+        {"route-to-joiner",
+         "answer_join puts the joiner straight into the read rotation "
+         "before §4.4 data migration caught it up (reads land on a node "
+         "whose pages predate their version tags)",
+         {"snapshot-mismatch", "wedged request", "hang"},
+         [busy](CheckConfig& c) {
+           busy(c);
+           c.ops_per_client = 24;
+           c.update_fraction = 0.6;
+           c.mut_route_to_joiner = true;
+         },
+         // A kill+restart drives the §4.4 rejoin whose answer_join the
+         // mutation corrupts.
+         "kill:slave0@t:5000;restart:slave0@t:12000"});
     return m;
   }();
   return muts;

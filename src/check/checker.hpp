@@ -77,6 +77,10 @@ struct CheckConfig {
   int backends = 2;
   sim::Time persist_checkpoint_period = 2 * sim::kSec;
   uint64_t persist_max_lag = 0;
+  // Elastic mode: random_elastic_fault_plan resizes the fleet mid-workload
+  // (addslave scale-outs, retire drains) on top of the usual kills; the
+  // oracle must hold while nodes join via §4.4 and drain out under load.
+  bool elastic = false;
   // Mutation knobs — plumb through to the cluster (smoke mode only).
   bool mut_skip_tag_upgrade = false;
   bool mut_apply_off_by_one = false;
@@ -85,6 +89,8 @@ struct CheckConfig {
   bool mut_batch_reverse = false;
   bool mut_skip_suffix = false;  // disaster bootstrap drops the log suffix
   bool mut_reply_before_quorum = false;  // ack client before the quorum
+  bool mut_route_to_joiner = false;  // route reads to a §4.4 joiner before
+                                     // data migration caught it up
 };
 
 struct CheckReport {
@@ -130,6 +136,13 @@ std::string random_disaster_plan(const CheckConfig& cfg, uint64_t seed);
 // heal-partition so nothing stays parked past the quiesce horizon.
 std::string random_geo_fault_plan(const CheckConfig& cfg, uint64_t seed,
                                   int faults);
+
+// Elastic schedule: one or two addslave scale-outs mid-workload, usually a
+// retire (of an original slave, or of the first added slave — timed after
+// its add), plus a smaller dose of kills/restarts, so the oracle runs
+// while the fleet is resizing in both directions.
+std::string random_elastic_fault_plan(const CheckConfig& cfg, uint64_t seed,
+                                      int faults);
 
 // One deliberately-planted bug + the evidence required to call it caught.
 struct Mutation {

@@ -44,6 +44,10 @@ DmvCluster::DmvCluster(net::Network& net, const api::ProcRegistry& procs,
   for (int i = 0; i < cfg_.schedulers; ++i)
     scheduler_node_ids_.push_back(
         net_.add_node("sched" + std::to_string(i)));
+  next_slave_idx_ = cfg_.slaves;
+  next_spare_idx_ = cfg_.spares;
+  next_sched_idx_ = cfg_.schedulers;
+  cluster_alive_ = std::make_shared<bool>(true);
 
   // Geo placement. Masters (and later the clients and the monitor) stay
   // in region 0; slaves, spares and schedulers round-robin across the
@@ -69,18 +73,7 @@ DmvCluster::DmvCluster(net::Network& net, const api::ProcRegistry& procs,
 
   // Engine nodes (all replicas share the same schema and base image).
   auto make_node = [&](NodeId id, bool hint_source) {
-    EngineNode::Config nc;
-    nc.engine = cfg_.engine;
-    nc.checkpoint_period = cfg_.checkpoint_period;
-    nc.eager_apply = cfg_.eager_apply;
-    nc.batch_max_writesets = cfg_.batch_max_writesets;
-    nc.batch_delay = cfg_.batch_delay;
-    nc.ack_every_n = cfg_.ack_every_n;
-    nc.ack_delay = cfg_.ack_delay;
-    nc.mut_batch_reverse = cfg_.mut_batch_reverse;
-    nc.quorum_commit = cfg_.quorum_commit;
-    nc.write_quorum = cfg_.write_quorum;
-    nc.mut_reply_before_quorum = cfg_.mut_reply_before_quorum;
+    EngineNode::Config nc = engine_node_config();
     if (hint_source && cfg_.pageid_hints && !spare_ids_.empty()) {
       nc.hint_target = spare_ids_[0];
       nc.hint_every_txns = cfg_.hint_every_txns;
@@ -166,7 +159,36 @@ DmvCluster::DmvCluster(net::Network& net, const api::ProcRegistry& procs,
   });
 }
 
-DmvCluster::~DmvCluster() = default;
+DmvCluster::~DmvCluster() {
+  if (cluster_alive_) *cluster_alive_ = false;
+}
+
+EngineNode::Config DmvCluster::engine_node_config() const {
+  EngineNode::Config nc;
+  nc.engine = cfg_.engine;
+  nc.checkpoint_period = cfg_.checkpoint_period;
+  nc.eager_apply = cfg_.eager_apply;
+  nc.batch_max_writesets = cfg_.batch_max_writesets;
+  nc.batch_delay = cfg_.batch_delay;
+  nc.ack_every_n = cfg_.ack_every_n;
+  nc.ack_delay = cfg_.ack_delay;
+  nc.mut_batch_reverse = cfg_.mut_batch_reverse;
+  nc.quorum_commit = cfg_.quorum_commit;
+  nc.write_quorum = cfg_.write_quorum;
+  nc.mut_reply_before_quorum = cfg_.mut_reply_before_quorum;
+  return nc;
+}
+
+void DmvCluster::place_round_robin(NodeId id, size_t idx) {
+  if (cfg_.regions <= 1) return;
+  net::Topology& topo = net_.topology();
+  const size_t r = idx % cfg_.regions;
+  if (r == 0) return;  // region 0 is the default placement
+  const std::string name = "r" + std::to_string(r);
+  net::RegionId rid = topo.find_region(name);
+  if (rid == net::kNoRegion) rid = topo.add_region(name);
+  topo.place(id, rid);
+}
 
 void DmvCluster::start() {
   DMV_ASSERT(!started_);
@@ -280,20 +302,9 @@ void DmvCluster::do_restart(NodeId id) {
   net_.restart(id);
   // Fresh process: rebuild from the base image + local checkpoint; the
   // volatile buffer cache starts cold.
-  EngineNode::Config nc;
-  nc.engine = cfg_.engine;
-  nc.checkpoint_period = cfg_.checkpoint_period;
-  nc.eager_apply = cfg_.eager_apply;
-  nc.batch_max_writesets = cfg_.batch_max_writesets;
-  nc.batch_delay = cfg_.batch_delay;
-  nc.ack_every_n = cfg_.ack_every_n;
-  nc.ack_delay = cfg_.ack_delay;
-  nc.mut_batch_reverse = cfg_.mut_batch_reverse;
-  nc.quorum_commit = cfg_.quorum_commit;
-  nc.write_quorum = cfg_.write_quorum;
-  nc.mut_reply_before_quorum = cfg_.mut_reply_before_quorum;
   auto node = std::make_unique<EngineNode>(net_, id, procs_, cfg_.schema,
-                                           nc, stores_[id].get());
+                                           engine_node_config(),
+                                           stores_[id].get());
   if (cfg_.loader) cfg_.loader(node->engine().db());
   nodes_[id] = std::move(node);
   nodes_[id]->start(/*restore_from_store=*/true);
@@ -302,6 +313,130 @@ void DmvCluster::do_restart(NodeId id) {
   // simply runs without joining — nobody would route to it anyway.
   if (sched != net::kNoNode)
     nodes_[id]->begin_rejoin(sched, scheduler_node_ids_);
+}
+
+Scheduler* DmvCluster::primary_scheduler() {
+  for (auto& s : schedulers_)
+    if (s->is_primary() && net_.alive(s->id())) return s.get();
+  return nullptr;
+}
+
+size_t DmvCluster::live_slave_count() {
+  Scheduler* p = primary_scheduler();
+  if (!p) return 0;
+  size_t n = 0;
+  for (NodeId s : p->slaves())
+    if (net_.alive(s)) ++n;
+  return n;
+}
+
+NodeId DmvCluster::add_engine_node(const std::string& name, bool as_spare) {
+  DMV_ASSERT_MSG(started_, "elastic add before cluster start");
+  const NodeId id = net_.add_node(name);
+  stores_[id] = std::make_unique<mem::StableStore>();
+  auto node = std::make_unique<EngineNode>(net_, id, procs_, cfg_.schema,
+                                           engine_node_config(),
+                                           stores_[id].get());
+  // Provision from the shared base image (a restore from backup); the
+  // §4.4 join then fetches only pages newer than the image. The cache
+  // starts cold — warm-up is part of what elasticity experiments measure.
+  if (cfg_.loader) cfg_.loader(node->engine().db());
+  nodes_[id] = std::move(node);
+  if (heartbeat_) heartbeat_->monitor(id);
+  nodes_[id]->start();
+  obs::instant(as_spare ? "elastic.add_spare" : "elastic.add_slave",
+               obs::Cat::Warmup, id);
+  // Every scheduler may be dead (chaos does this); the node then idles
+  // unjoined — nobody routes to it, exactly like a restart in that state.
+  const NodeId sched = primary_scheduler_id();
+  if (sched != net::kNoNode)
+    nodes_[id]->begin_rejoin(sched, scheduler_node_ids_, as_spare);
+  return id;
+}
+
+NodeId DmvCluster::add_slave() {
+  const size_t idx = size_t(next_slave_idx_++);
+  const NodeId id =
+      add_engine_node("slave" + std::to_string(idx), /*as_spare=*/false);
+  place_round_robin(id, idx);
+  slave_ids_.push_back(id);
+  return id;
+}
+
+NodeId DmvCluster::add_spare() {
+  const size_t idx = size_t(next_spare_idx_++);
+  const NodeId id =
+      add_engine_node("spare" + std::to_string(idx), /*as_spare=*/true);
+  place_round_robin(id, idx);
+  spare_ids_.push_back(id);
+  return id;
+}
+
+NodeId DmvCluster::add_scheduler() {
+  DMV_ASSERT_MSG(started_, "elastic add before cluster start");
+  const size_t idx = size_t(next_sched_idx_++);
+  const NodeId id = net_.add_node("sched" + std::to_string(idx));
+  place_round_robin(id, idx);
+  const size_t tables = nodes_.begin()->second->engine().db().table_count();
+  auto s = std::make_unique<Scheduler>(net_, id, procs_, tables,
+                                       cfg_.scheduler);
+  // Adopt the live primary's current view of the fleet (the static config
+  // lists are stale once elasticity or fail-over has reshaped it).
+  std::vector<NodeId> peers = scheduler_node_ids_;
+  if (Scheduler* p = primary_scheduler())
+    s->set_topology(p->masters(), classes_, p->slaves(), p->spares(),
+                    std::move(peers));
+  else
+    s->set_topology(master_ids_, classes_, slave_ids_, spare_ids_,
+                    std::move(peers));
+  if (persistence_)
+    s->set_persistence([this](const std::vector<txn::OpRecord>& ops,
+                              const VersionVec& db_version) {
+      persistence_->log_update(ops, db_version);
+    });
+  for (auto& peer : schedulers_) peer->add_peer(id);
+  scheduler_node_ids_.push_back(id);
+  schedulers_.push_back(std::move(s));
+  schedulers_.back()->start();
+  obs::instant("elastic.add_scheduler", obs::Cat::Scheduler, id);
+  return id;
+}
+
+bool DmvCluster::retire_node(NodeId id) {
+  auto it = nodes_.find(id);
+  if (it == nodes_.end() || !net_.alive(id)) return false;
+  for (auto& s : schedulers_)
+    if (net_.alive(s->id())) {
+      const auto& m = s->masters();
+      if (std::find(m.begin(), m.end(), id) != m.end())
+        return false;  // masters don't retire (fail-over handles them)
+    }
+  obs::instant("retire.begin", obs::Cat::Scheduler, id);
+  for (auto& s : schedulers_)
+    if (net_.alive(s->id())) s->retire_node(id);
+  net_.sim().spawn(drain_and_kill(id, cluster_alive_));
+  return true;
+}
+
+sim::Task<> DmvCluster::drain_and_kill(NodeId id,
+                                       std::shared_ptr<bool> alive) {
+  // Poll the schedulers' in-flight counters until the retiree has drained
+  // every dispatch it still holds (a held tagged read completes once the
+  // replica streams catch it up — the node stays in every replica set
+  // while retiring), then fail-stop it. The death obituary prunes it from
+  // replica sets and ack waits through the normal channels.
+  for (;;) {
+    co_await net_.sim().delay(sim::kMsec);
+    if (!*alive) co_return;
+    if (!net_.alive(id)) co_return;  // raced a concurrent kill: drain over
+    bool drained = true;
+    for (auto& s : schedulers_)
+      if (net_.alive(s->id()) && s->inflight_on(id) > 0) drained = false;
+    if (drained) break;
+  }
+  obs::instant("retire.done", obs::Cat::Scheduler, id);
+  ++retires_completed_;
+  kill_node(id);
 }
 
 std::unique_ptr<ClusterClient> DmvCluster::make_client(

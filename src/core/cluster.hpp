@@ -87,8 +87,36 @@ class DmvCluster {
   size_t slave_count() const { return slave_ids_.size(); }
   size_t spare_count() const { return spare_ids_.size(); }
   Scheduler& scheduler(size_t i = 0) { return *schedulers_[i]; }
+  size_t scheduler_count() const { return schedulers_.size(); }
+  // Live primary scheduler object, or nullptr while none is alive.
+  Scheduler* primary_scheduler();
   std::vector<NodeId> scheduler_ids() const;
   PersistenceBinding* persistence() { return persistence_.get(); }
+
+  // --- elastic scaling (runtime fleet resizing, no quiesce) ---
+  // Allocate a fresh node on the live network, provision it from the
+  // shared base image, and bootstrap it through the §4.4 join protocol
+  // against the primary scheduler. The node serves no reads until it
+  // reports JoinComplete; traffic continues throughout. Returns the new
+  // node's id immediately (the join runs asynchronously).
+  NodeId add_slave();
+  NodeId add_spare();
+  // Allocate a standby scheduler that adopts the current topology and
+  // joins the gossip ring. NOTE: ClusterClients capture the scheduler
+  // list at construction, so only clients created afterwards can fail
+  // over to it.
+  NodeId add_scheduler();
+  // Elastic scale-in: drop `id` from every scheduler's read rotation,
+  // keep it in the replica sets while its in-flight reads drain, then
+  // kill it once every live scheduler reports zero in-flight dispatches
+  // on it. Returns false (and does nothing) if the node is unknown, dead,
+  // or currently a master on a live scheduler. Asynchronous: completion
+  // is observable via retires_completed().
+  bool retire_node(NodeId id);
+  uint64_t retires_completed() const { return retires_completed_; }
+  // Routable read replicas on the live primary (slaves in rotation; the
+  // elastic controller's notion of fleet size).
+  size_t live_slave_count();
 
   // --- fault injection & reintegration ---
   void kill_node(NodeId id);
@@ -123,6 +151,14 @@ class DmvCluster {
  private:
   NodeId primary_scheduler_id() const;
   void do_restart(NodeId id);
+  // Shared EngineNode::Config assembly (initial deploy, restart, elastic
+  // add) — one source of truth for the pipeline/quorum knob plumbing.
+  EngineNode::Config engine_node_config() const;
+  // Region for the i-th node of a round-robin-placed role (geo deploys).
+  void place_round_robin(NodeId id, size_t idx);
+  // Allocate + provision + start + begin_rejoin for an elastic node.
+  NodeId add_engine_node(const std::string& name, bool as_spare);
+  sim::Task<> drain_and_kill(NodeId id, std::shared_ptr<bool> alive);
 
   net::Network& net_;
   const api::ProcRegistry& procs_;
@@ -141,6 +177,13 @@ class DmvCluster {
   std::unique_ptr<net::HeartbeatDetector> heartbeat_;
   NodeId heartbeat_node_ = net::kNoNode;
   bool started_ = false;
+  // Elastic bookkeeping: monotonically increasing name indices (a retired
+  // "slave3" is never reused), drain-coroutine liveness guard, counters.
+  int next_slave_idx_ = 0;
+  int next_spare_idx_ = 0;
+  int next_sched_idx_ = 0;
+  std::shared_ptr<bool> cluster_alive_;
+  uint64_t retires_completed_ = 0;
 };
 
 // One emulated client/browser: sends ClientRequests to the primary

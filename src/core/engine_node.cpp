@@ -140,12 +140,14 @@ void EngineNode::on_killed() {
   page_chunks_->close();
 }
 
-void EngineNode::begin_rejoin(NodeId scheduler, std::vector<NodeId> peers) {
+void EngineNode::begin_rejoin(NodeId scheduler, std::vector<NodeId> peers,
+                              bool as_spare) {
   join_schedulers_.clear();
   join_schedulers_.push_back(scheduler);
   for (NodeId p : peers)
     if (p != scheduler) join_schedulers_.push_back(p);
   join_attempts_ = 0;
+  join_as_spare_ = as_spare;
   net_.sim().spawn(rejoin_protocol(scheduler));
 }
 
@@ -852,7 +854,7 @@ sim::Task<> EngineNode::rejoin_protocol(NodeId scheduler) {
     co_return;
   }
   join_peer_ = scheduler;
-  net_.send(id_, scheduler, JoinRequest{id_}, 64);
+  net_.send(id_, scheduler, JoinRequest{id_, join_as_spare_}, 64);
   auto info = co_await join_infos_->receive();
   if (!info || !*alive) {
     join_failed(alive);
@@ -943,7 +945,7 @@ sim::Task<> EngineNode::rejoin_protocol(NodeId scheduler) {
       }
   }
   if (report_to != net::kNoNode)
-    net_.send(id_, report_to, JoinComplete{id_}, 64);
+    net_.send(id_, report_to, JoinComplete{id_, join_as_spare_}, 64);
 }
 
 void EngineNode::maybe_send_hints() {

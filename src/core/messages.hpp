@@ -167,6 +167,10 @@ struct ReplicaSetUpdate {
 
 struct JoinRequest {
   NodeId joiner = net::kNoNode;
+  // Elastic scale-out: the joiner wants to come up as a spare backup
+  // rather than an active slave (overrides the scheduler-wide
+  // join_as_spare policy for this one join).
+  bool as_spare = false;
 };
 struct JoinInfo {
   std::vector<NodeId> masters;    // one per conflict class
@@ -196,6 +200,7 @@ struct PageChunk {
 // Joiner -> scheduler: migration finished, add me to the read rotation.
 struct JoinComplete {
   NodeId joiner = net::kNoNode;
+  bool as_spare = false;  // see JoinRequest::as_spare
 };
 
 // ---- spare-backup warm-up (§4.5) ----

@@ -103,6 +103,21 @@ std::vector<NodeId> Scheduler::live_replicas() const {
     if (net_.alive(n)) out.push_back(n);
   for (NodeId n : spares_)
     if (net_.alive(n)) out.push_back(n);
+  // Retiring nodes left the routing lists but must keep receiving every
+  // master's stream until their drain completes: a held tagged read on a
+  // retiree waits for versions that only the stream can deliver, and under
+  // quorum commit cutting a voter mid-ack could wedge a commit.
+  for (NodeId n : retiring_)
+    if (net_.alive(n)) out.push_back(n);
+  return out;
+}
+
+std::vector<NodeId> Scheduler::voter_pool() const {
+  std::vector<NodeId> out;
+  for (NodeId n : slaves_)
+    if (net_.alive(n)) out.push_back(n);
+  for (NodeId n : spares_)
+    if (net_.alive(n)) out.push_back(n);
   return out;
 }
 
@@ -141,9 +156,12 @@ size_t Scheduler::class_of(const api::ProcInfo& proc) const {
 }
 
 void Scheduler::answer_join(NodeId joiner) {
+  // Support selection skips slaves that are themselves mid-join (or
+  // draining out): a joiner seeded from a peer that hasn't caught up yet
+  // would install stale pages and adopt a target the support can't serve.
   NodeId support = net::kNoNode;
   for (NodeId s : slaves_)
-    if (net_.alive(s)) {
+    if (net_.alive(s) && !joining_.count(s) && !retiring_.count(s)) {
       support = s;
       break;
     }
@@ -157,6 +175,12 @@ void Scheduler::answer_join(NodeId joiner) {
   for (NodeId m : masters_) info.masters.push_back(m);
   info.support = support;
   net_.send(id_, joiner, std::move(info), 64);
+  joining_.insert(joiner);
+  if (cfg_.mut_route_to_joiner &&
+      std::find(slaves_.begin(), slaves_.end(), joiner) == slaves_.end()) {
+    slaves_.push_back(joiner);
+    pump_held_reads();
+  }
 }
 
 void Scheduler::answer_or_park_join(NodeId joiner) {
@@ -213,6 +237,21 @@ sim::Task<> Scheduler::main_loop() {
       masters_ = tg->masters;
       slaves_ = tg->slaves;
       spares_ = tg->spares;
+      // Gossip sent before a retirement began must not reinstate the
+      // retiree into this scheduler's routing lists mid-drain.
+      for (NodeId r : retiring_) {
+        erase_value(slaves_, r);
+        erase_value(spares_, r);
+      }
+      // Likewise a node mid-§4.4 join: a peer with an older view may still
+      // list it as a slave or spare. Adopting the entry would route reads
+      // to a stale replica — and a listed joiner wedges forever, because
+      // answer_or_park_join treats any joiner already in the topology as a
+      // not-yet-buried prior incarnation and rejects its retries.
+      for (NodeId j : joining_) {
+        erase_value(slaves_, j);
+        erase_value(spares_, j);
+      }
     } else if (const auto* ack = net::as<AckMsg>(*env)) {
       // DiscardAbove ack; the token routes it to its recovery's wait.
       auto it = discard_waits_.find(ack->seq);
@@ -235,13 +274,14 @@ sim::Task<> Scheduler::main_loop() {
       answer_or_park_join(jr->joiner);
     } else if (const auto* jc = net::as<JoinComplete>(*env)) {
       ++stats_.joins_completed;
+      joining_.erase(jc->joiner);
       erase_value(slaves_, jc->joiner);
       erase_value(spares_, jc->joiner);
       // A fresh incarnation joins with nothing outstanding and no tag;
       // pre-crash routing state must not skew reads against it.
       outstanding_per_node_.erase(jc->joiner);
       last_tag_.erase(jc->joiner);
-      if (cfg_.join_as_spare)
+      if (jc->as_spare || cfg_.join_as_spare)
         spares_.push_back(jc->joiner);
       else
         slaves_.push_back(jc->joiner);
@@ -517,8 +557,11 @@ void Scheduler::fail_outstanding_on(NodeId node) {
 void Scheduler::broadcast_replica_sets() {
   // Voters are the election candidate pool (live slaves + spares): only
   // their acks may satisfy a write quorum, because only they can be
-  // promoted by a fail-over.
-  const std::vector<NodeId> voters = live_replicas();
+  // promoted by a fail-over. Retiring nodes stay in the replica sets (they
+  // keep receiving the stream so their held reads can drain) but are NOT
+  // voters: fail-over never elects a retiree, so a commit quorum-acked
+  // only by one could be lost when it is killed at drain end.
+  const std::vector<NodeId> voters = voter_pool();
   for (NodeId m : masters_) {
     if (m == net::kNoNode || !net_.alive(m)) continue;
     net_.send(id_, m, ReplicaSetUpdate{replicas_for_master(m), voters}, 128);
@@ -556,6 +599,8 @@ void Scheduler::on_node_killed(NodeId n) {
   // dies mid-join is in neither list but may carry a tag from before).
   outstanding_per_node_.erase(n);
   last_tag_.erase(n);
+  joining_.erase(n);
+  const bool was_retiring = retiring_.erase(n) != 0;
   if (was_slave || was_spare) {
     erase_value(slaves_, n);
     erase_value(spares_, n);
@@ -573,7 +618,7 @@ void Scheduler::on_node_killed(NodeId n) {
   // A recovery may be blocked on this node's reply; shrink the waits
   // first so no death during recovery can wedge it.
   prune_waits_for(n);
-  if (was_slave || was_spare) {
+  if (was_slave || was_spare || was_retiring) {
     fail_outstanding_on(n);
     // Unblock the masters' pending ack waits.
     broadcast_replica_sets();
@@ -584,7 +629,7 @@ void Scheduler::on_node_killed(NodeId n) {
     for (size_t c = 0; c < masters_.size(); ++c)
       if (masters_[c] == n) maybe_spawn_recovery(c);
   }
-  if (was_slave || was_spare) pump_held_reads();
+  if (was_slave || was_spare || was_retiring) pump_held_reads();
 }
 
 void Scheduler::maybe_spawn_recovery(size_t cls) {
@@ -599,8 +644,11 @@ void Scheduler::maybe_spawn_recovery(size_t cls) {
 void Scheduler::integrate_spare() {
   // Up-to-date spare backup: already subscribed to the replication stream,
   // so integration is pure bookkeeping — it simply starts taking reads.
+  // A spare that is mid-rejoin (restarted below the horizon, or added by
+  // the elastic controller and still migrating) is NOT up to date: it must
+  // finish the §4.4 protocol before it may take reads.
   for (auto it = spares_.begin(); it != spares_.end(); ++it) {
-    if (net_.alive(*it)) {
+    if (net_.alive(*it) && !joining_.count(*it)) {
       obs::instant("spare.activated", obs::Cat::Warmup, *it);
       slaves_.push_back(*it);
       spares_.erase(it);
@@ -608,6 +656,32 @@ void Scheduler::integrate_spare() {
       return;
     }
   }
+}
+
+void Scheduler::retire_node(NodeId n) {
+  if (!alive_ || !*alive_) return;
+  if (retiring_.count(n)) return;
+  const bool was_slave =
+      std::find(slaves_.begin(), slaves_.end(), n) != slaves_.end();
+  const bool was_spare =
+      std::find(spares_.begin(), spares_.end(), n) != spares_.end();
+  if (!was_slave && !was_spare) return;  // masters and unknowns don't retire
+  erase_value(slaves_, n);
+  erase_value(spares_, n);
+  retiring_.insert(n);
+  obs::instant("retire.drain", obs::Cat::Scheduler, n);
+  if (is_primary_) {
+    // Replica sets are unchanged (the retiree still receives every stream)
+    // but the voter pool shrank; push it so new commits stop counting the
+    // retiree toward their quorum.
+    broadcast_replica_sets();
+    gossip_topology();
+  }
+}
+
+void Scheduler::add_peer(NodeId n) {
+  if (std::find(peers_.begin(), peers_.end(), n) == peers_.end())
+    peers_.push_back(n);
 }
 
 sim::Task<> Scheduler::recover_master(size_t cls) {
@@ -698,7 +772,7 @@ sim::Task<> Scheduler::recover_master(size_t cls) {
     pm.reply_to = id_;
     pm.tables = cls_tables;
     pm.replicas = replicas_for_master(new_master);
-    pm.voters = live_replicas();
+    pm.voters = voter_pool();
     const uint64_t ptok = next_token_++;
     {
       PromoteWait& pw = promote_waits_[ptok];

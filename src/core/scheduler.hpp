@@ -64,6 +64,11 @@ class Scheduler {
     // client — later reads may be tagged behind writes the client already
     // saw acknowledged. Never set outside bench/check_sweep --mutations.
     bool mut_skip_ack_merge = false;
+    // Test-only mutation: add a §4.4 joiner to the read rotation as soon
+    // as the join is answered, before data migration has caught the node
+    // up — the bug the joining_ gate exists to rule out. Never set outside
+    // bench/check_sweep --mutations.
+    bool mut_route_to_joiner = false;
   };
 
   Scheduler(net::Network& net, NodeId id, const api::ProcRegistry& procs,
@@ -90,6 +95,15 @@ class Scheduler {
   void start();
   // Wired to net failure subscription by the cluster controller.
   void on_node_killed(NodeId n);
+  // Elastic scale-in: stop routing new reads to `n` (drop it from the
+  // slave/spare rotation) while keeping it in every master's replica set
+  // so in-flight tagged reads it still holds can catch up and complete.
+  // The cluster controller polls inflight_on(n) and kills the node once
+  // the drain is empty. Idempotent; unknown nodes are a no-op.
+  void retire_node(NodeId n);
+  // Elastic scheduler scale-out: a standby scheduler was added at runtime;
+  // include it in version/topology gossip from now on.
+  void add_peer(NodeId n);
   // Fail-stop this scheduler (cluster controller calls it right after
   // net.kill): close every open request span, drop held queues, and cancel
   // blocked recovery coroutines so their frames unwind while the object is
@@ -127,6 +141,16 @@ class Scheduler {
   bool has_routing_state(NodeId n) const {
     return outstanding_per_node_.count(n) != 0 || last_tag_.count(n) != 0;
   }
+  // In-flight dispatches on one node (retirement-drain probe).
+  uint64_t inflight_on(NodeId n) const {
+    auto it = outstanding_per_node_.find(n);
+    return it == outstanding_per_node_.end() ? 0 : it->second;
+  }
+  // Node answered a JoinRequest here but has not reported JoinComplete:
+  // it may be arbitrarily stale and must not serve reads, support other
+  // joiners, or be activated from the spare pool.
+  bool is_joining(NodeId n) const { return joining_.count(n) != 0; }
+  bool is_retiring(NodeId n) const { return retiring_.count(n) != 0; }
 
  private:
   struct Outstanding {
@@ -165,6 +189,9 @@ class Scheduler {
   void answer_or_park_join(NodeId joiner);
   void answer_held_joins();
   std::vector<NodeId> live_replicas() const;
+  // Election candidate pool (live slaves + spares, retirees excluded):
+  // the only acks that may satisfy a write quorum.
+  std::vector<NodeId> voter_pool() const;
   std::vector<NodeId> replicas_for_master(NodeId m) const;
   bool any_master(NodeId n) const;
   // True if some node could (eventually) serve a tagged read: a live
@@ -188,6 +215,14 @@ class Scheduler {
   std::vector<NodeId> slaves_;
   std::vector<NodeId> spares_;
   std::vector<NodeId> peers_;
+  // Nodes mid-§4.4-join: answered but not yet JoinComplete. Excluded from
+  // support selection and spare activation (they are stale by definition).
+  std::set<NodeId> joining_;
+  // Nodes draining for retirement: out of the routing lists but still fed
+  // by every master's replica stream so their held tagged reads can catch
+  // up and complete (and, under quorum commit, their votes still count
+  // until the controller kills them).
+  std::set<NodeId> retiring_;
 
   VersionVec version_;
   uint64_t next_req_ = 1;

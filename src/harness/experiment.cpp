@@ -74,31 +74,62 @@ DmvExperiment::~DmvExperiment() {
 }
 
 void DmvExperiment::start() {
-  DMV_ASSERT(!run_flag_);
-  run_flag_ = std::make_shared<bool>(true);
+  DMV_ASSERT(wave_flags_.empty());
+  add_client_wave(cfg_.workload.clients);
+}
+
+std::shared_ptr<bool> DmvExperiment::add_client_wave(size_t n) {
+  auto flag = std::make_shared<bool>(true);
+  wave_flags_.push_back(flag);
   tpcw::TpcwClient::Config base;
   base.mix = cfg_.workload.mix;
   base.think_mean = cfg_.workload.think_mean;
   base.scale = cfg_.workload.scale;
-  clients_ = tpcw::spawn_clients(
-      *sim_, cfg_.workload.clients, base,
-      [this](size_t i) -> tpcw::ExecuteFn {
+  base.client_id = next_client_id_;
+  const size_t first = next_client_id_;
+  next_client_id_ += n;
+  auto wave = tpcw::spawn_clients(
+      *sim_, n, base,
+      [this, first](size_t i) -> tpcw::ExecuteFn {
         conns_.push_back(
-            cluster_->make_client("client" + std::to_string(i)));
+            cluster_->make_client("client" + std::to_string(first + i)));
         core::ClusterClient* c = conns_.back().get();
         return [c](const std::string& proc, api::Params p) {
           return c->execute(proc, std::move(p));
         };
       },
-      series_.recorder(), run_flag_);
+      series_.recorder(), flag);
+  for (auto& c : wave) clients_.push_back(std::move(c));
+  return flag;
+}
+
+void DmvExperiment::schedule_flash_crowd(sim::Time at, size_t extra,
+                                         sim::Time hold) {
+  sim_->schedule_at(at, [this, extra, hold] {
+    if (wave_flags_.empty()) return;  // stopped before the crowd arrived
+    auto flag = add_client_wave(extra);
+    obs::instant("crowd.arrive", obs::Cat::Scheduler);
+    if (hold > 0)
+      sim_->schedule_after(hold, [flag] {
+        *flag = false;
+        obs::instant("crowd.leave", obs::Cat::Scheduler);
+      });
+  });
+}
+
+void DmvExperiment::schedule_diurnal(sim::Time start, sim::Time period,
+                                     size_t extra, int cycles, double duty) {
+  for (int c = 0; c < cycles; ++c)
+    schedule_flash_crowd(start + sim::Time(c) * period, extra,
+                         sim::Time(double(period) * duty));
 }
 
 void DmvExperiment::run_until(sim::Time t) { sim_->run(t); }
 
 void DmvExperiment::stop() {
-  if (!run_flag_) return;
-  *run_flag_ = false;
-  run_flag_.reset();
+  if (wave_flags_.empty()) return;
+  for (auto& f : wave_flags_) *f = false;
+  wave_flags_.clear();
   sim_->run(sim_->now() + 60 * sim::kSec);  // drain in-flight interactions
 }
 

@@ -84,6 +84,19 @@ class DmvExperiment {
   // Stop clients, drain in-flight interactions.
   void stop();
 
+  // --- client-arrival generators (elasticity workloads) ---
+  // Add `n` more closed-loop clients right now (distinct ids, continuing
+  // the base population's id space). Returns the wave's run flag; clear
+  // it to release just this wave. stop() releases every wave.
+  std::shared_ptr<bool> add_client_wave(size_t n);
+  // Flash crowd: at `at`, `extra` clients arrive; after `hold` they leave
+  // again (0 = stay until stop()).
+  void schedule_flash_crowd(sim::Time at, size_t extra, sim::Time hold = 0);
+  // Diurnal wave: starting at `start`, every `period` a wave of `extra`
+  // clients arrives and stays for duty*period.
+  void schedule_diurnal(sim::Time start, sim::Time period, size_t extra,
+                        int cycles, double duty = 0.5);
+
   void schedule_fault(sim::Time at, std::function<void()> action);
 
   sim::Simulation& sim() { return *sim_; }
@@ -105,7 +118,10 @@ class DmvExperiment {
   std::unique_ptr<core::DmvCluster> cluster_;
   std::vector<std::unique_ptr<core::ClusterClient>> conns_;
   std::vector<std::unique_ptr<tpcw::TpcwClient>> clients_;
-  std::shared_ptr<bool> run_flag_;
+  // One run flag per client wave (base population = wave 0); stop()
+  // clears them all. Client ids keep counting up across waves.
+  std::vector<std::shared_ptr<bool>> wave_flags_;
+  size_t next_client_id_ = 0;
   Series series_;
 };
 

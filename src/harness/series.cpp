@@ -1,5 +1,7 @@
 #include "harness/series.hpp"
 
+#include <algorithm>
+
 namespace dmv::harness {
 
 double Series::wips(sim::Time from, sim::Time to) const {
@@ -29,6 +31,16 @@ double Series::latency(sim::Time from, sim::Time to) const {
     n += b.count;
   }
   return n ? sum / double(n) : 0.0;
+}
+
+double Series::latency_p99(sim::Time from, sim::Time to) const {
+  std::vector<double> window;
+  for (const auto& [end, lat] : samples_)
+    if (end >= from && end < to) window.push_back(lat);
+  if (window.empty()) return 0.0;
+  const size_t k = size_t(double(window.size() - 1) * 0.99);
+  std::nth_element(window.begin(), window.begin() + long(k), window.end());
+  return window[k];
 }
 
 }  // namespace dmv::harness

@@ -28,12 +28,17 @@ class Series {
     tp_.record(uint64_t(r.end), 1.0);
     lat_.record(uint64_t(r.end), sim::to_seconds(r.end - r.start));
     all_latency_.record(sim::to_seconds(r.end - r.start));
+    samples_.emplace_back(r.end, sim::to_seconds(r.end - r.start));
   }
 
   // Mean completed interactions/second in [from, to).
   double wips(sim::Time from, sim::Time to) const;
   // Mean latency (seconds) of interactions completing in [from, to).
   double latency(sim::Time from, sim::Time to) const;
+  // p99 latency (seconds) of interactions completing in [from, to);
+  // 0 when the window is empty. Tail behavior is what a flash crowd
+  // degrades first — window means barely move while p99 explodes.
+  double latency_p99(sim::Time from, sim::Time to) const;
 
   const util::TimeSeries& throughput_series() const { return tp_; }
   const util::TimeSeries& latency_series() const { return lat_; }
@@ -48,6 +53,8 @@ class Series {
   util::TimeSeries tp_;
   util::TimeSeries lat_;
   util::Histogram all_latency_;
+  // Raw (completion time, latency) samples for windowed percentiles.
+  std::vector<std::pair<sim::Time, double>> samples_;
   uint64_t total_ = 0;
   uint64_t errors_ = 0;
   uint64_t writes_ = 0;

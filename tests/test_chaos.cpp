@@ -104,6 +104,24 @@ TEST(FaultPlan, PersistenceVerbsParseAndRoundTrip) {
   EXPECT_FALSE(FaultPlan::parse("wipe-tier:0@t:1", &err));  // no operand
 }
 
+TEST(FaultPlan, ElasticVerbsParseAndRoundTrip) {
+  const std::string s =
+      "addslave@t:5000;retire:slave0@t:9000;addslave@p:crowd.arrive;"
+      "retire:slave2@p:elastic.add_slave#2";
+  auto plan = FaultPlan::parse(s);
+  ASSERT_TRUE(plan.has_value());
+  ASSERT_EQ(plan->faults.size(), 4u);
+  EXPECT_EQ(plan->faults[0].action.kind, ActionKind::AddSlave);
+  EXPECT_EQ(plan->faults[1].action.kind, ActionKind::Retire);
+  EXPECT_EQ(plan->faults[1].action.node, "slave0");
+  EXPECT_TRUE(plan->faults[2].trigger.at_point);
+  EXPECT_EQ(plan->faults[3].trigger.occurrence, 2);
+  EXPECT_EQ(plan->str(), s);
+  std::string err;
+  EXPECT_FALSE(FaultPlan::parse("addslave:x@t:1", &err));  // no operand
+  EXPECT_FALSE(FaultPlan::parse("retire:@t:1", &err));     // empty node
+}
+
 TEST(FaultPlan, EmptyPlanIsValid) {
   auto plan = FaultPlan::parse("");
   ASSERT_TRUE(plan.has_value());
@@ -149,6 +167,20 @@ TEST(ChaosHarness, MasterKillRecoversAndReportsPoints) {
   // The §4.2 phases fired as observable protocol points.
   EXPECT_GE(rep.points_fired.count("failover.discard"), 1u);
   EXPECT_GE(rep.points_fired.count("failover.promote"), 1u);
+}
+
+TEST(ChaosHarness, ElasticResizeKeepsInvariants) {
+  // Scale out mid-workload (live §4.4 join) and drain an original slave
+  // back out: every chaos invariant — replica convergence, ledger
+  // durability, span balance — must hold across both resizes.
+  ChaosConfig cfg;
+  const ChaosReport rep =
+      run_chaos(cfg, "addslave@t:20000;retire:slave0@t:40000");
+  for (const auto& v : rep.violations) ADD_FAILURE() << v;
+  EXPECT_TRUE(rep.passed);
+  EXPECT_EQ(rep.faults_fired, 2u);
+  EXPECT_GE(rep.joins, 1u);
+  EXPECT_EQ(rep.client_errors, 0u);
 }
 
 TEST(ChaosHarness, TwoClassBaselinePassesAllInvariants) {

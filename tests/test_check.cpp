@@ -238,6 +238,35 @@ TEST(RunCheck, RandomDisasterPlansParseAndWipe) {
   }
 }
 
+TEST(RunCheck, ElasticResizeRoundTrips) {
+  // Fleet resize mid-workload: a fresh slave joins via §4.4 under live
+  // traffic and an original one drains out; the oracle must stay clean.
+  CheckConfig cfg = quick_cfg(test::base_seed);
+  cfg.elastic = true;
+  CheckReport rep = check::run_check(
+      cfg, "addslave@t:5000;retire:slave0@t:12000");
+  EXPECT_TRUE(rep.passed) << rep.summary() << "\n"
+                          << (rep.violations.empty()
+                                  ? ""
+                                  : rep.violations.front());
+  EXPECT_EQ(rep.faults_unfired, 0u);
+}
+
+TEST(RunCheck, RandomElasticPlansParseAndAreDeterministic) {
+  CheckConfig cfg = quick_cfg(1);
+  cfg.elastic = true;
+  for (uint64_t s = 1; s <= 8; ++s) {
+    const std::string plan =
+        check::random_elastic_fault_plan(cfg, s, 1 + int(s % 2));
+    std::string err;
+    ASSERT_TRUE(chaos::FaultPlan::parse(plan, &err).has_value())
+        << plan << ": " << err;
+    EXPECT_NE(plan.find("addslave@t:"), std::string::npos) << plan;
+    EXPECT_EQ(plan,
+              check::random_elastic_fault_plan(cfg, s, 1 + int(s % 2)));
+  }
+}
+
 // ---- mutation + shrink machinery ---------------------------------------
 
 TEST(Mutation, SkipAckMergeCaughtByTagCoverage) {
@@ -271,6 +300,27 @@ TEST(Mutation, SkipRecoverySuffixCaughtByRecoveryMismatch) {
     CheckReport rep = check::run_check(cfg, mut->plan);
     for (const auto& v : rep.violations)
       if (v.find("recovery-mismatch") != std::string::npos) caught = true;
+  }
+  EXPECT_TRUE(caught);
+}
+
+TEST(Mutation, RouteToJoinerCaught) {
+  // The planted elastic bug: answer_join routes reads to the joiner
+  // before data migration caught it up. The checker must see it as a
+  // stale snapshot (or a read wedged on an unreachable version).
+  const check::Mutation* mut = nullptr;
+  for (const auto& m : check::mutation_list())
+    if (m.name == "route-to-joiner") mut = &m;
+  ASSERT_NE(mut, nullptr);
+  bool caught = false;
+  for (int s = 1; s <= mut->seeds && !caught; ++s) {
+    CheckConfig cfg;
+    cfg.seed = uint64_t(s);
+    mut->apply(cfg);
+    CheckReport rep = check::run_check(cfg, mut->plan);
+    for (const auto& v : rep.violations)
+      for (const auto& e : mut->expect)
+        if (v.find(e) != std::string::npos) caught = true;
   }
   EXPECT_TRUE(caught);
 }

@@ -1340,5 +1340,269 @@ TEST(VersionHelpers, MergeCoversSame) {
   EXPECT_FALSE(same_version(a, b));
 }
 
+// ---- elastic scaling: live fleet resizing without quiescing ----
+
+TEST(Elastic, AddSlaveJoinsAndServesReads) {
+  DmvCluster::Config cfg;
+  cfg.slaves = 1;
+  Fixture f(cfg);
+  // Committed state the joiner has never seen: it must arrive via §4.4.
+  for (int i = 0; i < 10; ++i) {
+    api::Params dep;
+    dep.set("id", int64_t(i)).set("amt", int64_t{100});
+    ASSERT_TRUE(f.request("deposit", dep).has_value());
+  }
+  const NodeId added = f.cluster->add_slave();
+  f.sim.run(f.sim.now() + 10 * sim::kSec);
+  EXPECT_EQ(f.cluster->scheduler().stats().joins_completed, 1u);
+  ASSERT_EQ(f.cluster->scheduler().slaves().size(), 2u);
+  EXPECT_EQ(f.cluster->live_slave_count(), 2u);
+  EXPECT_GT(f.cluster->node(added).engine().stats().pages_installed, 0u);
+
+  // The joiner serves correct reads (force by killing the original slave).
+  f.cluster->kill_node(f.cluster->slave_id(0));
+  f.sim.run(f.sim.now() + sim::kSec);
+  api::Params chk;
+  chk.set("id", int64_t{7});
+  auto r = f.request("check", chk);
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(r->value, 170);  // 7*10 + 100
+  EXPECT_GT(f.cluster->node(added).engine().stats().read_commits, 0u);
+}
+
+TEST(Elastic, AddSpareBecomesSpareNotSlave) {
+  DmvCluster::Config cfg;
+  cfg.slaves = 1;
+  cfg.spares = 0;
+  Fixture f(cfg);
+  api::Params dep;
+  dep.set("id", int64_t{1}).set("amt", int64_t{5});
+  ASSERT_TRUE(f.request("deposit", dep).has_value());
+  const NodeId spare = f.cluster->add_spare();
+  f.sim.run(f.sim.now() + 10 * sim::kSec);
+  // Joined as a warm standby: subscribed to the stream, not in the read
+  // rotation until a fail-over pulls it in.
+  ASSERT_EQ(f.cluster->scheduler().spares().size(), 1u);
+  EXPECT_EQ(f.cluster->scheduler().spares()[0], spare);
+  EXPECT_EQ(f.cluster->scheduler().slaves().size(), 1u);
+
+  // A master death promotes a replica and pulls the caught-up spare into
+  // the read rotation (whichever of the two won the election).
+  f.cluster->kill_node(f.cluster->master_id());
+  f.sim.run(f.sim.now() + sim::kSec);
+  EXPECT_EQ(f.cluster->scheduler().slaves().size(), 1u);
+  EXPECT_TRUE(f.cluster->scheduler().spares().empty());
+}
+
+TEST(Elastic, AddSchedulerAdoptsLiveTopologyAndServes) {
+  DmvCluster::Config cfg;
+  cfg.slaves = 2;
+  Fixture f(cfg);
+  api::Params dep;
+  dep.set("id", int64_t{2}).set("amt", int64_t{8});
+  ASSERT_TRUE(f.request("deposit", dep).has_value());
+  f.cluster->add_scheduler();
+  f.sim.run(f.sim.now() + sim::kSec);
+  ASSERT_EQ(f.cluster->scheduler_count(), 2u);
+
+  // Kill the original primary: the added standby must take over with the
+  // topology it adopted at creation and keep serving.
+  f.cluster->kill_scheduler(0);
+  f.sim.run(f.sim.now() + sim::kSec);
+  EXPECT_TRUE(f.cluster->scheduler(1).is_primary());
+  api::Params chk;
+  chk.set("id", int64_t{2});
+  auto r = f.request("check", chk);
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(r->value, 28);
+}
+
+TEST(Elastic, RetireDrainsInFlightReadsThenKills) {
+  DmvCluster::Config cfg;
+  cfg.slaves = 2;
+  Fixture f(cfg);
+  api::Params dep;
+  dep.set("id", int64_t{1}).set("amt", int64_t{5});
+  ASSERT_TRUE(f.request("deposit", dep).has_value());
+
+  // Fan out reads across both slaves, then retire one while its dispatches
+  // are still in flight: the drain must let them finish before the kill.
+  std::vector<std::unique_ptr<ClusterClient>> clients;
+  int ok = 0;
+  for (int i = 0; i < 8; ++i) {
+    clients.push_back(f.cluster->make_client("c" + std::to_string(i)));
+    f.sim.spawn([](ClusterClient& c, int& ok) -> sim::Task<> {
+      api::Params p;
+      p.set("id", int64_t{1});
+      auto r = co_await c.execute("check", p);
+      if (r && r->ok && r->value == 15) ++ok;
+    }(*clients.back(), ok));
+  }
+  const NodeId victim = f.cluster->slave_id(0);
+  f.sim.schedule_after(200, [&f, victim] {
+    EXPECT_TRUE(f.cluster->retire_node(victim));
+  });
+  f.sim.run();
+  EXPECT_EQ(ok, 8);
+  EXPECT_EQ(f.cluster->retires_completed(), 1u);
+  EXPECT_FALSE(f.net.alive(victim));
+  EXPECT_EQ(f.cluster->scheduler().slaves().size(), 1u);
+  // Masters never retire; dead nodes don't either.
+  EXPECT_FALSE(f.cluster->retire_node(f.cluster->master_id()));
+  EXPECT_FALSE(f.cluster->retire_node(victim));
+}
+
+TEST(Elastic, RetireLastRegionalSlaveUnderQuorumCommit) {
+  DmvCluster::Config cfg;
+  cfg.slaves = 2;
+  cfg.regions = 2;  // slave1 lands in region r1
+  cfg.quorum_commit = true;
+  Fixture f(cfg);
+  api::Params dep;
+  dep.set("id", int64_t{3}).set("amt", int64_t{4});
+  ASSERT_TRUE(f.request("deposit", dep).has_value());
+
+  // Retire the only replica of region r1: the voter pool shrinks to the
+  // local slave, so quorum commits must not wait on (or count) the
+  // retiree, and the drain itself must complete.
+  ASSERT_TRUE(f.cluster->retire_node(f.cluster->slave_id(1)));
+  f.sim.run(f.sim.now() + 10 * sim::kSec);
+  EXPECT_EQ(f.cluster->retires_completed(), 1u);
+  EXPECT_EQ(f.cluster->live_slave_count(), 1u);
+
+  api::Params dep2;
+  dep2.set("id", int64_t{3}).set("amt", int64_t{1});
+  auto r = f.request("deposit", dep2);
+  ASSERT_TRUE(r.has_value());
+  EXPECT_TRUE(r->ok);
+  api::Params chk;
+  chk.set("id", int64_t{3});
+  auto r2 = f.request("check", chk);
+  ASSERT_TRUE(r2.has_value());
+  EXPECT_EQ(r2->value, 35);
+}
+
+TEST(Elastic, RetireRacingConcurrentDeathIsBenign) {
+  DmvCluster::Config cfg;
+  cfg.slaves = 2;
+  Fixture f(cfg);
+  api::Params dep;
+  dep.set("id", int64_t{1}).set("amt", int64_t{5});
+  ASSERT_TRUE(f.request("deposit", dep).has_value());
+
+  // The node dies mid-drain: the retirement must simply dissolve (the
+  // death path already cleans up) instead of double-killing or counting a
+  // completed drain.
+  const NodeId victim = f.cluster->slave_id(0);
+  ASSERT_TRUE(f.cluster->retire_node(victim));
+  f.cluster->kill_node(victim);
+  f.sim.run(f.sim.now() + sim::kSec);
+  EXPECT_EQ(f.cluster->retires_completed(), 0u);
+  EXPECT_FALSE(f.cluster->scheduler().is_retiring(victim));
+  EXPECT_EQ(f.cluster->scheduler().slaves().size(), 1u);
+  api::Params chk;
+  chk.set("id", int64_t{1});
+  auto r = f.request("check", chk);
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(r->value, 15);
+}
+
+TEST(Elastic, SpareMidRejoinIsNotActivated) {
+  // Regression: integrate_spare used to activate any live spare, including
+  // one that is mid-§4.4-rejoin (listed as a spare by stale gossip) and
+  // therefore not caught up — reads routed to it would serve stale pages.
+  DmvCluster::Config cfg;
+  cfg.slaves = 2;
+  cfg.checkpoint_period = 0;  // full page transfer: a wide join window
+  Fixture f(cfg);
+  for (int i = 0; i < 20; ++i) {
+    api::Params dep;
+    dep.set("id", int64_t(i)).set("amt", int64_t{100});
+    ASSERT_TRUE(f.request("deposit", dep).has_value());
+  }
+  const NodeId rejoiner = f.cluster->slave_id(1);
+  f.cluster->kill_node(rejoiner);
+  f.sim.run(f.sim.now() + sim::kSec);
+  // Slow the support's page-transfer link so the §4.4 join stays open
+  // long enough to race against (otherwise it completes in under 2ms).
+  f.net.set_link_delay(f.cluster->slave_id(0), rejoiner, 50 * sim::kMsec);
+  f.cluster->restart_and_rejoin(rejoiner);
+  f.sim.run(f.sim.now() + 2 * sim::kMsec);  // JoinInfo sent, pages not yet
+  ASSERT_TRUE(f.cluster->scheduler().is_joining(rejoiner));
+
+  // Stale gossip (sent before the death, delivered now) lists the
+  // rejoiner as a spare. The scheduler must refuse to adopt a node it
+  // knows is mid-join: adopting it would expose it to integrate_spare
+  // (activating a not-caught-up replica) and permanently wedge the join —
+  // answer_or_park_join rejects any joiner already in the topology as a
+  // not-yet-buried prior incarnation, and a gossip-planted entry is never
+  // buried.
+  const NodeId fake = f.net.add_node("stale-sched");
+  TopologyGossip tg;
+  tg.masters = {f.cluster->master_id()};
+  tg.slaves = {f.cluster->slave_id(0)};
+  tg.spares = {rejoiner};
+  f.net.send(fake, f.cluster->scheduler_ids()[0], std::move(tg));
+  f.sim.run(f.sim.now() + sim::kMsec);
+  EXPECT_TRUE(f.cluster->scheduler().spares().empty());
+
+  // A slave death now triggers spare integration: the mid-join node must
+  // NOT be pulled into the read rotation.
+  f.cluster->kill_node(f.cluster->slave_id(0));
+  f.sim.run(f.sim.now() + 100 * sim::kMsec);
+  if (f.cluster->scheduler().is_joining(rejoiner)) {
+    EXPECT_TRUE(f.cluster->scheduler().slaves().empty());
+  }
+
+  // The support died mid-transfer; the joiner retries against the master
+  // and completes — then serves reads with the full state.
+  f.sim.run(f.sim.now() + 10 * sim::kSec);
+  ASSERT_FALSE(f.cluster->scheduler().is_joining(rejoiner));
+  api::Params chk;
+  chk.set("id", int64_t{15});
+  auto r = f.request("check", chk);
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(r->value, 250);
+}
+
+TEST(Elastic, JoinSupportSkipsMidJoinSlaves) {
+  // Regression: answer_join used to pick the first live slave as the data
+  // migration support, even one that is itself mid-join — the new joiner
+  // would seed from a peer that hasn't caught up.
+  DmvCluster::Config cfg;
+  cfg.slaves = 2;
+  cfg.checkpoint_period = 0;
+  Fixture f(cfg);
+  for (int i = 0; i < 20; ++i) {
+    api::Params dep;
+    dep.set("id", int64_t(i)).set("amt", int64_t{100});
+    ASSERT_TRUE(f.request("deposit", dep).has_value());
+  }
+  const NodeId mid_join = f.cluster->slave_id(0);
+  f.cluster->kill_node(mid_join);
+  f.sim.run(f.sim.now() + sim::kSec);
+  // Hold the first join open: its support (slave1) ships pages slowly.
+  f.net.set_link_delay(f.cluster->slave_id(1), mid_join, 50 * sim::kMsec);
+  f.cluster->restart_and_rejoin(mid_join);
+  f.sim.run(f.sim.now() + 2 * sim::kMsec);
+  ASSERT_TRUE(f.cluster->scheduler().is_joining(mid_join));
+
+  // A second joiner asks while the first is still migrating: the answer
+  // must name a caught-up support (slave1), never the mid-join peer.
+  const NodeId me = f.net.add_node("raw-joiner");
+  std::optional<JoinInfo> info;
+  f.sim.spawn([](net::Network& net, NodeId me,
+                 std::optional<JoinInfo>& info) -> sim::Task<> {
+    auto env = co_await net.mailbox(me).receive();
+    if (!env) co_return;
+    if (const auto* ji = net::as<JoinInfo>(*env)) info = *ji;
+  }(f.net, me, info));
+  f.net.send(me, f.cluster->scheduler_ids()[0], JoinRequest{me});
+  f.sim.run(f.sim.now() + sim::kMsec);
+  ASSERT_TRUE(info.has_value());
+  EXPECT_NE(info->support, mid_join);
+  EXPECT_EQ(info->support, f.cluster->slave_id(1));
+}
+
 }  // namespace
 }  // namespace dmv::core
