@@ -19,7 +19,8 @@ constexpr sim::Time kEnd = 120 * sim::kSec;
 
 struct Out {
   double wips = 0, lat_ms = 0, abort_pct = 0;
-  uint64_t lock_deaths = 0;
+  uint64_t lock_deaths = 0;                // aggregate over all masters
+  std::vector<uint64_t> class_lock_deaths; // one entry per conflict class
 };
 
 Out run(uint64_t cap, txn::LockPolicy policy, size_t clients) {
@@ -37,18 +38,29 @@ Out run(uint64_t cap, txn::LockPolicy policy, size_t clients) {
   o.lat_ms = exp.series().latency(kWarm, kEnd) * 1000;
   o.abort_pct = 100.0 * double(exp.cluster().total_version_aborts()) /
                 double(std::max<uint64_t>(1, exp.series().total()));
-  // Sum over every conflict class's master — class 0 alone undercounts
-  // the moment the cluster runs more than one master.
-  for (size_t c = 0; c < exp.cluster().master_count(); ++c)
-    o.lock_deaths += exp.cluster().master(c).engine().stats().waitdie_deaths;
+  // Keep every conflict class's master counter as well as the sum —
+  // class 0 alone undercounts the moment the cluster runs more than one
+  // master, and the aggregate alone hides a restart-storm in one class.
+  for (size_t c = 0; c < exp.cluster().master_count(); ++c) {
+    const uint64_t d =
+        exp.cluster().master(c).engine().stats().waitdie_deaths;
+    o.class_lock_deaths.push_back(d);
+    o.lock_deaths += d;
+  }
   exp.stop();
   return o;
 }
 
 std::vector<std::string> row(const std::string& name, const Out& o) {
+  std::string deaths = std::to_string(o.lock_deaths);
+  if (o.class_lock_deaths.size() > 1) {
+    deaths += " [";
+    for (size_t c = 0; c < o.class_lock_deaths.size(); ++c)
+      deaths += (c ? "|" : "") + std::to_string(o.class_lock_deaths[c]);
+    deaths += "]";
+  }
   return {name, harness::fmt(o.wips), harness::fmt(o.lat_ms, 0),
-          harness::fmt(o.abort_pct, 2) + "%",
-          std::to_string(o.lock_deaths)};
+          harness::fmt(o.abort_pct, 2) + "%", deaths};
 }
 }  // namespace
 

@@ -18,7 +18,11 @@
 // Results go to BENCH_cc.json (CI perf artifact).
 //
 //   bench_cc [--quick] [--out FILE] [--batched] [--span-stats]
-//            [--trace FILE]
+//            [--trace FILE] [--classes N]
+//
+// --classes N runs the same ablation on a conflict-class-sharded
+// deployment (N update masters, see tpcw/sharding.hpp); stats are then
+// reported per class as well as aggregated.
 #include <algorithm>
 #include <cstring>
 #include <fstream>
@@ -31,6 +35,13 @@ using namespace dmv::bench;
 
 namespace {
 
+// One conflict class's share of the master-side counters.
+struct ClassStats {
+  uint64_t routed = 0;          // scheduler routed updates
+  uint64_t master_commits = 0;  // the class master's engine counter
+  uint64_t cc_restarts = 0;
+};
+
 struct Run {
   double wips = 0;
   double lat_ms = 0;         // all interactions
@@ -42,13 +53,15 @@ struct Run {
   double restart_rate = 0;       // cc_restarts / (commits + restarts)
   uint64_t lock_waits = 0;
   double lock_wait_total_ms = 0;
+  std::vector<ClassStats> per_class;  // one entry per conflict class
 };
 
 Run run(mem::CcMode mode, size_t clients, sim::Time end, bool batched,
-        const BenchOptions& opts) {
+        size_t classes, const BenchOptions& opts) {
   harness::DmvExperiment::Config cfg;
   cfg.workload = default_workload(tpcw::Mix::Shopping, clients);
   cfg.workload.bucket = 5 * sim::kSec;
+  cfg.workload.classes = classes;
   cfg.slaves = 8;
   cfg.costs = calibrated_costs();
   cfg.cc_mode = mode;
@@ -67,10 +80,19 @@ Run run(mem::CcMode mode, size_t clients, sim::Time end, bool batched,
   r.version_aborts = exp.cluster().total_version_aborts();
   // No faults, so summing the masters' counters (one per conflict class)
   // gives the cluster totals regardless of how many classes are deployed.
+  // Keep each class's share too: an idle or restart-heavy class is
+  // invisible in the aggregate.
+  core::Scheduler& sched = exp.cluster().scheduler();
   for (size_t c = 0; c < exp.cluster().master_count(); ++c) {
     const auto& ns = exp.cluster().master(c).stats();
-    r.cc_restarts += mode == mem::CcMode::Mvcc ? ns.occ_restarts
+    ClassStats cs;
+    cs.cc_restarts = mode == mem::CcMode::Mvcc ? ns.occ_restarts
                                                : ns.waitdie_restarts;
+    cs.master_commits =
+        exp.cluster().master(c).engine().stats().update_commits;
+    if (c < sched.class_count()) cs.routed = sched.class_state(c).updates_routed;
+    r.cc_restarts += cs.cc_restarts;
+    r.per_class.push_back(cs);
   }
   r.restart_rate = double(r.cc_restarts) /
                    double(std::max<uint64_t>(1, r.update_commits) +
@@ -114,8 +136,30 @@ void emit(std::ostream& os, const char* key, const Run& r, bool last) {
      << "    \"restart_rate\": " << r.restart_rate << ",\n"
      << "    \"reader_version_aborts\": " << r.version_aborts << ",\n"
      << "    \"lock_waits\": " << r.lock_waits << ",\n"
-     << "    \"lock_wait_total_ms\": " << r.lock_wait_total_ms << "\n"
+     << "    \"lock_wait_total_ms\": " << r.lock_wait_total_ms << ",\n"
+     << "    \"per_class\": [";
+  for (size_t c = 0; c < r.per_class.size(); ++c) {
+    const ClassStats& cs = r.per_class[c];
+    os << (c ? ", " : "") << "{\"class\": " << c
+       << ", \"updates_routed\": " << cs.routed
+       << ", \"master_commits\": " << cs.master_commits
+       << ", \"cc_restarts\": " << cs.cc_restarts << "}";
+  }
+  os << "]\n"
      << "  }" << (last ? "\n" : ",\n");
+}
+
+void print_per_class(std::ostream& os, const char* name, const Run& r) {
+  std::vector<std::vector<std::string>> rows;
+  for (size_t c = 0; c < r.per_class.size(); ++c) {
+    const ClassStats& cs = r.per_class[c];
+    rows.push_back({std::to_string(c), std::to_string(cs.routed),
+                    std::to_string(cs.master_commits),
+                    std::to_string(cs.cc_restarts)});
+  }
+  harness::print_table(
+      os, std::string("Per-class master stats — ") + name,
+      {"class", "routed", "commits", "restarts"}, rows);
 }
 
 }  // namespace
@@ -123,6 +167,7 @@ void emit(std::ostream& os, const char* key, const Run& r, bool last) {
 int main(int argc, char** argv) {
   bool quick = false;
   bool batched = false;
+  size_t classes = 1;
   std::string out_path = "BENCH_cc.json";
   BenchOptions opts;
   for (int i = 1; i < argc; ++i) {
@@ -130,6 +175,8 @@ int main(int argc, char** argv) {
       quick = true;
     } else if (std::strcmp(argv[i], "--batched") == 0) {
       batched = true;
+    } else if (std::strcmp(argv[i], "--classes") == 0 && i + 1 < argc) {
+      classes = std::max(1, std::atoi(argv[++i]));
     } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
       out_path = argv[++i];
     } else if (std::strcmp(argv[i], "--span-stats") == 0) {
@@ -138,7 +185,7 @@ int main(int argc, char** argv) {
       opts.trace_path = argv[++i];
     } else {
       std::cerr << "usage: bench_cc [--quick] [--out FILE] [--batched] "
-                   "[--span-stats] [--trace FILE]\n";
+                   "[--span-stats] [--trace FILE] [--classes N]\n";
       return 2;
     }
   }
@@ -147,9 +194,12 @@ int main(int argc, char** argv) {
 
   std::cout << "# bench_cc — shopping mix, 8 slaves, " << clients
             << " clients, " << end / sim::kSec << "s virtual"
-            << (batched ? ", batched pipeline" : "") << "\n";
-  const Run p2l = run(mem::CcMode::Page2pl, clients, end, batched, opts);
-  const Run mvcc = run(mem::CcMode::Mvcc, clients, end, batched, opts);
+            << (batched ? ", batched pipeline" : "") << ", " << classes
+            << " conflict class" << (classes > 1 ? "es" : "") << "\n";
+  const Run p2l =
+      run(mem::CcMode::Page2pl, clients, end, batched, classes, opts);
+  const Run mvcc =
+      run(mem::CcMode::Mvcc, clients, end, batched, classes, opts);
 
   const double upd_delta_pct =
       100.0 * (mvcc.upd_mean_ms / p2l.upd_mean_ms - 1.0);
@@ -171,6 +221,12 @@ int main(int argc, char** argv) {
       {"cc_mode", "WIPS", "lat ms", "upd ms", "upd p95", "restarts",
        "restart%", "lock wait"},
       {row("page2pl", p2l), row("mvcc", mvcc)});
+  if (classes > 1) {
+    std::cout << "\n";
+    print_per_class(std::cout, "page2pl", p2l);
+    std::cout << "\n";
+    print_per_class(std::cout, "mvcc", mvcc);
+  }
   std::cout << "\nupdate latency delta (mvcc vs page2pl): "
             << harness::fmt(upd_delta_pct, 2)
             << "%, WIPS delta: " << harness::fmt(wips_delta_pct, 2)
@@ -182,7 +238,7 @@ int main(int argc, char** argv) {
      << "  \"config\": {\"slaves\": 8, \"mix\": \"shopping\", "
      << "\"clients\": " << clients << ", \"virtual_seconds\": "
      << end / sim::kSec << ", \"batched\": " << (batched ? "true" : "false")
-     << "},\n";
+     << ", \"classes\": " << classes << "},\n";
   emit(os, "page2pl", p2l, false);
   emit(os, "mvcc", mvcc, false);
   os << "  \"update_latency_delta_pct\": " << upd_delta_pct << ",\n"

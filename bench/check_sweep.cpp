@@ -37,6 +37,13 @@
 // (drain then kill), composed with the usual master/spare kills. The
 // oracle must hold while the fleet resizes in both directions.
 //
+// --multimaster runs the conflict-class-sharded composite: three update
+// masters (one per single-table class) on a two-region deployment with
+// quorum commit and open pipeline windows, under seed-derived schedules
+// biased toward master kills — concurrent per-class fail-overs and
+// cross-class adoptions — composed with elastic resizes and healed
+// region cuts. --classes N widens any mode's class count directly.
+//
 // Exit status: 0 if every seed passed (and, with --mutations, every
 // mutation was caught), 1 otherwise.
 #include <fstream>
@@ -61,6 +68,7 @@ struct Options {
   bool disaster = false;
   bool geo = false;
   bool elastic = false;
+  bool multimaster = false;
   bool verbose = false;
   std::string artifacts;
   check::CheckConfig base;
@@ -81,10 +89,18 @@ std::string repro_line(const check::CheckConfig& cfg,
     s += " --clients " + std::to_string(cfg.clients);
   if (cfg.ops_per_client != d.ops_per_client)
     s += " --ops " + std::to_string(cfg.ops_per_client);
-  if (cfg.batch_max_writesets != d.batch_max_writesets) s += " --batched";
+  if (cfg.batch_max_writesets != d.batch_max_writesets &&
+      !cfg.multimaster)
+    s += " --batched";
   if (cfg.disaster) s += " --disaster";
-  if (cfg.regions > 1) s += " --geo";
+  if (cfg.regions > 1 && !cfg.multimaster) s += " --geo";
   if (cfg.elastic) s += " --elastic";
+  if (cfg.multimaster) {
+    s += " --multimaster";
+    d.classes = 3;  // what --multimaster sets
+  }
+  if (cfg.classes != d.classes)
+    s += " --classes " + std::to_string(cfg.classes);
   if (cfg.mvcc) s += " --cc=mvcc";
   return s;
 }
@@ -171,6 +187,20 @@ int main(int argc, char** argv) {
     } else if (a == "--elastic") {
       opt.elastic = true;
       opt.base.elastic = true;
+    } else if (a == "--multimaster") {
+      opt.multimaster = true;
+      opt.base.multimaster = true;
+      opt.base.classes = 3;
+      opt.base.regions = 2;
+      opt.base.quorum_commit = true;
+      // Open pipeline windows: dying masters must hold unconfirmed
+      // write-sets so per-class discard/quorum reconciliation is real.
+      opt.base.batch_max_writesets = 4;
+      opt.base.batch_delay = 500;
+      opt.base.ack_every_n = 4;
+      opt.base.ack_delay = 500;
+    } else if (a == "--classes") {
+      opt.base.classes = std::stoi(next());
     } else if (a == "--verbose") {
       opt.verbose = true;
     } else if (a == "--artifacts") {
@@ -205,6 +235,7 @@ int main(int argc, char** argv) {
           << "usage: check_sweep [--seeds N | --quick | --seed N] "
              "[--fault-plan PLAN] [--mutations]\n"
              "                   [--disaster] [--geo] [--elastic] "
+             "[--multimaster] [--classes N] "
              "[--artifacts DIR] "
              "[--verbose] [--batched] [--cc MODE]\n"
              "                   [--slaves N] [--spares N] [--schedulers N] "
@@ -213,7 +244,9 @@ int main(int argc, char** argv) {
     }
   }
   if (opt.quick)
-    opt.seeds = opt.disaster || opt.geo || opt.elastic ? 100 : 200;
+    opt.seeds =
+        opt.disaster || opt.geo || opt.elastic || opt.multimaster ? 100
+                                                                  : 200;
 
   if (opt.plan_given) {
     std::string err;
@@ -234,6 +267,9 @@ int main(int argc, char** argv) {
       plan = opt.plan;
     else if (opt.disaster)
       plan = check::random_disaster_plan(opt.base, seed);
+    else if (opt.multimaster)
+      plan = check::random_multimaster_fault_plan(opt.base, seed,
+                                                  seed % 2 == 0 ? 2 : 1);
     else if (opt.geo)
       plan = check::random_geo_fault_plan(opt.base, seed,
                                           seed % 2 == 0 ? 2 : 1);
@@ -255,6 +291,9 @@ int main(int argc, char** argv) {
         plan = opt.plan;
       else if (opt.disaster)
         plan = check::random_disaster_plan(opt.base, seed);
+      else if (opt.multimaster && s % 8 != 0)
+        plan = check::random_multimaster_fault_plan(opt.base, seed,
+                                                    s % 2 == 0 ? 2 : 1);
       else if (opt.geo && s % 8 != 0)
         plan = check::random_geo_fault_plan(opt.base, seed,
                                             s % 2 == 0 ? 2 : 1);

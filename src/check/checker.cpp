@@ -15,34 +15,40 @@
 namespace dmv::check {
 namespace {
 
-// ---- workload: two single-table conflict classes, updates + tagged reads
-
-constexpr storage::TableId kTableA = 0;
-constexpr storage::TableId kTableB = 1;
+// ---- workload: N single-table conflict classes, updates + tagged reads
+//
+// Class c's table is TableId c, named acct_<letter> ('a' + c). Two
+// classes reproduce the original checker; CheckConfig::classes widens it.
 
 int64_t initial_balance(storage::TableId t, int64_t key) {
   return 1000 * int64_t(t + 1) + key * 10;
 }
 
-void check_schema(storage::Database& db) {
-  for (const char* name : {"acct_a", "acct_b"})
-    db.add_table(name,
-                 storage::Schema({storage::int_col("id"),
-                                  storage::int_col("balance")}),
-                 storage::IndexDef{"pk", {0}, true});
+std::string cls_sfx(storage::TableId t) {
+  return std::string("_") + char('a' + t);
 }
 
-// Procs come in _a/_b pairs so ProcInfo::tables stays static per proc
-// (the scheduler routes by declared table set, §2.1).
+std::function<void(storage::Database&)> make_check_schema(int classes) {
+  return [classes](storage::Database& db) {
+    for (int t = 0; t < classes; ++t)
+      db.add_table("acct" + cls_sfx(storage::TableId(t)),
+                   storage::Schema({storage::int_col("id"),
+                                    storage::int_col("balance")}),
+                   storage::IndexDef{"pk", {0}, true});
+  };
+}
+
+// Procs come in per-class suffix families (_a, _b, ...) so
+// ProcInfo::tables stays static per proc (the scheduler routes by
+// declared table set, §2.1). pair_x is handled before this is called.
 storage::TableId proc_table(const std::string& proc) {
-  return proc.size() >= 2 && proc[proc.size() - 1] == 'b' ? kTableB
-                                                          : kTableA;
+  return storage::TableId(proc[proc.size() - 1] - 'a');
 }
 
-api::ProcRegistry make_check_registry() {
+api::ProcRegistry make_check_registry(int classes) {
   api::ProcRegistry reg;
-  for (storage::TableId t : {kTableA, kTableB}) {
-    const std::string sfx = t == kTableA ? "_a" : "_b";
+  for (storage::TableId t = 0; t < storage::TableId(classes); ++t) {
+    const std::string sfx = cls_sfx(t);
 
     // Two-row money transfer: the multi-row atomicity probe. A reader
     // that sees one leg without the other is a torn snapshot.
@@ -139,18 +145,20 @@ api::ProcRegistry make_check_registry() {
     reg.register_proc("sum" + sfx, sum);
   }
 
-  // Cross-class pair: one row from each class's table. The tag is a
-  // vector cut across two masters; each cell must match its own table's
-  // component.
+  // Cross-class pair: one row from each of two classes' tables, chosen
+  // per call ("ta"/"tb" params). The tag is a vector cut across two
+  // masters; each cell must match its own table's component. Declares
+  // every table so the scheduler's read gate covers any choice.
   api::ProcInfo px;
   px.read_only = true;
-  px.tables = {kTableA, kTableB};
+  for (storage::TableId t = 0; t < storage::TableId(classes); ++t)
+    px.tables.push_back(t);
   px.fn = [](api::Connection& c, const api::Params& p)
       -> sim::Task<api::TxnResult> {
     storage::Key k1{p.i("k1")};
     storage::Key k2{p.i("k2")};
-    auto ra = co_await c.get(kTableA, k1);
-    auto rb = co_await c.get(kTableB, k2);
+    auto ra = co_await c.get(storage::TableId(p.i("ta")), k1);
+    auto rb = co_await c.get(storage::TableId(p.i("tb")), k2);
     api::TxnResult res;
     res.values.push_back(ra ? std::get<int64_t>((*ra)[1]) : -1);
     res.values.push_back(rb ? std::get<int64_t>((*rb)[1]) : -1);
@@ -167,8 +175,9 @@ std::vector<int64_t> expect_read(const StateView& view,
   auto cell = [&](storage::TableId t, int64_t k) {
     return view.get(t, k).value_or(-1);
   };
-  if (proc == "pair_x") return {cell(kTableA, p.i("k1")),
-                                cell(kTableB, p.i("k2"))};
+  if (proc == "pair_x")
+    return {cell(storage::TableId(p.i("ta")), p.i("k1")),
+            cell(storage::TableId(p.i("tb")), p.i("k2"))};
   const storage::TableId t = proc_table(proc);
   if (proc.rfind("get", 0) == 0) return {cell(t, p.i("k"))};
   if (proc.rfind("pair", 0) == 0)
@@ -196,6 +205,7 @@ struct ClientState {
 struct Ctx {
   const CheckConfig& cfg;
   sim::Simulation& sim;
+  int classes = 2;  // clamped copy of cfg.classes
   std::vector<ClientState> clients{};
   size_t clients_done = 0;
 };
@@ -203,13 +213,17 @@ struct Ctx {
 sim::Task<> client_loop(Ctx& ctx, size_t ci, util::Rng rng) {
   ClientState& st = ctx.clients[ci];
   const int64_t rows = ctx.cfg.rows_per_table;
+  const uint64_t classes = uint64_t(ctx.classes);
+  auto pick_sfx = [&rng, classes] {
+    return cls_sfx(storage::TableId(rng.below(classes)));
+  };
   for (int op = 0; op < ctx.cfg.ops_per_client; ++op) {
     co_await ctx.sim.delay(
         sim::Time(rng.exponential(double(ctx.cfg.mean_think))));
     std::string proc;
     api::Params p;
     if (rng.chance(ctx.cfg.update_fraction)) {
-      const std::string sfx = rng.chance(0.5) ? "_a" : "_b";
+      const std::string sfx = pick_sfx();
       if (rng.chance(0.5)) {
         const int64_t src = int64_t(rng.below(uint64_t(rows)));
         int64_t dst = int64_t(rng.below(uint64_t(rows - 1)));
@@ -225,16 +239,21 @@ sim::Task<> client_loop(Ctx& ctx, size_t ci, util::Rng rng) {
     } else {
       const uint64_t pick = rng.below(100);
       if (pick < 35) {
-        proc = rng.chance(0.5) ? "get_a" : "get_b";
+        proc = "get" + pick_sfx();
         p.set("k", int64_t(rng.below(uint64_t(rows))));
       } else if (pick < 60) {
-        proc = rng.chance(0.5) ? "pair_a" : "pair_b";
+        proc = "pair" + pick_sfx();
         p.set("k1", int64_t(rng.below(uint64_t(rows))));
         p.set("k2", int64_t(rng.below(uint64_t(rows))));
       } else if (pick < 85) {
-        proc = rng.chance(0.5) ? "sum_a" : "sum_b";
+        proc = "sum" + pick_sfx();
       } else {
+        // Two distinct classes when there are two to pick from.
+        const int64_t ta = int64_t(rng.below(classes));
+        int64_t tb = classes > 1 ? int64_t(rng.below(classes - 1)) : 0;
+        if (classes > 1 && tb >= ta) ++tb;
         proc = "pair_x";
+        p.set("ta", ta).set("tb", tb);
         p.set("k1", int64_t(rng.below(uint64_t(rows))));
         p.set("k2", int64_t(rng.below(uint64_t(rows))));
       }
@@ -284,12 +303,14 @@ CheckReport run_check(const CheckConfig& cfg, const chaos::FaultPlan& plan) {
 
   Recorder rec(sim);
 
-  api::ProcRegistry reg = make_check_registry();
+  const int classes = std::max(1, std::min(26, cfg.classes));
+  api::ProcRegistry reg = make_check_registry(classes);
   core::DmvCluster::Config cc;
   cc.slaves = cfg.slaves;
   cc.spares = cfg.spares;
   cc.schedulers = cfg.schedulers;
-  cc.conflict_classes = {{kTableA}, {kTableB}};
+  for (storage::TableId t = 0; t < storage::TableId(classes); ++t)
+    cc.conflict_classes.push_back({t});
   cc.heartbeats = cfg.heartbeats;
   cc.batch_max_writesets = cfg.batch_max_writesets;
   cc.batch_delay = cfg.batch_delay;
@@ -304,6 +325,8 @@ CheckReport run_check(const CheckConfig& cfg, const chaos::FaultPlan& plan) {
   cc.scheduler.rng_seed = cfg.seed * 7919 + 17;
   cc.scheduler.mut_skip_ack_merge = cfg.mut_skip_ack_merge;
   cc.scheduler.mut_route_to_joiner = cfg.mut_route_to_joiner;
+  cc.scheduler.mut_wrong_class_route = cfg.mut_wrong_class_route;
+  cc.mut_wrong_class_route = cfg.mut_wrong_class_route;
   cc.engine.mut_skip_tag_upgrade = cfg.mut_skip_tag_upgrade;
   cc.engine.mut_apply_off_by_one = cfg.mut_apply_off_by_one;
   cc.engine.mut_skip_discard = cfg.mut_skip_discard;
@@ -313,10 +336,10 @@ CheckReport run_check(const CheckConfig& cfg, const chaos::FaultPlan& plan) {
   cc.persistence.checkpoint_period = cfg.persist_checkpoint_period;
   cc.persistence.max_lag = cfg.persist_max_lag;
   cc.persistence.mut_skip_suffix = cfg.mut_skip_suffix;
-  cc.schema = check_schema;
+  cc.schema = make_check_schema(classes);
   const int64_t rows = cfg.rows_per_table;
-  cc.loader = [rows](storage::Database& db) {
-    for (storage::TableId t : {kTableA, kTableB})
+  cc.loader = [rows, classes](storage::Database& db) {
+    for (storage::TableId t = 0; t < storage::TableId(classes); ++t)
       for (int64_t i = 0; i < rows; ++i)
         db.table(t).insert_row(
             storage::Row{i, initial_balance(t, i)});
@@ -340,6 +363,7 @@ CheckReport run_check(const CheckConfig& cfg, const chaos::FaultPlan& plan) {
       });
 
   Ctx ctx{cfg, sim};
+  ctx.classes = classes;
   util::Rng rng(cfg.seed ^ 0x5b4c1e9f3d2a7081ull);
   ctx.clients.resize(size_t(cfg.clients));
   for (int i = 0; i < cfg.clients; ++i) {
@@ -386,9 +410,9 @@ CheckReport run_check(const CheckConfig& cfg, const chaos::FaultPlan& plan) {
 
   // ---- replay the history through the sequential oracle ----
   OracleConfig oc;
-  oc.tables = 2;
-  oc.initial.resize(2);
-  for (storage::TableId t : {kTableA, kTableB})
+  oc.tables = size_t(classes);
+  oc.initial.resize(size_t(classes));
+  for (storage::TableId t = 0; t < storage::TableId(classes); ++t)
     for (int64_t i = 0; i < rows; ++i)
       oc.initial[t][i] = initial_balance(t, i);
   oc.expect = expect_read;
@@ -448,12 +472,27 @@ CheckReport run_check(const CheckConfig& cfg, const std::string& plan_str) {
   return run_check(cfg, *plan);
 }
 
+namespace {
+
+// Master node names follow DmvCluster: "master" for a single conflict
+// class, master0..masterN-1 otherwise.
+std::vector<std::string> master_victims(const CheckConfig& cfg) {
+  const int classes = std::max(1, cfg.classes);
+  if (classes == 1) return {"master"};
+  std::vector<std::string> v;
+  for (int c = 0; c < classes; ++c)
+    v.push_back("master" + std::to_string(c));
+  return v;
+}
+
+}  // namespace
+
 std::string random_fault_plan(const CheckConfig& cfg, uint64_t seed,
                               int faults) {
   util::Rng rng(seed * 0x9e3779b97f4a7c15ull + 0x2545f4914f6cdd1dull);
   // Victims chosen so <= 2 deaths always leave the cluster serviceable:
   // every class keeps a promotable replica and sched1+ stay alive.
-  std::vector<std::string> victims = {"master0", "master1"};
+  std::vector<std::string> victims = master_victims(cfg);
   for (int i = 0; i < cfg.slaves; ++i)
     victims.push_back("slave" + std::to_string(i));
   for (int i = 0; i < cfg.spares; ++i)
@@ -486,7 +525,7 @@ std::string random_disaster_plan(const CheckConfig& cfg, uint64_t seed) {
   // Warm-up mem-tier kills, never restarted: a rejoining engine could
   // still be mid-warmup when the wipe lands, and the drill's subject is
   // the persistence tier, not the join protocol.
-  std::vector<std::string> victims = {"master0", "master1"};
+  std::vector<std::string> victims = master_victims(cfg);
   for (int i = 0; i < cfg.slaves; ++i)
     victims.push_back("slave" + std::to_string(i));
   for (int i = 0; i < cfg.spares; ++i)
@@ -549,7 +588,7 @@ std::string random_geo_fault_plan(const CheckConfig& cfg, uint64_t seed,
   // (a master dying while a region is dark exercises the quorum
   // reconciliation: DiscardAbove acks from the dark region arrive only
   // after the heal, and recovery must elect the most caught-up survivor).
-  std::vector<std::string> victims = {"master0", "master1"};
+  std::vector<std::string> victims = master_victims(cfg);
   for (int i = 0; i < cfg.slaves; ++i)
     victims.push_back("slave" + std::to_string(i));
   for (int i = 0; i < cfg.spares; ++i)
@@ -613,7 +652,7 @@ std::string random_elastic_fault_plan(const CheckConfig& cfg, uint64_t seed,
   // A smaller dose of the usual deaths, so joins and drains compose with
   // fail-over (a master dying while a joiner catches up exercises the
   // §4.2 discard against a half-subscribed node).
-  std::vector<std::string> victims = {"master0", "master1"};
+  std::vector<std::string> victims = master_victims(cfg);
   for (int i = 0; i < cfg.spares; ++i)
     victims.push_back("spare" + std::to_string(i));
   if (cfg.schedulers > 1) victims.push_back("sched0");
@@ -628,6 +667,73 @@ std::string random_elastic_fault_plan(const CheckConfig& cfg, uint64_t seed,
       append("restart:" + v + "@t:" +
              std::to_string(t + 20000 + (long long)rng.below(40000)));
   }
+  return plan;
+}
+
+std::string random_multimaster_fault_plan(const CheckConfig& cfg,
+                                          uint64_t seed, int faults) {
+  util::Rng rng(seed * 0x9e3779b97f4a7c15ull + 0x243f6a8885a308d3ull);
+  std::string plan;
+  auto append = [&plan](const std::string& f) {
+    if (!plan.empty()) plan += ";";
+    plan += f;
+  };
+
+  // An elastic resize most of the time: a fresh slave joins mid-workload
+  // via §4.4 (under several masters' update streams at once), sometimes
+  // followed by a retire of an original slave.
+  if (rng.chance(0.6))
+    append("addslave@t:" +
+           std::to_string(2000 + (long long)rng.below(30000)));
+  if (cfg.slaves > 1 && rng.chance(0.3))
+    append("retire:slave" +
+           std::to_string(rng.below(uint64_t(cfg.slaves))) + "@t:" +
+           std::to_string(5000 + (long long)rng.below(30000)));
+
+  // In geo deployments, a healed region cut so class fail-overs compose
+  // with partitioned quorums.
+  const bool cut = cfg.regions >= 2 && rng.chance(0.5);
+  if (cut) {
+    std::vector<std::string> regions = {"local"};
+    for (size_t r = 1; r < cfg.regions; ++r)
+      regions.push_back("r" + std::to_string(r));
+    const size_t a = rng.below(regions.size());
+    size_t b = rng.below(regions.size() - 1);
+    if (b >= a) ++b;
+    const char* sep = rng.chance(0.25) ? ">" : "|";
+    const long long t = 2000 + (long long)rng.below(40000);
+    append("partition:" + regions[a] + sep + regions[b] + "@t:" +
+           std::to_string(t));
+    append("heal-partition:" + regions[a] + sep + regions[b] + "@t:" +
+           std::to_string(t + 3000 + (long long)rng.below(25000)));
+  }
+
+  // Kills biased toward the masters (listed twice): the point of this
+  // mode is concurrent per-class fail-overs — including two classes
+  // recovering at once and a surviving master adopting a headless class.
+  std::vector<std::string> victims = master_victims(cfg);
+  const std::vector<std::string> masters = victims;
+  victims.insert(victims.end(), masters.begin(), masters.end());
+  for (int i = 0; i < cfg.slaves; ++i)
+    victims.push_back("slave" + std::to_string(i));
+  for (int i = 0; i < cfg.spares; ++i)
+    victims.push_back("spare" + std::to_string(i));
+  if (cfg.schedulers > 1) victims.push_back("sched0");
+  std::set<std::string> killed;
+  const int kills = faults + int(rng.chance(0.3));
+  for (int i = 0; i < kills; ++i) {
+    const std::string& v = victims[rng.below(victims.size())];
+    if (!killed.insert(v).second) continue;
+    const long long t = 3000 + (long long)rng.below(47000);
+    append("kill:" + v + "@t:" + std::to_string(t));
+    if (v.rfind("sched", 0) != 0 && rng.chance(0.4))
+      append("restart:" + v + "@t:" +
+             std::to_string(t + 20000 + (long long)rng.below(40000)));
+  }
+
+  // Safety net (geo only): whatever is still cut heals long before the
+  // quiesce horizon.
+  if (cfg.regions >= 2) append("heal-partition@t:250000");
   return plan;
 }
 
@@ -771,8 +877,23 @@ const std::vector<Mutation>& mutation_list() {
            c.mut_route_to_joiner = true;
          },
          // A kill+restart drives the §4.4 rejoin whose answer_join the
-         // mutation corrupts.
-         "kill:slave0@t:5000;restart:slave0@t:12000"});
+         // mutation corrupts. The bug's window (a read dispatched in the
+         // short gap between answer_join and migration end) is narrow, so
+         // this one gets a deeper seed budget.
+         "kill:slave0@t:5000;restart:slave0@t:12000", 25});
+
+    m.push_back(
+        {"wrong-class-route",
+         "scheduler routes every update to the next class's master, "
+         "which adopts the foreign table instead of refusing — two "
+         "masters stamp one table's version stream",
+         {"snapshot-mismatch", "version-gap", "at-most-once"},
+         [busy](CheckConfig& c) {
+           busy(c);
+           c.update_fraction = 0.7;
+           c.mut_wrong_class_route = true;
+         },
+         ""});
     return m;
   }();
   return muts;

@@ -1,10 +1,11 @@
 // Property-based one-copy-serializability checker (dmv_check).
 //
-// run_check() builds a two-class DMV cluster (tables acct_a / acct_b, one
-// master each), installs a history Recorder as the check::Sink, runs a
-// randomized multi-row workload — two-row transfers, read-modify-writes,
-// single gets, two-row pair reads (torn-snapshot detectors, including one
-// crossing both conflict classes) and full-table range sums — composed
+// run_check() builds an N-class DMV cluster (one single-table conflict
+// class per master: tables acct_a, acct_b, ... — two classes by default),
+// installs a history Recorder as the check::Sink, runs a randomized
+// multi-row workload — two-row transfers, read-modify-writes, single
+// gets, two-row pair reads (torn-snapshot detectors, including one
+// crossing two conflict classes) and full-table range sums — composed
 // with an arbitrary FaultPlan schedule, then replays the recorded history
 // through the sequential Oracle. Everything is deterministic in
 // (CheckConfig, plan, seed): a failure reproduces from the one-line
@@ -37,8 +38,17 @@
 namespace dmv::check {
 
 struct CheckConfig {
-  int slaves = 2;       // per cluster (shared by both classes)
+  int slaves = 2;       // per cluster (shared by every class)
   int spares = 1;
+  // Conflict classes: one single-table class (and one update master) per
+  // entry; 2 reproduces the original two-class checker. Capped at 26
+  // (table names are acct_a .. acct_z).
+  int classes = 2;
+  // Multimaster composite mode (check_sweep --multimaster): marker used
+  // by repro lines; the sweep sets classes=3, a 2-region deployment with
+  // quorum commit, open pipeline windows, and
+  // random_multimaster_fault_plan schedules.
+  bool multimaster = false;
   int schedulers = 2;
   int clients = 3;
   int ops_per_client = 12;
@@ -91,6 +101,10 @@ struct CheckConfig {
   bool mut_reply_before_quorum = false;  // ack client before the quorum
   bool mut_route_to_joiner = false;  // route reads to a §4.4 joiner before
                                      // data migration caught it up
+  bool mut_wrong_class_route = false;  // scheduler routes updates to the
+                                       // next class's master, which adopts
+                                       // the foreign table instead of
+                                       // refusing
 };
 
 struct CheckReport {
@@ -143,6 +157,13 @@ std::string random_geo_fault_plan(const CheckConfig& cfg, uint64_t seed,
 // while the fleet is resizing in both directions.
 std::string random_elastic_fault_plan(const CheckConfig& cfg, uint64_t seed,
                                       int faults);
+
+// Multimaster composite schedule: kills biased toward the (several)
+// update masters — so concurrent per-class fail-overs and cross-class
+// adoptions happen — composed with elastic resizes (addslave/retire) and,
+// in geo deployments (cfg.regions >= 2), healed region cuts.
+std::string random_multimaster_fault_plan(const CheckConfig& cfg,
+                                          uint64_t seed, int faults);
 
 // One deliberately-planted bug + the evidence required to call it caught.
 struct Mutation {

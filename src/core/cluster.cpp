@@ -176,6 +176,7 @@ EngineNode::Config DmvCluster::engine_node_config() const {
   nc.quorum_commit = cfg_.quorum_commit;
   nc.write_quorum = cfg_.write_quorum;
   nc.mut_reply_before_quorum = cfg_.mut_reply_before_quorum;
+  nc.mut_wrong_class_route = cfg_.mut_wrong_class_route;
   return nc;
 }
 

@@ -55,6 +55,10 @@ class DmvCluster {
     int write_quorum = 0;  // 0 = majority of voters + master
     // Test-only mutation (see EngineNode::Config::mut_reply_before_quorum).
     bool mut_reply_before_quorum = false;
+    // Test-only mutation (see EngineNode::Config::mut_wrong_class_route;
+    // pair with Scheduler::Config::mut_wrong_class_route so the misrouted
+    // update is actually executed by the wrong master).
+    bool mut_wrong_class_route = false;
     // Failure detection: broken connections (default, detect_delay) plus,
     // optionally, heartbeats from the primary scheduler to every engine
     // node — the paper's "missed heartbeat messages" backstop, which also

@@ -581,6 +581,13 @@ sim::Task<> EngineNode::run_update(ExecTxn m) {
   // process asserting out from under the whole cluster.
   for (storage::TableId t : proc.tables) {
     if (!engine_->masters(t)) {
+      if (cfg_.mut_wrong_class_route) {
+        // Mutation: execute the misrouted update anyway, stamping versions
+        // off this node's non-authoritative counter for t — the
+        // two-masters-for-one-table bug the guard below rules out.
+        engine_->mut_adopt_tables({t});
+        continue;
+      }
       obs::instant("master.refused", obs::Cat::Txn, id_);
       TxnDone done;
       done.ok = false;

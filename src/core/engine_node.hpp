@@ -86,6 +86,12 @@ class EngineNode {
     // acks — the bug quorum reconciliation exists to rule out. Never set
     // outside bench/check_sweep --mutations.
     bool mut_reply_before_quorum = false;
+    // Test-only mutation: execute updates for tables this node does NOT
+    // master instead of refusing them (pairs with the scheduler-side
+    // wrong-class routing mutation: versions get stamped off a
+    // non-authoritative counter and two masters feed one table's stream).
+    // Never set outside bench/check_sweep --mutations.
+    bool mut_wrong_class_route = false;
   };
 
   EngineNode(net::Network& net, NodeId id, const api::ProcRegistry& procs,

@@ -46,7 +46,7 @@ void Scheduler::close_all_request_spans() {
   outstanding_per_node_.clear();
   for (auto& out : held_reads_) end_req_span(out, "scheduler_down");
   held_reads_.clear();
-  held_updates_.clear();
+  for (auto& cs : classes_) cs.held_updates.clear();
   held_joins_.clear();
 }
 
@@ -56,8 +56,18 @@ void Scheduler::set_topology(std::vector<NodeId> masters,
                              std::vector<NodeId> spares,
                              std::vector<NodeId> peers) {
   DMV_ASSERT(masters.size() == classes.size());
-  masters_ = std::move(masters);
-  classes_ = std::move(classes);
+  classes_.clear();
+  classes_.reserve(classes.size());
+  class_of_table_.assign(version_.size(), size_t(-1));
+  for (size_t c = 0; c < classes.size(); ++c) {
+    ClassState cs;
+    cs.master = masters[c];
+    cs.tables = std::move(classes[c]);
+    cs.version.assign(version_.size(), 0);
+    for (storage::TableId t : cs.tables)
+      if (t < class_of_table_.size()) class_of_table_[t] = c;
+    classes_.push_back(std::move(cs));
+  }
   slaves_ = std::move(slaves);
   spares_ = std::move(spares);
   peers_ = std::move(peers);
@@ -77,7 +87,7 @@ void Scheduler::start() {
       for (const auto& cls : classes_) {
         bool all = true;
         for (storage::TableId t : p.tables)
-          if (!cls.count(t)) {
+          if (!cls.tables.count(t)) {
             all = false;
             break;
           }
@@ -124,15 +134,24 @@ std::vector<NodeId> Scheduler::voter_pool() const {
 std::vector<NodeId> Scheduler::replicas_for_master(NodeId m) const {
   // A master replicates to every live node except itself: slaves, spares
   // and the other conflict-class masters (which are slaves for its tables).
+  // After a cross-class adoption one node may master several classes; the
+  // self-exclusion covers every class it holds, and duplicates (two classes
+  // sharing a master) collapse via the seen-set.
   std::vector<NodeId> out = live_replicas();
-  for (NodeId other : masters_)
-    if (other != m && other != net::kNoNode && net_.alive(other))
+  std::set<NodeId> seen(out.begin(), out.end());
+  for (const auto& cs : classes_) {
+    NodeId other = cs.master;
+    if (other != m && other != net::kNoNode && net_.alive(other) &&
+        seen.insert(other).second)
       out.push_back(other);
+  }
   return out;
 }
 
 bool Scheduler::any_master(NodeId n) const {
-  return std::find(masters_.begin(), masters_.end(), n) != masters_.end();
+  for (const auto& cs : classes_)
+    if (cs.master == n) return true;
+  return false;
 }
 
 size_t Scheduler::class_of(const api::ProcInfo& proc) const {
@@ -140,7 +159,7 @@ size_t Scheduler::class_of(const api::ProcInfo& proc) const {
   for (size_t c = 0; c < classes_.size(); ++c) {
     bool all = true;
     for (storage::TableId t : proc.tables)
-      if (!classes_[c].count(t)) {
+      if (!classes_[c].tables.count(t)) {
         all = false;
         break;
       }
@@ -155,6 +174,20 @@ size_t Scheduler::class_of(const api::ProcInfo& proc) const {
   return 0;  // not reached
 }
 
+void Scheduler::merge_versions(const VersionVec& v) {
+  // Single write path for version knowledge: the read tag version_ and the
+  // owning class's vector advance together, so the invariant
+  // version_ == merge over classes of class vectors holds at every step.
+  const size_t n = std::min(v.size(), version_.size());
+  for (size_t t = 0; t < n; ++t) {
+    if (v[t] <= version_[t]) continue;
+    version_[t] = v[t];
+    const size_t c = t < class_of_table_.size() ? class_of_table_[t]
+                                                : size_t(-1);
+    if (c < classes_.size()) classes_[c].version[t] = v[t];
+  }
+}
+
 void Scheduler::answer_join(NodeId joiner) {
   // Support selection skips slaves that are themselves mid-join (or
   // draining out): a joiner seeded from a peer that hasn't caught up yet
@@ -166,13 +199,13 @@ void Scheduler::answer_join(NodeId joiner) {
       break;
     }
   if (support == net::kNoNode)
-    for (NodeId m : masters_)
-      if (m != net::kNoNode && net_.alive(m)) {
-        support = m;
+    for (const auto& cs : classes_)
+      if (cs.master != net::kNoNode && net_.alive(cs.master)) {
+        support = cs.master;
         break;
       }
   JoinInfo info;
-  for (NodeId m : masters_) info.masters.push_back(m);
+  for (const auto& cs : classes_) info.masters.push_back(cs.master);
   info.support = support;
   net_.send(id_, joiner, std::move(info), 64);
   joining_.insert(joiner);
@@ -186,7 +219,7 @@ void Scheduler::answer_join(NodeId joiner) {
 void Scheduler::answer_or_park_join(NodeId joiner) {
   // §4.4: point the joiner at the masters and a support slave. During
   // master recovery, park the joiner until the new master is known.
-  if (!recovering_classes_.empty()) {
+  if (recovering()) {
     held_joins_.push_back(joiner);
     return;
   }
@@ -201,8 +234,9 @@ void Scheduler::answer_or_park_join(NodeId joiner) {
     return;
   }
   bool masters_ok = true;
-  for (NodeId m : masters_)
-    if (m == net::kNoNode || !net_.alive(m)) masters_ok = false;
+  for (const auto& cs : classes_)
+    if (cs.master == net::kNoNode || !net_.alive(cs.master))
+      masters_ok = false;
   if (!masters_ok) {
     // No coherent master set and no recovery running that would restore
     // one: reject (empty JoinInfo) so the joiner backs off and retries
@@ -232,9 +266,11 @@ sim::Task<> Scheduler::main_loop() {
     } else if (const auto* done = net::as<TxnDone>(*env)) {
       handle_txn_done(env->from, *done);
     } else if (const auto* g = net::as<VersionGossip>(*env)) {
-      merge_max(version_, g->version);
+      merge_versions(g->version);
     } else if (const auto* tg = net::as<TopologyGossip>(*env)) {
-      masters_ = tg->masters;
+      if (tg->masters.size() == classes_.size())
+        for (size_t c = 0; c < classes_.size(); ++c)
+          classes_[c].master = tg->masters[c];
       slaves_ = tg->slaves;
       spares_ = tg->spares;
       // Gossip sent before a retirement began must not reinstate the
@@ -267,7 +303,7 @@ sim::Task<> Scheduler::main_loop() {
           break;
         }
     } else if (const auto* ar = net::as<AbortAllReply>(*env)) {
-      merge_max(version_, ar->version);
+      merge_versions(ar->version);
       if (takeover_wait_ && takeover_wait_->pending.erase(env->from))
         takeover_wait_->wq->notify_all();
     } else if (const auto* jr = net::as<JoinRequest>(*env)) {
@@ -325,15 +361,23 @@ void Scheduler::end_req_span(Outstanding& out, const char* status) {
 void Scheduler::route_update(Outstanding out) {
   begin_req_span(out, "sched.update");
   const api::ProcInfo& proc = procs_.find(out.client.proc);
-  const size_t cls = class_of(proc);
-  if (recovering_classes_.count(cls)) {
+  size_t cls = class_of(proc);
+  // Misroute every other update: consistently sending a class to the
+  // wrong master is just a swapped (still single-writer) assignment, but
+  // alternating makes the home master and the wrong master stamp the
+  // same table's version stream concurrently.
+  if (cfg_.mut_wrong_class_route && classes_.size() > 1 &&
+      (mut_route_flip_++ & 1))
+    cls = (cls + 1) % classes_.size();
+  ClassState& cs = classes_[cls];
+  if (cs.recovering) {
     // The span cannot follow the bare ClientRequest into the hold queue; a
     // fresh one opens when the request is re-routed after recovery.
     end_req_span(out, "parked_for_recovery");
-    held_updates_.push_back(std::move(out.client));
+    cs.held_updates.push_back(std::move(out.client));
     return;
   }
-  const NodeId master = cls < masters_.size() ? masters_[cls] : net::kNoNode;
+  const NodeId master = cs.master;
   if (master == net::kNoNode || !net_.alive(master)) {
     end_req_span(out, "no_master");
     reply_client(out.client, false, {});
@@ -349,8 +393,10 @@ void Scheduler::route_update(Outstanding out) {
   m.origin = out.client.reply_to;
   m.origin_req = out.client.req_id;
   out.node = master;
+  out.cls = cls;
   ++outstanding_per_node_[master];
   ++stats_.updates_routed;
+  ++cs.updates_routed;
   outstanding_[rid] = std::move(out);
   net_.send(id_, master, std::move(m), 512);
 }
@@ -402,10 +448,12 @@ NodeId Scheduler::pick_read_replica() {
     // outside its class (with a single class this reads at-latest on the
     // master), then a spare, both under the same admission limit. Saturated
     // live slaves do NOT divert to the master — those reads queue (§2.2).
-    for (NodeId m : masters_)
+    for (const auto& cs : classes_) {
+      NodeId m = cs.master;
       if (m != net::kNoNode && net_.alive(m) &&
           outstanding_per_node_[m] < cfg_.max_reads_inflight_per_node)
         return m;
+    }
     for (NodeId s : spares_)
       if (net_.alive(s) &&
           outstanding_per_node_[s] < cfg_.max_reads_inflight_per_node)
@@ -441,13 +489,13 @@ bool Scheduler::try_dispatch_read(Outstanding& out) {
 bool Scheduler::reads_serviceable() const {
   for (NodeId s : slaves_)
     if (net_.alive(s)) return true;
-  for (NodeId m : masters_)
-    if (m != net::kNoNode && net_.alive(m)) return true;
+  for (const auto& cs : classes_)
+    if (cs.master != net::kNoNode && net_.alive(cs.master)) return true;
   for (NodeId s : spares_)
     if (net_.alive(s)) return true;
   // A recovery in flight may still promote a node back into service;
   // parked reads are re-pumped (or failed) when it finishes.
-  return !recovering_classes_.empty();
+  return recovering();
 }
 
 void Scheduler::route_read(Outstanding out) {
@@ -495,7 +543,8 @@ void Scheduler::handle_txn_done(NodeId from, const TxnDone& d) {
 
   if (d.ok) {
     if (!out.read_only) {
-      if (!cfg_.mut_skip_ack_merge) merge_max(version_, d.db_version);
+      if (!cfg_.mut_skip_ack_merge) merge_versions(d.db_version);
+      if (out.cls < classes_.size()) ++classes_[out.cls].commits;
       if (auto* s = check::sink()) s->update_ack(id_, d.db_version);
       obs::count("sched.commits", id_);
       // §4.6: log the committed update's queries, ship to the on-disk
@@ -562,8 +611,11 @@ void Scheduler::broadcast_replica_sets() {
   // voters: fail-over never elects a retiree, so a commit quorum-acked
   // only by one could be lost when it is killed at drain end.
   const std::vector<NodeId> voters = voter_pool();
-  for (NodeId m : masters_) {
-    if (m == net::kNoNode || !net_.alive(m)) continue;
+  std::set<NodeId> sent;  // one node may master several classes
+  for (const auto& cs : classes_) {
+    NodeId m = cs.master;
+    if (m == net::kNoNode || !net_.alive(m) || !sent.insert(m).second)
+      continue;
     net_.send(id_, m, ReplicaSetUpdate{replicas_for_master(m), voters}, 128);
   }
 }
@@ -626,8 +678,10 @@ void Scheduler::on_node_killed(NodeId n) {
     gossip_topology();
   }
   if (was_master) {
-    for (size_t c = 0; c < masters_.size(); ++c)
-      if (masters_[c] == n) maybe_spawn_recovery(c);
+    // A node may master several classes (cross-class adoption); each
+    // affected class recovers independently.
+    for (size_t c = 0; c < classes_.size(); ++c)
+      if (classes_[c].master == n) maybe_spawn_recovery(c);
   }
   if (was_slave || was_spare || was_retiring) pump_held_reads();
 }
@@ -636,8 +690,11 @@ void Scheduler::maybe_spawn_recovery(size_t cls) {
   // The class is marked recovering at spawn time, not at coroutine start:
   // duplicate failure notifications (broken connection + heartbeat) and
   // requests racing the first recovery event both observe the flag.
-  if (recovering_classes_.count(cls)) return;
-  recovering_classes_.insert(cls);
+  ClassState& cs = classes_[cls];
+  if (cs.recovering) return;
+  cs.recovering = true;
+  ++cs.recoveries;
+  cs.recovery_start = net_.sim().now();
   net_.sim().spawn(recover_master(cls));
 }
 
@@ -690,27 +747,32 @@ sim::Task<> Scheduler::recover_master(size_t cls) {
   recovery.attr("class", std::to_string(cls));
   ++stats_.recoveries;
   stats_.master_recovery_start = net_.sim().now();
-  const NodeId dead_master = masters_[cls];
+  const NodeId dead_master = classes_[cls].master;
   if (dead_master != net::kNoNode) fail_outstanding_on(dead_master);
-  masters_[cls] = net::kNoNode;
+  classes_[cls].master = net::kNoNode;
   broadcast_replica_sets();  // surviving masters stop waiting on the dead
 
   // 1. Everyone discards write-sets of the failed class above the last
-  //    version it acknowledged to us (§4.2). The wait is liveness-aware:
-  //    a target dying before acking is pruned from the pending set
+  //    version it acknowledged to us (§4.2). The confirmed baseline is the
+  //    CLASS vector projected onto the class's tables (zero elsewhere):
+  //    concurrent recoveries of other classes each clamp only the entries
+  //    they own, so they compose. The wait is liveness-aware: a target
+  //    dying before acking is pruned from the pending set
   //    (prune_waits_for), so recovery can never hang on a dead node's ack.
-  const VersionVec confirmed = version_;
-  std::vector<storage::TableId> cls_tables(classes_[cls].begin(),
-                                           classes_[cls].end());
+  VersionVec confirmed(version_.size(), 0);
+  for (storage::TableId t : classes_[cls].tables)
+    if (t < confirmed.size()) confirmed[t] = classes_[cls].version[t];
+  std::vector<storage::TableId> cls_tables(classes_[cls].tables.begin(),
+                                           classes_[cls].tables.end());
   if (auto* s = check::sink()) s->discard(id_, confirmed, cls_tables);
   const uint64_t token = next_token_++;
   {
     AckWaitSet& dw = discard_waits_[token];
     dw.wq = std::make_unique<sim::WaitQueue>(net_.sim());
     for (NodeId n : live_replicas()) dw.pending.insert(n);
-    for (NodeId other : masters_)
-      if (other != net::kNoNode && net_.alive(other))
-        dw.pending.insert(other);
+    for (const auto& other : classes_)
+      if (other.master != net::kNoNode && net_.alive(other.master))
+        dw.pending.insert(other.master);
     for (NodeId n : dw.pending)
       net_.send(id_, n, DiscardAbove{confirmed, cls_tables, token}, 128);
   }
@@ -737,7 +799,10 @@ sim::Task<> Scheduler::recover_master(size_t cls) {
   //    arbitrary survivor could lose it; the quorum intersects the live
   //    candidates, so the max-received one holds every acked write. Ties
   //    keep the historical order (first live slave, spares last). If the
-  //    candidate dies before completing promotion, elect another.
+  //    candidate dies before completing promotion, elect another. When no
+  //    slave or spare survives at all, a live other-class master ADOPTS the
+  //    class: engine promotion is additive, so one node can master several
+  //    classes, and the class stays available instead of going headless.
   const auto cls_score = [&](NodeId n) {
     auto it = received.find(n);
     if (it == received.end()) return uint64_t(0);
@@ -749,8 +814,10 @@ sim::Task<> Scheduler::recover_master(size_t cls) {
     return score;
   };
   NodeId new_master = net::kNoNode;
+  bool adopted = false;
   for (;;) {
     new_master = net::kNoNode;
+    adopted = false;
     uint64_t best = 0;
     for (NodeId s : slaves_)
       if (net_.alive(s) &&
@@ -764,6 +831,20 @@ sim::Task<> Scheduler::recover_master(size_t cls) {
         new_master = s;
         best = cls_score(s);
       }
+    if (new_master == net::kNoNode) {
+      // Cross-class adoption fallback. Other masters received the discard
+      // too, so their post-discard vectors are in `received` and the
+      // max-received argument still holds.
+      for (const auto& other : classes_) {
+        NodeId m = other.master;
+        if (m == net::kNoNode || !net_.alive(m)) continue;
+        if (new_master == net::kNoNode || cls_score(m) > best) {
+          new_master = m;
+          best = cls_score(m);
+          adopted = true;
+        }
+      }
+    }
     if (new_master == net::kNoNode) break;
     erase_value(slaves_, new_master);
     erase_value(spares_, new_master);
@@ -781,6 +862,7 @@ sim::Task<> Scheduler::recover_master(size_t cls) {
     }
     obs::SpanGuard promote("failover.promote", obs::Cat::Recovery, id_);
     promote.attr("new_master", std::to_string(new_master));
+    if (adopted) obs::instant("failover.adopt", obs::Cat::Recovery, id_);
     net_.send(id_, new_master, std::move(pm), 256);
     for (;;) {
       PromoteWait& pw = promote_waits_[ptok];
@@ -797,36 +879,45 @@ sim::Task<> Scheduler::recover_master(size_t cls) {
     // a dead new master would leave the class headless forever.
     if (done && net_.alive(new_master)) {
       promote.done();
-      merge_max(version_, done->version);
+      merge_versions(done->version);
       break;
     }
     obs::instant("failover.reelect", obs::Cat::Recovery, id_);
   }
 
   if (new_master == net::kNoNode) {
-    // Whole in-memory tier is gone; fail queued updates (the on-disk
-    // back-end still holds all committed data).
-    for (auto& req : held_updates_) reply_client(req, false, {});
-    held_updates_.clear();
-    recovering_classes_.erase(cls);
-    if (recovering_classes_.empty()) answer_held_joins();  // rejected
+    // Whole in-memory tier is gone; fail THIS class's queued updates (the
+    // on-disk back-end still holds all committed data). Other classes'
+    // queues are their own recoveries' business.
+    ClassState& cs = classes_[cls];
+    auto held = std::move(cs.held_updates);
+    cs.held_updates.clear();
+    for (auto& req : held) reply_client(req, false, {});
+    cs.recovering = false;
+    cs.recovery_end = net_.sim().now();
+    if (!recovering()) answer_held_joins();  // rejected
     pump_held_reads();  // fails them: nothing serviceable remains
     co_return;
   }
-  masters_[cls] = new_master;
+  classes_[cls].master = new_master;
 
   // 3. The promoted node left the read rotation; backfill with a spare.
-  if (cfg_.auto_integrate_spare) integrate_spare();
+  //    An adopting master never was in the rotation, so nothing to refill.
+  if (!adopted && cfg_.auto_integrate_spare) integrate_spare();
   broadcast_replica_sets();
   gossip_topology();
 
-  recovering_classes_.erase(cls);
-  stats_.master_recovery_end = net_.sim().now();
-  // Serve joiners and updates that arrived mid-recovery.
-  if (recovering_classes_.empty()) {
-    answer_held_joins();
-    auto held = std::move(held_updates_);
-    held_updates_.clear();
+  {
+    ClassState& cs = classes_[cls];
+    cs.recovering = false;
+    cs.recovery_end = net_.sim().now();
+    stats_.master_recovery_end = net_.sim().now();
+    // Joiners wait for a fully coherent master set; updates do NOT — this
+    // class's parked queue drains the moment ITS master is back, so one
+    // class's fail-over never stalls another class's commits.
+    if (!recovering()) answer_held_joins();
+    auto held = std::move(cs.held_updates);
+    cs.held_updates.clear();
     for (auto& req : held) {
       Outstanding out;
       out.client = std::move(req);
@@ -864,11 +955,13 @@ sim::Task<> Scheduler::takeover() {
   // §4.1: ask the masters to abort unconfirmed transactions and report the
   // authoritative version vector. Liveness-aware: a master that dies after
   // this liveness check but before replying is pruned from the pending set
-  // by prune_waits_for, so the takeover cannot wedge on it.
+  // by prune_waits_for, so the takeover cannot wedge on it. The pending
+  // set dedupes a node that masters several classes.
   takeover_wait_ = std::make_unique<AckWaitSet>();
   takeover_wait_->wq = std::make_unique<sim::WaitQueue>(net_.sim());
-  for (NodeId m : masters_)
-    if (m != net::kNoNode && net_.alive(m)) takeover_wait_->pending.insert(m);
+  for (const auto& cs : classes_)
+    if (cs.master != net::kNoNode && net_.alive(cs.master))
+      takeover_wait_->pending.insert(cs.master);
   for (NodeId m : takeover_wait_->pending)
     net_.send(id_, m, AbortAllRequest{id_}, 64);
   while (!takeover_wait_->pending.empty()) {
@@ -883,8 +976,9 @@ sim::Task<> Scheduler::takeover() {
 
   // Classes whose master died while we were standing by (or during the
   // abort-all wait) never got a recovery from the dead primary: run it now.
-  for (size_t c = 0; c < masters_.size(); ++c)
-    if (masters_[c] == net::kNoNode || !net_.alive(masters_[c]))
+  for (size_t c = 0; c < classes_.size(); ++c)
+    if (classes_[c].master == net::kNoNode ||
+        !net_.alive(classes_[c].master))
       maybe_spawn_recovery(c);
   if (cfg_.auto_integrate_spare && slaves_.empty()) integrate_spare();
   gossip_topology();
@@ -894,7 +988,7 @@ sim::Task<> Scheduler::takeover() {
 void Scheduler::gossip_topology() {
   for (NodeId p : peers_)
     if (net_.alive(p))
-      net_.send(id_, p, TopologyGossip{masters_, slaves_, spares_}, 256);
+      net_.send(id_, p, TopologyGossip{masters(), slaves_, spares_}, 256);
 }
 
 }  // namespace dmv::core

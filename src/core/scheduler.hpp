@@ -14,6 +14,15 @@
 // fraction of reads is diverted to spare backups to keep their caches warm
 // (§4.5 technique 1).
 //
+// Per-class state: everything a master owns — its table set, the version
+// vector entries for those tables, the queue of updates parked during its
+// recovery, and its election/fail-over progress — lives in one ClassState
+// object per conflict class. The scheduler's read tag is the elementwise
+// merge of every class vector, maintained incrementally in version_
+// (invariant: version_[t] == class_state(class_of_table(t)).version[t]),
+// so cross-class reads see one totally-consistent snapshot across all
+// masters without an O(classes) merge per read.
+//
 // Recovery: the scheduler's only hard state is the version vector, gossiped
 // to peer schedulers on every commit (§4.1). It subscribes to failure
 // notifications and orchestrates §4.2/§4.3 recovery: on slave death it
@@ -21,7 +30,10 @@
 // from the rotation, integrating a spare backup if one is available; on
 // master death it confirms the last acknowledged version of that class,
 // has all replicas discard partially-propagated write-sets above it,
-// elects a new master and promotes it. A standby scheduler takes over on
+// elects a new master and promotes it. Classes fail over independently:
+// each class's parked updates drain the moment ITS recovery finishes, and
+// if no slave or spare survives, a surviving other-class master adopts the
+// class (engine promotion is additive). A standby scheduler takes over on
 // primary death by asking the masters to abort unconfirmed transactions
 // and adopting their version.
 #pragma once
@@ -69,6 +81,36 @@ class Scheduler {
     // up — the bug the joining_ gate exists to rule out. Never set outside
     // bench/check_sweep --mutations.
     bool mut_route_to_joiner = false;
+    // Test-only mutation: route every OTHER update to the NEXT class's
+    // master instead of its own, so the home master and the wrong master
+    // stamp the same table's version stream — the misrouting bug
+    // class_of()'s validation and the engine's mastership guard exist to
+    // rule out (pair with the engine-side guard bypass so the wrong
+    // master actually executes). Never set outside bench/check_sweep
+    // --mutations.
+    bool mut_wrong_class_route = false;
+  };
+
+  // Everything one conflict class's master owns, replicated per class so
+  // N masters fail over, queue, and account independently.
+  struct ClassState {
+    NodeId master = net::kNoNode;
+    std::set<storage::TableId> tables;
+    // Class-projected version vector: authoritative for this class's
+    // tables (merged from its master's commit acks and peer gossip), zero
+    // elsewhere. The scheduler-wide read tag version_ is the elementwise
+    // merge of every class vector.
+    VersionVec version;
+    bool recovering = false;
+    // Updates for this class parked during ITS master's recovery; other
+    // classes keep committing meanwhile.
+    std::deque<ClientRequest> held_updates;
+    // Per-class accounting (aggregates live in SchedulerStats).
+    uint64_t updates_routed = 0;
+    uint64_t commits = 0;
+    uint64_t recoveries = 0;
+    sim::Time recovery_start = -1;
+    sim::Time recovery_end = -1;
   };
 
   Scheduler(net::Network& net, NodeId id, const api::ProcRegistry& procs,
@@ -115,19 +157,43 @@ class Scheduler {
   const VersionVec& version() const { return version_; }
   // Convenience for single-class deployments.
   NodeId master() const {
-    return masters_.empty() ? net::kNoNode : masters_[0];
+    return classes_.empty() ? net::kNoNode : classes_[0].master;
   }
-  const std::vector<NodeId>& masters() const { return masters_; }
+  // Materialized per-class master list (by value: the per-class objects
+  // own the entries now).
+  std::vector<NodeId> masters() const {
+    std::vector<NodeId> out;
+    out.reserve(classes_.size());
+    for (const auto& cs : classes_) out.push_back(cs.master);
+    return out;
+  }
   const std::vector<NodeId>& slaves() const { return slaves_; }
   const std::vector<NodeId>& spares() const { return spares_; }
+  size_t class_count() const { return classes_.size(); }
+  const ClassState& class_state(size_t cls) const { return classes_[cls]; }
+  // Recomputed merge of every class vector — equals version() by the
+  // maintained invariant; tests assert the two stay in lockstep.
+  VersionVec merged_snapshot_tag() const {
+    VersionVec out(version_.size(), 0);
+    for (const auto& cs : classes_) merge_max(out, cs.version);
+    return out;
+  }
   SchedulerStats& stats() { return stats_; }
   size_t outstanding() const { return outstanding_.size(); }
 
   // ---- invariant-checker probes (dmv_chaos) ----
   size_t held_reads() const { return held_reads_.size(); }
-  size_t held_updates() const { return held_updates_.size(); }
+  size_t held_updates() const {
+    size_t n = 0;
+    for (const auto& cs : classes_) n += cs.held_updates.size();
+    return n;
+  }
   size_t held_joins() const { return held_joins_.size(); }
-  bool recovering() const { return !recovering_classes_.empty(); }
+  bool recovering() const {
+    for (const auto& cs : classes_)
+      if (cs.recovering) return true;
+    return false;
+  }
   // Sum of per-node in-flight counters; must equal outstanding() (and hit
   // zero) at quiesce.
   uint64_t inflight_total() const {
@@ -157,6 +223,7 @@ class Scheduler {
     ClientRequest client;
     NodeId node = net::kNoNode;
     bool read_only = true;
+    size_t cls = 0;  // conflict class (updates only; per-class accounting)
     int retries = 0;
     // Request-lifetime trace span: opened on routing, closed on the final
     // client reply (survives version-abort retries and admission queueing).
@@ -179,6 +246,9 @@ class Scheduler {
   // Conflict class whose table set covers the proc's tables (paper: the
   // scheduler is preconfigured with each transaction type's tables).
   size_t class_of(const api::ProcInfo& proc) const;
+  // Merge a committed/gossiped vector into the read tag AND the owning
+  // classes' vectors, preserving the version_-equals-merge invariant.
+  void merge_versions(const VersionVec& v);
   sim::Task<> recover_master(size_t cls);
   void maybe_spawn_recovery(size_t cls);
   sim::Task<> takeover();
@@ -207,11 +277,14 @@ class Scheduler {
   Config cfg_;
   util::Rng rng_;
   bool is_primary_ = false;
-  std::set<size_t> recovering_classes_;
+  uint64_t mut_route_flip_ = 0;  // mut_wrong_class_route's alternator
   std::shared_ptr<bool> alive_;
 
-  std::vector<NodeId> masters_;  // per conflict class
-  std::vector<std::set<storage::TableId>> classes_;
+  // One entry per conflict class; never resized after set_topology (so
+  // references held across coroutine suspension stay valid).
+  std::vector<ClassState> classes_;
+  // table -> owning class, for O(1) per-table merges.
+  std::vector<size_t> class_of_table_;
   std::vector<NodeId> slaves_;
   std::vector<NodeId> spares_;
   std::vector<NodeId> peers_;
@@ -224,14 +297,13 @@ class Scheduler {
   // until the controller kills them).
   std::set<NodeId> retiring_;
 
-  VersionVec version_;
+  VersionVec version_;  // merge of every class vector (the read tag)
   uint64_t next_req_ = 1;
   std::map<uint64_t, Outstanding> outstanding_;
   std::map<NodeId, uint64_t> outstanding_per_node_;
   std::map<NodeId, VersionVec> last_tag_;
-  std::deque<ClientRequest> held_updates_;  // queued during recovery
-  std::deque<Outstanding> held_reads_;      // admission-control queue
-  std::vector<NodeId> held_joins_;          // joiners arriving mid-recovery
+  std::deque<Outstanding> held_reads_;  // admission-control queue
+  std::vector<NodeId> held_joins_;      // joiners arriving mid-recovery
 
   std::function<void(const std::vector<txn::OpRecord>&, const VersionVec&)>
       persist_;

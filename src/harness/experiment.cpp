@@ -1,5 +1,7 @@
 #include "harness/experiment.hpp"
 
+#include "tpcw/sharding.hpp"
+
 namespace dmv::harness {
 
 // ---------- DmvExperiment ----------
@@ -34,7 +36,8 @@ DmvExperiment::DmvExperiment(Config cfg)
     cross.jitter = cfg_.cross_jitter;
     cross.detect_delay = cfg_.cross_detect_delay;
   }
-  registry_ = tpcw::make_registry(cfg_.workload.scale);
+  const size_t classes = std::max<size_t>(1, cfg_.workload.classes);
+  registry_ = tpcw::make_sharded_registry(cfg_.workload.scale, classes);
 
   core::DmvCluster::Config cc;
   cc.slaves = cfg_.slaves;
@@ -62,8 +65,14 @@ DmvExperiment::DmvExperiment(Config cfg)
   cc.prewarm_spares = cfg_.prewarm_spares;
   cc.enable_persistence = cfg_.persistence;
   cc.persistence.engine.costs = cfg_.costs;
-  cc.schema = tpcw::build_schema;
-  cc.loader = tpcw::make_loader(cfg_.workload.scale);
+  if (classes > 1) {
+    cc.conflict_classes = tpcw::sharded_conflict_classes(classes);
+    cc.schema = tpcw::make_sharded_schema(classes);
+    cc.loader = tpcw::make_sharded_loader(cfg_.workload.scale, classes);
+  } else {
+    cc.schema = tpcw::build_schema;
+    cc.loader = tpcw::make_loader(cfg_.workload.scale);
+  }
   cluster_ = std::make_unique<core::DmvCluster>(*net_, registry_, cc);
   cluster_->start();
 }
@@ -88,14 +97,25 @@ std::shared_ptr<bool> DmvExperiment::add_client_wave(size_t n) {
   base.client_id = next_client_id_;
   const size_t first = next_client_id_;
   next_client_id_ += n;
+  const size_t classes = std::max<size_t>(1, cfg_.workload.classes);
   auto wave = tpcw::spawn_clients(
       *sim_, n, base,
-      [this, first](size_t i) -> tpcw::ExecuteFn {
+      [this, first, classes](size_t i) -> tpcw::ExecuteFn {
         conns_.push_back(
             cluster_->make_client("client" + std::to_string(first + i)));
         core::ClusterClient* c = conns_.back().get();
-        return [c](const std::string& proc, api::Params p) {
-          return c->execute(proc, std::move(p));
+        if (classes <= 1)
+          return [c](const std::string& proc, api::Params p) {
+            return c->execute(proc, std::move(p));
+          };
+        // Pin the client to its conflict class: every interaction goes to
+        // the shard-suffixed proc, which the scheduler routes to that
+        // class's master.
+        const size_t shard = tpcw::zipf_shard(first + i, classes,
+                                              cfg_.workload.class_skew);
+        return [c, shard, classes](const std::string& proc, api::Params p) {
+          return c->execute(tpcw::shard_proc(proc, shard, classes),
+                            std::move(p));
         };
       },
       series_.recorder(), flag);

@@ -19,6 +19,13 @@ struct WorkloadConfig {
   size_t clients = 100;
   sim::Time think_mean = 700 * sim::kMsec;
   sim::Time bucket = 20 * sim::kSec;
+  // Conflict-class sharding (§2.1 multi-master): run `classes` full TPC-W
+  // stores side by side, one update master per class. Each client is
+  // pinned to a shard — round-robin by client id, or zipfian-skewed when
+  // class_skew > 0 so one conflict class runs hot while the rest stay
+  // cold (the class-isolation stress). 1 = the stock single-master TPC-W.
+  size_t classes = 1;
+  double class_skew = 0;
 };
 
 // A scripted fault: at `at`, run `action` against the cluster.

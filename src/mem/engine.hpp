@@ -130,6 +130,15 @@ class MemEngine {
   // Promote a slave: adopt received versions as produced versions, roll all
   // pending mods forward so updates run against the newest state.
   sim::Task<> promote(std::set<storage::TableId> tables);
+  // Test-only (dmv_check wrong-class-route mutation): start mastering
+  // `tables` WITHOUT the promote protocol — produced versions stay wherever
+  // they were, so two masters now stamp the same table's stream. This is
+  // the bug the scheduler's class validation and the engine node's
+  // mastership guard exist to rule out. Never called outside
+  // bench/check_sweep --mutations.
+  void mut_adopt_tables(const std::set<storage::TableId>& tables) {
+    master_tables_.insert(tables.begin(), tables.end());
+  }
 
   // --- transactions ---
   // `reuse_ts`: pass the previous attempt's ts when restarting after a

@@ -32,8 +32,25 @@ std::function<void(storage::Database&)> make_loader(ScaleConfig scale) {
   return [scale](storage::Database& db) {
     DMV_ASSERT_MSG(db.table_count() == kTableCount,
                    "build_schema must run before the loader");
+    load_tpcw(db, scale, 0);
+  };
+}
+
+void load_tpcw(storage::Database& db, const ScaleConfig& scale,
+               storage::TableId base) {
+  DMV_ASSERT_MSG(db.table_count() >= base + kTableCount,
+                 "build_schema must run before the loader");
+  {
     util::Rng rng(scale.seed);
     const auto& subj = subjects();
+    const auto kCountry = storage::TableId(base + tpcw::kCountry);
+    const auto kAuthor = storage::TableId(base + tpcw::kAuthor);
+    const auto kAddress = storage::TableId(base + tpcw::kAddress);
+    const auto kItem = storage::TableId(base + tpcw::kItem);
+    const auto kCustomer = storage::TableId(base + tpcw::kCustomer);
+    const auto kOrders = storage::TableId(base + tpcw::kOrders);
+    const auto kOrderLine = storage::TableId(base + tpcw::kOrderLine);
+    const auto kCcXacts = storage::TableId(base + tpcw::kCcXacts);
 
     // countries
     for (int64_t co = 1; co <= scale.num_countries(); ++co) {
@@ -133,7 +150,7 @@ std::function<void(storage::Database&)> make_loader(ScaleConfig scale) {
               rng.between(2007, 2012), "auth", sub * 1.08, date,
               1 + rng.between(0, scale.num_countries() - 1)});
     }
-  };
+  }
 }
 
 }  // namespace dmv::tpcw

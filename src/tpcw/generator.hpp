@@ -37,6 +37,12 @@ struct ScaleConfig {
 // an empty database with the initial image.
 std::function<void(storage::Database&)> make_loader(ScaleConfig scale);
 
+// Loader core: fill one TPC-W store whose tables start at `base` (the
+// sharded deployments lay out N full stores at base = shard * kTableCount;
+// the default single store is base 0).
+void load_tpcw(storage::Database& db, const ScaleConfig& scale,
+               storage::TableId base);
+
 // Non-uniform item selection, TPC-style (hot subset of the catalogue —
 // this is what makes the working set a fraction of the database).
 int64_t random_item(util::Rng& rng, const ScaleConfig& scale);

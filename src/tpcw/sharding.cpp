@@ -1,0 +1,125 @@
+#include "tpcw/sharding.hpp"
+
+#include <cmath>
+
+namespace dmv::tpcw {
+
+namespace {
+
+// Forwards every table access shifted into the shard's id range; the
+// interaction bodies keep addressing tables by the base enum. Lives on the
+// wrapper proc's coroutine frame, so it outlives every awaited call.
+class OffsetConnection : public api::Connection {
+ public:
+  OffsetConnection(api::Connection& base, storage::TableId off)
+      : base_(base), off_(off) {}
+  bool read_only() const override { return base_.read_only(); }
+  sim::Task<std::optional<storage::Row>> get(
+      storage::TableId t, const storage::Key& pk) override {
+    return base_.get(storage::TableId(off_ + t), pk);
+  }
+  sim::Task<std::vector<storage::Row>> scan(storage::TableId t,
+                                            api::ScanSpec spec) override {
+    return base_.scan(storage::TableId(off_ + t), std::move(spec));
+  }
+  sim::Task<bool> insert(storage::TableId t,
+                         const storage::Row& row) override {
+    return base_.insert(storage::TableId(off_ + t), row);
+  }
+  sim::Task<bool> update(
+      storage::TableId t, const storage::Key& pk,
+      const std::function<void(storage::Row&)>& mutate) override {
+    return base_.update(storage::TableId(off_ + t), pk, mutate);
+  }
+  sim::Task<bool> remove(storage::TableId t,
+                         const storage::Key& pk) override {
+    return base_.remove(storage::TableId(off_ + t), pk);
+  }
+
+ private:
+  api::Connection& base_;
+  storage::TableId off_;
+};
+
+sim::Task<api::TxnResult> run_offset(api::ProcFn fn, storage::TableId off,
+                                     api::Connection& c,
+                                     const api::Params& p) {
+  OffsetConnection oc(c, off);
+  co_return co_await fn(oc, p);
+}
+
+}  // namespace
+
+std::string shard_proc(const std::string& base, size_t shard,
+                       size_t shards) {
+  if (shards <= 1) return base;
+  return base + "@" + std::to_string(shard);
+}
+
+std::function<void(storage::Database&)> make_sharded_schema(size_t shards) {
+  return [shards](storage::Database& db) {
+    for (size_t s = 0; s < shards; ++s) build_schema(db);
+  };
+}
+
+std::function<void(storage::Database&)> make_sharded_loader(ScaleConfig scale,
+                                                            size_t shards) {
+  return [scale, shards](storage::Database& db) {
+    for (size_t s = 0; s < shards; ++s) {
+      ScaleConfig sc = scale;
+      sc.seed = scale.seed + 0x9e3779b9u * uint64_t(s);
+      load_tpcw(db, sc, storage::TableId(s * kTableCount));
+    }
+  };
+}
+
+api::ProcRegistry make_sharded_registry(const ScaleConfig& scale,
+                                        size_t shards) {
+  if (shards <= 1) return make_registry(scale);
+  const api::ProcRegistry base = make_registry(scale);
+  api::ProcRegistry out;
+  for (size_t s = 0; s < shards; ++s) {
+    const auto off = storage::TableId(s * kTableCount);
+    base.for_each([&](const std::string& name, const api::ProcInfo& info) {
+      api::ProcInfo p;
+      p.read_only = info.read_only;
+      for (storage::TableId t : info.tables)
+        p.tables.push_back(storage::TableId(off + t));
+      p.fn = [fn = info.fn, off](api::Connection& c, const api::Params& pa) {
+        return run_offset(fn, off, c, pa);
+      };
+      out.register_proc(shard_proc(name, s, shards), std::move(p));
+    });
+  }
+  return out;
+}
+
+std::vector<std::vector<storage::TableId>> sharded_conflict_classes(
+    size_t shards) {
+  std::vector<std::vector<storage::TableId>> out(shards);
+  for (size_t s = 0; s < shards; ++s)
+    for (storage::TableId t = 0; t < kTableCount; ++t)
+      out[s].push_back(storage::TableId(s * kTableCount + t));
+  return out;
+}
+
+size_t zipf_shard(uint64_t key, size_t shards, double theta) {
+  if (shards <= 1) return 0;
+  if (theta <= 0) return size_t(key % shards);
+  // Deterministic: hash the key to a uniform in [0,1), walk the zipf CDF.
+  uint64_t z = key + 0x9e3779b97f4a7c15ull;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  z ^= z >> 31;
+  const double u = double(z >> 11) / double(1ull << 53);
+  double norm = 0;
+  for (size_t s = 0; s < shards; ++s) norm += std::pow(double(s + 1), -theta);
+  double acc = 0;
+  for (size_t s = 0; s < shards; ++s) {
+    acc += std::pow(double(s + 1), -theta) / norm;
+    if (u < acc) return s;
+  }
+  return shards - 1;
+}
+
+}  // namespace dmv::tpcw
