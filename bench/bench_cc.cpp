@@ -53,6 +53,8 @@ struct Run {
   double restart_rate = 0;       // cc_restarts / (commits + restarts)
   uint64_t lock_waits = 0;
   double lock_wait_total_ms = 0;
+  uint64_t restart_storms = 0;  // txns whose retries outran the backoff cap
+  double host_spv = 0;          // host sec / virtual sec for the run
   std::vector<ClassStats> per_class;  // one entry per conflict class
 };
 
@@ -67,6 +69,7 @@ Run run(mem::CcMode mode, size_t clients, sim::Time end, bool batched,
   cfg.cc_mode = mode;
   cfg.trace = true;  // update-latency + lock-wait numbers come from spans
   apply_batching(cfg, batched);
+  WallTimer wall;
   harness::DmvExperiment exp(cfg);
   exp.start();
   exp.run_until(end);
@@ -74,6 +77,7 @@ Run run(mem::CcMode mode, size_t clients, sim::Time end, bool batched,
 
   const sim::Time warm = 10 * sim::kSec;
   Run r;
+  r.host_spv = host_sec_per_virtual_sec(wall, exp.sim().now());
   r.wips = exp.series().wips(warm, end);
   r.lat_ms = exp.series().latency(warm, end) * 1000;
   r.update_commits = exp.cluster().total_update_commits();
@@ -92,6 +96,7 @@ Run run(mem::CcMode mode, size_t clients, sim::Time end, bool batched,
         exp.cluster().master(c).engine().stats().update_commits;
     if (c < sched.class_count()) cs.routed = sched.class_state(c).updates_routed;
     r.cc_restarts += cs.cc_restarts;
+    r.restart_storms += ns.restart_storms;
     r.per_class.push_back(cs);
   }
   r.restart_rate = double(r.cc_restarts) /
@@ -137,6 +142,8 @@ void emit(std::ostream& os, const char* key, const Run& r, bool last) {
      << "    \"reader_version_aborts\": " << r.version_aborts << ",\n"
      << "    \"lock_waits\": " << r.lock_waits << ",\n"
      << "    \"lock_wait_total_ms\": " << r.lock_wait_total_ms << ",\n"
+     << "    \"restart_storms\": " << r.restart_storms << ",\n"
+     << "    \"host_sec_per_virtual_sec\": " << r.host_spv << ",\n"
      << "    \"per_class\": [";
   for (size_t c = 0; c < r.per_class.size(); ++c) {
     const ClassStats& cs = r.per_class[c];

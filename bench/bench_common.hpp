@@ -8,6 +8,7 @@
 // shapes are the reproduction target, not absolute magnitudes.
 #pragma once
 
+#include <chrono>
 #include <cstring>
 #include <iostream>
 
@@ -16,6 +17,26 @@
 #include "obs/export.hpp"
 
 namespace dmv::bench {
+
+// Wall-clock cost of a simulated run: host seconds per virtual second.
+// Every bench JSON reports it so CI can (softly) gate kernel-speed
+// regressions alongside the simulated metrics.
+class WallTimer {
+ public:
+  WallTimer() : t0_(std::chrono::steady_clock::now()) {}
+  double seconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         t0_)
+        .count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point t0_;
+};
+
+inline double host_sec_per_virtual_sec(const WallTimer& t, sim::Time virt) {
+  return virt > 0 ? t.seconds() / sim::to_seconds(virt) : 0.0;
+}
 
 // Tracing flags shared by the figure benches:
 //   --trace <file>   capture a Chrome trace_event JSON of a traced run

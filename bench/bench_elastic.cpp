@@ -43,9 +43,11 @@ struct Run {
   uint64_t scale_outs = 0, scale_ins = 0;
   double first_scale_out_s = -1;
   size_t slaves_final = 0;
+  double host_spv = 0;  // host sec / virtual sec for the run
 };
 
 Run run(bool elastic, const Timeline& tl) {
+  WallTimer wall;
   harness::DmvExperiment::Config cfg;
   cfg.workload = default_workload(tpcw::Mix::Shopping, tl.base_clients);
   cfg.workload.bucket = 5 * sim::kSec;
@@ -73,6 +75,7 @@ Run run(bool elastic, const Timeline& tl) {
   Run r;
   r.slaves_final = exp.cluster().live_slave_count();
   exp.stop();
+  r.host_spv = host_sec_per_virtual_sec(wall, exp.sim().now());
 
   const sim::Time leave = tl.crowd_at + tl.crowd_hold;
   const harness::Series& s = exp.series();
@@ -105,7 +108,8 @@ void emit(std::ostream& os, const char* key, const Run& r, bool last) {
      << "    \"scale_outs\": " << r.scale_outs << ",\n"
      << "    \"scale_ins\": " << r.scale_ins << ",\n"
      << "    \"first_scale_out_s\": " << r.first_scale_out_s << ",\n"
-     << "    \"slaves_final\": " << r.slaves_final << "\n"
+     << "    \"slaves_final\": " << r.slaves_final << ",\n"
+     << "    \"host_sec_per_virtual_sec\": " << r.host_spv << "\n"
      << "  }" << (last ? "\n" : ",\n");
 }
 

@@ -36,6 +36,7 @@ struct Run {
   uint64_t wan_bytes = 0;
   double msgs_per_commit = 0;   // (ws + ack) / update commits
   double bytes_per_commit = 0;  // ws bytes / update commits
+  double host_spv = 0;          // host sec / virtual sec for the run
 };
 
 Run run(bool quorum, size_t clients, sim::Time end) {
@@ -48,6 +49,7 @@ Run run(bool quorum, size_t clients, sim::Time end) {
   cfg.cross_base_latency = kCrossBase;
   cfg.costs = calibrated_costs();
   apply_batching(cfg, true);  // lazy catch-up rides the batched stream
+  WallTimer wall;
   harness::DmvExperiment exp(cfg);
   exp.start();
   exp.run_until(end);
@@ -55,6 +57,7 @@ Run run(bool quorum, size_t clients, sim::Time end) {
 
   const sim::Time warm = 10 * sim::kSec;
   Run r;
+  r.host_spv = host_sec_per_virtual_sec(wall, exp.sim().now());
   r.wips = exp.series().wips(warm, end);
   r.lat_ms = exp.series().latency(warm, end) * 1000;
   r.update_commits = exp.cluster().total_update_commits();
@@ -91,7 +94,8 @@ void emit(std::ostream& os, const char* key, const Run& r, bool last) {
      << "    \"wan_messages\": " << r.wan_messages << ",\n"
      << "    \"wan_bytes\": " << r.wan_bytes << ",\n"
      << "    \"messages_per_commit\": " << r.msgs_per_commit << ",\n"
-     << "    \"bytes_per_commit\": " << r.bytes_per_commit << "\n"
+     << "    \"bytes_per_commit\": " << r.bytes_per_commit << ",\n"
+     << "    \"host_sec_per_virtual_sec\": " << r.host_spv << "\n"
      << "  }" << (last ? "\n" : ",\n");
 }
 

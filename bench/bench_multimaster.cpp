@@ -34,10 +34,12 @@ struct Run {
   double wips = 0;
   double lat_ms = 0;
   uint64_t update_commits = 0;
+  double host_spv = 0;  // host sec / virtual sec for the run
   std::vector<ClassRow> per_class;
 };
 
 Run run(size_t classes, size_t clients, sim::Time end, double skew) {
+  WallTimer wall;
   harness::DmvExperiment::Config cfg;
   cfg.workload = default_workload(tpcw::Mix::Ordering, clients);
   cfg.workload.bucket = 5 * sim::kSec;
@@ -52,6 +54,7 @@ Run run(size_t classes, size_t clients, sim::Time end, double skew) {
 
   const sim::Time warm = 10 * sim::kSec;
   Run r;
+  r.host_spv = host_sec_per_virtual_sec(wall, exp.sim().now());
   r.classes = classes;
   r.wips = exp.series().wips(warm, end);
   r.lat_ms = exp.series().latency(warm, end) * 1000;
@@ -73,6 +76,7 @@ void emit_point(std::ostream& os, const Run& r, double scaling, bool last) {
   os << "    {\"classes\": " << r.classes << ", \"wips\": " << r.wips
      << ", \"latency_ms\": " << r.lat_ms
      << ", \"update_commits\": " << r.update_commits
+     << ", \"host_sec_per_virtual_sec\": " << r.host_spv
      << ", \"wips_vs_1_class\": " << scaling << ", \"per_class\": [";
   for (size_t c = 0; c < r.per_class.size(); ++c) {
     const ClassRow& row = r.per_class[c];

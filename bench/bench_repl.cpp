@@ -44,6 +44,7 @@ struct Run {
   uint64_t batch_messages = 0;  // WriteSetBatchMsg only
   double msgs_per_commit = 0;   // (ws + ack) / update commits
   double bytes_per_commit = 0;  // ws bytes / update commits
+  double host_spv = 0;          // host sec / virtual sec for the run
 };
 
 Run run(bool batched, size_t clients, sim::Time end,
@@ -57,10 +58,12 @@ Run run(bool batched, size_t clients, sim::Time end,
   cfg.costs = calibrated_costs();
   cfg.trace = opts.tracing();
   apply_batching(cfg, batched);
+  WallTimer wall;
   harness::DmvExperiment exp(cfg);
   exp.start();
   exp.run_until(end);
   exp.stop();
+  const double host_spv = host_sec_per_virtual_sec(wall, exp.sim().now());
   if (opts.tracing()) {
     // Separate trace files per mode; span tables print under a header.
     BenchOptions mode_opts = opts;
@@ -74,6 +77,7 @@ Run run(bool batched, size_t clients, sim::Time end,
 
   const sim::Time warm = 10 * sim::kSec;
   Run r;
+  r.host_spv = host_spv;
   r.wips = exp.series().wips(warm, end);
   r.lat_ms = exp.series().latency(warm, end) * 1000;
   r.update_commits = exp.cluster().total_update_commits();
@@ -101,7 +105,8 @@ void emit(std::ostream& os, const char* key, const Run& r, bool last) {
      << "    \"writeset_bytes\": " << r.ws_bytes << ",\n"
      << "    \"ack_messages\": " << r.ack_messages << ",\n"
      << "    \"messages_per_commit\": " << r.msgs_per_commit << ",\n"
-     << "    \"bytes_per_commit\": " << r.bytes_per_commit << "\n"
+     << "    \"bytes_per_commit\": " << r.bytes_per_commit << ",\n"
+     << "    \"host_sec_per_virtual_sec\": " << r.host_spv << "\n"
      << "  }" << (last ? "\n" : ",\n");
 }
 

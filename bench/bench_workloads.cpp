@@ -1,0 +1,263 @@
+// Workload diversity + DES kernel bench.
+//
+// Runs the four workload families (src/workload/) — tpcw (shopping mix),
+// ycsb (zipfian KV), orders (write-heavy order entry), scan (reporting,
+// long snapshot pins) — against the same bench_cc-shaped cluster (8
+// slaves, calibrated costs), and reports per workload:
+//
+//   - WIPS, mean and p99 latency (simulated metrics),
+//   - host_sec_per_virtual_sec for BOTH event-queue kinds (calendar vs
+//     the binary-heap ablation baseline) — the end-to-end kernel cost,
+//   - a kernel-only replay: the calendar run records its schedule-op
+//     stream (Simulation::set_trace_sink — push deltas and pops), which
+//     is then replayed through both EventQueue kinds with no work
+//     attached. The replay isolates queue cost from everything else; its
+//     calendar-vs-heap ratio is the headline kernel speedup.
+//
+// Results go to BENCH_workloads.json (CI perf artifact). With
+// --baseline FILE the bench compares each workload's calendar
+// host_sec_per_virtual_sec against a previous run's JSON and exits 3
+// (soft gate: CI marks the step continue-on-error) when any regresses
+// by more than 20%.
+//
+//   bench_workloads [--quick] [--out FILE] [--baseline FILE]
+//                   [--workload tpcw|ycsb|orders|scan]
+#include <algorithm>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "bench_common.hpp"
+#include "sim/event_queue.hpp"
+
+using namespace dmv;
+using namespace dmv::bench;
+
+namespace {
+
+struct WlRun {
+  double wips = 0;
+  double lat_ms = 0;
+  double p99_ms = 0;
+  uint64_t errors = 0;
+  uint64_t events = 0;          // kernel events processed (calendar run)
+  uint64_t restart_storms = 0;  // txns that outran the occ backoff cap
+  double cal_spv = 0;           // host sec / virtual sec, calendar
+  double heap_spv = 0;          // host sec / virtual sec, binary heap
+  size_t trace_ops = 0;         // recorded schedule ops
+  double replay_cal_s = 0;      // kernel-only replay, calendar
+  double replay_heap_s = 0;     // kernel-only replay, binary heap
+  double e2e_speedup() const {
+    return cal_spv > 0 ? heap_spv / cal_spv : 0;
+  }
+  double replay_speedup() const {
+    return replay_cal_s > 0 ? replay_heap_s / replay_cal_s : 0;
+  }
+};
+
+harness::DmvExperiment::Config
+make_config(workload::Kind kind, size_t clients, sim::EventQueue::Kind q) {
+  harness::DmvExperiment::Config cfg;
+  cfg.workload = default_workload(tpcw::Mix::Shopping, clients);
+  cfg.workload.kind = kind;
+  cfg.workload.bucket = 5 * sim::kSec;
+  cfg.slaves = 8;
+  cfg.costs = calibrated_costs();
+  cfg.queue_kind = q;
+  return cfg;
+}
+
+// One end-to-end run; fills the metric fields for the calendar pass and
+// records the schedule-op stream into `ops` when non-null.
+double run_e2e(workload::Kind kind, size_t clients, sim::Time end,
+               sim::EventQueue::Kind q, WlRun* out,
+               std::vector<int64_t>* ops, size_t ops_cap) {
+  WallTimer wall;
+  harness::DmvExperiment exp(make_config(kind, clients, q));
+  if (ops) exp.sim().set_trace_sink(ops, ops_cap);
+  exp.start();
+  exp.run_until(end);
+  exp.stop();
+  const double spv = host_sec_per_virtual_sec(wall, exp.sim().now());
+  if (out) {
+    const sim::Time warm = 10 * sim::kSec;
+    out->wips = exp.series().wips(warm, end);
+    out->lat_ms = exp.series().latency(warm, end) * 1000;
+    out->p99_ms = exp.series().latency_p99(warm, end) * 1000;
+    out->errors = exp.series().errors();
+    out->events = exp.sim().events_processed();
+    for (size_t c = 0; c < exp.cluster().master_count(); ++c)
+      out->restart_storms += exp.cluster().master(c).stats().restart_storms;
+  }
+  return spv;
+}
+
+// Kernel-only replay: feed the recorded op stream (push deltas / pops)
+// through a bare EventQueue with no work attached. The stream starts
+// mid-run (the sink attaches after cluster construction), so pops can
+// momentarily outnumber pushes — an empty-queue pop is skipped.
+double replay(sim::EventQueue::Kind kind, const std::vector<int64_t>& ops) {
+  sim::EventQueue q(kind);
+  sim::Time now = 0;
+  uint64_t seq = 0;
+  WallTimer wall;
+  for (int64_t op : ops) {
+    if (op >= 0) {
+      q.push(sim::Event{now + op, seq++, {}});
+    } else if (!q.empty()) {
+      sim::Event ev = q.pop();
+      now = ev.at;
+    }
+  }
+  while (!q.empty()) {
+    sim::Event ev = q.pop();
+    now = ev.at;
+  }
+  return wall.seconds();
+}
+
+WlRun run_workload(workload::Kind kind, size_t clients, sim::Time end,
+                   size_t ops_cap) {
+  WlRun r;
+  std::vector<int64_t> ops;
+  ops.reserve(ops_cap);
+  r.cal_spv = run_e2e(kind, clients, end, sim::EventQueue::Kind::Calendar,
+                      &r, &ops, ops_cap);
+  r.heap_spv = run_e2e(kind, clients, end,
+                       sim::EventQueue::Kind::BinaryHeap, nullptr, nullptr,
+                       0);
+  r.trace_ops = ops.size();
+  r.replay_cal_s = replay(sim::EventQueue::Kind::Calendar, ops);
+  r.replay_heap_s = replay(sim::EventQueue::Kind::BinaryHeap, ops);
+  return r;
+}
+
+// Minimal baseline probe: find `"<wl>"` then the first
+// `"host_sec_per_virtual_sec": <num>` after it.
+double baseline_spv(const std::string& json, const std::string& wl) {
+  const size_t at = json.find("\"" + wl + "\"");
+  if (at == std::string::npos) return -1;
+  const std::string key = "\"host_sec_per_virtual_sec\":";
+  const size_t k = json.find(key, at);
+  if (k == std::string::npos) return -1;
+  return std::atof(json.c_str() + k + key.size());
+}
+
+void emit(std::ostream& os, const char* key, const WlRun& r, bool last) {
+  os << "  \"" << key << "\": {\n"
+     << "    \"wips\": " << r.wips << ",\n"
+     << "    \"latency_ms\": " << r.lat_ms << ",\n"
+     << "    \"latency_p99_ms\": " << r.p99_ms << ",\n"
+     << "    \"client_errors\": " << r.errors << ",\n"
+     << "    \"events_processed\": " << r.events << ",\n"
+     << "    \"restart_storms\": " << r.restart_storms << ",\n"
+     << "    \"host_sec_per_virtual_sec\": " << r.cal_spv << ",\n"
+     << "    \"heap_host_sec_per_virtual_sec\": " << r.heap_spv << ",\n"
+     << "    \"e2e_speedup\": " << r.e2e_speedup() << ",\n"
+     << "    \"kernel_replay\": {\"ops\": " << r.trace_ops
+     << ", \"calendar_sec\": " << r.replay_cal_s
+     << ", \"heap_sec\": " << r.replay_heap_s
+     << ", \"speedup\": " << r.replay_speedup() << "}\n"
+     << "  }" << (last ? "\n" : ",\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool quick = false;
+  std::string out_path = "BENCH_workloads.json";
+  std::string baseline_path;
+  std::string only;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) {
+      quick = true;
+    } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--baseline") == 0 && i + 1 < argc) {
+      baseline_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--workload") == 0 && i + 1 < argc) {
+      only = argv[++i];
+    } else {
+      std::cerr << "usage: bench_workloads [--quick] [--out FILE] "
+                   "[--baseline FILE] [--workload NAME]\n";
+      return 2;
+    }
+  }
+  const size_t clients = quick ? 400 : 1200;
+  const sim::Time end = (quick ? 30 : 60) * sim::kSec;
+  const size_t ops_cap = quick ? 2'000'000 : 4'000'000;
+
+  const std::vector<workload::Kind> kinds = {
+      workload::Kind::Tpcw, workload::Kind::Ycsb, workload::Kind::Orders,
+      workload::Kind::Scan};
+
+  std::cout << "# bench_workloads — 8 slaves, " << clients << " clients, "
+            << end / sim::kSec << "s virtual, four workload families\n";
+
+  std::vector<std::pair<std::string, WlRun>> runs;
+  for (workload::Kind k : kinds) {
+    const std::string name = workload::kind_name(k);
+    if (!only.empty() && name != only) continue;
+    WlRun r = run_workload(k, clients, end, ops_cap);
+    std::cout << "  " << name << ": wips=" << harness::fmt(r.wips)
+              << " lat=" << harness::fmt(r.lat_ms, 1) << "ms p99="
+              << harness::fmt(r.p99_ms, 1) << "ms spv="
+              << harness::fmt(r.cal_spv, 4) << " (heap "
+              << harness::fmt(r.heap_spv, 4) << ", e2e "
+              << harness::fmt(r.e2e_speedup(), 2) << "x) replay "
+              << harness::fmt(r.replay_speedup(), 2) << "x over "
+              << r.trace_ops << " ops\n";
+    runs.emplace_back(name, r);
+  }
+  if (runs.empty()) {
+    std::cerr << "unknown --workload '" << only << "'\n";
+    return 2;
+  }
+
+  double min_replay = 1e30;
+  for (const auto& [name, r] : runs)
+    min_replay = std::min(min_replay, r.replay_speedup());
+
+  std::ofstream os(out_path);
+  os << "{\n"
+     << "  \"bench\": \"bench_workloads\",\n"
+     << "  \"config\": {\"slaves\": 8, \"clients\": " << clients
+     << ", \"virtual_seconds\": " << end / sim::kSec << "},\n";
+  for (size_t i = 0; i < runs.size(); ++i)
+    emit(os, runs[i].first.c_str(), runs[i].second, false);
+  os << "  \"kernel_replay_speedup_min\": " << min_replay << "\n"
+     << "}\n";
+  std::cout << "# wrote " << out_path << "\n";
+
+  // Soft gate: warn (exit 3) when any workload's calendar-kernel host
+  // cost regressed >20% against the provided baseline JSON.
+  if (!baseline_path.empty()) {
+    std::ifstream bf(baseline_path);
+    if (!bf) {
+      std::cout << "# no baseline at " << baseline_path
+                << " — skipping the regression gate\n";
+      return 0;
+    }
+    std::stringstream ss;
+    ss << bf.rdbuf();
+    const std::string json = ss.str();
+    bool regressed = false;
+    for (const auto& [name, r] : runs) {
+      const double base = baseline_spv(json, name);
+      if (base <= 0) continue;
+      const double delta = 100.0 * (r.cal_spv / base - 1.0);
+      std::cout << "# " << name << ": host_sec_per_virtual_sec "
+                << harness::fmt(r.cal_spv, 4) << " vs baseline "
+                << harness::fmt(base, 4) << " ("
+                << harness::fmt(delta, 1) << "%)\n";
+      if (r.cal_spv > 1.2 * base) regressed = true;
+    }
+    if (regressed) {
+      std::cout << "# SOFT GATE: kernel host cost regressed >20% on at "
+                   "least one workload\n";
+      return 3;
+    }
+  }
+  return 0;
+}

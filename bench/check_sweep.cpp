@@ -102,6 +102,8 @@ std::string repro_line(const check::CheckConfig& cfg,
   if (cfg.classes != d.classes)
     s += " --classes " + std::to_string(cfg.classes);
   if (cfg.mvcc) s += " --cc=mvcc";
+  if (cfg.workload != d.workload)
+    s += std::string(" --workload ") + check::check_workload_name(cfg.workload);
   return s;
 }
 
@@ -199,6 +201,15 @@ int main(int argc, char** argv) {
       opt.base.batch_delay = 500;
       opt.base.ack_every_n = 4;
       opt.base.ack_delay = 500;
+    } else if (a == "--workload" || a.rfind("--workload=", 0) == 0) {
+      const std::string name =
+          a == "--workload" ? next()
+                            : a.substr(std::string("--workload=").size());
+      if (!check::parse_check_workload(name, &opt.base.workload)) {
+        std::cerr << "unknown --workload '" << name
+                  << "' (expected mixed, ycsb, orders or scan)\n";
+        return 2;
+      }
     } else if (a == "--classes") {
       opt.base.classes = std::stoi(next());
     } else if (a == "--verbose") {
@@ -238,15 +249,17 @@ int main(int argc, char** argv) {
              "[--multimaster] [--classes N] "
              "[--artifacts DIR] "
              "[--verbose] [--batched] [--cc MODE]\n"
-             "                   [--slaves N] [--spares N] [--schedulers N] "
+             "                   [--workload mixed|ycsb|orders|scan] "
+             "[--slaves N] [--spares N] [--schedulers N] "
              "[--clients N] [--ops N]\n";
       return 2;
     }
   }
   if (opt.quick)
-    opt.seeds =
-        opt.disaster || opt.geo || opt.elastic || opt.multimaster ? 100
-                                                                  : 200;
+    opt.seeds = opt.disaster || opt.geo || opt.elastic || opt.multimaster ||
+                        opt.base.workload != check::CheckWorkload::Mixed
+                    ? 100
+                    : 200;
 
   if (opt.plan_given) {
     std::string err;

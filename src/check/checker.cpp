@@ -1,5 +1,6 @@
 #include "check/checker.hpp"
 
+#include <algorithm>
 #include <set>
 #include <sstream>
 
@@ -11,6 +12,7 @@
 #include "core/cluster.hpp"
 #include "core/persistence_binding.hpp"
 #include "util/rng.hpp"
+#include "util/zipf.hpp"
 
 namespace dmv::check {
 namespace {
@@ -143,6 +145,77 @@ api::ProcRegistry make_check_registry(int classes) {
       co_return res;
     };
     reg.register_proc("sum" + sfx, sum);
+
+    // Bounded pk range scan [k1, k2] in key order (the ycsb short-scan
+    // shape): a snapshot probe over a window instead of the whole table.
+    api::ProcInfo range;
+    range.read_only = true;
+    range.tables = {t};
+    range.fn = [t](api::Connection& c, const api::Params& p)
+        -> sim::Task<api::TxnResult> {
+      api::ScanSpec spec;
+      spec.lo = storage::Key{p.i("k1")};
+      spec.hi = storage::Key{p.i("k2")};
+      auto rows = co_await c.scan(t, std::move(spec));
+      api::TxnResult res;
+      res.rows = rows.size();
+      for (const auto& r : rows)
+        res.values.push_back(std::get<int64_t>(r[1]));
+      co_return res;
+    };
+    reg.register_proc("range" + sfx, range);
+
+    // Multi-row read-modify-write (the order-entry shape): bump n keys in
+    // one transaction — k0 is conventionally the hot sequence row, so
+    // concurrent mrmws serialize (or conflict) there like new_order does
+    // on the district row.
+    api::ProcInfo mrmw;
+    mrmw.read_only = false;
+    mrmw.tables = {t};
+    mrmw.fn = [t](api::Connection& c, const api::Params& p)
+        -> sim::Task<api::TxnResult> {
+      const int64_t n = p.i("n");
+      const int64_t add = p.i("add");
+      bool ok = true;
+      for (int64_t i = 0; i < n; ++i) {
+        storage::Key k{p.i("k" + std::to_string(i))};
+        const std::function<void(storage::Row&)> bump =
+            [add](storage::Row& r) {
+              r[1] = std::get<int64_t>(r[1]) + add;
+            };
+        const bool found = co_await c.update(t, k, bump);
+        ok = ok && found;
+      }
+      api::TxnResult res;
+      res.ok = ok;
+      co_return res;
+    };
+    reg.register_proc("mrmw" + sfx, mrmw);
+
+    // Chunked full-table report: the whole table read as `chunks` chained
+    // range scans inside ONE transaction. Every chunk must come from the
+    // same snapshot — the probe for scans that drop or outrun their tag
+    // mid-transaction (and for long snapshot pins generally).
+    api::ProcInfo report;
+    report.read_only = true;
+    report.tables = {t};
+    report.fn = [t](api::Connection& c, const api::Params& p)
+        -> sim::Task<api::TxnResult> {
+      const int64_t rows = p.i("rows");
+      const int64_t chunks = p.i("chunks");
+      api::TxnResult res;
+      for (int64_t k = 0; k < chunks; ++k) {
+        api::ScanSpec spec;
+        spec.lo = storage::Key{k * rows / chunks};
+        spec.hi = storage::Key{(k + 1) * rows / chunks - 1};
+        auto part = co_await c.scan(t, std::move(spec));
+        res.rows += part.size();
+        for (const auto& r : part)
+          res.values.push_back(std::get<int64_t>(r[1]));
+      }
+      co_return res;
+    };
+    reg.register_proc("report" + sfx, report);
   }
 
   // Cross-class pair: one row from each of two classes' tables, chosen
@@ -182,7 +255,17 @@ std::vector<int64_t> expect_read(const StateView& view,
   if (proc.rfind("get", 0) == 0) return {cell(t, p.i("k"))};
   if (proc.rfind("pair", 0) == 0)
     return {cell(t, p.i("k1")), cell(t, p.i("k2"))};
-  if (proc.rfind("sum", 0) == 0) {
+  if (proc.rfind("range", 0) == 0) {
+    const int64_t lo = p.i("k1");
+    const int64_t hi = p.i("k2");
+    std::vector<int64_t> out;
+    for (const auto& [key, value] : view.scan(t))
+      if (key >= lo && key <= hi) out.push_back(value);
+    return out;
+  }
+  // sum and report both cover the whole table in key order (report's
+  // chunk bounds partition [0, rows) exactly), so they share one model.
+  if (proc.rfind("sum", 0) == 0 || proc.rfind("report", 0) == 0) {
     std::vector<int64_t> out;
     for (const auto& [key, value] : view.scan(t)) {
       (void)key;
@@ -210,53 +293,207 @@ struct Ctx {
   size_t clients_done = 0;
 };
 
-sim::Task<> client_loop(Ctx& ctx, size_t ci, util::Rng rng) {
-  ClientState& st = ctx.clients[ci];
+// One op draw for the original Mixed family (kept verbatim: existing
+// seeds must keep reproducing bit-for-bit).
+void draw_mixed(Ctx& ctx, util::Rng& rng, std::string& proc,
+                api::Params& p) {
   const int64_t rows = ctx.cfg.rows_per_table;
   const uint64_t classes = uint64_t(ctx.classes);
   auto pick_sfx = [&rng, classes] {
     return cls_sfx(storage::TableId(rng.below(classes)));
   };
+  if (rng.chance(ctx.cfg.update_fraction)) {
+    const std::string sfx = pick_sfx();
+    if (rng.chance(0.5)) {
+      const int64_t src = int64_t(rng.below(uint64_t(rows)));
+      int64_t dst = int64_t(rng.below(uint64_t(rows - 1)));
+      if (dst >= src) ++dst;
+      proc = "xfer" + sfx;
+      p.set("src", src).set("dst", dst);
+      p.set("amt", rng.between(1, 5));
+    } else {
+      proc = "rmw" + sfx;
+      p.set("k", int64_t(rng.below(uint64_t(rows))));
+      p.set("add", rng.between(1, 3));
+    }
+  } else {
+    const uint64_t pick = rng.below(100);
+    if (pick < 35) {
+      proc = "get" + pick_sfx();
+      p.set("k", int64_t(rng.below(uint64_t(rows))));
+    } else if (pick < 60) {
+      proc = "pair" + pick_sfx();
+      p.set("k1", int64_t(rng.below(uint64_t(rows))));
+      p.set("k2", int64_t(rng.below(uint64_t(rows))));
+    } else if (pick < 85) {
+      proc = "sum" + pick_sfx();
+    } else {
+      // Two distinct classes when there are two to pick from.
+      const int64_t ta = int64_t(rng.below(classes));
+      int64_t tb = classes > 1 ? int64_t(rng.below(classes - 1)) : 0;
+      if (classes > 1 && tb >= ta) ++tb;
+      proc = "pair_x";
+      p.set("ta", ta).set("tb", tb);
+      p.set("k1", int64_t(rng.below(uint64_t(rows))));
+      p.set("k2", int64_t(rng.below(uint64_t(rows))));
+    }
+  }
+}
+
+// Ycsb family: zipfian hot keys through the shared util::Zipf sampler.
+// Updates hammer the hot rows; reads mix hot gets with short range scans
+// anchored at a hot key and occasional full sums.
+void draw_ycsb(Ctx& ctx, util::Rng& rng, const util::Zipf& zipf,
+               std::string& proc, api::Params& p) {
+  const int64_t rows = ctx.cfg.rows_per_table;
+  const uint64_t classes = uint64_t(ctx.classes);
+  auto pick_sfx = [&rng, classes] {
+    return cls_sfx(storage::TableId(rng.below(classes)));
+  };
+  auto hot = [&] { return int64_t(zipf.sample(rng)); };
+  if (rng.chance(ctx.cfg.update_fraction)) {
+    const std::string sfx = pick_sfx();
+    if (rng.chance(0.3)) {
+      const int64_t src = hot();
+      int64_t dst = int64_t(rng.below(uint64_t(rows - 1)));
+      if (dst >= src) ++dst;
+      proc = "xfer" + sfx;
+      p.set("src", src).set("dst", dst);
+      p.set("amt", rng.between(1, 5));
+    } else {
+      proc = "rmw" + sfx;
+      p.set("k", hot());
+      p.set("add", rng.between(1, 3));
+    }
+  } else {
+    const uint64_t pick = rng.below(100);
+    if (pick < 45) {
+      proc = "get" + pick_sfx();
+      p.set("k", hot());
+    } else if (pick < 80) {
+      const int64_t lo = hot();
+      proc = "range" + pick_sfx();
+      p.set("k1", lo).set("k2", std::min(rows - 1, lo + 3));
+    } else {
+      proc = "sum" + pick_sfx();
+    }
+  }
+}
+
+// Orders family: multi-row writes through a hot per-class sequence row
+// (row 0), payment-shaped transfers against it, point/pair reads of the
+// rows the writes touch.
+void draw_orders(Ctx& ctx, util::Rng& rng, std::string& proc,
+                 api::Params& p) {
+  const int64_t rows = ctx.cfg.rows_per_table;
+  const uint64_t classes = uint64_t(ctx.classes);
+  auto pick_sfx = [&rng, classes] {
+    return cls_sfx(storage::TableId(rng.below(classes)));
+  };
+  if (rng.chance(ctx.cfg.update_fraction)) {
+    const std::string sfx = pick_sfx();
+    if (rng.chance(0.6)) {
+      // new_order shape: the hot sequence row plus distinct "stock" rows.
+      proc = "mrmw" + sfx;
+      const int64_t lines = rng.between(1, std::min<int64_t>(3, rows - 1));
+      p.set("n", lines + 1);
+      p.set("k0", int64_t{0});
+      std::vector<int64_t> ks;
+      for (int64_t l = 0; l < lines; ++l) {
+        int64_t k = 1 + int64_t(rng.below(uint64_t(rows - 1)));
+        while (std::find(ks.begin(), ks.end(), k) != ks.end())
+          k = 1 + int64_t(rng.below(uint64_t(rows - 1)));
+        ks.push_back(k);
+        p.set("k" + std::to_string(l + 1), k);
+      }
+      p.set("add", rng.between(1, 3));
+    } else {
+      // payment shape: sequence row to one "customer" row.
+      proc = "xfer" + sfx;
+      p.set("src", int64_t{0});
+      p.set("dst", 1 + int64_t(rng.below(uint64_t(rows - 1))));
+      p.set("amt", rng.between(1, 5));
+    }
+  } else {
+    const uint64_t pick = rng.below(100);
+    if (pick < 40) {
+      proc = "get" + pick_sfx();
+      p.set("k", int64_t(rng.below(uint64_t(rows))));
+    } else if (pick < 75) {
+      // status shape: the hot row and one of the rows orders touch.
+      proc = "pair" + pick_sfx();
+      p.set("k1", int64_t{0});
+      p.set("k2", int64_t(rng.below(uint64_t(rows))));
+    } else {
+      proc = "sum" + pick_sfx();
+    }
+  }
+}
+
+// Scan family: reporting-heavy reads — chunked full-table scans holding
+// one snapshot across chained range scans — over touch updates.
+void draw_scan(Ctx& ctx, util::Rng& rng, std::string& proc,
+               api::Params& p) {
+  const int64_t rows = ctx.cfg.rows_per_table;
+  const uint64_t classes = uint64_t(ctx.classes);
+  auto pick_sfx = [&rng, classes] {
+    return cls_sfx(storage::TableId(rng.below(classes)));
+  };
+  if (rng.chance(ctx.cfg.update_fraction)) {
+    const std::string sfx = pick_sfx();
+    if (rng.chance(0.7)) {
+      proc = "rmw" + sfx;
+      p.set("k", int64_t(rng.below(uint64_t(rows))));
+      p.set("add", rng.between(1, 3));
+    } else {
+      // Small batch touch (two distinct rows in one txn).
+      proc = "mrmw" + sfx;
+      const int64_t k0 = int64_t(rng.below(uint64_t(rows)));
+      int64_t k1 = int64_t(rng.below(uint64_t(rows - 1)));
+      if (k1 >= k0) ++k1;
+      p.set("n", int64_t{2});
+      p.set("k0", k0).set("k1", k1);
+      p.set("add", rng.between(1, 3));
+    }
+  } else {
+    const uint64_t pick = rng.below(100);
+    if (pick < 55) {
+      proc = "report" + pick_sfx();
+      p.set("rows", rows);
+      p.set("chunks", rng.between(2, 4));
+    } else if (pick < 80) {
+      const int64_t lo = int64_t(rng.below(uint64_t(rows)));
+      proc = "range" + pick_sfx();
+      p.set("k1", lo).set("k2", std::min(rows - 1, lo + 3));
+    } else {
+      proc = "get" + pick_sfx();
+      p.set("k", int64_t(rng.below(uint64_t(rows))));
+    }
+  }
+}
+
+sim::Task<> client_loop(Ctx& ctx, size_t ci, util::Rng rng) {
+  ClientState& st = ctx.clients[ci];
+  // Hot-key sampler for the Ycsb family (exact CDF at checker scale).
+  const util::Zipf zipf(size_t(ctx.cfg.rows_per_table), 0.85);
   for (int op = 0; op < ctx.cfg.ops_per_client; ++op) {
     co_await ctx.sim.delay(
         sim::Time(rng.exponential(double(ctx.cfg.mean_think))));
     std::string proc;
     api::Params p;
-    if (rng.chance(ctx.cfg.update_fraction)) {
-      const std::string sfx = pick_sfx();
-      if (rng.chance(0.5)) {
-        const int64_t src = int64_t(rng.below(uint64_t(rows)));
-        int64_t dst = int64_t(rng.below(uint64_t(rows - 1)));
-        if (dst >= src) ++dst;
-        proc = "xfer" + sfx;
-        p.set("src", src).set("dst", dst);
-        p.set("amt", rng.between(1, 5));
-      } else {
-        proc = "rmw" + sfx;
-        p.set("k", int64_t(rng.below(uint64_t(rows))));
-        p.set("add", rng.between(1, 3));
-      }
-    } else {
-      const uint64_t pick = rng.below(100);
-      if (pick < 35) {
-        proc = "get" + pick_sfx();
-        p.set("k", int64_t(rng.below(uint64_t(rows))));
-      } else if (pick < 60) {
-        proc = "pair" + pick_sfx();
-        p.set("k1", int64_t(rng.below(uint64_t(rows))));
-        p.set("k2", int64_t(rng.below(uint64_t(rows))));
-      } else if (pick < 85) {
-        proc = "sum" + pick_sfx();
-      } else {
-        // Two distinct classes when there are two to pick from.
-        const int64_t ta = int64_t(rng.below(classes));
-        int64_t tb = classes > 1 ? int64_t(rng.below(classes - 1)) : 0;
-        if (classes > 1 && tb >= ta) ++tb;
-        proc = "pair_x";
-        p.set("ta", ta).set("tb", tb);
-        p.set("k1", int64_t(rng.below(uint64_t(rows))));
-        p.set("k2", int64_t(rng.below(uint64_t(rows))));
-      }
+    switch (ctx.cfg.workload) {
+      case CheckWorkload::Mixed:
+        draw_mixed(ctx, rng, proc, p);
+        break;
+      case CheckWorkload::Ycsb:
+        draw_ycsb(ctx, rng, zipf, proc, p);
+        break;
+      case CheckWorkload::Orders:
+        draw_orders(ctx, rng, proc, p);
+        break;
+      case CheckWorkload::Scan:
+        draw_scan(ctx, rng, proc, p);
+        break;
     }
     auto r = co_await st.client->execute(proc, std::move(p));
     if (r && r->ok)
@@ -269,6 +506,25 @@ sim::Task<> client_loop(Ctx& ctx, size_t ci, util::Rng rng) {
 }
 
 }  // namespace
+
+const char* check_workload_name(CheckWorkload w) {
+  switch (w) {
+    case CheckWorkload::Mixed: return "mixed";
+    case CheckWorkload::Ycsb: return "ycsb";
+    case CheckWorkload::Orders: return "orders";
+    case CheckWorkload::Scan: return "scan";
+  }
+  return "mixed";
+}
+
+bool parse_check_workload(const std::string& s, CheckWorkload* out) {
+  if (s == "mixed") *out = CheckWorkload::Mixed;
+  else if (s == "ycsb") *out = CheckWorkload::Ycsb;
+  else if (s == "orders") *out = CheckWorkload::Orders;
+  else if (s == "scan") *out = CheckWorkload::Scan;
+  else return false;
+  return true;
+}
 
 std::string CheckReport::summary() const {
   std::ostringstream os;
@@ -296,6 +552,9 @@ CheckReport run_check(const CheckConfig& cfg, const chaos::FaultPlan& plan) {
   }
   obs::Tracer tracer(sim);
   tracer.enable();
+  // The checker needs protocol points (fault injection keys off span
+  // names) but never reads a span back: skip the span bookkeeping.
+  tracer.set_points_only(true);
   struct Restore {
     obs::Tracer* prev;
     ~Restore() { obs::set_tracer(prev); }
@@ -330,6 +589,7 @@ CheckReport run_check(const CheckConfig& cfg, const chaos::FaultPlan& plan) {
   cc.engine.mut_skip_tag_upgrade = cfg.mut_skip_tag_upgrade;
   cc.engine.mut_apply_off_by_one = cfg.mut_apply_off_by_one;
   cc.engine.mut_skip_discard = cfg.mut_skip_discard;
+  cc.engine.mut_scan_stale_read = cfg.mut_scan_stale_read;
   cc.mut_batch_reverse = cfg.mut_batch_reverse;
   cc.enable_persistence = cfg.disaster;
   cc.persistence.backends = cfg.backends;
@@ -881,6 +1141,25 @@ const std::vector<Mutation>& mutation_list() {
          // short gap between answer_join and migration end) is narrow, so
          // this one gets a deeper seed budget.
          "kill:slave0@t:5000;restart:slave0@t:12000", 25});
+
+    m.push_back(
+        {"scan-stale-read",
+         "read-only scans skip the per-page tag re-check: a replica whose "
+         "apply frontier ran ahead of the read's tag serves future "
+         "versions into an older snapshot (chunked reports come out torn)",
+         {"snapshot-mismatch"},
+         [busy](CheckConfig& c) {
+           busy(c);
+           // The scan family's chunked reports hold one snapshot across
+           // several chained scans — the widest window for the planted
+           // staleness to land in.
+           c.workload = CheckWorkload::Scan;
+           c.ops_per_client = 24;
+           c.update_fraction = 0.6;
+           c.mean_think = 200;
+           c.mut_scan_stale_read = true;
+         },
+         "", 25});
 
     m.push_back(
         {"wrong-class-route",

@@ -37,6 +37,21 @@
 
 namespace dmv::check {
 
+// Client op-mix families for the randomized workload. Every family runs
+// against the same acct tables and the same exact oracle; they differ in
+// which shapes they stress:
+//   Mixed  — the original blend (transfers, RMWs, pair reads, sums).
+//   Ycsb   — zipfian hot keys: reads/RMWs hammer a few rows, plus short
+//            range scans anchored at the hot keys.
+//   Orders — order-entry shape: multi-row RMWs through a hot per-class
+//            sequence row (row 0), payments against it, point reads.
+//   Scan   — reporting shape: chunked full-table scans (one snapshot
+//            held across several chained range scans) over touch updates.
+enum class CheckWorkload { Mixed = 0, Ycsb, Orders, Scan };
+
+const char* check_workload_name(CheckWorkload w);
+bool parse_check_workload(const std::string& s, CheckWorkload* out);
+
 struct CheckConfig {
   int slaves = 2;       // per cluster (shared by every class)
   int spares = 1;
@@ -52,6 +67,9 @@ struct CheckConfig {
   int schedulers = 2;
   int clients = 3;
   int ops_per_client = 12;
+  // Op-mix family (check_sweep --workload); the oracle is identical for
+  // all of them.
+  CheckWorkload workload = CheckWorkload::Mixed;
   int64_t rows_per_table = 8;
   double update_fraction = 0.5;
   sim::Time mean_think = 2 * sim::kMsec;
@@ -105,6 +123,10 @@ struct CheckConfig {
                                        // next class's master, which adopts
                                        // the foreign table instead of
                                        // refusing
+  bool mut_scan_stale_read = false;  // read-only scans skip the per-page
+                                     // tag re-check (a replica applied
+                                     // ahead of the tag serves future
+                                     // rows into an older snapshot)
 };
 
 struct CheckReport {

@@ -709,6 +709,13 @@ sim::Task<> EngineNode::run_update(ExecTxn m) {
         ++stats_.occ_restarts;
         obs::count("aborts.occ", id_);
         ++occ_attempts;
+        if (occ_attempts == kOccBackoffShiftCap + 1) {
+          // Past the cap the backoff stops growing; this transaction is
+          // now cycling at the maximum delay. Count it once so a storm
+          // shows up in stats even though each txn eventually commits.
+          ++stats_.restart_storms;
+          obs::count("cc.restart_storm", id_);
+        }
         retry = true;
       } else {
         ++stats_.poisoned_aborts;
@@ -731,8 +738,11 @@ sim::Task<> EngineNode::run_update(ExecTxn m) {
         // which widens the conflict window, which breeds more losers.
         // Exponential backoff with deterministic jitter (a hash of the
         // transaction's timestamp and attempt count — the simulation has
-        // no ambient randomness) sheds the re-offered load instead.
-        const unsigned shift = unsigned(std::min<uint64_t>(occ_attempts, 6));
+        // no ambient randomness) sheds the re-offered load instead. The
+        // shift is capped so the worst-case delay stays bounded (the txn
+        // keeps its original timestamp, so it wins validation eventually).
+        const unsigned shift =
+            unsigned(std::min<uint64_t>(occ_attempts, kOccBackoffShiftCap));
         const sim::Time span = d << shift;
         uint64_t h = reuse_ts.value_or(0) +
                      0x9e3779b97f4a7c15ull * (occ_attempts + 1);

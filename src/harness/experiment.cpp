@@ -1,12 +1,21 @@
 #include "harness/experiment.hpp"
 
-#include "tpcw/sharding.hpp"
+#include "workload/sharding.hpp"
 
 namespace dmv::harness {
 
 // ---------- DmvExperiment ----------
 
 namespace {
+
+workload::Options workload_options(const WorkloadConfig& w) {
+  workload::Options o;
+  o.kind = w.kind;
+  o.scale = w.scale;
+  o.mix = w.mix;
+  o.tuning = w.tuning;
+  return o;
+}
 
 // Create, configure and globally install an experiment's tracer. Installed
 // even when disabled so node-name registration during construction lands.
@@ -24,7 +33,7 @@ std::unique_ptr<obs::Tracer> make_tracer(sim::Simulation& sim,
 
 DmvExperiment::DmvExperiment(Config cfg)
     : cfg_(cfg), series_(cfg.workload.bucket) {
-  sim_ = std::make_unique<sim::Simulation>();
+  sim_ = std::make_unique<sim::Simulation>(cfg_.queue_kind);
   tracer_ = make_tracer(*sim_, cfg_.trace, cfg_.trace_categories,
                         &prev_tracer_);
   net_ = std::make_unique<net::Network>(*sim_);
@@ -37,7 +46,8 @@ DmvExperiment::DmvExperiment(Config cfg)
     cross.detect_delay = cfg_.cross_detect_delay;
   }
   const size_t classes = std::max<size_t>(1, cfg_.workload.classes);
-  registry_ = tpcw::make_sharded_registry(cfg_.workload.scale, classes);
+  workload_ = workload::make_workload(workload_options(cfg_.workload));
+  registry_ = workload::make_sharded_registry(*workload_, classes);
 
   core::DmvCluster::Config cc;
   cc.slaves = cfg_.slaves;
@@ -66,12 +76,13 @@ DmvExperiment::DmvExperiment(Config cfg)
   cc.enable_persistence = cfg_.persistence;
   cc.persistence.engine.costs = cfg_.costs;
   if (classes > 1) {
-    cc.conflict_classes = tpcw::sharded_conflict_classes(classes);
-    cc.schema = tpcw::make_sharded_schema(classes);
-    cc.loader = tpcw::make_sharded_loader(cfg_.workload.scale, classes);
+    cc.conflict_classes = workload::sharded_conflict_classes(*workload_,
+                                                             classes);
+    cc.schema = workload::make_sharded_schema(workload_, classes);
+    cc.loader = workload::make_sharded_loader(workload_, classes);
   } else {
-    cc.schema = tpcw::build_schema;
-    cc.loader = tpcw::make_loader(cfg_.workload.scale);
+    cc.schema = workload::schema_fn(workload_);
+    cc.loader = workload::loader_fn(workload_);
   }
   cluster_ = std::make_unique<core::DmvCluster>(*net_, registry_, cc);
   cluster_->start();
@@ -90,17 +101,15 @@ void DmvExperiment::start() {
 std::shared_ptr<bool> DmvExperiment::add_client_wave(size_t n) {
   auto flag = std::make_shared<bool>(true);
   wave_flags_.push_back(flag);
-  tpcw::TpcwClient::Config base;
-  base.mix = cfg_.workload.mix;
+  workload::Client::Config base;
   base.think_mean = cfg_.workload.think_mean;
-  base.scale = cfg_.workload.scale;
   base.client_id = next_client_id_;
   const size_t first = next_client_id_;
   next_client_id_ += n;
   const size_t classes = std::max<size_t>(1, cfg_.workload.classes);
-  auto wave = tpcw::spawn_clients(
-      *sim_, n, base,
-      [this, first, classes](size_t i) -> tpcw::ExecuteFn {
+  auto wave = workload::spawn_clients(
+      *sim_, n, base, *workload_,
+      [this, first, classes](size_t i) -> workload::ExecuteFn {
         conns_.push_back(
             cluster_->make_client("client" + std::to_string(first + i)));
         core::ClusterClient* c = conns_.back().get();
@@ -111,10 +120,10 @@ std::shared_ptr<bool> DmvExperiment::add_client_wave(size_t n) {
         // Pin the client to its conflict class: every interaction goes to
         // the shard-suffixed proc, which the scheduler routes to that
         // class's master.
-        const size_t shard = tpcw::zipf_shard(first + i, classes,
-                                              cfg_.workload.class_skew);
+        const size_t shard = workload::zipf_shard(first + i, classes,
+                                                  cfg_.workload.class_skew);
         return [c, shard, classes](const std::string& proc, api::Params p) {
-          return c->execute(tpcw::shard_proc(proc, shard, classes),
+          return c->execute(workload::shard_proc(proc, shard, classes),
                             std::move(p));
         };
       },
@@ -165,15 +174,16 @@ DiskExperiment::DiskExperiment(Config cfg)
   sim_ = std::make_unique<sim::Simulation>();
   tracer_ = make_tracer(*sim_, cfg_.trace, cfg_.trace_categories,
                         &prev_tracer_);
-  registry_ = tpcw::make_registry(cfg_.workload.scale);
+  workload_ = workload::make_workload(workload_options(cfg_.workload));
+  registry_ = workload_->make_registry();
   disk::DiskEngine::Config dc;
   dc.costs = cfg_.costs;
   dc.buffer_frames = cfg_.buffer_frames;
   engine_ = std::make_unique<disk::DiskEngine>(*sim_, "innodb", dc);
   engine_->set_trace_node(0);
   obs::name_node(0, engine_->name());
-  engine_->build_schema(tpcw::build_schema);
-  tpcw::make_loader(cfg_.workload.scale)(engine_->db());
+  engine_->build_schema(workload::schema_fn(workload_));
+  workload_->load(engine_->db(), 0, 0);
   if (cfg_.prewarm) {
     // Fill the pool (LRU keeps the most recently prefetched pages).
     for (storage::TableId t = 0; t < engine_->db().table_count(); ++t) {
@@ -187,13 +197,11 @@ DiskExperiment::DiskExperiment(Config cfg)
 void DiskExperiment::start() {
   DMV_ASSERT(!run_flag_);
   run_flag_ = std::make_shared<bool>(true);
-  tpcw::TpcwClient::Config base;
-  base.mix = cfg_.workload.mix;
+  workload::Client::Config base;
   base.think_mean = cfg_.workload.think_mean;
-  base.scale = cfg_.workload.scale;
-  clients_ = tpcw::spawn_clients(
-      *sim_, cfg_.workload.clients, base,
-      [this](size_t) -> tpcw::ExecuteFn {
+  clients_ = workload::spawn_clients(
+      *sim_, cfg_.workload.clients, base, *workload_,
+      [this](size_t) -> workload::ExecuteFn {
         disk::DiskEngine* eng = engine_.get();
         const api::ProcRegistry* reg = &registry_;
         return [eng, reg](const std::string& proc, api::Params p)
@@ -225,7 +233,8 @@ TierExperiment::TierExperiment(Config cfg)
   sim_ = std::make_unique<sim::Simulation>();
   tracer_ = make_tracer(*sim_, cfg_.trace, cfg_.trace_categories,
                         &prev_tracer_);
-  registry_ = tpcw::make_registry(cfg_.workload.scale);
+  workload_ = workload::make_workload(workload_options(cfg_.workload));
+  registry_ = workload_->make_registry();
   disk::ReplicatedDiskTier::Config tc;
   tc.engine.costs = cfg_.costs;
   tc.engine.buffer_frames = cfg_.buffer_frames;
@@ -233,8 +242,8 @@ TierExperiment::TierExperiment(Config cfg)
   tc.backups = cfg_.backups;
   tc.backup_sync_period = cfg_.backup_sync_period;
   tier_ = std::make_unique<disk::ReplicatedDiskTier>(
-      *sim_, tc, tpcw::build_schema, registry_);
-  tier_->load(tpcw::make_loader(cfg_.workload.scale));
+      *sim_, tc, workload::schema_fn(workload_), registry_);
+  tier_->load(workload::loader_fn(workload_));
   if (cfg_.prewarm_actives) {
     for (size_t e = 0; e < size_t(cfg_.actives); ++e) {
       auto& eng = tier_->engine(e);
@@ -251,13 +260,11 @@ TierExperiment::TierExperiment(Config cfg)
 void TierExperiment::start() {
   DMV_ASSERT(!run_flag_);
   run_flag_ = std::make_shared<bool>(true);
-  tpcw::TpcwClient::Config base;
-  base.mix = cfg_.workload.mix;
+  workload::Client::Config base;
   base.think_mean = cfg_.workload.think_mean;
-  base.scale = cfg_.workload.scale;
-  clients_ = tpcw::spawn_clients(
-      *sim_, cfg_.workload.clients, base,
-      [this](size_t) -> tpcw::ExecuteFn {
+  clients_ = workload::spawn_clients(
+      *sim_, cfg_.workload.clients, base, *workload_,
+      [this](size_t) -> workload::ExecuteFn {
         disk::ReplicatedDiskTier* tier = tier_.get();
         return [tier](const std::string& proc, api::Params p) {
           return tier->execute(proc, std::move(p));

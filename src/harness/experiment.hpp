@@ -1,6 +1,8 @@
 // Experiment drivers: assemble a system (DMV cluster / stand-alone on-disk
-// engine / replicated on-disk tier), attach a TPC-W client population, run
-// for virtual time with optional fault scripts, and collect Series.
+// engine / replicated on-disk tier), attach a closed-loop client
+// population driving the configured workload (TPC-W, YCSB, order-entry or
+// scan/reporting), run for virtual time with optional fault scripts, and
+// collect Series.
 //
 // Each experiment owns its own Simulation: runs are independent and
 // bit-reproducible for a given config.
@@ -10,10 +12,16 @@
 #include "disk/replicated_tier.hpp"
 #include "harness/series.hpp"
 #include "obs/trace.hpp"
+#include "workload/client.hpp"
 
 namespace dmv::harness {
 
 struct WorkloadConfig {
+  // Which workload drives the system (tpcw | ycsb | orders | scan); the
+  // non-TPC-W workloads read their knobs from `tuning`, TPC-W from
+  // scale + mix. All four run unchanged on every experiment type.
+  workload::Kind kind = workload::Kind::Tpcw;
+  workload::Tuning tuning;
   tpcw::ScaleConfig scale;
   tpcw::Mix mix = tpcw::Mix::Shopping;
   size_t clients = 100;
@@ -79,6 +87,9 @@ class DmvExperiment {
     // stays disabled: instrumentation costs one load+branch per site.
     bool trace = false;
     uint32_t trace_categories = obs::kAllCats;
+    // DES kernel ablation: which event-queue the experiment's Simulation
+    // uses (calendar queue by default; BinaryHeap is the old baseline).
+    sim::EventQueue::Kind queue_kind = sim::EventQueue::Kind::Calendar;
   };
 
   explicit DmvExperiment(Config cfg);
@@ -121,10 +132,12 @@ class DmvExperiment {
   obs::Tracer* prev_tracer_ = nullptr;
   std::unique_ptr<sim::Simulation> sim_;
   std::unique_ptr<net::Network> net_;
+  // Outlives clients_ and the sharding closures handed to the cluster.
+  std::shared_ptr<const workload::Workload> workload_;
   api::ProcRegistry registry_;
   std::unique_ptr<core::DmvCluster> cluster_;
   std::vector<std::unique_ptr<core::ClusterClient>> conns_;
-  std::vector<std::unique_ptr<tpcw::TpcwClient>> clients_;
+  std::vector<std::unique_ptr<workload::Client>> clients_;
   // One run flag per client wave (base population = wave 0); stop()
   // clears them all. Client ids keep counting up across waves.
   std::vector<std::shared_ptr<bool>> wave_flags_;
@@ -162,9 +175,10 @@ class DiskExperiment {
   std::unique_ptr<obs::Tracer> tracer_;  // before sim_: destroyed last
   obs::Tracer* prev_tracer_ = nullptr;
   std::unique_ptr<sim::Simulation> sim_;
+  std::shared_ptr<const workload::Workload> workload_;
   api::ProcRegistry registry_;
   std::unique_ptr<disk::DiskEngine> engine_;
-  std::vector<std::unique_ptr<tpcw::TpcwClient>> clients_;
+  std::vector<std::unique_ptr<workload::Client>> clients_;
   std::shared_ptr<bool> run_flag_;
   Series series_;
 };
@@ -203,9 +217,10 @@ class TierExperiment {
   std::unique_ptr<obs::Tracer> tracer_;  // before sim_: destroyed last
   obs::Tracer* prev_tracer_ = nullptr;
   std::unique_ptr<sim::Simulation> sim_;
+  std::shared_ptr<const workload::Workload> workload_;
   api::ProcRegistry registry_;
   std::unique_ptr<disk::ReplicatedDiskTier> tier_;
-  std::vector<std::unique_ptr<tpcw::TpcwClient>> clients_;
+  std::vector<std::unique_ptr<workload::Client>> clients_;
   std::shared_ptr<bool> run_flag_;
   Series series_;
 };

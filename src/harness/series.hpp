@@ -3,8 +3,8 @@
 // summaries with warm-up exclusion.
 #pragma once
 
-#include "tpcw/client.hpp"
 #include "util/metrics.hpp"
+#include "workload/workload.hpp"
 
 namespace dmv::harness {
 
@@ -13,12 +13,12 @@ class Series {
   explicit Series(sim::Time bucket = 20 * sim::kSec)
       : bucket_(bucket), tp_(uint64_t(bucket)), lat_(uint64_t(bucket)) {}
 
-  // RecordFn to hand to TpcwClient.
-  tpcw::RecordFn recorder() {
-    return [this](const tpcw::InteractionRecord& r) { add(r); };
+  // RecordFn to hand to workload::Client.
+  workload::RecordFn recorder() {
+    return [this](const workload::InteractionRecord& r) { add(r); };
   }
 
-  void add(const tpcw::InteractionRecord& r) {
+  void add(const workload::InteractionRecord& r) {
     ++total_;
     if (!r.ok) {
       ++errors_;

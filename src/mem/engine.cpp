@@ -290,7 +290,7 @@ sim::Task<std::vector<Row>> MemEngine::scan(TxnCtx& txn, TableId t,
           locks_.release_all(txn);
           continue;
         }
-      } else {
+      } else if (!cfg_.mut_scan_stale_read) {
         check_page(txn, t, rid.page);
       }
       cost += cache_.touch({t, rid.page}) + cfg_.costs.row_read;

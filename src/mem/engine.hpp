@@ -116,6 +116,11 @@ class MemEngine {
     // Ignore DiscardAbove: partially-propagated write-sets of a failed
     // master survive on this replica past recovery.
     bool mut_skip_discard = false;
+    // Read-only scans skip the per-page tag re-check: a replica whose
+    // apply frontier ran ahead of the read's tag (eager apply, or a
+    // concurrent higher-tagged read) serves future versions into an
+    // older snapshot instead of raising VersionConflict.
+    bool mut_scan_stale_read = false;
   };
 
   MemEngine(sim::Simulation& sim, std::string name, Config cfg);

@@ -119,11 +119,31 @@ void Network::send(NodeId from, NodeId to, std::any payload, size_t bytes) {
                link_clock_[key]);
   link_clock_[key] = deliver_at;
 
-  sim_.schedule_at(deliver_at,
-                   [this, from, to, epoch = nodes_[from].epoch, bytes, cls,
-                    p = std::move(payload)]() mutable {
-                     deliver_one(from, to, epoch, std::move(p), bytes, cls);
-                   });
+  // Park the message in the flight pool and capture only (this, slot):
+  // the closure stays within std::function's inline storage, so a send
+  // costs no allocation once the pool has grown to peak in-flight size.
+  uint32_t slot;
+  if (!free_flights_.empty()) {
+    slot = free_flights_.back();
+    free_flights_.pop_back();
+  } else {
+    slot = uint32_t(flights_.size());
+    flights_.emplace_back();
+  }
+  Flight& f = flights_[slot];
+  f.from = from;
+  f.to = to;
+  f.epoch = nodes_[from].epoch;
+  f.payload = std::move(payload);
+  f.bytes = bytes;
+  f.cls = cls;
+  sim_.schedule_at(deliver_at, [this, slot] {
+    Flight fl = std::move(flights_[slot]);
+    flights_[slot].payload.reset();
+    free_flights_.push_back(slot);
+    deliver_one(fl.from, fl.to, fl.epoch, std::move(fl.payload), fl.bytes,
+                fl.cls);
+  });
 }
 
 sim::Channel<Envelope>& Network::mailbox(NodeId id) {

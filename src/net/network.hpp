@@ -190,6 +190,20 @@ class Network {
     LinkClass cls = LinkClass::Intra;
   };
 
+  // An in-flight message parked in the reusable slab between send() and
+  // its scheduled delivery. Slots are free-listed, so steady-state traffic
+  // allocates nothing per message: the scheduled closure captures only
+  // (this, slot), which fits std::function's inline storage, instead of
+  // moving the payload into a heap-allocated capture.
+  struct Flight {
+    NodeId from = kNoNode;
+    NodeId to = kNoNode;
+    uint64_t epoch = 0;
+    std::any payload;
+    size_t bytes = 0;
+    LinkClass cls = LinkClass::Intra;
+  };
+
   sim::Time transfer_time(size_t bytes, const LinkClassConfig& lc) const;
   // The delivery point: receiver-alive and sealed-sender checks, then park
   // (partitioned) or hand to the mailbox. Used by both the scheduled send
@@ -218,6 +232,9 @@ class Network {
   std::array<std::map<std::type_index, PayloadStats>, kNumLinkClasses>
       class_stats_;
   std::array<uint64_t, kNumLinkClasses> inflight_bytes_{};
+  // Message pool (see Flight). Grows to the peak in-flight count once.
+  std::vector<Flight> flights_;
+  std::vector<uint32_t> free_flights_;
 };
 
 }  // namespace dmv::net

@@ -93,6 +93,15 @@ class Tracer {
   void set_category_mask(uint32_t mask) { cat_mask_ = mask; }
   uint32_t category_mask() const { return cat_mask_; }
 
+  // Points-only mode: begin()/instant() still fire the point observer
+  // (fault injection keys off span names) but record no SpanRecs — the
+  // span bookkeeping cost disappears when nothing will read the spans.
+  // Used by dmv_check, which needs protocol points but never exports a
+  // trace; the chaos harness keeps full recording for its span-balance
+  // invariant.
+  void set_points_only(bool v) { points_only_ = v; }
+  bool points_only() const { return points_only_; }
+
   // Open a span. Returns 0 (and counts a drop) past max_spans or for a
   // masked-out category; attr()/end() accept 0 as a no-op.
   SpanId begin(const char* name, Cat cat, uint32_t node = kNoNode,
@@ -142,6 +151,7 @@ class Tracer {
  private:
   sim::Simulation& sim_;
   bool enabled_ = false;
+  bool points_only_ = false;
   uint32_t cat_mask_ = kAllCats;
   size_t max_spans_;
   SpanId next_id_ = 1;

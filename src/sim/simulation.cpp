@@ -4,6 +4,8 @@ namespace dmv::sim {
 
 void Simulation::schedule_at(Time at, std::function<void()> fn) {
   DMV_ASSERT_MSG(at >= now_, "cannot schedule into the past");
+  if (trace_sink_ && trace_sink_->size() < trace_cap_)
+    trace_sink_->push_back(at - now_);
   queue_.push(Event{at, next_seq_++, std::move(fn)});
 }
 
@@ -17,14 +19,13 @@ void Simulation::spawn(Task<> task) {
 Time Simulation::run(Time until) {
   stopped_ = false;
   while (!queue_.empty() && !stopped_) {
-    if (queue_.top().at > until) {
+    if (queue_.peek_time() > until) {
       now_ = until;
       return now_;
     }
-    // priority_queue::top() is const; move out via const_cast on pop. Keep
-    // the copy cheap by moving the function object.
-    Event ev = std::move(const_cast<Event&>(queue_.top()));
-    queue_.pop();
+    Event ev = queue_.pop();
+    if (trace_sink_ && trace_sink_->size() < trace_cap_)
+      trace_sink_->push_back(-1);
     DMV_ASSERT(ev.at >= now_);
     now_ = ev.at;
     ++events_processed_;

@@ -1,17 +1,20 @@
 // Discrete-event simulation kernel.
 //
-// One Simulation owns a virtual clock and a priority queue of events. All
-// processes (clients, schedulers, database workers, replication streams,
-// failure detectors) are coroutines spawned onto it. Every resumption goes
-// through the event queue, so for a given seed a run is bit-deterministic —
-// that determinism is what makes fail-over experiments and property tests
-// exactly reproducible.
+// One Simulation owns a virtual clock and a pending-event queue (see
+// sim/event_queue.hpp — a calendar queue by default, the original binary
+// heap as a selectable ablation baseline). All processes (clients,
+// schedulers, database workers, replication streams, failure detectors)
+// are coroutines spawned onto it. Every resumption goes through the event
+// queue, so for a given seed a run is bit-deterministic — that determinism
+// is what makes fail-over experiments and property tests exactly
+// reproducible. Both queue kinds order events identically by (time, seq):
+// equal-timestamp events run strictly in schedule order.
 #pragma once
 
 #include <functional>
-#include <queue>
 #include <vector>
 
+#include "sim/event_queue.hpp"
 #include "sim/task.hpp"
 #include "sim/time.hpp"
 #include "util/assert.hpp"
@@ -20,7 +23,8 @@ namespace dmv::sim {
 
 class Simulation {
  public:
-  Simulation() = default;
+  explicit Simulation(EventQueue::Kind queue_kind = EventQueue::Kind::Calendar)
+      : queue_(queue_kind) {}
   Simulation(const Simulation&) = delete;
   Simulation& operator=(const Simulation&) = delete;
 
@@ -62,27 +66,28 @@ class Simulation {
 
   size_t events_processed() const { return events_processed_; }
   size_t pending_events() const { return queue_.size(); }
+  EventQueue::Kind queue_kind() const { return queue_.kind(); }
+
+  // Optional schedule trace for kernel benchmarking: when set, every
+  // schedule_at appends the event's delay (at - now) and every pop
+  // appends -1, until the sink reaches `cap` entries. The recorded op
+  // stream replays the run's exact queue-occupancy pattern against any
+  // EventQueue kind without executing work (see bench_workloads).
+  void set_trace_sink(std::vector<int64_t>* sink, size_t cap) {
+    trace_sink_ = sink;
+    trace_cap_ = cap;
+  }
 
   static constexpr Time kTimeMax = INT64_MAX;
 
  private:
-  struct Event {
-    Time at;
-    uint64_t seq;
-    std::function<void()> fn;
-  };
-  struct Later {
-    bool operator()(const Event& a, const Event& b) const {
-      if (a.at != b.at) return a.at > b.at;
-      return a.seq > b.seq;
-    }
-  };
-
   Time now_ = 0;
   uint64_t next_seq_ = 0;
   bool stopped_ = false;
   size_t events_processed_ = 0;
-  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  EventQueue queue_;
+  std::vector<int64_t>* trace_sink_ = nullptr;
+  size_t trace_cap_ = 0;
 };
 
 }  // namespace dmv::sim

@@ -1,49 +1,46 @@
-// Conflict-class sharding of the TPC-W store (§2.1 multi-master).
-//
-// Stock TPC-W cannot be partitioned into more than one conflict class:
-// buy_confirm alone touches seven of the ten tables, so every class-cover
-// of the update procs collapses to one class. The multi-master deployments
-// therefore run N *full* TPC-W stores side by side in one database —
-// shard s's copy of base table t has TableId s * kTableCount + t — with
-// every interaction registered once per shard ("buy_confirm@2") and each
-// shard forming one conflict class with its own update master. That is the
-// paper's model: the application's tables are partitioned by conflict
-// class and each transaction type is pre-assigned to one class.
-//
-// Clients are pinned to a shard (see harness): uniformly round-robin, or
-// zipfian-skewed to make one conflict class hot while the others stay
-// cold — the class-isolation stress.
+// Compatibility shim: conflict-class sharding moved to workload/sharding
+// (it is generic over any Workload now). These inline wrappers keep the
+// historical tpcw:: spellings working for TPC-W-specific callers; targets
+// using them must link dmv_workload.
 #pragma once
 
-#include "tpcw/interactions.hpp"
+#include "workload/sharding.hpp"
+#include "workload/tpcw.hpp"
 
 namespace dmv::tpcw {
 
-// "proc@shard" for shards > 1; the bare name for a single shard (so a
-// 1-class sharded deployment is byte-compatible with the stock registry).
-std::string shard_proc(const std::string& base, size_t shard, size_t shards);
+inline std::string shard_proc(const std::string& base, size_t shard,
+                              size_t shards) {
+  return workload::shard_proc(base, shard, shards);
+}
 
-// build_schema run once per shard into one database (table ids offset by
-// shard * kTableCount).
-std::function<void(storage::Database&)> make_sharded_schema(size_t shards);
+inline std::function<void(storage::Database&)> make_sharded_schema(
+    size_t shards) {
+  return workload::make_sharded_schema(
+      std::make_shared<workload::TpcwWorkload>(ScaleConfig{}, Mix::Shopping),
+      shards);
+}
 
-// The stock loader run once per shard, each with a shard-derived seed so
-// the stores are independent (not byte-identical) images.
-std::function<void(storage::Database&)> make_sharded_loader(ScaleConfig scale,
-                                                            size_t shards);
+inline std::function<void(storage::Database&)> make_sharded_loader(
+    ScaleConfig scale, size_t shards) {
+  return workload::make_sharded_loader(
+      std::make_shared<workload::TpcwWorkload>(scale, Mix::Shopping), shards);
+}
 
-// Every TPC-W interaction registered once per shard, with tables offset
-// and the connection wrapped so the interaction bodies run unchanged.
-api::ProcRegistry make_sharded_registry(const ScaleConfig& scale,
-                                        size_t shards);
+inline api::ProcRegistry make_sharded_registry(const ScaleConfig& scale,
+                                               size_t shards) {
+  return workload::make_sharded_registry(
+      workload::TpcwWorkload(scale, Mix::Shopping), shards);
+}
 
-// One conflict class per shard: {{0..9}, {10..19}, ...}.
-std::vector<std::vector<storage::TableId>> sharded_conflict_classes(
-    size_t shards);
+inline std::vector<std::vector<storage::TableId>> sharded_conflict_classes(
+    size_t shards) {
+  return workload::sharded_conflict_classes(
+      workload::TpcwWorkload(ScaleConfig{}, Mix::Shopping), shards);
+}
 
-// Deterministic zipfian shard assignment: key k lands on shard s with
-// probability proportional to 1/(s+1)^theta (theta 0 = uniform). Used to
-// pin client populations so one conflict class runs hot.
-size_t zipf_shard(uint64_t key, size_t shards, double theta);
+inline size_t zipf_shard(uint64_t key, size_t shards, double theta) {
+  return workload::zipf_shard(key, shards, theta);
+}
 
 }  // namespace dmv::tpcw

@@ -1,0 +1,54 @@
+// Closed-loop client emulator, workload-agnostic.
+//
+// Each client models one emulated terminal: exponentially distributed
+// think time, then one interaction drawn from its Session. Clients are
+// engine-agnostic (they execute through an ExecuteFn) and workload-
+// agnostic (the Session supplies proc + params), so the same emulator
+// drives TPC-W, YCSB, order-entry and reporting against any engine.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "workload/workload.hpp"
+
+namespace dmv::workload {
+
+class Client {
+ public:
+  struct Config {
+    sim::Time think_mean = 7 * sim::kSec;
+    uint64_t client_id = 0;  // unique; seeds the rng and the id space
+  };
+
+  // `w` must outlive the client (drivers own both; the workload member is
+  // declared before the client vector so it is destroyed after).
+  Client(sim::Simulation& sim, Config cfg, const Workload& w, ExecuteFn exec,
+         RecordFn record);
+
+  // Runs until *run turns false.
+  void start(std::shared_ptr<bool> run);
+
+  uint64_t interactions() const { return interactions_; }
+  uint64_t errors() const { return errors_; }
+
+ private:
+  sim::Task<> loop(std::shared_ptr<bool> run);
+
+  sim::Simulation& sim_;
+  Config cfg_;
+  ExecuteFn exec_;
+  RecordFn record_;
+  util::Rng rng_;
+  std::unique_ptr<Session> session_;
+  uint64_t interactions_ = 0;
+  uint64_t errors_ = 0;
+};
+
+// Convenience: spawn `n` clients with consecutive ids sharing a run flag.
+std::vector<std::unique_ptr<Client>> spawn_clients(
+    sim::Simulation& sim, size_t n, Client::Config base, const Workload& w,
+    const std::function<ExecuteFn(size_t)>& make_exec, RecordFn record,
+    std::shared_ptr<bool> run);
+
+}  // namespace dmv::workload

@@ -1,0 +1,256 @@
+#include "workload/orders.hpp"
+
+#include <algorithm>
+#include <string_view>
+
+namespace dmv::workload {
+
+namespace {
+
+enum Tables : storage::TableId {
+  kDistrict = 0,
+  kCustomer,
+  kStock,
+  kOrders,
+  kOrderLine,
+};
+
+// Column positions (must match build_schema's order).
+namespace col {
+enum { D_ID = 0, D_NEXT_O_ID, D_YTD };
+enum { C_ID = 0, C_D_ID, C_BALANCE, C_YTD_PAYMENT, C_PAYMENT_CNT };
+enum { S_I_ID = 0, S_QTY, S_YTD, S_ORDER_CNT };
+enum { O_ID = 0, O_D_ID, O_C_ID, O_ENTRY_D, O_TOTAL };
+enum { OL_ID = 0, OL_O_ID, OL_I_ID, OL_QTY, OL_AMOUNT };
+}  // namespace col
+
+constexpr const char* kNewOrder = "o_new";
+constexpr const char* kPayment = "o_pay";
+constexpr const char* kStatus = "o_status";
+
+// Order ids are per-district sequences spread into disjoint ranges; lines
+// hang off the order id in a dense sub-range so status can scan them.
+constexpr int64_t kDistrictStride = 1'000'000'000;
+constexpr int64_t kMaxLines = 8;
+
+// GCC 12 miscompiles braced-init-list temporaries inside co_await
+// expressions ("array used as initializer"), so keys and rows are built
+// as named locals, as in tpcw/interactions.cpp.
+storage::Key K1(storage::Value a) { return storage::Key{std::move(a)}; }
+
+sim::Task<api::TxnResult> o_new(api::Connection& c, const api::Params& p) {
+  api::TxnResult res;
+  const int64_t d = p.i("d_id");
+  // Allocate the order id from the district's sequence row — every
+  // new_order in a district serializes (or conflicts) here.
+  int64_t seq = 0;
+  storage::Key dk = K1(d);
+  const bool d_ok = co_await c.update(kDistrict, dk, [&](storage::Row& r) {
+    seq = std::get<int64_t>(r[col::D_NEXT_O_ID]);
+    r[col::D_NEXT_O_ID] = seq + 1;
+  });
+  if (!d_ok) {
+    res.ok = false;
+    co_return res;
+  }
+  const int64_t o_id = d * kDistrictStride + seq;
+
+  const int64_t lines = p.i("lines");
+  double total = 0;
+  for (int64_t l = 0; l < lines; ++l) {
+    const int64_t i_id = p.i("i" + std::to_string(l));
+    const int64_t qty = p.i("q" + std::to_string(l));
+    storage::Key sk = K1(i_id);
+    const bool s_ok = co_await c.update(kStock, sk, [&](storage::Row& r) {
+      int64_t s = std::get<int64_t>(r[col::S_QTY]) - qty;
+      if (s < 10) s += 91;  // TPC-C's restock rule
+      r[col::S_QTY] = s;
+      r[col::S_YTD] = std::get<double>(r[col::S_YTD]) + double(qty);
+      r[col::S_ORDER_CNT] = std::get<int64_t>(r[col::S_ORDER_CNT]) + 1;
+    });
+    if (!s_ok) {
+      res.ok = false;
+      co_return res;
+    }
+    const double amount = double(qty) * double(1 + i_id % 90);
+    total += amount;
+    storage::Row line{o_id * kMaxLines + l, o_id, i_id, qty, amount};
+    if (!co_await c.insert(kOrderLine, line)) {
+      res.ok = false;
+      co_return res;
+    }
+  }
+  storage::Row order{o_id, d, p.i("c_id"), p.i("date"), total};
+  if (!co_await c.insert(kOrders, order)) {
+    res.ok = false;
+    co_return res;
+  }
+  res.rows = uint64_t(lines) + 1;
+  res.value = o_id;
+  co_return res;
+}
+
+sim::Task<api::TxnResult> o_pay(api::Connection& c, const api::Params& p) {
+  api::TxnResult res;
+  const double amount = p.d("amount");
+  storage::Key dk = K1(p.i("d_id"));
+  bool ok = co_await c.update(kDistrict, dk, [&](storage::Row& r) {
+    r[col::D_YTD] = std::get<double>(r[col::D_YTD]) + amount;
+  });
+  storage::Key ck = K1(p.i("c_id"));
+  const bool c_ok =
+      ok && co_await c.update(kCustomer, ck, [&](storage::Row& r) {
+        r[col::C_BALANCE] = std::get<double>(r[col::C_BALANCE]) - amount;
+        r[col::C_YTD_PAYMENT] =
+            std::get<double>(r[col::C_YTD_PAYMENT]) + amount;
+        r[col::C_PAYMENT_CNT] =
+            std::get<int64_t>(r[col::C_PAYMENT_CNT]) + 1;
+      });
+  res.ok = ok && c_ok;
+  res.rows = res.ok ? 2 : 0;
+  co_return res;
+}
+
+sim::Task<api::TxnResult> o_status(api::Connection& c, const api::Params& p) {
+  api::TxnResult res;
+  storage::Key ck = K1(p.i("c_id"));
+  auto cust = co_await c.get(kCustomer, ck);
+  res.ok = cust.has_value();
+  if (cust) ++res.rows;
+  const int64_t o_id = p.i("o_id");
+  if (o_id > 0) {
+    storage::Key ok_ = K1(o_id);
+    auto ord = co_await c.get(kOrders, ok_);
+    if (ord) ++res.rows;
+    api::ScanSpec s;
+    s.lo = K1(o_id * kMaxLines);
+    s.hi = K1(o_id * kMaxLines + kMaxLines - 1);
+    auto lines = co_await c.scan(kOrderLine, std::move(s));
+    res.rows += lines.size();
+  }
+  co_return res;
+}
+
+class OrdersSession : public Session {
+ public:
+  OrdersSession(const Tuning& t, const util::Zipf& dz)
+      : t_(t), district_zipf_(dz),
+        weights_{t.orders_new, t.orders_pay, t.orders_status} {}
+
+  Op next(util::Rng& rng, sim::Time now) override {
+    Op op;
+    const size_t pick = rng.weighted(weights_);
+    const int64_t d = int64_t(district_zipf_.sample(rng));
+    const int64_t cust = rng.between(0, t_.orders_customers - 1);
+    if (pick == 0) {
+      op.proc = kNewOrder;
+      op.is_write = true;
+      op.params.set("d_id", d);
+      op.params.set("c_id", cust);
+      op.params.set("date", now / sim::kSec);
+      const int64_t lines = rng.between(1, t_.orders_lines_max);
+      op.params.set("lines", lines);
+      std::vector<int64_t> items;
+      for (int64_t l = 0; l < lines; ++l) {
+        // Distinct items per order so stock rows are updated once each.
+        int64_t i = rng.between(0, t_.orders_items - 1);
+        while (std::find(items.begin(), items.end(), i) != items.end())
+          i = rng.between(0, t_.orders_items - 1);
+        items.push_back(i);
+        op.params.set("i" + std::to_string(l), i);
+        op.params.set("q" + std::to_string(l), rng.between(1, 10));
+      }
+    } else if (pick == 1) {
+      op.proc = kPayment;
+      op.is_write = true;
+      op.params.set("d_id", d);
+      op.params.set("c_id", cust);
+      op.params.set("amount", double(rng.between(1, 5000)) / 100.0);
+    } else {
+      op.proc = kStatus;
+      op.params.set("c_id", cust);
+      op.params.set("o_id", last_order_);
+    }
+    return op;
+  }
+
+  void on_result(const char* proc, bool ok,
+                 const api::TxnResult* result) override {
+    if (ok && result && result->ok && std::string_view(proc) == kNewOrder)
+      last_order_ = result->value;
+  }
+
+ private:
+  Tuning t_;
+  const util::Zipf& district_zipf_;
+  std::vector<double> weights_;
+  int64_t last_order_ = 0;  // this session's latest order (status queries)
+};
+
+}  // namespace
+
+OrdersWorkload::OrdersWorkload(const Tuning& t)
+    : t_(t),
+      district_zipf_(size_t(t.orders_districts), t.orders_district_theta) {}
+
+void OrdersWorkload::build_schema(storage::Database& db) const {
+  using namespace storage;
+  db.add_table("district",
+               Schema({int_col("d_id"), int_col("d_next_o_id"),
+                       double_col("d_ytd")}),
+               IndexDef{"pk", {col::D_ID}, true});
+  db.add_table("customer",
+               Schema({int_col("c_id"), int_col("c_d_id"),
+                       double_col("c_balance"), double_col("c_ytd_payment"),
+                       int_col("c_payment_cnt")}),
+               IndexDef{"pk", {col::C_ID}, true});
+  db.add_table("stock",
+               Schema({int_col("s_i_id"), int_col("s_qty"),
+                       double_col("s_ytd"), int_col("s_order_cnt")}),
+               IndexDef{"pk", {col::S_I_ID}, true});
+  db.add_table("orders",
+               Schema({int_col("o_id"), int_col("o_d_id"), int_col("o_c_id"),
+                       int_col("o_entry_d"), double_col("o_total")}),
+               IndexDef{"pk", {col::O_ID}, true});
+  db.add_table("order_line",
+               Schema({int_col("ol_id"), int_col("ol_o_id"),
+                       int_col("ol_i_id"), int_col("ol_qty"),
+                       double_col("ol_amount")}),
+               IndexDef{"pk", {col::OL_ID}, true});
+}
+
+void OrdersWorkload::load(storage::Database& db, storage::TableId base,
+                          uint64_t salt) const {
+  (void)salt;  // initial image is deterministic and salt-independent
+  for (int64_t d = 0; d < t_.orders_districts; ++d)
+    db.table(base + kDistrict).insert_row({d, int64_t{1}, 0.0});
+  for (int64_t c = 0; c < t_.orders_customers; ++c)
+    db.table(base + kCustomer)
+        .insert_row({c, c % t_.orders_districts, 0.0, 0.0, int64_t{0}});
+  for (int64_t i = 0; i < t_.orders_items; ++i)
+    db.table(base + kStock).insert_row({i, int64_t{100}, 0.0, int64_t{0}});
+}
+
+api::ProcRegistry OrdersWorkload::make_registry() const {
+  api::ProcRegistry reg;
+  reg.register_proc(kNewOrder,
+                    {o_new, false, {kDistrict, kStock, kOrders, kOrderLine}});
+  reg.register_proc(kPayment, {o_pay, false, {kDistrict, kCustomer}});
+  reg.register_proc(kStatus,
+                    {o_status, true, {kCustomer, kOrders, kOrderLine}});
+  return reg;
+}
+
+std::unique_ptr<Session> OrdersWorkload::make_session(uint64_t client_id,
+                                                      util::Rng& rng) const {
+  (void)client_id;
+  (void)rng;
+  return std::make_unique<OrdersSession>(t_, district_zipf_);
+}
+
+double OrdersWorkload::write_fraction() const {
+  const double total = t_.orders_new + t_.orders_pay + t_.orders_status;
+  return (t_.orders_new + t_.orders_pay) / total;
+}
+
+}  // namespace dmv::workload

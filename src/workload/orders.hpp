@@ -1,0 +1,33 @@
+// TPC-C-flavoured order-entry workload: ~88% writes over five tables.
+// new_order allocates the next order id by read-modify-writing its
+// district's sequence row — the classic hot-row contention point — then
+// decrements stock and inserts the order and its lines; payment double-
+// updates district + customer; order_status is the small read-only tail.
+// District choice is zipfian-skewed so a few districts run hot.
+#pragma once
+
+#include "util/zipf.hpp"
+#include "workload/workload.hpp"
+
+namespace dmv::workload {
+
+class OrdersWorkload : public Workload {
+ public:
+  explicit OrdersWorkload(const Tuning& t);
+
+  const char* name() const override { return "orders"; }
+  storage::TableId table_count() const override { return 5; }
+  void build_schema(storage::Database& db) const override;
+  void load(storage::Database& db, storage::TableId base,
+            uint64_t salt) const override;
+  api::ProcRegistry make_registry() const override;
+  std::unique_ptr<Session> make_session(uint64_t client_id,
+                                        util::Rng& rng) const override;
+  double write_fraction() const override;
+
+ private:
+  Tuning t_;
+  util::Zipf district_zipf_;  // shared hot-district chooser
+};
+
+}  // namespace dmv::workload

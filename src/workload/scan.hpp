@@ -1,0 +1,31 @@
+// Scan/reporting workload: long chunked reporting scans over one facts
+// table, mixed with secondary-index bucket rollups and short row updates.
+// A report transaction reads the whole table in several chained scans, so
+// it holds its snapshot tag for a long virtual time while touch/batch
+// writers churn versions underneath — the multiversion-storage stress
+// (slaves must retain old versions until the report's tag retires).
+#pragma once
+
+#include "workload/workload.hpp"
+
+namespace dmv::workload {
+
+class ScanWorkload : public Workload {
+ public:
+  explicit ScanWorkload(const Tuning& t);
+
+  const char* name() const override { return "scan"; }
+  storage::TableId table_count() const override { return 1; }
+  void build_schema(storage::Database& db) const override;
+  void load(storage::Database& db, storage::TableId base,
+            uint64_t salt) const override;
+  api::ProcRegistry make_registry() const override;
+  std::unique_ptr<Session> make_session(uint64_t client_id,
+                                        util::Rng& rng) const override;
+  double write_fraction() const override;
+
+ private:
+  Tuning t_;
+};
+
+}  // namespace dmv::workload

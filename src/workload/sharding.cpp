@@ -1,13 +1,13 @@
-#include "tpcw/sharding.hpp"
+#include "workload/sharding.hpp"
 
-#include <cmath>
+#include "util/zipf.hpp"
 
-namespace dmv::tpcw {
+namespace dmv::workload {
 
 namespace {
 
 // Forwards every table access shifted into the shard's id range; the
-// interaction bodies keep addressing tables by the base enum. Lives on the
+// proc bodies keep addressing tables by the base enum. Lives on the
 // wrapper proc's coroutine frame, so it outlives every awaited call.
 class OffsetConnection : public api::Connection {
  public:
@@ -56,30 +56,27 @@ std::string shard_proc(const std::string& base, size_t shard,
   return base + "@" + std::to_string(shard);
 }
 
-std::function<void(storage::Database&)> make_sharded_schema(size_t shards) {
-  return [shards](storage::Database& db) {
-    for (size_t s = 0; s < shards; ++s) build_schema(db);
+std::function<void(storage::Database&)> make_sharded_schema(
+    std::shared_ptr<const Workload> w, size_t shards) {
+  return [w, shards](storage::Database& db) {
+    for (size_t s = 0; s < shards; ++s) w->build_schema(db);
   };
 }
 
-std::function<void(storage::Database&)> make_sharded_loader(ScaleConfig scale,
-                                                            size_t shards) {
-  return [scale, shards](storage::Database& db) {
-    for (size_t s = 0; s < shards; ++s) {
-      ScaleConfig sc = scale;
-      sc.seed = scale.seed + 0x9e3779b9u * uint64_t(s);
-      load_tpcw(db, sc, storage::TableId(s * kTableCount));
-    }
+std::function<void(storage::Database&)> make_sharded_loader(
+    std::shared_ptr<const Workload> w, size_t shards) {
+  return [w, shards](storage::Database& db) {
+    for (size_t s = 0; s < shards; ++s)
+      w->load(db, storage::TableId(s * w->table_count()), s);
   };
 }
 
-api::ProcRegistry make_sharded_registry(const ScaleConfig& scale,
-                                        size_t shards) {
-  if (shards <= 1) return make_registry(scale);
-  const api::ProcRegistry base = make_registry(scale);
+api::ProcRegistry make_sharded_registry(const Workload& w, size_t shards) {
+  if (shards <= 1) return w.make_registry();
+  const api::ProcRegistry base = w.make_registry();
   api::ProcRegistry out;
   for (size_t s = 0; s < shards; ++s) {
-    const auto off = storage::TableId(s * kTableCount);
+    const auto off = storage::TableId(s * w.table_count());
     base.for_each([&](const std::string& name, const api::ProcInfo& info) {
       api::ProcInfo p;
       p.read_only = info.read_only;
@@ -95,31 +92,18 @@ api::ProcRegistry make_sharded_registry(const ScaleConfig& scale,
 }
 
 std::vector<std::vector<storage::TableId>> sharded_conflict_classes(
-    size_t shards) {
+    const Workload& w, size_t shards) {
   std::vector<std::vector<storage::TableId>> out(shards);
   for (size_t s = 0; s < shards; ++s)
-    for (storage::TableId t = 0; t < kTableCount; ++t)
-      out[s].push_back(storage::TableId(s * kTableCount + t));
+    for (storage::TableId t = 0; t < w.table_count(); ++t)
+      out[s].push_back(storage::TableId(s * w.table_count() + t));
   return out;
 }
 
 size_t zipf_shard(uint64_t key, size_t shards, double theta) {
   if (shards <= 1) return 0;
   if (theta <= 0) return size_t(key % shards);
-  // Deterministic: hash the key to a uniform in [0,1), walk the zipf CDF.
-  uint64_t z = key + 0x9e3779b97f4a7c15ull;
-  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
-  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
-  z ^= z >> 31;
-  const double u = double(z >> 11) / double(1ull << 53);
-  double norm = 0;
-  for (size_t s = 0; s < shards; ++s) norm += std::pow(double(s + 1), -theta);
-  double acc = 0;
-  for (size_t s = 0; s < shards; ++s) {
-    acc += std::pow(double(s + 1), -theta) / norm;
-    if (u < acc) return s;
-  }
-  return shards - 1;
+  return util::zipf_pick(key, shards, theta);
 }
 
-}  // namespace dmv::tpcw
+}  // namespace dmv::workload

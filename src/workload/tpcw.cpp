@@ -1,0 +1,163 @@
+#include "workload/tpcw.hpp"
+
+#include <string_view>
+
+#include "tpcw/schema.hpp"
+
+namespace dmv::workload {
+
+namespace {
+
+// One emulated browser: interaction chosen from the configured mix,
+// session state (customer identity, shopping cart, private id space for
+// new customers/orders). Moved verbatim from the old tpcw::TpcwClient so
+// a client's draw sequence — and therefore every run — is unchanged.
+class TpcwSession : public Session {
+ public:
+  TpcwSession(uint64_t client_id, util::Rng& rng,
+              const tpcw::ScaleConfig& scale, tpcw::Mix mix)
+      : scale_(scale), mix_(mix) {
+    for (const auto& e : tpcw::mix_table(mix_)) weights_.push_back(e.weight);
+    my_customer_ = tpcw::random_customer(rng, scale_);
+    // Private id space, disjoint from generated data and other clients.
+    id_base_ = 1'000'000'000 + int64_t(client_id) * 1'000'000;
+    sc_id_ = id_base_;  // this client's cart
+  }
+
+  Op next(util::Rng& rng, sim::Time now) override {
+    Op op;
+    op.proc = choose(rng);
+    op.params = params_for(op.proc, rng, now);
+    const std::string_view pv(op.proc);
+    for (const auto& e : tpcw::mix_table(mix_))
+      if (std::string_view(e.proc) == pv) op.is_write = e.is_write;
+    return op;
+  }
+
+  void on_result(const char* proc, bool ok,
+                 const api::TxnResult* result) override {
+    const std::string_view pv(proc);
+    if (ok && pv == tpcw::proc::kShoppingCart) cart_nonempty_ = true;
+    if (ok && pv == tpcw::proc::kBuyConfirm && result && result->ok)
+      cart_nonempty_ = false;
+  }
+
+ private:
+  const char* choose(util::Rng& rng) {
+    const auto& table = tpcw::mix_table(mix_);
+    const char* proc = table[rng.weighted(weights_)].proc;
+    // Buying an empty cart degrades to filling it first; keep the session
+    // graph sane without modeling the full TPC-W navigation matrix.
+    if (std::string_view(proc) == tpcw::proc::kBuyConfirm && !cart_nonempty_)
+      proc = tpcw::proc::kShoppingCart;
+    return proc;
+  }
+
+  api::Params params_for(const char* proc, util::Rng& rng, sim::Time now) {
+    namespace proc_ns = tpcw::proc;
+    // Compare by content, not pointer: proc::k* are constexpr, so each TU
+    // folds them to its own copy of the literal — equal addresses are only
+    // a linker-merging accident (and sanitizer builds don't merge).
+    const std::string_view pv(proc);
+    api::Params p;
+    const int64_t now_date = now / sim::kSec + 10'000'000;
+    p.set("date", now_date);
+    if (pv == proc_ns::kHome) {
+      p.set("c_id", my_customer_);
+      p.set("i_id", tpcw::random_item(rng, scale_));
+    } else if (pv == proc_ns::kProductDetail || pv == proc_ns::kAdminRequest ||
+               pv == proc_ns::kSearchRequest) {
+      p.set("i_id", tpcw::random_item(rng, scale_));
+    } else if (pv == proc_ns::kNewProducts) {
+      const auto& s = tpcw::subjects();
+      p.set("subject", s[size_t(rng.below(s.size()))]);
+    } else if (pv == proc_ns::kBestSellers) {
+      const auto& s = tpcw::subjects();
+      // Scale the look-back like the benchmark's 3333 recent orders.
+      const int64_t depth =
+          std::min<int64_t>(3333, scale_.num_initial_orders() / 3 + 1);
+      p.set("depth", depth);
+      if (rng.chance(0.5)) p.set("subject", s[size_t(rng.below(s.size()))]);
+    } else if (pv == proc_ns::kSearchResults) {
+      const int64_t kind = rng.between(0, 2);
+      p.set("kind", kind);
+      if (kind == 0) {
+        const auto& s = tpcw::subjects();
+        p.set("term", s[size_t(rng.below(s.size()))]);
+      } else if (kind == 1) {
+        static const char* kPrefix[] = {"ALPHA", "BRAVO", "CHARL", "DELTA",
+                                        "ECHO_", "FOXTR", "GOLF_", "HOTEL"};
+        p.set("term", std::string(kPrefix[rng.below(8)]));
+      } else {
+        p.set("term", "alname" + std::to_string(rng.between(0, 198)));
+      }
+    } else if (pv == proc_ns::kOrderInquiry) {
+      p.set("uname", tpcw::uname_of(my_customer_));
+    } else if (pv == proc_ns::kOrderDisplay) {
+      p.set("c_id", my_customer_);
+    } else if (pv == proc_ns::kShoppingCart) {
+      p.set("sc_id", sc_id_);
+      p.set("c_id", my_customer_);
+      p.set("i_id", tpcw::random_item(rng, scale_));
+      p.set("qty", rng.between(1, 3));
+    } else if (pv == proc_ns::kCustomerRegistration) {
+      p.set("new_c_id", id_base_ + 100'000 + (next_local_++));
+      p.set("new_addr_id", id_base_ + 200'000 + (next_local_++));
+      p.set("co_id", rng.between(1, 92));
+    } else if (pv == proc_ns::kBuyRequest) {
+      p.set("c_id", my_customer_);
+      p.set("sc_id", sc_id_);
+    } else if (pv == proc_ns::kBuyConfirm) {
+      p.set("sc_id", sc_id_);
+      p.set("c_id", my_customer_);
+      p.set("new_o_id", id_base_ + 300'000 + (next_local_++));
+    } else if (pv == proc_ns::kAdminConfirm) {
+      p.set("i_id", tpcw::random_item(rng, scale_));
+    }
+    return p;
+  }
+
+  tpcw::ScaleConfig scale_;
+  tpcw::Mix mix_;
+  std::vector<double> weights_;
+
+  int64_t my_customer_ = 0;
+  int64_t sc_id_ = 0;
+  bool cart_nonempty_ = false;
+  int64_t id_base_ = 0;
+  int64_t next_local_ = 0;
+};
+
+}  // namespace
+
+storage::TableId TpcwWorkload::table_count() const {
+  return tpcw::kTableCount;
+}
+
+void TpcwWorkload::build_schema(storage::Database& db) const {
+  tpcw::build_schema(db);
+}
+
+void TpcwWorkload::load(storage::Database& db, storage::TableId base,
+                        uint64_t salt) const {
+  // Shard-derived seed so sharded stores are independent (not byte-
+  // identical) images; salt 0 reproduces the unsharded load exactly.
+  tpcw::ScaleConfig sc = scale_;
+  sc.seed = scale_.seed + 0x9e3779b9u * salt;
+  tpcw::load_tpcw(db, sc, base);
+}
+
+api::ProcRegistry TpcwWorkload::make_registry() const {
+  return tpcw::make_registry(scale_);
+}
+
+std::unique_ptr<Session> TpcwWorkload::make_session(uint64_t client_id,
+                                                    util::Rng& rng) const {
+  return std::make_unique<TpcwSession>(client_id, rng, scale_, mix_);
+}
+
+double TpcwWorkload::write_fraction() const {
+  return tpcw::write_fraction(mix_);
+}
+
+}  // namespace dmv::workload

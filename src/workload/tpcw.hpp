@@ -1,0 +1,33 @@
+// TPC-W as a Workload: adapts the tpcw/ schema, generator and interaction
+// registry, and carries the emulated-browser session logic (think/choose/
+// params, cart state) that used to live in tpcw::TpcwClient.
+#pragma once
+
+#include "workload/workload.hpp"
+
+namespace dmv::workload {
+
+class TpcwWorkload : public Workload {
+ public:
+  TpcwWorkload(tpcw::ScaleConfig scale, tpcw::Mix mix)
+      : scale_(scale), mix_(mix) {}
+
+  const char* name() const override { return "tpcw"; }
+  storage::TableId table_count() const override;
+  void build_schema(storage::Database& db) const override;
+  void load(storage::Database& db, storage::TableId base,
+            uint64_t salt) const override;
+  api::ProcRegistry make_registry() const override;
+  std::unique_ptr<Session> make_session(uint64_t client_id,
+                                        util::Rng& rng) const override;
+  double write_fraction() const override;
+
+  const tpcw::ScaleConfig& scale() const { return scale_; }
+  tpcw::Mix mix() const { return mix_; }
+
+ private:
+  tpcw::ScaleConfig scale_;
+  tpcw::Mix mix_;
+};
+
+}  // namespace dmv::workload

@@ -1,0 +1,52 @@
+#include "workload/workload.hpp"
+
+#include "workload/orders.hpp"
+#include "workload/scan.hpp"
+#include "workload/tpcw.hpp"
+#include "workload/ycsb.hpp"
+
+namespace dmv::workload {
+
+const char* kind_name(Kind k) {
+  switch (k) {
+    case Kind::Tpcw: return "tpcw";
+    case Kind::Ycsb: return "ycsb";
+    case Kind::Orders: return "orders";
+    case Kind::Scan: return "scan";
+  }
+  return "tpcw";
+}
+
+std::optional<Kind> parse_kind(std::string_view name) {
+  if (name == "tpcw") return Kind::Tpcw;
+  if (name == "ycsb") return Kind::Ycsb;
+  if (name == "orders") return Kind::Orders;
+  if (name == "scan") return Kind::Scan;
+  return std::nullopt;
+}
+
+std::shared_ptr<const Workload> make_workload(const Options& opts) {
+  switch (opts.kind) {
+    case Kind::Ycsb:
+      return std::make_shared<YcsbWorkload>(opts.tuning);
+    case Kind::Orders:
+      return std::make_shared<OrdersWorkload>(opts.tuning);
+    case Kind::Scan:
+      return std::make_shared<ScanWorkload>(opts.tuning);
+    case Kind::Tpcw:
+      break;
+  }
+  return std::make_shared<TpcwWorkload>(opts.scale, opts.mix);
+}
+
+std::function<void(storage::Database&)> schema_fn(
+    std::shared_ptr<const Workload> w) {
+  return [w](storage::Database& db) { w->build_schema(db); };
+}
+
+std::function<void(storage::Database&)> loader_fn(
+    std::shared_ptr<const Workload> w) {
+  return [w](storage::Database& db) { w->load(db, 0, 0); };
+}
+
+}  // namespace dmv::workload

@@ -1,0 +1,152 @@
+// Workload abstraction: a Workload bundles everything a driver needs to
+// run a benchmark against either engine — schema, deterministic loader,
+// registered procedures, and per-client Sessions that draw the next
+// interaction from the mix.
+//
+// Four workloads plug in behind this interface:
+//  - tpcw:   the paper's TPC-W browser emulation (tpcw/ owns the logic;
+//            workload/tpcw.hpp adapts it),
+//  - ycsb:   YCSB-style key-value point ops with zipfian hot keys and a
+//            tunable read/update/rmw/scan mix,
+//  - orders: a TPC-C-flavoured order-entry mix (~88% writes, multi-table
+//            transactions contending on per-district sequence rows),
+//  - scan:   reporting queries — long chunked scans that hold old snapshot
+//            tags while short updates churn the same table.
+//
+// Drivers (harness experiments, benches, tests) are workload-agnostic:
+// they hold a Workload, spawn generic Clients, and execute through an
+// ExecuteFn, so every workload runs unchanged on the DMV cluster, the
+// stand-alone disk engine and the replicated disk tier.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string_view>
+
+#include "api/api.hpp"
+#include "sim/simulation.hpp"
+#include "storage/table.hpp"
+#include "tpcw/generator.hpp"
+#include "tpcw/interactions.hpp"
+
+namespace dmv::workload {
+
+// Engine adapter: ships {proc name, params} to whatever executes it.
+// nullopt = the interaction failed to run (node down, timeout).
+using ExecuteFn = std::function<sim::Task<std::optional<api::TxnResult>>(
+    const std::string&, api::Params)>;
+
+struct InteractionRecord {
+  sim::Time start = 0;
+  sim::Time end = 0;
+  bool ok = false;
+  bool is_write = false;
+  const char* proc = nullptr;
+};
+
+using RecordFn = std::function<void(const InteractionRecord&)>;
+
+enum class Kind { Tpcw, Ycsb, Orders, Scan };
+
+const char* kind_name(Kind k);
+// "tpcw" / "ycsb" / "orders" / "scan"; nullopt for anything else.
+std::optional<Kind> parse_kind(std::string_view name);
+
+// Knobs for the non-TPC-W workloads (TPC-W keeps ScaleConfig + Mix).
+// Defaults give each workload its characteristic shape at a scale
+// comparable to the default TPC-W store.
+struct Tuning {
+  // ycsb: zipfian point ops over one table.
+  int64_t ycsb_records = 2000;
+  double ycsb_theta = 0.85;          // zipfian skew of the key chooser
+  double ycsb_read = 0.60;           // mix weights (normalized by draw)
+  double ycsb_update = 0.20;
+  double ycsb_rmw = 0.15;
+  double ycsb_scan = 0.05;
+  int64_t ycsb_scan_limit = 40;      // max rows per scan
+
+  // orders: order-entry over district/customer/stock/orders/order_line.
+  int64_t orders_districts = 8;
+  int64_t orders_customers = 1000;
+  int64_t orders_items = 1000;
+  int64_t orders_lines_max = 4;      // items per new-order
+  double orders_district_theta = 0.6;  // skew toward hot districts
+  double orders_new = 0.45;
+  double orders_pay = 0.43;
+  double orders_status = 0.12;
+
+  // scan: reporting over one wide facts table.
+  int64_t scan_rows = 4000;
+  int64_t scan_buckets = 64;
+  int64_t scan_chunks = 8;           // report = this many chained scans
+  double scan_report = 0.20;
+  double scan_bucket = 0.35;
+  double scan_touch = 0.35;
+  double scan_batch = 0.10;
+};
+
+struct Options {
+  Kind kind = Kind::Tpcw;
+  tpcw::ScaleConfig scale;      // tpcw only
+  tpcw::Mix mix = tpcw::Mix::Shopping;  // tpcw only
+  Tuning tuning;
+};
+
+// One client's interaction stream. Sessions carry the per-client state
+// (identity, cart, last order) and draw every stochastic choice from the
+// client's Rng, so a client's behaviour is a pure function of its id.
+class Session {
+ public:
+  struct Op {
+    const char* proc = nullptr;  // string literal owned by the workload
+    api::Params params;
+    bool is_write = false;
+  };
+
+  virtual ~Session() = default;
+  virtual Op next(util::Rng& rng, sim::Time now) = 0;
+  // Interaction outcome feedback (session-state transitions: cart filled,
+  // order placed). `result` is null when the interaction failed to run.
+  virtual void on_result(const char* proc, bool ok,
+                         const api::TxnResult* result) {
+    (void)proc;
+    (void)ok;
+    (void)result;
+  }
+};
+
+class Workload {
+ public:
+  virtual ~Workload() = default;
+
+  virtual const char* name() const = 0;
+  // Tables per store — the sharded deployments lay out N full stores with
+  // shard s's copy of base table t at TableId s * table_count() + t.
+  virtual storage::TableId table_count() const = 0;
+  virtual void build_schema(storage::Database& db) const = 0;
+  // Populate one store whose tables start at `base`. `salt` perturbs the
+  // generator seed so sharded stores are independent images (salt 0 must
+  // reproduce the unsharded load exactly).
+  virtual void load(storage::Database& db, storage::TableId base,
+                    uint64_t salt) const = 0;
+  virtual api::ProcRegistry make_registry() const = 0;
+  // The session draws its identity from `rng` (the client's own stream),
+  // so creation participates in the client's deterministic draw order.
+  virtual std::unique_ptr<Session> make_session(uint64_t client_id,
+                                                util::Rng& rng) const = 0;
+  // Write fraction of the configured mix (reporting / sanity checks).
+  virtual double write_fraction() const = 0;
+};
+
+// Factory. Shared: drivers hand the workload to schema/loader closures
+// that may outlive the creating scope.
+std::shared_ptr<const Workload> make_workload(const Options& opts);
+
+// Convenience closures for cluster/engine configs (capture keeps `w`
+// alive as long as the closure).
+std::function<void(storage::Database&)> schema_fn(
+    std::shared_ptr<const Workload> w);
+std::function<void(storage::Database&)> loader_fn(
+    std::shared_ptr<const Workload> w);
+
+}  // namespace dmv::workload

@@ -1,0 +1,37 @@
+// YCSB-style key-value workload: point reads, blind updates, read-modify-
+// writes and short scans over one table, keys chosen by a shared zipfian
+// sampler (util::Zipf) with a scramble so hot ranks scatter over the key
+// space. The hot-key contention this produces is the classic MVCC-vs-2PL
+// stress: most traffic lands on a handful of pages.
+#pragma once
+
+#include "util/zipf.hpp"
+#include "workload/workload.hpp"
+
+namespace dmv::workload {
+
+class YcsbWorkload : public Workload {
+ public:
+  explicit YcsbWorkload(const Tuning& t);
+
+  const char* name() const override { return "ycsb"; }
+  storage::TableId table_count() const override { return 1; }
+  void build_schema(storage::Database& db) const override;
+  void load(storage::Database& db, storage::TableId base,
+            uint64_t salt) const override;
+  api::ProcRegistry make_registry() const override;
+  std::unique_ptr<Session> make_session(uint64_t client_id,
+                                        util::Rng& rng) const override;
+  double write_fraction() const override;
+
+  // Rank r (0 = hottest) maps to this key — deterministic scatter so the
+  // zipf head isn't a contiguous key range (keys collide; that's standard
+  // YCSB behaviour and just concentrates heat a little more).
+  int64_t key_of_rank(size_t rank) const;
+
+ private:
+  Tuning t_;
+  util::Zipf zipf_;  // shared by all sessions (read-only after build)
+};
+
+}  // namespace dmv::workload

@@ -10,7 +10,7 @@ namespace {
 
 TEST(Series, WipsCountsWholeBucketsOnly) {
   Series s(sim::Time(1) * sim::kSec);
-  tpcw::InteractionRecord r;
+  workload::InteractionRecord r;
   r.ok = true;
   for (int i = 0; i < 10; ++i) {
     r.start = sim::Time(i) * 100 * sim::kMsec;
@@ -27,8 +27,8 @@ TEST(Series, WipsCountsWholeBucketsOnly) {
 
 TEST(Series, ErrorsExcludedFromThroughput) {
   Series s(sim::kSec);
-  tpcw::InteractionRecord ok{0, 100, true, false, "x"};
-  tpcw::InteractionRecord bad{0, 100, false, false, "x"};
+  workload::InteractionRecord ok{0, 100, true, false, "x"};
+  workload::InteractionRecord bad{0, 100, false, false, "x"};
   s.add(ok);
   s.add(bad);
   EXPECT_EQ(s.errors(), 1u);
@@ -37,7 +37,7 @@ TEST(Series, ErrorsExcludedFromThroughput) {
 
 TEST(Series, LatencyAveragesWithinWindow) {
   Series s(sim::kSec);
-  tpcw::InteractionRecord r;
+  workload::InteractionRecord r;
   r.ok = true;
   r.start = 0;
   r.end = 200 * sim::kMsec;  // 0.2 s
@@ -56,7 +56,7 @@ TEST(Report, TableAndTimelineRender) {
   EXPECT_NE(t.find("333"), std::string::npos);
 
   Series s(sim::kSec);
-  tpcw::InteractionRecord r{0, 100, true, false, "x"};
+  workload::InteractionRecord r{0, 100, true, false, "x"};
   s.add(r);
   std::ostringstream os2;
   print_timeline(os2, "TL", s, 0, 2 * sim::kSec, {{0, "mark"}});

@@ -2,7 +2,8 @@
 
 #include "core/cluster.hpp"
 #include "disk/engine.hpp"
-#include "tpcw/client.hpp"
+#include "workload/client.hpp"
+#include "workload/tpcw.hpp"
 
 namespace dmv::tpcw {
 namespace {
@@ -93,10 +94,7 @@ TEST(Interactions, AllRunOnDiskEngine) {
   sim.spawn([](sim::Simulation& sim, disk::DiskEngine& eng,
                api::ProcRegistry& reg, ScaleConfig scale,
                int& failures) -> sim::Task<> {
-    TpcwClient::Config ccfg;
-    ccfg.scale = scale;
-    ccfg.client_id = 1;
-    // Drive through the client's param generator for realistic params.
+    (void)scale;
     util::Rng rng(3);
     const int64_t base = 1'000'000'000;
     auto run1 = [&](const char* name,
@@ -327,21 +325,20 @@ TEST(TpcwOnCluster, ShoppingMixRunsClean) {
 
   auto run = std::make_shared<bool>(true);
   std::vector<std::unique_ptr<core::ClusterClient>> conns;
-  TpcwClient::Config ccfg;
-  ccfg.scale = scale;
-  ccfg.mix = Mix::Shopping;
+  workload::TpcwWorkload wl(scale, Mix::Shopping);
+  workload::Client::Config ccfg;
   ccfg.think_mean = 500 * sim::kMsec;
 
   uint64_t completed = 0, failed = 0;
-  auto record = [&](const InteractionRecord& r) {
+  auto record = [&](const workload::InteractionRecord& r) {
     if (r.ok)
       ++completed;
     else
       ++failed;
   };
-  auto clients = spawn_clients(
-      sim, 20, ccfg,
-      [&](size_t i) -> ExecuteFn {
+  auto clients = workload::spawn_clients(
+      sim, 20, ccfg, wl,
+      [&](size_t i) -> workload::ExecuteFn {
         conns.push_back(cluster.make_client("tpcw" + std::to_string(i)));
         core::ClusterClient* c = conns.back().get();
         return [c](const std::string& proc, api::Params p) {
@@ -388,21 +385,20 @@ TEST(TpcwOnCluster, OrderingMixStressesMaster) {
 
   auto run = std::make_shared<bool>(true);
   std::vector<std::unique_ptr<core::ClusterClient>> conns;
-  TpcwClient::Config ccfg;
-  ccfg.scale = scale;
-  ccfg.mix = Mix::Ordering;
+  workload::TpcwWorkload wl(scale, Mix::Ordering);
+  workload::Client::Config ccfg;
   ccfg.think_mean = 500 * sim::kMsec;
   uint64_t completed = 0, failed = 0;
-  auto clients = spawn_clients(
-      sim, 10, ccfg,
-      [&](size_t i) -> ExecuteFn {
+  auto clients = workload::spawn_clients(
+      sim, 10, ccfg, wl,
+      [&](size_t i) -> workload::ExecuteFn {
         conns.push_back(cluster.make_client("tpcw" + std::to_string(i)));
         core::ClusterClient* c = conns.back().get();
         return [c](const std::string& proc, api::Params p) {
           return c->execute(proc, std::move(p));
         };
       },
-      [&](const InteractionRecord& r) { r.ok ? ++completed : ++failed; },
+      [&](const workload::InteractionRecord& r) { r.ok ? ++completed : ++failed; },
       run);
   sim.run(2 * 60 * sim::kSec);
   *run = false;

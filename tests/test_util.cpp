@@ -3,9 +3,12 @@
 #include <map>
 #include <set>
 
+#include <cmath>
+
 #include "util/lru.hpp"
 #include "util/metrics.hpp"
 #include "util/rng.hpp"
+#include "util/zipf.hpp"
 
 namespace dmv::util {
 namespace {
@@ -207,6 +210,93 @@ TEST(Histogram, ClearResets) {
   h.clear();
   EXPECT_EQ(h.count(), 0u);
   EXPECT_DOUBLE_EQ(h.quantile(0.5), 0.0);
+}
+
+TEST(Zipf, ThetaZeroIsUniform) {
+  Zipf z(10, 0.0);
+  EXPECT_EQ(z.rank(0.0), 0u);
+  EXPECT_EQ(z.rank(0.05), 0u);
+  EXPECT_EQ(z.rank(0.35), 3u);
+  EXPECT_EQ(z.rank(0.999), 9u);
+}
+
+TEST(Zipf, RankStaysInRangeAndIsMonotone) {
+  for (size_t n : {1u, 2u, 7u, 4096u, 5000u}) {
+    Zipf z(n, 0.85);
+    size_t prev = 0;
+    for (double u = 0.0; u < 1.0; u += 0.001) {
+      const size_t r = z.rank(u);
+      ASSERT_LT(r, n);
+      ASSERT_GE(r, prev);  // the inverse CDF never goes backwards
+      prev = r;
+    }
+    EXPECT_EQ(z.rank(1.0), n - 1);  // clamped, not out of range
+  }
+}
+
+TEST(Zipf, ExactTableMatchesAnalyticCdf) {
+  // Small-n regime: rank(u) must be the exact inverse of the analytic
+  // CDF with P(r) proportional to 1/(r+1)^theta — the brute-force walk
+  // the old per-call tpcw::zipf_shard did.
+  const size_t n = 16;
+  const double theta = 1.1;
+  Zipf z(n, theta);
+  double norm = 0;
+  for (size_t r = 0; r < n; ++r) norm += std::pow(double(r + 1), -theta);
+  Rng rng(23);
+  for (int i = 0; i < 20000; ++i) {
+    const double u = rng.uniform01();
+    size_t expect = n - 1;
+    double acc = 0;
+    for (size_t r = 0; r < n; ++r) {
+      acc += std::pow(double(r + 1), -theta) / norm;
+      if (u < acc) {
+        expect = r;
+        break;
+      }
+    }
+    ASSERT_EQ(z.rank(u), expect) << "u=" << u;
+  }
+}
+
+TEST(Zipf, ZetaRegimeConcentratesOnHead) {
+  // Large-n regime (Gray et al. zeta method): rank 0 must receive about
+  // 1/zeta(n) of the mass, far above uniform.
+  const size_t n = Zipf::kTableMax * 2;
+  Zipf z(n, 0.85);
+  Rng rng(29);
+  const int draws = 100000;
+  int head = 0;
+  for (int i = 0; i < draws; ++i)
+    if (z.sample(rng) == 0) ++head;
+  EXPECT_GT(head, draws / 100);       // ~4% expected; uniform is 0.012%
+  EXPECT_LT(head, draws / 10);
+}
+
+TEST(ZipfPick, DeterministicAndInRange) {
+  for (uint64_t k = 0; k < 200; ++k) {
+    const size_t s = zipf_pick(k, 8, 0.9);
+    EXPECT_LT(s, 8u);
+    EXPECT_EQ(s, zipf_pick(k, 8, 0.9));
+  }
+  EXPECT_EQ(zipf_pick(123, 1, 0.9), 0u);
+  EXPECT_EQ(zipf_pick(123, 5, 0.0), 123u % 5);
+}
+
+TEST(ZipfPick, SkewMakesSlotZeroHot) {
+  int hot = 0;
+  const int n = 10000;
+  for (uint64_t k = 0; k < n; ++k)
+    if (zipf_pick(k, 4, 1.1) == 0) ++hot;
+  EXPECT_GT(hot, n / 3);  // uniform would give 25%
+}
+
+TEST(ZipfPick, CacheSurvivesParameterChanges) {
+  // Alternating (n, theta) pairs must not poison the cached sampler.
+  const size_t a = zipf_pick(7, 4, 0.9);
+  const size_t b = zipf_pick(7, 8, 0.5);
+  EXPECT_EQ(zipf_pick(7, 4, 0.9), a);
+  EXPECT_EQ(zipf_pick(7, 8, 0.5), b);
 }
 
 TEST(TimeSeries, BucketsEvents) {

@@ -1,0 +1,186 @@
+// Workload abstraction: the factory, the non-TPC-W families (ycsb,
+// orders, scan) and the workload-agnostic client emulator. TPC-W's own
+// coverage lives in test_tpcw.cpp; here the contract under test is that
+// every family satisfies the same interface obligations — deterministic
+// loads, sessions that are pure functions of the client id, ops that
+// resolve in the family's own registry — and drives a DMV cluster clean.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/cluster.hpp"
+#include "net/network.hpp"
+#include "workload/client.hpp"
+#include "workload/workload.hpp"
+
+namespace dmv::workload {
+namespace {
+
+const std::vector<Kind> kAllKinds = {Kind::Tpcw, Kind::Ycsb, Kind::Orders,
+                                     Kind::Scan};
+
+Options small_options(Kind k) {
+  Options o;
+  o.kind = k;
+  o.scale.items = 100;
+  o.tuning.ycsb_records = 200;
+  o.tuning.orders_customers = 100;
+  o.tuning.orders_items = 100;
+  o.tuning.scan_rows = 400;
+  return o;
+}
+
+TEST(WorkloadFactory, KindNamesRoundTrip) {
+  for (Kind k : kAllKinds) {
+    auto parsed = parse_kind(kind_name(k));
+    ASSERT_TRUE(parsed.has_value()) << kind_name(k);
+    EXPECT_EQ(*parsed, k);
+  }
+  EXPECT_FALSE(parse_kind("tpcc").has_value());
+  EXPECT_FALSE(parse_kind("").has_value());
+}
+
+TEST(WorkloadFactory, BuildsEveryKind) {
+  for (Kind k : kAllKinds) {
+    auto w = make_workload(small_options(k));
+    ASSERT_NE(w, nullptr);
+    EXPECT_STREQ(w->name(), kind_name(k));
+    EXPECT_GT(w->table_count(), 0);
+    EXPECT_GT(w->write_fraction(), 0.0);
+    EXPECT_LT(w->write_fraction(), 1.0);
+    EXPECT_GT(w->make_registry().size(), 0u);
+  }
+}
+
+TEST(WorkloadFactory, LoadIsDeterministic) {
+  for (Kind k : kAllKinds) {
+    auto w = make_workload(small_options(k));
+    storage::Database a, b;
+    w->build_schema(a);
+    w->build_schema(b);
+    w->load(a, 0, 0);
+    w->load(b, 0, 0);
+    EXPECT_TRUE(a.pages_equal(b)) << kind_name(k);
+    EXPECT_GT(a.total_rows(), 0u) << kind_name(k);
+  }
+}
+
+TEST(WorkloadFactory, YcsbSaltPerturbsTheImage) {
+  // Sharded stores load with distinct salts so they are independent
+  // images; salt 0 must stay the canonical unsharded load.
+  auto w = make_workload(small_options(Kind::Ycsb));
+  storage::Database a, b;
+  w->build_schema(a);
+  w->build_schema(b);
+  w->load(a, 0, 0);
+  w->load(b, 0, 1);
+  EXPECT_FALSE(a.pages_equal(b));
+}
+
+TEST(WorkloadSessions, StreamIsPureFunctionOfClientId) {
+  for (Kind k : kAllKinds) {
+    auto w = make_workload(small_options(k));
+    for (uint64_t id : {0ull, 7ull}) {
+      util::Rng r1(id), r2(id);
+      auto s1 = w->make_session(id, r1);
+      auto s2 = w->make_session(id, r2);
+      for (int i = 0; i < 60; ++i) {
+        Session::Op a = s1->next(r1, sim::Time(i) * sim::kSec);
+        Session::Op b = s2->next(r2, sim::Time(i) * sim::kSec);
+        ASSERT_STREQ(a.proc, b.proc) << kind_name(k) << " op " << i;
+        ASSERT_EQ(a.is_write, b.is_write);
+      }
+    }
+  }
+}
+
+TEST(WorkloadSessions, OpsResolveInTheFamilyRegistry) {
+  for (Kind k : kAllKinds) {
+    auto w = make_workload(small_options(k));
+    api::ProcRegistry reg = w->make_registry();
+    util::Rng rng(3);
+    auto s = w->make_session(3, rng);
+    std::set<std::string> seen;
+    int writes = 0;
+    const int n = 400;
+    for (int i = 0; i < n; ++i) {
+      Session::Op op = s->next(rng, sim::Time(i) * sim::kSec);
+      ASSERT_TRUE(reg.contains(op.proc))
+          << kind_name(k) << " emits unregistered proc " << op.proc;
+      seen.insert(op.proc);
+      if (op.is_write) ++writes;
+    }
+    // The mix actually mixes: more than one proc, and the observed write
+    // share is in the same regime as the configured fraction.
+    EXPECT_GT(seen.size(), 1u) << kind_name(k);
+    const double wf = w->write_fraction();
+    EXPECT_NEAR(double(writes) / n, wf, 0.15) << kind_name(k);
+  }
+}
+
+// Every non-TPC-W family drives a small DMV cluster clean: interactions
+// complete, nothing fails, updates commit on the master and the slaves
+// converge to the master image after applying everything.
+class WorkloadOnCluster : public ::testing::TestWithParam<Kind> {};
+
+TEST_P(WorkloadOnCluster, RunsCleanAndConverges) {
+  const Kind kind = GetParam();
+  sim::Simulation sim;
+  net::Network net(sim);
+  auto w = make_workload(small_options(kind));
+  auto reg = w->make_registry();
+
+  core::DmvCluster::Config cfg;
+  cfg.slaves = 2;
+  cfg.schema = schema_fn(w);
+  cfg.loader = loader_fn(w);
+  core::DmvCluster cluster(net, reg, cfg);
+  cluster.start();
+
+  auto run = std::make_shared<bool>(true);
+  std::vector<std::unique_ptr<core::ClusterClient>> conns;
+  Client::Config ccfg;
+  ccfg.think_mean = 500 * sim::kMsec;
+  uint64_t completed = 0, failed = 0;
+  auto clients = spawn_clients(
+      sim, 15, ccfg, *w,
+      [&](size_t i) -> ExecuteFn {
+        conns.push_back(cluster.make_client("wl" + std::to_string(i)));
+        core::ClusterClient* c = conns.back().get();
+        return [c](const std::string& proc, api::Params p) {
+          return c->execute(proc, std::move(p));
+        };
+      },
+      [&](const InteractionRecord& r) { r.ok ? ++completed : ++failed; },
+      run);
+
+  sim.run(90 * sim::kSec);
+  *run = false;
+  sim.run(sim.now() + 20 * sim::kSec);
+
+  EXPECT_GT(completed, 500u);
+  EXPECT_EQ(failed, 0u);
+  EXPECT_GT(cluster.master().engine().stats().update_commits, 50u);
+  for (size_t i = 0; i < cluster.slave_count(); ++i) {
+    auto& slave = cluster.node(cluster.slave_id(i)).engine();
+    sim.spawn([](mem::MemEngine& s, storage::TableId tables) -> sim::Task<> {
+      for (storage::TableId t = 0; t < tables; ++t)
+        co_await s.apply_pending(t, s.received_version()[t]);
+    }(slave, w->table_count()));
+    sim.run();
+    EXPECT_TRUE(cluster.master().engine().db().pages_equal(slave.db()));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllFamilies, WorkloadOnCluster,
+                         ::testing::Values(Kind::Ycsb, Kind::Orders,
+                                           Kind::Scan),
+                         [](const ::testing::TestParamInfo<Kind>& i) {
+                           return std::string(kind_name(i.param));
+                         });
+
+}  // namespace
+}  // namespace dmv::workload
